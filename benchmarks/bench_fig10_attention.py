@@ -1,0 +1,12 @@
+"""Figure 10: multi-head attention throughput over sequence length."""
+
+from repro.experiments import fig10_attention
+
+from conftest import run_and_report
+
+
+def test_fig10_attention(benchmark, full):
+    results = run_and_report(benchmark, fig10_attention.run, full)
+    for fig in results:
+        longest = max(fig.x_values)
+        assert fig.value("Tawa", longest) > fig.value("Triton", longest)

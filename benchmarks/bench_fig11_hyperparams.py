@@ -1,0 +1,12 @@
+"""Figure 11: aref depth D x MMA depth P heatmap (persistent and not)."""
+
+from repro.experiments import fig11_hyperparams
+
+from conftest import run_and_report
+
+
+def test_fig11_hyperparameters(benchmark, full):
+    results = run_and_report(benchmark, fig11_hyperparams.run, full)
+    for fig in results:
+        assert fig.value("D=1", 3) == 0.0          # infeasible region
+        assert fig.value("D=3", 2) > fig.value("D=1", 1)

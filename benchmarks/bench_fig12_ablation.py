@@ -1,0 +1,13 @@
+"""Figure 12: optimization ablation on GEMM and MHA."""
+
+from repro.experiments import fig12_ablation
+
+from conftest import run_and_report
+
+
+def test_fig12_ablation(benchmark, full):
+    results = run_and_report(benchmark, fig12_ablation.run, full,
+                             render=fig12_ablation.render_ablation)
+    for fig in results:
+        values = [row.tflops for row in fig.rows]
+        assert values[-1] > values[0] * 3

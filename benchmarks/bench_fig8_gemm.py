@@ -1,0 +1,13 @@
+"""Figure 8: FP16/FP8 GEMM throughput sweep over K (Tawa vs baselines)."""
+
+from repro.experiments import fig8_gemm
+
+from conftest import run_and_report
+
+
+def test_fig8_gemm_sweep(benchmark, full):
+    results = run_and_report(benchmark, fig8_gemm.run, full)
+    for fig in results:
+        # Tawa must beat the Triton baseline at the largest K of the sweep.
+        k = max(fig.x_values)
+        assert fig.value("Tawa", k) > fig.value("Triton", k)

@@ -1,0 +1,12 @@
+"""Figure 9: FP16 batched and grouped GEMM (Tawa vs Triton vs TileLang)."""
+
+from repro.experiments import fig9_gemm_variants
+
+from conftest import run_and_report
+
+
+def test_fig9_batched_and_grouped(benchmark, full):
+    results = run_and_report(benchmark, fig9_gemm_variants.run, full)
+    for fig in results:
+        speedups = fig.speedup("Tawa", "Triton")
+        assert all(s > 1.0 for s in speedups)

@@ -1,0 +1,32 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one figure of the paper's evaluation through the
+experiment harnesses (reduced parameter ranges by default; set ``REPRO_FULL=1``
+to sweep the paper's full ranges) and prints the resulting series so the
+numbers end up in the benchmark log alongside the timings.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_sweep_requested() -> bool:
+    return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+
+@pytest.fixture(scope="session")
+def full() -> bool:
+    return full_sweep_requested()
+
+
+def run_and_report(benchmark, run_fn, full: bool, render=None):
+    """Run a figure generator under pytest-benchmark and print its tables."""
+    results = benchmark.pedantic(lambda: run_fn(full=full), rounds=1, iterations=1)
+    for fig in results:
+        text = render(fig) if render is not None else fig.render()
+        print()
+        print(text)
+    return results

@@ -1,0 +1,60 @@
+"""Inspect what the Tawa compiler does to an unmodified tile kernel.
+
+Prints the IR of the paper's GEMM kernel at the three interesting stages:
+
+* the frontend output (``tt`` dialect, straight from the Python source),
+* after task-aware partitioning (``tawa.warp_group`` regions communicating
+  through ``tawa.put`` / ``tawa.get`` / ``tawa.consumed`` on aref channels),
+* after aref lowering (shared-memory rings, mbarrier arrays, asynchronous TMA
+  copies and WGMMA issues -- the "PTX" of this reproduction),
+
+followed by the per-pass resource summary.  This mirrors Fig. 2 of the paper.
+
+Run with:  python examples/inspect_compilation.py
+"""
+
+from repro.core.compiler import compile_kernel
+from repro.core.options import CompileOptions
+from repro.ir.types import PointerType, TensorDescType, f16, i32
+from repro.kernels.gemm import matmul_kernel
+
+ARG_TYPES = {
+    "a_desc": TensorDescType(f16), "b_desc": TensorDescType(f16),
+    "c_ptr": PointerType(f16), "M": i32, "N": i32, "K": i32,
+}
+CONSTEXPRS = {"stride_cm": 8192, "stride_cn": 1, "Mt": 128, "Nt": 256, "Kt": 64}
+
+
+def show(title: str, text: str, max_lines: int = 60) -> None:
+    lines = text.splitlines()
+    print(f"\n{'=' * 78}\n== {title}\n{'=' * 78}")
+    for line in lines[:max_lines]:
+        print(line)
+    if len(lines) > max_lines:
+        print(f"... ({len(lines) - max_lines} more lines)")
+
+
+def main() -> None:
+    # Stop the pipeline at each stage to show the intermediate IR.
+    frontend = compile_kernel(matmul_kernel, ARG_TYPES, CONSTEXPRS,
+                              CompileOptions(lower_to="tt", num_consumer_groups=2))
+    show("frontend IR (tt dialect) -- what the Python kernel becomes", frontend.ir())
+
+    partitioned = compile_kernel(matmul_kernel, ARG_TYPES, CONSTEXPRS,
+                                 CompileOptions(lower_to="tawa", num_consumer_groups=2))
+    show("after task-aware partitioning (tawa dialect, aref channels)", partitioned.ir())
+
+    lowered = compile_kernel(matmul_kernel, ARG_TYPES, CONSTEXPRS,
+                             CompileOptions(aref_depth=3, mma_pipeline_depth=2,
+                                            num_consumer_groups=2, persistent=True),
+                             dump_ir=True)
+    show("fully lowered (gpu dialect: smem rings, mbarriers, TMA, WGMMA)", lowered.ir(), 90)
+
+    print(f"\n{'=' * 78}\n== pass pipeline and resources\n{'=' * 78}")
+    for name in lowered.pass_dumps:
+        print(f"  ran pass: {name}")
+    print(f"\n  {lowered.metadata.describe()}")
+
+
+if __name__ == "__main__":
+    main()

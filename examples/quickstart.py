@@ -1,0 +1,101 @@
+"""Quickstart: write a tile kernel, let Tawa warp-specialize it, run it.
+
+This is the end-to-end "hello world" of the reproduction:
+
+1. a GEMM kernel is written in the Triton-like ``tl`` language (no
+   annotations, no warp-level code);
+2. the Tawa compiler automatically partitions it into producer/consumer warp
+   groups connected by aref channels and lowers it to mbarriers + TMA + WGMMA;
+3. the simulated H100 executes it functionally (checked against NumPy) and in
+   performance mode (simulated TFLOP/s vs. the non-specialized baseline).
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CompileOptions, Device, kernel, tl
+from repro.core.options import TRITON_BASELINE_OPTIONS
+
+
+@kernel
+def matmul(a_desc, b_desc, c_ptr, M, N, K,
+           stride_cm: tl.constexpr, stride_cn: tl.constexpr,
+           Mt: tl.constexpr, Nt: tl.constexpr, Kt: tl.constexpr):
+    """C[M, N] = A[M, K] @ B[N, K]^T, one output tile per program."""
+    pid = tl.program_id(axis=0)
+    num_pid_m = tl.cdiv(M, Mt)
+    pid_m = pid % num_pid_m
+    pid_n = pid // num_pid_m
+    o_am = pid_m * Mt
+    o_bn = pid_n * Nt
+    o_k = 0
+    acc = tl.zeros((Mt, Nt), dtype=tl.float32)
+    for k in tl.range(0, tl.cdiv(K, Kt)):
+        a = tl.tma_load(a_desc, [o_am, o_k], [Mt, Kt])
+        b = tl.tma_load(b_desc, [o_bn, o_k], [Nt, Kt])
+        acc = tl.dot(a, b.T, acc=acc)
+        o_k += Kt
+    offs_m = pid_m * Mt + tl.arange(0, Mt)
+    offs_n = pid_n * Nt + tl.arange(0, Nt)
+    tl.store(c_ptr + stride_cm * offs_m[:, None] + stride_cn * offs_n[None, :], acc)
+
+
+def run_functional_check():
+    """Small problem, functional mode: the warp-specialized kernel is exact."""
+    M = N = K = 256
+    Mt, Nt, Kt = 64, 64, 32
+    device = Device(mode="functional")
+
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((M, K), dtype=np.float32) * 0.5
+    b = rng.standard_normal((N, K), dtype=np.float32) * 0.5
+
+    args = {
+        "a_desc": device.tensor_desc(a, "f16"),
+        "b_desc": device.tensor_desc(b, "f16"),
+        "c_ptr": device.pointer(np.zeros((M, N), dtype=np.float32), "f16"),
+        "M": M, "N": N, "K": K,
+    }
+    constexprs = {"stride_cm": N, "stride_cn": 1, "Mt": Mt, "Nt": Nt, "Kt": Kt}
+    grid = tl.cdiv(M, Mt) * tl.cdiv(N, Nt)
+
+    # Compile with automatic warp specialization (the single flag of the paper).
+    options = CompileOptions(enable_warp_specialization=True, aref_depth=2,
+                             mma_pipeline_depth=2)
+    compiled = device.compile(matmul, args, constexprs, options)
+    print("== compiled kernel ==")
+    print(f"  {compiled!r}")
+    print(f"  resources: {compiled.metadata.describe()}")
+
+    result = device.run(compiled, grid, args, flops=2.0 * M * N * K)
+    c = args["c_ptr"].buffer.to_numpy().astype(np.float32)
+    expected = (a.astype(np.float16).astype(np.float32)
+                @ b.astype(np.float16).astype(np.float32).T)
+    max_err = np.abs(c - expected).max()
+    print(f"  functional run: {result.describe()}")
+    print(f"  max abs error vs NumPy: {max_err:.4f}")
+    assert max_err < 0.1
+
+
+def run_performance_comparison():
+    """Paper-scale problem, performance mode: Tawa vs the Triton baseline."""
+    from repro.kernels.gemm import GemmProblem, run_gemm
+
+    device = Device(mode="performance", max_ctas_per_sm_simulated=4)
+    problem = GemmProblem(M=8192, N=8192, K=8192, block_m=128, block_n=256, block_k=64)
+
+    tawa_opts = CompileOptions(aref_depth=3, mma_pipeline_depth=2, num_consumer_groups=2)
+    tawa, _ = run_gemm(device, problem, tawa_opts)
+    triton, _ = run_gemm(device, problem, TRITON_BASELINE_OPTIONS)
+
+    print("\n== simulated H100 performance, GEMM 8192x8192x8192 FP16 ==")
+    print(f"  Tawa (warp specialized): {tawa.tflops:7.1f} TFLOP/s  "
+          f"(TC utilization {tawa.tensor_core_utilization * 100:.0f}%)")
+    print(f"  Triton (cp.async)      : {triton.tflops:7.1f} TFLOP/s")
+    print(f"  speedup                : {tawa.tflops / triton.tflops:.2f}x")
+
+
+if __name__ == "__main__":
+    run_functional_check()
+    run_performance_comparison()

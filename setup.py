@@ -1,0 +1,17 @@
+"""Setuptools shim so legacy `python setup.py develop` works offline.
+
+The canonical metadata lives in pyproject.toml; this file only exists because
+the execution environment has no network access and an old setuptools/wheel
+combination that cannot build editable wheels.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,64 @@
+"""Tawa reproduction: automatic warp specialization with asynchronous references.
+
+This package reproduces the system described in "Tawa: Automatic Warp
+Specialization for Modern GPUs with Asynchronous References" (CGO 2026) as a
+pure-Python library.  It contains:
+
+* ``repro.ir`` -- an MLIR-like IR with dialects, passes and rewriting.
+* ``repro.frontend`` -- a Triton-like tile language (``tl``) with an AST-based
+  kernel compiler.
+* ``repro.core`` -- the Tawa compiler: aref semantics, task-aware partitioning,
+  loop distribution, multi-granularity pipelining, aref lowering and the
+  further optimizations (cooperative warp groups, persistent kernels).
+* ``repro.gpusim`` -- a discrete-event NVIDIA H100 simulator that executes the
+  lowered IR functionally (NumPy) and in a performance mode (cycles).
+* ``repro.kernels`` / ``repro.baselines`` / ``repro.experiments`` -- the LLM
+  kernels, baseline models and figure-by-figure evaluation harnesses.
+
+The most convenient entry points are re-exported lazily here::
+
+    from repro import tl, kernel, compile_kernel, CompileOptions, Device
+"""
+
+from __future__ import annotations
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "tl",
+    "kernel",
+    "compile_kernel",
+    "CompileOptions",
+    "Device",
+    "H100Config",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Lazily resolve the public re-exports (keeps `import repro` lightweight)."""
+    if name == "tl":
+        from repro.frontend import tl
+
+        return tl
+    if name == "kernel":
+        from repro.frontend import kernel
+
+        return kernel
+    if name == "compile_kernel":
+        from repro.core.compiler import compile_kernel
+
+        return compile_kernel
+    if name == "CompileOptions":
+        from repro.core.options import CompileOptions
+
+        return CompileOptions
+    if name == "Device":
+        from repro.gpusim.device import Device
+
+        return Device
+    if name == "H100Config":
+        from repro.gpusim.config import H100Config
+
+        return H100Config
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,42 @@
+"""Baseline performance models used as reference points in the figures.
+
+The compiled Triton baseline (no warp specialization, cp.async software
+pipelining) lives in :mod:`repro.core.baseline` and is simulated like Tawa;
+this package contains the *analytic* models of the proprietary / hand-written
+libraries (cuBLAS, CUTLASS FlashAttention-3, TileLang, ThunderKittens) and the
+theoretical peak line.
+"""
+
+from repro.baselines.analytic import (
+    CUBLAS_GEMM,
+    FA3_ATTENTION,
+    THUNDERKITTENS_ATTENTION,
+    THUNDERKITTENS_GEMM,
+    TILELANG_ATTENTION,
+    TILELANG_BATCHED,
+    TILELANG_GEMM,
+    TILELANG_GROUPED,
+    AnalyticModel,
+    attention_bytes,
+    batched_gemm_bytes,
+    gemm_bytes,
+    grouped_gemm_bytes,
+    theoretical_peak_tflops,
+)
+
+__all__ = [
+    "AnalyticModel",
+    "CUBLAS_GEMM",
+    "TILELANG_GEMM",
+    "THUNDERKITTENS_GEMM",
+    "TILELANG_BATCHED",
+    "TILELANG_GROUPED",
+    "FA3_ATTENTION",
+    "TILELANG_ATTENTION",
+    "THUNDERKITTENS_ATTENTION",
+    "theoretical_peak_tflops",
+    "gemm_bytes",
+    "attention_bytes",
+    "batched_gemm_bytes",
+    "grouped_gemm_bytes",
+]

@@ -1,0 +1,133 @@
+"""Analytic models of the closed-source / hand-written comparison libraries.
+
+The paper compares Tawa against cuBLAS, CUTLASS FlashAttention-3, TileLang and
+ThunderKittens.  Those systems are proprietary or hand-written CUDA and cannot
+be executed in this environment, so they are modelled analytically (this
+substitution is documented in DESIGN.md).  Each model is a simple roofline
+
+    time = max(flops / (peak * compute_efficiency),
+               unique_bytes / (HBM_bw * memory_efficiency)) + overhead
+
+with per-framework efficiency and overhead constants calibrated against the
+qualitative behaviour reported in the paper's evaluation (section V):
+
+* cuBLAS is the strongest GEMM library; it wins slightly at small K (lower
+  launch/prologue overhead) and ties with Tawa at large K.
+* TileLang and ThunderKittens are tuned for large-K FP16 GEMM and weaker at
+  FP8 (up to ~1.6x slower at small K); ThunderKittens has no working FP8
+  attention or batched/grouped GEMM kernels.
+* FlashAttention-3 (CUTLASS) is the attention upper bound: Tawa reaches ~96%
+  of it in FP16 and ~89% in FP8.
+
+The *real* head-to-head of the reproduction -- Tawa vs. non-warp-specialized
+Triton -- does not use these models: both sides are compiled and simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gpusim.config import DEFAULT_CONFIG, H100Config
+from repro.kernels.attention import AttentionProblem
+from repro.kernels.batched_gemm import BatchedGemmProblem
+from repro.kernels.gemm import GemmProblem
+from repro.kernels.grouped_gemm import GroupedGemmProblem
+
+
+@dataclass(frozen=True)
+class AnalyticModel:
+    """Roofline parameters of one library for one workload family."""
+
+    name: str
+    #: sustained fraction of Tensor-Core peak on large, compute-bound problems
+    compute_efficiency_fp16: float
+    compute_efficiency_fp8: float
+    #: achieved fraction of HBM bandwidth on memory-bound problems
+    memory_efficiency: float = 0.85
+    #: fixed per-launch overhead (kernel launch, descriptor setup, prologue)
+    overhead_us: float = 8.0
+    #: set when the library has no working kernel for FP8 inputs
+    supports_fp8: bool = True
+
+    def efficiency(self, dtype: str) -> float:
+        if dtype.startswith("f8"):
+            return self.compute_efficiency_fp8
+        return self.compute_efficiency_fp16
+
+    def seconds(self, flops: float, bytes_moved: float, dtype: str,
+                config: H100Config = DEFAULT_CONFIG) -> Optional[float]:
+        if dtype.startswith("f8") and not self.supports_fp8:
+            return None
+        dtype_bits = 8 if dtype.startswith("f8") else 16
+        peak = config.peak_tflops(dtype_bits) * 1e12
+        compute = flops / (peak * self.efficiency(dtype))
+        memory = bytes_moved / (config.hbm_bandwidth_gbs * 1e9 * self.memory_efficiency)
+        return max(compute, memory) + self.overhead_us * 1e-6
+
+    def tflops(self, flops: float, bytes_moved: float, dtype: str,
+               config: H100Config = DEFAULT_CONFIG) -> Optional[float]:
+        seconds = self.seconds(flops, bytes_moved, dtype, config)
+        if seconds is None:
+            return None
+        return flops / seconds / 1e12
+
+
+# -- GEMM (Fig. 8) -------------------------------------------------------------
+
+CUBLAS_GEMM = AnalyticModel("cuBLAS", compute_efficiency_fp16=0.80,
+                            compute_efficiency_fp8=0.74, overhead_us=6.0)
+TILELANG_GEMM = AnalyticModel("TileLang", compute_efficiency_fp16=0.73,
+                              compute_efficiency_fp8=0.55, overhead_us=14.0)
+THUNDERKITTENS_GEMM = AnalyticModel("ThunderKittens", compute_efficiency_fp16=0.75,
+                                    compute_efficiency_fp8=0.54, overhead_us=16.0)
+
+# -- GEMM variants (Fig. 9) ------------------------------------------------------
+
+TILELANG_BATCHED = AnalyticModel("TileLang", compute_efficiency_fp16=0.52,
+                                 compute_efficiency_fp8=0.45, overhead_us=18.0)
+TILELANG_GROUPED = AnalyticModel("TileLang", compute_efficiency_fp16=0.62,
+                                 compute_efficiency_fp8=0.50, overhead_us=14.0)
+
+# -- Attention (Fig. 10) ----------------------------------------------------------
+
+FA3_ATTENTION = AnalyticModel("FA3 (CUTLASS)", compute_efficiency_fp16=0.72,
+                              compute_efficiency_fp8=0.58, overhead_us=10.0)
+TILELANG_ATTENTION = AnalyticModel("TileLang", compute_efficiency_fp16=0.62,
+                                   compute_efficiency_fp8=0.35, overhead_us=16.0)
+THUNDERKITTENS_ATTENTION = AnalyticModel("ThunderKittens", compute_efficiency_fp16=0.58,
+                                         compute_efficiency_fp8=0.0, overhead_us=16.0,
+                                         supports_fp8=False)
+
+
+def theoretical_peak_tflops(dtype: str, config: H100Config = DEFAULT_CONFIG) -> float:
+    """The dashed "Theoretical Peak" line of Fig. 8 / Fig. 10."""
+    return config.peak_tflops(8 if dtype.startswith("f8") else 16)
+
+
+# -- per-workload convenience wrappers ----------------------------------------------
+
+
+def gemm_bytes(problem: GemmProblem) -> float:
+    return problem.bytes_moved
+
+
+def attention_bytes(problem: AttentionProblem) -> float:
+    elem = 1 if problem.dtype.startswith("f8") else 2
+    qkv = 3 * problem.rows * problem.head_dim * elem
+    out = problem.rows * problem.head_dim * 2
+    return float(qkv + out)
+
+
+def batched_gemm_bytes(problem: BatchedGemmProblem) -> float:
+    elem = 1 if problem.dtype.startswith("f8") else 2
+    return float(problem.batch * ((problem.M + problem.N) * problem.K * elem
+                                  + problem.M * problem.N * 2))
+
+
+def grouped_gemm_bytes(problem: GroupedGemmProblem) -> float:
+    elem = 1 if problem.dtype.startswith("f8") else 2
+    total = 0.0
+    for m in problem.group_ms:
+        total += (m + problem.N) * problem.K * elem + m * problem.N * 2
+    return total

@@ -1,0 +1,42 @@
+"""The Tawa compiler: automatic warp specialization with asynchronous references.
+
+Modules:
+
+* :mod:`repro.core.aref` -- the formal operational semantics of aref (Fig. 4).
+* :mod:`repro.core.options` -- :class:`CompileOptions` (D, P, cooperative warp
+  groups, persistence, baseline knobs).
+* :mod:`repro.core.tagging` -- semantic tagging of iteration/tile statements.
+* :mod:`repro.core.partition` -- task-aware partitioning and loop distribution.
+* :mod:`repro.core.pipelining` -- fine-grained MMA and coarse-grained T/C/U
+  software pipelines (plus the generic loop rotation used by the baseline).
+* :mod:`repro.core.lowering` -- aref lowering to shared memory, mbarriers and
+  TMA copies.
+* :mod:`repro.core.baseline` -- the non-warp-specialized cp.async pipeline.
+* :mod:`repro.core.persistent` -- persistent (grid-stride) kernels.
+* :mod:`repro.core.resources` -- shared-memory / register budget validation.
+* :mod:`repro.core.compiler` -- the driver gluing it all together.
+"""
+
+from repro.core.aref import ArefRing, ArefSlot, ArefStateError
+from repro.core.compiler import CompiledKernel, build_pass_pipeline, compile_kernel
+from repro.core.options import (
+    NAIVE_OPTIONS,
+    TRITON_BASELINE_OPTIONS,
+    CompileError,
+    CompileOptions,
+)
+from repro.core.resources import ResourceEstimate
+
+__all__ = [
+    "ArefRing",
+    "ArefSlot",
+    "ArefStateError",
+    "CompiledKernel",
+    "CompileError",
+    "CompileOptions",
+    "ResourceEstimate",
+    "NAIVE_OPTIONS",
+    "TRITON_BASELINE_OPTIONS",
+    "build_pass_pipeline",
+    "compile_kernel",
+]

@@ -1,0 +1,164 @@
+"""Executable operational semantics of asynchronous references (paper Fig. 4).
+
+This module is the *formal model* of the aref abstraction, independent of the
+IR and of the simulator.  It exists for three reasons:
+
+1. It documents the protocol precisely (the paper's PUT/GET/CONSUMED rules).
+2. The property-based tests exercise it directly (any sequence of operations
+   either follows the protocol or raises :class:`ArefStateError`).
+3. The simulator's runtime channel (:class:`repro.gpusim.engine.ArefSlotRuntime`)
+   and the lowering's mbarrier encoding are both checked against it in the
+   differential tests.
+
+State space (per slot)::
+
+        put            get             consumed
+  EMPTY ----> FULL ----> BORROWED ----> EMPTY
+  (E=1,F=0)  (E=0,F=1)   (E=0,F=0)
+
+where ``E`` is the *empty* mbarrier credit and ``F`` the *full* mbarrier
+credit; exactly one of the three states holds at any time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class ArefStateError(Exception):
+    """An aref operation was applied in a state where it is not enabled."""
+
+
+@dataclass
+class ArefState(Generic[T]):
+    """The <buf, F, E> triple of the paper's operational semantics."""
+
+    buf: Optional[T] = None
+    full: bool = False
+    empty: bool = True
+
+    @property
+    def state_name(self) -> str:
+        if self.empty and not self.full:
+            return "EMPTY"
+        if self.full and not self.empty:
+            return "FULL"
+        if not self.full and not self.empty:
+            return "BORROWED"
+        return "INVALID"
+
+
+class ArefSlot(Generic[T]):
+    """One single-slot channel obeying the Fig. 4 transition rules."""
+
+    def __init__(self, name: str = "aref"):
+        self.name = name
+        self.state = ArefState[T]()
+        self.history: List[str] = []
+
+    # -- protocol operations ------------------------------------------------------
+
+    def put(self, value: T) -> None:
+        """Producer publication: requires E=1; afterwards F=1, E=0."""
+        if not self.state.empty:
+            raise ArefStateError(
+                f"{self.name}: put requires EMPTY, slot is {self.state.state_name}"
+            )
+        self.state = ArefState(buf=value, full=True, empty=False)
+        self.history.append("put")
+
+    def get(self) -> T:
+        """Consumer acquisition: requires F=1; afterwards F=0, E=0 (borrowed)."""
+        if not self.state.full:
+            raise ArefStateError(
+                f"{self.name}: get requires FULL, slot is {self.state.state_name}"
+            )
+        value = self.state.buf
+        self.state = ArefState(buf=value, full=False, empty=False)
+        self.history.append("get")
+        return value
+
+    def consumed(self) -> None:
+        """Consumer release: requires the borrowed state; afterwards E=1."""
+        if self.state.full or self.state.empty:
+            raise ArefStateError(
+                f"{self.name}: consumed requires BORROWED, slot is {self.state.state_name}"
+            )
+        self.state = ArefState(buf=self.state.buf, full=False, empty=True)
+        self.history.append("consumed")
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def can_put(self) -> bool:
+        return self.state.empty
+
+    @property
+    def can_get(self) -> bool:
+        return self.state.full
+
+    @property
+    def state_name(self) -> str:
+        return self.state.state_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<ArefSlot {self.name} {self.state_name}>"
+
+
+class ArefRing(Generic[T]):
+    """A depth-D ring of aref slots indexed by ``iteration mod D``.
+
+    This is the cyclic-buffer grouping described in section III-B: it lets the
+    producer run up to D iterations ahead of the consumer while every slot
+    still follows the single-slot protocol.
+    """
+
+    def __init__(self, depth: int, name: str = "aref"):
+        if depth < 1:
+            raise ValueError(f"aref ring depth must be >= 1, got {depth}")
+        self.depth = depth
+        self.name = name
+        self.slots: List[ArefSlot[T]] = [ArefSlot(f"{name}[{i}]") for i in range(depth)]
+
+    def slot(self, index: int) -> ArefSlot[T]:
+        return self.slots[index % self.depth]
+
+    def put(self, index: int, value: T) -> None:
+        self.slot(index).put(value)
+
+    def get(self, index: int) -> T:
+        return self.slot(index).get()
+
+    def consumed(self, index: int) -> None:
+        self.slot(index).consumed()
+
+    @property
+    def states(self) -> Tuple[str, ...]:
+        return tuple(s.state_name for s in self.slots)
+
+    def max_producer_lead(self) -> int:
+        """The number of puts that can complete before any get (== depth)."""
+        return self.depth
+
+
+def run_trace(slot: ArefSlot, operations: List[Tuple[str, Optional[object]]]) -> List[str]:
+    """Execute a sequence of (op, value) pairs against one slot.
+
+    Returns the state names after each operation.  Used by property tests to
+    check that exactly the protocol-conforming traces are accepted.
+    """
+    states = []
+    for op, value in operations:
+        if op == "put":
+            slot.put(value)
+        elif op == "get":
+            slot.get()
+        elif op == "consumed":
+            slot.consumed()
+        else:
+            raise ValueError(f"unknown aref operation {op!r}")
+        states.append(slot.state_name)
+    return states

@@ -1,0 +1,119 @@
+"""Non-warp-specialized baseline: Ampere-style cp.async software pipelining.
+
+This is the compilation path stock Triton uses on Hopper (per the paper's
+evaluation): no warp roles, the compute warps themselves issue asynchronous
+``cp.async`` copies into a small ring of staging buffers, and the main loop is
+software-pipelined so the copies of iteration ``k`` overlap the Tensor-Core
+work of iteration ``k-1``.  The "Triton" series of every figure is produced by
+this pass; disabling it (``software_pipelining=False``) yields the fully naive
+execution used as the ablation baseline of Fig. 12.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.options import CompileOptions
+from repro.core.pipelining import plan_rotation, rotate_loop
+from repro.ir import Builder, FuncOp, ModuleOp, Operation, Value
+from repro.ir.dialects import arith, gpu, scf, tt
+from repro.ir.passes import FunctionPass
+
+
+class BaselinePipeliningPass(FunctionPass):
+    """Software-pipeline the main loop with cp.async staging (no warp roles)."""
+
+    name = "baseline-cp-async-pipeline"
+
+    def __init__(self, options: CompileOptions):
+        self.options = options
+
+    def run_on_function(self, func: FuncOp, module: ModuleOp) -> None:
+        if not self.options.software_pipelining:
+            return
+        loops = _main_loops(func)
+        for loop in loops:
+            pipeline_with_cp_async(func, loop, self.options)
+
+
+def _main_loops(func: FuncOp) -> List[scf.ForOp]:
+    """Loops that directly contain both a TMA load and a dot."""
+    loops = []
+    for op in func.walk():
+        if isinstance(op, scf.ForOp):
+            names = [o.name for o in op.body.operations]
+            if "tt.tma_load" in names and "tt.dot" in names:
+                loops.append(op)
+    return loops
+
+
+def pipeline_with_cp_async(func: FuncOp, loop: scf.ForOp,
+                           options: CompileOptions) -> bool:
+    """Rewrite tt.tma_load into multi-buffered cp.async and rotate the loop."""
+    loads = [op for op in loop.body.operations if op.name == "tt.tma_load"]
+    if not loads:
+        return False
+    stages = options.num_stages
+    builder = Builder()
+
+    # Staging rings live at the top level of the function, before the loop's
+    # outermost enclosing op.
+    top_anchor: Operation = loop
+    while top_anchor.parent_op is not None and top_anchor.parent_op is not func:
+        top_anchor = top_anchor.parent_op
+
+    copy_ops: List[Operation] = []
+    read_by_load = {}
+    for i, load in enumerate(loads):
+        ty = load.results[0].type
+        builder.set_insertion_point_before(top_anchor)
+        ring = builder.create(
+            gpu.AllocSmemOp, (stages, *ty.shape), ty.element_type, name=f"stage_buf{i}"
+        ).result
+
+        builder.set_insertion_point_before(load)
+        view = builder.create(gpu.SmemSliceOp, ring, loop.induction_var).result
+        copy = builder.create(gpu.CpAsyncOp, load.desc, list(load.coords), view)
+        copy_ops.append(copy)
+        read = builder.create(gpu.SmemReadOp, view, ty.element_type)
+        read_by_load[load] = read
+        load.results[0].replace_all_uses_with(read.result)
+        load.erase()
+
+    # One wait before the first staged read: after rotation it sits in stage 1
+    # and guarantees that the *previous* iteration's copies have landed while
+    # the current iteration's copies are still in flight.
+    first_read = min(read_by_load.values(), key=lambda op: op.block_position())
+    builder.set_insertion_point_before(first_read)
+    builder.create(gpu.CpAsyncWaitOp, len(loads))
+
+    # Stock Triton also issues its WGMMAs asynchronously and drains them at the
+    # end of the iteration, so the dots do not serialize against each other.
+    dots = [op for op in loop.body.operations if op.name == "tt.dot"]
+    for dot in dots:
+        dot.set_attr("tawa.async", True)
+    if dots:
+        builder.set_insertion_point_before(loop.body.terminator)
+        builder.create(gpu.WgmmaWaitOp, 0)
+
+    plan = plan_rotation(loop, copy_ops)
+    if plan is None:
+        # Rotation not possible (unusual loop structure): keep the staged
+        # copies but wait for all of them each iteration.
+        builder.set_insertion_point_before(first_read)
+        builder.create(gpu.CpAsyncWaitOp, 0)
+        loop.set_attr("tawa.pipeline", "cp_async_unrotated")
+        return False
+
+    new_loop = rotate_loop(loop, plan, mark_dots_async=False, stage1_wgmma_pendings=None)
+    new_loop.set_attr("tawa.pipeline", "cp_async")
+    new_loop.set_attr("tawa.num_stages", stages)
+
+    # The drain copy of stage 1 runs after the loop, when no further copies
+    # will be issued: it must wait for *all* outstanding cp.async groups, not
+    # just leave the steady-state allowance in flight.
+    block = new_loop.parent
+    for op in block.operations[block.operations.index(new_loop) + 1:]:
+        if isinstance(op, gpu.CpAsyncWaitOp):
+            op.set_attr("pendings", 0)
+    return True

@@ -1,0 +1,149 @@
+"""The Tawa compilation driver.
+
+``compile_kernel`` takes an annotation-free tile-language kernel, a binding of
+argument types and constexpr values, and a :class:`CompileOptions`, and runs
+the full pass pipeline described in the paper (and in DESIGN.md):
+
+    frontend IR -> canonicalize
+                -> [persistent kernel]                     (IV-B)
+                -> semantic tagging                        (III-C1)
+                -> task-aware partitioning + aref insertion (III-C2)
+                -> fine / coarse grained pipelining        (III-D)
+                -> aref lowering to mbarriers + TMA        (III-E)
+                -> canonicalize / DCE
+                -> resource estimation & validation
+
+or, with warp specialization disabled, the stock-Triton baseline path
+(cp.async software pipelining).  The result is a :class:`CompiledKernel` that
+the simulator (:class:`repro.gpusim.Device`) can launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.baseline import BaselinePipeliningPass
+from repro.core.lowering import ArefLoweringPass
+from repro.core.options import CompileError, CompileOptions
+from repro.core.partition import WarpSpecializePass
+from repro.core.persistent import PersistentKernelPass
+from repro.core.pipelining import CoarseGrainedPipelinePass, FineGrainedPipelinePass
+from repro.core.resources import ResourceEstimate, ResourceValidationPass
+from repro.core.tagging import TagSemanticsPass
+from repro.frontend.kernel import Kernel
+from repro.gpusim.config import DEFAULT_CONFIG, H100Config
+from repro.ir import FuncOp, ModuleOp, PassManager, print_op
+from repro.ir.canonicalize import CanonicalizePass, DeadCodeEliminationPass
+from repro.ir.types import Type
+
+
+@dataclass
+class CompiledKernel:
+    """A kernel lowered and ready for simulation."""
+
+    kernel: Kernel
+    module: ModuleOp
+    func: FuncOp
+    arg_names: List[str]
+    constexprs: Dict[str, Any]
+    options: CompileOptions
+    metadata: ResourceEstimate
+    pass_dumps: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    def ir(self) -> str:
+        """The final IR as text (what PTX emission would consume)."""
+        return print_op(self.module)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        ws = "warp-specialized" if self.metadata.warp_specialized else "baseline"
+        return f"<CompiledKernel {self.name} ({ws})>"
+
+
+def build_pass_pipeline(options: CompileOptions,
+                        config: Optional[H100Config] = None) -> PassManager:
+    """The pass pipeline for a given set of options (exposed for tests)."""
+    config = config or DEFAULT_CONFIG
+    pm = PassManager()
+    pm.add(CanonicalizePass())
+    if options.enable_warp_specialization:
+        if options.lower_to != "tt":
+            pm.add(PersistentKernelPass(options))
+            pm.add(TagSemanticsPass())
+            pm.add(WarpSpecializePass(options))
+            if options.lower_to == "gpu":
+                pm.add(FineGrainedPipelinePass(options))
+                pm.add(CoarseGrainedPipelinePass(options))
+                pm.add(ArefLoweringPass(options))
+                pm.add(CanonicalizePass())
+    else:
+        if options.lower_to != "tt":
+            pm.add(PersistentKernelPass(options))
+            pm.add(BaselinePipeliningPass(options))
+            pm.add(DeadCodeEliminationPass())
+    pm.add(ResourceValidationPass(options, config))
+    return pm
+
+
+def compile_kernel(
+    kern: Kernel,
+    arg_types: Union[Mapping[str, Type], Sequence[Type]],
+    constexprs: Optional[Mapping[str, Any]] = None,
+    options: Optional[CompileOptions] = None,
+    config: Optional[H100Config] = None,
+    dump_ir: bool = False,
+) -> CompiledKernel:
+    """Compile a tile-language kernel down to simulator-executable IR.
+
+    Args:
+        kern: a function decorated with :func:`repro.frontend.kernel`.
+        arg_types: IR types of the runtime arguments (mapping by name, or a
+            sequence in declaration order).
+        constexprs: values for the ``tl.constexpr`` parameters.
+        options: Tawa compilation options (defaults to warp specialization on).
+        config: hardware configuration used for resource validation.
+        dump_ir: record the IR after every pass in ``CompiledKernel.pass_dumps``.
+    """
+    if not isinstance(kern, Kernel):
+        raise CompileError(
+            f"compile_kernel expects an @kernel-decorated function, got {type(kern).__name__}"
+        )
+    options = options or CompileOptions()
+    config = config or DEFAULT_CONFIG
+    constexprs = dict(constexprs or {})
+
+    spec = kern.specialize(arg_types, constexprs, num_warps=options.num_warps)
+    module = kern.build_module(spec)
+
+    dumps: Dict[str, str] = {}
+    pm = build_pass_pipeline(options, config)
+    if dump_ir:
+        pm.dump_each = lambda name, text: dumps.__setitem__(name, text)
+    try:
+        pm.run(module)
+    except Exception as exc:
+        # Surface user-facing configuration errors (infeasible D/P, register or
+        # shared-memory budget) directly rather than wrapped in PassError.
+        cause = exc.__cause__
+        if isinstance(cause, CompileError):
+            raise cause from exc
+        raise
+
+    func = module.get_function(kern.name)
+    validation = next(p for p in pm.passes if isinstance(p, ResourceValidationPass))
+    metadata = validation.estimates[func.sym_name]
+
+    return CompiledKernel(
+        kernel=kern,
+        module=module,
+        func=func,
+        arg_names=list(kern.runtime_param_names),
+        constexprs=constexprs,
+        options=options,
+        metadata=metadata,
+        pass_dumps=dumps,
+    )

@@ -1,0 +1,85 @@
+"""Helpers for linearized iteration indices.
+
+Aref slot indices and mbarrier generations must increase monotonically over
+the *whole* execution of a warp group, including across the outer tile loop of
+persistent kernels.  These helpers build the IR that computes
+
+    linear = ((iv_0 - lb_0)/step_0) * trips_1 * ... + ((iv_1 - lb_1)/step_1) * ... + ...
+
+for a stack of enclosing ``scf.for`` loops (outermost first).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir import Builder, Operation, Value
+from repro.ir.dialects import arith, scf
+from repro.ir.operation import Block
+
+
+def enclosing_loops(block: Block, stop_at: Optional[Operation] = None) -> List[scf.ForOp]:
+    """The ``scf.for`` ops enclosing ``block``, outermost first.
+
+    Walks up the region tree and stops (exclusive) at ``stop_at`` (typically
+    the ``tawa.warp_group`` op or the function).
+    """
+    loops: List[scf.ForOp] = []
+    op = block.parent_op
+    while op is not None and op is not stop_at:
+        if isinstance(op, scf.ForOp):
+            loops.append(op)
+        op = op.parent_op
+    loops.reverse()
+    return loops
+
+
+def normalized_iv(builder: Builder, loop: scf.ForOp) -> Value:
+    """The zero-based iteration number of a loop: (iv - lb) / step."""
+    lb = arith.constant_value(loop.lower_bound)
+    step = arith.constant_value(loop.step)
+    iv = loop.induction_var
+    if lb == 0 and step == 1:
+        return iv
+    delta = builder.create(arith.SubIOp, iv, loop.lower_bound).result
+    if step == 1:
+        return delta
+    return builder.create(arith.DivSIOp, delta, loop.step).result
+
+
+def trip_count(builder: Builder, loop: scf.ForOp) -> Value:
+    """ceil((ub - lb) / step) as an IR value."""
+    lb_c = arith.constant_value(loop.lower_bound)
+    step_c = arith.constant_value(loop.step)
+    if lb_c == 0 and step_c == 1:
+        return loop.upper_bound
+    span = builder.create(arith.SubIOp, loop.upper_bound, loop.lower_bound).result
+    num = builder.create(arith.AddIOp, span, loop.step).result
+    one = arith.c_i32(builder, 1)
+    num = builder.create(arith.SubIOp, num, one).result
+    return builder.create(arith.DivSIOp, num, loop.step).result
+
+
+def linear_index_for_loops(builder: Builder, loops: List[scf.ForOp],
+                           innermost_override: Optional[Value] = None) -> Value:
+    """The linearized iteration index for a stack of loops (outermost first).
+
+    ``innermost_override`` replaces the innermost loop's normalized induction
+    variable (used by pipeline epilogues that need the index of the *last*
+    iteration after the loop has finished).
+    """
+    if not loops:
+        return arith.c_i32(builder, 0)
+    linear: Optional[Value] = None
+    for i, loop in enumerate(loops):
+        if i == len(loops) - 1 and innermost_override is not None:
+            norm = innermost_override
+        else:
+            norm = normalized_iv(builder, loop)
+        trips = trip_count(builder, loop)
+        if linear is None:
+            linear = norm
+        else:
+            scaled = builder.create(arith.MulIOp, linear, trips).result
+            linear = builder.create(arith.AddIOp, scaled, norm).result
+    return linear

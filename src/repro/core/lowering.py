@@ -1,0 +1,302 @@
+"""Aref lowering (paper section III-E).
+
+This pass rewrites the mid-level ``tawa`` dialect into the executable ``gpu``
+dialect:
+
+* ``tawa.create_aref`` becomes, per payload element, a ring of D shared-memory
+  staging buffers plus two arrays of D mbarriers (*empty*: released by the
+  consumer, arrival count = number of cooperative consumer warp groups;
+  *full*: completed by TMA transaction bytes).
+* ``tawa.put`` becomes ``wait(empty[slot], gen)`` + ``expect_tx(full[slot],
+  bytes)`` followed by one ``gpu.tma_async_load`` per payload tensor; the
+  producer's ``tt.tma_load`` ops disappear.
+* ``tawa.get`` becomes ``wait(full[slot], gen+1)``; its results are replaced
+  by the shared-memory slot views, which the consumer's dots read directly
+  (the ``LocalAlloc`` elimination the paper describes).
+* ``tawa.consumed`` becomes ``arrive(empty[slot])``.
+* consumer ``tt.dot`` ops become asynchronous ``gpu.wgmma`` issues (with a
+  draining ``gpu.wgmma_wait(0)`` when the dot was not made asynchronous by a
+  pipelining pass).
+
+Slot indices and generations are derived from the linearized iteration index
+attached to each ``tawa.aref_slot``: ``slot = index mod D`` and
+``generation = index div D`` (the paper's parity bit generalized to a
+monotonically increasing counter; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.options import CompileError, CompileOptions
+from repro.core.pipelining import ASYNC_ATTR
+from repro.ir import Builder, FuncOp, ModuleOp, Operation, Value
+from repro.ir.canonicalize import eliminate_dead_code
+from repro.ir.dialects import arith, gpu, scf, tawa, tt
+from repro.ir.passes import FunctionPass
+from repro.ir.types import TensorType
+
+
+@dataclass
+class _ArefRecord:
+    """Lowered resources of one aref ring."""
+
+    depth: int
+    payload_types: List[TensorType]
+    smem_buffers: List[Value] = field(default_factory=list)
+    empty_barriers: Optional[Value] = None
+    full_barriers: Optional[Value] = None
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(t.num_bytes for t in self.payload_types)
+
+
+@dataclass
+class _SlotInfo:
+    """Slot/generation values derived from one tawa.aref_slot."""
+
+    record: _ArefRecord
+    slot: Value
+    generation: Value
+
+
+class ArefLoweringPass(FunctionPass):
+    """Lower tawa aref operations to shared memory, mbarriers and TMA."""
+
+    name = "aref-lowering"
+
+    def __init__(self, options: CompileOptions):
+        self.options = options
+
+    def run_on_function(self, func: FuncOp, module: ModuleOp) -> None:
+        if not func.get_attr("tawa.warp_specialized", False):
+            return
+        lower_arefs(func, self.options)
+
+
+def lower_arefs(func: FuncOp, options: CompileOptions) -> None:
+    builder = Builder()
+    consumer_replicas = _consumer_replicas(func)
+
+    records = _lower_create_arefs(func, builder, consumer_replicas)
+    slots = _lower_slot_ops(func, builder, records)
+    _lower_puts(func, builder, slots)
+    _lower_gets_and_dots(func, builder, slots)
+    _lower_consumed(func, builder, slots)
+    _cleanup(func, records, slots)
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: channels -> staging buffers + barrier arrays
+# ---------------------------------------------------------------------------
+
+
+def _consumer_replicas(func: FuncOp) -> int:
+    for op in func.body.operations:
+        if isinstance(op, tawa.WarpGroupOp) and op.is_consumer:
+            return max(1, op.replicas)
+    return 1
+
+
+def _lower_create_arefs(func: FuncOp, builder: Builder,
+                        consumer_replicas: int) -> Dict[Value, _ArefRecord]:
+    records: Dict[Value, _ArefRecord] = {}
+    for op in list(func.body.operations):
+        if not isinstance(op, tawa.CreateArefOp):
+            continue
+        name = op.get_attr("aref_name", f"aref{op.results[0].id}")
+        record = _ArefRecord(depth=op.depth, payload_types=list(op.payload_types))
+        builder.set_insertion_point_before(op)
+        for i, ty in enumerate(record.payload_types):
+            if not isinstance(ty, TensorType):
+                raise CompileError(f"aref payload #{i} is not a tensor: {ty}")
+            buf = builder.create(
+                gpu.AllocSmemOp, (record.depth, *ty.shape), ty.element_type,
+                name=f"{name}_buf{i}"
+            ).result
+            record.smem_buffers.append(buf)
+        record.empty_barriers = builder.create(
+            gpu.MBarrierAllocOp, consumer_replicas, record.depth, name=f"{name}_empty"
+        ).results[0]
+        record.full_barriers = builder.create(
+            gpu.MBarrierAllocOp, 0, record.depth, name=f"{name}_full"
+        ).results[0]
+        records[op.results[0]] = record
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: slot selection -> slot / generation arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _lower_slot_ops(func: FuncOp, builder: Builder,
+                    records: Dict[Value, _ArefRecord]) -> Dict[Value, _SlotInfo]:
+    slots: Dict[Value, _SlotInfo] = {}
+    for op in list(func.walk()):
+        if not isinstance(op, tawa.ArefSlotOp):
+            continue
+        record = records.get(op.aref)
+        if record is None:
+            raise CompileError("tawa.aref_slot refers to an unknown aref")
+        builder.set_insertion_point_after(op)
+        depth_c = arith.c_i32(builder, record.depth)
+        slot = builder.create(arith.RemSIOp, op.index, depth_c).result
+        generation = builder.create(arith.DivSIOp, op.index, depth_c).result
+        slots[op.results[0]] = _SlotInfo(record, slot, generation)
+    return slots
+
+
+# ---------------------------------------------------------------------------
+# Phase 3: producer puts -> wait(empty) + expect_tx + TMA copies
+# ---------------------------------------------------------------------------
+
+
+def _lower_puts(func: FuncOp, builder: Builder, slots: Dict[Value, _SlotInfo]) -> None:
+    for op in list(func.walk()):
+        if not isinstance(op, tawa.PutOp):
+            continue
+        info = slots[op.slot]
+        record = info.record
+        loads = []
+        for value in op.values:
+            load = value.defining_op
+            if load is None or load.name != "tt.tma_load":
+                raise CompileError(
+                    "tawa.put payloads must be produced by tt.tma_load in the producer "
+                    f"warp group; found {getattr(load, 'name', 'a block argument')}"
+                )
+            loads.append(load)
+
+        first_load = min(loads, key=lambda l: l.block_position())
+        builder.set_insertion_point_before(first_load)
+        builder.create(gpu.MBarrierWaitOp, record.empty_barriers, info.slot, info.generation)
+        builder.create(gpu.MBarrierExpectTxOp, record.full_barriers, info.slot,
+                       record.payload_bytes)
+
+        for i, load in enumerate(loads):
+            builder.set_insertion_point_before(load)
+            buf_slice = builder.create(gpu.SmemSliceOp, record.smem_buffers[i], info.slot).result
+            builder.create(
+                gpu.TmaAsyncLoadOp, load.desc, list(load.coords), buf_slice,
+                record.full_barriers, info.slot
+            )
+        op.erase()
+        for load in loads:
+            if not any(res.has_uses for res in load.results):
+                load.erase()
+
+
+# ---------------------------------------------------------------------------
+# Phase 4: consumer gets -> wait(full); dots -> wgmma on SMEM slots
+# ---------------------------------------------------------------------------
+
+
+def _lower_gets_and_dots(func: FuncOp, builder: Builder,
+                         slots: Dict[Value, _SlotInfo]) -> None:
+    #: get result -> shared-memory slot view
+    slice_of: Dict[Value, Value] = {}
+    get_ops: List[Operation] = []
+
+    for op in list(func.walk()):
+        if not isinstance(op, tawa.GetOp):
+            continue
+        get_ops.append(op)
+        info = slots[op.slot]
+        record = info.record
+        builder.set_insertion_point_before(op)
+        one = arith.c_i32(builder, 1)
+        gen_plus_1 = builder.create(arith.AddIOp, info.generation, one).result
+        builder.create(gpu.MBarrierWaitOp, record.full_barriers, info.slot, gen_plus_1)
+        for i, res in enumerate(op.results):
+            buf_slice = builder.create(gpu.SmemSliceOp, record.smem_buffers[i], info.slot).result
+            slice_of[res] = buf_slice
+
+    _convert_consumer_dots(func, builder, slice_of)
+
+    # Any remaining (non-dot) use of a get result reads the staging buffer
+    # into registers explicitly.
+    for op in get_ops:
+        for res in op.results:
+            if res.has_uses:
+                buf_slice = slice_of[res]
+                builder.set_insertion_point_after(buf_slice.defining_op)
+                tensor = builder.create(gpu.SmemReadOp, buf_slice,
+                                        res.type.element_type).result
+                res.replace_all_uses_with(tensor)
+        op.erase()
+
+
+def _convert_consumer_dots(func: FuncOp, builder: Builder,
+                           slice_of: Dict[Value, Value]) -> None:
+    for op in list(func.walk()):
+        if op.name != "tt.dot" or op.parent is None:
+            continue
+        a, a_trans = _resolve_dot_operand(op.a, slice_of)
+        b, b_trans = _resolve_dot_operand(op.b, slice_of)
+        if a_trans:
+            raise CompileError(
+                "transposed A operands are not supported by the WGMMA lowering; "
+                "transpose the B operand instead"
+            )
+        builder.set_insertion_point_before(op)
+        acc = op.acc
+        if acc is None:
+            ty = op.result.type
+            acc = builder.create(tt.FullOp, ty.shape, 0.0, ty.element_type).result
+        wgmma = builder.create(gpu.WgmmaOp, a, b, acc, b_trans)
+        op.result.replace_all_uses_with(wgmma.result)
+        is_async = bool(op.get_attr(ASYNC_ATTR, False))
+        if not is_async:
+            builder.set_insertion_point_after(wgmma)
+            builder.create(gpu.WgmmaWaitOp, 0)
+        op.erase()
+
+
+def _resolve_dot_operand(value: Value, slice_of: Dict[Value, Value]) -> Tuple[Value, bool]:
+    """Map a dot operand to an SMEM slot view when it comes from an aref get.
+
+    Returns ``(operand, transposed)``; looking through a single ``tt.trans``
+    sets the transposed flag (handled by the WGMMA descriptor on hardware).
+    """
+    if value in slice_of:
+        return slice_of[value], False
+    producer = value.defining_op
+    if producer is not None and producer.name == "tt.trans":
+        inner = producer.operands[0]
+        if inner in slice_of:
+            return slice_of[inner], True
+    return value, False
+
+
+# ---------------------------------------------------------------------------
+# Phase 5: consumed -> arrive(empty); cleanup
+# ---------------------------------------------------------------------------
+
+
+def _lower_consumed(func: FuncOp, builder: Builder, slots: Dict[Value, _SlotInfo]) -> None:
+    for op in list(func.walk()):
+        if not isinstance(op, tawa.ConsumedOp):
+            continue
+        info = slots[op.slot]
+        builder.set_insertion_point_before(op)
+        builder.create(gpu.MBarrierArriveOp, info.record.empty_barriers, info.slot)
+        op.erase()
+
+
+def _cleanup(func: FuncOp, records: Dict[Value, _ArefRecord],
+             slots: Dict[Value, _SlotInfo]) -> None:
+    # Drop now-dead view ops (tt.trans of former get results, etc.).
+    eliminate_dead_code(func)
+    for op in list(func.walk()):
+        if isinstance(op, tawa.ArefSlotOp) and not any(r.has_uses for r in op.results):
+            op.erase()
+    eliminate_dead_code(func)
+    for op in list(func.body.operations):
+        if isinstance(op, tawa.CreateArefOp):
+            if any(r.has_uses for r in op.results):
+                raise CompileError("aref value still used after lowering")
+            op.erase()
+    func.set_attr("tawa.lowered", True)

@@ -1,0 +1,96 @@
+"""Compilation options for the Tawa pipeline.
+
+These correspond to the knobs studied in the paper:
+
+* ``enable_warp_specialization`` -- the headline switch (paper: a single flag
+  on unmodified Triton kernels).
+* ``aref_depth`` (D) and ``mma_pipeline_depth`` (P) -- the hyper-parameters of
+  Fig. 11; the feasible region is D >= P.
+* ``num_consumer_groups`` -- cooperative compute warp groups (section IV-A).
+* ``persistent`` -- persistent kernels (section IV-B).
+* ``software_pipelining`` / ``num_stages`` -- the non-warp-specialized Triton
+  baseline's Ampere-style cp.async pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+class CompileError(Exception):
+    """Raised when a kernel cannot be compiled with the requested options."""
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Options controlling the Tawa compilation pipeline."""
+
+    #: Apply automatic warp specialization (the Tawa path).
+    enable_warp_specialization: bool = True
+    #: D -- number of aref slots (staging buffers) per communication channel.
+    aref_depth: int = 2
+    #: P -- how many WGMMA issue groups may be in flight (fine-grained pipeline).
+    mma_pipeline_depth: int = 2
+    #: Number of cooperative compute warp groups sharing one output tile.
+    num_consumer_groups: int = 1
+    #: Keep CTAs resident and iterate over output tiles inside the kernel.
+    persistent: bool = False
+    #: Apply the coarse-grained (T/C/U) pipeline to attention-like loops.
+    coarse_grained_pipelining: bool = True
+    #: Apply the fine-grained MMA pipeline to GEMM-like loops.
+    fine_grained_pipelining: bool = True
+    #: Baseline path only: software-pipeline the main loop with cp.async.
+    software_pipelining: bool = True
+    #: Baseline path only: number of cp.async staging buffers.
+    num_stages: int = 2
+    #: Warps per CTA recorded in the module (producer WG + consumer WG(s)).
+    num_warps: int = 8
+    #: Stop lowering at "tt" (frontend), "tawa" (mid-level) or "gpu" (default).
+    lower_to: str = "gpu"
+    #: Check shared-memory and register budgets (disable only in tests).
+    validate_resources: bool = True
+
+    def __post_init__(self):
+        if self.aref_depth < 1:
+            raise CompileError(f"aref_depth must be >= 1, got {self.aref_depth}")
+        if self.mma_pipeline_depth < 1:
+            raise CompileError(
+                f"mma_pipeline_depth must be >= 1, got {self.mma_pipeline_depth}"
+            )
+        if self.num_consumer_groups < 1:
+            raise CompileError(
+                f"num_consumer_groups must be >= 1, got {self.num_consumer_groups}"
+            )
+        if self.num_stages < 2:
+            raise CompileError(f"num_stages must be >= 2, got {self.num_stages}")
+        if self.lower_to not in ("tt", "tawa", "gpu"):
+            raise CompileError(f"lower_to must be one of tt/tawa/gpu, got {self.lower_to!r}")
+        if self.enable_warp_specialization and self.mma_pipeline_depth > self.aref_depth:
+            raise CompileError(
+                f"infeasible pipeline configuration: MMA depth P={self.mma_pipeline_depth} "
+                f"exceeds aref depth D={self.aref_depth} (liveness requires D >= P, "
+                f"see the feasible region of Fig. 11)"
+            )
+
+    def cache_key(self) -> tuple:
+        return tuple(getattr(self, f.name) for f in fields(self))
+
+    def evolve(self, **kwargs) -> "CompileOptions":
+        """A copy of the options with some fields replaced."""
+        values = {f.name: getattr(self, f.name) for f in fields(self)}
+        values.update(kwargs)
+        return CompileOptions(**values)
+
+
+#: The configuration stock Triton uses on Hopper (no warp specialization,
+#: Ampere-style cp.async software pipelining).
+TRITON_BASELINE_OPTIONS = CompileOptions(
+    enable_warp_specialization=False,
+    software_pipelining=True,
+)
+
+#: The fully naive configuration used as the ablation starting point.
+NAIVE_OPTIONS = CompileOptions(
+    enable_warp_specialization=False,
+    software_pipelining=False,
+)

@@ -1,0 +1,387 @@
+"""Task-aware partitioning and loop distribution (paper section III-C).
+
+The :class:`WarpSpecializePass` splits a tile-level kernel into a *producer*
+warp group (TMA loads plus the iteration statements that compute their
+coordinates) and a *consumer* warp group (Tensor-Core computation, epilogue
+and stores), connected by aref channels:
+
+1. **Partition construction** -- starting from the side-effecting sinks, the
+   pass computes a dependency-closed set of operations for each role.  TMA
+   loads anchor the producer; dots/stores anchor the consumer.  Values needed
+   by both (e.g. tile offsets used by a load *and* by the epilogue pointer
+   arithmetic) are *duplicated* so neither partition depends on the other
+   except through arefs.
+2. **Channel creation** -- each cross-partition edge (a TMA-load result used
+   by the consumer) becomes an aref; loads feeding the same dot in the same
+   block share one aref carrying a tuple payload.  Channels inside the main
+   loop get a ring of ``aref_depth`` slots; prologue loads (e.g. the Q tile of
+   attention) get a single slot.
+3. **Loop distribution** -- the loop nest is cloned into each warp group with
+   only that partition's operations and loop-carried values; ``tawa.put`` is
+   inserted after the loads, ``tawa.get`` / ``tawa.consumed`` around the uses.
+   Slot indices are the *linearized* iteration count of the enclosing loop
+   nest so that ring slots and barrier generations stay monotonic even inside
+   persistent kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.options import CompileError, CompileOptions
+from repro.core.tagging import is_tile_anchor, is_tma_load
+from repro.ir import Builder, FuncOp, IRMapping, ModuleOp, Operation, Value
+from repro.ir.dialects import arith, scf, tawa, tt
+from repro.ir.operation import Block, BlockArgument, OpResult
+from repro.ir.passes import FunctionPass, PassError
+from repro.ir.traversal import external_operands
+from repro.ir.types import i32
+
+
+#: pure "view" ops through which we look to find the dot consuming a load
+_VIEW_OPS = ("tt.trans", "tt.expand_dims", "tt.broadcast", "tt.reshape", "arith.cast")
+
+
+@dataclass
+class ChannelGroup:
+    """One aref channel: the loads it carries and where they live."""
+
+    loads: List[Operation]
+    block: Block
+    consumer_anchor: Optional[Operation]
+    depth: int = 1
+    aref_value: Optional[Value] = None
+
+    @property
+    def payload_types(self):
+        return [load.results[0].type for load in self.loads]
+
+
+@dataclass
+class PartitionInfo:
+    """The result of partition construction for one role."""
+
+    kept_ops: Set[Operation] = field(default_factory=set)
+    needed_values: Set[Value] = field(default_factory=set)
+    channel_values: Set[Value] = field(default_factory=set)
+
+
+class WarpSpecializePass(FunctionPass):
+    """Automatic warp specialization: partition + aref insertion + loop distribution."""
+
+    name = "warp-specialize"
+
+    def __init__(self, options: CompileOptions):
+        self.options = options
+
+    def run_on_function(self, func: FuncOp, module: ModuleOp) -> None:
+        specialize_function(func, self.options)
+
+
+def specialize_function(func: FuncOp, options: CompileOptions) -> bool:
+    """Apply warp specialization to one kernel.  Returns False if not applicable."""
+    loads = [op for op in func.walk() if is_tma_load(op)]
+    anchors = [op for op in func.walk() if is_tile_anchor(op)]
+    if not loads or not any(op.name == "tt.dot" for op in anchors):
+        func.set_attr("tawa.warp_specialized", False)
+        return False
+
+    groups = _build_channel_groups(func, loads, options)
+    producer = _build_partition(func, role="producer", loads=loads)
+    consumer = _build_partition(func, role="consumer", loads=loads)
+
+    original_ops = [op for op in func.body.operations if op.name != "func.return"]
+    return_op = func.body.terminator
+
+    builder = Builder()
+    builder.set_insertion_point_before(return_op)
+
+    # Channels are created at the top level, before both warp groups.
+    for i, group in enumerate(groups):
+        aref_op = builder.create(
+            tawa.CreateArefOp, group.payload_types, group.depth, name=f"aref{i}"
+        )
+        group.aref_value = aref_op.result
+
+    producer_wg = builder.create(tawa.WarpGroupOp, 0, tawa.PRODUCER_ROLE, 4, 1)
+    consumer_wg = builder.create(
+        tawa.WarpGroupOp, 1, tawa.CONSUMER_ROLE, 4, options.num_consumer_groups
+    )
+
+    _clone_partition(func, producer_wg.body, producer, groups, side="producer")
+    _clone_partition(func, consumer_wg.body, consumer, groups, side="consumer")
+
+    # Remove the original (now fully duplicated) body.
+    for op in reversed(original_ops):
+        op.drop_ref()
+
+    func.set_attr("tawa.warp_specialized", True)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Channel grouping
+# ---------------------------------------------------------------------------
+
+
+def _consuming_anchor(load: Operation) -> Optional[Operation]:
+    """The tile anchor (usually a dot) that consumes this load, looking through views."""
+    seen = set()
+    frontier = [load]
+    while frontier:
+        op = frontier.pop()
+        if op in seen:
+            continue
+        seen.add(op)
+        for res in op.results:
+            for user in res.users:
+                if is_tile_anchor(user):
+                    return user
+                if user.name in _VIEW_OPS:
+                    frontier.append(user)
+    return None
+
+
+def _is_inside_loop(block: Block, func: FuncOp) -> bool:
+    op = block.parent_op
+    while op is not None and op is not func:
+        if isinstance(op, scf.ForOp):
+            return True
+        op = op.parent_op
+    return False
+
+
+def _build_channel_groups(func: FuncOp, loads: Sequence[Operation],
+                          options: CompileOptions) -> List[ChannelGroup]:
+    groups: List[ChannelGroup] = []
+    by_key: Dict[Tuple[int, int], ChannelGroup] = {}
+    for load in loads:
+        anchor = _consuming_anchor(load)
+        key = (id(load.parent), id(anchor) if anchor is not None else id(load))
+        if key in by_key:
+            by_key[key].loads.append(load)
+        else:
+            group = ChannelGroup(loads=[load], block=load.parent, consumer_anchor=anchor)
+            by_key[key] = group
+            groups.append(group)
+    for group in groups:
+        group.depth = options.aref_depth if _is_inside_loop(group.block, func) else 1
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Partition construction (dependency closure)
+# ---------------------------------------------------------------------------
+
+
+def _side_effecting_sinks(func: FuncOp) -> List[Operation]:
+    sinks = []
+    for op in func.walk():
+        if op is func or op.regions or op.name in ("func.return", "scf.yield"):
+            continue
+        if op.name in ("tt.store", "tt.tma_store"):
+            sinks.append(op)
+    return sinks
+
+
+def _build_partition(func: FuncOp, role: str, loads: Sequence[Operation]) -> PartitionInfo:
+    info = PartitionInfo()
+    load_set = set(loads)
+
+    def require(value: Value) -> None:
+        if value in info.needed_values:
+            return
+        info.needed_values.add(value)
+        if isinstance(value, OpResult):
+            op = value.op
+            if role == "consumer" and op in load_set:
+                # Cross-partition edge: satisfied by an aref get, not by cloning.
+                info.channel_values.add(value)
+                return
+            keep(op)
+            if isinstance(op, scf.ForOp):
+                for bound in (op.lower_bound, op.upper_bound, op.step):
+                    require(bound)
+                idx = value.index
+                require(op.yield_op.operands[idx])
+                require(op.init_args[idx])
+            elif isinstance(op, scf.IfOp):
+                require(op.condition)
+                for region in op.regions:
+                    if region.blocks and region.block.terminator is not None:
+                        term = region.block.terminator
+                        if value.index < len(term.operands):
+                            require(term.operands[value.index])
+            else:
+                for operand in op.operands:
+                    require(operand)
+        elif isinstance(value, BlockArgument):
+            owner = value.block.parent_op
+            if isinstance(owner, scf.ForOp):
+                keep(owner)
+                for bound in (owner.lower_bound, owner.upper_bound, owner.step):
+                    require(bound)
+                if value.index > 0:  # not the induction variable
+                    idx = value.index - 1
+                    require(owner.init_args[idx])
+                    require(owner.yield_op.operands[idx])
+            # Function arguments need nothing.
+
+    def keep(op: Operation) -> None:
+        if op in info.kept_ops:
+            return
+        info.kept_ops.add(op)
+        # Structural enclosers must be kept with their control operands.
+        parent = op.parent_op
+        while parent is not None and not isinstance(parent, FuncOp):
+            if parent not in info.kept_ops:
+                info.kept_ops.add(parent)
+                if isinstance(parent, scf.ForOp):
+                    for bound in (parent.lower_bound, parent.upper_bound, parent.step):
+                        require(bound)
+                elif isinstance(parent, scf.IfOp):
+                    require(parent.condition)
+            parent = parent.parent_op
+        # Non-loop region ops (scf.if kept as a unit) need their external inputs.
+        if isinstance(op, scf.IfOp):
+            for value in external_operands([op]):
+                require(value)
+
+    if role == "producer":
+        seeds = list(loads)
+    else:
+        seeds = _side_effecting_sinks(func)
+        if not seeds:
+            raise CompileError(
+                f"kernel {func.sym_name!r} has no store; cannot form a consumer partition"
+            )
+    for seed in seeds:
+        keep(seed)
+        for operand in seed.operands:
+            require(operand)
+    return info
+
+
+# ---------------------------------------------------------------------------
+# Loop distribution (filtered cloning)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _CloneContext:
+    func: FuncOp
+    info: PartitionInfo
+    groups: List[ChannelGroup]
+    side: str
+    builder: Builder
+    mapping: IRMapping = field(default_factory=IRMapping)
+    #: stack of cloned loops enclosing the current insertion point
+    loop_stack: List[scf.ForOp] = field(default_factory=list)
+    #: aref slot values awaiting their tawa.consumed (consumer side)
+    pending_consumed: Dict[int, Value] = field(default_factory=dict)
+
+
+def _clone_partition(func: FuncOp, dest: Block, info: PartitionInfo,
+                     groups: List[ChannelGroup], side: str) -> None:
+    builder = Builder(dest)
+    ctx = _CloneContext(func=func, info=info, groups=groups, side=side, builder=builder)
+    _clone_block(ctx, func.body)
+
+
+def _groups_in_block(ctx: _CloneContext, block: Block) -> List[ChannelGroup]:
+    return [g for g in ctx.groups if g.block is block]
+
+
+def _clone_block(ctx: _CloneContext, src: Block) -> None:
+    builder = ctx.builder
+    block_groups = _groups_in_block(ctx, src)
+
+    # The slot selection (and the linearized index it is computed from) is
+    # emitted at the top of the block so that it dominates both the producer's
+    # loads and the consumer's uses; the lowering pass later inserts the
+    # empty/full barrier waits relative to this position.
+    for group in block_groups:
+        index = _build_linear_index(ctx)
+        slot = builder.create(tawa.ArefSlotOp, group.aref_value, index).result
+        ctx.pending_consumed[id(group)] = slot
+        if ctx.side == "consumer":
+            get_op = builder.create(tawa.GetOp, slot)
+            for load, res in zip(group.loads, get_op.results):
+                ctx.mapping.map(load.results[0], res)
+
+    for op in src.operations:
+        if op.name in ("func.return", "scf.yield"):
+            continue
+        if isinstance(op, scf.ForOp):
+            if op in ctx.info.kept_ops:
+                _clone_for(ctx, op)
+            continue
+        if isinstance(op, scf.IfOp):
+            if op in ctx.info.kept_ops:
+                builder.insert(op.clone(ctx.mapping))
+            continue
+        if op not in ctx.info.kept_ops:
+            continue
+        if ctx.side == "consumer" and is_tma_load(op):
+            continue  # satisfied through the aref channel
+        new_op = builder.insert(op.clone(ctx.mapping))
+        if ctx.side == "producer" and is_tma_load(op):
+            _maybe_emit_put(ctx, op, block_groups)
+
+    for group in block_groups:
+        slot = ctx.pending_consumed.pop(id(group))
+        if ctx.side == "consumer":
+            builder.create(tawa.ConsumedOp, slot)
+
+
+def _maybe_emit_put(ctx: _CloneContext, load: Operation,
+                    block_groups: List[ChannelGroup]) -> None:
+    """After cloning the *last* load of a group, publish the tuple with tawa.put."""
+    for group in block_groups:
+        if load is group.loads[-1]:
+            slot = ctx.pending_consumed[id(group)]
+            values = [ctx.mapping.lookup(l.results[0]) for l in group.loads]
+            ctx.builder.create(tawa.PutOp, slot, values)
+
+
+def _clone_for(ctx: _CloneContext, op: scf.ForOp) -> None:
+    builder = ctx.builder
+    mapping = ctx.mapping
+    needed = ctx.info.needed_values
+
+    kept_indices = [
+        i for i in range(len(op.results))
+        if op.iter_args[i] in needed or op.results[i] in needed
+    ]
+    lb = mapping.lookup(op.lower_bound)
+    ub = mapping.lookup(op.upper_bound)
+    step = mapping.lookup(op.step)
+    inits = [mapping.lookup(op.init_args[i]) for i in kept_indices]
+
+    new_loop = builder.create(scf.ForOp, lb, ub, step, inits, dict(op.attributes))
+    mapping.map(op.induction_var, new_loop.induction_var)
+    for new_pos, i in enumerate(kept_indices):
+        mapping.map(op.iter_args[i], new_loop.iter_args[new_pos])
+        mapping.map(op.results[i], new_loop.results[new_pos])
+
+    ctx.loop_stack.append(new_loop)
+    with builder.at(new_loop.body):
+        _clone_block(ctx, op.body)
+        yielded = [mapping.lookup(op.yield_op.operands[i]) for i in kept_indices]
+        builder.create(scf.YieldOp, yielded)
+    ctx.loop_stack.pop()
+
+
+def _build_linear_index(ctx: _CloneContext) -> Value:
+    """The linearized iteration index of the current (cloned) loop nest.
+
+    For a single normalized loop this is just the induction variable; for
+    nested loops (persistent kernels) it is
+    ``((outer_iv - outer_lb) / outer_step) * inner_trips + ...`` so that aref
+    slots and barrier generations keep increasing monotonically across outer
+    iterations.
+    """
+    from repro.core.linearize import linear_index_for_loops
+
+    return linear_index_for_loops(ctx.builder, ctx.loop_stack)

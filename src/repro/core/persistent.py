@@ -1,0 +1,75 @@
+"""Persistent kernels (paper section IV-B).
+
+Instead of launching one CTA per output tile, only as many CTAs as there are
+SMs are launched and each iterates over output tiles in a grid-stride loop:
+
+    for tile = cta_id; tile < num_tiles; tile += num_ctas:
+        <original kernel body with program_id(0) := tile>
+
+This eliminates per-CTA scheduling overhead and tail-wave quantization and
+keeps the TMA/WGMMA pipeline in a steady state across tiles.  The pass runs
+*before* task-aware partitioning, so the tile loop is distributed into both
+warp groups and the aref slot indices are linearized across it (see
+``repro.core.linearize``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.options import CompileError, CompileOptions
+from repro.ir import Builder, FuncOp, ModuleOp, Operation
+from repro.ir.dialects import gpu, scf, tt
+from repro.ir.passes import FunctionPass
+
+
+class PersistentKernelPass(FunctionPass):
+    """Wrap the kernel body in a grid-stride loop over output tiles."""
+
+    name = "persistent-kernel"
+
+    def __init__(self, options: CompileOptions):
+        self.options = options
+
+    def run_on_function(self, func: FuncOp, module: ModuleOp) -> None:
+        if not self.options.persistent:
+            return
+        make_persistent(func)
+
+
+def make_persistent(func: FuncOp) -> None:
+    pid_ops = [op for op in func.walk() if op.name == "tt.get_program_id"]
+    if any(op.axis != 0 for op in pid_ops):
+        raise CompileError(
+            "persistent kernels currently require a 1-D grid "
+            "(tt.get_program_id along axis 0 only)"
+        )
+
+    body_ops: List[Operation] = [
+        op for op in func.body.operations if op.name != "func.return"
+    ]
+    return_op = func.body.terminator
+
+    builder = Builder()
+    builder.set_insertion_point_before(return_op)
+    cta = builder.create(gpu.CtaIdOp).result
+    num_tiles = builder.create(gpu.NumTilesOp).result
+    num_ctas = builder.create(gpu.NumCtasOp).result
+    loop = builder.create(scf.ForOp, cta, num_tiles, num_ctas, [],
+                          {"tawa.persistent": True})
+
+    # Move the original body into the tile loop, replacing program ids with the
+    # tile index.
+    for op in body_ops:
+        op.detach()
+        loop.body.append(op)
+    for op in pid_ops:
+        op.results[0].replace_all_uses_with(loop.induction_var)
+        op.erase()
+    with builder.at(loop.body):
+        pass
+    end_builder = Builder(loop.body)
+    end_builder.create(gpu.BarrierSyncOp, 0)
+    end_builder.create(scf.YieldOp, [])
+
+    func.set_attr("tawa.persistent", True)

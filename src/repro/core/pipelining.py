@@ -1,0 +1,388 @@
+"""Multi-granularity software pipelining (paper section III-D).
+
+Two pipelines are applied to the *consumer* warp group produced by task-aware
+partitioning:
+
+* **Fine-grained MMA pipeline** (GEMM-like loops, exactly one dot): the dot is
+  marked asynchronous, a ``gpu.wgmma_wait(pendings=P-1)`` keeps at most P
+  issue groups in flight, and the ``tawa.consumed`` of iteration ``k`` is
+  delayed until iteration ``k+P-1`` (with a guarded prologue and a drain
+  epilogue).  Liveness therefore needs D >= P, which is the feasible region of
+  the paper's Fig. 11.
+
+* **Coarse-grained T/C/U pipeline** (attention-like loops, two dots with CUDA
+  work in between): the loop is rotated by one iteration so that the Tensor
+  Core stage T_j overlaps with the CUDA-core stage C_{j-1} and the downstream
+  Tensor Core stage U_{j-1}.  This is Algorithm 1 of the paper with U folded
+  into the second pipeline stage (see DESIGN.md).
+
+The loop rotation itself (:func:`rotate_loop`) is generic -- the
+non-warp-specialized baseline reuses it to software-pipeline cp.async copies
+against Tensor Core work, exactly like stock Triton does on Ampere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.linearize import enclosing_loops, linear_index_for_loops, trip_count
+from repro.core.options import CompileOptions
+from repro.ir import Builder, FuncOp, IRMapping, ModuleOp, Operation, Value
+from repro.ir.dialects import arith, gpu, scf, tawa, tt
+from repro.ir.passes import FunctionPass
+from repro.ir.traversal import backward_slice
+
+ASYNC_ATTR = "tawa.async"
+
+
+def _consumer_warp_groups(func: FuncOp) -> List[tawa.WarpGroupOp]:
+    return [op for op in func.walk()
+            if isinstance(op, tawa.WarpGroupOp) and op.is_consumer]
+
+
+def _loops_directly_containing(root: Operation, op_name: str) -> List[scf.ForOp]:
+    loops = []
+    for op in root.walk():
+        if isinstance(op, scf.ForOp):
+            if any(o.name == op_name for o in op.body.operations):
+                loops.append(op)
+    return loops
+
+
+# ---------------------------------------------------------------------------
+# Fine-grained MMA pipeline
+# ---------------------------------------------------------------------------
+
+
+class FineGrainedPipelinePass(FunctionPass):
+    """Overlap WGMMA issue with address generation and aref refills (III-D1)."""
+
+    name = "fine-grained-pipeline"
+
+    def __init__(self, options: CompileOptions):
+        self.options = options
+
+    def run_on_function(self, func: FuncOp, module: ModuleOp) -> None:
+        if not self.options.fine_grained_pipelining:
+            return
+        for wg in _consumer_warp_groups(func):
+            for loop in _loops_directly_containing(wg, "tt.dot"):
+                dots = [op for op in loop.body.operations if op.name == "tt.dot"]
+                if len(dots) != 1:
+                    continue
+                gets = [op for op in loop.body.operations if op.name == "tawa.get"]
+                if not gets:
+                    continue
+                pipeline_gemm_loop(loop, wg, self.options)
+
+
+def pipeline_gemm_loop(loop: scf.ForOp, wg: tawa.WarpGroupOp,
+                       options: CompileOptions) -> bool:
+    """Apply the fine-grained MMA pipeline of depth P to one GEMM-like loop."""
+    depth = options.mma_pipeline_depth
+    dot = next(op for op in loop.body.operations if op.name == "tt.dot")
+    dot.set_attr(ASYNC_ATTR, True)
+
+    builder = Builder()
+    builder.set_insertion_point_after(dot)
+    builder.create(gpu.WgmmaWaitOp, depth - 1)
+
+    # Locate the get fed by this loop's aref slot and its matching consumed.
+    gets = [op for op in loop.body.operations if op.name == "tawa.get"]
+    get = gets[0]
+    slot_op = get.slot.defining_op
+    consumed = _find_consumed(loop, get.slot)
+
+    if depth > 1 and consumed is not None and isinstance(slot_op, tawa.ArefSlotOp):
+        aref_value = slot_op.aref
+        linear = slot_op.index
+        lag = depth - 1
+
+        # In-loop: release slot (linear - lag) once its WGMMA has drained,
+        # guarded for the first lag iterations of this loop.
+        builder.set_insertion_point_before(consumed)
+        lag_c = arith.c_i32(builder, lag)
+        released = builder.create(arith.SubIOp, linear, lag_c).result
+        loops = enclosing_loops(loop.body, stop_at=wg)  # innermost entry is `loop`
+        base = linear_index_for_loops(builder, loops,
+                                      innermost_override=arith.c_i32(builder, 0))
+        cond = builder.create(arith.CmpIOp, "sge", released, base).result
+        if_op = builder.create(scf.IfOp, cond, [], True)
+        with builder.at(if_op.then_block):
+            slot2 = builder.create(tawa.ArefSlotOp, aref_value, released).result
+            builder.create(tawa.ConsumedOp, slot2)
+            builder.create(scf.YieldOp, [])
+        with builder.at(if_op.else_block):
+            builder.create(scf.YieldOp, [])
+        consumed.erase()
+
+        # Epilogue: drain the MMA pipeline and release the last (P-1) slots.
+        builder.set_insertion_point_after(loop)
+        builder.create(gpu.WgmmaWaitOp, 0)
+        trips = trip_count(builder, loop)
+        last = builder.create(arith.SubIOp, trips, arith.c_i32(builder, 1)).result
+        tail_base = linear_index_for_loops(builder, loops, innermost_override=last)
+        for j in range(lag):
+            j_c = arith.c_i32(builder, j)
+            cond = builder.create(arith.CmpIOp, "sgt", trips, j_c).result
+            if_op = builder.create(scf.IfOp, cond, [], True)
+            with builder.at(if_op.then_block):
+                idx = builder.create(arith.SubIOp, tail_base, j_c).result
+                slot2 = builder.create(tawa.ArefSlotOp, aref_value, idx).result
+                builder.create(tawa.ConsumedOp, slot2)
+                builder.create(scf.YieldOp, [])
+            with builder.at(if_op.else_block):
+                builder.create(scf.YieldOp, [])
+    else:
+        # Depth-1 pipeline: the accumulator must be drained before reuse of the
+        # slot, so wait for all outstanding MMAs before the consumed.
+        target = consumed if consumed is not None else loop.body.terminator
+        builder.set_insertion_point_before(target)
+        builder.create(gpu.WgmmaWaitOp, 0)
+        builder.set_insertion_point_after(loop)
+        builder.create(gpu.WgmmaWaitOp, 0)
+
+    loop.set_attr("tawa.pipeline", "fine")
+    loop.set_attr("tawa.mma_depth", depth)
+    return True
+
+
+def _find_consumed(loop: scf.ForOp, slot: Value) -> Optional[Operation]:
+    for op in loop.body.operations:
+        if op.name == "tawa.consumed" and op.operands[0] is slot:
+            return op
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Generic one-deep loop rotation (software pipelining)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RotationPlan:
+    """Stage assignment for :func:`rotate_loop`."""
+
+    stage0_ops: List[Operation]
+    stage1_ops: List[Operation]
+    stage0_iter_indices: List[int]
+    stage1_iter_indices: List[int]
+    cross_values: List[Value]
+
+
+def plan_rotation(loop: scf.ForOp, seeds: Sequence[Operation]) -> Optional[RotationPlan]:
+    """Split a loop body into two pipeline stages around ``seeds``.
+
+    Stage 0 is the backward slice of the seed operations; iter_args used by
+    stage 0 are pulled into stage 0 together with the computation of their
+    yielded values (so that, after rotation, stage 0 of iteration ``i`` sees
+    the correct loop-carried state).  Returns ``None`` when the loop cannot be
+    rotated (a value would be needed by both stages' carried state).
+    """
+    body_ops = [op for op in loop.body.operations if op.name != "scf.yield"]
+    stage0: Set[Operation] = set(backward_slice(list(seeds), within=loop.body))
+    yield_operands = list(loop.yield_op.operands)
+    iter_args = list(loop.iter_args)
+
+    # Pull the update chains of stage0-used iter_args into stage 0.
+    changed = True
+    while changed:
+        changed = False
+        for idx, arg in enumerate(iter_args):
+            used_by_stage0 = any(user in stage0 for user, _ in arg.uses)
+            if not used_by_stage0:
+                continue
+            update = yield_operands[idx].defining_op
+            if update is not None and update.parent is loop.body and update not in stage0:
+                stage0.update(backward_slice([update], within=loop.body))
+                changed = True
+
+    stage0_ops = [op for op in body_ops if op in stage0]
+    stage1_ops = [op for op in body_ops if op not in stage0]
+    if not stage0_ops or not stage1_ops:
+        return None
+
+    stage1_set = set(stage1_ops)
+    stage0_idx, stage1_idx = [], []
+    for idx, arg in enumerate(iter_args):
+        used0 = any(user in stage0 for user, _ in arg.uses)
+        used1 = any(user in stage1_set for user, _ in arg.uses)
+        update = yield_operands[idx].defining_op
+        updated0 = update is not None and update in stage0
+        updated1 = update is not None and update in stage1_set
+        if (used0 or updated0) and (used1 or updated1):
+            return None  # carried state shared between stages: cannot rotate
+        if used0 or updated0:
+            stage0_idx.append(idx)
+        else:
+            stage1_idx.append(idx)
+
+    cross_values: List[Value] = []
+    for op in stage0_ops:
+        for res in op.results:
+            if any(user in stage1_set for user in res.users) and res not in cross_values:
+                cross_values.append(res)
+            if res in yield_operands:
+                idx = yield_operands.index(res)
+                if idx in stage1_idx:
+                    return None
+
+    # Aref slot selections (and the scalar index arithmetic feeding them) are
+    # rematerialized in stage 1 rather than carried across the rotation: the
+    # aref lowering needs every tawa.consumed to see a real tawa.aref_slot, and
+    # recomputing a couple of scalar ops is cheaper than carrying channel
+    # handles in registers.
+    remat: Set[Operation] = set()
+    for value in list(cross_values):
+        op = value.defining_op
+        if op is None or op.name != "tawa.aref_slot":
+            continue
+        slice_ops = backward_slice([op], within=loop.body)
+        remat.update(o for o in slice_ops if _scalar_only(o))
+        cross_values.remove(value)
+    if remat:
+        stage1_ops = [op for op in body_ops if op not in stage0 or op in remat]
+    return RotationPlan(stage0_ops, stage1_ops, stage0_idx, stage1_idx, cross_values)
+
+
+def _scalar_only(op: Operation) -> bool:
+    from repro.ir.types import TensorType
+
+    return not op.regions and all(not isinstance(r.type, TensorType) for r in op.results)
+
+
+def rotate_loop(loop: scf.ForOp, plan: RotationPlan, *,
+                mark_dots_async: bool = False,
+                stage1_wgmma_pendings: Optional[int] = None) -> scf.ForOp:
+    """Rotate ``loop`` one iteration deep according to ``plan``.
+
+    The new loop executes stage 0 of iteration ``i`` and stage 1 of iteration
+    ``i-1``; a prologue runs stage 0 of the first iteration and an epilogue
+    drains stage 1 of the last.  Assumes the loop executes at least once.
+    """
+    builder = Builder()
+    builder.set_insertion_point_before(loop)
+    yield_operands = list(loop.yield_op.operands)
+    iter_args = list(loop.iter_args)
+    init_args = list(loop.init_args)
+
+    def _clone_stage(ops: List[Operation], mapping: IRMapping) -> None:
+        for op in ops:
+            cloned = builder.insert(op.clone(mapping))
+            if mark_dots_async and cloned.name == "tt.dot":
+                cloned.set_attr(ASYNC_ATTR, True)
+
+    # -- prologue: stage 0 of iteration 0 -----------------------------------------
+    prologue_map = IRMapping()
+    prologue_map.map(loop.induction_var, loop.lower_bound)
+    for idx in plan.stage0_iter_indices:
+        prologue_map.map(iter_args[idx], init_args[idx])
+    _clone_stage(plan.stage0_ops, prologue_map)
+    prologue_cross = [prologue_map.lookup(v) for v in plan.cross_values]
+
+    # -- rotated steady-state loop ---------------------------------------------------
+    new_lb = builder.create(arith.AddIOp, loop.lower_bound, loop.step).result
+    new_inits = []
+    for idx in range(len(init_args)):
+        if idx in plan.stage0_iter_indices:
+            new_inits.append(prologue_map.lookup(yield_operands[idx]))
+        else:
+            new_inits.append(init_args[idx])
+    new_inits = new_inits + prologue_cross + [loop.lower_bound]
+    new_loop = builder.create(scf.ForOp, new_lb, loop.upper_bound, loop.step, new_inits,
+                              dict(loop.attributes))
+    n_orig = len(init_args)
+    n_cross = len(plan.cross_values)
+    orig_args = new_loop.iter_args[:n_orig]
+    cross_args = new_loop.iter_args[n_orig:n_orig + n_cross]
+    prev_iv = new_loop.iter_args[n_orig + n_cross]
+
+    with builder.at(new_loop.body):
+        map0 = IRMapping()
+        map0.map(loop.induction_var, new_loop.induction_var)
+        for idx in plan.stage0_iter_indices:
+            map0.map(iter_args[idx], orig_args[idx])
+        _clone_stage(plan.stage0_ops, map0)
+
+        map1 = IRMapping()
+        map1.map(loop.induction_var, prev_iv)
+        for idx in plan.stage1_iter_indices:
+            map1.map(iter_args[idx], orig_args[idx])
+        for old_val, new_arg in zip(plan.cross_values, cross_args):
+            map1.map(old_val, new_arg)
+        if stage1_wgmma_pendings is not None:
+            builder.create(gpu.WgmmaWaitOp, stage1_wgmma_pendings)
+        _clone_stage(plan.stage1_ops, map1)
+
+        yielded = []
+        for idx in range(n_orig):
+            src_map = map0 if idx in plan.stage0_iter_indices else map1
+            yielded.append(src_map.lookup(yield_operands[idx]))
+        yielded += [map0.lookup(v) for v in plan.cross_values]
+        yielded += [new_loop.induction_var]
+        builder.create(scf.YieldOp, yielded)
+
+    # -- epilogue: stage 1 of the final iteration ----------------------------------------
+    builder.set_insertion_point_after(new_loop)
+    if stage1_wgmma_pendings is not None:
+        builder.create(gpu.WgmmaWaitOp, 0)
+    map_e = IRMapping()
+    map_e.map(loop.induction_var, new_loop.results[n_orig + n_cross])
+    for idx in plan.stage1_iter_indices:
+        map_e.map(iter_args[idx], new_loop.results[idx])
+    for old_val, res in zip(plan.cross_values, new_loop.results[n_orig:n_orig + n_cross]):
+        map_e.map(old_val, res)
+    _clone_stage(plan.stage1_ops, map_e)
+    if stage1_wgmma_pendings is not None:
+        builder.create(gpu.WgmmaWaitOp, 0)
+
+    final_values = []
+    for idx in range(n_orig):
+        if idx in plan.stage0_iter_indices:
+            final_values.append(new_loop.results[idx])
+        else:
+            final_values.append(map_e.lookup(yield_operands[idx]))
+    for old_res, new_val in zip(loop.results, final_values):
+        old_res.replace_all_uses_with(new_val)
+    loop.drop_ref()
+    return new_loop
+
+
+# ---------------------------------------------------------------------------
+# Coarse-grained T/C/U pipeline
+# ---------------------------------------------------------------------------
+
+
+class CoarseGrainedPipelinePass(FunctionPass):
+    """Overlap CUDA-core and Tensor-Core stages across iterations (III-D2)."""
+
+    name = "coarse-grained-pipeline"
+
+    def __init__(self, options: CompileOptions):
+        self.options = options
+
+    def run_on_function(self, func: FuncOp, module: ModuleOp) -> None:
+        if not self.options.coarse_grained_pipelining:
+            return
+        if self.options.aref_depth < 2:
+            # The rotation keeps two slots in flight on the consumer side; with
+            # a single-slot channel it would deadlock, so fall back.
+            return
+        for wg in _consumer_warp_groups(func):
+            for loop in _loops_directly_containing(wg, "tt.dot"):
+                dots = [op for op in loop.body.operations if op.name == "tt.dot"]
+                if len(dots) >= 2:
+                    rotate_tcu_loop(loop, self.options)
+
+
+def rotate_tcu_loop(loop: scf.ForOp, options: CompileOptions) -> Optional[scf.ForOp]:
+    """Rotate an attention-like loop so T_j overlaps C_{j-1}/U_{j-1}."""
+    dots = [op for op in loop.body.operations if op.name == "tt.dot"]
+    t_dot = dots[0]
+    plan = plan_rotation(loop, [t_dot])
+    if plan is None:
+        return None
+    new_loop = rotate_loop(loop, plan, mark_dots_async=True, stage1_wgmma_pendings=1)
+    new_loop.set_attr("tawa.pipeline", "coarse")
+    return new_loop

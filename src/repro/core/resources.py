@@ -1,0 +1,152 @@
+"""Resource estimation and validation (shared memory, registers, occupancy).
+
+The paper's hyper-parameter study (Fig. 11) and the cooperative-warp-group
+ablation (Fig. 12) are both governed by hardware budgets:
+
+* the D staging buffers of every aref must fit in the SM's shared memory
+  (infeasible cells in Fig. 11 are exactly the ones that do not), and
+* the accumulator tiles held in registers by a consumer warp group must fit in
+  its register budget -- a 128x256 f32 accumulator needs 256 registers per
+  thread, which exceeds the 255-register architectural limit for a single warp
+  group and is why large tiles require cooperative warp groups.
+
+This pass computes both numbers from the lowered IR and attaches them to the
+compiled kernel; with ``validate_resources`` enabled an infeasible
+configuration raises :class:`repro.core.options.CompileError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.options import CompileError, CompileOptions
+from repro.gpusim.config import DEFAULT_CONFIG, H100Config
+from repro.ir import FuncOp, ModuleOp, Operation
+from repro.ir.dialects import scf, tawa
+from repro.ir.passes import FunctionPass
+from repro.ir.types import TensorType
+
+
+@dataclass
+class ResourceEstimate:
+    """Per-kernel resource usage summary."""
+
+    smem_bytes: int = 0
+    consumer_regs_per_thread: int = 0
+    producer_regs_per_thread: int = 0
+    num_warp_groups: int = 1
+    consumer_replicas: int = 1
+    warp_specialized: bool = False
+    persistent: bool = False
+    notes: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"smem={self.smem_bytes // 1024} KiB, "
+            f"consumer regs/thread={self.consumer_regs_per_thread}, "
+            f"warp groups={self.num_warp_groups} "
+            f"(consumer replicas={self.consumer_replicas})"
+        )
+
+
+def estimate_resources(func: FuncOp, options: CompileOptions,
+                       config: H100Config) -> ResourceEstimate:
+    est = ResourceEstimate()
+    est.warp_specialized = bool(func.get_attr("tawa.warp_specialized", False))
+    est.persistent = bool(func.get_attr("tawa.persistent", False))
+
+    # Shared memory: every staging buffer allocated in the kernel.
+    for op in func.walk():
+        if op.name == "gpu.alloc_smem":
+            est.smem_bytes += op.attributes.get("bytes", 0)
+
+    warp_groups = [op for op in func.body.operations if isinstance(op, tawa.WarpGroupOp)]
+    if est.warp_specialized and warp_groups:
+        consumers = [wg for wg in warp_groups if wg.is_consumer]
+        producers = [wg for wg in warp_groups if wg.is_producer]
+        est.consumer_replicas = max((wg.replicas for wg in consumers), default=1)
+        est.num_warp_groups = len(producers) + sum(wg.replicas for wg in consumers)
+        est.producer_regs_per_thread = config.baseline_registers_per_thread
+        live_bytes = max(
+            (_live_register_bytes(wg) for wg in consumers), default=0
+        )
+        per_replica_bytes = live_bytes / max(1, est.consumer_replicas)
+        regs = per_replica_bytes / (config.threads_per_warp_group * 4)
+        regs += config.baseline_registers_per_thread
+        regs += 24 * max(0, options.mma_pipeline_depth - 1)
+        est.consumer_regs_per_thread = int(round(regs))
+    else:
+        est.num_warp_groups = max(1, options.num_warps // 4)
+        live_bytes = _live_register_bytes(func)
+        regs = live_bytes / (config.threads_per_warp_group * 4)
+        regs /= max(1, est.num_warp_groups)
+        regs += config.baseline_registers_per_thread
+        est.consumer_regs_per_thread = int(round(regs))
+        est.producer_regs_per_thread = est.consumer_regs_per_thread
+
+    return est
+
+
+def _live_register_bytes(root: Operation) -> int:
+    """Bytes of tensor state carried in registers across loop iterations.
+
+    Loop-carried tensors (accumulators, the rotated pipeline's cross values)
+    are what actually occupies registers for the whole loop; transient tiles
+    come and go and are approximated by the baseline allowance.
+    """
+    live = 0
+    for op in root.walk():
+        if isinstance(op, scf.ForOp):
+            for arg in op.iter_args:
+                ty = arg.type
+                if isinstance(ty, TensorType):
+                    live = max(live, _loop_live_bytes(op))
+    return live
+
+
+def _loop_live_bytes(loop: scf.ForOp) -> int:
+    total = 0
+    for arg in loop.iter_args:
+        ty = arg.type
+        if isinstance(ty, TensorType):
+            total += ty.num_elements * max(2, ty.element_type.bytes)
+    return total
+
+
+def validate_resources(est: ResourceEstimate, options: CompileOptions,
+                       config: H100Config, kernel_name: str) -> None:
+    if est.smem_bytes > config.smem_bytes_per_sm:
+        raise CompileError(
+            f"kernel {kernel_name!r}: shared-memory footprint {est.smem_bytes // 1024} KiB "
+            f"exceeds the {config.smem_bytes_per_sm // 1024} KiB available per SM "
+            f"(reduce the tile size or the aref depth D={options.aref_depth})"
+        )
+    if est.warp_specialized:
+        budget = config.consumer_register_budget(est.consumer_replicas)
+    else:
+        budget = config.registers_per_thread_available(est.num_warp_groups)
+    if est.consumer_regs_per_thread > budget:
+        raise CompileError(
+            f"kernel {kernel_name!r}: consumer warp group needs "
+            f"~{est.consumer_regs_per_thread} registers/thread but only {budget} are "
+            f"available with {est.num_warp_groups} resident warp groups; use cooperative "
+            f"consumer warp groups (num_consumer_groups=2) or a smaller tile"
+        )
+
+
+class ResourceValidationPass(FunctionPass):
+    """Attach resource metadata and enforce hardware budgets."""
+
+    name = "resource-validation"
+
+    def __init__(self, options: CompileOptions, config: Optional[H100Config] = None):
+        self.options = options
+        self.config = config or DEFAULT_CONFIG
+        self.estimates = {}
+
+    def run_on_function(self, func: FuncOp, module: ModuleOp) -> None:
+        est = estimate_resources(func, self.options, self.config)
+        self.estimates[func.sym_name] = est
+        if self.options.validate_resources:
+            validate_resources(est, self.options, self.config, func.sym_name)

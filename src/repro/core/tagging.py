@@ -1,0 +1,136 @@
+"""Semantic tagging (paper section III-C1).
+
+The pass walks backwards along use-def chains starting at the kernel's
+side-effecting sinks and attaches a role tag to every operation:
+
+* ``"load"`` -- the TMA load operations themselves (producer anchors),
+* ``"iteration"`` -- address/offset computation that feeds TMA coordinates
+  (the paper's *iteration statements*, drawn in orange in Fig. 5a),
+* ``"tile"`` -- operations that transform or consume a tile (WGMMA, softmax,
+  reductions, stores; the paper's *tile statements*, blue in Fig. 5a),
+* ``"other"`` -- everything else (structural ops, scalar glue only used by
+  control flow).
+
+The tag is stored in the ``tawa.role`` attribute so later passes (and tests)
+can inspect it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir import FuncOp, ModuleOp, Operation
+from repro.ir.dialects import tt
+from repro.ir.passes import FunctionPass
+from repro.ir.traversal import backward_slice, defining_op
+from repro.ir.types import TensorType
+
+ROLE_ATTR = "tawa.role"
+
+ROLE_LOAD = "load"
+ROLE_ITERATION = "iteration"
+ROLE_TILE = "tile"
+ROLE_OTHER = "other"
+
+#: ops that anchor the consumer (tile) partition
+_TILE_ANCHORS = ("tt.dot", "tt.store", "tt.tma_store", "tt.reduce")
+
+
+def is_tma_load(op: Operation) -> bool:
+    return op.name == "tt.tma_load"
+
+
+def is_tile_anchor(op: Operation) -> bool:
+    return op.name in _TILE_ANCHORS
+
+
+class TagSemanticsPass(FunctionPass):
+    """Attach ``tawa.role`` attributes to every operation of each kernel."""
+
+    name = "tag-semantics"
+
+    def run_on_function(self, func: FuncOp, module: ModuleOp) -> None:
+        tag_function(func)
+
+
+def tag_function(func: FuncOp) -> None:
+    all_ops: List[Operation] = [op for op in func.walk() if op is not func]
+
+    loads = [op for op in all_ops if is_tma_load(op)]
+    tile_anchors = [op for op in all_ops if is_tile_anchor(op)]
+
+    # Iteration statements: the backward slices of TMA-load *coordinates*
+    # (not the descriptor itself) -- pointer/offset arithmetic scattered
+    # through the IR, e.g. the `o_k += Kt` update in the paper's Fig. 2b.
+    iteration_ops: Set[Operation] = set()
+    coord_producers = []
+    for load in loads:
+        for coord in load.coords:
+            producer = defining_op(coord)
+            if producer is not None:
+                coord_producers.append(producer)
+            else:
+                # Coordinates carried across loop iterations (the paper's
+                # `o_k += Kt` example): their per-iteration update is an
+                # iteration statement even though it sits away from the load.
+                coord_producers.extend(_carried_update_ops(coord))
+    iteration_ops.update(backward_slice(coord_producers, filter=_is_scalar_glue))
+
+    # Tile statements: anchors plus everything downstream of a dot, plus the
+    # float-tensor arithmetic that feeds the anchors (softmax and friends).
+    tile_ops: Set[Operation] = set(tile_anchors)
+    tile_ops.update(
+        op for op in backward_slice(tile_anchors, include_roots=False)
+        if _produces_float_tile(op) and not is_tma_load(op)
+    )
+
+    for op in all_ops:
+        if is_tma_load(op):
+            op.set_attr(ROLE_ATTR, ROLE_LOAD)
+        elif op in tile_ops:
+            op.set_attr(ROLE_ATTR, ROLE_TILE)
+        elif op in iteration_ops:
+            op.set_attr(ROLE_ATTR, ROLE_ITERATION)
+        else:
+            op.set_attr(ROLE_ATTR, ROLE_OTHER)
+
+
+def _carried_update_ops(value) -> List[Operation]:
+    """The ops computing the next-iteration value of a loop-carried coordinate."""
+    from repro.ir.dialects import scf
+    from repro.ir.operation import BlockArgument
+
+    if not isinstance(value, BlockArgument):
+        return []
+    owner = value.block.parent_op
+    if not isinstance(owner, scf.ForOp) or value.index == 0:
+        return []
+    update = defining_op(owner.yield_op.operands[value.index - 1])
+    return [update] if update is not None else []
+
+
+def _is_scalar_glue(op: Operation) -> bool:
+    """Iteration statements are scalar (non-tile) computations."""
+    if op.regions:
+        return False
+    for res in op.results:
+        if isinstance(res.type, TensorType):
+            return False
+    return True
+
+
+def _produces_float_tile(op: Operation) -> bool:
+    from repro.ir.types import ScalarType
+
+    for res in op.results:
+        ty = res.type
+        if not isinstance(ty, TensorType):
+            continue
+        elem = ty.element_type
+        if isinstance(elem, ScalarType) and elem.is_float:
+            return True
+    return False
+
+
+def role_of(op: Operation) -> str:
+    return op.get_attr(ROLE_ATTR, ROLE_OTHER)

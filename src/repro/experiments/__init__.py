@@ -1,0 +1,46 @@
+"""Figure-by-figure evaluation harnesses (paper section V).
+
+Each module regenerates one figure of the paper's evaluation:
+
+* :mod:`repro.experiments.fig8_gemm` -- FP16/FP8 GEMM sweep over K.
+* :mod:`repro.experiments.fig9_gemm_variants` -- batched and grouped GEMM.
+* :mod:`repro.experiments.fig10_attention` -- MHA over sequence length,
+  FP16/FP8, causal/non-causal.
+* :mod:`repro.experiments.fig11_hyperparams` -- the (D, P) heatmap.
+* :mod:`repro.experiments.fig12_ablation` -- the optimization ablation.
+
+Every module exposes ``run(full: bool = False) -> list[FigureResult]`` (the
+reduced mode is used by tests and pytest-benchmark; ``full=True`` sweeps the
+paper's parameter ranges) and a ``main()`` that prints the series as text
+tables.  ``run_all`` collects everything, and is what ``EXPERIMENTS.md`` is
+generated from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.perf.metrics import FigureResult
+
+
+def run_all(full: bool = False) -> Dict[str, List[FigureResult]]:
+    """Run every experiment; returns {figure module name: results}."""
+    from repro.experiments import (
+        fig8_gemm,
+        fig9_gemm_variants,
+        fig10_attention,
+        fig11_hyperparams,
+        fig12_ablation,
+    )
+
+    modules = {
+        "fig8": fig8_gemm,
+        "fig9": fig9_gemm_variants,
+        "fig10": fig10_attention,
+        "fig11": fig11_hyperparams,
+        "fig12": fig12_ablation,
+    }
+    return {name: module.run(full=full) for name, module in modules.items()}
+
+
+__all__ = ["run_all", "FigureResult"]

@@ -1,0 +1,113 @@
+"""Shared helpers for the figure-by-figure evaluation harnesses.
+
+Every experiment module follows the same pattern:
+
+* Tawa and the Triton baseline are *compiled and simulated* (performance-mode
+  device, steady-state extrapolation, HBM roofline applied).
+* cuBLAS / FlashAttention-3 / TileLang / ThunderKittens are analytic reference
+  models from :mod:`repro.baselines`.
+* A reduced parameter set (the default) runs in seconds for tests and
+  continuous benchmarking; ``full=True`` sweeps the paper's full ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines import analytic
+from repro.core.options import CompileOptions, NAIVE_OPTIONS, TRITON_BASELINE_OPTIONS
+from repro.gpusim.config import DEFAULT_CONFIG, H100Config
+from repro.gpusim.device import Device
+from repro.kernels.attention import AttentionProblem, run_attention
+from repro.kernels.batched_gemm import BatchedGemmProblem, run_batched_gemm
+from repro.kernels.gemm import GemmProblem, run_gemm
+from repro.kernels.grouped_gemm import GroupedGemmProblem, run_grouped_gemm
+from repro.perf.metrics import apply_memory_roofline, tflops
+
+TAWA = "Tawa"
+TRITON = "Triton"
+PEAK = "Theoretical Peak"
+
+
+def perf_device(config: Optional[H100Config] = None,
+                max_ctas_per_sm: int = 4) -> Device:
+    """A performance-mode device used by all experiments."""
+    return Device(config or DEFAULT_CONFIG, mode="performance",
+                  max_ctas_per_sm_simulated=max_ctas_per_sm)
+
+
+# ---------------------------------------------------------------------------
+# Default Tawa / Triton configurations per workload family
+# ---------------------------------------------------------------------------
+
+
+def tawa_gemm_options(aref_depth: int = 3, mma_depth: int = 2,
+                      persistent: bool = False,
+                      num_consumer_groups: int = 2) -> CompileOptions:
+    """The hand-selected D / P / cooperative configuration used for GEMM.
+
+    The paper tunes D and the MMA depth manually per kernel (section V-A);
+    D=3, P=2 with two cooperative consumer warp groups and a 128x256x64 tile
+    is the best feasible point of Fig. 11.
+    """
+    return CompileOptions(
+        enable_warp_specialization=True,
+        aref_depth=aref_depth,
+        mma_pipeline_depth=mma_depth,
+        num_consumer_groups=num_consumer_groups,
+        persistent=persistent,
+    )
+
+
+def tawa_attention_options(aref_depth: int = 2) -> CompileOptions:
+    """Warp-specialized attention: coarse-grained pipeline, 2 consumer groups."""
+    return CompileOptions(
+        enable_warp_specialization=True,
+        aref_depth=aref_depth,
+        mma_pipeline_depth=2,
+        num_consumer_groups=2,
+        coarse_grained_pipelining=True,
+    )
+
+
+def triton_options() -> CompileOptions:
+    return TRITON_BASELINE_OPTIONS
+
+
+def naive_options() -> CompileOptions:
+    return NAIVE_OPTIONS
+
+
+# ---------------------------------------------------------------------------
+# Simulated measurements (Tawa / Triton)
+# ---------------------------------------------------------------------------
+
+
+def measure_gemm(device: Device, problem: GemmProblem, options: CompileOptions) -> float:
+    result, _ = run_gemm(device, problem, options)
+    seconds = apply_memory_roofline(result.seconds, problem.bytes_moved, device.config)
+    return tflops(problem.flops, seconds)
+
+
+def measure_batched_gemm(device: Device, problem: BatchedGemmProblem,
+                         options: CompileOptions) -> float:
+    result, _ = run_batched_gemm(device, problem, options)
+    seconds = apply_memory_roofline(result.seconds,
+                                    analytic.batched_gemm_bytes(problem), device.config)
+    return tflops(problem.flops, seconds)
+
+
+def measure_grouped_gemm(device: Device, problem: GroupedGemmProblem,
+                         options: CompileOptions) -> float:
+    result, _ = run_grouped_gemm(device, problem, options)
+    seconds = apply_memory_roofline(result.seconds,
+                                    analytic.grouped_gemm_bytes(problem), device.config)
+    return tflops(problem.flops, seconds)
+
+
+def measure_attention(device: Device, problem: AttentionProblem,
+                      options: CompileOptions) -> float:
+    result, _ = run_attention(device, problem, options)
+    seconds = apply_memory_roofline(result.seconds,
+                                    analytic.attention_bytes(problem), device.config)
+    return tflops(problem.flops, seconds)

@@ -1,0 +1,79 @@
+"""Figure 10: multi-head attention throughput.
+
+Four panels: {FP16, FP8} x {non-causal, causal}, sequence length swept from
+1K to 16K, batch size 4, head dimension 128.  Series: FA3/CUTLASS (analytic),
+Tawa (simulated), Triton (simulated), TileLang (analytic), ThunderKittens
+(analytic, FP16 only -- its FP8 attention kernels do not run, as in the
+paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines import analytic
+from repro.experiments import common
+from repro.gpusim.device import Device
+from repro.kernels.attention import AttentionProblem
+from repro.perf.metrics import FigureResult
+
+FULL_SEQ_LENS = [1024, 2048, 4096, 8192, 16384]
+REDUCED_SEQ_LENS = [1024, 4096]
+HEADS = 32
+BATCH = 4
+HEAD_DIM = 128
+
+
+def attention_problem(seq_len: int, dtype: str, causal: bool) -> AttentionProblem:
+    return AttentionProblem(batch=BATCH, heads=HEADS, seq_len=seq_len,
+                            head_dim=HEAD_DIM, causal=causal, dtype=dtype,
+                            block_m=128, block_n=128)
+
+
+def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResult]:
+    device = device or common.perf_device()
+    seq_lens = FULL_SEQ_LENS if full else REDUCED_SEQ_LENS
+    panels = ([("f16", False), ("f16", True), ("f8e4m3", False), ("f8e4m3", True)]
+              if full else [("f16", False)])
+
+    results = []
+    for dtype, causal in panels:
+        fig = FigureResult(
+            name=f"fig10-{dtype}-{'causal' if causal else 'noncausal'}",
+            title=(f"MHA forward throughput (TFLOP/s), {dtype.upper()}, "
+                   f"causal={causal}, batch={BATCH}, head_dim={HEAD_DIM}"),
+            x_label="context_length",
+        )
+        for seq_len in seq_lens:
+            problem = attention_problem(seq_len, dtype, causal)
+            bytes_moved = analytic.attention_bytes(problem)
+            fig.add("FA3 (CUTLASS)", seq_len,
+                    analytic.FA3_ATTENTION.tflops(problem.flops, bytes_moved, dtype,
+                                                  device.config))
+            fig.add(common.TAWA, seq_len,
+                    common.measure_attention(device, problem, common.tawa_attention_options()))
+            fig.add(common.TRITON, seq_len,
+                    common.measure_attention(device, problem, common.triton_options()))
+            fig.add("TileLang", seq_len,
+                    analytic.TILELANG_ATTENTION.tflops(problem.flops, bytes_moved, dtype,
+                                                       device.config))
+            tk = analytic.THUNDERKITTENS_ATTENTION.tflops(problem.flops, bytes_moved, dtype,
+                                                          device.config)
+            if tk is not None:
+                fig.add("ThunderKittens", seq_len, tk)
+        fig.notes.append(
+            "Tawa and Triton are compiled and simulated; FA3/TileLang/ThunderKittens are "
+            "analytic reference models.  ThunderKittens fails to run FP8 attention."
+        )
+        results.append(fig)
+    return results
+
+
+def main() -> None:  # pragma: no cover
+    for fig in run(full=True):
+        print(fig.render())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

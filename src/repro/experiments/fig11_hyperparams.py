@@ -1,0 +1,68 @@
+"""Figure 11: impact of the aref size D and the MMA pipeline depth P.
+
+A 3x3 sweep of (D, P) for the FP16 GEMM with K = 16384, once without and once
+with persistent kernels.  Configurations with P > D are infeasible (the
+fine-grained pipeline would deadlock; ``CompileOptions`` rejects them) and are
+reported as 0, exactly like the zero cells of the paper's heatmap.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.options import CompileError
+from repro.experiments import common
+from repro.gpusim.device import Device
+from repro.kernels.gemm import GemmProblem
+from repro.perf.metrics import FigureResult
+
+DEPTHS = [1, 2, 3]
+MMA_DEPTHS = [1, 2, 3]
+FULL_K = 16384
+REDUCED_K = 2048
+
+
+def gemm_problem(full: bool) -> GemmProblem:
+    return GemmProblem(M=8192, N=8192, K=FULL_K if full else REDUCED_K,
+                       dtype="f16", block_m=128, block_n=256, block_k=64)
+
+
+def measure_cell(device: Device, problem: GemmProblem, aref_depth: int,
+                 mma_depth: int, persistent: bool) -> float:
+    """One heatmap cell; infeasible configurations score 0."""
+    try:
+        options = common.tawa_gemm_options(aref_depth=aref_depth, mma_depth=mma_depth,
+                                           persistent=persistent)
+        return common.measure_gemm(device, problem, options)
+    except CompileError:
+        return 0.0
+
+
+def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResult]:
+    device = device or common.perf_device()
+    problem = gemm_problem(full)
+
+    results = []
+    for persistent in (False, True):
+        fig = FigureResult(
+            name=f"fig11-{'persistent' if persistent else 'nonpersistent'}",
+            title=(f"{'Persistent' if persistent else 'Non-persistent'} GEMM TFLOP/s "
+                   f"vs aref size D and MMA depth P (K={problem.K})"),
+            x_label="P",
+        )
+        for d in DEPTHS:
+            for p in MMA_DEPTHS:
+                fig.add(f"D={d}", p, measure_cell(device, problem, d, p, persistent))
+        fig.notes.append("cells with P > D are infeasible and reported as 0")
+        results.append(fig)
+    return results
+
+
+def main() -> None:  # pragma: no cover
+    for fig in run(full=True):
+        print(fig.render())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,119 @@
+"""Figure 12: ablation of the Tawa optimizations on FP16 GEMM and MHA.
+
+Each bar enables one more optimization on top of the previous configuration,
+mirroring the paper's progression:
+
+GEMM (K = 16384):
+    Triton w/o WS -> +Auto WS -> +Cooperative WGs -> +Large Tile Size
+    -> +Persistent Kernel -> +Better Aref Size
+
+MHA (L = 16384):
+    Triton w/o WS -> +Auto WS -> +Cooperative WGs -> +Pipeline
+    -> +Better Aref Size
+
+Tile sizes follow the paper's tuning protocol (a fixed menu of 64/128/256):
+configurations that would exceed the register budget of a single consumer warp
+group use the largest *feasible* tile, which is exactly why the large-tile
+step requires cooperative warp groups first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.options import CompileOptions, NAIVE_OPTIONS
+from repro.experiments import common
+from repro.gpusim.device import Device
+from repro.kernels.attention import AttentionProblem
+from repro.kernels.gemm import GemmProblem
+from repro.perf.metrics import FigureResult
+from repro.perf.report import render_table
+
+FULL_K = 16384
+REDUCED_K = 2048
+FULL_L = 16384
+REDUCED_L = 2048
+
+
+@dataclass
+class AblationStep:
+    label: str
+    options: CompileOptions
+    block_m: int
+    block_n: int
+
+
+def gemm_steps() -> List[AblationStep]:
+    ws = dict(enable_warp_specialization=True, aref_depth=2, mma_pipeline_depth=2)
+    return [
+        AblationStep("Triton w/o WS", NAIVE_OPTIONS, 128, 128),
+        AblationStep("+Auto WS", CompileOptions(**ws, num_consumer_groups=1), 128, 128),
+        AblationStep("+Cooperative WGs", CompileOptions(**ws, num_consumer_groups=2), 128, 128),
+        AblationStep("+Large Tile Size", CompileOptions(**ws, num_consumer_groups=2), 128, 256),
+        AblationStep("+Persistent Kernel",
+                     CompileOptions(**ws, num_consumer_groups=2, persistent=True), 128, 256),
+        AblationStep("+Better Aref Size",
+                     CompileOptions(enable_warp_specialization=True, aref_depth=3,
+                                    mma_pipeline_depth=2, num_consumer_groups=2,
+                                    persistent=True), 128, 256),
+    ]
+
+
+def mha_steps() -> List[AblationStep]:
+    ws = dict(enable_warp_specialization=True, mma_pipeline_depth=2)
+    return [
+        AblationStep("Triton w/o WS", NAIVE_OPTIONS, 64, 128),
+        AblationStep("+Auto WS",
+                     CompileOptions(**ws, aref_depth=2, num_consumer_groups=1,
+                                    coarse_grained_pipelining=False), 64, 128),
+        AblationStep("+Cooperative WGs",
+                     CompileOptions(**ws, aref_depth=2, num_consumer_groups=2,
+                                    coarse_grained_pipelining=False), 128, 128),
+        AblationStep("+Pipeline",
+                     CompileOptions(**ws, aref_depth=2, num_consumer_groups=2,
+                                    coarse_grained_pipelining=True), 128, 128),
+        AblationStep("+Better Aref Size",
+                     CompileOptions(**ws, aref_depth=3, num_consumer_groups=2,
+                                    coarse_grained_pipelining=True), 128, 128),
+    ]
+
+
+def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResult]:
+    device = device or common.perf_device()
+
+    gemm_fig = FigureResult(name="fig12-gemm",
+                            title=f"GEMM ablation (K={FULL_K if full else REDUCED_K}), TFLOP/s",
+                            x_label="step")
+    for i, step in enumerate(gemm_steps()):
+        problem = GemmProblem(M=8192, N=8192, K=FULL_K if full else REDUCED_K,
+                              block_m=step.block_m, block_n=step.block_n, block_k=64)
+        value = common.measure_gemm(device, problem, step.options)
+        gemm_fig.add(step.label, i, value, step=step.label)
+
+    mha_fig = FigureResult(name="fig12-mha",
+                           title=f"MHA ablation (L={FULL_L if full else REDUCED_L}), TFLOP/s",
+                           x_label="step")
+    for i, step in enumerate(mha_steps()):
+        problem = AttentionProblem(batch=4, heads=32, seq_len=FULL_L if full else REDUCED_L,
+                                   head_dim=128, causal=False,
+                                   block_m=step.block_m, block_n=step.block_n)
+        value = common.measure_attention(device, problem, step.options)
+        mha_fig.add(step.label, i, value, step=step.label)
+
+    return [gemm_fig, mha_fig]
+
+
+def render_ablation(fig: FigureResult) -> str:
+    rows = [[row.series, f"{row.tflops:.0f}"] for row in fig.rows]
+    return f"== {fig.name}: {fig.title} ==\n" + render_table(["step", "TFLOP/s"], rows)
+
+
+def main() -> None:  # pragma: no cover
+    for fig in run(full=True):
+        print(render_ablation(fig))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

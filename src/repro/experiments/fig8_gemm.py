@@ -1,0 +1,73 @@
+"""Figure 8: GEMM throughput for FP16 and FP8, M = N = 8192, K swept.
+
+Series: Theoretical Peak, cuBLAS (analytic), Tawa (simulated), Triton
+(simulated), TileLang (analytic), ThunderKittens (analytic).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines import analytic
+from repro.experiments import common
+from repro.gpusim.device import Device
+from repro.kernels.gemm import GemmProblem
+from repro.perf.metrics import FigureResult
+
+FULL_K_SWEEP = [256, 512, 1024, 2048, 4096, 8192, 16384]
+REDUCED_K_SWEEP = [512, 4096, 16384]
+DTYPES = ["f16", "f8e4m3"]
+
+
+def gemm_problem(k: int, dtype: str) -> GemmProblem:
+    return GemmProblem(M=8192, N=8192, K=k, dtype=dtype,
+                       block_m=128, block_n=256, block_k=64)
+
+
+def run(full: bool = False, device: Optional[Device] = None,
+        dtypes: Optional[List[str]] = None) -> List[FigureResult]:
+    """Regenerate both panels of Fig. 8 (one FigureResult per precision)."""
+    device = device or common.perf_device()
+    ks = FULL_K_SWEEP if full else REDUCED_K_SWEEP
+    dtypes = dtypes or (DTYPES if full else ["f16"])
+
+    results = []
+    for dtype in dtypes:
+        fig = FigureResult(
+            name=f"fig8-{dtype}",
+            title=f"GEMM throughput (TFLOP/s), M=N=8192, {dtype.upper()}",
+            x_label="K",
+        )
+        peak = analytic.theoretical_peak_tflops(dtype, device.config)
+        for k in ks:
+            problem = gemm_problem(k, dtype)
+            fig.add(common.PEAK, k, peak)
+            fig.add("cuBLAS", k,
+                    analytic.CUBLAS_GEMM.tflops(problem.flops, problem.bytes_moved, dtype,
+                                                device.config))
+            fig.add(common.TAWA, k, common.measure_gemm(device, problem,
+                                                        common.tawa_gemm_options()))
+            fig.add(common.TRITON, k, common.measure_gemm(device, problem,
+                                                          common.triton_options()))
+            fig.add("TileLang", k,
+                    analytic.TILELANG_GEMM.tflops(problem.flops, problem.bytes_moved, dtype,
+                                                  device.config))
+            fig.add("ThunderKittens", k,
+                    analytic.THUNDERKITTENS_GEMM.tflops(problem.flops, problem.bytes_moved,
+                                                        dtype, device.config))
+        fig.notes.append(
+            "Tawa and Triton are compiled and simulated; cuBLAS/TileLang/ThunderKittens "
+            "are analytic reference models (see DESIGN.md)."
+        )
+        results.append(fig)
+    return results
+
+
+def main() -> None:  # pragma: no cover - convenience entry point
+    for fig in run(full=True):
+        print(fig.render())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,87 @@
+"""Figure 9: FP16 batched GEMM and grouped GEMM.
+
+Left panel: batched GEMM, batch size 8, square M = N = K swept from 1K to 16K.
+Right panel: grouped GEMM with G groups whose M sizes are multiples of 512
+(N and K fixed).  Series: Tawa and Triton (simulated), TileLang (analytic);
+ThunderKittens provides no working kernels for these cases (paper section V-C).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines import analytic
+from repro.experiments import common
+from repro.gpusim.device import Device
+from repro.kernels.batched_gemm import BatchedGemmProblem
+from repro.kernels.grouped_gemm import GroupedGemmProblem
+from repro.perf.metrics import FigureResult
+
+FULL_SIZES = [1024, 2048, 4096, 8192, 16384]
+REDUCED_SIZES = [1024, 4096]
+FULL_GROUPS = [2, 3, 4, 5, 6]
+REDUCED_GROUPS = [2, 4]
+
+
+def batched_problem(size: int) -> BatchedGemmProblem:
+    return BatchedGemmProblem(batch=8, M=size, N=size, K=size,
+                              block_m=128, block_n=256, block_k=64)
+
+
+def grouped_problem(groups: int) -> GroupedGemmProblem:
+    return GroupedGemmProblem.with_groups(groups, N=4096, K=4096,
+                                          block_m=128, block_n=256, block_k=64)
+
+
+def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResult]:
+    device = device or common.perf_device()
+    sizes = FULL_SIZES if full else REDUCED_SIZES
+    groups = FULL_GROUPS if full else REDUCED_GROUPS
+
+    batched = FigureResult(
+        name="fig9-batched",
+        title="FP16 batched GEMM throughput (TFLOP/s), batch=8",
+        x_label="M=N=K",
+    )
+    for size in sizes:
+        problem = batched_problem(size)
+        bytes_moved = analytic.batched_gemm_bytes(problem)
+        batched.add(common.TAWA, size,
+                    common.measure_batched_gemm(device, problem, common.tawa_gemm_options()))
+        batched.add(common.TRITON, size,
+                    common.measure_batched_gemm(device, problem, common.triton_options()))
+        batched.add("TileLang", size,
+                    analytic.TILELANG_BATCHED.tflops(problem.flops, bytes_moved, "f16",
+                                                     device.config))
+
+    grouped = FigureResult(
+        name="fig9-grouped",
+        title="FP16 grouped GEMM throughput (TFLOP/s), N=K=4096",
+        x_label="num_groups",
+    )
+    for g in groups:
+        problem = grouped_problem(g)
+        bytes_moved = analytic.grouped_gemm_bytes(problem)
+        grouped.add(common.TAWA, g,
+                    common.measure_grouped_gemm(device, problem, common.tawa_gemm_options()))
+        grouped.add(common.TRITON, g,
+                    common.measure_grouped_gemm(device, problem, common.triton_options()))
+        # TileLang handles small group counts well but degrades as the group
+        # count (and shape diversity) grows -- modelled as a mild penalty per
+        # extra group on top of its grouped-GEMM roofline.
+        tl = analytic.TILELANG_GROUPED.tflops(problem.flops, bytes_moved, "f16", device.config)
+        grouped.add("TileLang", g, tl * max(0.55, 1.0 - 0.08 * (g - 2)))
+
+    for fig in (batched, grouped):
+        fig.notes.append("ThunderKittens has no functioning batched/grouped GEMM kernels.")
+    return [batched, grouped]
+
+
+def main() -> None:  # pragma: no cover
+    for fig in run(full=True):
+        print(fig.render())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

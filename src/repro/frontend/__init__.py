@@ -1,0 +1,25 @@
+"""Triton-like tile-language frontend.
+
+Public surface:
+
+* :data:`tl` -- the language namespace used inside kernels
+  (``tl.tma_load``, ``tl.dot``, ``tl.constexpr``, dtypes, ...).
+* :func:`kernel` (alias :func:`jit`) -- the decorator that turns a Python
+  function into a compilable :class:`Kernel`.
+"""
+
+from repro.frontend import language as tl
+from repro.frontend.errors import FrontendError, TypeMismatchError, UnsupportedSyntaxError
+from repro.frontend.kernel import Kernel, KernelParam, Specialization, jit, kernel
+
+__all__ = [
+    "tl",
+    "kernel",
+    "jit",
+    "Kernel",
+    "KernelParam",
+    "Specialization",
+    "FrontendError",
+    "TypeMismatchError",
+    "UnsupportedSyntaxError",
+]

@@ -1,0 +1,838 @@
+"""AST-driven code generation: Python kernel functions -> tile IR.
+
+Like the real Triton frontend, kernels are never executed as Python.  The
+decorated function's source is parsed with :mod:`ast` and walked statement by
+statement; names are bound either to IR SSA values or to compile-time Python
+values (constexpr parameters, tile shapes, dtypes), and expressions become
+``arith``/``tt`` operations.
+
+The interesting parts are:
+
+* **loops** -- ``for k in range(...)`` / ``tl.range(...)`` becomes ``scf.for``;
+  the loop-carried values are inferred as the names assigned inside the body
+  that already exist before the loop (Triton's rule), and they are rebound to
+  the loop's results afterwards.  ``tl.static_range`` unrolls.
+* **conditionals** -- ``if`` with a compile-time condition is resolved
+  statically; a dynamic condition becomes ``scf.if`` whose carried names must
+  already be defined (their types give the result types).
+* **subscripts** -- ``x[:, None]`` / ``x[None, :]`` map to ``tt.expand_dims``.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.frontend import language as tl_lang
+from repro.frontend.errors import FrontendError, TypeMismatchError, UnsupportedSyntaxError
+from repro.ir import Builder, Value
+from repro.ir.dialects import arith, scf, tt
+from repro.ir.operation import Operation
+from repro.ir.types import (
+    PointerType,
+    ScalarType,
+    TensorDescType,
+    TensorType,
+    Type,
+    f32,
+    i1,
+    i32,
+)
+
+
+class _BoundMethod:
+    """A method reference on an IR value (``x.to``), resolved at call time."""
+
+    def __init__(self, value: Value, name: str):
+        self.value = value
+        self.name = name
+
+
+class CodeGenerator(ast.NodeVisitor):
+    """Generates IR for one kernel function body."""
+
+    def __init__(
+        self,
+        *,
+        kernel_name: str,
+        builder: Builder,
+        symbols: Dict[str, Any],
+        globals: Dict[str, Any],
+        source_lines: Optional[List[str]] = None,
+    ):
+        self.kernel_name = kernel_name
+        self.builder = builder
+        self.symbols = symbols
+        self.globals = globals
+        self.source_lines = source_lines or []
+        self._lineno: Optional[int] = None
+
+    # ------------------------------------------------------------------ utils
+
+    def error(self, message: str, cls=FrontendError) -> FrontendError:
+        line = None
+        if self._lineno is not None and 0 < self._lineno <= len(self.source_lines):
+            line = self.source_lines[self._lineno - 1]
+        return cls(message, kernel=self.kernel_name, lineno=self._lineno, source_line=line)
+
+    def _note_lineno(self, node: ast.AST) -> None:
+        if hasattr(node, "lineno"):
+            self._lineno = node.lineno
+
+    # -- value coercion --------------------------------------------------------
+
+    def is_ir(self, value: Any) -> bool:
+        return isinstance(value, Value)
+
+    def to_ir(self, value: Any, hint: Optional[Type] = None) -> Value:
+        """Convert a Python constant into an IR value (constants keep their hint type)."""
+        if isinstance(value, Value):
+            return value
+        if isinstance(value, bool):
+            return self.builder.create(arith.ConstantOp, bool(value), i1).result
+        if isinstance(value, int):
+            ty = hint if isinstance(hint, ScalarType) and hint.is_integer else i32
+            return self.builder.create(arith.ConstantOp, int(value), ty).result
+        if isinstance(value, float):
+            ty = hint if isinstance(hint, ScalarType) and hint.is_float else f32
+            return self.builder.create(arith.ConstantOp, float(value), ty).result
+        raise self.error(
+            f"cannot convert Python value {value!r} of type {type(value).__name__} to an IR value",
+            TypeMismatchError,
+        )
+
+    def _element_type(self, value: Any) -> Optional[Type]:
+        if not isinstance(value, Value):
+            return None
+        ty = value.type
+        if isinstance(ty, TensorType):
+            return ty.element_type
+        return ty
+
+    # ------------------------------------------------------------- entry point
+
+    def run_body(self, statements: Sequence[ast.stmt]) -> None:
+        for stmt in statements:
+            self.visit(stmt)
+
+    def visit(self, node: ast.AST):
+        """Statement dispatch that converts IR-level errors into frontend errors."""
+        from repro.ir import IRError
+
+        try:
+            return super().visit(node)
+        except (FrontendError, UnsupportedSyntaxError):
+            raise
+        except IRError as exc:
+            raise self.error(str(exc), TypeMismatchError) from exc
+
+    def generic_visit(self, node: ast.AST):
+        self._note_lineno(node)
+        raise self.error(
+            f"unsupported Python construct: {type(node).__name__}", UnsupportedSyntaxError
+        )
+
+    # -------------------------------------------------------------- statements
+
+    def visit_Pass(self, node: ast.Pass) -> None:  # noqa: N802
+        return None
+
+    def visit_Expr(self, node: ast.Expr) -> None:  # noqa: N802
+        self._note_lineno(node)
+        if isinstance(node.value, ast.Constant) and isinstance(node.value.value, str):
+            return None  # docstring
+        self.eval_expr(node.value)
+
+    def visit_Assign(self, node: ast.Assign) -> None:  # noqa: N802
+        self._note_lineno(node)
+        value = self.eval_expr(node.value)
+        for target in node.targets:
+            self._assign_target(target, value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:  # noqa: N802
+        self._note_lineno(node)
+        if node.value is None:
+            raise self.error("annotated assignments must have a value")
+        self._assign_target(node.target, self.eval_expr(node.value))
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:  # noqa: N802
+        self._note_lineno(node)
+        if not isinstance(node.target, ast.Name):
+            raise self.error("augmented assignment targets must be simple names")
+        current = self._lookup(node.target.id)
+        value = self.eval_expr(node.value)
+        result = self._binary(node.op, current, value)
+        self.symbols[node.target.id] = result
+
+    def _assign_target(self, target: ast.expr, value: Any) -> None:
+        if isinstance(target, ast.Name):
+            self.symbols[target.id] = value
+            return
+        if isinstance(target, ast.Tuple):
+            if not isinstance(value, (tuple, list)) or len(value) != len(target.elts):
+                raise self.error("tuple assignment arity mismatch")
+            for sub, val in zip(target.elts, value):
+                self._assign_target(sub, val)
+            return
+        raise self.error(
+            f"unsupported assignment target {type(target).__name__}", UnsupportedSyntaxError
+        )
+
+    def visit_Assert(self, node: ast.Assert) -> None:  # noqa: N802
+        self._note_lineno(node)
+        cond = self.eval_expr(node.test)
+        if self.is_ir(cond):
+            raise self.error("assert on runtime values is not supported; use tl.static_assert")
+        if not cond:
+            msg = self.eval_expr(node.msg) if node.msg is not None else "static assertion failed"
+            raise self.error(f"static assert failed: {msg}")
+
+    def visit_Return(self, node: ast.Return) -> None:  # noqa: N802
+        self._note_lineno(node)
+        if node.value is not None and not (
+            isinstance(node.value, ast.Constant) and node.value.value is None
+        ):
+            raise self.error("kernels cannot return values")
+
+    # -- loops -----------------------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:  # noqa: N802
+        self._note_lineno(node)
+        if node.orelse:
+            raise self.error("for/else is not supported", UnsupportedSyntaxError)
+        if not isinstance(node.target, ast.Name):
+            raise self.error("loop targets must be simple names")
+        bounds, is_static = self._loop_bounds(node.iter)
+        if is_static:
+            self._unroll_static_loop(node, bounds)
+        else:
+            self._build_scf_for(node, bounds)
+
+    def _loop_bounds(self, iter_node: ast.expr) -> Tuple[Tuple[Any, Any, Any], bool]:
+        """Extract (lb, ub, step) and whether the loop must be unrolled."""
+        if not isinstance(iter_node, ast.Call):
+            raise self.error("loops must iterate over range(...) or tl.range(...)")
+        func = self.eval_expr(iter_node.func)
+        is_static = False
+        if func is builtins.range:
+            pass
+        elif isinstance(func, tl_lang.TLBuiltin) and func.name == "range":
+            pass
+        elif isinstance(func, tl_lang.TLBuiltin) and func.name == "static_range":
+            is_static = True
+        else:
+            raise self.error(
+                "loops must iterate over range(...), tl.range(...) or tl.static_range(...)"
+            )
+        args = [self.eval_expr(a) for a in iter_node.args]
+        if len(args) == 1:
+            lb, ub, step = 0, args[0], 1
+        elif len(args) == 2:
+            lb, ub, step = args[0], args[1], 1
+        elif len(args) == 3:
+            lb, ub, step = args
+        else:
+            raise self.error("range() takes 1 to 3 arguments")
+        if is_static and not all(isinstance(v, int) for v in (lb, ub, step)):
+            raise self.error("tl.static_range bounds must be compile-time integers")
+        return (lb, ub, step), is_static
+
+    def _unroll_static_loop(self, node: ast.For, bounds: Tuple[Any, Any, Any]) -> None:
+        lb, ub, step = bounds
+        for i in builtins.range(lb, ub, step):
+            self.symbols[node.target.id] = i
+            self.run_body(node.body)
+
+    def _assigned_names(self, statements: Sequence[ast.stmt]) -> List[str]:
+        """Names (re)assigned anywhere in a statement list, in first-assignment order."""
+        names: List[str] = []
+
+        class _Collector(ast.NodeVisitor):
+            def visit_Assign(self, n):  # noqa: N802
+                for t in n.targets:
+                    self._collect(t)
+                self.generic_visit(n)
+
+            def visit_AugAssign(self, n):  # noqa: N802
+                self._collect(n.target)
+                self.generic_visit(n)
+
+            def visit_AnnAssign(self, n):  # noqa: N802
+                self._collect(n.target)
+                self.generic_visit(n)
+
+            def visit_For(self, n):  # noqa: N802
+                self._collect(n.target)
+                self.generic_visit(n)
+
+            def _collect(self, target):
+                if isinstance(target, ast.Name) and target.id not in names:
+                    names.append(target.id)
+                elif isinstance(target, ast.Tuple):
+                    for elt in target.elts:
+                        self._collect(elt)
+
+        collector = _Collector()
+        for stmt in statements:
+            collector.visit(stmt)
+        return names
+
+    def _build_scf_for(self, node: ast.For, bounds: Tuple[Any, Any, Any]) -> None:
+        lb, ub, step = bounds
+        lb_v = self.to_ir(lb, i32)
+        ub_v = self.to_ir(ub, i32)
+        step_v = self.to_ir(step, i32)
+
+        carried = [n for n in self._assigned_names(node.body) if n in self.symbols]
+        # Drop names whose current binding cannot become an SSA value (dtypes,
+        # shapes, descriptors rebound inside the loop would be a user error).
+        inits: List[Value] = []
+        carried_names: List[str] = []
+        for name in carried:
+            current = self.symbols[name]
+            if isinstance(current, Value) or isinstance(current, (int, float, bool)):
+                carried_names.append(name)
+                inits.append(self.to_ir(current))
+        loop = self.builder.create(scf.ForOp, lb_v, ub_v, step_v, inits)
+
+        saved = dict(self.symbols)
+        self.symbols[node.target.id] = loop.induction_var
+        for name, arg in zip(carried_names, loop.iter_args):
+            self.symbols[name] = arg
+
+        with self.builder.at(loop.body):
+            self.run_body(node.body)
+            yielded = []
+            for name, init in zip(carried_names, inits):
+                value = self.symbols[name]
+                value = self.to_ir(value, init.type if isinstance(init.type, ScalarType) else None)
+                if value.type != init.type:
+                    raise self.error(
+                        f"loop-carried variable {name!r} changed type from "
+                        f"{init.type} to {value.type}; initialize it with the final type",
+                        TypeMismatchError,
+                    )
+                yielded.append(value)
+            self.builder.create(scf.YieldOp, yielded)
+
+        # Restore the outer scope: carried names bind to loop results, the
+        # induction variable and any body-local names go out of scope.
+        self.symbols.clear()
+        self.symbols.update(saved)
+        for name, result in zip(carried_names, loop.results):
+            self.symbols[name] = result
+
+    # -- conditionals -----------------------------------------------------------
+
+    def visit_If(self, node: ast.If) -> None:  # noqa: N802
+        self._note_lineno(node)
+        cond = self.eval_expr(node.test)
+        if not self.is_ir(cond):
+            branch = node.body if cond else node.orelse
+            self.run_body(branch)
+            return
+        if isinstance(cond.type, TensorType):
+            raise self.error(
+                "tensor-valued conditions are not allowed in `if`; use tl.where",
+                TypeMismatchError,
+            )
+        assigned = [n for n in self._assigned_names(node.body) + self._assigned_names(node.orelse)]
+        carried = []
+        for name in assigned:
+            if name in carried:
+                continue
+            if name not in self.symbols:
+                raise self.error(
+                    f"variable {name!r} assigned under a runtime `if` must be defined before it"
+                )
+            carried.append(name)
+        inits = [self.to_ir(self.symbols[name]) for name in carried]
+        if_op = self.builder.create(scf.IfOp, cond, [v.type for v in inits], True)
+
+        for block, body in ((if_op.then_block, node.body), (if_op.else_block, node.orelse)):
+            saved = dict(self.symbols)
+            with self.builder.at(block):
+                self.run_body(body)
+                yielded = []
+                for name, init in zip(carried, inits):
+                    value = self.to_ir(self.symbols[name])
+                    if value.type != init.type:
+                        raise self.error(
+                            f"variable {name!r} has type {value.type} in one branch "
+                            f"and {init.type} in the other",
+                            TypeMismatchError,
+                        )
+                    yielded.append(value)
+                self.builder.create(scf.YieldOp, yielded)
+            self.symbols.clear()
+            self.symbols.update(saved)
+        for name, result in zip(carried, if_op.results):
+            self.symbols[name] = result
+
+    # -------------------------------------------------------------- expressions
+
+    def eval_expr(self, node: ast.expr) -> Any:
+        self._note_lineno(node)
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is None:
+            raise self.error(
+                f"unsupported expression: {type(node).__name__}", UnsupportedSyntaxError
+            )
+        return method(node)
+
+    def _lookup(self, name: str) -> Any:
+        if name in self.symbols:
+            return self.symbols[name]
+        if name in self.globals:
+            return self.globals[name]
+        if hasattr(builtins, name):
+            return getattr(builtins, name)
+        raise self.error(f"name {name!r} is not defined")
+
+    def _eval_Name(self, node: ast.Name) -> Any:  # noqa: N802
+        return self._lookup(node.id)
+
+    def _eval_Constant(self, node: ast.Constant) -> Any:  # noqa: N802
+        return node.value
+
+    def _eval_Tuple(self, node: ast.Tuple) -> tuple:  # noqa: N802
+        return tuple(self.eval_expr(e) for e in node.elts)
+
+    def _eval_List(self, node: ast.List) -> list:  # noqa: N802
+        return [self.eval_expr(e) for e in node.elts]
+
+    def _eval_Attribute(self, node: ast.Attribute) -> Any:  # noqa: N802
+        base = self.eval_expr(node.value)
+        attr = node.attr
+        if isinstance(base, Value):
+            ty = base.type
+            if attr == "T":
+                return self.builder.create(tt.TransOp, base).result
+            if attr == "to":
+                return _BoundMethod(base, "to")
+            if attr == "trans":
+                return _BoundMethod(base, "trans")
+            if attr == "shape":
+                if isinstance(ty, TensorType):
+                    return tuple(ty.shape)
+                return ()
+            if attr == "dtype":
+                elem = self._element_type(base)
+                if isinstance(elem, ScalarType):
+                    return tl_lang.ALL_DTYPES[elem.name]
+            raise self.error(f"IR values have no attribute {attr!r}")
+        try:
+            return getattr(base, attr)
+        except AttributeError as exc:
+            raise self.error(f"{base!r} has no attribute {attr!r}") from exc
+
+    def _eval_Subscript(self, node: ast.Subscript) -> Any:  # noqa: N802
+        base = self.eval_expr(node.value)
+        if isinstance(base, Value):
+            return self._tensor_subscript(base, node.slice)
+        index = self.eval_expr(node.slice)
+        return base[index]
+
+    def _tensor_subscript(self, base: Value, slice_node: ast.expr) -> Value:
+        """Handle ``x[:, None]`` / ``x[None, :]`` style axis insertion."""
+        if isinstance(slice_node, ast.Tuple):
+            items = slice_node.elts
+        else:
+            items = [slice_node]
+        result = base
+        axis = 0
+        for item in items:
+            if isinstance(item, ast.Constant) and item.value is None:
+                result = self.builder.create(tt.ExpandDimsOp, result, axis).result
+                axis += 1
+            elif isinstance(item, ast.Slice) and item.lower is None and item.upper is None:
+                axis += 1
+            else:
+                raise self.error(
+                    "only `None` (new axis) and `:` (full slice) subscripts are supported "
+                    "on tiles",
+                    UnsupportedSyntaxError,
+                )
+        return result
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp) -> Any:  # noqa: N802
+        operand = self.eval_expr(node.operand)
+        if not self.is_ir(operand):
+            if isinstance(node.op, ast.USub):
+                return -operand
+            if isinstance(node.op, ast.Not):
+                return not operand
+            if isinstance(node.op, ast.UAdd):
+                return operand
+            raise self.error("unsupported unary operator")
+        elem = self._element_type(operand)
+        if isinstance(node.op, ast.USub):
+            if elem.is_float:
+                return self.builder.create(arith.NegOp, operand).result
+            zero = self.to_ir(0, elem)
+            return self.builder.create(arith.SubIOp, zero, operand).result
+        raise self.error("unsupported unary operator on IR values")
+
+    def _eval_BoolOp(self, node: ast.BoolOp) -> Any:  # noqa: N802
+        values = [self.eval_expr(v) for v in node.values]
+        if not any(self.is_ir(v) for v in values):
+            if isinstance(node.op, ast.And):
+                return builtins.all(values)
+            return builtins.any(values)
+        result = values[0]
+        op_cls = arith.AndIOp if isinstance(node.op, ast.And) else arith.OrIOp
+        for v in values[1:]:
+            lhs = self.to_ir(result, i1)
+            rhs = self.to_ir(v, i1)
+            result = self.builder.create(op_cls, lhs, rhs).result
+        return result
+
+    def _eval_IfExp(self, node: ast.IfExp) -> Any:  # noqa: N802
+        cond = self.eval_expr(node.test)
+        if not self.is_ir(cond):
+            return self.eval_expr(node.body if cond else node.orelse)
+        x = self.eval_expr(node.body)
+        y = self.eval_expr(node.orelse)
+        hint = self._element_type(x) or self._element_type(y)
+        return self.builder.create(
+            arith.SelectOp, cond, self.to_ir(x, hint), self.to_ir(y, hint)
+        ).result
+
+    _COMPARE_PREDICATES = {
+        ast.Eq: "eq",
+        ast.NotEq: "ne",
+        ast.Lt: "slt",
+        ast.LtE: "sle",
+        ast.Gt: "sgt",
+        ast.GtE: "sge",
+    }
+
+    def _eval_Compare(self, node: ast.Compare) -> Any:  # noqa: N802
+        if len(node.ops) != 1:
+            raise self.error("chained comparisons are not supported")
+        lhs = self.eval_expr(node.left)
+        rhs = self.eval_expr(node.comparators[0])
+        pred = self._COMPARE_PREDICATES.get(type(node.ops[0]))
+        if pred is None:
+            raise self.error(f"unsupported comparison {type(node.ops[0]).__name__}")
+        if not self.is_ir(lhs) and not self.is_ir(rhs):
+            return _PYTHON_COMPARE[pred](lhs, rhs)
+        hint = self._element_type(lhs) or self._element_type(rhs)
+        lhs_v, rhs_v = self.to_ir(lhs, hint), self.to_ir(rhs, hint)
+        is_float = isinstance(hint, ScalarType) and hint.is_float
+        cls = arith.CmpFOp if is_float else arith.CmpIOp
+        return self.builder.create(cls, pred, lhs_v, rhs_v).result
+
+    def _eval_BinOp(self, node: ast.BinOp) -> Any:  # noqa: N802
+        lhs = self.eval_expr(node.left)
+        rhs = self.eval_expr(node.right)
+        return self._binary(node.op, lhs, rhs)
+
+    def _binary(self, op: ast.operator, lhs: Any, rhs: Any) -> Any:
+        if not self.is_ir(lhs) and not self.is_ir(rhs):
+            return _PYTHON_BINOPS[type(op)](lhs, rhs)
+        if isinstance(op, ast.MatMult):
+            return self.builder.create(tt.DotOp, self.to_ir(lhs), self.to_ir(rhs)).result
+
+        lhs_elem = self._element_type(lhs)
+        rhs_elem = self._element_type(rhs)
+
+        # Pointer arithmetic.
+        if isinstance(lhs_elem, PointerType) or isinstance(rhs_elem, PointerType):
+            if isinstance(rhs_elem, PointerType):
+                lhs, rhs = rhs, lhs
+                lhs_elem, rhs_elem = rhs_elem, lhs_elem
+            if isinstance(op, ast.Add):
+                return self.builder.create(tt.AddPtrOp, self.to_ir(lhs), self.to_ir(rhs, i32)).result
+            if isinstance(op, ast.Sub):
+                offset = self.to_ir(rhs, i32)
+                zero = self.to_ir(0, i32)
+                neg = self.builder.create(arith.SubIOp, zero, offset).result
+                return self.builder.create(tt.AddPtrOp, self.to_ir(lhs), neg).result
+            raise self.error("only + and - are defined on pointers")
+
+        hint = lhs_elem if isinstance(lhs_elem, ScalarType) else rhs_elem
+        # Prefer a float hint when either side is float (python float literals
+        # must not be truncated to integers).
+        if isinstance(rhs_elem, ScalarType) and rhs_elem.is_float:
+            hint = rhs_elem
+        if isinstance(lhs_elem, ScalarType) and lhs_elem.is_float:
+            hint = lhs_elem
+        if not self.is_ir(lhs) and isinstance(lhs, float) and hint is not None and not hint.is_float:
+            hint = f32
+        if not self.is_ir(rhs) and isinstance(rhs, float) and hint is not None and not hint.is_float:
+            hint = f32
+        lhs_v = self.to_ir(lhs, hint)
+        rhs_v = self.to_ir(rhs, hint)
+        is_float = isinstance(hint, ScalarType) and hint.is_float
+        table = _FLOAT_BINOPS if is_float else _INT_BINOPS
+        cls = table.get(type(op))
+        if cls is None:
+            raise self.error(f"unsupported binary operator {type(op).__name__}")
+        return self.builder.create(cls, lhs_v, rhs_v).result
+
+    # -- calls -------------------------------------------------------------------
+
+    def _eval_Call(self, node: ast.Call) -> Any:  # noqa: N802
+        func = self.eval_expr(node.func)
+        args = [self.eval_expr(a) for a in node.args]
+        kwargs = {kw.arg: self.eval_expr(kw.value) for kw in node.keywords if kw.arg}
+
+        if isinstance(func, _BoundMethod):
+            return self._call_bound_method(func, args, kwargs)
+        if isinstance(func, tl_lang.TLBuiltin):
+            return self._call_builtin(func, args, kwargs)
+        if func is builtins.range:
+            raise self.error("range(...) may only appear as a loop iterator")
+        # Plain Python call on compile-time values (e.g. float('-inf'), len(x)).
+        if any(self.is_ir(a) for a in args) or any(self.is_ir(v) for v in kwargs.values()):
+            raise self.error(
+                f"cannot call Python function {getattr(func, '__name__', func)!r} on runtime values"
+            )
+        return func(*args, **kwargs)
+
+    def _call_bound_method(self, method: _BoundMethod, args, kwargs) -> Value:
+        if method.name == "to":
+            if len(args) != 1 or not isinstance(args[0], tl_lang.DType):
+                raise self.error(".to() expects a single tl dtype argument")
+            return self.builder.create(arith.CastOp, method.value, args[0].ir).result
+        if method.name == "trans":
+            return self.builder.create(tt.TransOp, method.value).result
+        raise self.error(f"unsupported method {method.name!r}")
+
+    def _call_builtin(self, func: tl_lang.TLBuiltin, args, kwargs) -> Any:
+        handler = getattr(self, f"_tl_{func.name}", None)
+        if handler is None:
+            raise self.error(f"tl.{func.name} is not supported inside kernels yet")
+        return handler(*args, **kwargs)
+
+    # -- tl.* implementations ------------------------------------------------------
+
+    def _tl_program_id(self, axis=0) -> Value:
+        return self.builder.create(tt.GetProgramIdOp, int(axis)).result
+
+    def _tl_num_programs(self, axis=0) -> Value:
+        return self.builder.create(tt.GetNumProgramsOp, int(axis)).result
+
+    def _tl_cdiv(self, a, b) -> Any:
+        if not self.is_ir(a) and not self.is_ir(b):
+            return -(-a // b)
+        a_v = self.to_ir(a, i32)
+        b_v = self.to_ir(b, i32)
+        one = self.to_ir(1, i32)
+        num = self.builder.create(arith.AddIOp, a_v, b_v).result
+        num = self.builder.create(arith.SubIOp, num, one).result
+        return self.builder.create(arith.DivSIOp, num, b_v).result
+
+    def _tl_arange(self, start, end) -> Value:
+        if self.is_ir(start) or self.is_ir(end):
+            raise self.error("tl.arange bounds must be compile-time constants")
+        return self.builder.create(tt.MakeRangeOp, int(start), int(end)).result
+
+    def _tl_zeros(self, shape, dtype=tl_lang.float32) -> Value:
+        return self._tl_full(shape, 0.0 if dtype.ir.is_float else 0, dtype)
+
+    def _tl_full(self, shape, value, dtype) -> Value:
+        shape = self._static_shape(shape)
+        if self.is_ir(value):
+            splat = self.builder.create(arith.CastOp, value, dtype.ir).result \
+                if self._element_type(value) != dtype.ir else value
+            return self.builder.create(tt.SplatOp, splat, shape).result
+        return self.builder.create(tt.FullOp, shape, value, dtype.ir).result
+
+    def _tl_tma_load(self, desc, coords, shape) -> Value:
+        if not self.is_ir(desc) or not isinstance(desc.type, TensorDescType):
+            raise self.error("tl.tma_load expects a tensor descriptor argument")
+        coords_v = [self.to_ir(c, i32) for c in self._as_list(coords)]
+        tile = self._static_shape(shape)
+        return self.builder.create(tt.TmaLoadOp, desc, coords_v, tile).result
+
+    def _tl_tma_store(self, desc, coords, value) -> None:
+        coords_v = [self.to_ir(c, i32) for c in self._as_list(coords)]
+        value = self.to_ir(value)
+        elem = desc.type.element_type
+        if isinstance(value.type, TensorType) and value.type.element_type != elem:
+            value = self.builder.create(arith.CastOp, value, elem).result
+        self.builder.create(tt.TmaStoreOp, desc, coords_v, value)
+
+    def _tl_load(self, ptr, mask=None, other=None) -> Value:
+        ptr = self.to_ir(ptr)
+        mask_v = self.to_ir(mask) if mask is not None and self.is_ir(mask) else None
+        other_v = None
+        if other is not None:
+            elem = self._element_type(ptr)
+            pointee = elem.pointee if isinstance(elem, PointerType) else f32
+            other_v = self.to_ir(other, pointee)
+        return self.builder.create(tt.LoadOp, ptr, mask_v, other_v).result
+
+    def _tl_store(self, ptr, value, mask=None) -> None:
+        ptr = self.to_ir(ptr)
+        value = self.to_ir(value)
+        elem = self._element_type(ptr)
+        if isinstance(elem, PointerType):
+            pointee = elem.pointee
+            velem = self._element_type(value)
+            if velem != pointee:
+                value = self.builder.create(arith.CastOp, value, pointee).result
+        mask_v = self.to_ir(mask) if mask is not None and self.is_ir(mask) else None
+        self.builder.create(tt.StoreOp, ptr, value, mask_v)
+
+    def _tl_dot(self, a, b, acc=None) -> Value:
+        a_v, b_v = self.to_ir(a), self.to_ir(b)
+        acc_v = self.to_ir(acc) if acc is not None else None
+        return self.builder.create(tt.DotOp, a_v, b_v, acc_v).result
+
+    def _tl_trans(self, x) -> Value:
+        return self.builder.create(tt.TransOp, self.to_ir(x)).result
+
+    def _tl_where(self, cond, x, y) -> Value:
+        hint = self._element_type(x) or self._element_type(y) or f32
+        return self.builder.create(
+            tt.WhereOp, self.to_ir(cond), self.to_ir(x, hint), self.to_ir(y, hint)
+        ).result
+
+    def _unary(self, cls, x) -> Any:
+        if not self.is_ir(x):
+            raise self.error("math functions require a tile or scalar IR value")
+        return self.builder.create(cls, x).result
+
+    def _tl_exp(self, x):
+        return self._unary(arith.ExpOp, x)
+
+    def _tl_exp2(self, x):
+        return self._unary(arith.Exp2Op, x)
+
+    def _tl_log(self, x):
+        return self._unary(arith.LogOp, x)
+
+    def _tl_log2(self, x):
+        return self._unary(arith.Log2Op, x)
+
+    def _tl_sqrt(self, x):
+        return self._unary(arith.SqrtOp, x)
+
+    def _tl_rsqrt(self, x):
+        return self._unary(arith.RsqrtOp, x)
+
+    def _tl_abs(self, x):
+        return self._unary(arith.AbsOp, x)
+
+    def _tl_sigmoid(self, x):
+        return self._unary(arith.SigmoidOp, x)
+
+    def _tl_tanh(self, x):
+        return self._unary(arith.TanhOp, x)
+
+    def _reduce(self, x, axis, kind) -> Value:
+        if axis is None:
+            raise self.error("reductions require an explicit axis")
+        return self.builder.create(tt.ReduceOp, self.to_ir(x), int(axis), kind).result
+
+    def _tl_sum(self, x, axis=None):
+        return self._reduce(x, axis, "sum")
+
+    def _tl_max(self, x, axis=None):
+        return self._reduce(x, axis, "max")
+
+    def _tl_min(self, x, axis=None):
+        return self._reduce(x, axis, "min")
+
+    def _tl_maximum(self, a, b) -> Any:
+        if not self.is_ir(a) and not self.is_ir(b):
+            return builtins.max(a, b)
+        hint = self._element_type(a) or self._element_type(b)
+        a_v, b_v = self.to_ir(a, hint), self.to_ir(b, hint)
+        cls = arith.MaxFOp if hint.is_float else arith.MaxSIOp
+        return self.builder.create(cls, a_v, b_v).result
+
+    def _tl_minimum(self, a, b) -> Any:
+        if not self.is_ir(a) and not self.is_ir(b):
+            return builtins.min(a, b)
+        hint = self._element_type(a) or self._element_type(b)
+        a_v, b_v = self.to_ir(a, hint), self.to_ir(b, hint)
+        cls = arith.MinFOp if hint.is_float else arith.MinSIOp
+        return self.builder.create(cls, a_v, b_v).result
+
+    def _tl_cast(self, x, dtype) -> Value:
+        return self.builder.create(arith.CastOp, self.to_ir(x), dtype.ir).result
+
+    def _tl_reshape(self, x, shape) -> Value:
+        return self.builder.create(tt.ReshapeOp, self.to_ir(x), self._static_shape(shape)).result
+
+    def _tl_expand_dims(self, x, axis) -> Value:
+        return self.builder.create(tt.ExpandDimsOp, self.to_ir(x), int(axis)).result
+
+    def _tl_broadcast_to(self, x, shape) -> Value:
+        return self.builder.create(tt.BroadcastOp, self.to_ir(x), self._static_shape(shape)).result
+
+    def _tl_multiple_of(self, x, *_args) -> Any:
+        return x
+
+    def _tl_static_assert(self, cond, msg="static assertion failed") -> None:
+        if self.is_ir(cond):
+            raise self.error("tl.static_assert requires a compile-time condition")
+        if not cond:
+            raise self.error(f"tl.static_assert failed: {msg}")
+
+    def _tl_static_print(self, *args) -> None:
+        print(f"[{self.kernel_name}]", *args)
+
+    # -- small helpers --------------------------------------------------------------
+
+    def _as_list(self, value) -> list:
+        if isinstance(value, (list, tuple)):
+            return list(value)
+        return [value]
+
+    def _static_shape(self, shape) -> Tuple[int, ...]:
+        dims = self._as_list(shape)
+        out = []
+        for d in dims:
+            if self.is_ir(d):
+                raise self.error("tile shapes must be compile-time constants (tl.constexpr)")
+            out.append(int(d))
+        return tuple(out)
+
+
+_PYTHON_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.Pow: lambda a, b: a ** b,
+    ast.MatMult: lambda a, b: a @ b,
+}
+
+_PYTHON_COMPARE = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+}
+
+_INT_BINOPS = {
+    ast.Add: arith.AddIOp,
+    ast.Sub: arith.SubIOp,
+    ast.Mult: arith.MulIOp,
+    ast.Div: arith.DivSIOp,
+    ast.FloorDiv: arith.DivSIOp,
+    ast.Mod: arith.RemSIOp,
+    ast.BitAnd: arith.AndIOp,
+    ast.BitOr: arith.OrIOp,
+    ast.BitXor: arith.XOrIOp,
+}
+
+_FLOAT_BINOPS = {
+    ast.Add: arith.AddFOp,
+    ast.Sub: arith.SubFOp,
+    ast.Mult: arith.MulFOp,
+    ast.Div: arith.DivFOp,
+    ast.FloorDiv: arith.DivFOp,
+    ast.Pow: arith.PowFOp,
+}

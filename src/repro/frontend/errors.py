@@ -1,0 +1,36 @@
+"""Frontend diagnostics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class FrontendError(Exception):
+    """A user-facing error in a kernel definition.
+
+    Carries the kernel name and source line when available so the message
+    points at the offending statement rather than at compiler internals.
+    """
+
+    def __init__(self, message: str, *, kernel: Optional[str] = None,
+                 lineno: Optional[int] = None, source_line: Optional[str] = None):
+        self.kernel = kernel
+        self.lineno = lineno
+        self.source_line = source_line
+        prefix = ""
+        if kernel:
+            prefix += f"in kernel {kernel!r}"
+        if lineno is not None:
+            prefix += f" (line {lineno})"
+        full = f"{prefix}: {message}" if prefix else message
+        if source_line:
+            full += f"\n    {source_line.strip()}"
+        super().__init__(full)
+
+
+class UnsupportedSyntaxError(FrontendError):
+    """Raised for Python constructs the tile language does not support."""
+
+
+class TypeMismatchError(FrontendError):
+    """Raised when operand types cannot be combined."""

@@ -1,0 +1,192 @@
+"""The ``@kernel`` decorator and IR generation driver.
+
+A :class:`Kernel` wraps a Python function written against the ``tl`` language.
+It parses the source once, records which parameters are ``tl.constexpr``, and
+can generate a fresh IR module for any combination of argument types and
+constexpr values (the *specialization*).  Caching of specializations is the
+job of the Tawa driver (:mod:`repro.core.compiler`); this module only turns
+Python into IR.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.frontend import language as tl_lang
+from repro.frontend.codegen import CodeGenerator
+from repro.frontend.errors import FrontendError
+from repro.ir import Builder, FuncOp, ModuleOp, ReturnOp, verify
+from repro.ir.dialects import ensure_loaded
+from repro.ir.types import FunctionType, ScalarType, Type, f32, i1, i32
+
+
+def _is_constexpr_annotation(annotation: Any) -> bool:
+    """Whether a parameter annotation marks a compile-time constant."""
+    if annotation is inspect.Parameter.empty:
+        return False
+    if annotation is tl_lang.constexpr or isinstance(annotation, tl_lang.constexpr):
+        return True
+    if isinstance(annotation, str):
+        return "constexpr" in annotation or annotation.endswith(".const")
+    return False
+
+
+@dataclass
+class KernelParam:
+    name: str
+    is_constexpr: bool
+    default: Any = inspect.Parameter.empty
+
+    @property
+    def has_default(self) -> bool:
+        return self.default is not inspect.Parameter.empty
+
+
+@dataclass
+class Specialization:
+    """A fully-bound request to generate IR for a kernel."""
+
+    arg_types: Tuple[Tuple[str, Type], ...]
+    constexprs: Tuple[Tuple[str, Any], ...]
+    num_warps: int = 8
+
+    def key(self) -> tuple:
+        return (self.arg_types, self.constexprs, self.num_warps)
+
+
+class Kernel:
+    """A tile-language kernel (the object produced by ``@kernel``)."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.name = fn.__name__
+        self.__doc__ = fn.__doc__
+        source = textwrap.dedent(inspect.getsource(fn))
+        self._source = source
+        self._source_lines = source.splitlines()
+        tree = ast.parse(source)
+        func_defs = [n for n in tree.body if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+        if not func_defs:
+            raise FrontendError(f"could not find a function definition in source of {self.name}")
+        self._func_ast = func_defs[0]
+        self.params = self._extract_params()
+
+    # -- signature ---------------------------------------------------------------
+
+    def _extract_params(self) -> List[KernelParam]:
+        sig = inspect.signature(self.fn)
+        params = []
+        for p in sig.parameters.values():
+            if p.kind not in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY):
+                raise FrontendError(
+                    f"kernel {self.name!r}: *args/**kwargs parameters are not supported"
+                )
+            params.append(KernelParam(p.name, _is_constexpr_annotation(p.annotation), p.default))
+        return params
+
+    @property
+    def runtime_param_names(self) -> List[str]:
+        return [p.name for p in self.params if not p.is_constexpr]
+
+    @property
+    def constexpr_param_names(self) -> List[str]:
+        return [p.name for p in self.params if p.is_constexpr]
+
+    def specialize(
+        self,
+        arg_types: Mapping[str, Type] | Sequence[Type],
+        constexprs: Optional[Mapping[str, Any]] = None,
+        num_warps: int = 8,
+    ) -> Specialization:
+        """Bind argument types and constexpr values into a specialization.
+
+        ``arg_types`` maps runtime parameter names to IR types (or is a
+        sequence in declaration order).  ``constexprs`` supplies values for
+        every ``tl.constexpr`` parameter without a default.
+        """
+        constexprs = dict(constexprs or {})
+        runtime_names = self.runtime_param_names
+        if not isinstance(arg_types, Mapping):
+            if len(arg_types) != len(runtime_names):
+                raise FrontendError(
+                    f"kernel {self.name!r} takes {len(runtime_names)} runtime arguments, "
+                    f"got {len(arg_types)} types"
+                )
+            arg_types = dict(zip(runtime_names, arg_types))
+        missing = [n for n in runtime_names if n not in arg_types]
+        if missing:
+            raise FrontendError(f"kernel {self.name!r}: missing types for arguments {missing}")
+        bound_consts = []
+        for p in self.params:
+            if not p.is_constexpr:
+                continue
+            if p.name in constexprs:
+                bound_consts.append((p.name, constexprs[p.name]))
+            elif p.has_default:
+                bound_consts.append((p.name, p.default))
+            else:
+                raise FrontendError(
+                    f"kernel {self.name!r}: constexpr parameter {p.name!r} has no value"
+                )
+        unknown = set(constexprs) - set(self.constexpr_param_names)
+        if unknown:
+            raise FrontendError(
+                f"kernel {self.name!r}: {sorted(unknown)} are not constexpr parameters"
+            )
+        typed = tuple((n, arg_types[n]) for n in runtime_names)
+        return Specialization(typed, tuple(bound_consts), num_warps)
+
+    # -- IR generation --------------------------------------------------------------
+
+    def build_module(self, spec: Specialization) -> ModuleOp:
+        """Generate a fresh IR module for one specialization."""
+        ensure_loaded()
+        module = ModuleOp({"num-warps": spec.num_warps})
+        arg_names = [n for n, _ in spec.arg_types]
+        arg_irtypes = [t for _, t in spec.arg_types]
+        func = FuncOp(self.name, FunctionType(tuple(arg_irtypes), ()),
+                      {"arg_names": list(arg_names)})
+        module.append(func)
+
+        symbols: Dict[str, Any] = {}
+        for name, value in zip(arg_names, func.arguments):
+            symbols[name] = value
+        for name, value in spec.constexprs:
+            symbols[name] = value
+
+        builder = Builder(func.body)
+        cg = CodeGenerator(
+            kernel_name=self.name,
+            builder=builder,
+            symbols=symbols,
+            globals=self.fn.__globals__,
+            source_lines=self._source_lines,
+        )
+        cg.run_body(self._func_ast.body)
+        builder.create(ReturnOp)
+        verify(module, context=f"IR generated from kernel {self.name!r}")
+        return module
+
+    def __call__(self, *args, **kwargs):
+        raise RuntimeError(
+            f"kernel {self.name!r} cannot be called directly; launch it through "
+            f"repro.gpusim.Device.run(...) or compile it with repro.compile_kernel(...)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<tile kernel {self.name}>"
+
+
+def kernel(fn=None):
+    """Decorator turning a Python function into a tile-language :class:`Kernel`."""
+    if fn is None:
+        return kernel
+    return Kernel(fn)
+
+
+# Triton-compatible alias: ``@jit``.
+jit = kernel

@@ -1,0 +1,161 @@
+"""The ``tl`` tile language namespace.
+
+Kernels are ordinary Python functions decorated with :func:`repro.frontend.kernel`
+that call the functions defined here (``tl.tma_load``, ``tl.dot``, ...).  The
+functions are *markers*: they are never executed at kernel run time.  Instead
+the AST code generator (:mod:`repro.frontend.codegen`) recognizes them by
+identity and emits the corresponding IR.
+
+Calling one of these functions outside a kernel raises a helpful error, except
+for the handful of pure helpers (``cdiv``) that also work on plain Python
+numbers, which makes host-side grid-size computations convenient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.ir import types as irt
+
+
+class constexpr:
+    """Annotation marking a kernel parameter as a compile-time constant.
+
+    Usage::
+
+        def my_kernel(x_ptr, N, BLOCK: tl.constexpr): ...
+
+    ``tl.const`` is an alias, matching the spelling in the paper's listings.
+    """
+
+    def __init__(self, value=None):
+        self.value = value
+
+    def __class_getitem__(cls, item):  # allows tl.constexpr[int]
+        return cls
+
+
+const = constexpr
+
+
+@dataclass(frozen=True)
+class DType:
+    """A tile element type exposed to kernels (``tl.float16`` etc.)."""
+
+    name: str
+
+    @property
+    def ir(self) -> irt.ScalarType:
+        return irt.scalar_type(self.name)
+
+    @property
+    def itemsize_bits(self) -> int:
+        return self.ir.bitwidth
+
+    def __repr__(self) -> str:
+        return f"tl.{self.name}"
+
+
+float8e4m3 = DType("f8e4m3")
+float8e5m2 = DType("f8e5m2")
+float16 = DType("f16")
+bfloat16 = DType("bf16")
+float32 = DType("f32")
+float64 = DType("f64")
+int1 = DType("i1")
+int8 = DType("i8")
+int16 = DType("i16")
+int32 = DType("i32")
+int64 = DType("i64")
+
+ALL_DTYPES = {
+    d.name: d
+    for d in (float8e4m3, float8e5m2, float16, bfloat16, float32, float64,
+              int1, int8, int16, int32, int64)
+}
+
+
+class TLBuiltin:
+    """A marker object for a tile-language builtin function."""
+
+    def __init__(self, name: str, host_impl=None):
+        self.name = name
+        self._host_impl = host_impl
+
+    def __call__(self, *args, **kwargs):
+        if self._host_impl is not None:
+            return self._host_impl(*args, **kwargs)
+        raise RuntimeError(
+            f"tl.{self.name} can only be called inside an @kernel function; "
+            f"it is compiled to IR, not executed"
+        )
+
+    def __repr__(self) -> str:
+        return f"<tl.{self.name}>"
+
+
+def _host_cdiv(a, b):
+    return -(-a // b)
+
+
+# Program / grid queries
+program_id = TLBuiltin("program_id")
+num_programs = TLBuiltin("num_programs")
+
+# Integer helpers (cdiv also works on the host for grid computations)
+cdiv = TLBuiltin("cdiv", host_impl=_host_cdiv)
+minimum = TLBuiltin("minimum", host_impl=min)
+maximum = TLBuiltin("maximum", host_impl=max)
+multiple_of = TLBuiltin("multiple_of", host_impl=lambda x, *_: x)
+
+# Tile constructors
+arange = TLBuiltin("arange")
+zeros = TLBuiltin("zeros")
+full = TLBuiltin("full")
+
+# Memory
+tma_load = TLBuiltin("tma_load")
+tma_store = TLBuiltin("tma_store")
+load = TLBuiltin("load")
+store = TLBuiltin("store")
+
+# Compute
+dot = TLBuiltin("dot")
+trans = TLBuiltin("trans")
+where = TLBuiltin("where")
+exp = TLBuiltin("exp")
+exp2 = TLBuiltin("exp2")
+log = TLBuiltin("log")
+log2 = TLBuiltin("log2")
+sqrt = TLBuiltin("sqrt")
+rsqrt = TLBuiltin("rsqrt")
+abs = TLBuiltin("abs")
+sigmoid = TLBuiltin("sigmoid")
+tanh = TLBuiltin("tanh")
+
+# Reductions (axis-wise)
+sum = TLBuiltin("sum")
+max = TLBuiltin("max")
+min = TLBuiltin("min")
+
+# Casting / reshaping
+cast = TLBuiltin("cast")
+reshape = TLBuiltin("reshape")
+expand_dims = TLBuiltin("expand_dims")
+broadcast_to = TLBuiltin("broadcast_to")
+
+# Loops
+range = TLBuiltin("range")
+static_range = TLBuiltin("static_range")
+
+# Compile-time assertions / debugging
+static_assert = TLBuiltin("static_assert")
+static_print = TLBuiltin("static_print")
+
+
+BUILTINS = {
+    obj.name: obj
+    for obj in list(globals().values())
+    if isinstance(obj, TLBuiltin)
+}

@@ -1,0 +1,38 @@
+"""A discrete-event NVIDIA H100 simulator for warp-specialized kernels.
+
+Public surface:
+
+* :class:`repro.gpusim.config.H100Config` -- hardware parameters.
+* :class:`repro.gpusim.device.Device` -- launch kernels functionally or in
+  performance mode; wrap NumPy arrays into descriptors/pointers.
+* :class:`repro.gpusim.device.LaunchResult` -- time, utilization and outputs.
+* :mod:`repro.gpusim.engine` -- the event engine, mbarriers, deadlock
+  detection (useful directly in tests).
+"""
+
+from repro.gpusim.config import DEFAULT_CONFIG, H100Config
+from repro.gpusim.device import Device, LaunchResult
+from repro.gpusim.engine import (
+    ArefProtocolError,
+    DeadlockError,
+    Engine,
+    MBarrier,
+    SimulationError,
+)
+from repro.gpusim.memory import GlobalBuffer, Pointer, SymbolicTile, TensorDesc
+
+__all__ = [
+    "H100Config",
+    "DEFAULT_CONFIG",
+    "Device",
+    "LaunchResult",
+    "Engine",
+    "MBarrier",
+    "DeadlockError",
+    "SimulationError",
+    "ArefProtocolError",
+    "GlobalBuffer",
+    "Pointer",
+    "TensorDesc",
+    "SymbolicTile",
+]

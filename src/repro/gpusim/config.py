@@ -1,0 +1,158 @@
+"""Hardware configuration of the simulated GPU.
+
+The default values model an NVIDIA H100 SXM5 (the paper's evaluation machine)
+at the granularity the warp-specialization study needs.  Absolute numbers are
+*calibrated approximations* -- the goal of the simulator is to reproduce the
+shape of the paper's figures (who wins, by roughly what factor, where the
+crossovers are), not cycle-exact H100 behaviour.  Every constant is documented
+with its provenance or calibration rationale.
+
+Derivations for the headline rates:
+
+* FP16 dense Tensor Core peak: 989 TFLOP/s over 132 SMs at 1.83 GHz
+  => 989e12 / 132 / 1.83e9 ~= 4096 FLOP/cycle/SM.
+* FP8 doubles the Tensor Core rate.
+* Staging-load bandwidth seen by one SM's TMA engine: GEMM-style kernels pull
+  most operand tiles out of the 50 MB L2 (neighbouring CTAs share A/B panels),
+  so the per-SM copy bandwidth is modelled after the L2, not HBM:
+  ~48 B/cycle/SM (~11.6 TB/s aggregate).  A separate HBM roofline is applied
+  by the experiment harness for workloads whose unique footprint exceeds L2.
+* A single warp group cannot saturate the SM's Tensor Core with narrow
+  WGMMA tiles: the achieved rate scales with the N extent of the accumulator
+  (``wgmma_n_full_rate``), which is what makes cooperative warp groups and
+  large tiles profitable (paper Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class H100Config:
+    """Simulation parameters for one GPU."""
+
+    name: str = "H100-SXM5-80GB"
+
+    # -- chip layout -----------------------------------------------------------
+    num_sms: int = 132
+    clock_ghz: float = 1.83
+
+    # -- tensor cores ----------------------------------------------------------
+    tc_flops_per_cycle_fp16: float = 4096.0
+    fp8_speedup: float = 2.0
+    wgmma_efficiency: float = 0.85
+    #: accumulator N extent at which a single warp group reaches full rate
+    wgmma_n_full_rate: int = 256
+    #: fraction of full rate reached by the narrowest (N<=128) accumulators
+    wgmma_min_rate_fraction: float = 0.5
+    wgmma_issue_cycles: float = 16.0
+
+    # -- memory system ---------------------------------------------------------
+    smem_bytes_per_sm: int = 228 * 1024
+    #: per-SM staging (TMA) bandwidth in bytes/cycle (L2-resident operands)
+    tma_bytes_per_cycle: float = 44.0
+    tma_latency_cycles: float = 750.0
+    tma_issue_cycles: float = 8.0
+    hbm_bandwidth_gbs: float = 3350.0
+
+    # -- Ampere-style cp.async (non-warp-specialized baseline) ------------------
+    cp_async_efficiency: float = 0.82
+    cp_async_latency_cycles: float = 400.0
+    cp_async_issue_cycles_per_kb: float = 2.0
+    cp_async_wait_cycles: float = 30.0
+
+    # -- synchronization ---------------------------------------------------------
+    mbarrier_op_cycles: float = 12.0
+    barrier_sync_cycles: float = 30.0
+    aref_op_cycles: float = 20.0
+
+    # -- CUDA cores ---------------------------------------------------------------
+    #: FP32 lanes one warp group can drive per cycle
+    cuda_lanes_per_warp_group: float = 128.0
+    #: extra cost multiplier for transcendental ops (exp, log, div, sqrt)
+    sfu_cost_factor: float = 4.0
+    #: epilogue register->global issue rate (elements per cycle per warp group)
+    global_store_elements_per_cycle: float = 64.0
+    global_load_latency_cycles: float = 600.0
+
+    # -- registers / occupancy ----------------------------------------------------
+    registers_per_sm: int = 65536
+    max_registers_per_thread: int = 255
+    threads_per_warp_group: int = 128
+    #: registers reserved per thread for addressing / control flow
+    baseline_registers_per_thread: int = 40
+
+    # -- launch overheads ----------------------------------------------------------
+    kernel_launch_overhead_us: float = 4.0
+    cta_launch_overhead_cycles: float = 1200.0
+
+    # ------------------------------------------------------------------ helpers
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.clock_ghz * 1e9
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.cycles_per_second
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        return seconds * self.cycles_per_second
+
+    def tc_flops_per_cycle(self, dtype_bits: int) -> float:
+        """Peak Tensor-Core FLOP/cycle/SM for a given operand width."""
+        rate = self.tc_flops_per_cycle_fp16
+        if dtype_bits <= 8:
+            rate *= self.fp8_speedup
+        return rate
+
+    def wgmma_rate_fraction(self, acc_n: int) -> float:
+        """Fraction of peak a single WGMMA stream achieves for accumulator width N."""
+        frac = acc_n / float(self.wgmma_n_full_rate)
+        return max(self.wgmma_min_rate_fraction, min(1.0, frac))
+
+    def wgmma_cycles(self, flops: int, dtype_bits: int, acc_n: int) -> float:
+        """Service time of one WGMMA issue on the SM tensor core."""
+        rate = self.tc_flops_per_cycle(dtype_bits) * self.wgmma_efficiency
+        rate *= self.wgmma_rate_fraction(acc_n)
+        return flops / rate
+
+    def peak_tflops(self, dtype_bits: int) -> float:
+        """Theoretical peak throughput of the whole GPU in TFLOP/s."""
+        return self.num_sms * self.tc_flops_per_cycle(dtype_bits) * self.cycles_per_second / 1e12
+
+    def tma_cycles(self, num_bytes: int, active_sm_fraction: float = 1.0) -> float:
+        """Service (occupancy) time of a TMA copy on the SM's copy path."""
+        bw = self.tma_bytes_per_cycle * max(active_sm_fraction, 1e-6)
+        return num_bytes / bw
+
+    def hbm_bytes_per_cycle_total(self) -> float:
+        return self.hbm_bandwidth_gbs * 1e9 / self.cycles_per_second
+
+    def registers_per_thread_available(self, num_warp_groups: int) -> int:
+        """Architectural register budget per thread with N resident warp groups."""
+        threads = num_warp_groups * self.threads_per_warp_group
+        per_thread = self.registers_per_sm // max(threads, 1)
+        return min(per_thread, self.max_registers_per_thread)
+
+    def consumer_register_budget(self, num_consumer_groups: int,
+                                 num_producer_groups: int = 1) -> int:
+        """Register budget per consumer thread under warp specialization.
+
+        Warp-specialized kernels redistribute the register file with
+        ``setmaxnreg``: producer warp groups shrink to the baseline allowance
+        and the compute warp groups share what is left (capped by the
+        architectural 255-per-thread limit, in practice 232 after alignment).
+        """
+        producer_regs = (num_producer_groups * self.threads_per_warp_group
+                         * self.baseline_registers_per_thread)
+        remaining = self.registers_per_sm - producer_regs
+        per_thread = remaining // max(1, num_consumer_groups * self.threads_per_warp_group)
+        return min(per_thread, 232)
+
+    def with_overrides(self, **kwargs) -> "H100Config":
+        """A copy of the configuration with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+DEFAULT_CONFIG = H100Config()

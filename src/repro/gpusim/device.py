@@ -1,0 +1,320 @@
+"""The simulated GPU device: kernel launch, CTA scheduling, result collection.
+
+:class:`Device` is the user-facing entry point of the simulator.  It
+
+* wraps NumPy arrays into simulated global buffers / TMA descriptors,
+* compiles frontend kernels through the Tawa driver (with a specialization
+  cache),
+* schedules the grid onto SMs and runs the discrete-event engine,
+* returns a :class:`LaunchResult` with the functional outputs (functional
+  mode) and the simulated execution time / utilization (both modes).
+
+Two execution modes exist:
+
+* ``functional`` -- every CTA of the grid is executed with real NumPy
+  payloads.  Used by correctness tests and the examples on small problem
+  sizes.
+* ``performance`` -- tile payloads are symbolic and only the most-loaded SM is
+  simulated in detail; the total runtime is extrapolated from the per-CTA
+  steady state with wave quantization and launch overheads.  Used by the
+  benchmark harnesses on paper-scale problem sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.gpusim.config import DEFAULT_CONFIG, H100Config
+from repro.gpusim.engine import Engine, Agent, SMResources, SimulationError
+from repro.gpusim.interpreter import CtaContext, LaunchContext, build_cta_agents
+from repro.gpusim.memory import GlobalBuffer, Pointer, TensorDesc
+from repro.ir.types import ScalarType, Type, f32, i1, i32
+
+
+@dataclass
+class LaunchResult:
+    """Everything a kernel launch produces."""
+
+    cycles: float
+    seconds: float
+    total_ctas: int
+    simulated_ctas: int
+    per_cta_cycles: List[float] = field(default_factory=list)
+    tensor_core_busy_cycles: float = 0.0
+    tensor_core_utilization: float = 0.0
+    bytes_copied: int = 0
+    flops: Optional[float] = None
+    extrapolated: bool = False
+    trace: Optional[List] = None
+
+    @property
+    def tflops(self) -> Optional[float]:
+        if not self.flops or self.seconds <= 0:
+            return None
+        return self.flops / self.seconds / 1e12
+
+    def describe(self) -> str:
+        parts = [f"{self.seconds * 1e6:.1f} us", f"{self.cycles:.0f} cycles"]
+        if self.tflops is not None:
+            parts.append(f"{self.tflops:.1f} TFLOP/s")
+        parts.append(f"TC util {self.tensor_core_utilization * 100:.0f}%")
+        return ", ".join(parts)
+
+
+class Device:
+    """A simulated H100 GPU."""
+
+    def __init__(self, config: H100Config = DEFAULT_CONFIG, mode: str = "functional",
+                 max_ctas_per_sm_simulated: int = 8, collect_trace: bool = False):
+        if mode not in ("functional", "performance"):
+            raise ValueError(f"unknown device mode {mode!r}")
+        self.config = config
+        self.mode = mode
+        self.max_ctas_per_sm_simulated = max_ctas_per_sm_simulated
+        self.collect_trace = collect_trace
+        self._compile_cache: Dict[tuple, Any] = {}
+
+    # ------------------------------------------------------------------ data API
+
+    @property
+    def functional(self) -> bool:
+        return self.mode == "functional"
+
+    def buffer(self, array_or_shape, element_type: Union[str, ScalarType],
+               name: str = "buf") -> GlobalBuffer:
+        """Create a global-memory buffer (from a NumPy array or just a shape)."""
+        if isinstance(array_or_shape, np.ndarray):
+            if self.functional:
+                return GlobalBuffer.from_numpy(array_or_shape, element_type, name)
+            return GlobalBuffer(array_or_shape.shape, element_type, None, name)
+        return GlobalBuffer.empty(array_or_shape, element_type, self.functional, name)
+
+    def tensor_desc(self, array_or_buffer, element_type: Union[str, ScalarType, None] = None,
+                    name: str = "desc") -> TensorDesc:
+        """Create a TMA tensor descriptor over a buffer or NumPy array."""
+        if isinstance(array_or_buffer, GlobalBuffer):
+            return TensorDesc(array_or_buffer)
+        if element_type is None:
+            raise ValueError("element_type is required when wrapping a NumPy array")
+        return TensorDesc(self.buffer(array_or_buffer, element_type, name))
+
+    def pointer(self, array_or_buffer, element_type: Union[str, ScalarType, None] = None,
+                name: str = "ptr") -> Pointer:
+        """Create a pointer argument over a buffer or NumPy array."""
+        if isinstance(array_or_buffer, GlobalBuffer):
+            return Pointer(array_or_buffer)
+        if element_type is None:
+            raise ValueError("element_type is required when wrapping a NumPy array")
+        return Pointer(self.buffer(array_or_buffer, element_type, name))
+
+    # ------------------------------------------------------------------ compile
+
+    @staticmethod
+    def infer_arg_type(value: Any) -> Type:
+        """Infer the IR type of a runtime kernel argument."""
+        if isinstance(value, (TensorDesc, Pointer)):
+            return value.ir_type
+        if isinstance(value, GlobalBuffer):
+            return Pointer(value).ir_type
+        if isinstance(value, bool):
+            return i1
+        if isinstance(value, (int, np.integer)):
+            return i32
+        if isinstance(value, (float, np.floating)):
+            return f32
+        raise SimulationError(
+            f"cannot infer an IR type for runtime argument {value!r}; wrap arrays with "
+            f"Device.tensor_desc(...) or Device.pointer(...)"
+        )
+
+    def compile(self, kern, args: Mapping[str, Any], constexprs: Optional[Mapping[str, Any]] = None,
+                options=None):
+        """Compile a frontend kernel for the given runtime arguments (cached)."""
+        from repro.core.compiler import compile_kernel
+        from repro.core.options import CompileOptions
+
+        options = options or CompileOptions()
+        arg_types = {name: self.infer_arg_type(value) for name, value in args.items()}
+        key = (
+            kern,
+            tuple(sorted((n, str(t)) for n, t in arg_types.items())),
+            tuple(sorted((constexprs or {}).items())),
+            options.cache_key(),
+        )
+        if key not in self._compile_cache:
+            self._compile_cache[key] = compile_kernel(
+                kern, arg_types, constexprs or {}, options, config=self.config
+            )
+        return self._compile_cache[key]
+
+    # ------------------------------------------------------------------ launch
+
+    def run(
+        self,
+        kernel_or_compiled,
+        grid: Union[int, Sequence[int]],
+        args: Mapping[str, Any],
+        constexprs: Optional[Mapping[str, Any]] = None,
+        options=None,
+        flops: Optional[float] = None,
+    ) -> LaunchResult:
+        """Compile (if necessary) and launch a kernel over ``grid``.
+
+        ``args`` maps the kernel's runtime parameter names to runtime values
+        (descriptors, pointers, scalars).  ``flops`` is the logical FLOP count
+        of the launch, used only to report TFLOP/s.
+        """
+        compiled = kernel_or_compiled
+        if not hasattr(compiled, "module"):
+            compiled = self.compile(kernel_or_compiled, args, constexprs, options)
+        return self.launch(compiled, grid, args, flops=flops)
+
+    def launch(self, compiled, grid, args: Mapping[str, Any],
+               flops: Optional[float] = None) -> LaunchResult:
+        grid3 = _normalize_grid(grid)
+        total_tiles = grid3[0] * grid3[1] * grid3[2]
+        persistent = bool(getattr(compiled.options, "persistent", False))
+
+        if persistent:
+            launched_ctas = min(self.config.num_sms, total_tiles)
+            launched_grid = (launched_ctas, 1, 1)
+        else:
+            launched_ctas = total_tiles
+            launched_grid = grid3
+
+        arg_values = self._bind_args(compiled, args)
+        launch_ctx = LaunchContext(
+            config=self.config,
+            functional=self.functional,
+            grid=grid3,
+            launched_grid=launched_grid,
+            num_tiles=total_tiles,
+            arg_values=dict(args),
+        )
+
+        active_sms = min(self.config.num_sms, launched_ctas)
+        bandwidth_scale = min(4.0, self.config.num_sms / max(1, active_sms))
+
+        if self.functional:
+            cta_ids = list(range(launched_ctas))
+            extrapolated = False
+        else:
+            # Simulate a representative sample of the CTAs mapped to one SM.
+            # The sample is spread evenly over the launch so that workloads with
+            # data-dependent trip counts (e.g. causal attention, where low
+            # query-block indices do far less work) are averaged fairly.
+            per_sm = math.ceil(launched_ctas / active_sms) if launched_ctas else 0
+            n_sim = max(1, min(per_sm, self.max_ctas_per_sm_simulated,
+                               launched_ctas)) if launched_ctas else 0
+            # Stratify the sample along every grid axis so that workloads whose
+            # per-CTA work depends on the program id (causal attention: low
+            # query blocks do far less work) are averaged fairly.
+            gx, gy, gz = launched_grid
+            cta_ids = set()
+            for i in range(n_sim):
+                p0 = int((i + 0.5) * gx / n_sim) % gx
+                p1 = int((i + 0.5) * gy / n_sim) % gy
+                p2 = int((i + 0.5) * gz / n_sim) % gz
+                cta_ids.add(min(launched_ctas - 1, p0 + gx * (p1 + gy * p2)))
+            cta_ids = sorted(cta_ids)
+            extrapolated = per_sm > len(cta_ids)
+
+        per_cta_cycles: List[float] = []
+        tc_busy = 0.0
+        bytes_copied = 0
+        trace: Optional[List] = [] if self.collect_trace else None
+
+        for linear in cta_ids:
+            cycles, busy, copied = self._run_one_cta(
+                compiled, launch_ctx, linear, launched_grid, arg_values,
+                bandwidth_scale, trace
+            )
+            per_cta_cycles.append(cycles)
+            tc_busy += busy
+            bytes_copied += copied
+
+        total_cycles = self._total_time(per_cta_cycles, launched_ctas, active_sms,
+                                        persistent, self.functional)
+        seconds = self.config.cycles_to_seconds(total_cycles)
+
+        sm_cycles = sum(per_cta_cycles) or 1.0
+        utilization = min(1.0, tc_busy / sm_cycles)
+
+        return LaunchResult(
+            cycles=total_cycles,
+            seconds=seconds,
+            total_ctas=launched_ctas,
+            simulated_ctas=len(per_cta_cycles),
+            per_cta_cycles=per_cta_cycles,
+            tensor_core_busy_cycles=tc_busy,
+            tensor_core_utilization=utilization,
+            bytes_copied=bytes_copied,
+            flops=flops,
+            extrapolated=extrapolated if not self.functional else False,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------ internals
+
+    def _bind_args(self, compiled, args: Mapping[str, Any]) -> List[Any]:
+        values = []
+        for name in compiled.arg_names:
+            if name not in args:
+                raise SimulationError(f"missing runtime argument {name!r}")
+            value = args[name]
+            if isinstance(value, GlobalBuffer):
+                value = Pointer(value)
+            if isinstance(value, np.ndarray):
+                raise SimulationError(
+                    f"argument {name!r} is a raw NumPy array; wrap it with "
+                    f"Device.tensor_desc(...) or Device.pointer(...)"
+                )
+            values.append(value)
+        return values
+
+    def _run_one_cta(self, compiled, launch_ctx: LaunchContext, linear: int,
+                     launched_grid, arg_values, bandwidth_scale, trace) -> Tuple[float, float, int]:
+        engine = Engine(self.config, trace=trace)
+        sm = SMResources(self.config, bandwidth_scale)
+        pid = _linear_to_pid(linear, launched_grid)
+        cta = CtaContext(launch=launch_ctx, linear_id=linear, pid=pid, engine=engine, sm=sm)
+        agents, prologue = build_cta_agents(compiled.func, cta, arg_values)
+        for spec in agents:
+            engine.add_agent(Agent(spec.name, spec.generator, sm), start_time=prologue)
+        cycles = engine.run()
+        return cycles, sm.tensor_core.busy_cycles, sm.tma.bytes_copied + sm.copy.bytes_copied
+
+    def _total_time(self, per_cta_cycles: List[float], launched_ctas: int,
+                    active_sms: int, persistent: bool, functional: bool) -> float:
+        cfg = self.config
+        launch_overhead = cfg.kernel_launch_overhead_us * 1e-6 * cfg.cycles_per_second
+        if not per_cta_cycles:
+            return launch_overhead
+        if persistent:
+            # One resident CTA per SM; CTA 0 (the one we simulate) owns the most
+            # tiles, so its runtime is the critical path.
+            return launch_overhead + cfg.cta_launch_overhead_cycles + max(per_cta_cycles)
+        per_sm = math.ceil(launched_ctas / max(1, active_sms))
+        mean = (sum(per_cta_cycles) / len(per_cta_cycles)) + cfg.cta_launch_overhead_cycles
+        # The critical SM executes ceil(launched / active_sms) CTAs back to back;
+        # the simulated CTAs are an (evenly spread) sample of that population.
+        return launch_overhead + mean * per_sm
+
+
+def _normalize_grid(grid: Union[int, Sequence[int]]) -> Tuple[int, int, int]:
+    if isinstance(grid, (int, np.integer)):
+        dims: Tuple[int, ...] = (int(grid),)
+    else:
+        dims = tuple(int(g) for g in grid)
+    if len(dims) > 3 or len(dims) == 0 or any(d <= 0 for d in dims):
+        raise SimulationError(f"invalid grid {grid!r}")
+    return dims + (1,) * (3 - len(dims))
+
+
+def _linear_to_pid(linear: int, grid: Tuple[int, int, int]) -> Tuple[int, int, int]:
+    gx, gy, gz = grid
+    return (linear % gx, (linear // gx) % gy, (linear // (gx * gy)) % gz)

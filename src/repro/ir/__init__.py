@@ -1,0 +1,54 @@
+"""An MLIR-like IR infrastructure for the Tawa reproduction.
+
+Submodules:
+
+* :mod:`repro.ir.types` -- the type system (scalars, tensors, pointers, arefs,
+  mbarriers, shared-memory buffers).
+* :mod:`repro.ir.operation` -- values, operations, blocks, regions, cloning.
+* :mod:`repro.ir.builder` -- insertion-point based IR construction.
+* :mod:`repro.ir.module` -- ``builtin.module`` / ``func.func``.
+* :mod:`repro.ir.dialects` -- ``arith``, ``scf``, ``tt``, ``tawa``, ``gpu``.
+* :mod:`repro.ir.printer` / :mod:`repro.ir.verifier` -- text output and
+  structural checking.
+* :mod:`repro.ir.passes` / :mod:`repro.ir.rewriter` /
+  :mod:`repro.ir.canonicalize` -- pass management and rewriting.
+"""
+
+from repro.ir import types
+from repro.ir.builder import Builder, InsertionPoint
+from repro.ir.module import FuncOp, ModuleOp, ReturnOp
+from repro.ir.operation import (
+    Block,
+    BlockArgument,
+    IRError,
+    IRMapping,
+    Operation,
+    OpResult,
+    Region,
+    Value,
+)
+from repro.ir.passes import Pass, PassManager
+from repro.ir.printer import print_op
+from repro.ir.verifier import VerificationError, verify
+
+__all__ = [
+    "types",
+    "Builder",
+    "InsertionPoint",
+    "FuncOp",
+    "ModuleOp",
+    "ReturnOp",
+    "Block",
+    "BlockArgument",
+    "IRError",
+    "IRMapping",
+    "Operation",
+    "OpResult",
+    "Region",
+    "Value",
+    "Pass",
+    "PassManager",
+    "print_op",
+    "VerificationError",
+    "verify",
+]

@@ -1,0 +1,113 @@
+"""IR builder with insertion points.
+
+The builder owns a current insertion point (a block and a position within it)
+and inserts operations there.  Passes and the frontend use it to create IR
+without manually threading block positions around.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.ir.operation import Block, IRError, Operation, Value
+
+
+class InsertionPoint:
+    """A position inside a block: operations are inserted *before* ``index``."""
+
+    def __init__(self, block: Block, index: Optional[int] = None):
+        self.block = block
+        self.index = len(block.operations) if index is None else index
+
+    @classmethod
+    def at_end(cls, block: Block) -> "InsertionPoint":
+        return cls(block, len(block.operations))
+
+    @classmethod
+    def at_start(cls, block: Block) -> "InsertionPoint":
+        return cls(block, 0)
+
+    @classmethod
+    def before(cls, op: Operation) -> "InsertionPoint":
+        if op.parent is None:
+            raise IRError(f"{op.name} is not inside a block")
+        return cls(op.parent, op.parent.operations.index(op))
+
+    @classmethod
+    def after(cls, op: Operation) -> "InsertionPoint":
+        if op.parent is None:
+            raise IRError(f"{op.name} is not inside a block")
+        return cls(op.parent, op.parent.operations.index(op) + 1)
+
+
+class Builder:
+    """Creates and inserts operations at a movable insertion point."""
+
+    def __init__(self, ip: Optional[Union[InsertionPoint, Block]] = None):
+        if isinstance(ip, Block):
+            ip = InsertionPoint.at_end(ip)
+        self._ip: Optional[InsertionPoint] = ip
+
+    # -- insertion point management -------------------------------------------
+
+    @property
+    def insertion_point(self) -> InsertionPoint:
+        if self._ip is None:
+            raise IRError("builder has no insertion point")
+        return self._ip
+
+    @property
+    def block(self) -> Block:
+        return self.insertion_point.block
+
+    def set_insertion_point(self, ip: Union[InsertionPoint, Block]) -> None:
+        if isinstance(ip, Block):
+            ip = InsertionPoint.at_end(ip)
+        self._ip = ip
+
+    def set_insertion_point_to_end(self, block: Block) -> None:
+        self._ip = InsertionPoint.at_end(block)
+
+    def set_insertion_point_to_start(self, block: Block) -> None:
+        self._ip = InsertionPoint.at_start(block)
+
+    def set_insertion_point_before(self, op: Operation) -> None:
+        self._ip = InsertionPoint.before(op)
+
+    def set_insertion_point_after(self, op: Operation) -> None:
+        self._ip = InsertionPoint.after(op)
+
+    @contextlib.contextmanager
+    def at(self, ip: Union[InsertionPoint, Block, Operation]):
+        """Temporarily move the insertion point (context manager)."""
+        saved = self._ip
+        if isinstance(ip, Operation):
+            ip = InsertionPoint.before(ip)
+        self.set_insertion_point(ip)
+        try:
+            yield self
+        finally:
+            self._ip = saved
+
+    # -- op creation -----------------------------------------------------------
+
+    def insert(self, op: Operation) -> Operation:
+        """Insert an already-constructed operation at the insertion point."""
+        ip = self.insertion_point
+        ip.block.insert(ip.index, op)
+        ip.index += 1
+        return op
+
+    def create(self, op_cls, *args, **kwargs) -> Operation:
+        """Construct ``op_cls(*args, **kwargs)`` and insert it."""
+        op = op_cls(*args, **kwargs)
+        return self.insert(op)
+
+    def create_value(self, op_cls, *args, **kwargs) -> Value:
+        """Construct, insert and return the single result of the op."""
+        return self.create(op_cls, *args, **kwargs).result
+
+    def results(self, op_cls, *args, **kwargs) -> List[Value]:
+        """Construct, insert and return all results of the op."""
+        return list(self.create(op_cls, *args, **kwargs).results)

@@ -1,0 +1,108 @@
+"""Canonicalization: constant folding and dead code elimination.
+
+These are the standard cleanups run before and after the Tawa passes, mirroring
+what the Triton/MLIR pipeline does between the interesting transformations.
+Constant folding matters for the frontend output (tile offsets like
+``pid_m * Mt`` where ``Mt`` is a constexpr fold down to compact IR), and DCE
+removes the duplicated computations left behind by task-aware partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.dialects import arith, registry, ensure_loaded
+from repro.ir.module import ModuleOp
+from repro.ir.operation import Operation
+from repro.ir.passes import Pass
+from repro.ir.rewriter import RewritePattern, Rewriter, apply_patterns_greedily
+from repro.ir.types import ScalarType
+
+
+class FoldConstantBinary(RewritePattern):
+    """Fold binary arith ops whose operands are both scalar constants."""
+
+    def match_and_rewrite(self, op: Operation, rewriter: Rewriter) -> bool:
+        if not isinstance(op, arith.BinaryOp):
+            return False
+        lhs = arith.constant_value(op.lhs)
+        rhs = arith.constant_value(op.rhs)
+        if lhs is None or rhs is None:
+            return False
+        if not isinstance(op.result.type, ScalarType):
+            return False
+        value = op.py_impl(lhs, rhs)
+        if hasattr(value, "item"):
+            value = value.item()
+        if op.result.type.is_integer:
+            value = int(value)
+        new = rewriter.create(arith.ConstantOp, value, op.result.type)
+        rewriter.replace_op(op, new)
+        return True
+
+
+class FoldIdentity(RewritePattern):
+    """x + 0, x * 1, x - 0 simplifications on scalars."""
+
+    def match_and_rewrite(self, op: Operation, rewriter: Rewriter) -> bool:
+        if op.name in ("arith.addi", "arith.addf", "arith.subi", "arith.subf"):
+            if arith.constant_value(op.operands[1]) == 0 and op.operands[0].type == op.result.type:
+                op.replace_all_uses_with([op.operands[0]])
+                rewriter.erase_op(op)
+                return True
+            if op.name in ("arith.addi", "arith.addf"):
+                if arith.constant_value(op.operands[0]) == 0 and op.operands[1].type == op.result.type:
+                    op.replace_all_uses_with([op.operands[1]])
+                    rewriter.erase_op(op)
+                    return True
+        if op.name in ("arith.muli", "arith.mulf"):
+            if arith.constant_value(op.operands[1]) == 1 and op.operands[0].type == op.result.type:
+                op.replace_all_uses_with([op.operands[0]])
+                rewriter.erase_op(op)
+                return True
+            if arith.constant_value(op.operands[0]) == 1 and op.operands[1].type == op.result.type:
+                op.replace_all_uses_with([op.operands[1]])
+                rewriter.erase_op(op)
+                return True
+        return False
+
+
+def eliminate_dead_code(root: Operation) -> int:
+    """Remove pure operations whose results are unused.  Returns #erased."""
+    ensure_loaded()
+    erased = 0
+    changed = True
+    while changed:
+        changed = False
+        for op in list(root.walk()):
+            if op is root or op.parent is None:
+                continue
+            if op.regions:
+                continue  # structured ops (loops, warp groups) are never dead here
+            info = registry.lookup(op.name)
+            if info is None or not info.pure:
+                continue
+            if any(r.has_uses for r in op.results):
+                continue
+            op.erase()
+            erased += 1
+            changed = True
+    return erased
+
+
+class CanonicalizePass(Pass):
+    """Constant folding + identity simplification + DCE."""
+
+    name = "canonicalize"
+
+    def run(self, module: ModuleOp) -> None:
+        ensure_loaded()
+        apply_patterns_greedily(module, [FoldConstantBinary(), FoldIdentity()])
+        eliminate_dead_code(module)
+
+
+class DeadCodeEliminationPass(Pass):
+    name = "dce"
+
+    def run(self, module: ModuleOp) -> None:
+        eliminate_dead_code(module)

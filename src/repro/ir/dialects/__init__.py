@@ -1,0 +1,75 @@
+"""Dialect registry.
+
+Every operation class registers itself (via :func:`register_op`) with its
+name, purity and terminator-ness.  The registry is consulted by DCE, the
+verifier and the partitioning pass; it also lets the interpreter dispatch on
+op names without importing every dialect module eagerly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Type as PyType
+
+from repro.ir.operation import Operation
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    cls: PyType[Operation]
+    pure: bool
+    terminator: bool
+
+
+class _Registry:
+    def __init__(self):
+        self._ops: Dict[str, OpInfo] = {}
+
+    def register(self, cls: PyType[Operation]) -> PyType[Operation]:
+        name = cls.NAME
+        info = OpInfo(
+            cls=cls,
+            pure=getattr(cls, "PURE", False),
+            terminator=getattr(cls, "TERMINATOR", False),
+        )
+        self._ops[name] = info
+        return cls
+
+    def lookup(self, name: str) -> Optional[OpInfo]:
+        return self._ops.get(name)
+
+    def is_pure(self, name: str) -> bool:
+        info = self.lookup(name)
+        return bool(info and info.pure)
+
+    def all_ops(self) -> Dict[str, OpInfo]:
+        return dict(self._ops)
+
+
+registry = _Registry()
+
+
+def register_op(cls: PyType[Operation]) -> PyType[Operation]:
+    """Class decorator registering an operation in the global registry."""
+    return registry.register(cls)
+
+
+def _load_all() -> None:
+    """Import every dialect module so all ops are registered."""
+    from repro.ir.dialects import arith, scf, tt, tawa, gpu  # noqa: F401
+    from repro.ir import module as _module
+
+    # Builtin structural ops.
+    for cls in (_module.ModuleOp, _module.FuncOp, _module.ReturnOp):
+        if registry.lookup(cls.NAME) is None:
+            registry.register(cls)
+
+
+_builtin_registered = False
+
+
+def ensure_loaded() -> None:
+    global _builtin_registered
+    if not _builtin_registered:
+        _load_all()
+        _builtin_registered = True

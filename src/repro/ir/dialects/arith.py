@@ -1,0 +1,294 @@
+"""Arithmetic and math operations.
+
+These ops operate on scalars *and* on tensors (elementwise, with NumPy-style
+broadcasting), which keeps the frontend simple: ``a + b`` always becomes an
+``arith`` op regardless of whether the operands are tile tensors or loop
+counters.
+
+Each concrete op carries a ``py_impl`` callable used by the functional
+interpreter and by the constant folder, so evaluation semantics live next to
+the op definition.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.ir.dialects import register_op
+from repro.ir.operation import IRError, Operation, Value
+from repro.ir.types import (
+    PointerType,
+    ScalarType,
+    TensorType,
+    Type,
+    broadcast_shapes,
+    f32,
+    i1,
+    i32,
+    i64,
+    index,
+)
+
+
+def _element_type(ty: Type) -> Type:
+    if isinstance(ty, TensorType):
+        return ty.element_type
+    return ty
+
+
+def _result_type(lhs: Type, rhs: Type, element_override: Optional[Type] = None) -> Type:
+    """Infer the (possibly broadcast) result type of a binary elementwise op."""
+    le, re = _element_type(lhs), _element_type(rhs)
+    elem = element_override
+    if elem is None:
+        if isinstance(le, PointerType):
+            elem = le
+        elif isinstance(re, PointerType):
+            elem = re
+        elif le == re:
+            elem = le
+        elif isinstance(le, ScalarType) and isinstance(re, ScalarType):
+            # Mixed widths: pick the "wider" operand (f32 > f16 > i64 > i32).
+            elem = le if _rank_of(le) >= _rank_of(re) else re
+        else:
+            raise IRError(f"incompatible element types {le} and {re}")
+    lshape = lhs.shape if isinstance(lhs, TensorType) else ()
+    rshape = rhs.shape if isinstance(rhs, TensorType) else ()
+    if not lshape and not rshape:
+        return elem
+    shape = broadcast_shapes(tuple(lshape), tuple(rshape))
+    return TensorType(shape, elem)
+
+
+def _rank_of(t: ScalarType) -> int:
+    order = {"i1": 0, "i8": 1, "i16": 2, "i32": 3, "i64": 4, "index": 4,
+             "f8e4m3": 5, "f8e5m2": 5, "f16": 6, "bf16": 6, "f32": 7, "f64": 8}
+    return order.get(t.name, 0)
+
+
+@register_op
+class ConstantOp(Operation):
+    """A scalar constant (``arith.constant``)."""
+
+    NAME = "arith.constant"
+    PURE = True
+
+    def __init__(self, value, type: ScalarType = i32):
+        if isinstance(value, bool):
+            type = i1
+        super().__init__(result_types=[type], attributes={"value": value})
+
+    @property
+    def value(self):
+        return self.attributes["value"]
+
+
+class BinaryOp(Operation):
+    """Base class of binary elementwise operations."""
+
+    PURE = True
+    py_impl: Callable = None  # type: ignore[assignment]
+    result_element_override: Optional[Type] = None
+
+    def __init__(self, lhs: Value, rhs: Value):
+        result = _result_type(lhs.type, rhs.type, self.result_element_override)
+        super().__init__(operands=[lhs, rhs], result_types=[result])
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+def _floordiv(a, b):
+    return np.floor_divide(a, b)
+
+
+_BINARY_SPECS = [
+    # (class name, op name, python/numpy implementation)
+    ("AddIOp", "arith.addi", np.add),
+    ("SubIOp", "arith.subi", np.subtract),
+    ("MulIOp", "arith.muli", np.multiply),
+    ("DivSIOp", "arith.divsi", _floordiv),
+    ("RemSIOp", "arith.remsi", np.remainder),
+    ("MinSIOp", "arith.minsi", np.minimum),
+    ("MaxSIOp", "arith.maxsi", np.maximum),
+    ("AndIOp", "arith.andi", np.bitwise_and),
+    ("OrIOp", "arith.ori", np.bitwise_or),
+    ("XOrIOp", "arith.xori", np.bitwise_xor),
+    ("AddFOp", "arith.addf", np.add),
+    ("SubFOp", "arith.subf", np.subtract),
+    ("MulFOp", "arith.mulf", np.multiply),
+    ("DivFOp", "arith.divf", np.divide),
+    ("MinFOp", "arith.minf", np.minimum),
+    ("MaxFOp", "arith.maxf", np.maximum),
+    ("PowFOp", "arith.powf", np.power),
+]
+
+
+def _make_binary(class_name: str, op_name: str, impl) -> type:
+    cls = type(class_name, (BinaryOp,), {"NAME": op_name, "py_impl": staticmethod(impl)})
+    return register_op(cls)
+
+
+AddIOp = _make_binary(*_BINARY_SPECS[0])
+SubIOp = _make_binary(*_BINARY_SPECS[1])
+MulIOp = _make_binary(*_BINARY_SPECS[2])
+DivSIOp = _make_binary(*_BINARY_SPECS[3])
+RemSIOp = _make_binary(*_BINARY_SPECS[4])
+MinSIOp = _make_binary(*_BINARY_SPECS[5])
+MaxSIOp = _make_binary(*_BINARY_SPECS[6])
+AndIOp = _make_binary(*_BINARY_SPECS[7])
+OrIOp = _make_binary(*_BINARY_SPECS[8])
+XOrIOp = _make_binary(*_BINARY_SPECS[9])
+AddFOp = _make_binary(*_BINARY_SPECS[10])
+SubFOp = _make_binary(*_BINARY_SPECS[11])
+MulFOp = _make_binary(*_BINARY_SPECS[12])
+DivFOp = _make_binary(*_BINARY_SPECS[13])
+MinFOp = _make_binary(*_BINARY_SPECS[14])
+MaxFOp = _make_binary(*_BINARY_SPECS[15])
+PowFOp = _make_binary(*_BINARY_SPECS[16])
+
+
+_CMP_IMPLS = {
+    "eq": np.equal,
+    "ne": np.not_equal,
+    "slt": np.less,
+    "sle": np.less_equal,
+    "sgt": np.greater,
+    "sge": np.greater_equal,
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+}
+
+
+@register_op
+class CmpIOp(Operation):
+    """Integer comparison producing an ``i1`` (or tensor of ``i1``)."""
+
+    NAME = "arith.cmpi"
+    PURE = True
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value):
+        if predicate not in _CMP_IMPLS:
+            raise IRError(f"unknown comparison predicate {predicate!r}")
+        result = _result_type(lhs.type, rhs.type, element_override=i1)
+        super().__init__(operands=[lhs, rhs], result_types=[result],
+                         attributes={"predicate": predicate})
+
+    @property
+    def predicate(self) -> str:
+        return self.attributes["predicate"]
+
+    @property
+    def py_impl(self):
+        return _CMP_IMPLS[self.predicate]
+
+
+@register_op
+class CmpFOp(CmpIOp):
+    NAME = "arith.cmpf"
+
+
+@register_op
+class SelectOp(Operation):
+    """``select(cond, a, b)`` -- elementwise when operands are tensors."""
+
+    NAME = "arith.select"
+    PURE = True
+
+    def __init__(self, cond: Value, true_value: Value, false_value: Value):
+        result = _result_type(true_value.type, false_value.type)
+        if isinstance(cond.type, TensorType) and not isinstance(result, TensorType):
+            result = TensorType(cond.type.shape, result)
+        super().__init__(operands=[cond, true_value, false_value], result_types=[result])
+
+
+class UnaryOp(Operation):
+    """Base class of unary elementwise math operations."""
+
+    PURE = True
+    py_impl: Callable = None  # type: ignore[assignment]
+
+    def __init__(self, operand: Value):
+        super().__init__(operands=[operand], result_types=[operand.type])
+
+
+def _make_unary(class_name: str, op_name: str, impl) -> type:
+    cls = type(class_name, (UnaryOp,), {"NAME": op_name, "py_impl": staticmethod(impl)})
+    return register_op(cls)
+
+
+ExpOp = _make_unary("ExpOp", "math.exp", np.exp)
+Exp2Op = _make_unary("Exp2Op", "math.exp2", np.exp2)
+LogOp = _make_unary("LogOp", "math.log", np.log)
+Log2Op = _make_unary("Log2Op", "math.log2", np.log2)
+SqrtOp = _make_unary("SqrtOp", "math.sqrt", np.sqrt)
+RsqrtOp = _make_unary("RsqrtOp", "math.rsqrt", lambda x: 1.0 / np.sqrt(x))
+AbsOp = _make_unary("AbsOp", "math.abs", np.abs)
+NegOp = _make_unary("NegOp", "arith.negf", np.negative)
+SigmoidOp = _make_unary("SigmoidOp", "math.sigmoid", lambda x: 1.0 / (1.0 + np.exp(-x)))
+TanhOp = _make_unary("TanhOp", "math.tanh", np.tanh)
+
+
+@register_op
+class CastOp(Operation):
+    """Element type conversion (``arith.cast``), e.g. f32 tile -> f16 tile."""
+
+    NAME = "arith.cast"
+    PURE = True
+
+    def __init__(self, operand: Value, target_element_type: ScalarType):
+        src = operand.type
+        if isinstance(src, TensorType):
+            result: Type = src.with_element_type(target_element_type)
+        else:
+            result = target_element_type
+        super().__init__(operands=[operand], result_types=[result],
+                         attributes={"to": target_element_type.name})
+
+    @property
+    def target_element_type(self) -> str:
+        return self.attributes["to"]
+
+
+# ---------------------------------------------------------------------------
+# Builder-style helpers
+# ---------------------------------------------------------------------------
+
+
+def constant(builder, value, type: ScalarType = i32) -> Value:
+    """Create-and-insert an ``arith.constant``, returning its result."""
+    return builder.create(ConstantOp, value, type).result
+
+
+def c_i32(builder, value: int) -> Value:
+    return constant(builder, int(value), i32)
+
+
+def c_index(builder, value: int) -> Value:
+    return constant(builder, int(value), index)
+
+
+def is_constant(value: Value, expected=None) -> bool:
+    """Whether ``value`` is produced by ``arith.constant`` (optionally equal to a value)."""
+    op = getattr(value, "defining_op", None)
+    if not isinstance(op, ConstantOp):
+        return False
+    return expected is None or op.value == expected
+
+
+def constant_value(value: Value):
+    """The python value behind an ``arith.constant`` result, or None."""
+    op = getattr(value, "defining_op", None)
+    if isinstance(op, ConstantOp):
+        return op.value
+    return None

@@ -1,0 +1,419 @@
+"""Lowered GPU operations: shared memory, mbarriers, TMA, WGMMA, cp.async.
+
+This dialect is the target of aref lowering (paper section III-E) and is what
+the simulator executes.  It corresponds to the PTX-level primitives Hopper
+exposes, at the granularity that matters for warp specialization:
+
+* ``gpu.alloc_smem`` -- a statically-sized staging area in shared memory,
+  usually a ring of ``D`` tile buffers; ``gpu.smem_slice`` selects one slot
+  with a dynamic index (``k mod D``).
+* ``gpu.mbarrier_alloc`` / ``arrive`` / ``expect_tx`` / ``wait`` -- transaction
+  barriers.  An allocation is an *array* of ``count`` barriers (one per aref
+  slot); the access ops take a dynamic slot index.  ``wait`` takes an explicit
+  *generation* value (the number of completed phases the waiter requires); a
+  hardware parity bit is this count modulo 2.
+* ``gpu.tma_async_load`` -- a hardware-managed bulk copy that reports its
+  transaction bytes to an mbarrier slot on completion.
+* ``gpu.cp_async`` / ``gpu.cp_async_wait`` -- Ampere-style software-pipelined
+  copies issued from compute warps (the non-warp-specialized Triton baseline).
+* ``gpu.wgmma`` / ``gpu.wgmma_wait`` -- asynchronous warp-group MMA issue and
+  the "at most N outstanding" wait used by the fine-grained MMA pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ir.dialects import register_op
+from repro.ir.operation import IRError, Operation, Value
+from repro.ir.types import (
+    MBarrierType,
+    ScalarType,
+    SmemBufferType,
+    TensorDescType,
+    TensorType,
+    Type,
+    f32,
+    i32,
+)
+
+
+@register_op
+class AllocSmemOp(Operation):
+    """Allocate a shared-memory staging buffer (per CTA, statically sized)."""
+
+    NAME = "gpu.alloc_smem"
+
+    def __init__(self, shape: Sequence[int], element_type: ScalarType,
+                 name: Optional[str] = None):
+        ty = SmemBufferType(tuple(shape), element_type)
+        attrs = {"bytes": ty.num_bytes}
+        if name:
+            attrs["buf_name"] = name
+        super().__init__(result_types=[ty], attributes=attrs)
+
+    @property
+    def buffer_type(self) -> SmemBufferType:
+        return self.results[0].type
+
+    @property
+    def num_bytes(self) -> int:
+        return self.attributes["bytes"]
+
+
+@register_op
+class SmemSliceOp(Operation):
+    """Select slot ``index`` of a ring of staging buffers.
+
+    The operand has shape ``(D, *tile)``; the result is the ``tile``-shaped
+    buffer at (dynamic) index ``index mod D``.
+    """
+
+    NAME = "gpu.smem_slice"
+    PURE = True
+
+    def __init__(self, buffer: Value, index: Value):
+        ty = buffer.type
+        if not isinstance(ty, SmemBufferType) or len(ty.shape) < 2:
+            raise IRError("gpu.smem_slice expects a ring buffer of rank >= 2")
+        result = SmemBufferType(tuple(ty.shape[1:]), ty.element_type)
+        super().__init__(operands=[buffer, index], result_types=[result])
+
+    @property
+    def buffer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+@register_op
+class MBarrierAllocOp(Operation):
+    """Allocate an array of ``count`` mbarriers with a fixed arrival count."""
+
+    NAME = "gpu.mbarrier_alloc"
+
+    def __init__(self, arrive_count: int, count: int = 1, name: Optional[str] = None):
+        attrs = {"arrive_count": int(arrive_count), "count": int(count)}
+        if name:
+            attrs["barrier_name"] = name
+        super().__init__(result_types=[MBarrierType()], attributes=attrs)
+
+    @property
+    def arrive_count(self) -> int:
+        return self.attributes["arrive_count"]
+
+    @property
+    def count(self) -> int:
+        return self.attributes["count"]
+
+
+@register_op
+class MBarrierArriveOp(Operation):
+    """Arrive on mbarrier slot ``index`` (one arrival credit)."""
+
+    NAME = "gpu.mbarrier_arrive"
+
+    def __init__(self, mbarrier: Value, index: Value):
+        super().__init__(operands=[mbarrier, index])
+
+    @property
+    def mbarrier(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+@register_op
+class MBarrierExpectTxOp(Operation):
+    """Register expected transaction bytes for the slot's current generation."""
+
+    NAME = "gpu.mbarrier_expect_tx"
+
+    def __init__(self, mbarrier: Value, index: Value, bytes: int):
+        super().__init__(operands=[mbarrier, index], attributes={"bytes": int(bytes)})
+
+    @property
+    def mbarrier(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def bytes(self) -> int:
+        return self.attributes["bytes"]
+
+
+@register_op
+class MBarrierWaitOp(Operation):
+    """Block until mbarrier slot ``index`` has completed >= ``generation`` phases."""
+
+    NAME = "gpu.mbarrier_wait"
+
+    def __init__(self, mbarrier: Value, index: Value, generation: Value):
+        super().__init__(operands=[mbarrier, index, generation])
+
+    @property
+    def mbarrier(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def generation(self) -> Value:
+        return self.operands[2]
+
+
+@register_op
+class TmaAsyncLoadOp(Operation):
+    """Hardware TMA copy: global tile -> shared memory, completion via an mbarrier slot."""
+
+    NAME = "gpu.tma_async_load"
+
+    def __init__(self, desc: Value, coords: Sequence[Value], smem: Value,
+                 mbarrier: Value, mbarrier_index: Value):
+        if not isinstance(desc.type, TensorDescType):
+            raise IRError("gpu.tma_async_load expects a tensor descriptor")
+        if not isinstance(smem.type, SmemBufferType):
+            raise IRError("gpu.tma_async_load destination must be a shared-memory buffer")
+        super().__init__(
+            operands=[desc, *coords, smem, mbarrier, mbarrier_index],
+            attributes={"bytes": smem.type.num_bytes, "num_coords": len(list(coords))},
+        )
+
+    @property
+    def desc(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def coords(self) -> List[Value]:
+        n = self.attributes["num_coords"]
+        return self.operands[1:1 + n]
+
+    @property
+    def smem(self) -> Value:
+        return self.operands[-3]
+
+    @property
+    def mbarrier(self) -> Value:
+        return self.operands[-2]
+
+    @property
+    def mbarrier_index(self) -> Value:
+        return self.operands[-1]
+
+    @property
+    def bytes(self) -> int:
+        return self.attributes["bytes"]
+
+
+@register_op
+class CpAsyncOp(Operation):
+    """Ampere-style asynchronous copy issued by compute warps (baseline path)."""
+
+    NAME = "gpu.cp_async"
+
+    def __init__(self, desc: Value, coords: Sequence[Value], smem: Value):
+        if not isinstance(smem.type, SmemBufferType):
+            raise IRError("gpu.cp_async destination must be a shared-memory buffer")
+        super().__init__(operands=[desc, *coords, smem],
+                         attributes={"bytes": smem.type.num_bytes})
+
+    @property
+    def desc(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def coords(self) -> List[Value]:
+        return self.operands[1:-1]
+
+    @property
+    def smem(self) -> Value:
+        return self.operands[-1]
+
+    @property
+    def bytes(self) -> int:
+        return self.attributes["bytes"]
+
+
+@register_op
+class CpAsyncWaitOp(Operation):
+    """Wait until at most ``pendings`` cp.async groups remain outstanding."""
+
+    NAME = "gpu.cp_async_wait"
+
+    def __init__(self, pendings: int):
+        super().__init__(attributes={"pendings": int(pendings)})
+
+    @property
+    def pendings(self) -> int:
+        return self.attributes["pendings"]
+
+
+@register_op
+class SmemReadOp(Operation):
+    """Read a shared-memory buffer into registers (CUDA-core access)."""
+
+    NAME = "gpu.smem_read"
+    PURE = True
+
+    def __init__(self, smem: Value, element_type: Optional[ScalarType] = None):
+        ty = smem.type
+        if not isinstance(ty, SmemBufferType):
+            raise IRError("gpu.smem_read expects a shared-memory buffer")
+        elem = element_type or ty.element_type
+        super().__init__(operands=[smem], result_types=[TensorType(ty.shape, elem)])
+
+    @property
+    def smem(self) -> Value:
+        return self.operands[0]
+
+
+@register_op
+class SmemWriteOp(Operation):
+    """Write a register tile into a shared-memory buffer."""
+
+    NAME = "gpu.smem_write"
+
+    def __init__(self, value: Value, smem: Value):
+        if not isinstance(smem.type, SmemBufferType):
+            raise IRError("gpu.smem_write expects a shared-memory buffer")
+        super().__init__(operands=[value, smem])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def smem(self) -> Value:
+        return self.operands[1]
+
+
+@register_op
+class WgmmaOp(Operation):
+    """Asynchronous warp-group MMA issue: ``acc' = a @ b + acc``.
+
+    ``a`` may live in registers (a tensor value) or shared memory; ``b`` is a
+    shared-memory buffer (or tensor, for register-resident second-GEMM
+    operands in attention).  The result is the new accumulator value; the
+    computation is only guaranteed complete after a ``gpu.wgmma_wait`` that
+    drains it.
+    """
+
+    NAME = "gpu.wgmma"
+
+    def __init__(self, a: Value, b: Value, acc: Value, transpose_b: bool = False):
+        ashape = _tile_shape(a)
+        bshape = _tile_shape(b)
+        if transpose_b:
+            bshape = (bshape[1], bshape[0])
+        if ashape[1] != bshape[0]:
+            raise IRError(f"gpu.wgmma shape mismatch: {ashape} @ {bshape}")
+        result = TensorType((ashape[0], bshape[1]), f32)
+        if acc.type != result:
+            raise IRError(f"gpu.wgmma accumulator type {acc.type} != {result}")
+        super().__init__(operands=[a, b, acc], result_types=[result],
+                         attributes={"transpose_b": bool(transpose_b),
+                                     "flops": 2 * ashape[0] * ashape[1] * bshape[1]})
+
+    @property
+    def a(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def b(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def acc(self) -> Value:
+        return self.operands[2]
+
+    @property
+    def transpose_b(self) -> bool:
+        return self.attributes["transpose_b"]
+
+    @property
+    def flops(self) -> int:
+        return self.attributes["flops"]
+
+
+@register_op
+class WgmmaWaitOp(Operation):
+    """Block until at most ``pendings`` WGMMA issues of this warp group remain."""
+
+    NAME = "gpu.wgmma_wait"
+
+    def __init__(self, pendings: int):
+        super().__init__(attributes={"pendings": int(pendings)})
+
+    @property
+    def pendings(self) -> int:
+        return self.attributes["pendings"]
+
+
+@register_op
+class CtaIdOp(Operation):
+    """The hardware CTA index (used by persistent kernels)."""
+
+    NAME = "gpu.cta_id"
+    PURE = True
+
+    def __init__(self):
+        super().__init__(result_types=[i32])
+
+
+@register_op
+class NumCtasOp(Operation):
+    """The number of CTAs actually launched (persistent kernels)."""
+
+    NAME = "gpu.num_ctas"
+    PURE = True
+
+    def __init__(self):
+        super().__init__(result_types=[i32])
+
+
+@register_op
+class NumTilesOp(Operation):
+    """The logical grid size (number of output tiles) for persistent kernels."""
+
+    NAME = "gpu.num_tiles"
+    PURE = True
+
+    def __init__(self):
+        super().__init__(result_types=[i32])
+
+
+@register_op
+class WarpGroupIdOp(Operation):
+    """The replica index within a cooperative consumer warp-group set."""
+
+    NAME = "gpu.warp_group_id"
+    PURE = True
+
+    def __init__(self):
+        super().__init__(result_types=[i32])
+
+
+@register_op
+class BarrierSyncOp(Operation):
+    """Named-barrier synchronization among the warp groups of one CTA."""
+
+    NAME = "gpu.barrier_sync"
+
+    def __init__(self, barrier_id: int = 0):
+        super().__init__(attributes={"barrier_id": int(barrier_id)})
+
+
+def _tile_shape(v: Value) -> Tuple[int, ...]:
+    ty = v.type
+    if isinstance(ty, (TensorType, SmemBufferType)):
+        return tuple(ty.shape)
+    raise IRError(f"expected a tensor or shared-memory operand, got {ty}")

@@ -1,0 +1,157 @@
+"""Structured control flow: ``scf.for``, ``scf.if`` and ``scf.yield``.
+
+Only single-block regions are used.  ``scf.for`` carries loop-carried values
+(iter_args): the body block's arguments are ``[induction_var, *iter_args]``
+and its terminator is an ``scf.yield`` of the next iteration's carried values;
+the op's results are the final carried values.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.ir.dialects import register_op
+from repro.ir.operation import Block, IRError, Operation, Region, Value
+from repro.ir.types import Type
+
+
+@register_op
+class YieldOp(Operation):
+    """Terminator of scf.for / scf.if regions."""
+
+    NAME = "scf.yield"
+    TERMINATOR = True
+
+    def __init__(self, operands: Sequence[Value] = ()):
+        super().__init__(operands=list(operands))
+
+
+@register_op
+class ForOp(Operation):
+    """A counted loop with loop-carried values.
+
+    ``for iv = lb to ub step st iter_args(a0 = init0, ...) { ... yield ... }``
+    """
+
+    NAME = "scf.for"
+
+    def __init__(self, lb: Value, ub: Value, step: Value,
+                 init_args: Sequence[Value] = (),
+                 attributes: Optional[dict] = None):
+        init_args = list(init_args)
+        region = Region()
+        block = region.add_block(Block())
+        block.add_argument(lb.type)  # induction variable
+        for v in init_args:
+            block.add_argument(v.type)
+        super().__init__(
+            operands=[lb, ub, step, *init_args],
+            result_types=[v.type for v in init_args],
+            attributes=attributes,
+            regions=[region],
+        )
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def lower_bound(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def upper_bound(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def step(self) -> Value:
+        return self.operands[2]
+
+    @property
+    def init_args(self) -> List[Value]:
+        return self.operands[3:]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def induction_var(self) -> Value:
+        return self.body.arguments[0]
+
+    @property
+    def iter_args(self) -> List[Value]:
+        return list(self.body.arguments[1:])
+
+    @property
+    def yield_op(self) -> YieldOp:
+        term = self.body.terminator
+        if not isinstance(term, YieldOp):
+            raise IRError("scf.for body is not terminated by scf.yield")
+        return term
+
+    def iter_arg_for_init(self, init: Value) -> Value:
+        idx = self.operands[3:].index(init)
+        return self.iter_args[idx]
+
+    def result_for_iter_arg(self, arg: Value) -> Value:
+        idx = self.iter_args.index(arg)
+        return self.results[idx]
+
+    def verify(self) -> None:
+        yielded = self.yield_op.operands
+        if len(yielded) != len(self.results):
+            raise IRError(
+                f"scf.for yields {len(yielded)} values but has {len(self.results)} results"
+            )
+        for y, r in zip(yielded, self.results):
+            if y.type != r.type:
+                raise IRError(f"scf.for yield type {y.type} != result type {r.type}")
+        if len(self.body.arguments) != 1 + len(self.results):
+            raise IRError("scf.for body must have induction var + one arg per iter_arg")
+
+
+@register_op
+class IfOp(Operation):
+    """A two-armed conditional; both regions end in scf.yield of the results."""
+
+    NAME = "scf.if"
+
+    def __init__(self, cond: Value, result_types: Sequence[Type] = (),
+                 with_else: bool = True):
+        then_region = Region()
+        then_region.add_block(Block())
+        regions = [then_region]
+        if with_else:
+            else_region = Region()
+            else_region.add_block(Block())
+            regions.append(else_region)
+        super().__init__(operands=[cond], result_types=list(result_types), regions=regions)
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def then_block(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def else_block(self) -> Optional[Block]:
+        if len(self.regions) > 1 and self.regions[1].blocks:
+            return self.regions[1].block
+        return None
+
+    def verify(self) -> None:
+        for region in self.regions:
+            if not region.blocks:
+                continue
+            term = region.block.terminator
+            if self.results and (term is None or not isinstance(term, YieldOp)):
+                raise IRError("scf.if with results requires scf.yield terminators")
+            if isinstance(term, YieldOp) and len(term.operands) != len(self.results):
+                raise IRError("scf.if yield arity mismatch")
+
+
+def for_loop(builder, lb: Value, ub: Value, step: Value,
+             init_args: Sequence[Value] = (), attributes: Optional[dict] = None) -> ForOp:
+    """Create and insert an ``scf.for``; the caller fills in the body."""
+    return builder.create(ForOp, lb, ub, step, init_args, attributes)

@@ -1,0 +1,200 @@
+"""The Tawa dialect: asynchronous references and warp groups.
+
+This is the paper's contribution at the IR level (section III-B):
+
+* ``tawa.create_aref`` -- declares a ring of ``depth`` single-slot channels,
+  each carrying a tuple payload (typically the A and B tiles consumed by one
+  WGMMA).
+* ``tawa.aref_slot`` -- selects slot ``index mod depth`` of the ring.
+* ``tawa.put`` / ``tawa.get`` / ``tawa.consumed`` -- the producer publication,
+  consumer acquisition and release steps whose operational semantics are given
+  in Fig. 4 of the paper (and reproduced executably in
+  :mod:`repro.core.aref`).
+* ``tawa.warp_group`` -- a region executed by one warp group with a given
+  role (producer / consumer); the ``partition`` attribute gives its index.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.ir.dialects import register_op
+from repro.ir.operation import Block, IRError, Operation, Region, Value
+from repro.ir.types import ArefSlotType, ArefType, TensorType, TupleType, Type
+
+
+PRODUCER_ROLE = "producer"
+CONSUMER_ROLE = "consumer"
+
+
+@register_op
+class CreateArefOp(Operation):
+    """Declare an aref ring: ``tawa.create_aref {depth = D} : !tawa.aref<...>``."""
+
+    NAME = "tawa.create_aref"
+
+    def __init__(self, payload_types: Sequence[Type], depth: int, name: Optional[str] = None):
+        if depth < 1:
+            raise IRError(f"aref depth must be >= 1, got {depth}")
+        payload = TupleType(tuple(payload_types))
+        aref_ty = ArefType(payload, int(depth))
+        attrs = {"depth": int(depth)}
+        if name:
+            attrs["aref_name"] = name
+        super().__init__(result_types=[aref_ty], attributes=attrs)
+
+    @property
+    def depth(self) -> int:
+        return self.attributes["depth"]
+
+    @property
+    def aref_type(self) -> ArefType:
+        return self.results[0].type
+
+    @property
+    def payload_types(self) -> List[Type]:
+        return list(self.aref_type.payload.elements)
+
+
+@register_op
+class ArefSlotOp(Operation):
+    """Select slot ``index mod depth`` of an aref ring."""
+
+    NAME = "tawa.aref_slot"
+    PURE = True
+
+    def __init__(self, aref: Value, index: Value):
+        ty = aref.type
+        if not isinstance(ty, ArefType):
+            raise IRError("tawa.aref_slot expects an aref operand")
+        super().__init__(operands=[aref, index], result_types=[ty.slot_type])
+
+    @property
+    def aref(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+@register_op
+class PutOp(Operation):
+    """Producer publication: requires the slot to be EMPTY, makes it FULL."""
+
+    NAME = "tawa.put"
+
+    def __init__(self, slot: Value, values: Sequence[Value]):
+        ty = slot.type
+        if not isinstance(ty, ArefSlotType):
+            raise IRError("tawa.put expects an aref slot operand")
+        values = list(values)
+        expected = list(ty.payload.elements)
+        if len(values) != len(expected):
+            raise IRError(
+                f"tawa.put arity mismatch: {len(values)} values for payload of {len(expected)}"
+            )
+        for v, t in zip(values, expected):
+            if v.type != t:
+                raise IRError(f"tawa.put payload type mismatch: {v.type} vs {t}")
+        super().__init__(operands=[slot, *values])
+
+    @property
+    def slot(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def values(self) -> List[Value]:
+        return self.operands[1:]
+
+
+@register_op
+class GetOp(Operation):
+    """Consumer acquisition: requires FULL, transitions the slot to BORROWED."""
+
+    NAME = "tawa.get"
+
+    def __init__(self, slot: Value):
+        ty = slot.type
+        if not isinstance(ty, ArefSlotType):
+            raise IRError("tawa.get expects an aref slot operand")
+        super().__init__(operands=[slot], result_types=list(ty.payload.elements))
+
+    @property
+    def slot(self) -> Value:
+        return self.operands[0]
+
+
+@register_op
+class ConsumedOp(Operation):
+    """Consumer release: transitions the slot from BORROWED back to EMPTY."""
+
+    NAME = "tawa.consumed"
+
+    def __init__(self, slot: Value):
+        ty = slot.type
+        if not isinstance(ty, ArefSlotType):
+            raise IRError("tawa.consumed expects an aref slot operand")
+        super().__init__(operands=[slot])
+
+    @property
+    def slot(self) -> Value:
+        return self.operands[0]
+
+
+@register_op
+class WarpGroupOp(Operation):
+    """A region executed by one (or several cooperative) warp group(s).
+
+    Attributes:
+        partition: the partition index assigned by task-aware partitioning.
+        role: ``"producer"`` (TMA/load warp group) or ``"consumer"`` (compute).
+        num_warps: warps per group (4 on Hopper).
+        replicas: number of cooperative warp groups executing this region
+            (>1 only for consumer groups, see paper section IV-A).
+    """
+
+    NAME = "tawa.warp_group"
+
+    def __init__(self, partition: int, role: str, num_warps: int = 4, replicas: int = 1):
+        if role not in (PRODUCER_ROLE, CONSUMER_ROLE):
+            raise IRError(f"unknown warp group role {role!r}")
+        region = Region()
+        region.add_block(Block())
+        super().__init__(
+            regions=[region],
+            attributes={
+                "partition": int(partition),
+                "role": role,
+                "num_warps": int(num_warps),
+                "replicas": int(replicas),
+            },
+        )
+
+    @property
+    def partition(self) -> int:
+        return self.attributes["partition"]
+
+    @property
+    def role(self) -> str:
+        return self.attributes["role"]
+
+    @property
+    def replicas(self) -> int:
+        return self.attributes.get("replicas", 1)
+
+    @property
+    def num_warps(self) -> int:
+        return self.attributes.get("num_warps", 4)
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def is_producer(self) -> bool:
+        return self.role == PRODUCER_ROLE
+
+    @property
+    def is_consumer(self) -> bool:
+        return self.role == CONSUMER_ROLE

@@ -1,0 +1,444 @@
+"""Tile-level (Triton-like) operations: the ``tt`` dialect.
+
+These are the ops the frontend emits: program ids, range/splat/broadcast tile
+constructors, TMA loads/stores, pointer arithmetic, dots (Tensor Core matmul),
+reductions and global stores.  The Tawa passes consume this dialect and lower
+pieces of it into the ``tawa`` and ``gpu`` dialects.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ir.dialects import register_op
+from repro.ir.operation import IRError, Operation, Value
+from repro.ir.types import (
+    PointerType,
+    ScalarType,
+    TensorDescType,
+    TensorType,
+    Type,
+    broadcast_shapes,
+    f32,
+    i1,
+    i32,
+)
+
+
+@register_op
+class GetProgramIdOp(Operation):
+    """The CTA index along a grid axis (``tl.program_id``)."""
+
+    NAME = "tt.get_program_id"
+    PURE = True
+
+    def __init__(self, axis: int = 0):
+        super().__init__(result_types=[i32], attributes={"axis": int(axis)})
+
+    @property
+    def axis(self) -> int:
+        return self.attributes["axis"]
+
+
+@register_op
+class GetNumProgramsOp(Operation):
+    """The grid extent along an axis (``tl.num_programs``)."""
+
+    NAME = "tt.get_num_programs"
+    PURE = True
+
+    def __init__(self, axis: int = 0):
+        super().__init__(result_types=[i32], attributes={"axis": int(axis)})
+
+    @property
+    def axis(self) -> int:
+        return self.attributes["axis"]
+
+
+@register_op
+class MakeRangeOp(Operation):
+    """``tl.arange(start, end)`` -> 1-D i32 tensor of consecutive integers."""
+
+    NAME = "tt.make_range"
+    PURE = True
+
+    def __init__(self, start: int, end: int):
+        if end <= start:
+            raise IRError(f"tt.make_range requires end > start, got [{start}, {end})")
+        ty = TensorType((end - start,), i32)
+        super().__init__(result_types=[ty], attributes={"start": int(start), "end": int(end)})
+
+    @property
+    def start(self) -> int:
+        return self.attributes["start"]
+
+    @property
+    def end(self) -> int:
+        return self.attributes["end"]
+
+
+@register_op
+class SplatOp(Operation):
+    """Broadcast a scalar to a tensor of the given shape."""
+
+    NAME = "tt.splat"
+    PURE = True
+
+    def __init__(self, scalar: Value, shape: Sequence[int]):
+        elem = scalar.type
+        if isinstance(elem, TensorType):
+            raise IRError("tt.splat expects a scalar operand")
+        ty = TensorType(tuple(shape), elem)
+        super().__init__(operands=[scalar], result_types=[ty],
+                         attributes={"shape": tuple(int(s) for s in shape)})
+
+
+@register_op
+class FullOp(Operation):
+    """A tensor filled with a compile-time constant (covers ``tl.zeros``)."""
+
+    NAME = "tt.full"
+    PURE = True
+
+    def __init__(self, shape: Sequence[int], value, element_type: ScalarType):
+        ty = TensorType(tuple(shape), element_type)
+        super().__init__(result_types=[ty],
+                         attributes={"value": value, "shape": tuple(int(s) for s in shape)})
+
+    @property
+    def value(self):
+        return self.attributes["value"]
+
+
+@register_op
+class ExpandDimsOp(Operation):
+    """Insert a size-1 dimension (``x[:, None]``)."""
+
+    NAME = "tt.expand_dims"
+    PURE = True
+
+    def __init__(self, operand: Value, axis: int):
+        ty = operand.type
+        if not isinstance(ty, TensorType):
+            raise IRError("tt.expand_dims expects a tensor operand")
+        shape = list(ty.shape)
+        if axis < 0:
+            axis += len(shape) + 1
+        shape.insert(axis, 1)
+        super().__init__(operands=[operand],
+                         result_types=[TensorType(tuple(shape), ty.element_type)],
+                         attributes={"axis": int(axis)})
+
+    @property
+    def axis(self) -> int:
+        return self.attributes["axis"]
+
+
+@register_op
+class BroadcastOp(Operation):
+    """Broadcast a tensor to a larger (compatible) shape."""
+
+    NAME = "tt.broadcast"
+    PURE = True
+
+    def __init__(self, operand: Value, shape: Sequence[int]):
+        ty = operand.type
+        if not isinstance(ty, TensorType):
+            raise IRError("tt.broadcast expects a tensor operand")
+        target = tuple(int(s) for s in shape)
+        broadcast_shapes(ty.shape, target)  # validates compatibility
+        super().__init__(operands=[operand],
+                         result_types=[TensorType(target, ty.element_type)],
+                         attributes={"shape": target})
+
+
+@register_op
+class TransOp(Operation):
+    """2-D transpose (``x.T``)."""
+
+    NAME = "tt.trans"
+    PURE = True
+
+    def __init__(self, operand: Value):
+        ty = operand.type
+        if not isinstance(ty, TensorType) or ty.rank != 2:
+            raise IRError("tt.trans expects a rank-2 tensor")
+        super().__init__(operands=[operand],
+                         result_types=[TensorType((ty.shape[1], ty.shape[0]), ty.element_type)])
+
+
+@register_op
+class ReshapeOp(Operation):
+    """Reshape a tensor to a new static shape with the same element count."""
+
+    NAME = "tt.reshape"
+    PURE = True
+
+    def __init__(self, operand: Value, shape: Sequence[int]):
+        ty = operand.type
+        target = tuple(int(s) for s in shape)
+        if not isinstance(ty, TensorType):
+            raise IRError("tt.reshape expects a tensor operand")
+        n = 1
+        for d in target:
+            n *= d
+        if n != ty.num_elements:
+            raise IRError(f"tt.reshape: cannot reshape {ty.shape} to {target}")
+        super().__init__(operands=[operand],
+                         result_types=[TensorType(target, ty.element_type)],
+                         attributes={"shape": target})
+
+
+@register_op
+class TmaLoadOp(Operation):
+    """Asynchronous hardware (TMA) load of a tile from global memory.
+
+    ``tt.tma_load(desc, [coord0, coord1], [tile0, tile1])`` returns a tensor
+    of shape ``(tile0, tile1)`` with the descriptor's element type.  At this
+    level the op is *synchronous from the program's point of view*; warp
+    specialization and aref lowering turn it into a real asynchronous copy.
+    """
+
+    NAME = "tt.tma_load"
+    PURE = True  # no visible side effects at tile level
+
+    def __init__(self, desc: Value, coords: Sequence[Value], shape: Sequence[int]):
+        ty = desc.type
+        if not isinstance(ty, TensorDescType):
+            raise IRError("tt.tma_load expects a tensor descriptor operand")
+        tile_shape = tuple(int(s) for s in shape)
+        if len(coords) != len(tile_shape):
+            raise IRError(
+                f"tt.tma_load rank mismatch: {len(coords)} coords vs {len(tile_shape)} tile dims"
+            )
+        result = TensorType(tile_shape, ty.element_type)
+        super().__init__(operands=[desc, *coords], result_types=[result],
+                         attributes={"shape": tile_shape})
+
+    @property
+    def desc(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def coords(self) -> List[Value]:
+        return self.operands[1:]
+
+    @property
+    def tile_shape(self) -> Tuple[int, ...]:
+        return self.attributes["shape"]
+
+
+@register_op
+class TmaStoreOp(Operation):
+    """TMA store of a tile back to global memory through a descriptor."""
+
+    NAME = "tt.tma_store"
+
+    def __init__(self, desc: Value, coords: Sequence[Value], value: Value):
+        if not isinstance(desc.type, TensorDescType):
+            raise IRError("tt.tma_store expects a tensor descriptor operand")
+        if not isinstance(value.type, TensorType):
+            raise IRError("tt.tma_store expects a tensor value")
+        super().__init__(operands=[desc, *coords, value],
+                         attributes={"shape": value.type.shape})
+
+    @property
+    def desc(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def coords(self) -> List[Value]:
+        return self.operands[1:-1]
+
+    @property
+    def value(self) -> Value:
+        return self.operands[-1]
+
+
+@register_op
+class AddPtrOp(Operation):
+    """Pointer arithmetic: ``ptr + offsets`` (offsets in elements)."""
+
+    NAME = "tt.addptr"
+    PURE = True
+
+    def __init__(self, ptr: Value, offset: Value):
+        pty = ptr.type
+        oty = offset.type
+        if isinstance(pty, TensorType):
+            elem = pty.element_type
+        else:
+            elem = pty
+        if not isinstance(elem, PointerType):
+            raise IRError("tt.addptr expects a pointer (or tensor of pointers)")
+        pshape = pty.shape if isinstance(pty, TensorType) else ()
+        oshape = oty.shape if isinstance(oty, TensorType) else ()
+        shape = broadcast_shapes(tuple(pshape), tuple(oshape))
+        result: Type = TensorType(shape, elem) if shape else elem
+        super().__init__(operands=[ptr, offset], result_types=[result])
+
+
+@register_op
+class LoadOp(Operation):
+    """Masked gather from a tensor of pointers (``tl.load``)."""
+
+    NAME = "tt.load"
+    PURE = True
+
+    def __init__(self, ptr: Value, mask: Optional[Value] = None, other: Optional[Value] = None):
+        pty = ptr.type
+        if isinstance(pty, TensorType):
+            elem = pty.element_type
+            shape = pty.shape
+        else:
+            elem = pty
+            shape = ()
+        if not isinstance(elem, PointerType):
+            raise IRError("tt.load expects a pointer (or tensor of pointers)")
+        result: Type = TensorType(shape, elem.pointee) if shape else elem.pointee
+        operands = [ptr]
+        has_mask = mask is not None
+        has_other = other is not None
+        if has_mask:
+            operands.append(mask)
+        if has_other:
+            operands.append(other)
+        super().__init__(operands=operands, result_types=[result],
+                         attributes={"has_mask": has_mask, "has_other": has_other})
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def mask(self) -> Optional[Value]:
+        return self.operands[1] if self.attributes["has_mask"] else None
+
+
+@register_op
+class StoreOp(Operation):
+    """Masked scatter to a tensor of pointers (``tl.store``)."""
+
+    NAME = "tt.store"
+
+    def __init__(self, ptr: Value, value: Value, mask: Optional[Value] = None):
+        operands = [ptr, value]
+        has_mask = mask is not None
+        if has_mask:
+            operands.append(mask)
+        super().__init__(operands=operands, attributes={"has_mask": has_mask})
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def value(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def mask(self) -> Optional[Value]:
+        return self.operands[2] if self.attributes["has_mask"] else None
+
+
+@register_op
+class DotOp(Operation):
+    """Tile matrix-multiply-accumulate (maps to WGMMA on Hopper).
+
+    ``tt.dot(a, b, acc)`` computes ``a @ b + acc`` in f32.
+    """
+
+    NAME = "tt.dot"
+    PURE = True
+
+    def __init__(self, a: Value, b: Value, acc: Optional[Value] = None):
+        aty, bty = a.type, b.type
+        if not (isinstance(aty, TensorType) and isinstance(bty, TensorType)):
+            raise IRError("tt.dot expects tensor operands")
+        if aty.rank != 2 or bty.rank != 2:
+            raise IRError("tt.dot expects rank-2 tensors")
+        if aty.shape[1] != bty.shape[0]:
+            raise IRError(f"tt.dot shape mismatch: {aty.shape} @ {bty.shape}")
+        result = TensorType((aty.shape[0], bty.shape[1]), f32)
+        operands = [a, b]
+        has_acc = acc is not None
+        if has_acc:
+            if acc.type != result:
+                raise IRError(f"tt.dot accumulator type {acc.type} != {result}")
+            operands.append(acc)
+        super().__init__(operands=operands, result_types=[result],
+                         attributes={"has_acc": has_acc})
+
+    @property
+    def a(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def b(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def acc(self) -> Optional[Value]:
+        return self.operands[2] if self.attributes["has_acc"] else None
+
+    @property
+    def flops(self) -> int:
+        m, k = self.a.type.shape
+        n = self.b.type.shape[1]
+        return 2 * m * n * k
+
+
+@register_op
+class ReduceOp(Operation):
+    """Reduction over one axis: ``max``, ``sum`` or ``min`` (keepdims=False)."""
+
+    NAME = "tt.reduce"
+    PURE = True
+
+    KINDS = ("max", "sum", "min")
+
+    def __init__(self, operand: Value, axis: int, kind: str):
+        if kind not in self.KINDS:
+            raise IRError(f"unknown reduction kind {kind!r}")
+        ty = operand.type
+        if not isinstance(ty, TensorType):
+            raise IRError("tt.reduce expects a tensor operand")
+        if axis < 0:
+            axis += ty.rank
+        shape = tuple(d for i, d in enumerate(ty.shape) if i != axis)
+        result: Type = TensorType(shape, ty.element_type) if shape else ty.element_type
+        super().__init__(operands=[operand], result_types=[result],
+                         attributes={"axis": int(axis), "kind": kind})
+
+    @property
+    def axis(self) -> int:
+        return self.attributes["axis"]
+
+    @property
+    def kind(self) -> str:
+        return self.attributes["kind"]
+
+
+@register_op
+class WhereOp(Operation):
+    """Elementwise select with broadcasting (``tl.where``)."""
+
+    NAME = "tt.where"
+    PURE = True
+
+    def __init__(self, cond: Value, x: Value, y: Value):
+        shapes = []
+        elem = None
+        for v in (x, y):
+            if isinstance(v.type, TensorType):
+                shapes.append(v.type.shape)
+                elem = v.type.element_type
+            else:
+                elem = elem or v.type
+        if isinstance(cond.type, TensorType):
+            shapes.append(cond.type.shape)
+        shape: Tuple[int, ...] = ()
+        for s in shapes:
+            shape = broadcast_shapes(shape, s)
+        result: Type = TensorType(shape, elem) if shape else elem
+        super().__init__(operands=[cond, x, y], result_types=[result])

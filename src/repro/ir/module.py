@@ -1,0 +1,81 @@
+"""Top-level module and function operations ("builtin" dialect)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.ir.operation import Block, IRError, Operation, Region, Value
+from repro.ir.types import FunctionType, Type
+
+
+class ModuleOp(Operation):
+    """The root of an IR tree; holds functions in a single block."""
+
+    NAME = "builtin.module"
+
+    def __init__(self, attributes: Optional[Dict[str, object]] = None):
+        region = Region()
+        region.add_block(Block())
+        super().__init__(attributes=attributes, regions=[region])
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def functions(self) -> List["FuncOp"]:
+        return [op for op in self.body.operations if isinstance(op, FuncOp)]
+
+    def get_function(self, name: str) -> "FuncOp":
+        for fn in self.functions:
+            if fn.sym_name == name:
+                return fn
+        raise IRError(f"module has no function named {name!r}")
+
+    def append(self, op: Operation) -> Operation:
+        return self.body.append(op)
+
+
+class FuncOp(Operation):
+    """A function with a single-block body (kernels never need branches)."""
+
+    NAME = "func.func"
+
+    def __init__(self, sym_name: str, function_type: FunctionType,
+                 attributes: Optional[Dict[str, object]] = None):
+        region = Region()
+        block = region.add_block(Block())
+        for t in function_type.inputs:
+            block.add_argument(t)
+        attrs = dict(attributes or {})
+        attrs["sym_name"] = sym_name
+        attrs["function_type"] = function_type
+        super().__init__(attributes=attrs, regions=[region])
+
+    @property
+    def sym_name(self) -> str:
+        return self.attributes["sym_name"]
+
+    @property
+    def function_type(self) -> FunctionType:
+        return self.attributes["function_type"]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].block
+
+    @property
+    def arguments(self) -> List[Value]:
+        return list(self.body.arguments)
+
+    def argument(self, index: int) -> Value:
+        return self.body.arguments[index]
+
+
+class ReturnOp(Operation):
+    """Terminator of a function body."""
+
+    NAME = "func.return"
+
+    def __init__(self, operands: Sequence[Value] = ()):
+        super().__init__(operands=list(operands))

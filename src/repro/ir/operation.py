@@ -1,0 +1,488 @@
+"""Core IR data structures: values, operations, blocks and regions.
+
+The structure mirrors MLIR:
+
+* :class:`Value` -- an SSA value, either the result of an operation
+  (:class:`OpResult`) or a block argument (:class:`BlockArgument`).  Values
+  track their uses so passes can rewrite the IR safely.
+* :class:`Operation` -- a generic operation with a name (``"tt.dot"``),
+  operands, results, an attribute dictionary and nested regions.
+* :class:`Block` / :class:`Region` -- structured nesting, used by ``scf.for``,
+  ``scf.if``, ``tawa.warp_group`` and functions.
+* :class:`IRMapping` -- value remapping used when cloning regions (loop
+  distribution clones the K-loop into each warp group).
+
+Dialect operations are subclasses of :class:`Operation` that provide a
+semantic constructor and result-type inference; the base class owns all
+structural behaviour (uses, cloning, erasure, walking).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.ir.types import Type
+
+
+class IRError(Exception):
+    """Raised for malformed IR or illegal structural mutations."""
+
+
+_value_ids = itertools.count()
+
+
+class Value:
+    """An SSA value.
+
+    Every value has a :class:`Type`, a stable numeric id (used only for
+    printing and debugging) and a set of uses ``(operation, operand_index)``.
+    """
+
+    def __init__(self, type: Type):
+        self.type = type
+        self.id = next(_value_ids)
+        self._uses: List[tuple["Operation", int]] = []
+
+    # -- use tracking -------------------------------------------------------
+
+    @property
+    def uses(self) -> List[tuple["Operation", int]]:
+        return list(self._uses)
+
+    @property
+    def users(self) -> List["Operation"]:
+        """Operations that use this value (deduplicated, in use order)."""
+        seen = []
+        for op, _ in self._uses:
+            if op not in seen:
+                seen.append(op)
+        return seen
+
+    @property
+    def has_uses(self) -> bool:
+        return bool(self._uses)
+
+    def _add_use(self, op: "Operation", idx: int) -> None:
+        self._uses.append((op, idx))
+
+    def _remove_use(self, op: "Operation", idx: int) -> None:
+        try:
+            self._uses.remove((op, idx))
+        except ValueError as exc:  # pragma: no cover - internal invariant
+            raise IRError(f"use ({op.name}, {idx}) not registered on {self}") from exc
+
+    def replace_all_uses_with(self, other: "Value") -> None:
+        """Rewrite every use of ``self`` to use ``other`` instead."""
+        if other is self:
+            return
+        for op, idx in list(self._uses):
+            op.set_operand(idx, other)
+
+    def replace_uses_in(self, other: "Value", ops: Iterable["Operation"]) -> None:
+        """Replace uses of ``self`` with ``other`` only inside ``ops``."""
+        ops = set(ops)
+        for op, idx in list(self._uses):
+            if op in ops:
+                op.set_operand(idx, other)
+
+    # -- convenience --------------------------------------------------------
+
+    @property
+    def owner(self):
+        """The defining operation (for op results) or block (for arguments)."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return f"%{self.id}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} %{self.id}: {self.type}>"
+
+
+class OpResult(Value):
+    """A result of an :class:`Operation`."""
+
+    def __init__(self, op: "Operation", index: int, type: Type):
+        super().__init__(type)
+        self.op = op
+        self.index = index
+
+    @property
+    def owner(self) -> "Operation":
+        return self.op
+
+    @property
+    def defining_op(self) -> "Operation":
+        return self.op
+
+
+class BlockArgument(Value):
+    """An argument of a :class:`Block` (e.g. the induction variable of a loop)."""
+
+    def __init__(self, block: "Block", index: int, type: Type):
+        super().__init__(type)
+        self.block = block
+        self.index = index
+
+    @property
+    def owner(self) -> "Block":
+        return self.block
+
+    @property
+    def defining_op(self) -> None:
+        return None
+
+
+class Operation:
+    """A generic IR operation.
+
+    Subclasses typically define a class attribute ``NAME`` and a constructor
+    that performs result-type inference; the structural machinery below is
+    shared by all of them.
+    """
+
+    NAME = "generic.op"
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        operands: Sequence[Value] = (),
+        result_types: Sequence[Type] = (),
+        attributes: Optional[Dict[str, object]] = None,
+        regions: Sequence["Region"] = (),
+    ):
+        self.name = name or type(self).NAME
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        self.parent: Optional[Block] = None
+        self._operands: List[Value] = []
+        self.results: List[OpResult] = [
+            OpResult(self, i, t) for i, t in enumerate(result_types)
+        ]
+        self.regions: List[Region] = []
+        for region in regions:
+            self.add_region(region)
+        for v in operands:
+            self._append_operand(v)
+
+    # -- operands ------------------------------------------------------------
+
+    @property
+    def operands(self) -> List[Value]:
+        return list(self._operands)
+
+    @property
+    def num_operands(self) -> int:
+        return len(self._operands)
+
+    def operand(self, idx: int) -> Value:
+        return self._operands[idx]
+
+    def _append_operand(self, value: Value) -> None:
+        if not isinstance(value, Value):
+            raise IRError(
+                f"operand of {self.name} must be a Value, got {type(value).__name__}: {value!r}"
+            )
+        idx = len(self._operands)
+        self._operands.append(value)
+        value._add_use(self, idx)
+
+    def set_operand(self, idx: int, value: Value) -> None:
+        old = self._operands[idx]
+        old._remove_use(self, idx)
+        self._operands[idx] = value
+        value._add_use(self, idx)
+
+    def set_operands(self, values: Sequence[Value]) -> None:
+        for i, old in enumerate(self._operands):
+            old._remove_use(self, i)
+        self._operands = []
+        for v in values:
+            self._append_operand(v)
+
+    def append_operand(self, value: Value) -> None:
+        self._append_operand(value)
+
+    def drop_all_uses_of_operands(self) -> None:
+        for i, old in enumerate(self._operands):
+            old._remove_use(self, i)
+        self._operands = []
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def result(self) -> OpResult:
+        if len(self.results) != 1:
+            raise IRError(f"{self.name} has {len(self.results)} results, expected exactly 1")
+        return self.results[0]
+
+    def replace_all_uses_with(self, new_values: Sequence[Value] | "Operation") -> None:
+        if isinstance(new_values, Operation):
+            new_values = new_values.results
+        if len(new_values) != len(self.results):
+            raise IRError(
+                f"cannot replace {len(self.results)} results of {self.name} "
+                f"with {len(new_values)} values"
+            )
+        for old, new in zip(self.results, new_values):
+            old.replace_all_uses_with(new)
+
+    # -- regions / structure --------------------------------------------------
+
+    def add_region(self, region: Optional["Region"] = None) -> "Region":
+        region = region or Region()
+        region.parent = self
+        self.regions.append(region)
+        return region
+
+    @property
+    def parent_op(self) -> Optional["Operation"]:
+        if self.parent is None:
+            return None
+        region = self.parent.parent
+        return region.parent if region is not None else None
+
+    def is_ancestor_of(self, other: "Operation") -> bool:
+        cur = other
+        while cur is not None:
+            if cur is self:
+                return True
+            cur = cur.parent_op
+        return False
+
+    def block_position(self) -> int:
+        if self.parent is None:
+            raise IRError(f"{self.name} has no parent block")
+        return self.parent.operations.index(self)
+
+    def move_before(self, other: "Operation") -> None:
+        self.detach()
+        other.parent.insert_before(other, self)
+
+    def move_after(self, other: "Operation") -> None:
+        self.detach()
+        other.parent.insert_after(other, self)
+
+    def detach(self) -> None:
+        """Remove the op from its block without touching uses."""
+        if self.parent is not None:
+            self.parent.operations.remove(self)
+            self.parent = None
+
+    def erase(self) -> None:
+        """Remove the op from the IR.  Its results must be unused."""
+        for res in self.results:
+            if res.has_uses:
+                users = ", ".join(u.name for u in res.users)
+                raise IRError(
+                    f"cannot erase {self.name}: result {res} still used by {users}"
+                )
+        self.drop_ref()
+
+    def drop_ref(self) -> None:
+        """Erase without checking result uses (used when dropping whole regions)."""
+        self.detach()
+        self.drop_all_uses_of_operands()
+        for region in self.regions:
+            for block in list(region.blocks):
+                for op in list(block.operations):
+                    op.drop_ref()
+
+    # -- traversal -----------------------------------------------------------
+
+    def walk(self, fn: Optional[Callable[["Operation"], None]] = None) -> Iterator["Operation"]:
+        """Post-order walk over this op and everything nested inside it.
+
+        With ``fn`` given, applies it to every op and returns an empty
+        iterator; without it, yields the ops.
+        """
+
+        def _iter(op: "Operation") -> Iterator["Operation"]:
+            for region in op.regions:
+                for block in region.blocks:
+                    for nested in list(block.operations):
+                        yield from _iter(nested)
+            yield op
+
+        if fn is None:
+            return _iter(self)
+        for op in _iter(self):
+            fn(op)
+        return iter(())
+
+    # -- attributes -----------------------------------------------------------
+
+    def get_attr(self, key: str, default=None):
+        return self.attributes.get(key, default)
+
+    def set_attr(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    def has_attr(self, key: str) -> bool:
+        return key in self.attributes
+
+    # -- cloning --------------------------------------------------------------
+
+    def clone(self, mapping: Optional["IRMapping"] = None) -> "Operation":
+        """Deep-copy this operation (and nested regions), remapping operands.
+
+        Operands present in ``mapping`` are substituted; unmapped operands are
+        reused as-is (they must dominate the insertion point of the clone).
+        The clone's results and nested block arguments are recorded in the
+        mapping so later clones can refer to them.
+        """
+        mapping = mapping if mapping is not None else IRMapping()
+        new_op = Operation.__new__(type(self))
+        Operation.__init__(
+            new_op,
+            name=self.name,
+            operands=[mapping.lookup(v) for v in self._operands],
+            result_types=[r.type for r in self.results],
+            attributes=dict(self.attributes),
+        )
+        # Preserve any extra (non-structural) python attributes set by
+        # subclasses in their constructors: subclasses must only rely on
+        # operands/attributes for semantics, so nothing else is copied.
+        for old_res, new_res in zip(self.results, new_op.results):
+            mapping.map(old_res, new_res)
+        for region in self.regions:
+            new_region = new_op.add_region()
+            region.clone_into(new_region, mapping)
+        return new_op
+
+    # -- misc -----------------------------------------------------------------
+
+    @property
+    def dialect(self) -> str:
+        return self.name.split(".")[0] if "." in self.name else ""
+
+    def __str__(self) -> str:
+        from repro.ir.printer import print_op
+
+        return print_op(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Block:
+    """A straight-line sequence of operations with block arguments."""
+
+    def __init__(self, arg_types: Sequence[Type] = ()):
+        self.arguments: List[BlockArgument] = []
+        self.operations: List[Operation] = []
+        self.parent: Optional[Region] = None
+        for t in arg_types:
+            self.add_argument(t)
+
+    def add_argument(self, type: Type) -> BlockArgument:
+        arg = BlockArgument(self, len(self.arguments), type)
+        self.arguments.append(arg)
+        return arg
+
+    def erase_argument(self, index: int) -> None:
+        arg = self.arguments[index]
+        if arg.has_uses:
+            raise IRError(f"cannot erase block argument {arg}: still in use")
+        del self.arguments[index]
+        for i, a in enumerate(self.arguments):
+            a.index = i
+
+    # -- op management --------------------------------------------------------
+
+    def append(self, op: Operation) -> Operation:
+        if op.parent is not None:
+            raise IRError(f"{op.name} already belongs to a block")
+        op.parent = self
+        self.operations.append(op)
+        return op
+
+    def insert(self, index: int, op: Operation) -> Operation:
+        if op.parent is not None:
+            raise IRError(f"{op.name} already belongs to a block")
+        op.parent = self
+        self.operations.insert(index, op)
+        return op
+
+    def insert_before(self, anchor: Operation, op: Operation) -> Operation:
+        return self.insert(self.operations.index(anchor), op)
+
+    def insert_after(self, anchor: Operation, op: Operation) -> Operation:
+        return self.insert(self.operations.index(anchor) + 1, op)
+
+    @property
+    def terminator(self) -> Optional[Operation]:
+        return self.operations[-1] if self.operations else None
+
+    @property
+    def parent_op(self) -> Optional[Operation]:
+        return self.parent.parent if self.parent is not None else None
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+class Region:
+    """A list of blocks owned by an operation (we only ever need one block)."""
+
+    def __init__(self):
+        self.blocks: List[Block] = []
+        self.parent: Optional[Operation] = None
+
+    def add_block(self, block: Optional[Block] = None) -> Block:
+        block = block or Block()
+        block.parent = self
+        self.blocks.append(block)
+        return block
+
+    @property
+    def block(self) -> Block:
+        """The single block of a single-block region."""
+        if len(self.blocks) != 1:
+            raise IRError(f"region has {len(self.blocks)} blocks, expected exactly 1")
+        return self.blocks[0]
+
+    @property
+    def empty(self) -> bool:
+        return not self.blocks
+
+    def clone_into(self, dest: "Region", mapping: "IRMapping") -> None:
+        """Clone all blocks of this region into ``dest`` using ``mapping``."""
+        for block in self.blocks:
+            new_block = dest.add_block(Block())
+            for arg in block.arguments:
+                new_arg = new_block.add_argument(arg.type)
+                mapping.map(arg, new_arg)
+            for op in block.operations:
+                new_block.append(op.clone(mapping))
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+
+class IRMapping:
+    """A value-to-value substitution map used during cloning."""
+
+    def __init__(self, initial: Optional[Dict[Value, Value]] = None):
+        self._map: Dict[Value, Value] = dict(initial or {})
+
+    def map(self, old: Value, new: Value) -> None:
+        self._map[old] = new
+
+    def lookup(self, value: Value) -> Value:
+        return self._map.get(value, value)
+
+    def contains(self, value: Value) -> bool:
+        return value in self._map
+
+    def __contains__(self, value: Value) -> bool:
+        return value in self._map
+
+    def __getitem__(self, value: Value) -> Value:
+        return self._map[value]
+
+    def copy(self) -> "IRMapping":
+        return IRMapping(self._map)

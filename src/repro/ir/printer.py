@@ -1,0 +1,167 @@
+"""Textual printer for the IR.
+
+Produces MLIR-flavoured text such as::
+
+    func.func @matmul(%0: !tensordesc<f16, 2>, ...) {
+      %7 = tt.get_program_id() {axis = 0}
+      scf.for %9 = %c0 to %8 step %c1 iter_args(%10 = %5) {
+        ...
+        scf.yield %15
+      }
+    }
+
+The printer is used by ``str(op)``, by tests (substring assertions take the
+place of FileCheck) and by the examples that dump IR before/after Tawa passes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir.operation import Block, BlockArgument, Operation, Value
+
+
+class _NameManager:
+    """Assigns stable, human-readable names (%0, %1, ...) to values."""
+
+    def __init__(self):
+        self._names: Dict[Value, str] = {}
+        self._next = 0
+
+    def name(self, value: Value) -> str:
+        if value not in self._names:
+            self._names[value] = f"%{self._next}"
+            self._next += 1
+        return self._names[value]
+
+
+def _format_attr(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, str):
+        return f'"{value}"'
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_format_attr(v) for v in value) + "]"
+    return str(value)
+
+
+def _format_attrs(attrs: Dict[str, object]) -> str:
+    if not attrs:
+        return ""
+    parts = [f"{k} = {_format_attr(v)}" for k, v in sorted(attrs.items())]
+    return " {" + ", ".join(parts) + "}"
+
+
+class Printer:
+    def __init__(self, show_types: bool = True):
+        self.names = _NameManager()
+        self.show_types = show_types
+        self.lines: List[str] = []
+
+    # -- entry points ---------------------------------------------------------
+
+    def print(self, op: Operation) -> str:
+        self.lines = []
+        self._print_op(op, indent=0)
+        return "\n".join(self.lines)
+
+    # -- internals ------------------------------------------------------------
+
+    def _value(self, v: Value) -> str:
+        return self.names.name(v)
+
+    def _typed_value(self, v: Value) -> str:
+        if self.show_types:
+            return f"{self._value(v)}: {v.type}"
+        return self._value(v)
+
+    def _print_block(self, block: Block, indent: int, print_args: bool = False) -> None:
+        if print_args and block.arguments:
+            args = ", ".join(self._typed_value(a) for a in block.arguments)
+            self.lines.append("  " * indent + f"^bb({args}):")
+        for op in block.operations:
+            self._print_op(op, indent)
+
+    def _print_op(self, op: Operation, indent: int) -> None:
+        pad = "  " * indent
+        # Special-cased structural ops for readability.
+        if op.name == "builtin.module":
+            self.lines.append(pad + "module" + _format_attrs(op.attributes) + " {")
+            for nested in op.regions[0].block.operations:
+                self._print_op(nested, indent + 1)
+            self.lines.append(pad + "}")
+            return
+        if op.name == "func.func":
+            fn_name = op.attributes.get("sym_name", "?")
+            args = ", ".join(self._typed_value(a) for a in op.regions[0].block.arguments)
+            extra = {
+                k: v for k, v in op.attributes.items()
+                if k not in ("sym_name", "function_type")
+            }
+            self.lines.append(pad + f"func.func @{fn_name}({args})" + _format_attrs(extra) + " {")
+            self._print_block(op.regions[0].block, indent + 1)
+            self.lines.append(pad + "}")
+            return
+        if op.name == "scf.for":
+            lb, ub, step, *iters = op.operands
+            block = op.regions[0].block
+            iv = block.arguments[0]
+            header = (
+                f"scf.for {self._value(iv)} = {self._value(lb)} to {self._value(ub)} "
+                f"step {self._value(step)}"
+            )
+            if iters:
+                pairs = ", ".join(
+                    f"{self._value(arg)} = {self._value(init)}"
+                    for arg, init in zip(block.arguments[1:], iters)
+                )
+                header += f" iter_args({pairs})"
+            if op.results:
+                results = ", ".join(self._value(r) for r in op.results)
+                header = f"{results} = {header}"
+            self.lines.append(pad + header + _format_attrs(op.attributes) + " {")
+            self._print_block(block, indent + 1)
+            self.lines.append(pad + "}")
+            return
+        if op.name == "scf.if":
+            cond = self._value(op.operands[0])
+            results = ", ".join(self._value(r) for r in op.results)
+            prefix = f"{results} = " if op.results else ""
+            self.lines.append(pad + f"{prefix}scf.if {cond}" + _format_attrs(op.attributes) + " {")
+            self._print_block(op.regions[0].block, indent + 1)
+            if len(op.regions) > 1 and op.regions[1].blocks:
+                self.lines.append(pad + "} else {")
+                self._print_block(op.regions[1].block, indent + 1)
+            self.lines.append(pad + "}")
+            return
+
+        # Generic form.
+        results = ", ".join(self._value(r) for r in op.results)
+        operands = ", ".join(self._value(o) for o in op.operands)
+        text = ""
+        if results:
+            text += results + " = "
+        text += op.name
+        if operands:
+            text += f"({operands})"
+        text += _format_attrs(op.attributes)
+        if self.show_types and op.results:
+            types = ", ".join(str(r.type) for r in op.results)
+            text += f" : {types}"
+        if op.regions:
+            self.lines.append(pad + text + " {")
+            for i, region in enumerate(op.regions):
+                if i > 0:
+                    self.lines.append(pad + "} {")
+                for block in region.blocks:
+                    self._print_block(block, indent + 1, print_args=bool(block.arguments))
+            self.lines.append(pad + "}")
+        else:
+            self.lines.append(pad + text)
+
+
+def print_op(op: Operation, show_types: bool = True) -> str:
+    """Render an operation (and everything nested in it) as text."""
+    return Printer(show_types=show_types).print(op)

@@ -1,0 +1,80 @@
+"""Pattern rewriting infrastructure.
+
+A :class:`RewritePattern` matches a single operation and rewrites it using a
+:class:`Rewriter`; :func:`apply_patterns_greedily` drives patterns to a fixed
+point over a module or function.  This is used by canonicalization (constant
+folding), by the aref lowering pass and by a handful of smaller cleanups.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.ir.builder import Builder, InsertionPoint
+from repro.ir.operation import Operation, Value
+
+
+class Rewriter(Builder):
+    """A builder with extra helpers for replacing and erasing matched ops."""
+
+    def __init__(self):
+        super().__init__()
+        self.erased: List[Operation] = []
+
+    def replace_op(self, op: Operation, new_values: Sequence[Value] | Operation) -> None:
+        """Replace all results of ``op`` and erase it."""
+        op.replace_all_uses_with(new_values if not isinstance(new_values, Operation)
+                                 else new_values.results)
+        self.erase_op(op)
+
+    def erase_op(self, op: Operation) -> None:
+        op.erase()
+        self.erased.append(op)
+
+
+class RewritePattern:
+    """Matches one operation kind and rewrites it.
+
+    Subclasses set ``op_name`` (or leave it ``None`` to be tried on every op)
+    and implement :meth:`match_and_rewrite`, returning ``True`` when the IR
+    was changed.
+    """
+
+    op_name: Optional[str] = None
+    benefit: int = 1
+
+    def match_and_rewrite(self, op: Operation, rewriter: Rewriter) -> bool:
+        raise NotImplementedError
+
+
+def apply_patterns_greedily(
+    root: Operation,
+    patterns: Iterable[RewritePattern],
+    max_iterations: int = 32,
+) -> bool:
+    """Apply patterns repeatedly until no pattern fires (or iteration cap).
+
+    Patterns are applied in descending ``benefit`` order.  Returns ``True`` if
+    anything changed.
+    """
+    patterns = sorted(patterns, key=lambda p: -p.benefit)
+    changed_any = False
+    for _ in range(max_iterations):
+        changed = False
+        # Snapshot the op list up front: patterns may insert/erase ops.
+        for op in list(root.walk()):
+            if op.parent is None and op is not root:
+                continue  # already erased/detached
+            for pattern in patterns:
+                if pattern.op_name is not None and op.name != pattern.op_name:
+                    continue
+                rewriter = Rewriter()
+                if op.parent is not None:
+                    rewriter.set_insertion_point_before(op)
+                if pattern.match_and_rewrite(op, rewriter):
+                    changed = True
+                    break
+        changed_any |= changed
+        if not changed:
+            break
+    return changed_any

@@ -1,0 +1,175 @@
+"""Use-def traversal utilities.
+
+The Tawa partitioning pass (paper section III-C) is phrased in terms of
+backward traversals from side-effecting sinks and dependency-closed subgraphs;
+these helpers provide those primitives over the IR.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Set
+
+from repro.ir.operation import Block, BlockArgument, OpResult, Operation, Value
+
+
+def defining_op(value: Value) -> Optional[Operation]:
+    """The operation defining ``value``, or ``None`` for block arguments."""
+    if isinstance(value, OpResult):
+        return value.op
+    return None
+
+
+def backward_slice(
+    roots: Iterable[Operation],
+    *,
+    within: Optional[Block] = None,
+    include_roots: bool = True,
+    filter: Optional[Callable[[Operation], bool]] = None,
+) -> List[Operation]:
+    """All operations transitively feeding ``roots`` through use-def edges.
+
+    Args:
+        roots: the sink operations to start from.
+        within: when given, only operations whose parent block is ``within``
+            are collected (operands defined in enclosing blocks are treated as
+            external inputs).
+        include_roots: whether the roots themselves appear in the result.
+        filter: optional predicate; operations failing it are not collected
+            and not traversed through.
+
+    Returns:
+        The slice in the original program order of each block (deterministic).
+    """
+    visited: Set[Operation] = set()
+    worklist: List[Operation] = list(roots)
+    roots_set = set(worklist)
+    while worklist:
+        op = worklist.pop()
+        if op in visited:
+            continue
+        if filter is not None and not filter(op):
+            continue
+        visited.add(op)
+        for operand in op.operands:
+            producer = defining_op(operand)
+            if producer is None:
+                continue
+            if within is not None and producer.parent is not within:
+                continue
+            if producer not in visited:
+                worklist.append(producer)
+        # Also walk into nested regions: an op with regions depends on the
+        # producers of values used inside those regions too.
+        for region in op.regions:
+            for block in region.blocks:
+                for nested in block.operations:
+                    for operand in nested.operands:
+                        producer = defining_op(operand)
+                        if producer is None:
+                            continue
+                        if within is not None and producer.parent is not within:
+                            continue
+                        if producer not in visited:
+                            worklist.append(producer)
+    if not include_roots:
+        visited -= roots_set
+    return _in_program_order(visited)
+
+
+def forward_slice(
+    roots: Iterable[Operation],
+    *,
+    within: Optional[Block] = None,
+    include_roots: bool = True,
+) -> List[Operation]:
+    """All operations transitively using results of ``roots``."""
+    visited: Set[Operation] = set()
+    worklist: List[Operation] = list(roots)
+    roots_set = set(worklist)
+    while worklist:
+        op = worklist.pop()
+        if op in visited:
+            continue
+        visited.add(op)
+        for result in op.results:
+            for user in result.users:
+                if within is not None and user.parent is not within:
+                    continue
+                if user not in visited:
+                    worklist.append(user)
+    if not include_roots:
+        visited -= roots_set
+    return _in_program_order(visited)
+
+
+def _in_program_order(ops: Set[Operation]) -> List[Operation]:
+    """Sort a set of ops by (nesting-agnostic) program order within their blocks."""
+
+    def key(op: Operation):
+        # Build the chain of positions from the root down to the op so that
+        # ops in different blocks still sort deterministically.
+        chain = []
+        cur = op
+        while cur is not None and cur.parent is not None:
+            chain.append(cur.parent.operations.index(cur))
+            cur = cur.parent_op
+        return tuple(reversed(chain))
+
+    return sorted(ops, key=key)
+
+
+def external_operands(ops: Iterable[Operation]) -> List[Value]:
+    """Values used by ``ops`` but not defined by any of them.
+
+    Block arguments of blocks *owned* by ops in the set (e.g. the induction
+    variable of an scf.for in the set) do not count as external.
+    """
+    ops = list(ops)
+    op_set = set(ops)
+    defined: Set[Value] = set()
+    owned_blocks: Set[Block] = set()
+    for op in ops:
+        for inner in op.walk():
+            defined.update(inner.results)
+            for region in inner.regions:
+                for block in region.blocks:
+                    owned_blocks.add(block)
+                    defined.update(block.arguments)
+    external: List[Value] = []
+    seen: Set[Value] = set()
+    for op in ops:
+        for inner in op.walk():
+            for operand in inner.operands:
+                if operand in defined or operand in seen:
+                    continue
+                seen.add(operand)
+                external.append(operand)
+    return external
+
+
+def users_outside(op: Operation, ops: Iterable[Operation]) -> List[Operation]:
+    """Users of ``op``'s results that are not in ``ops``."""
+    op_set = set(ops)
+    out = []
+    for result in op.results:
+        for user in result.users:
+            if user not in op_set and user not in out:
+                out.append(user)
+    return out
+
+
+def ops_of_type(root: Operation, name: str) -> List[Operation]:
+    """All ops named ``name`` nested under ``root`` (inclusive), program order."""
+    found = [op for op in root.walk() if op.name == name]
+    return found
+
+
+def has_side_effects(op: Operation) -> bool:
+    """Conservative side-effect check used by DCE and partitioning."""
+    from repro.ir.dialects import registry
+
+    info = registry.lookup(op.name)
+    if info is None:
+        # Unknown ops are conservatively treated as effectful.
+        return True
+    return not info.pure

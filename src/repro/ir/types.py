@@ -1,0 +1,361 @@
+"""Type system for the repro IR.
+
+The IR is deliberately modeled after MLIR: every SSA value carries a type, and
+types are immutable, hashable objects compared structurally.  The type zoo
+covers what the Tawa pipeline needs:
+
+* scalar types (integers, floats, ``index``) used for addresses and loop
+  bounds,
+* ranked tensor types with *static* shapes (tile shapes are compile-time
+  constants in tile languages),
+* pointer and tensor-descriptor types for global memory access,
+* the Tawa-specific types: ``aref``, aref slots, mbarriers, shared-memory
+  buffers and asynchronous tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+
+class Type:
+    """Base class of all IR types."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return str(self)
+
+
+# ---------------------------------------------------------------------------
+# Scalar types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScalarType(Type):
+    """A scalar (element) type such as ``i32`` or ``f16``.
+
+    Attributes:
+        name: canonical spelling, e.g. ``"f16"``.
+        bitwidth: logical width in bits (used for shared-memory footprints and
+            bandwidth accounting; fp8 types are 8 bits wide even though their
+            functional NumPy representation is wider).
+        kind: ``"int"``, ``"float"`` or ``"index"``.
+    """
+
+    name: str
+    bitwidth: int
+    kind: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind == "float"
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind in ("int", "index")
+
+    @property
+    def bytes(self) -> int:
+        return max(1, self.bitwidth // 8)
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """NumPy dtype used by the functional interpreter.
+
+        FP8 and BF16 have no native NumPy representation in this environment,
+        so they are computed in float32/float16; only their *footprint*
+        (``bitwidth``) differs, which is what the performance model consumes.
+        """
+        return np.dtype(_NUMPY_DTYPES[self.name])
+
+
+_NUMPY_DTYPES = {
+    "i1": np.bool_,
+    "i8": np.int8,
+    "i16": np.int16,
+    "i32": np.int32,
+    "i64": np.int64,
+    "index": np.int64,
+    "f8e4m3": np.float32,
+    "f8e5m2": np.float32,
+    "f16": np.float16,
+    "bf16": np.float32,
+    "f32": np.float32,
+    "f64": np.float64,
+}
+
+i1 = ScalarType("i1", 1, "int")
+i8 = ScalarType("i8", 8, "int")
+i16 = ScalarType("i16", 16, "int")
+i32 = ScalarType("i32", 32, "int")
+i64 = ScalarType("i64", 64, "int")
+index = ScalarType("index", 64, "index")
+f8e4m3 = ScalarType("f8e4m3", 8, "float")
+f8e5m2 = ScalarType("f8e5m2", 8, "float")
+f16 = ScalarType("f16", 16, "float")
+bf16 = ScalarType("bf16", 16, "float")
+f32 = ScalarType("f32", 32, "float")
+f64 = ScalarType("f64", 64, "float")
+
+SCALAR_TYPES = {
+    t.name: t
+    for t in (i1, i8, i16, i32, i64, index, f8e4m3, f8e5m2, f16, bf16, f32, f64)
+}
+
+
+def scalar_type(name: str) -> ScalarType:
+    """Look up a scalar type by its canonical name (e.g. ``"f16"``)."""
+    try:
+        return SCALAR_TYPES[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown scalar type {name!r}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Aggregate / memory types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TensorType(Type):
+    """A ranked tensor with a static shape, e.g. ``tensor<128x64xf16>``."""
+
+    shape: Tuple[int, ...]
+    element_type: ScalarType
+
+    def __post_init__(self):
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        for dim in self.shape:
+            if dim <= 0:
+                raise ValueError(f"tensor dimensions must be positive, got {self.shape}")
+
+    def __str__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape)
+        return f"tensor<{dims}x{self.element_type}>" if dims else f"tensor<{self.element_type}>"
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def num_bytes(self) -> int:
+        """Footprint in bytes using the *logical* element width."""
+        return self.num_elements * self.element_type.bitwidth // 8
+
+    def with_element_type(self, element_type: ScalarType) -> "TensorType":
+        return TensorType(self.shape, element_type)
+
+    def with_shape(self, shape: Tuple[int, ...]) -> "TensorType":
+        return TensorType(tuple(shape), self.element_type)
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    """A pointer into global memory, e.g. ``!ptr<f16>``."""
+
+    pointee: ScalarType
+
+    def __str__(self) -> str:
+        return f"!ptr<{self.pointee}>"
+
+
+@dataclass(frozen=True)
+class TensorDescType(Type):
+    """A TMA tensor descriptor over a global tensor (``!tensordesc<f16, 2>``).
+
+    The descriptor carries the element type and rank of the global tensor it
+    describes; the tile shape of each asynchronous copy is supplied at the
+    ``tma_load`` site.
+    """
+
+    element_type: ScalarType
+    rank: int = 2
+
+    def __str__(self) -> str:
+        return f"!tensordesc<{self.element_type}, {self.rank}>"
+
+
+@dataclass(frozen=True)
+class TupleType(Type):
+    """A tuple of types, used as the payload type of multi-tensor arefs."""
+
+    elements: Tuple[Type, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "elements", tuple(self.elements))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.elements)
+        return f"tuple<{inner}>"
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+
+# ---------------------------------------------------------------------------
+# Tawa / GPU types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArefType(Type):
+    """An asynchronous reference ring of ``depth`` single-slot channels.
+
+    The payload of each slot is described by ``payload`` (usually a
+    :class:`TupleType` of tensor types so that tensors consumed by the same
+    WGMMA share one channel, see paper section III-C2).
+    """
+
+    payload: TupleType
+    depth: int
+
+    def __str__(self) -> str:
+        return f"!tawa.aref<{self.payload}, depth={self.depth}>"
+
+    @property
+    def slot_type(self) -> "ArefSlotType":
+        return ArefSlotType(self.payload)
+
+    @property
+    def payload_bytes(self) -> int:
+        total = 0
+        for t in self.payload.elements:
+            if isinstance(t, TensorType):
+                total += t.num_bytes
+        return total
+
+
+@dataclass(frozen=True)
+class ArefSlotType(Type):
+    """One slot of an aref ring, obtained with ``tawa.aref_slot``."""
+
+    payload: TupleType
+
+    def __str__(self) -> str:
+        return f"!tawa.aref_slot<{self.payload}>"
+
+
+@dataclass(frozen=True)
+class MBarrierType(Type):
+    """A hardware transaction barrier (Hopper ``mbarrier``)."""
+
+    def __str__(self) -> str:
+        return "!gpu.mbarrier"
+
+
+@dataclass(frozen=True)
+class SmemBufferType(Type):
+    """A statically-shaped staging buffer in shared memory."""
+
+    shape: Tuple[int, ...]
+    element_type: ScalarType
+
+    def __post_init__(self):
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+
+    def __str__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape)
+        return f"!gpu.smem<{dims}x{self.element_type}>"
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def num_bytes(self) -> int:
+        return self.num_elements * self.element_type.bitwidth // 8
+
+    @property
+    def tensor_type(self) -> TensorType:
+        return TensorType(self.shape, self.element_type)
+
+
+@dataclass(frozen=True)
+class TokenType(Type):
+    """An ordering token produced by asynchronous operations."""
+
+    def __str__(self) -> str:
+        return "!async.token"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    """The type of a function: inputs and results."""
+
+    inputs: Tuple[Type, ...]
+    results: Tuple[Type, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "results", tuple(self.results))
+
+    def __str__(self) -> str:
+        ins = ", ".join(str(t) for t in self.inputs)
+        outs = ", ".join(str(t) for t in self.results)
+        return f"({ins}) -> ({outs})"
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def is_tensor(ty: Type) -> bool:
+    return isinstance(ty, TensorType)
+
+
+def is_scalar(ty: Type) -> bool:
+    return isinstance(ty, ScalarType)
+
+
+def is_pointer_like(ty: Type) -> bool:
+    return isinstance(ty, (PointerType, TensorDescType))
+
+
+def element_type_of(ty: Type) -> ScalarType:
+    """The scalar element type of a tensor / pointer / smem / scalar type."""
+    if isinstance(ty, TensorType):
+        return ty.element_type
+    if isinstance(ty, SmemBufferType):
+        return ty.element_type
+    if isinstance(ty, PointerType):
+        return ty.pointee
+    if isinstance(ty, TensorDescType):
+        return ty.element_type
+    if isinstance(ty, ScalarType):
+        return ty
+    raise TypeError(f"type {ty} has no element type")
+
+
+def broadcast_shapes(a: Tuple[int, ...], b: Tuple[int, ...]) -> Tuple[int, ...]:
+    """NumPy-style broadcasting of two static shapes.
+
+    Raises ``ValueError`` when the shapes are incompatible.  Used both by the
+    frontend (to infer result types of elementwise ops) and by the verifier.
+    """
+    out = []
+    ra, rb = len(a), len(b)
+    for i in range(max(ra, rb)):
+        da = a[ra - 1 - i] if i < ra else 1
+        db = b[rb - 1 - i] if i < rb else 1
+        if da == db or da == 1 or db == 1:
+            out.append(max(da, db))
+        else:
+            raise ValueError(f"cannot broadcast shapes {a} and {b}")
+    return tuple(reversed(out))

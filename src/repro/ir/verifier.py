@@ -1,0 +1,136 @@
+"""Structural IR verifier.
+
+Checks the invariants every pass must preserve:
+
+* operands are defined before use (same-block ordering) or come from an
+  enclosing block (region dominance),
+* use lists are consistent with operand lists,
+* loop bodies are terminated by ``scf.yield`` with matching arity/types,
+* op-specific ``verify`` hooks pass.
+
+The verifier runs after every pass by default (see
+:class:`repro.ir.passes.PassManager`), so structurally broken transformations
+fail immediately and loudly rather than producing silently-wrong simulation
+results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.module import FuncOp, ModuleOp
+from repro.ir.operation import Block, BlockArgument, IRError, OpResult, Operation, Value
+
+
+class VerificationError(IRError):
+    """Raised when the IR violates a structural invariant."""
+
+
+def verify(root: Operation, context: Optional[str] = None) -> None:
+    """Verify ``root`` and everything nested under it."""
+    try:
+        _verify_op_tree(root)
+    except VerificationError as exc:
+        if context:
+            raise VerificationError(f"{context}: {exc}") from exc
+        raise
+
+
+def _enclosing_blocks(op: Operation):
+    """Blocks enclosing ``op``, innermost first."""
+    blocks = []
+    cur = op
+    while cur is not None and cur.parent is not None:
+        blocks.append(cur.parent)
+        cur = cur.parent_op
+    return blocks
+
+
+def _verify_dominance(op: Operation) -> None:
+    enclosing = _enclosing_blocks(op)
+    for operand in op.operands:
+        if isinstance(operand, BlockArgument):
+            if operand.block not in enclosing:
+                raise VerificationError(
+                    f"{op.name}: operand {operand} is an argument of a non-enclosing block"
+                )
+            continue
+        assert isinstance(operand, OpResult)
+        producer = operand.op
+        if producer.parent is None:
+            raise VerificationError(
+                f"{op.name}: operand {operand} produced by detached op {producer.name}"
+            )
+        if producer.parent is op.parent:
+            if producer.block_position() >= op.block_position():
+                raise VerificationError(
+                    f"{op.name}: operand {operand} defined by {producer.name} after its use"
+                )
+            continue
+        # The producer must live in an enclosing block, before the ancestor of
+        # `op` that shares the producer's block.
+        if producer.parent not in enclosing:
+            raise VerificationError(
+                f"{op.name}: operand {operand} defined by {producer.name} in a "
+                f"non-enclosing block (illegal cross-region use)"
+            )
+        ancestor = op
+        while ancestor.parent is not producer.parent:
+            ancestor = ancestor.parent_op
+        if producer.block_position() >= ancestor.block_position():
+            raise VerificationError(
+                f"{op.name}: operand {operand} defined by {producer.name} does not "
+                f"dominate its use"
+            )
+
+
+def _verify_uses(op: Operation) -> None:
+    for idx, operand in enumerate(op.operands):
+        if (op, idx) not in operand._uses:  # noqa: SLF001 - verifier inspects internals
+            raise VerificationError(
+                f"{op.name}: use-list of {operand} is missing operand #{idx}"
+            )
+    for result in op.results:
+        for user, idx in result.uses:
+            if user.num_operands <= idx or user.operand(idx) is not result:
+                raise VerificationError(
+                    f"{op.name}: stale use entry ({user.name}, {idx}) on result {result}"
+                )
+
+
+def _verify_structure(op: Operation) -> None:
+    from repro.ir.dialects import scf
+
+    if isinstance(op, ModuleOp):
+        for nested in op.body.operations:
+            if not isinstance(nested, FuncOp):
+                raise VerificationError(
+                    f"module bodies may only contain functions, found {nested.name}"
+                )
+    if isinstance(op, scf.ForOp) or isinstance(op, scf.IfOp):
+        try:
+            op.verify()
+        except VerificationError:
+            raise
+        except IRError as exc:
+            raise VerificationError(str(exc)) from exc
+    if isinstance(op, FuncOp):
+        if op.body.operations and op.body.terminator.name not in ("func.return",):
+            raise VerificationError(
+                f"function @{op.sym_name} must end with func.return, "
+                f"found {op.body.terminator.name}"
+            )
+    # Generic hook for other ops.
+    hook = getattr(op, "verify", None)
+    if hook is not None and not isinstance(op, (scf.ForOp, scf.IfOp)):
+        hook()
+
+
+def _verify_op_tree(root: Operation) -> None:
+    for op in root.walk():
+        if op.parent is None and op is not root:
+            continue
+        _verify_uses(op)
+        if op is not root:
+            _verify_dominance(op)
+        _verify_structure(op)

@@ -1,0 +1,65 @@
+"""LLM kernels written against the public tile-language API.
+
+* :mod:`repro.kernels.gemm` -- the paper's Fig. 2b GEMM.
+* :mod:`repro.kernels.batched_gemm` -- batched GEMM (Fig. 9 left).
+* :mod:`repro.kernels.grouped_gemm` -- grouped GEMM with per-group shapes
+  (Fig. 9 right).
+* :mod:`repro.kernels.attention` -- FlashAttention-style MHA forward
+  (Fig. 10), causal and non-causal.
+
+Each module exports the kernel itself, a ``*Problem`` dataclass describing a
+workload instance, host-side input builders, a NumPy reference and
+``run_*`` / ``check_*`` helpers used by tests, examples and benchmarks.
+"""
+
+from repro.kernels.attention import (
+    AttentionProblem,
+    attention_kernel,
+    attention_reference,
+    check_attention,
+    run_attention,
+)
+from repro.kernels.batched_gemm import (
+    BatchedGemmProblem,
+    batched_matmul_kernel,
+    batched_reference,
+    check_batched_gemm,
+    run_batched_gemm,
+)
+from repro.kernels.gemm import (
+    GemmProblem,
+    check_gemm,
+    gemm_reference,
+    matmul_kernel,
+    run_gemm,
+)
+from repro.kernels.grouped_gemm import (
+    GroupedGemmProblem,
+    check_grouped_gemm,
+    grouped_matmul_kernel,
+    grouped_reference,
+    run_grouped_gemm,
+)
+
+__all__ = [
+    "GemmProblem",
+    "matmul_kernel",
+    "gemm_reference",
+    "run_gemm",
+    "check_gemm",
+    "BatchedGemmProblem",
+    "batched_matmul_kernel",
+    "batched_reference",
+    "run_batched_gemm",
+    "check_batched_gemm",
+    "GroupedGemmProblem",
+    "grouped_matmul_kernel",
+    "grouped_reference",
+    "run_grouped_gemm",
+    "check_grouped_gemm",
+    "AttentionProblem",
+    "attention_kernel",
+    "attention_reference",
+    "run_attention",
+    "check_attention",
+]

@@ -1,0 +1,203 @@
+"""Multi-head attention forward kernel (FlashAttention-style online softmax).
+
+The kernel follows the structure the paper uses to motivate the coarse-grained
+pipeline (section III-D2): per iteration the first GEMM ``Q K^T`` is the
+Tensor-Core stage T, the online-softmax rescaling is the CUDA-core stage C and
+the second GEMM ``P V`` is the downstream Tensor-Core stage U.  Under
+automatic warp specialization the K and V tiles arrive through arefs from the
+producer warp group, and the Q tile is delivered once through a depth-1 aref
+before the loop.
+
+Memory layout: Q, K and V are stored as ``(batch * heads * seq_len, head_dim)``
+row-major, one contiguous ``seq_len`` block per (batch, head); the grid is
+``(cdiv(seq_len, Bm), batch * heads)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.options import CompileOptions
+from repro.frontend import kernel, tl
+from repro.gpusim.device import Device, LaunchResult
+
+
+@kernel
+def attention_kernel(q_desc, k_desc, v_desc, o_ptr, L, sm_scale,
+                     D: tl.constexpr, Bm: tl.constexpr, Bn: tl.constexpr,
+                     causal: tl.constexpr, stride_om: tl.constexpr):
+    """FlashAttention forward for one (query-block, batch*head) pair."""
+    pid_m = tl.program_id(0)
+    pid_bh = tl.program_id(1)
+    row_base = pid_bh * L
+    q_row = row_base + pid_m * Bm
+
+    q = tl.tma_load(q_desc, [q_row, 0], [Bm, D])
+    m_i = tl.full((Bm,), float("-inf"), tl.float32)
+    l_i = tl.zeros((Bm,), dtype=tl.float32)
+    acc = tl.zeros((Bm, D), dtype=tl.float32)
+
+    if causal:
+        n_blocks = (pid_m * Bm + Bm + Bn - 1) // Bn
+    else:
+        n_blocks = tl.cdiv(L, Bn)
+
+    for n in tl.range(0, n_blocks):
+        k_row = row_base + n * Bn
+        k = tl.tma_load(k_desc, [k_row, 0], [Bn, D])
+        qk = tl.dot(q, k.T)
+        qk = qk * sm_scale
+        if causal:
+            offs_m = pid_m * Bm + tl.arange(0, Bm)
+            offs_n = n * Bn + tl.arange(0, Bn)
+            mask = offs_m[:, None] >= offs_n[None, :]
+            qk = tl.where(mask, qk, float("-inf"))
+        m_new = tl.maximum(m_i, tl.max(qk, axis=1))
+        alpha = tl.exp(m_i - m_new)
+        p = tl.exp(qk - m_new[:, None])
+        l_i = l_i * alpha + tl.sum(p, axis=1)
+        acc = acc * alpha[:, None]
+        v = tl.tma_load(v_desc, [k_row, 0], [Bn, D])
+        acc = tl.dot(p.to(v.dtype), v, acc=acc)
+        m_i = m_new
+
+    acc = acc / l_i[:, None]
+    offs_m = q_row + tl.arange(0, Bm)
+    offs_d = tl.arange(0, D)
+    o_ptrs = o_ptr + stride_om * offs_m[:, None] + offs_d[None, :]
+    tl.store(o_ptrs, acc)
+
+
+@dataclass
+class AttentionProblem:
+    """One MHA forward problem plus its launch configuration."""
+
+    batch: int = 4
+    heads: int = 32
+    seq_len: int = 4096
+    head_dim: int = 128
+    causal: bool = False
+    dtype: str = "f16"
+    block_m: int = 128
+    block_n: int = 128
+    seed: int = 0
+
+    @property
+    def rows(self) -> int:
+        return self.batch * self.heads * self.seq_len
+
+    @property
+    def grid(self) -> Tuple[int, int]:
+        return (_cdiv(self.seq_len, self.block_m), self.batch * self.heads)
+
+    @property
+    def flops(self) -> float:
+        """2 GEMMs of L x L x D per head (halved for causal masking)."""
+        total = 4.0 * self.batch * self.heads * self.seq_len * self.seq_len * self.head_dim
+        return total / 2.0 if self.causal else total
+
+    @property
+    def sm_scale(self) -> float:
+        return 1.0 / math.sqrt(self.head_dim)
+
+    def constexprs(self) -> dict:
+        return {
+            "D": self.head_dim,
+            "Bm": self.block_m,
+            "Bn": self.block_n,
+            "causal": self.causal,
+            "stride_om": self.head_dim,
+        }
+
+
+def make_attention_inputs(problem: AttentionProblem, device: Device):
+    rng = np.random.default_rng(problem.seed)
+    shape = (problem.rows, problem.head_dim)
+    if device.functional:
+        q = rng.standard_normal(shape, dtype=np.float32) * 0.5
+        k = rng.standard_normal(shape, dtype=np.float32) * 0.5
+        v = rng.standard_normal(shape, dtype=np.float32) * 0.5
+    else:
+        q = k = v = None
+
+    q_buf = device.buffer(q if device.functional else shape, problem.dtype, name="Q")
+    k_buf = device.buffer(k if device.functional else shape, problem.dtype, name="K")
+    v_buf = device.buffer(v if device.functional else shape, problem.dtype, name="V")
+    o_buf = device.buffer(shape, "f16", name="O")
+
+    args = {
+        "q_desc": device.tensor_desc(q_buf),
+        "k_desc": device.tensor_desc(k_buf),
+        "v_desc": device.tensor_desc(v_buf),
+        "o_ptr": device.pointer(o_buf),
+        "L": problem.seq_len,
+        "sm_scale": problem.sm_scale,
+    }
+    return args, (q, k, v)
+
+
+def attention_reference(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                        problem: AttentionProblem) -> np.ndarray:
+    """NumPy reference softmax(Q K^T / sqrt(d)) V, per (batch, head)."""
+    L, D = problem.seq_len, problem.head_dim
+    np_dtype = np.float16 if problem.dtype == "f16" else np.float32
+    out = np.zeros((problem.rows, D), dtype=np.float32)
+    for bh in range(problem.batch * problem.heads):
+        rows = slice(bh * L, (bh + 1) * L)
+        qi = q[rows].astype(np_dtype).astype(np.float32)
+        ki = k[rows].astype(np_dtype).astype(np.float32)
+        vi = v[rows].astype(np_dtype).astype(np.float32)
+        scores = qi @ ki.T * problem.sm_scale
+        if problem.causal:
+            mask = np.tril(np.ones((L, L), dtype=bool))
+            scores = np.where(mask, scores, -np.inf)
+        scores -= scores.max(axis=1, keepdims=True)
+        p = np.exp(scores)
+        p /= p.sum(axis=1, keepdims=True)
+        out[rows] = (p.astype(np_dtype).astype(np.float32)) @ vi
+    return out
+
+
+def run_attention(device: Device, problem: AttentionProblem,
+                  options: Optional[CompileOptions] = None
+                  ) -> Tuple[LaunchResult, Optional[np.ndarray]]:
+    options = options or CompileOptions()
+    args, _ = make_attention_inputs(problem, device)
+    result = device.run(
+        attention_kernel,
+        grid=problem.grid,
+        args=args,
+        constexprs=problem.constexprs(),
+        options=options,
+        flops=problem.flops,
+    )
+    out = args["o_ptr"].buffer.to_numpy() if device.functional else None
+    return result, out
+
+
+def check_attention(device: Device, problem: AttentionProblem,
+                    options: Optional[CompileOptions] = None,
+                    rtol: float = 3e-2, atol: float = 3e-2) -> LaunchResult:
+    """Run the kernel functionally and compare against the NumPy reference."""
+    options = options or CompileOptions()
+    args, (q, k, v) = make_attention_inputs(problem, device)
+    result = device.run(
+        attention_kernel,
+        grid=problem.grid,
+        args=args,
+        constexprs=problem.constexprs(),
+        options=options,
+        flops=problem.flops,
+    )
+    out = args["o_ptr"].buffer.to_numpy().astype(np.float32)
+    expected = attention_reference(q, k, v, problem)
+    np.testing.assert_allclose(out, expected, rtol=rtol, atol=atol)
+    return result
+
+
+def _cdiv(a: int, b: int) -> int:
+    return -(-a // b)

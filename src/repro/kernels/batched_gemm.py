@@ -1,0 +1,136 @@
+"""Batched GEMM: many same-shape GEMMs in one kernel launch.
+
+The batch index rides on the second grid axis; every batch's A, B and C live
+contiguously stacked along the row dimension, so the same TMA descriptors
+serve all batches.  This is the pattern the paper evaluates in Fig. 9 (left)
+as representative of Mixture-of-Experts workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.options import CompileOptions
+from repro.frontend import kernel, tl
+from repro.gpusim.device import Device, LaunchResult
+
+
+@kernel
+def batched_matmul_kernel(a_desc, b_desc, c_ptr, M, N, K,
+                          stride_cm: tl.constexpr, stride_cn: tl.constexpr,
+                          Mt: tl.constexpr, Nt: tl.constexpr, Kt: tl.constexpr):
+    """One (tile, batch) program of a batched ``C[b] = A[b] @ B[b]^T``."""
+    pid = tl.program_id(axis=0)
+    pid_b = tl.program_id(axis=1)
+    num_pid_m = tl.cdiv(M, Mt)
+    pid_m = pid % num_pid_m
+    pid_n = pid // num_pid_m
+    o_am = pid_b * M + pid_m * Mt
+    o_bn = pid_b * N + pid_n * Nt
+    o_cm = pid_b * M + pid_m * Mt
+    o_k = 0
+    acc = tl.zeros((Mt, Nt), dtype=tl.float32)
+    for k in tl.range(0, tl.cdiv(K, Kt)):
+        a = tl.tma_load(a_desc, [o_am, o_k], [Mt, Kt])
+        b = tl.tma_load(b_desc, [o_bn, o_k], [Nt, Kt])
+        acc = tl.dot(a, b.T, acc=acc)
+        o_k += Kt
+    offs_cm = o_cm + tl.arange(0, Mt)
+    offs_cn = pid_n * Nt + tl.arange(0, Nt)
+    c_ptrs = c_ptr + stride_cm * offs_cm[:, None] + stride_cn * offs_cn[None, :]
+    tl.store(c_ptrs, acc)
+
+
+@dataclass
+class BatchedGemmProblem:
+    batch: int = 8
+    M: int = 1024
+    N: int = 1024
+    K: int = 1024
+    dtype: str = "f16"
+    block_m: int = 128
+    block_n: int = 256
+    block_k: int = 64
+    seed: int = 0
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.batch * self.M * self.N * self.K
+
+    @property
+    def grid(self) -> Tuple[int, int]:
+        return (_cdiv(self.M, self.block_m) * _cdiv(self.N, self.block_n), self.batch)
+
+    def constexprs(self) -> dict:
+        return {
+            "stride_cm": self.N,
+            "stride_cn": 1,
+            "Mt": self.block_m,
+            "Nt": self.block_n,
+            "Kt": self.block_k,
+        }
+
+
+def make_batched_inputs(problem: BatchedGemmProblem, device: Device):
+    rng = np.random.default_rng(problem.seed)
+    a_shape = (problem.batch * problem.M, problem.K)
+    b_shape = (problem.batch * problem.N, problem.K)
+    c_shape = (problem.batch * problem.M, problem.N)
+    if device.functional:
+        a = rng.standard_normal(a_shape, dtype=np.float32) * 0.5
+        b = rng.standard_normal(b_shape, dtype=np.float32) * 0.5
+    else:
+        a = b = None
+    a_buf = device.buffer(a if device.functional else a_shape, problem.dtype, name="A")
+    b_buf = device.buffer(b if device.functional else b_shape, problem.dtype, name="B")
+    c_buf = device.buffer(c_shape, "f16", name="C")
+    args = {
+        "a_desc": device.tensor_desc(a_buf),
+        "b_desc": device.tensor_desc(b_buf),
+        "c_ptr": device.pointer(c_buf),
+        "M": problem.M,
+        "N": problem.N,
+        "K": problem.K,
+    }
+    return args, (a, b)
+
+
+def batched_reference(a: np.ndarray, b: np.ndarray, problem: BatchedGemmProblem) -> np.ndarray:
+    out = np.zeros((problem.batch * problem.M, problem.N), dtype=np.float32)
+    for i in range(problem.batch):
+        ai = a[i * problem.M:(i + 1) * problem.M].astype(np.float16).astype(np.float32)
+        bi = b[i * problem.N:(i + 1) * problem.N].astype(np.float16).astype(np.float32)
+        out[i * problem.M:(i + 1) * problem.M] = ai @ bi.T
+    return out
+
+
+def run_batched_gemm(device: Device, problem: BatchedGemmProblem,
+                     options: Optional[CompileOptions] = None
+                     ) -> Tuple[LaunchResult, Optional[np.ndarray]]:
+    options = options or CompileOptions()
+    args, _ = make_batched_inputs(problem, device)
+    result = device.run(batched_matmul_kernel, grid=problem.grid, args=args,
+                        constexprs=problem.constexprs(), options=options,
+                        flops=problem.flops)
+    c = args["c_ptr"].buffer.to_numpy() if device.functional else None
+    return result, c
+
+
+def check_batched_gemm(device: Device, problem: BatchedGemmProblem,
+                       options: Optional[CompileOptions] = None,
+                       rtol: float = 2e-2, atol: float = 2e-2) -> LaunchResult:
+    options = options or CompileOptions()
+    args, (a, b) = make_batched_inputs(problem, device)
+    result = device.run(batched_matmul_kernel, grid=problem.grid, args=args,
+                        constexprs=problem.constexprs(), options=options,
+                        flops=problem.flops)
+    c = args["c_ptr"].buffer.to_numpy().astype(np.float32)
+    np.testing.assert_allclose(c, batched_reference(a, b, problem), rtol=rtol, atol=atol)
+    return result
+
+
+def _cdiv(a: int, b: int) -> int:
+    return -(-a // b)

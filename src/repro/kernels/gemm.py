@@ -1,0 +1,163 @@
+"""GEMM kernel written against the public ``tl`` API.
+
+The kernel is a faithful transcription of the paper's Fig. 2b: a tiled
+``C = A @ B`` where A is ``(M, K)`` and B is stored K-major as ``(N, K)`` so
+that both operands are loaded as ``(tile, Kt)`` TMA tiles (the second operand
+is transposed inside the dot, which maps onto the WGMMA descriptor on
+hardware).
+
+The module also provides the host-side harness used by tests, examples and
+benchmarks: problem construction, grid computation, launching on a
+:class:`repro.gpusim.Device` and a NumPy reference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.options import CompileOptions
+from repro.frontend import kernel, tl
+from repro.gpusim.device import Device, LaunchResult
+
+
+@kernel
+def matmul_kernel(a_desc, b_desc, c_ptr, M, N, K,
+                  stride_cm: tl.constexpr, stride_cn: tl.constexpr,
+                  Mt: tl.constexpr, Nt: tl.constexpr, Kt: tl.constexpr):
+    """Tile-parallel GEMM: ``C[M, N] = A[M, K] @ B[N, K]^T`` (paper Fig. 2b)."""
+    pid = tl.program_id(axis=0)
+    num_pid_m = tl.cdiv(M, Mt)
+    pid_m = pid % num_pid_m
+    pid_n = pid // num_pid_m
+    o_am = pid_m * Mt
+    o_bn = pid_n * Nt
+    o_k = 0
+    acc = tl.zeros((Mt, Nt), dtype=tl.float32)
+    for k in tl.range(0, tl.cdiv(K, Kt)):
+        a = tl.tma_load(a_desc, [o_am, o_k], [Mt, Kt])
+        b = tl.tma_load(b_desc, [o_bn, o_k], [Nt, Kt])
+        acc = tl.dot(a, b.T, acc=acc)
+        o_k += Kt
+    offs_cm = pid_m * Mt + tl.arange(0, Mt)
+    offs_cn = pid_n * Nt + tl.arange(0, Nt)
+    c_ptrs = c_ptr + stride_cm * offs_cm[:, None] + stride_cn * offs_cn[None, :]
+    mask = (offs_cm[:, None] < M) & (offs_cn[None, :] < N)
+    tl.store(c_ptrs, acc, mask=mask)
+
+
+@dataclass
+class GemmProblem:
+    """One GEMM problem instance plus its launch configuration."""
+
+    M: int
+    N: int
+    K: int
+    dtype: str = "f16"
+    block_m: int = 128
+    block_n: int = 256
+    block_k: int = 64
+    seed: int = 0
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.M * self.N * self.K
+
+    @property
+    def grid(self) -> int:
+        return _cdiv(self.M, self.block_m) * _cdiv(self.N, self.block_n)
+
+    @property
+    def bytes_moved(self) -> float:
+        """Unique global-memory traffic (A + B read once, C written once)."""
+        elem = 1 if self.dtype.startswith("f8") else 2
+        return float((self.M + self.N) * self.K * elem + self.M * self.N * 2)
+
+    def constexprs(self) -> dict:
+        return {
+            "stride_cm": self.N,
+            "stride_cn": 1,
+            "Mt": self.block_m,
+            "Nt": self.block_n,
+            "Kt": self.block_k,
+        }
+
+
+def make_gemm_inputs(problem: GemmProblem,
+                     device: Device) -> Tuple[dict, np.ndarray, np.ndarray]:
+    """Build device buffers (and host copies for the reference) for a problem."""
+    rng = np.random.default_rng(problem.seed)
+    if device.functional:
+        a = rng.standard_normal((problem.M, problem.K), dtype=np.float32) * 0.5
+        b = rng.standard_normal((problem.N, problem.K), dtype=np.float32) * 0.5
+    else:
+        a = np.zeros((1, 1), dtype=np.float32)
+        b = np.zeros((1, 1), dtype=np.float32)
+
+    a_buf = device.buffer(a if device.functional else (problem.M, problem.K),
+                          problem.dtype, name="A")
+    b_buf = device.buffer(b if device.functional else (problem.N, problem.K),
+                          problem.dtype, name="B")
+    c_buf = device.buffer((problem.M, problem.N), "f16", name="C")
+
+    args = {
+        "a_desc": device.tensor_desc(a_buf),
+        "b_desc": device.tensor_desc(b_buf),
+        "c_ptr": device.pointer(c_buf),
+        "M": problem.M,
+        "N": problem.N,
+        "K": problem.K,
+    }
+    return args, a, b
+
+
+def gemm_reference(a: np.ndarray, b: np.ndarray, dtype: str = "f16") -> np.ndarray:
+    """NumPy reference: C = A @ B^T computed the way the simulated kernel does."""
+    np_dtype = np.float16 if dtype == "f16" else np.float32
+    a = a.astype(np_dtype).astype(np.float32)
+    b = b.astype(np_dtype).astype(np.float32)
+    return (a @ b.T).astype(np.float16)
+
+
+def run_gemm(device: Device, problem: GemmProblem,
+             options: Optional[CompileOptions] = None) -> Tuple[LaunchResult, Optional[np.ndarray]]:
+    """Compile and launch the GEMM kernel; returns the result and the C matrix."""
+    options = options or CompileOptions()
+    args, _, _ = make_gemm_inputs(problem, device)
+    result = device.run(
+        matmul_kernel,
+        grid=problem.grid,
+        args=args,
+        constexprs=problem.constexprs(),
+        options=options,
+        flops=problem.flops,
+    )
+    c = args["c_ptr"].buffer.to_numpy() if device.functional else None
+    return result, c
+
+
+def check_gemm(device: Device, problem: GemmProblem,
+               options: Optional[CompileOptions] = None,
+               rtol: float = 2e-2, atol: float = 2e-2) -> LaunchResult:
+    """Run the kernel functionally and compare against the NumPy reference."""
+    options = options or CompileOptions()
+    args, a, b = make_gemm_inputs(problem, device)
+    result = device.run(
+        matmul_kernel,
+        grid=problem.grid,
+        args=args,
+        constexprs=problem.constexprs(),
+        options=options,
+        flops=problem.flops,
+    )
+    c = args["c_ptr"].buffer.to_numpy().astype(np.float32)
+    expected = gemm_reference(a, b, problem.dtype).astype(np.float32)
+    np.testing.assert_allclose(c, expected, rtol=rtol, atol=atol)
+    return result
+
+
+def _cdiv(a: int, b: int) -> int:
+    return -(-a // b)

@@ -1,0 +1,174 @@
+"""Grouped GEMM: GEMMs of *different* shapes fused into one kernel launch.
+
+Each group ``g`` computes ``C_g[M_g, N] = A_g[M_g, K] @ B_g[N, K]^T``; the A/C
+matrices of all groups are stacked along the row dimension and every group has
+its own B panel.  The host precomputes, for every output tile, the row offset
+into A/C, the row offset into the stacked B, and the output column -- the
+kernel looks this metadata up with scalar ``tl.load``s, which exercises the
+semantic-tagging rule that scalar address loads belong to the *iteration*
+(producer) partition and get duplicated where the epilogue needs them too.
+
+This is the Fig. 9 (right) workload of the paper, again motivated by
+Mixture-of-Experts layers whose experts see different numbers of tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.options import CompileOptions
+from repro.frontend import kernel, tl
+from repro.gpusim.device import Device, LaunchResult
+
+
+@kernel
+def grouped_matmul_kernel(a_desc, b_desc, c_ptr, tile_am_ptr, tile_bn_ptr, tile_cn_ptr, K,
+                          stride_cm: tl.constexpr,
+                          Mt: tl.constexpr, Nt: tl.constexpr, Kt: tl.constexpr):
+    """One output tile of a grouped GEMM, located through per-tile metadata."""
+    pid = tl.program_id(axis=0)
+    o_am = tl.load(tile_am_ptr + pid)
+    o_bn = tl.load(tile_bn_ptr + pid)
+    o_cn = tl.load(tile_cn_ptr + pid)
+    o_k = 0
+    acc = tl.zeros((Mt, Nt), dtype=tl.float32)
+    for k in tl.range(0, tl.cdiv(K, Kt)):
+        a = tl.tma_load(a_desc, [o_am, o_k], [Mt, Kt])
+        b = tl.tma_load(b_desc, [o_bn, o_k], [Nt, Kt])
+        acc = tl.dot(a, b.T, acc=acc)
+        o_k += Kt
+    offs_cm = o_am + tl.arange(0, Mt)
+    offs_cn = o_cn + tl.arange(0, Nt)
+    c_ptrs = c_ptr + stride_cm * offs_cm[:, None] + offs_cn[None, :]
+    tl.store(c_ptrs, acc)
+
+
+@dataclass
+class GroupedGemmProblem:
+    """``num_groups`` GEMMs with per-group M (multiples of 512, as in the paper)."""
+
+    group_ms: List[int] = field(default_factory=lambda: [512, 1024])
+    N: int = 4096
+    K: int = 4096
+    dtype: str = "f16"
+    block_m: int = 128
+    block_n: int = 256
+    block_k: int = 64
+    seed: int = 0
+
+    @classmethod
+    def with_groups(cls, num_groups: int, N: int = 4096, K: int = 4096,
+                    base_m: int = 512, **kwargs) -> "GroupedGemmProblem":
+        """The paper's sweep: G groups whose M sizes are multiples of 512."""
+        group_ms = [base_m * (g + 1) for g in range(num_groups)]
+        return cls(group_ms=group_ms, N=N, K=K, **kwargs)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.group_ms)
+
+    @property
+    def total_m(self) -> int:
+        return sum(self.group_ms)
+
+    @property
+    def flops(self) -> float:
+        return sum(2.0 * m * self.N * self.K for m in self.group_ms)
+
+    def tile_table(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-tile (A/C row offset, B row offset, C column offset)."""
+        rows, bns, cns = [], [], []
+        row_base = 0
+        for g, m in enumerate(self.group_ms):
+            tiles_m = _cdiv(m, self.block_m)
+            tiles_n = _cdiv(self.N, self.block_n)
+            for tm in range(tiles_m):
+                for tn in range(tiles_n):
+                    rows.append(row_base + tm * self.block_m)
+                    bns.append(g * self.N + tn * self.block_n)
+                    cns.append(tn * self.block_n)
+            row_base += m
+        return (np.asarray(rows, dtype=np.int32),
+                np.asarray(bns, dtype=np.int32),
+                np.asarray(cns, dtype=np.int32))
+
+    @property
+    def grid(self) -> int:
+        return len(self.tile_table()[0])
+
+    def constexprs(self) -> dict:
+        return {
+            "stride_cm": self.N,
+            "Mt": self.block_m,
+            "Nt": self.block_n,
+            "Kt": self.block_k,
+        }
+
+
+def make_grouped_inputs(problem: GroupedGemmProblem, device: Device):
+    rng = np.random.default_rng(problem.seed)
+    a_shape = (problem.total_m, problem.K)
+    b_shape = (problem.num_groups * problem.N, problem.K)
+    c_shape = (problem.total_m, problem.N)
+    if device.functional:
+        a = rng.standard_normal(a_shape, dtype=np.float32) * 0.5
+        b = rng.standard_normal(b_shape, dtype=np.float32) * 0.5
+    else:
+        a = b = None
+    rows, bns, cns = problem.tile_table()
+    a_buf = device.buffer(a if device.functional else a_shape, problem.dtype, name="A")
+    b_buf = device.buffer(b if device.functional else b_shape, problem.dtype, name="B")
+    c_buf = device.buffer(c_shape, "f16", name="C")
+    args = {
+        "a_desc": device.tensor_desc(a_buf),
+        "b_desc": device.tensor_desc(b_buf),
+        "c_ptr": device.pointer(c_buf),
+        "tile_am_ptr": device.pointer(rows if device.functional else rows.shape, "i32"),
+        "tile_bn_ptr": device.pointer(bns if device.functional else bns.shape, "i32"),
+        "tile_cn_ptr": device.pointer(cns if device.functional else cns.shape, "i32"),
+        "K": problem.K,
+    }
+    return args, (a, b)
+
+
+def grouped_reference(a: np.ndarray, b: np.ndarray, problem: GroupedGemmProblem) -> np.ndarray:
+    out = np.zeros((problem.total_m, problem.N), dtype=np.float32)
+    row = 0
+    for g, m in enumerate(problem.group_ms):
+        ai = a[row:row + m].astype(np.float16).astype(np.float32)
+        bi = b[g * problem.N:(g + 1) * problem.N].astype(np.float16).astype(np.float32)
+        out[row:row + m] = ai @ bi.T
+        row += m
+    return out
+
+
+def run_grouped_gemm(device: Device, problem: GroupedGemmProblem,
+                     options: Optional[CompileOptions] = None
+                     ) -> Tuple[LaunchResult, Optional[np.ndarray]]:
+    options = options or CompileOptions()
+    args, _ = make_grouped_inputs(problem, device)
+    result = device.run(grouped_matmul_kernel, grid=problem.grid, args=args,
+                        constexprs=problem.constexprs(), options=options,
+                        flops=problem.flops)
+    c = args["c_ptr"].buffer.to_numpy() if device.functional else None
+    return result, c
+
+
+def check_grouped_gemm(device: Device, problem: GroupedGemmProblem,
+                       options: Optional[CompileOptions] = None,
+                       rtol: float = 2e-2, atol: float = 2e-2) -> LaunchResult:
+    options = options or CompileOptions()
+    args, (a, b) = make_grouped_inputs(problem, device)
+    result = device.run(grouped_matmul_kernel, grid=problem.grid, args=args,
+                        constexprs=problem.constexprs(), options=options,
+                        flops=problem.flops)
+    c = args["c_ptr"].buffer.to_numpy().astype(np.float32)
+    np.testing.assert_allclose(c, grouped_reference(a, b, problem), rtol=rtol, atol=atol)
+    return result
+
+
+def _cdiv(a: int, b: int) -> int:
+    return -(-a // b)

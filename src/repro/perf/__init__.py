@@ -1,0 +1,20 @@
+"""Performance measurement utilities: metrics, rooflines, text reports."""
+
+from repro.perf.metrics import (
+    FigureResult,
+    MeasurementRow,
+    apply_memory_roofline,
+    hbm_bound_seconds,
+    tflops,
+)
+from repro.perf.report import render_figure, render_table
+
+__all__ = [
+    "FigureResult",
+    "MeasurementRow",
+    "tflops",
+    "hbm_bound_seconds",
+    "apply_memory_roofline",
+    "render_figure",
+    "render_table",
+]

@@ -1,0 +1,125 @@
+"""Performance metrics helpers shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.gpusim.config import DEFAULT_CONFIG, H100Config
+
+
+def tflops(flops: float, seconds: float) -> float:
+    """Throughput in TFLOP/s."""
+    if seconds <= 0:
+        return 0.0
+    return flops / seconds / 1e12
+
+
+def seconds_for_tflops(flops: float, rate_tflops: float) -> float:
+    return flops / (rate_tflops * 1e12)
+
+
+def hbm_bound_seconds(bytes_moved: float, config: H100Config = DEFAULT_CONFIG) -> float:
+    """Lower bound on runtime from unique HBM traffic (roofline memory leg)."""
+    return bytes_moved / (config.hbm_bandwidth_gbs * 1e9)
+
+
+def apply_memory_roofline(seconds: float, bytes_moved: Optional[float],
+                          config: H100Config = DEFAULT_CONFIG) -> float:
+    """Clamp a simulated runtime to the HBM roofline.
+
+    The per-SM staging bandwidth of the simulator models L2-resident operand
+    reuse; workloads whose *unique* footprint exceeds what the cache can
+    provide can never run faster than their HBM traffic allows, so the
+    experiment harness applies this bound explicitly (see DESIGN.md).
+    """
+    if not bytes_moved:
+        return seconds
+    return max(seconds, hbm_bound_seconds(bytes_moved, config))
+
+
+@dataclass
+class MeasurementRow:
+    """One data point of a figure: a (series, x) -> TFLOP/s measurement."""
+
+    figure: str
+    series: str
+    x_label: str
+    x: float
+    tflops: float
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        out = {
+            "figure": self.figure,
+            "series": self.series,
+            self.x_label: self.x,
+            "tflops": round(self.tflops, 1),
+        }
+        out.update(self.extra)
+        return out
+
+
+@dataclass
+class FigureResult:
+    """All measurements regenerating one paper figure."""
+
+    name: str
+    title: str
+    x_label: str
+    rows: List[MeasurementRow] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, series: str, x: float, value: float, **extra) -> MeasurementRow:
+        row = MeasurementRow(self.name, series, self.x_label, x, value, dict(extra))
+        self.rows.append(row)
+        return row
+
+    @property
+    def series_names(self) -> List[str]:
+        names = []
+        for row in self.rows:
+            if row.series not in names:
+                names.append(row.series)
+        return names
+
+    @property
+    def x_values(self) -> List[float]:
+        xs = []
+        for row in self.rows:
+            if row.x not in xs:
+                xs.append(row.x)
+        return xs
+
+    def value(self, series: str, x: float) -> Optional[float]:
+        for row in self.rows:
+            if row.series == series and row.x == x:
+                return row.tflops
+        return None
+
+    def series(self, name: str) -> List[MeasurementRow]:
+        return [row for row in self.rows if row.series == name]
+
+    def speedup(self, numerator: str, denominator: str) -> List[float]:
+        """Per-x speedups of one series over another (skipping missing points)."""
+        out = []
+        for x in self.x_values:
+            a = self.value(numerator, x)
+            b = self.value(denominator, x)
+            if a and b:
+                out.append(a / b)
+        return out
+
+    def geomean_speedup(self, numerator: str, denominator: str) -> Optional[float]:
+        ratios = self.speedup(numerator, denominator)
+        if not ratios:
+            return None
+        prod = 1.0
+        for r in ratios:
+            prod *= r
+        return prod ** (1.0 / len(ratios))
+
+    def render(self) -> str:
+        from repro.perf.report import render_figure
+
+        return render_figure(self)

@@ -1,0 +1,44 @@
+"""Plain-text rendering of figure results (the "plots" of this reproduction)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.perf.metrics import FigureResult
+
+
+def render_table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_figure(result: FigureResult) -> str:
+    """One row per x value, one column per series (TFLOP/s), like the paper's plots."""
+    headers = [result.x_label] + result.series_names
+    rows = []
+    for x in result.x_values:
+        cells = [_format_x(x)]
+        for series in result.series_names:
+            value = result.value(series, x)
+            cells.append(f"{value:.1f}" if value is not None else "-")
+        rows.append(cells)
+    text = [f"== {result.name}: {result.title} =="]
+    text.append(render_table(headers, rows))
+    if result.notes:
+        text.append("")
+        text.extend(f"note: {n}" for n in result.notes)
+    return "\n".join(text)
+
+
+def _format_x(x: float) -> str:
+    if float(x).is_integer():
+        return str(int(x))
+    return f"{x:g}"

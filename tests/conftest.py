@@ -1,0 +1,53 @@
+"""Shared fixtures: devices, small problems, compiled-kernel helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.options import CompileOptions, NAIVE_OPTIONS, TRITON_BASELINE_OPTIONS
+from repro.gpusim.config import H100Config
+from repro.gpusim.device import Device
+from repro.kernels.attention import AttentionProblem
+from repro.kernels.gemm import GemmProblem
+
+
+@pytest.fixture
+def functional_device() -> Device:
+    return Device(mode="functional")
+
+
+@pytest.fixture
+def perf_device() -> Device:
+    return Device(mode="performance", max_ctas_per_sm_simulated=2)
+
+
+@pytest.fixture
+def small_gemm() -> GemmProblem:
+    return GemmProblem(M=128, N=128, K=128, block_m=64, block_n=64, block_k=32)
+
+
+@pytest.fixture
+def tiny_gemm() -> GemmProblem:
+    return GemmProblem(M=64, N=64, K=64, block_m=32, block_n=32, block_k=32)
+
+
+@pytest.fixture
+def small_attention() -> AttentionProblem:
+    return AttentionProblem(batch=1, heads=2, seq_len=128, head_dim=64,
+                            block_m=64, block_n=64, causal=False)
+
+
+@pytest.fixture
+def ws_options() -> CompileOptions:
+    return CompileOptions(enable_warp_specialization=True, aref_depth=2,
+                          mma_pipeline_depth=2)
+
+
+@pytest.fixture
+def triton_options() -> CompileOptions:
+    return TRITON_BASELINE_OPTIONS
+
+
+@pytest.fixture
+def naive_options() -> CompileOptions:
+    return NAIVE_OPTIONS

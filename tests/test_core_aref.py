@@ -1,0 +1,170 @@
+"""Tests (including property-based) for the aref operational semantics (Fig. 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aref import ArefRing, ArefSlot, ArefStateError
+
+
+class TestSlotProtocol:
+    def test_initial_state_is_empty(self):
+        slot = ArefSlot()
+        assert slot.state_name == "EMPTY"
+        assert slot.can_put and not slot.can_get
+
+    def test_put_get_consumed_cycle(self):
+        slot = ArefSlot()
+        slot.put("tile")
+        assert slot.state_name == "FULL"
+        assert slot.get() == "tile"
+        assert slot.state_name == "BORROWED"
+        slot.consumed()
+        assert slot.state_name == "EMPTY"
+
+    def test_put_on_full_rejected(self):
+        slot = ArefSlot()
+        slot.put(1)
+        with pytest.raises(ArefStateError, match="put requires EMPTY"):
+            slot.put(2)
+
+    def test_put_on_borrowed_rejected(self):
+        slot = ArefSlot()
+        slot.put(1)
+        slot.get()
+        with pytest.raises(ArefStateError):
+            slot.put(2)
+
+    def test_get_on_empty_rejected(self):
+        with pytest.raises(ArefStateError, match="get requires FULL"):
+            ArefSlot().get()
+
+    def test_get_twice_rejected(self):
+        slot = ArefSlot()
+        slot.put(1)
+        slot.get()
+        with pytest.raises(ArefStateError):
+            slot.get()
+
+    def test_consumed_without_get_rejected(self):
+        slot = ArefSlot()
+        with pytest.raises(ArefStateError):
+            slot.consumed()
+        slot.put(1)
+        with pytest.raises(ArefStateError):
+            slot.consumed()
+
+    def test_history_records_operations(self):
+        slot = ArefSlot()
+        slot.put(1)
+        slot.get()
+        slot.consumed()
+        assert slot.history == ["put", "get", "consumed"]
+
+
+class TestRing:
+    def test_slots_are_independent(self):
+        ring = ArefRing(depth=2)
+        ring.put(0, "a")
+        ring.put(1, "b")
+        assert ring.get(0) == "a"
+        assert ring.get(1) == "b"
+
+    def test_index_wraps_modulo_depth(self):
+        ring = ArefRing(depth=2)
+        ring.put(0, "a")
+        assert ring.slot(2) is ring.slot(0)
+        with pytest.raises(ArefStateError):
+            ring.put(2, "again")  # same physical slot, still FULL
+
+    def test_producer_lead_bounded_by_depth(self):
+        ring = ArefRing(depth=3)
+        for k in range(3):
+            ring.put(k, k)
+        with pytest.raises(ArefStateError):
+            ring.put(3, 3)
+        # consuming slot 0 re-enables the producer
+        ring.get(0)
+        ring.consumed(0)
+        ring.put(3, 3)
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ArefRing(depth=0)
+
+    def test_states_snapshot(self):
+        ring = ArefRing(depth=2)
+        ring.put(0, 1)
+        assert ring.states == ("FULL", "EMPTY")
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+_ops = st.lists(st.sampled_from(["put", "get", "consumed"]), max_size=40)
+
+
+def _is_legal_prefix(ops):
+    """Reference acceptance: a trace is legal iff it follows (put get consumed)*."""
+    expected_cycle = ["put", "get", "consumed"]
+    pos = 0
+    for op in ops:
+        if op != expected_cycle[pos % 3]:
+            return False
+        pos += 1
+    return True
+
+
+class TestProtocolProperties:
+    @given(_ops)
+    @settings(max_examples=200, deadline=None)
+    def test_exactly_the_cyclic_traces_are_accepted(self, ops):
+        slot = ArefSlot()
+        legal = _is_legal_prefix(ops)
+        try:
+            for op in ops:
+                getattr(slot, op)(1) if op == "put" else getattr(slot, op)()
+            accepted = True
+        except ArefStateError:
+            accepted = False
+        assert accepted == legal
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=40))
+    @settings(max_examples=100, deadline=None)
+    def test_in_order_streaming_never_faults_and_preserves_values(self, depth, n):
+        """Producer at most `depth` ahead of consumer: the FIFO always works."""
+        ring = ArefRing(depth=depth)
+        produced = 0
+        consumed = 0
+        received = []
+        while consumed < n:
+            while produced < min(n, consumed + depth):
+                ring.put(produced, produced)
+                produced += 1
+            received.append(ring.get(consumed))
+            ring.consumed(consumed)
+            consumed += 1
+        assert received == list(range(n))
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_overrunning_the_ring_always_faults(self, depth, extra):
+        ring = ArefRing(depth=depth)
+        for k in range(depth):
+            ring.put(k, k)
+        with pytest.raises(ArefStateError):
+            ring.put(depth, depth)
+
+    @given(_ops)
+    @settings(max_examples=100, deadline=None)
+    def test_state_invariant_exactly_one_of_three(self, ops):
+        slot = ArefSlot()
+        for op in ops:
+            try:
+                getattr(slot, op)(1) if op == "put" else getattr(slot, op)()
+            except ArefStateError:
+                break
+            assert slot.state_name in ("EMPTY", "FULL", "BORROWED")
+            state = slot.state
+            assert (state.empty, state.full) in [(True, False), (False, True), (False, False)]

@@ -1,0 +1,64 @@
+"""Tests for CompileOptions validation and presets."""
+
+import pytest
+
+from repro.core.options import (
+    NAIVE_OPTIONS,
+    TRITON_BASELINE_OPTIONS,
+    CompileError,
+    CompileOptions,
+)
+
+
+class TestValidation:
+    def test_defaults_are_warp_specialized(self):
+        opts = CompileOptions()
+        assert opts.enable_warp_specialization
+        assert opts.aref_depth >= opts.mma_pipeline_depth
+
+    @pytest.mark.parametrize("field, value", [
+        ("aref_depth", 0),
+        ("mma_pipeline_depth", 0),
+        ("num_consumer_groups", 0),
+        ("num_stages", 1),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(CompileError):
+            CompileOptions(**{field: value})
+
+    def test_p_greater_than_d_rejected(self):
+        """The infeasible region of Fig. 11: MMA depth beyond the aref depth."""
+        with pytest.raises(CompileError, match="D >= P"):
+            CompileOptions(aref_depth=1, mma_pipeline_depth=2)
+
+    def test_p_greater_than_d_allowed_without_ws(self):
+        opts = CompileOptions(enable_warp_specialization=False, aref_depth=1,
+                              mma_pipeline_depth=3)
+        assert opts.mma_pipeline_depth == 3
+
+    def test_unknown_lowering_target_rejected(self):
+        with pytest.raises(CompileError):
+            CompileOptions(lower_to="llvm")
+
+
+class TestPresetsAndHelpers:
+    def test_triton_baseline_preset(self):
+        assert not TRITON_BASELINE_OPTIONS.enable_warp_specialization
+        assert TRITON_BASELINE_OPTIONS.software_pipelining
+
+    def test_naive_preset(self):
+        assert not NAIVE_OPTIONS.enable_warp_specialization
+        assert not NAIVE_OPTIONS.software_pipelining
+
+    def test_evolve_creates_modified_copy(self):
+        base = CompileOptions()
+        deeper = base.evolve(aref_depth=3)
+        assert deeper.aref_depth == 3
+        assert base.aref_depth == 2
+        assert deeper.mma_pipeline_depth == base.mma_pipeline_depth
+
+    def test_cache_key_distinguishes_configurations(self):
+        a = CompileOptions(aref_depth=2)
+        b = CompileOptions(aref_depth=3)
+        assert a.cache_key() != b.cache_key()
+        assert a.cache_key() == CompileOptions(aref_depth=2).cache_key()

@@ -1,0 +1,145 @@
+"""Tests for the analytic baseline models, the perf helpers and the figure harnesses."""
+
+import pytest
+
+from repro.baselines import analytic
+from repro.gpusim.config import DEFAULT_CONFIG
+from repro.perf.metrics import FigureResult, tflops
+from repro.perf.report import render_table
+
+
+class TestAnalyticModels:
+    def test_large_gemm_is_compute_bound_at_expected_efficiency(self):
+        flops = 2.0 * 8192 * 8192 * 16384
+        bytes_moved = (8192 + 8192) * 16384 * 2 + 8192 * 8192 * 2
+        value = analytic.CUBLAS_GEMM.tflops(flops, bytes_moved, "f16")
+        assert value == pytest.approx(0.80 * DEFAULT_CONFIG.peak_tflops(16), rel=0.05)
+
+    def test_small_gemm_is_slower_than_large_gemm(self):
+        small_flops = 2.0 * 8192 * 8192 * 256
+        small_bytes = (8192 + 8192) * 256 * 2 + 8192 * 8192 * 2
+        large_flops = 2.0 * 8192 * 8192 * 16384
+        large_bytes = (8192 + 8192) * 16384 * 2 + 8192 * 8192 * 2
+        small = analytic.CUBLAS_GEMM.tflops(small_flops, small_bytes, "f16")
+        large = analytic.CUBLAS_GEMM.tflops(large_flops, large_bytes, "f16")
+        assert small < 0.85 * large
+
+    def test_fp8_peaks_higher_than_fp16(self):
+        flops = 2.0 * 8192 * 8192 * 16384
+        fp16 = analytic.CUBLAS_GEMM.tflops(flops, 1e9, "f16")
+        fp8 = analytic.CUBLAS_GEMM.tflops(flops, 1e9, "f8e4m3")
+        assert fp8 > fp16 * 1.5
+
+    def test_thunderkittens_has_no_fp8_attention(self):
+        assert analytic.THUNDERKITTENS_ATTENTION.tflops(1e12, 1e9, "f8e4m3") is None
+        assert analytic.THUNDERKITTENS_ATTENTION.tflops(1e12, 1e9, "f16") is not None
+
+    def test_theoretical_peaks(self):
+        assert analytic.theoretical_peak_tflops("f16") == pytest.approx(989, rel=0.02)
+        assert analytic.theoretical_peak_tflops("f8e4m3") == pytest.approx(1979, rel=0.02)
+
+    def test_byte_accounting_scales_with_dtype(self):
+        from repro.kernels.gemm import GemmProblem
+
+        fp16 = GemmProblem(M=1024, N=1024, K=1024, dtype="f16")
+        fp8 = GemmProblem(M=1024, N=1024, K=1024, dtype="f8e4m3")
+        assert fp8.bytes_moved < fp16.bytes_moved
+
+
+class TestFigureResult:
+    def _fig(self):
+        fig = FigureResult("figX", "demo", "K")
+        fig.add("Tawa", 1024, 500.0)
+        fig.add("Triton", 1024, 400.0)
+        fig.add("Tawa", 2048, 600.0)
+        fig.add("Triton", 2048, 480.0)
+        return fig
+
+    def test_series_and_values(self):
+        fig = self._fig()
+        assert fig.series_names == ["Tawa", "Triton"]
+        assert fig.x_values == [1024, 2048]
+        assert fig.value("Tawa", 2048) == 600.0
+        assert fig.value("missing", 1) is None
+
+    def test_speedups_and_geomean(self):
+        fig = self._fig()
+        assert fig.speedup("Tawa", "Triton") == [pytest.approx(1.25), pytest.approx(1.25)]
+        assert fig.geomean_speedup("Tawa", "Triton") == pytest.approx(1.25)
+        assert fig.geomean_speedup("Tawa", "missing") is None
+
+    def test_render_contains_all_series(self):
+        text = self._fig().render()
+        assert "Tawa" in text and "Triton" in text and "1024" in text
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bbbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(set(len(l) for l in lines)) == 1  # all rows padded equally
+
+    def test_tflops_helper(self):
+        assert tflops(1e12, 1.0) == pytest.approx(1.0)
+        assert tflops(1e12, 0.0) == 0.0
+
+
+class TestExperimentHarnesses:
+    @pytest.fixture(scope="class")
+    def reduced_results(self):
+        from repro.experiments import run_all
+
+        return run_all(full=False)
+
+    def test_all_figures_produced(self, reduced_results):
+        assert set(reduced_results) == {"fig8", "fig9", "fig10", "fig11", "fig12"}
+        for figs in reduced_results.values():
+            assert figs and all(isinstance(f, FigureResult) for f in figs)
+
+    def test_fig8_series_complete(self, reduced_results):
+        fig = reduced_results["fig8"][0]
+        assert {"Theoretical Peak", "cuBLAS", "Tawa", "Triton", "TileLang",
+                "ThunderKittens"} <= set(fig.series_names)
+        assert all(row.tflops > 0 for row in fig.rows)
+
+    def test_fig8_shape_tawa_vs_triton_and_peak(self, reduced_results):
+        fig = reduced_results["fig8"][0]
+        largest_k = max(fig.x_values)
+        assert fig.value("Tawa", largest_k) > fig.value("Triton", largest_k)
+        assert fig.value("Tawa", largest_k) < fig.value("Theoretical Peak", largest_k)
+        # cuBLAS wins at the smallest K (launch overheads dominate Tawa there).
+        smallest_k = min(fig.x_values)
+        assert fig.value("cuBLAS", smallest_k) > fig.value("Tawa", smallest_k)
+
+    def test_fig9_tawa_beats_triton_everywhere(self, reduced_results):
+        for fig in reduced_results["fig9"]:
+            for x in fig.x_values:
+                assert fig.value("Tawa", x) > fig.value("Triton", x)
+
+    def test_fig10_tawa_between_triton_and_fa3(self, reduced_results):
+        fig = reduced_results["fig10"][0]
+        largest = max(fig.x_values)
+        assert fig.value("Triton", largest) < fig.value("Tawa", largest)
+        assert fig.value("Tawa", largest) <= fig.value("FA3 (CUTLASS)", largest) * 1.05
+
+    def test_fig11_feasible_region_and_monotonic_depth(self, reduced_results):
+        for fig in reduced_results["fig11"]:
+            assert fig.value("D=1", 2) == 0.0  # P > D is infeasible
+            assert fig.value("D=1", 3) == 0.0
+            assert fig.value("D=2", 3) == 0.0
+            assert fig.value("D=3", 2) > fig.value("D=2", 2) > 0
+            assert fig.value("D=2", 1) > fig.value("D=1", 1)
+
+    def test_fig11_persistent_beats_nonpersistent(self, reduced_results):
+        nonp, pers = reduced_results["fig11"]
+        assert pers.value("D=3", 2) > nonp.value("D=3", 2)
+
+    def test_fig12_ablation_is_monotonically_non_decreasing(self, reduced_results):
+        for fig in reduced_results["fig12"]:
+            values = [row.tflops for row in fig.rows]
+            assert all(b >= a * 0.98 for a, b in zip(values, values[1:]))
+            assert values[-1] > values[0] * 3  # the full stack is a large win
+
+    def test_fig12_render_ablation_lists_steps(self, reduced_results):
+        from repro.experiments.fig12_ablation import render_ablation
+
+        text = render_ablation(reduced_results["fig12"][0])
+        assert "+Auto WS" in text and "+Persistent Kernel" in text

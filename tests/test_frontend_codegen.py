@@ -1,0 +1,251 @@
+"""Frontend tests: expressions, loops, conditionals, builtins, specialization."""
+
+import pytest
+
+from repro.frontend import FrontendError, Kernel, TypeMismatchError, UnsupportedSyntaxError, kernel, tl
+from repro.ir import print_op
+from repro.ir.dialects import scf
+from repro.ir.types import PointerType, TensorDescType, TensorType, f16, f32, i32
+
+
+def build(kern, arg_types, constexprs=None, num_warps=8):
+    spec = kern.specialize(arg_types, constexprs or {}, num_warps=num_warps)
+    return kern.build_module(spec)
+
+
+# -- simple kernels used across tests -------------------------------------------------
+
+
+@kernel
+def axpy(x_ptr, y_ptr, alpha, N: tl.constexpr):
+    offs = tl.arange(0, N)
+    x = tl.load(x_ptr + offs)
+    y = tl.load(y_ptr + offs)
+    tl.store(y_ptr + offs, x * alpha + y)
+
+
+@kernel
+def loop_accumulate(x_ptr, n, BLOCK: tl.constexpr):
+    acc = tl.zeros((BLOCK,), dtype=tl.float32)
+    base = 0
+    for i in tl.range(0, n):
+        offs = base + tl.arange(0, BLOCK)
+        acc = acc + tl.load(x_ptr + offs)
+        base += BLOCK
+    tl.store(x_ptr + tl.arange(0, BLOCK), acc)
+
+
+@kernel
+def static_features(x_ptr, FLAG: tl.constexpr, BLOCK: tl.constexpr):
+    offs = tl.arange(0, BLOCK)
+    v = tl.load(x_ptr + offs)
+    if FLAG:
+        v = tl.exp(v)
+    else:
+        v = v * 2.0
+    for i in tl.static_range(0, 2):
+        v = v + 1.0
+    tl.store(x_ptr + offs, v)
+
+
+class TestBasicExpressions:
+    def test_axpy_structure(self):
+        module = build(axpy, {"x_ptr": PointerType(f32), "y_ptr": PointerType(f32),
+                              "alpha": f32}, {"N": 64})
+        text = print_op(module)
+        assert "tt.make_range" in text
+        assert "tt.load" in text
+        assert "arith.mulf" in text
+        assert "tt.store" in text
+
+    def test_constexpr_shapes_are_burned_in(self):
+        module = build(axpy, {"x_ptr": PointerType(f32), "y_ptr": PointerType(f32),
+                              "alpha": f32}, {"N": 128})
+        assert "tensor<128xf32>" in print_op(module)
+
+    def test_module_records_num_warps(self):
+        module = build(axpy, {"x_ptr": PointerType(f32), "y_ptr": PointerType(f32),
+                              "alpha": f32}, {"N": 64}, num_warps=4)
+        assert module.attributes["num-warps"] == 4
+
+    def test_subscript_none_becomes_expand_dims(self):
+        @kernel
+        def outer_product(c_ptr, BLOCK: tl.constexpr):
+            rows = tl.arange(0, BLOCK)
+            cols = tl.arange(0, BLOCK)
+            prod = rows[:, None] * cols[None, :]
+            tl.store(c_ptr + prod, prod)
+
+        module = build(outer_product, {"c_ptr": PointerType(f32)}, {"BLOCK": 16})
+        assert print_op(module).count("tt.expand_dims") == 2
+
+
+class TestLoops:
+    def test_loop_carried_values_become_iter_args(self):
+        module = build(loop_accumulate, {"x_ptr": PointerType(f32), "n": i32}, {"BLOCK": 32})
+        fn = module.get_function("loop_accumulate")
+        loop = next(op for op in fn.walk() if isinstance(op, scf.ForOp))
+        # acc (tensor) and base (scalar) are both loop-carried.
+        carried_types = [a.type for a in loop.iter_args]
+        assert TensorType((32,), f32) in carried_types
+        assert i32 in carried_types
+
+    def test_loop_results_rebound_after_loop(self):
+        module = build(loop_accumulate, {"x_ptr": PointerType(f32), "n": i32}, {"BLOCK": 32})
+        fn = module.get_function("loop_accumulate")
+        store = next(op for op in fn.walk() if op.name == "tt.store")
+        loop = next(op for op in fn.walk() if isinstance(op, scf.ForOp))
+        # The stored value is the loop's accumulator result (possibly cast).
+        value = store.value
+        if value.defining_op is not None and value.defining_op.name == "arith.cast":
+            value = value.defining_op.operands[0]
+        assert value in loop.results
+
+    def test_static_range_unrolls(self):
+        module = build(static_features, {"x_ptr": PointerType(f32)},
+                       {"FLAG": False, "BLOCK": 8})
+        fn = module.get_function("static_features")
+        assert not any(isinstance(op, scf.ForOp) for op in fn.walk())
+        # the +1.0 body appears twice (unrolled)
+        adds = [op for op in fn.walk() if op.name == "arith.addf"]
+        assert len(adds) == 2
+
+    def test_python_range_also_builds_scf_for(self):
+        @kernel
+        def plain_range(x_ptr, n, BLOCK: tl.constexpr):
+            acc = tl.zeros((BLOCK,), dtype=tl.float32)
+            for i in range(0, n):
+                acc = acc + 1.0
+            tl.store(x_ptr + tl.arange(0, BLOCK), acc)
+
+        module = build(plain_range, {"x_ptr": PointerType(f32), "n": i32}, {"BLOCK": 8})
+        assert any(isinstance(op, scf.ForOp) for op in module.get_function("plain_range").walk())
+
+    def test_carried_type_change_is_an_error(self):
+        @kernel
+        def bad(x_ptr, n, BLOCK: tl.constexpr):
+            acc = tl.zeros((BLOCK,), dtype=tl.float32)
+            for i in tl.range(0, n):
+                acc = tl.zeros((BLOCK,), dtype=tl.float16)
+            tl.store(x_ptr + tl.arange(0, BLOCK), acc)
+
+        with pytest.raises(TypeMismatchError, match="changed type"):
+            build(bad, {"x_ptr": PointerType(f32), "n": i32}, {"BLOCK": 8})
+
+
+class TestConditionals:
+    def test_static_if_selects_single_branch(self):
+        module = build(static_features, {"x_ptr": PointerType(f32)},
+                       {"FLAG": True, "BLOCK": 8})
+        text = print_op(module)
+        assert "math.exp" in text and "arith.mulf" not in text
+
+    def test_dynamic_if_builds_scf_if(self):
+        @kernel
+        def dyn(x_ptr, n, BLOCK: tl.constexpr):
+            v = tl.load(x_ptr + tl.arange(0, BLOCK))
+            scale = 1.0
+            if n > 4:
+                scale = 2.0
+            tl.store(x_ptr + tl.arange(0, BLOCK), v * scale)
+
+        module = build(dyn, {"x_ptr": PointerType(f32), "n": i32}, {"BLOCK": 8})
+        assert any(op.name == "scf.if" for op in module.get_function("dyn").walk())
+
+    def test_dynamic_if_requires_predefined_names(self):
+        @kernel
+        def bad(x_ptr, n, BLOCK: tl.constexpr):
+            if n > 4:
+                fresh = 2.0
+            tl.store(x_ptr + tl.arange(0, BLOCK), fresh)
+
+        with pytest.raises(FrontendError, match="defined before"):
+            build(bad, {"x_ptr": PointerType(f32), "n": i32}, {"BLOCK": 8})
+
+
+class TestErrors:
+    def test_while_loops_rejected(self):
+        @kernel
+        def bad(x_ptr, n):
+            while n > 0:
+                n = n - 1
+
+        with pytest.raises(UnsupportedSyntaxError):
+            build(bad, {"x_ptr": PointerType(f32), "n": i32})
+
+    def test_undefined_name(self):
+        @kernel
+        def bad(x_ptr):
+            tl.store(x_ptr + tl.arange(0, 4), undefined_name)  # noqa: F821
+
+        with pytest.raises(FrontendError, match="not defined"):
+            build(bad, {"x_ptr": PointerType(f32)})
+
+    def test_dynamic_tile_shape_rejected(self):
+        @kernel
+        def bad(x_ptr, n):
+            acc = tl.zeros((n,), dtype=tl.float32)
+            tl.store(x_ptr + tl.arange(0, 4), acc)
+
+        with pytest.raises(FrontendError, match="compile-time"):
+            build(bad, {"x_ptr": PointerType(f32), "n": i32})
+
+    def test_kernel_call_outside_device_raises(self):
+        with pytest.raises(RuntimeError, match="cannot be called directly"):
+            axpy(1, 2, 3)
+
+    def test_builtin_call_outside_kernel_raises(self):
+        with pytest.raises(RuntimeError, match="only be called inside"):
+            tl.dot(None, None)
+
+    def test_cdiv_works_on_host(self):
+        assert tl.cdiv(10, 3) == 4
+
+    def test_line_numbers_in_errors(self):
+        @kernel
+        def bad(x_ptr):
+            y = x_ptr @ x_ptr  # matmul of pointers is nonsense
+            tl.store(x_ptr + tl.arange(0, 4), y)
+
+        with pytest.raises(FrontendError) as err:
+            build(bad, {"x_ptr": PointerType(f32)})
+        assert "bad" in str(err.value)
+
+
+class TestSpecialization:
+    def test_missing_constexpr_value(self):
+        with pytest.raises(FrontendError, match="constexpr parameter"):
+            axpy.specialize({"x_ptr": PointerType(f32), "y_ptr": PointerType(f32),
+                             "alpha": f32})
+
+    def test_unknown_constexpr_name(self):
+        with pytest.raises(FrontendError, match="not constexpr"):
+            axpy.specialize({"x_ptr": PointerType(f32), "y_ptr": PointerType(f32),
+                             "alpha": f32}, {"N": 8, "BOGUS": 1})
+
+    def test_missing_runtime_type(self):
+        with pytest.raises(FrontendError, match="missing types"):
+            axpy.specialize({"x_ptr": PointerType(f32)}, {"N": 8})
+
+    def test_positional_type_sequence(self):
+        spec = axpy.specialize([PointerType(f32), PointerType(f32), f32], {"N": 8})
+        assert dict(spec.arg_types)["alpha"] == f32
+
+    def test_default_constexpr_values_used(self):
+        @kernel
+        def with_default(x_ptr, BLOCK: tl.constexpr = 16):
+            tl.store(x_ptr + tl.arange(0, BLOCK), tl.zeros((BLOCK,), dtype=tl.float32))
+
+        spec = with_default.specialize({"x_ptr": PointerType(f32)})
+        assert dict(spec.constexprs)["BLOCK"] == 16
+
+    def test_runtime_and_constexpr_param_lists(self):
+        assert axpy.runtime_param_names == ["x_ptr", "y_ptr", "alpha"]
+        assert axpy.constexpr_param_names == ["N"]
+
+    def test_specializations_are_independent_modules(self):
+        types = {"x_ptr": PointerType(f32), "y_ptr": PointerType(f32), "alpha": f32}
+        m1 = build(axpy, types, {"N": 16})
+        m2 = build(axpy, types, {"N": 32})
+        assert "tensor<16xf32>" in print_op(m1)
+        assert "tensor<32xf32>" in print_op(m2)

@@ -1,0 +1,233 @@
+"""Unit and property tests for the simulator: mbarriers, resources, engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.config import DEFAULT_CONFIG, H100Config
+from repro.gpusim.engine import (
+    Agent,
+    ArefProtocolError,
+    ArefSlotRuntime,
+    CopyEngine,
+    DeadlockError,
+    Delay,
+    Engine,
+    MBarrier,
+    SMResources,
+    TensorCoreUnit,
+    TmaEngine,
+    TmaIssue,
+    WaitBarrier,
+    WgmmaIssue,
+    WgmmaWait,
+)
+
+
+class TestMBarrier:
+    def test_arrival_count_completes_generation(self):
+        bar = MBarrier(arrive_count=2)
+        assert not bar.arrive()
+        assert bar.arrive()
+        assert bar.completed == 1
+        assert bar.satisfied(1) and not bar.satisfied(2)
+
+    def test_transaction_bytes_complete_generation(self):
+        bar = MBarrier(arrive_count=0)
+        assert not bar.expect_tx(1024)
+        assert not bar.credit_tx(512)
+        assert bar.credit_tx(512)
+        assert bar.completed == 1
+
+    def test_unarmed_barrier_never_completes(self):
+        bar = MBarrier(arrive_count=0)
+        assert not bar.credit_tx(4096)
+        assert bar.completed == 0
+
+    def test_excess_tx_carries_over(self):
+        bar = MBarrier(arrive_count=0)
+        bar.expect_tx(100)
+        bar.credit_tx(150)
+        assert bar.completed == 1
+        bar.expect_tx(50)
+        assert bar._maybe_complete() or bar.completed == 2
+
+    def test_generation_zero_always_satisfied(self):
+        # Producers wait for generation k//D; the first pass is free, which is
+        # what makes the initially-EMPTY slots writable.
+        bar = MBarrier(arrive_count=1)
+        assert bar.satisfied(0)
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_generations_count_arrivals_in_units_of_count(self, count, arrivals):
+        bar = MBarrier(arrive_count=count)
+        for _ in range(arrivals):
+            bar.arrive()
+        assert bar.completed == arrivals // count
+        assert bar.arrivals == arrivals % count
+
+
+class TestResources:
+    def test_tma_engine_serializes_copies(self):
+        tma = TmaEngine(DEFAULT_CONFIG)
+        first = tma.submit_copy(0.0, 44 * 100)   # 100 cycles of service
+        second = tma.submit_copy(0.0, 44 * 100)
+        assert second - first == pytest.approx(100, rel=0.01)
+        assert tma.bytes_copied == 2 * 4400
+
+    def test_copy_engine_slower_than_tma(self):
+        tma = TmaEngine(DEFAULT_CONFIG)
+        cp = CopyEngine(DEFAULT_CONFIG)
+        assert cp.bytes_per_cycle < tma.bytes_per_cycle
+
+    def test_tensor_core_full_vs_narrow_chain_rate(self):
+        tc = TensorCoreUnit(DEFAULT_CONFIG)
+        flops = 2 * 128 * 128 * 64
+        wide_done = tc.submit_wgmma(0.0, flops, 16, acc_n=256, chain="wide")
+        tc2 = TensorCoreUnit(DEFAULT_CONFIG)
+        narrow_done = tc2.submit_wgmma(0.0, flops, 16, acc_n=128, chain="narrow")
+        assert narrow_done > wide_done  # narrow accumulators run below peak
+
+    def test_independent_chains_interleave(self):
+        """Two chains of narrow WGMMAs together approach the unit's full rate."""
+        config = DEFAULT_CONFIG
+        tc = TensorCoreUnit(config)
+        flops = 2 * 128 * 128 * 64
+        last = 0.0
+        for i in range(8):
+            last = max(last, tc.submit_wgmma(0.0, flops, 16, 128, chain="t"))
+            last = max(last, tc.submit_wgmma(0.0, flops, 16, 128, chain="u"))
+        single = TensorCoreUnit(config)
+        last_single = 0.0
+        for i in range(16):
+            last_single = max(last_single, single.submit_wgmma(0.0, flops, 16, 128, chain="t"))
+        assert last < last_single * 0.75
+
+    def test_fp8_twice_as_fast(self):
+        tc = TensorCoreUnit(DEFAULT_CONFIG)
+        flops = 2 * 128 * 256 * 64
+        fp16 = tc.submit_wgmma(0.0, flops, 16, 256, chain="a")
+        tc2 = TensorCoreUnit(DEFAULT_CONFIG)
+        fp8 = tc2.submit_wgmma(0.0, flops, 8, 256, chain="a")
+        assert fp16 / fp8 == pytest.approx(2.0, rel=0.05)
+
+
+def _run_agents(*generators):
+    engine = Engine(DEFAULT_CONFIG)
+    sm = SMResources(DEFAULT_CONFIG)
+    for i, gen in enumerate(generators):
+        engine.add_agent(Agent(f"a{i}", gen, sm))
+    return engine.run(), engine
+
+
+class TestEngine:
+    def test_delays_accumulate(self):
+        def agent():
+            yield Delay(100)
+            yield Delay(50)
+
+        time, _ = _run_agents(agent())
+        assert time == pytest.approx(150)
+
+    def test_producer_consumer_via_mbarrier(self):
+        bar = MBarrier(arrive_count=0)
+        order = []
+
+        def producer():
+            yield Delay(10)
+            bar.expect_tx(1000)
+            yield TmaIssue(1000, barrier=bar)
+            order.append("produced")
+
+        def consumer():
+            yield WaitBarrier(bar, 1)
+            order.append("consumed")
+
+        time, _ = _run_agents(producer(), consumer())
+        assert order == ["produced", "consumed"]
+        assert time > DEFAULT_CONFIG.tma_latency_cycles
+
+    def test_wgmma_wait_blocks_until_drained(self):
+        events = []
+
+        def agent():
+            yield WgmmaIssue(2 * 128 * 256 * 64, 16, 256, chain="c")
+            events.append("issued")
+            yield WgmmaWait(0)
+            events.append("drained")
+
+        time, _ = _run_agents(agent())
+        assert events == ["issued", "drained"]
+        assert time > 500
+
+    def test_deadlock_detected_and_described(self):
+        bar = MBarrier(arrive_count=1, name="stuck")
+
+        def agent():
+            yield WaitBarrier(bar, 1)
+
+        with pytest.raises(DeadlockError, match="stuck"):
+            _run_agents(agent())
+
+    def test_aref_runtime_protocol_errors(self):
+        slot = ArefSlotRuntime("s")
+        with pytest.raises(ArefProtocolError):
+            slot.do_get()
+        slot.do_put(("x",))
+        with pytest.raises(ArefProtocolError):
+            slot.do_put(("y",))
+        assert slot.do_get() == ("x",)
+        slot.do_consumed()
+        assert slot.can_put()
+
+    def test_event_cap_guards_against_livelock(self):
+        def spinner():
+            while True:
+                yield Delay(1)
+
+        engine = Engine(DEFAULT_CONFIG, max_events=1000)
+        engine.add_agent(Agent("spin", spinner(), SMResources(DEFAULT_CONFIG)))
+        with pytest.raises(Exception, match="events"):
+            engine.run()
+
+    def test_trace_records_events(self):
+        trace = []
+        engine = Engine(DEFAULT_CONFIG, trace=trace)
+        sm = SMResources(DEFAULT_CONFIG)
+
+        def agent():
+            yield WgmmaIssue(1000, 16, 256, chain="x")
+            yield WgmmaWait(0)
+
+        engine.add_agent(Agent("a", agent(), sm))
+        engine.run()
+        kinds = [t[2] for t in trace]
+        assert "wgmma_issue" in kinds and "finish" in kinds
+
+
+class TestConfig:
+    def test_peak_tflops_close_to_h100_datasheet(self):
+        assert DEFAULT_CONFIG.peak_tflops(16) == pytest.approx(989, rel=0.02)
+        assert DEFAULT_CONFIG.peak_tflops(8) == pytest.approx(1979, rel=0.02)
+
+    def test_cycles_seconds_roundtrip(self):
+        c = DEFAULT_CONFIG
+        assert c.seconds_to_cycles(c.cycles_to_seconds(12345)) == pytest.approx(12345)
+
+    def test_register_budgets(self):
+        c = DEFAULT_CONFIG
+        assert c.registers_per_thread_available(1) == 255
+        assert c.registers_per_thread_available(4) == 128
+        assert c.consumer_register_budget(1) == 232
+        assert c.consumer_register_budget(2) >= 200
+
+    def test_wgmma_rate_fraction_saturates(self):
+        c = DEFAULT_CONFIG
+        assert c.wgmma_rate_fraction(256) == 1.0
+        assert c.wgmma_rate_fraction(128) == pytest.approx(0.5)
+        assert c.wgmma_rate_fraction(16) == pytest.approx(0.5)
+
+    def test_with_overrides(self):
+        c = DEFAULT_CONFIG.with_overrides(num_sms=78)
+        assert c.num_sms == 78 and DEFAULT_CONFIG.num_sms == 132

@@ -1,0 +1,76 @@
+"""End-to-end functional correctness of the attention kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.options import CompileOptions, NAIVE_OPTIONS, TRITON_BASELINE_OPTIONS
+from repro.gpusim.device import Device
+from repro.kernels.attention import (
+    AttentionProblem,
+    attention_reference,
+    check_attention,
+    run_attention,
+)
+
+
+@pytest.fixture(scope="module")
+def device():
+    return Device(mode="functional")
+
+
+def small_problem(**kwargs):
+    defaults = dict(batch=1, heads=2, seq_len=128, head_dim=64,
+                    block_m=64, block_n=64, causal=False)
+    defaults.update(kwargs)
+    return AttentionProblem(**defaults)
+
+
+class TestAttentionCorrectness:
+    @pytest.mark.parametrize("options", [
+        NAIVE_OPTIONS,
+        TRITON_BASELINE_OPTIONS,
+        CompileOptions(lower_to="tawa"),
+        CompileOptions(),
+        CompileOptions(num_consumer_groups=2),
+        CompileOptions(coarse_grained_pipelining=False),
+        CompileOptions(aref_depth=3, num_consumer_groups=2),
+    ], ids=["naive", "triton", "aref-midlevel", "tawa", "tawa-coop",
+            "tawa-no-rotation", "tawa-deep"])
+    def test_non_causal_matches_numpy(self, device, options):
+        check_attention(device, small_problem(), options)
+
+    @pytest.mark.parametrize("options", [
+        TRITON_BASELINE_OPTIONS,
+        CompileOptions(),
+        CompileOptions(num_consumer_groups=2),
+    ], ids=["triton", "tawa", "tawa-coop"])
+    def test_causal_matches_numpy(self, device, options):
+        check_attention(device, small_problem(causal=True), options)
+
+    def test_rectangular_blocks(self, device):
+        check_attention(device, small_problem(block_m=32, block_n=64), CompileOptions())
+
+    def test_multiple_heads_and_batches(self, device):
+        check_attention(device, small_problem(batch=2, heads=3, seq_len=64), CompileOptions())
+
+    def test_fp8_attention(self, device):
+        check_attention(device, small_problem(dtype="f8e4m3"), CompileOptions(), rtol=5e-2,
+                        atol=5e-2)
+
+    def test_reference_softmax_rows_sum_to_one(self):
+        problem = small_problem()
+        rng = np.random.default_rng(0)
+        q = rng.standard_normal((problem.rows, problem.head_dim), dtype=np.float32)
+        out = attention_reference(q, q, q, problem)
+        assert out.shape == (problem.rows, problem.head_dim)
+        assert np.isfinite(out).all()
+
+    def test_causal_output_differs_from_non_causal(self, device):
+        _, causal_out = run_attention(device, small_problem(causal=True), CompileOptions())
+        _, plain_out = run_attention(device, small_problem(causal=False), CompileOptions())
+        assert not np.allclose(causal_out, plain_out)
+
+    def test_flops_accounting_halved_for_causal(self):
+        causal = small_problem(causal=True)
+        full = small_problem(causal=False)
+        assert causal.flops == pytest.approx(full.flops / 2)

@@ -1,0 +1,87 @@
+"""End-to-end functional correctness of GEMM (and variants) across every
+compilation path, checked against NumPy references."""
+
+import pytest
+
+from repro.core.options import CompileOptions, NAIVE_OPTIONS, TRITON_BASELINE_OPTIONS
+from repro.gpusim.device import Device
+from repro.kernels.batched_gemm import BatchedGemmProblem, check_batched_gemm
+from repro.kernels.gemm import GemmProblem, check_gemm
+from repro.kernels.grouped_gemm import GroupedGemmProblem, check_grouped_gemm
+
+
+@pytest.fixture(scope="module")
+def device():
+    return Device(mode="functional")
+
+
+SMALL = GemmProblem(M=128, N=128, K=128, block_m=64, block_n=64, block_k=32)
+
+
+class TestGemmCompilationPaths:
+    @pytest.mark.parametrize("options, label", [
+        (NAIVE_OPTIONS, "naive"),
+        (TRITON_BASELINE_OPTIONS, "cp.async software pipeline"),
+        (CompileOptions(lower_to="tawa"), "mid-level aref interpretation"),
+        (CompileOptions(), "warp specialized (default D=2, P=2)"),
+        (CompileOptions(aref_depth=3, mma_pipeline_depth=2), "deep aref ring"),
+        (CompileOptions(aref_depth=3, mma_pipeline_depth=3), "deep MMA pipeline"),
+        (CompileOptions(aref_depth=1, mma_pipeline_depth=1), "single-slot channel"),
+        (CompileOptions(num_consumer_groups=2), "cooperative consumers"),
+        (CompileOptions(persistent=True), "persistent"),
+        (CompileOptions(persistent=True, num_consumer_groups=2, aref_depth=3),
+         "persistent + cooperative + D=3"),
+        (CompileOptions(fine_grained_pipelining=False), "pipelining disabled"),
+    ], ids=lambda v: v if isinstance(v, str) else "")
+    def test_gemm_matches_numpy(self, device, options, label):
+        check_gemm(device, SMALL, options)
+
+    def test_non_square_and_non_divisible_sizes(self, device):
+        problem = GemmProblem(M=96, N=160, K=64, block_m=32, block_n=64, block_k=32)
+        check_gemm(device, problem, CompileOptions())
+
+    def test_single_k_iteration(self, device):
+        problem = GemmProblem(M=64, N=64, K=32, block_m=32, block_n=32, block_k=32)
+        check_gemm(device, problem, CompileOptions())
+
+    def test_fp8_inputs(self, device):
+        problem = GemmProblem(M=64, N=64, K=64, dtype="f8e4m3",
+                              block_m=32, block_n=32, block_k=32)
+        check_gemm(device, problem, CompileOptions())
+
+    def test_results_deterministic_across_runs(self, device):
+        from repro.kernels.gemm import run_gemm
+
+        r1, c1 = run_gemm(device, SMALL, CompileOptions())
+        r2, c2 = run_gemm(device, SMALL, CompileOptions())
+        assert (c1 == c2).all()
+        assert r1.cycles == pytest.approx(r2.cycles)
+
+
+class TestGemmVariants:
+    @pytest.mark.parametrize("options", [
+        TRITON_BASELINE_OPTIONS,
+        CompileOptions(),
+        CompileOptions(num_consumer_groups=2),
+    ], ids=["triton", "tawa", "tawa-coop"])
+    def test_batched_gemm_matches_numpy(self, device, options):
+        problem = BatchedGemmProblem(batch=2, M=64, N=64, K=64,
+                                     block_m=32, block_n=32, block_k=32)
+        check_batched_gemm(device, problem, options)
+
+    @pytest.mark.parametrize("options", [
+        TRITON_BASELINE_OPTIONS,
+        CompileOptions(),
+    ], ids=["triton", "tawa"])
+    def test_grouped_gemm_matches_numpy(self, device, options):
+        problem = GroupedGemmProblem(group_ms=[64, 128], N=64, K=64,
+                                     block_m=32, block_n=32, block_k=32)
+        check_grouped_gemm(device, problem, options)
+
+    def test_grouped_gemm_tile_table_covers_all_rows(self):
+        problem = GroupedGemmProblem(group_ms=[96, 64], N=64, K=64,
+                                     block_m=32, block_n=32, block_k=32)
+        rows, bns, cns = problem.tile_table()
+        assert len(rows) == problem.grid
+        assert rows.max() < problem.total_m
+        assert bns.max() < problem.num_groups * problem.N

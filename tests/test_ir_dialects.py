@@ -1,0 +1,246 @@
+"""Unit tests for dialect op constructors and their type inference."""
+
+import pytest
+
+from repro.ir import Builder, FuncOp, IRError
+from repro.ir.dialects import arith, gpu, scf, tawa, tt, ensure_loaded, registry
+from repro.ir.types import (
+    ArefSlotType,
+    ArefType,
+    FunctionType,
+    MBarrierType,
+    PointerType,
+    SmemBufferType,
+    TensorDescType,
+    TensorType,
+    f16,
+    f32,
+    i1,
+    i32,
+)
+
+ensure_loaded()
+
+
+@pytest.fixture
+def builder():
+    fn = FuncOp("f", FunctionType((TensorDescType(f16), PointerType(f16), i32), ()))
+    return Builder(fn.body), fn
+
+
+class TestArithOps:
+    def test_binary_elementwise_broadcast(self, builder):
+        b, _ = builder
+        lhs = b.create(tt.FullOp, (128, 1), 1.0, f32).result
+        rhs = b.create(tt.FullOp, (1, 64), 2.0, f32).result
+        add = b.create(arith.AddFOp, lhs, rhs)
+        assert add.result.type == TensorType((128, 64), f32)
+
+    def test_binary_scalar_tensor_mix(self, builder):
+        b, fn = builder
+        tile = b.create(tt.FullOp, (8, 8), 0.0, f32).result
+        scalar = arith.constant(b, 2.0, f32)
+        mul = b.create(arith.MulFOp, tile, scalar)
+        assert mul.result.type == TensorType((8, 8), f32)
+
+    def test_cmp_produces_i1(self, builder):
+        b, fn = builder
+        rng = b.create(tt.MakeRangeOp, 0, 64).result
+        cmp = b.create(arith.CmpIOp, "slt", rng, arith.c_i32(b, 32))
+        assert cmp.result.type == TensorType((64,), i1)
+
+    def test_cmp_rejects_bad_predicate(self, builder):
+        b, _ = builder
+        c = arith.c_i32(b, 1)
+        with pytest.raises(IRError):
+            arith.CmpIOp("weird", c, c)
+
+    def test_cast_changes_element_type(self, builder):
+        b, _ = builder
+        tile = b.create(tt.FullOp, (16, 16), 0.0, f32).result
+        cast = b.create(arith.CastOp, tile, f16)
+        assert cast.result.type == TensorType((16, 16), f16)
+
+    def test_constant_helpers(self, builder):
+        b, _ = builder
+        v = arith.c_i32(b, 7)
+        assert arith.is_constant(v, 7)
+        assert arith.constant_value(v) == 7
+        assert arith.constant_value(b.create(arith.AddIOp, v, v).result) is None
+
+    def test_py_impl_registered_for_every_binary(self):
+        for name in ("arith.addi", "arith.mulf", "arith.divsi", "arith.maxf"):
+            info = registry.lookup(name)
+            assert info is not None and info.pure
+
+
+class TestTTOps:
+    def test_tma_load_shape_inference(self, builder):
+        b, fn = builder
+        load = b.create(tt.TmaLoadOp, fn.argument(0), [arith.c_i32(b, 0), arith.c_i32(b, 0)],
+                        (128, 64))
+        assert load.result.type == TensorType((128, 64), f16)
+        assert load.tile_shape == (128, 64)
+
+    def test_tma_load_requires_descriptor(self, builder):
+        b, fn = builder
+        with pytest.raises(IRError):
+            tt.TmaLoadOp(fn.argument(1), [arith.c_i32(b, 0)], (64,))
+
+    def test_tma_load_coord_rank_mismatch(self, builder):
+        b, fn = builder
+        with pytest.raises(IRError, match="rank mismatch"):
+            tt.TmaLoadOp(fn.argument(0), [arith.c_i32(b, 0)], (128, 64))
+
+    def test_dot_type_inference_and_flops(self, builder):
+        b, fn = builder
+        a = b.create(tt.FullOp, (128, 64), 0.0, f16).result
+        bb = b.create(tt.FullOp, (64, 256), 0.0, f16).result
+        dot = b.create(tt.DotOp, a, bb)
+        assert dot.result.type == TensorType((128, 256), f32)
+        assert dot.flops == 2 * 128 * 256 * 64
+
+    def test_dot_shape_mismatch(self, builder):
+        b, _ = builder
+        a = b.create(tt.FullOp, (128, 64), 0.0, f16).result
+        bad = b.create(tt.FullOp, (32, 256), 0.0, f16).result
+        with pytest.raises(IRError):
+            tt.DotOp(a, bad)
+
+    def test_dot_accumulator_type_checked(self, builder):
+        b, _ = builder
+        a = b.create(tt.FullOp, (16, 8), 0.0, f16).result
+        bb = b.create(tt.FullOp, (8, 16), 0.0, f16).result
+        wrong_acc = b.create(tt.FullOp, (16, 16), 0.0, f16).result
+        with pytest.raises(IRError):
+            tt.DotOp(a, bb, wrong_acc)
+
+    def test_reduce_drops_axis(self, builder):
+        b, _ = builder
+        tile = b.create(tt.FullOp, (64, 32), 0.0, f32).result
+        red = b.create(tt.ReduceOp, tile, 1, "max")
+        assert red.results[0].type == TensorType((64,), f32)
+
+    def test_expand_dims_and_broadcast(self, builder):
+        b, _ = builder
+        row = b.create(tt.MakeRangeOp, 0, 64).result
+        col = b.create(tt.ExpandDimsOp, row, 1)
+        assert col.result.type == TensorType((64, 1), i32)
+        wide = b.create(tt.BroadcastOp, col.result, (64, 32))
+        assert wide.result.type == TensorType((64, 32), i32)
+
+    def test_trans_requires_rank2(self, builder):
+        b, _ = builder
+        vec = b.create(tt.MakeRangeOp, 0, 8).result
+        with pytest.raises(IRError):
+            tt.TransOp(vec)
+
+    def test_addptr_builds_pointer_tensors(self, builder):
+        b, fn = builder
+        offs = b.create(tt.MakeRangeOp, 0, 16).result
+        ptrs = b.create(tt.AddPtrOp, fn.argument(1), offs)
+        assert isinstance(ptrs.result.type, TensorType)
+        assert isinstance(ptrs.result.type.element_type, PointerType)
+
+    def test_store_with_mask_records_flag(self, builder):
+        b, fn = builder
+        offs = b.create(tt.MakeRangeOp, 0, 16).result
+        ptrs = b.create(tt.AddPtrOp, fn.argument(1), offs).result
+        vals = b.create(tt.FullOp, (16,), 0.0, f16).result
+        mask = b.create(arith.CmpIOp, "slt", offs, arith.c_i32(b, 8)).result
+        store = b.create(tt.StoreOp, ptrs, vals, mask)
+        assert store.mask is mask
+
+
+class TestTawaOps:
+    def test_create_aref_and_slot(self, builder):
+        b, _ = builder
+        payload = [TensorType((128, 64), f16), TensorType((256, 64), f16)]
+        aref = b.create(tawa.CreateArefOp, payload, 3)
+        assert isinstance(aref.result.type, ArefType)
+        assert aref.depth == 3
+        slot = b.create(tawa.ArefSlotOp, aref.result, arith.c_i32(b, 0))
+        assert isinstance(slot.result.type, ArefSlotType)
+
+    def test_put_arity_and_types_checked(self, builder):
+        b, _ = builder
+        payload = [TensorType((8, 8), f16)]
+        aref = b.create(tawa.CreateArefOp, payload, 1)
+        slot = b.create(tawa.ArefSlotOp, aref.result, arith.c_i32(b, 0)).result
+        good = b.create(tt.FullOp, (8, 8), 0.0, f16).result
+        b.create(tawa.PutOp, slot, [good])
+        with pytest.raises(IRError):
+            tawa.PutOp(slot, [])
+        wrong = b.create(tt.FullOp, (8, 8), 0.0, f32).result
+        with pytest.raises(IRError):
+            tawa.PutOp(slot, [wrong])
+
+    def test_get_results_match_payload(self, builder):
+        b, _ = builder
+        payload = [TensorType((8, 8), f16), TensorType((4, 4), f16)]
+        aref = b.create(tawa.CreateArefOp, payload, 2)
+        slot = b.create(tawa.ArefSlotOp, aref.result, arith.c_i32(b, 1)).result
+        get = b.create(tawa.GetOp, slot)
+        assert [r.type for r in get.results] == payload
+
+    def test_warp_group_roles(self):
+        wg = tawa.WarpGroupOp(0, tawa.PRODUCER_ROLE)
+        assert wg.is_producer and not wg.is_consumer
+        wg2 = tawa.WarpGroupOp(1, tawa.CONSUMER_ROLE, replicas=2)
+        assert wg2.replicas == 2
+        with pytest.raises(IRError):
+            tawa.WarpGroupOp(0, "manager")
+
+    def test_aref_depth_must_be_positive(self):
+        with pytest.raises(IRError):
+            tawa.CreateArefOp([TensorType((4, 4), f16)], 0)
+
+
+class TestGpuOps:
+    def test_alloc_smem_bytes(self, builder):
+        b, _ = builder
+        alloc = b.create(gpu.AllocSmemOp, (2, 128, 64), f16)
+        assert alloc.num_bytes == 2 * 128 * 64 * 2
+        assert isinstance(alloc.result.type, SmemBufferType)
+
+    def test_smem_slice_drops_leading_dim(self, builder):
+        b, _ = builder
+        ring = b.create(gpu.AllocSmemOp, (3, 64, 64), f16).result
+        view = b.create(gpu.SmemSliceOp, ring, arith.c_i32(b, 2))
+        assert view.result.type == SmemBufferType((64, 64), f16)
+
+    def test_mbarrier_alloc_metadata(self, builder):
+        b, _ = builder
+        bars = b.create(gpu.MBarrierAllocOp, 2, 3, name="empty")
+        assert bars.arrive_count == 2
+        assert bars.count == 3
+        assert isinstance(bars.results[0].type, MBarrierType)
+
+    def test_wgmma_shapes_and_transpose(self, builder):
+        b, _ = builder
+        a = b.create(gpu.AllocSmemOp, (128, 64), f16).result
+        bt = b.create(gpu.AllocSmemOp, (256, 64), f16).result
+        acc = b.create(tt.FullOp, (128, 256), 0.0, f32).result
+        mma = b.create(gpu.WgmmaOp, a, bt, acc, True)
+        assert mma.result.type == TensorType((128, 256), f32)
+        assert mma.flops == 2 * 128 * 256 * 64
+
+    def test_wgmma_rejects_bad_acc(self, builder):
+        b, _ = builder
+        a = b.create(gpu.AllocSmemOp, (128, 64), f16).result
+        bt = b.create(gpu.AllocSmemOp, (64, 256), f16).result
+        acc = b.create(tt.FullOp, (64, 64), 0.0, f32).result
+        with pytest.raises(IRError):
+            gpu.WgmmaOp(a, bt, acc)
+
+    def test_tma_async_load_operand_accessors(self, builder):
+        b, fn = builder
+        ring = b.create(gpu.AllocSmemOp, (2, 128, 64), f16).result
+        view = b.create(gpu.SmemSliceOp, ring, arith.c_i32(b, 0)).result
+        bars = b.create(gpu.MBarrierAllocOp, 0, 2).results[0]
+        c0 = arith.c_i32(b, 0)
+        op = b.create(gpu.TmaAsyncLoadOp, fn.argument(0), [c0, c0], view, bars, c0)
+        assert op.smem is view
+        assert op.mbarrier is bars
+        assert len(op.coords) == 2
+        assert op.bytes == 128 * 64 * 2

@@ -1,0 +1,191 @@
+"""Unit tests for operations, blocks, regions, use lists and cloning."""
+
+import pytest
+
+from repro.ir import Block, Builder, FuncOp, IRError, IRMapping, ModuleOp, ReturnOp
+from repro.ir.dialects import arith, scf, tt, ensure_loaded
+from repro.ir.types import FunctionType, TensorDescType, f16, f32, i32
+
+ensure_loaded()
+
+
+def _empty_func(name="f", args=()):
+    fn = FuncOp(name, FunctionType(tuple(args), ()))
+    return fn
+
+
+class TestUseDef:
+    def test_results_track_uses(self):
+        fn = _empty_func()
+        b = Builder(fn.body)
+        c1 = b.create(arith.ConstantOp, 1, i32)
+        c2 = b.create(arith.ConstantOp, 2, i32)
+        add = b.create(arith.AddIOp, c1.result, c2.result)
+        assert add in c1.result.users
+        assert add in c2.result.users
+        assert c1.result.has_uses
+
+    def test_replace_all_uses_with(self):
+        fn = _empty_func()
+        b = Builder(fn.body)
+        c1 = b.create(arith.ConstantOp, 1, i32)
+        c2 = b.create(arith.ConstantOp, 2, i32)
+        add = b.create(arith.AddIOp, c1.result, c2.result)
+        c3 = b.create(arith.ConstantOp, 3, i32)
+        c1.result.replace_all_uses_with(c3.result)
+        assert add.operands[0] is c3.result
+        assert not c1.result.has_uses
+        assert add in c3.result.users
+
+    def test_set_operand_updates_use_lists(self):
+        fn = _empty_func()
+        b = Builder(fn.body)
+        c1 = b.create(arith.ConstantOp, 1, i32)
+        c2 = b.create(arith.ConstantOp, 2, i32)
+        add = b.create(arith.AddIOp, c1.result, c1.result)
+        add.set_operand(1, c2.result)
+        assert add.operands == [c1.result, c2.result]
+        assert len(c1.result.uses) == 1
+
+    def test_erase_refuses_when_still_used(self):
+        fn = _empty_func()
+        b = Builder(fn.body)
+        c1 = b.create(arith.ConstantOp, 1, i32)
+        b.create(arith.AddIOp, c1.result, c1.result)
+        with pytest.raises(IRError, match="still used"):
+            c1.erase()
+
+    def test_erase_unused_op(self):
+        fn = _empty_func()
+        b = Builder(fn.body)
+        c1 = b.create(arith.ConstantOp, 1, i32)
+        c1.erase()
+        assert c1 not in fn.body.operations
+
+
+class TestStructure:
+    def test_parent_links(self):
+        fn = _empty_func()
+        b = Builder(fn.body)
+        c0 = arith.c_i32(b, 0)
+        c4 = arith.c_i32(b, 4)
+        c1 = arith.c_i32(b, 1)
+        loop = b.create(scf.ForOp, c0, c4, c1, [])
+        assert loop.parent is fn.body
+        assert loop.body.parent_op is loop
+        assert loop.parent_op is fn
+
+    def test_is_ancestor_of(self):
+        fn = _empty_func()
+        b = Builder(fn.body)
+        c0 = arith.c_i32(b, 0)
+        loop = b.create(scf.ForOp, c0, c0, c0, [])
+        with b.at(loop.body):
+            inner = arith.c_i32(b, 7)
+        assert fn.is_ancestor_of(inner.defining_op)
+        assert loop.is_ancestor_of(inner.defining_op)
+        assert not inner.defining_op.is_ancestor_of(loop)
+
+    def test_move_before_and_after(self):
+        fn = _empty_func()
+        b = Builder(fn.body)
+        c1 = b.create(arith.ConstantOp, 1, i32)
+        c2 = b.create(arith.ConstantOp, 2, i32)
+        c2.move_before(c1)
+        assert fn.body.operations.index(c2) < fn.body.operations.index(c1)
+        c2.move_after(c1)
+        assert fn.body.operations.index(c2) > fn.body.operations.index(c1)
+
+    def test_walk_visits_nested_ops(self):
+        fn = _empty_func()
+        b = Builder(fn.body)
+        c0 = arith.c_i32(b, 0)
+        loop = b.create(scf.ForOp, c0, c0, c0, [])
+        with b.at(loop.body):
+            arith.c_i32(b, 5)
+            b.create(scf.YieldOp, [])
+        names = [op.name for op in fn.walk()]
+        assert "scf.for" in names
+        assert names.count("arith.constant") == 2
+
+
+class TestCloning:
+    def test_clone_remaps_operands(self):
+        fn = _empty_func()
+        b = Builder(fn.body)
+        c1 = b.create(arith.ConstantOp, 1, i32)
+        add = b.create(arith.AddIOp, c1.result, c1.result)
+        c9 = b.create(arith.ConstantOp, 9, i32)
+        mapping = IRMapping({c1.result: c9.result})
+        clone = add.clone(mapping)
+        assert clone.operands == [c9.result, c9.result]
+        assert mapping.lookup(add.result) is clone.result
+
+    def test_clone_loop_recreates_block_args(self):
+        fn = _empty_func()
+        b = Builder(fn.body)
+        c0 = arith.c_i32(b, 0)
+        c8 = arith.c_i32(b, 8)
+        c1 = arith.c_i32(b, 1)
+        acc0 = arith.c_i32(b, 0)
+        loop = b.create(scf.ForOp, c0, c8, c1, [acc0])
+        with b.at(loop.body):
+            nxt = b.create(arith.AddIOp, loop.iter_args[0], loop.induction_var)
+            b.create(scf.YieldOp, [nxt.result])
+        clone = loop.clone(IRMapping())
+        assert isinstance(clone, scf.ForOp)
+        assert len(clone.body.arguments) == 2
+        assert clone.body.arguments[0] is not loop.body.arguments[0]
+        # Cloned body references its own block arguments, not the original's.
+        cloned_add = clone.body.operations[0]
+        assert cloned_add.operands[0] is clone.iter_args[0]
+
+    def test_clone_preserves_attributes(self):
+        fn = _empty_func()
+        b = Builder(fn.body)
+        c = b.create(arith.ConstantOp, 42, i32)
+        c.set_attr("custom", "tag")
+        clone = c.clone()
+        assert clone.attributes["value"] == 42
+        assert clone.attributes["custom"] == "tag"
+
+    def test_function_clone_is_verifiable(self):
+        from repro.ir import verify
+
+        fn = _empty_func(args=(TensorDescType(f16), i32))
+        b = Builder(fn.body)
+        tile = b.create(tt.TmaLoadOp, fn.argument(0), [fn.argument(1), fn.argument(1)], (16, 16))
+        b.create(tt.TransOp, tile.result)
+        b.create(ReturnOp)
+        clone = fn.clone()
+        verify(clone)
+        assert clone is not fn
+
+
+class TestBuilderInsertion:
+    def test_insertion_points(self):
+        fn = _empty_func()
+        b = Builder(fn.body)
+        c1 = b.create(arith.ConstantOp, 1, i32)
+        c3 = b.create(arith.ConstantOp, 3, i32)
+        b.set_insertion_point_after(c1)
+        c2 = b.create(arith.ConstantOp, 2, i32)
+        values = [op.attributes["value"] for op in fn.body.operations]
+        assert values == [1, 2, 3]
+
+    def test_at_context_manager_restores(self):
+        fn = _empty_func()
+        b = Builder(fn.body)
+        c0 = arith.c_i32(b, 0)
+        loop = b.create(scf.ForOp, c0, c0, c0, [])
+        with b.at(loop.body):
+            assert b.block is loop.body
+        assert b.block is fn.body
+
+    def test_block_insert_rejects_reinsertion(self):
+        fn = _empty_func()
+        b = Builder(fn.body)
+        c1 = b.create(arith.ConstantOp, 1, i32)
+        other = Block()
+        with pytest.raises(IRError):
+            other.append(c1)

@@ -1,0 +1,110 @@
+"""Unit tests for the IR type system."""
+
+import numpy as np
+import pytest
+
+from repro.ir import types as t
+
+
+class TestScalarTypes:
+    def test_lookup_by_name(self):
+        assert t.scalar_type("f16") is t.f16
+        assert t.scalar_type("i32") is t.i32
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            t.scalar_type("f128")
+
+    def test_float_and_int_kinds(self):
+        assert t.f16.is_float and not t.f16.is_integer
+        assert t.i32.is_integer and not t.i32.is_float
+        assert t.index.is_integer
+
+    def test_bitwidths(self):
+        assert t.f8e4m3.bitwidth == 8
+        assert t.f16.bitwidth == 16
+        assert t.f32.bytes == 4
+        assert t.i1.bytes == 1
+
+    def test_fp8_numpy_mapping_is_wider_but_logical_width_is_8(self):
+        # FP8 has no NumPy representation; footprint accounting stays 1 byte.
+        assert t.f8e4m3.numpy_dtype == np.dtype(np.float32)
+        assert t.f8e4m3.bytes == 1
+
+    def test_equality_is_structural(self):
+        assert t.ScalarType("f16", 16, "float") == t.f16
+        assert t.f16 != t.bf16
+
+
+class TestTensorType:
+    def test_str(self):
+        ty = t.TensorType((128, 64), t.f16)
+        assert str(ty) == "tensor<128x64xf16>"
+
+    def test_num_elements_and_bytes(self):
+        ty = t.TensorType((128, 64), t.f16)
+        assert ty.num_elements == 128 * 64
+        assert ty.num_bytes == 128 * 64 * 2
+
+    def test_fp8_bytes_are_half_of_fp16(self):
+        fp16 = t.TensorType((128, 64), t.f16)
+        fp8 = t.TensorType((128, 64), t.f8e4m3)
+        assert fp8.num_bytes * 2 == fp16.num_bytes
+
+    def test_zero_or_negative_dims_rejected(self):
+        with pytest.raises(ValueError):
+            t.TensorType((128, 0), t.f16)
+
+    def test_with_element_type(self):
+        ty = t.TensorType((4, 4), t.f32)
+        assert ty.with_element_type(t.f16).element_type == t.f16
+        assert ty.with_shape((2, 8)).shape == (2, 8)
+
+    def test_hashable(self):
+        assert len({t.TensorType((4,), t.f32), t.TensorType((4,), t.f32)}) == 1
+
+
+class TestArefTypes:
+    def test_aref_payload_bytes(self):
+        payload = t.TupleType((t.TensorType((128, 64), t.f16), t.TensorType((128, 64), t.f16)))
+        aref = t.ArefType(payload, depth=2)
+        assert aref.payload_bytes == 2 * 128 * 64 * 2
+        assert aref.depth == 2
+        assert isinstance(aref.slot_type, t.ArefSlotType)
+
+    def test_aref_str_mentions_depth(self):
+        payload = t.TupleType((t.TensorType((8, 8), t.f16),))
+        assert "depth=3" in str(t.ArefType(payload, 3))
+
+
+class TestMemoryTypes:
+    def test_smem_buffer(self):
+        buf = t.SmemBufferType((2, 128, 64), t.f16)
+        assert buf.num_bytes == 2 * 128 * 64 * 2
+        assert buf.tensor_type == t.TensorType((2, 128, 64), t.f16)
+
+    def test_pointer_and_desc_str(self):
+        assert str(t.PointerType(t.f16)) == "!ptr<f16>"
+        assert "tensordesc" in str(t.TensorDescType(t.f16, 2))
+
+    def test_element_type_of(self):
+        assert t.element_type_of(t.TensorType((4,), t.f32)) == t.f32
+        assert t.element_type_of(t.PointerType(t.f16)) == t.f16
+        assert t.element_type_of(t.i32) == t.i32
+        with pytest.raises(TypeError):
+            t.element_type_of(t.TupleType((t.f32,)))
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("a, b, expected", [
+        ((128, 1), (1, 64), (128, 64)),
+        ((128, 64), (), (128, 64)),
+        ((1,), (64,), (64,)),
+        ((128, 64), (64,), (128, 64)),
+    ])
+    def test_valid_broadcasts(self, a, b, expected):
+        assert t.broadcast_shapes(a, b) == expected
+
+    def test_invalid_broadcast(self):
+        with pytest.raises(ValueError):
+            t.broadcast_shapes((128, 64), (128, 32))
