@@ -1,0 +1,127 @@
+"""Simulator throughput benchmark: simulated CTAs per second.
+
+The figure benchmarks track *what* the simulator computes; this one tracks how
+*fast* it computes it, so regressions in the simulator's own hot path show up
+in the BENCH trajectory directly.  It measures GEMM and attention in both
+device modes (functional and performance) through both execution engines (the
+compile-once plan path and the IR-interpreter oracle) and reports simulated
+CTAs/sec plus the plan-vs-interpreter speedup.  Results are printed and
+emitted as JSON via ``conftest.emit_json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import emit_json, full_sweep_requested
+from repro.core.options import CompileOptions
+from repro.experiments.common import tawa_attention_options, tawa_gemm_options
+from repro.gpusim.device import Device
+from repro.kernels.attention import AttentionProblem, run_attention
+from repro.kernels.gemm import GemmProblem, run_gemm
+from repro.perf.counters import COUNTERS
+
+
+def _gemm_case(full: bool):
+    if full:
+        problem = GemmProblem(M=2048, N=2048, K=512)
+    else:
+        problem = GemmProblem(M=1024, N=1024, K=256)
+    return problem, tawa_gemm_options(), run_gemm
+
+
+def _gemm_perf_case():
+    return (GemmProblem(M=8192, N=8192, K=4096), tawa_gemm_options(), run_gemm)
+
+
+def _attention_case(full: bool):
+    seq = 512 if full else 256
+    problem = AttentionProblem(batch=1, heads=2, seq_len=seq, head_dim=64,
+                               block_m=64, block_n=64, causal=True)
+    return problem, tawa_attention_options(), run_attention
+
+
+def _attention_perf_case():
+    problem = AttentionProblem(batch=8, heads=16, seq_len=4096, head_dim=64,
+                               block_m=64, block_n=64, causal=True)
+    return problem, tawa_attention_options(), run_attention
+
+
+def _measure(mode: str, problem, options: CompileOptions, runner,
+             use_plans: bool, repeats: int = 3) -> dict:
+    device = Device(mode=mode, use_plans=use_plans,
+                    max_ctas_per_sm_simulated=8)
+    runner(device, problem, options)  # warm compile + plan caches
+    best = float("inf")
+    result = None
+    events_before = COUNTERS.engine_events
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result, _ = runner(device, problem, options)
+        best = min(best, time.perf_counter() - start)
+    ctas = result.simulated_ctas
+    events = (COUNTERS.engine_events - events_before) // repeats
+    return {
+        "engine": "plan" if use_plans else "interpreter",
+        "mode": mode,
+        "simulated_ctas": ctas,
+        "seconds": round(best, 6),
+        "ctas_per_sec": round(ctas / best, 1),
+        "ms_per_cta": round(best / ctas * 1e3, 4),
+        "engine_events": events,
+    }
+
+
+CASES = ["gemm-functional", "gemm-performance",
+         "attention-functional", "attention-performance"]
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_sim_throughput(benchmark, case):
+    full = full_sweep_requested()
+    if case == "gemm-functional":
+        problem, options, runner = _gemm_case(full)
+        mode = "functional"
+    elif case == "gemm-performance":
+        problem, options, runner = _gemm_perf_case()
+        mode = "performance"
+    elif case == "attention-functional":
+        problem, options, runner = _attention_case(full)
+        mode = "functional"
+    else:
+        problem, options, runner = _attention_perf_case()
+        mode = "performance"
+
+    rows = []
+
+    def run_both():
+        rows.clear()
+        for use_plans in (False, True):
+            rows.append(_measure(mode, problem, options, runner, use_plans))
+        return rows
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    interp, plan = rows
+    speedup = interp["ms_per_cta"] / plan["ms_per_cta"]
+    print()
+    print(f"{case}: problem={problem}")
+    for row in rows:
+        print(f"  {row['engine']:>11}: {row['ctas_per_sec']:>8.1f} CTAs/s "
+              f"({row['ms_per_cta']:.3f} ms/CTA, {row['simulated_ctas']} CTAs, "
+              f"{row['engine_events']} events)")
+    print(f"  plan speedup: {speedup:.2f}x")
+    emit_json(f"sim_throughput_{case}", {
+        "case": case,
+        "problem": repr(problem),
+        "engines": rows,
+        "plan_speedup": round(speedup, 3),
+        "counters": COUNTERS.snapshot(),
+    }, benchmark=benchmark)
+    # Wall-clock comparisons are noisy on shared runners, so the regression
+    # gate is the deterministic event count: plan-compiled streams batch
+    # delays (DelayChain), so they must never process more engine events than
+    # the interpreter does for the same launch.
+    assert plan["engine_events"] <= interp["engine_events"]

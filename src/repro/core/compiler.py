@@ -50,6 +50,9 @@ class CompiledKernel:
     options: CompileOptions
     metadata: ResourceEstimate
     pass_dumps: Dict[str, str] = field(default_factory=dict)
+    #: Cached simulator execution plans, keyed by (functional, config); built
+    #: lazily by repro.gpusim.plan.get_plan and shared by every CTA/launch.
+    plans: Dict[Any, Any] = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def name(self) -> str:

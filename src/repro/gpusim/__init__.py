@@ -11,7 +11,7 @@ Public surface:
 """
 
 from repro.gpusim.config import DEFAULT_CONFIG, H100Config
-from repro.gpusim.device import Device, LaunchResult
+from repro.gpusim.device import Device, LaunchResult, clear_compile_cache
 from repro.gpusim.engine import (
     ArefProtocolError,
     DeadlockError,
@@ -20,6 +20,7 @@ from repro.gpusim.engine import (
     SimulationError,
 )
 from repro.gpusim.memory import GlobalBuffer, Pointer, SymbolicTile, TensorDesc
+from repro.gpusim.plan import ExecutionPlan, PlanError, compile_plan, get_plan
 
 __all__ = [
     "H100Config",
@@ -35,4 +36,9 @@ __all__ = [
     "Pointer",
     "TensorDesc",
     "SymbolicTile",
+    "ExecutionPlan",
+    "PlanError",
+    "compile_plan",
+    "get_plan",
+    "clear_compile_cache",
 ]

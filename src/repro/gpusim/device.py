@@ -23,6 +23,7 @@ Two execution modes exist:
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -33,6 +34,23 @@ from repro.gpusim.engine import Engine, Agent, SMResources, SimulationError
 from repro.gpusim.interpreter import CtaContext, LaunchContext, build_cta_agents
 from repro.gpusim.memory import GlobalBuffer, Pointer, TensorDesc
 from repro.ir.types import ScalarType, Type, f32, i1, i32
+from repro.perf.counters import COUNTERS
+
+#: Process-wide kernel compile cache.  Every experiment harness builds a fresh
+#: ``perf_device()``, so caching per Device meant identical kernels were
+#: recompiled for every figure run; the cache key carries everything that can
+#: change the compiled artifact (kernel, arg types, constexprs, options and
+#: hardware config), so sharing it across devices is safe.
+_COMPILE_CACHE: Dict[tuple, Any] = {}
+
+
+def clear_compile_cache() -> None:
+    """Drop the process-wide kernel compile cache (mostly for tests)."""
+    _COMPILE_CACHE.clear()
+
+
+def _env_use_plans() -> bool:
+    return os.environ.get("REPRO_SIM_PLANS", "1") not in ("0", "false", "off")
 
 
 @dataclass
@@ -69,14 +87,18 @@ class Device:
     """A simulated H100 GPU."""
 
     def __init__(self, config: H100Config = DEFAULT_CONFIG, mode: str = "functional",
-                 max_ctas_per_sm_simulated: int = 8, collect_trace: bool = False):
+                 max_ctas_per_sm_simulated: int = 8, collect_trace: bool = False,
+                 use_plans: Optional[bool] = None):
         if mode not in ("functional", "performance"):
             raise ValueError(f"unknown device mode {mode!r}")
         self.config = config
         self.mode = mode
         self.max_ctas_per_sm_simulated = max_ctas_per_sm_simulated
         self.collect_trace = collect_trace
-        self._compile_cache: Dict[tuple, Any] = {}
+        # use_plans: execute CTAs through compile-once execution plans
+        # (repro.gpusim.plan).  The IR interpreter remains available as the
+        # differential-testing oracle via use_plans=False or REPRO_SIM_PLANS=0.
+        self.use_plans = _env_use_plans() if use_plans is None else bool(use_plans)
 
     # ------------------------------------------------------------------ data API
 
@@ -144,12 +166,18 @@ class Device:
             tuple(sorted((n, str(t)) for n, t in arg_types.items())),
             tuple(sorted((constexprs or {}).items())),
             options.cache_key(),
+            self.config,
         )
-        if key not in self._compile_cache:
-            self._compile_cache[key] = compile_kernel(
+        compiled = _COMPILE_CACHE.get(key)
+        if compiled is None:
+            COUNTERS.compile_cache_misses += 1
+            compiled = compile_kernel(
                 kern, arg_types, constexprs or {}, options, config=self.config
             )
-        return self._compile_cache[key]
+            _COMPILE_CACHE[key] = compiled
+        else:
+            COUNTERS.compile_cache_hits += 1
+        return compiled
 
     # ------------------------------------------------------------------ launch
 
@@ -282,10 +310,21 @@ class Device:
         sm = SMResources(self.config, bandwidth_scale)
         pid = _linear_to_pid(linear, launched_grid)
         cta = CtaContext(launch=launch_ctx, linear_id=linear, pid=pid, engine=engine, sm=sm)
-        agents, prologue = build_cta_agents(compiled.func, cta, arg_values)
+        plan = None
+        if self.use_plans:
+            from repro.gpusim.plan import get_plan
+
+            plan = get_plan(compiled, self.config, self.functional)
+        if plan is not None:
+            agents, prologue = plan.instantiate(cta, arg_values)
+            COUNTERS.plan_ctas += 1
+        else:
+            agents, prologue = build_cta_agents(compiled.func, cta, arg_values)
+            COUNTERS.interpreter_ctas += 1
         for spec in agents:
             engine.add_agent(Agent(spec.name, spec.generator, sm), start_time=prologue)
         cycles = engine.run()
+        COUNTERS.engine_events += engine.events_processed
         return cycles, sm.tensor_core.busy_cycles, sm.tma.bytes_copied + sm.copy.bytes_copied
 
     def _total_time(self, per_cta_cycles: List[float], launched_ctas: int,

@@ -51,19 +51,35 @@ class ArefProtocolError(SimulationError):
 # ---------------------------------------------------------------------------
 
 
-@dataclass
 class Effect:
     """Base class of everything an agent can yield to the engine."""
 
+    __slots__ = ()
 
-@dataclass
+
+@dataclass(slots=True)
 class Delay(Effect):
     """Advance this agent's local time by ``cycles``."""
 
     cycles: float
 
 
-@dataclass
+@dataclass(slots=True)
+class DelayChain(Effect):
+    """A batch of consecutive agent-local delays yielded as one effect.
+
+    Produced by the plan compiler (:mod:`repro.gpusim.plan`) for runs of
+    effect-free ops whose only engine interaction is a sequence of plain
+    delays.  The engine advances the agent's clock through the *same sequence
+    of float additions* the individual :class:`Delay` effects would have
+    caused (so simulated cycle counts are bit-identical) but schedules a
+    single wake-up event instead of one per delay.
+    """
+
+    delays: Tuple[float, ...]
+
+
+@dataclass(slots=True)
 class WaitBarrier(Effect):
     """Block until an mbarrier slot has completed >= ``generation`` phases."""
 
@@ -71,7 +87,7 @@ class WaitBarrier(Effect):
     generation: int
 
 
-@dataclass
+@dataclass(slots=True)
 class TmaIssue(Effect):
     """Issue an asynchronous TMA copy that credits ``barrier`` on completion."""
 
@@ -80,7 +96,7 @@ class TmaIssue(Effect):
     on_complete: Optional[Callable[[], None]] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class CpAsyncIssue(Effect):
     """Issue an Ampere-style cp.async copy tracked per warp group."""
 
@@ -88,14 +104,14 @@ class CpAsyncIssue(Effect):
     on_complete: Optional[Callable[[], None]] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class CpAsyncWait(Effect):
     """Block until at most ``pendings`` cp.async copies of this agent remain."""
 
     pendings: int
 
 
-@dataclass
+@dataclass(slots=True)
 class WgmmaIssue(Effect):
     """Issue an asynchronous WGMMA with the given FLOP count.
 
@@ -110,29 +126,29 @@ class WgmmaIssue(Effect):
     chain: object = None
 
 
-@dataclass
+@dataclass(slots=True)
 class WgmmaWait(Effect):
     """Block until at most ``pendings`` WGMMA issues of this agent remain."""
 
     pendings: int
 
 
-@dataclass
+@dataclass(slots=True)
 class ArefPut(Effect):
     slot: "ArefSlotRuntime"
 
 
-@dataclass
+@dataclass(slots=True)
 class ArefGet(Effect):
     slot: "ArefSlotRuntime"
 
 
-@dataclass
+@dataclass(slots=True)
 class ArefConsumed(Effect):
     slot: "ArefSlotRuntime"
 
 
-@dataclass
+@dataclass(slots=True)
 class CtaBarrier(Effect):
     """Named-barrier style synchronization among the CTA's agents."""
 
@@ -367,6 +383,13 @@ class SMResources:
 class Agent:
     """One simulated instruction stream (a warp group of one CTA)."""
 
+    __slots__ = (
+        "id", "name", "generator", "sm", "finished", "finish_time",
+        "blocked_on", "outstanding_wgmma", "outstanding_cpasync",
+        "wgmma_waiters", "busy_cycles", "_wgmma_parked", "_cpasync_parked",
+        "resume",
+    )
+
     _ids = itertools.count()
 
     def __init__(self, name: str, generator: Iterator[Effect], sm: SMResources):
@@ -382,6 +405,12 @@ class Agent:
         self.outstanding_cpasync = 0
         self.wgmma_waiters: List[int] = []
         self.busy_cycles = 0.0
+        # Parked wait thresholds (one per counter, see _wake_parked).
+        self._wgmma_parked: Optional[int] = None
+        self._cpasync_parked: Optional[int] = None
+        # One reusable wake-up closure per agent (set by Engine.add_agent)
+        # instead of a fresh lambda per scheduled resume.
+        self.resume: Optional[Callable[[], None]] = None
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Agent {self.name}>"
@@ -408,7 +437,8 @@ class Engine:
 
     def add_agent(self, agent: Agent, start_time: float = 0.0) -> None:
         self.agents.append(agent)
-        self.schedule(start_time, lambda: self._run_agent(agent))
+        agent.resume = lambda: self._run_agent(agent)
+        self.schedule(start_time, agent.resume)
 
     def record(self, agent: Optional[Agent], kind: str, detail: str = "") -> None:
         if self.trace is not None:
@@ -418,15 +448,18 @@ class Engine:
 
     def run(self) -> float:
         """Run until all agents finish.  Returns the final simulated time."""
-        while self._queue:
+        queue = self._queue
+        heappop = heapq.heappop
+        while queue:
             self.events_processed += 1
             if self.events_processed > self.max_events:
                 raise SimulationError(
                     f"simulation exceeded {self.max_events} events; "
                     f"likely a livelock or an unreasonably large workload"
                 )
-            time, _, fn = heapq.heappop(self._queue)
-            self.now = max(self.now, time)
+            time, _, fn = heappop(queue)
+            if time > self.now:
+                self.now = time
             fn()
         unfinished = [a for a in self.agents if not a.finished]
         if unfinished:
@@ -442,9 +475,10 @@ class Engine:
 
     def _run_agent(self, agent: Agent, send_value=None) -> None:
         """Advance an agent until it blocks, delays or finishes."""
+        send = agent.generator.send
         while True:
             try:
-                effect = agent.generator.send(send_value)
+                effect = send(send_value)
             except StopIteration:
                 agent.finished = True
                 agent.finish_time = self.now
@@ -458,7 +492,22 @@ class Engine:
                     continue
                 agent.busy_cycles += effect.cycles
                 resume_at = self.now + effect.cycles
-                self.schedule(resume_at, lambda a=agent: self._run_agent(a))
+                self.schedule(resume_at, agent.resume)
+                return
+
+            if isinstance(effect, DelayChain):
+                # Replay the exact per-delay arithmetic of the unbatched path
+                # (same float additions, in the same order) so cycle counts
+                # are bit-identical, but schedule only one wake-up event.
+                resume_at = self.now
+                for cycles in effect.delays:
+                    if cycles <= 0:
+                        continue
+                    agent.busy_cycles += cycles
+                    resume_at = resume_at + cycles
+                if resume_at <= self.now:
+                    continue
+                self.schedule(resume_at, agent.resume)
                 return
 
             if isinstance(effect, WaitBarrier):
@@ -467,6 +516,25 @@ class Engine:
                     continue
                 agent.blocked_on = f"mbarrier {bar.describe()} for generation {gen}"
                 bar.waiters.append((agent, gen))
+                return
+
+            if isinstance(effect, WgmmaIssue):
+                agent.outstanding_wgmma += 1
+                done = agent.sm.tensor_core.submit_wgmma(
+                    self.now, effect.flops, effect.dtype_bits, effect.acc_n, effect.chain
+                )
+                self.record(agent, "wgmma_issue", f"{effect.flops:.0f} flops done@{done:.0f}")
+                self.schedule(done, lambda a=agent: self._complete_wgmma(a))
+                continue
+
+            if isinstance(effect, WgmmaWait):
+                if agent.outstanding_wgmma <= effect.pendings:
+                    continue
+                agent.blocked_on = (
+                    f"wgmma wait (outstanding={agent.outstanding_wgmma}, "
+                    f"pendings={effect.pendings})"
+                )
+                self._park_wgmma_waiter(agent, effect.pendings)
                 return
 
             if isinstance(effect, TmaIssue):
@@ -489,25 +557,6 @@ class Engine:
                     f"pendings={effect.pendings})"
                 )
                 self._park_cpasync_waiter(agent, effect.pendings)
-                return
-
-            if isinstance(effect, WgmmaIssue):
-                agent.outstanding_wgmma += 1
-                done = agent.sm.tensor_core.submit_wgmma(
-                    self.now, effect.flops, effect.dtype_bits, effect.acc_n, effect.chain
-                )
-                self.record(agent, "wgmma_issue", f"{effect.flops:.0f} flops done@{done:.0f}")
-                self.schedule(done, lambda a=agent: self._complete_wgmma(a))
-                continue
-
-            if isinstance(effect, WgmmaWait):
-                if agent.outstanding_wgmma <= effect.pendings:
-                    continue
-                agent.blocked_on = (
-                    f"wgmma wait (outstanding={agent.outstanding_wgmma}, "
-                    f"pendings={effect.pendings})"
-                )
-                self._park_wgmma_waiter(agent, effect.pendings)
                 return
 
             if isinstance(effect, ArefPut):
@@ -537,7 +586,7 @@ class Engine:
                     bar.generation += 1
                     waiters, bar.waiters = bar.waiters, []
                     for waiter, _ in waiters:
-                        self.schedule(self.now, lambda a=waiter: self._run_agent(a))
+                        self.schedule(self.now, waiter.resume)
                     continue
                 agent.blocked_on = f"cta barrier {bar.name}"
                 bar.waiters.append((agent, bar.generation))
@@ -579,7 +628,7 @@ class Engine:
             return
         if check(pendings):
             setattr(agent, attr, None)
-            self.schedule(self.now, lambda a=agent: self._run_agent(a))
+            self.schedule(self.now, agent.resume)
 
     # -- barrier / aref wakeups -------------------------------------------------------------
 
@@ -591,7 +640,7 @@ class Engine:
         still_waiting = []
         for agent, gen in barrier.waiters:
             if barrier.satisfied(gen):
-                self.schedule(self.now, lambda a=agent: self._run_agent(a))
+                self.schedule(self.now, agent.resume)
             else:
                 still_waiting.append((agent, gen))
         barrier.waiters = still_waiting
@@ -601,8 +650,8 @@ class Engine:
         if slot.can_put() and slot.put_waiters:
             waiters, slot.put_waiters = slot.put_waiters, []
             for agent in waiters:
-                self.schedule(self.now, lambda a=agent: self._run_agent(a))
+                self.schedule(self.now, agent.resume)
         if slot.can_get() and slot.get_waiters:
             waiters, slot.get_waiters = slot.get_waiters, []
             for agent in waiters:
-                self.schedule(self.now, lambda a=agent: self._run_agent(a))
+                self.schedule(self.now, agent.resume)

@@ -62,6 +62,13 @@ class InterpreterError(SimulationError):
     """Raised when the interpreter meets an op it cannot execute."""
 
 
+def _as_array(value: Any) -> Any:
+    """Materialize an SMEM view into an array; pass anything else through."""
+    if isinstance(value, SmemTileView):
+        return value.read()
+    return value
+
+
 @dataclass
 class ArefRuntime:
     """Runtime state of a tawa.create_aref ring (mid-level interpretation)."""
@@ -170,11 +177,7 @@ class _WarpGroupExec:
             return compute()
         return self._symbolic(ty)
 
-    @staticmethod
-    def _as_array(value: Any) -> Any:
-        if isinstance(value, SmemTileView):
-            return value.read()
-        return value
+    _as_array = staticmethod(_as_array)
 
     # ========================================================================
     # Region execution

@@ -108,11 +108,25 @@ class GlobalBuffer:
     # -- tile access (used by TMA) ----------------------------------------------------
 
     def read_tile(self, coords: Sequence[int], tile_shape: Sequence[int]) -> np.ndarray:
-        """Read a tile at ``coords`` with TMA-style zero fill outside bounds."""
+        """Read a tile at ``coords`` with TMA-style zero fill outside bounds.
+
+        The returned tile is always a snapshot (never a view), so callers see
+        the buffer's contents at read time even if it is written afterwards.
+        Fully in-bounds tiles take a single-copy fast path instead of the
+        zero-fill + assign double pass.
+        """
         if self.data is None:
             raise RuntimeError("read_tile on a non-functional buffer")
         if len(coords) != len(self.shape):
             raise ValueError(f"rank mismatch: coords {coords} vs buffer shape {self.shape}")
+        in_bounds = all(
+            0 <= int(c) and int(c) + t <= extent
+            for c, t, extent in zip(coords, tile_shape, self.shape)
+        )
+        if in_bounds:
+            slices = tuple(slice(int(c), int(c) + t)
+                           for c, t in zip(coords, tile_shape))
+            return self.data[slices].copy()
         out = np.zeros(tuple(tile_shape), dtype=self.data.dtype)
         src_slices, dst_slices = [], []
         for c, t, extent in zip(coords, tile_shape, self.shape):
@@ -252,9 +266,17 @@ class SmemTile:
         self.data: Optional[np.ndarray] = (
             np.zeros(self.shape, dtype=element_type.numpy_dtype) if functional else None
         )
+        # Views are stateless (parent + slot index), so the ring caches one
+        # per slot instead of allocating a fresh view on every smem_slice.
+        self._views: dict = {}
 
     def slice(self, index: int) -> "SmemTileView":
-        return SmemTileView(self, int(index) % self.shape[0])
+        index = int(index) % self.shape[0]
+        view = self._views.get(index)
+        if view is None:
+            view = SmemTileView(self, index)
+            self._views[index] = view
+        return view
 
     def __repr__(self) -> str:  # pragma: no cover
         dims = "x".join(str(d) for d in self.shape)
@@ -263,6 +285,9 @@ class SmemTile:
 
 class SmemTileView:
     """A single slot of a ring staging buffer."""
+
+    __slots__ = ("parent", "index", "shape", "element_type", "num_elements",
+                 "logical_bytes")
 
     def __init__(self, parent: SmemTile, index: int):
         self.parent = parent

@@ -1,0 +1,1704 @@
+"""Compile-once execution plans for the GPU simulator.
+
+The IR interpreter (:mod:`repro.gpusim.interpreter`) re-walks the kernel IR
+for every simulated CTA: each op pays a ``_HANDLERS`` dict dispatch, every
+value access hashes a :class:`~repro.ir.operation.Value` into a dict, and
+``scf.for`` bodies are re-traversed once per iteration.  All of that work is
+identical across the CTAs of one launch -- only program-id-dependent *data*
+differs -- so this module performs it exactly once per
+:class:`~repro.core.compiler.CompiledKernel` and turns each warp-group region
+into a flat, pre-bound instruction stream:
+
+* **Register slots** -- every SSA value is assigned an index into a flat
+  Python list; handlers become closures over integer slot indices instead of
+  ``Dict[Value, Any]`` lookups.
+* **Plan-time constant folding** -- ``arith.constant`` chains,
+  ``tt.make_range`` / ``tt.full`` / shape ops and scalar arithmetic over
+  constants are evaluated while building the plan and materialized in the
+  register-file template shared by all CTAs.
+* **Loop compilation** -- constant-trip-count ``scf.for`` bodies are unrolled
+  (induction-variable arithmetic folds away); dynamic loops get a compiled
+  body executed by a tight driver loop instead of an IR re-walk.
+* **Effect pre-binding** -- delay cycles are computed from static types at
+  plan time and yielded as *reused* :class:`~repro.gpusim.engine.Delay` /
+  :class:`~repro.gpusim.engine.WgmmaIssue` instances; runs of agent-local
+  delay ops are batched into a single :class:`~repro.gpusim.engine.DelayChain`
+  so the engine schedules one event instead of N.
+
+The emitted streams replicate the interpreter's operational semantics
+step-for-step (the differential tests in ``tests/test_plan_differential.py``
+assert identical simulated cycle counts and functional outputs); the
+interpreter remains available behind ``Device(use_plans=False)`` as the
+differential-testing oracle.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gpusim.config import H100Config
+from repro.gpusim.engine import (
+    ArefGet,
+    ArefPut,
+    CpAsyncIssue,
+    CpAsyncWait,
+    CtaBarrier,
+    Delay,
+    DelayChain,
+    MBarrier,
+    NamedBarrier,
+    TmaIssue,
+    WaitBarrier,
+    WgmmaIssue,
+    WgmmaWait,
+)
+from repro.gpusim.interpreter import (
+    AgentSpec,
+    ArefRuntime,
+    CtaContext,
+    InterpreterError,
+    _as_array,
+    _matmul,
+    _operand_bits,
+    _resolve_operand,
+    _to_python_scalar,
+    _TransposedView,
+)
+from repro.gpusim.memory import Pointer, SmemTile, SmemTileView, SymbolicTile, TensorDesc
+from repro.ir import FuncOp, Operation, Value
+from repro.ir.dialects import arith, gpu, scf, tawa, tt
+from repro.ir.types import ScalarType, TensorType
+
+
+class PlanError(InterpreterError):
+    """Raised when a kernel cannot be compiled to an execution plan.
+
+    The device treats this as "fall back to the interpreter", so raising it is
+    always safe -- it only costs performance.
+    """
+
+
+# Step kinds.  Steps are plain tuples for dispatch speed:
+#   (PURE,   fn)                 -- run fn(regs, ctx), no engine interaction
+#   (EFFECT, effect, fn|None)    -- yield the pre-built effect, then run fn
+#   (CHAIN,  DelayChain, fns)    -- yield one batched delay, then run the fns
+#   (GEN,    genfn)              -- yield from genfn(regs, ctx) (blocking ops)
+PURE, EFFECT, CHAIN, GEN = 0, 1, 2, 3
+
+#: Upper bound on steps emitted when unrolling one constant-trip-count loop.
+UNROLL_STEP_LIMIT = 4096
+
+
+def _drive(steps, regs, ctx):
+    """Execute a compiled step stream for one agent (the hot loop)."""
+    for st in steps:
+        kind = st[0]
+        if kind == PURE:
+            st[1](regs, ctx)
+        elif kind == EFFECT:
+            yield st[1]
+            fn = st[2]
+            if fn is not None:
+                fn(regs, ctx)
+        elif kind == CHAIN:
+            yield st[1]
+            for fn in st[2]:
+                fn(regs, ctx)
+        else:
+            yield from st[1](regs, ctx)
+
+
+# ---------------------------------------------------------------------------
+# Plan data structures
+# ---------------------------------------------------------------------------
+
+
+class RegionPlan:
+    """The compiled instruction stream of one warp-group region."""
+
+    __slots__ = ("role", "partition", "replicas", "steps", "replica_slots",
+                 "observer_steps")
+
+    def __init__(self, role: str, partition: int, replicas: int,
+                 steps: List[tuple], replica_slots: List[int],
+                 observer_steps: Optional[List[tuple]] = None):
+        self.role = role
+        self.partition = partition
+        self.replicas = replicas
+        self.steps = steps
+        self.replica_slots = replica_slots
+        # Cooperative consumer replicas execute identical code over identical
+        # inputs, so in functional mode only replica 0 materializes tensor
+        # data; the others run this "observer" variant: same delays, barrier
+        # and aref interactions (so cycle counts are unchanged), symbolic
+        # tensor payloads, real scalar control flow, and no global writes
+        # (replica 0 performs the identical, idempotent stores).  Built only
+        # when the region provably cannot diverge between replicas.
+        self.observer_steps = observer_steps
+
+
+class ExecutionPlan:
+    """A fully compiled kernel: register template + per-region step streams."""
+
+    def __init__(self, func: FuncOp, config: H100Config, functional: bool):
+        self.functional = functional
+        self.config = config
+        self.template: List[Any] = []
+        self.arg_slots: List[int] = []
+        #: (slot, kind) pairs resolved per CTA at instantiation time.
+        self.cta_inputs: List[Tuple[int, str]] = []
+        self.prologue_fns: List[Callable] = []
+        self.prologue_cycles: float = 0.0
+        self.regions: List[RegionPlan] = []
+        self.warp_specialized = False
+        self.total_replicas = 0
+        _PlanBuilder(self, func, config, functional).build(func)
+
+    # -- per-CTA instantiation -------------------------------------------------
+
+    def instantiate(self, cta: CtaContext,
+                    arg_values: Sequence[Any]) -> Tuple[List[AgentSpec], float]:
+        """Create the agents of one CTA from the shared plan.
+
+        Mirrors :func:`repro.gpusim.interpreter.build_cta_agents`.
+        """
+        regs = self.template.copy()
+        for slot, value in zip(self.arg_slots, arg_values):
+            regs[slot] = value
+        if self.cta_inputs:
+            launch = cta.launch
+            for slot, kind in self.cta_inputs:
+                if kind == "pid0":
+                    regs[slot] = cta.pid[0]
+                elif kind == "pid1":
+                    regs[slot] = cta.pid[1]
+                elif kind == "pid2":
+                    regs[slot] = cta.pid[2]
+                elif kind == "nprog0":
+                    regs[slot] = launch.grid[0]
+                elif kind == "nprog1":
+                    regs[slot] = launch.grid[1]
+                elif kind == "nprog2":
+                    regs[slot] = launch.grid[2]
+                elif kind == "cta_id":
+                    regs[slot] = cta.linear_id
+                elif kind == "num_ctas":
+                    g = launch.launched_grid
+                    regs[slot] = g[0] * g[1] * g[2]
+                elif kind == "num_tiles":
+                    regs[slot] = launch.num_tiles
+                else:  # pragma: no cover - internal invariant
+                    raise PlanError(f"unknown CTA input kind {kind!r}")
+
+        if not self.warp_specialized:
+            agent_regs = regs
+            name = f"cta{cta.linear_id}/wg0"
+            gen = _drive(self.regions[0].steps, agent_regs, cta)
+            return [AgentSpec(name, gen)], 0.0
+
+        for fn in self.prologue_fns:
+            fn(regs, cta)
+        cta.named_barrier = NamedBarrier(self.total_replicas, f"cta{cta.linear_id}/bar")
+
+        agents: List[AgentSpec] = []
+        for region in self.regions:
+            for replica in range(region.replicas):
+                name = f"cta{cta.linear_id}/{region.role}{region.partition}" + (
+                    f".{replica}" if region.replicas > 1 else ""
+                )
+                steps = region.steps
+                if replica > 0 and region.observer_steps is not None:
+                    steps = region.observer_steps
+                agent_regs = regs.copy()
+                for slot in region.replica_slots:
+                    agent_regs[slot] = replica
+                agents.append(AgentSpec(name, _drive(steps, agent_regs, cta)))
+        return agents, self.prologue_cycles
+
+
+# ---------------------------------------------------------------------------
+# Plan builder
+# ---------------------------------------------------------------------------
+
+
+#: Ops whose PURE closures are deterministic, ctx-free and side-effect-free,
+#: so they can be evaluated at plan time when all operand slots are constant.
+_FOLDABLE = frozenset([
+    "arith.select", "arith.cast",
+    "tt.make_range", "tt.splat", "tt.full", "tt.expand_dims", "tt.broadcast",
+    "tt.trans", "tt.reshape", "tt.where",
+])
+
+#: Ops whose runtime value may be (or wrap) a shared-memory view; reads of a
+#: tainted value are time-sensitive, so delay batching must not move them.
+_TAINT_SOURCES = frozenset([
+    "gpu.alloc_smem", "gpu.smem_slice", "gpu.mbarrier_alloc",
+    "tawa.create_aref", "tawa.aref_slot", "tawa.get",
+])
+
+
+class _PlanBuilder:
+    """Walks a function's IR once and emits the pre-bound step streams."""
+
+    def __init__(self, plan: ExecutionPlan, func: FuncOp, config: H100Config,
+                 functional: bool):
+        self.plan = plan
+        self.func = func
+        self.config = config
+        self.functional = functional
+        #: True while emitting the observer variant of a replicated region.
+        self.observer = False
+        self.slots: Dict[Value, int] = {}
+        self.const: Dict[int, bool] = {}
+        self.cta_input_cache: Dict[str, int] = {}
+        self.work_fraction = 1.0
+        self.steps: List[tuple] = []
+        self.replica_slots: List[int] = []
+        self.ops_emitted = 0
+        self.tainted: set = set()
+        self._delay_cache: Dict[float, Delay] = {}
+
+    # -- slot management -------------------------------------------------------
+
+    def new_slot(self, value: Optional[Value] = None, init: Any = None) -> int:
+        slot = len(self.plan.template)
+        self.plan.template.append(init)
+        if value is not None:
+            self.slots[value] = slot
+        return slot
+
+    def slot(self, value: Value) -> int:
+        try:
+            return self.slots[value]
+        except KeyError:
+            raise PlanError(
+                f"value {value} has no slot binding (defined by "
+                f"{getattr(getattr(value, 'op', None), 'name', 'a block arg')})"
+            ) from None
+
+    def alias(self, value: Value, slot: int) -> None:
+        self.slots[value] = slot
+
+    def const_slot(self, value: Optional[Value], const_value: Any) -> int:
+        slot = self.new_slot(value, const_value)
+        self.const[slot] = True
+        return slot
+
+    def is_const(self, slot: int) -> bool:
+        return self.const.get(slot, False)
+
+    def cta_input(self, kind: str, value: Value) -> None:
+        slot = self.cta_input_cache.get(kind)
+        if slot is None:
+            slot = self.new_slot()
+            self.cta_input_cache[kind] = slot
+            self.plan.cta_inputs.append((slot, kind))
+        self.alias(value, slot)
+
+    def delay(self, cycles: float) -> Delay:
+        """A shared Delay instance (the engine never mutates effects)."""
+        d = self._delay_cache.get(cycles)
+        if d is None:
+            d = Delay(cycles)
+            self._delay_cache[cycles] = d
+        return d
+
+    @property
+    def tensor_real(self) -> bool:
+        """Whether tensor results carry real data in the variant being built."""
+        return self.functional and not self.observer
+
+    # -- cost helpers (mirror _WarpGroupExec) ---------------------------------
+
+    def cuda_cost(self, elements: int, transcendental: bool = False) -> float:
+        cycles = elements / self.config.cuda_lanes_per_warp_group
+        if transcendental:
+            cycles *= self.config.sfu_cost_factor
+        return cycles * self.work_fraction
+
+    @staticmethod
+    def tensor_elements(op: Operation) -> int:
+        for res in op.results:
+            if isinstance(res.type, TensorType):
+                return res.type.num_elements
+        return 0
+
+    # -- step emission ---------------------------------------------------------
+
+    def emit_pure(self, op: Operation, fn: Callable, foldable: bool = False,
+                  movable: bool = True) -> None:
+        if foldable and op.name in _FOLDABLE and all(
+            self.is_const(self.slots[v]) for v in op.operands if v in self.slots
+        ) and all(v in self.slots for v in op.operands):
+            fn(self.plan.template, None)
+            for res in op.results:
+                if res in self.slots:
+                    self.const[self.slots[res]] = True
+            return
+        self.steps.append((PURE, fn, movable))
+
+    def emit_effect(self, effect, fn: Optional[Callable],
+                    coalescible: bool = False) -> None:
+        self.steps.append((EFFECT, effect, fn, coalescible))
+
+    def emit_gen(self, genfn: Callable) -> None:
+        self.steps.append((GEN, genfn))
+
+    # -- taint tracking --------------------------------------------------------
+
+    def _compute_taint(self, func: FuncOp) -> None:
+        """Fixpoint over values that may hold SMEM views / runtime rings."""
+        tainted = self.tainted
+        changed = True
+        while changed:
+            changed = False
+            for op in func.walk():
+                out = False
+                if op.name in _TAINT_SOURCES:
+                    out = True
+                elif op.name == "tt.trans" and op.operands[0] in tainted:
+                    out = True
+                elif isinstance(op, scf.ForOp):
+                    # init -> iter_arg -> result flow (and yield -> iter_arg).
+                    yields = op.yield_op.operands if op.body.operations else []
+                    for i, res in enumerate(op.results):
+                        src_tainted = (op.init_args[i] in tainted
+                                       or (i < len(yields) and yields[i] in tainted))
+                        for v in (res, op.iter_args[i]):
+                            if src_tainted and v not in tainted:
+                                tainted.add(v)
+                                changed = True
+                    continue
+                elif isinstance(op, scf.IfOp):
+                    for block in (op.then_block, op.else_block):
+                        if block is None or not block.operations:
+                            continue
+                        term = block.terminator
+                        if term is not None and term.name == "scf.yield":
+                            for res, v in zip(op.results, term.operands):
+                                if v in tainted and res not in tainted:
+                                    tainted.add(res)
+                                    changed = True
+                    continue
+                if out:
+                    for res in op.results:
+                        if res not in tainted:
+                            tainted.add(res)
+                            changed = True
+
+    def op_reads_tainted(self, op: Operation) -> bool:
+        return any(v in self.tainted for v in op.operands)
+
+    # -- top level -------------------------------------------------------------
+
+    def build(self, func: FuncOp) -> None:
+        self._compute_taint(func)
+        for arg in func.body.arguments:
+            self.plan.arg_slots.append(self.new_slot(arg))
+
+        warp_groups = [op for op in func.body.operations
+                       if isinstance(op, tawa.WarpGroupOp)]
+
+        if not warp_groups:
+            self.steps = []
+            self.ops_emitted = 0
+            self.replica_slots = []
+            self.emit_block(func.body)
+            steps = self._finalize(self.steps)
+            self.plan.regions.append(
+                RegionPlan("consumer", 0, 1, steps, self.replica_slots))
+            return
+
+        self.plan.warp_specialized = True
+        # CTA-common prologue: everything outside the warp-group regions.
+        self.steps = []
+        self.ops_emitted = 0
+        for op in func.body.operations:
+            if isinstance(op, tawa.WarpGroupOp) or op.name == "func.return":
+                continue
+            self.emit_op(op)
+        prologue_cycles = 0.0
+        prologue_fns: List[Callable] = []
+        for st in self.steps:
+            if st[0] == PURE:
+                prologue_fns.append(st[1])
+            elif st[0] == EFFECT and type(st[1]) is Delay:
+                prologue_cycles += st[1].cycles
+                if st[2] is not None:
+                    prologue_fns.append(st[2])
+            else:
+                raise InterpreterError(
+                    "CTA prologue op produced a blocking effect; "
+                    "only cheap setup ops may appear outside warp groups"
+                )
+        self.plan.prologue_fns = prologue_fns
+        self.plan.prologue_cycles = prologue_cycles
+
+        self.plan.total_replicas = sum(max(1, wg.replicas) for wg in warp_groups)
+        for wg in warp_groups:
+            replicas = max(1, wg.replicas)
+            self.work_fraction = 1.0 / replicas
+            self.steps = []
+            self.ops_emitted = 0
+            self.replica_slots = []
+            self.emit_block(wg.body)
+            steps = self._finalize(self.steps)
+            region = RegionPlan(wg.role, wg.partition, replicas, steps,
+                                self.replica_slots)
+            if self.functional and replicas > 1 and self._observer_safe(wg):
+                self.observer = True
+                self.steps = []
+                self.ops_emitted = 0
+                self.emit_block(wg.body)
+                region.observer_steps = self._finalize(self.steps)
+                self.observer = False
+            self.plan.regions.append(region)
+        self.work_fraction = 1.0
+
+    #: Ops through which replicas could diverge or publish data other agents
+    #: (or the launch result) depend on; their presence disables the observer
+    #: variant for a region (all replicas then do the full functional work,
+    #: exactly like the interpreter).
+    _OBSERVER_UNSAFE = frozenset([
+        "tawa.put", "gpu.smem_write", "gpu.warp_group_id", "gpu.cp_async",
+        "gpu.tma_async_load", "gpu.alloc_smem", "gpu.mbarrier_alloc",
+        "tawa.create_aref",
+    ])
+
+    def _observer_safe(self, wg: tawa.WarpGroupOp) -> bool:
+        return all(op.name not in self._OBSERVER_UNSAFE for op in wg.walk())
+
+    # -- block / op emission ---------------------------------------------------
+
+    def emit_block(self, block) -> None:
+        for op in block.operations:
+            self.emit_op(op)
+
+    def emit_op(self, op: Operation) -> None:
+        # Region-scoped budget: bounds total emission even when constant-trip
+        # loops nest (each level multiplies the op count).
+        self.ops_emitted += 1
+        emitter = _EMITTERS.get(op.name)
+        if emitter is None:
+            if isinstance(op, arith.BinaryOp):
+                emitter = _emit_binary
+            elif isinstance(op, arith.UnaryOp):
+                emitter = _emit_unary
+            elif isinstance(op, (arith.CmpIOp, arith.CmpFOp)):
+                emitter = _emit_cmp
+            else:
+                raise PlanError(f"no plan emitter for op {op.name!r}")
+        emitter(self, op)
+
+    # -- finalization: batch pure runs and coalesce local delay chains --------
+
+    def _finalize(self, steps: List[tuple]) -> List[tuple]:
+        """Batch effect-free runs and agent-local delay chains.
+
+        A run of consecutive steps that are either movable PURE closures or
+        coalescible delay effects interacts with nothing outside the agent's
+        private register file, so the engine can process it as one event: the
+        :class:`DelayChain` advances time through the exact same sequence of
+        float additions the individual delays would have used, then the
+        closures run in their original order.
+        """
+        out: List[tuple] = []
+        run: List[tuple] = []
+
+        def flush() -> None:
+            if not run:
+                return
+            delays = [st[1].cycles for st in run if st[0] == EFFECT]
+            fns = [st[1] if st[0] == PURE else st[2] for st in run]
+            fns = [f for f in fns if f is not None]
+            if len(delays) >= 2:
+                out.append((CHAIN, DelayChain(tuple(delays)), tuple(fns)))
+            elif len(delays) == 1:
+                if len(fns) == 1:
+                    idx = next(i for i, st in enumerate(run) if st[0] == EFFECT)
+                    out.append((EFFECT, run[idx][1], fns[0]))
+                else:
+                    out.append((CHAIN, DelayChain(tuple(delays)), tuple(fns)))
+            else:
+                if len(fns) == 1:
+                    out.append((PURE, fns[0]))
+                elif fns:
+                    fns_t = tuple(fns)
+
+                    def batched(regs, ctx, _fns=fns_t):
+                        for f in _fns:
+                            f(regs, ctx)
+
+                    out.append((PURE, batched))
+            run.clear()
+
+        for st in steps:
+            kind = st[0]
+            if kind == PURE and st[2]:
+                run.append(st)
+            elif kind == EFFECT and st[3] and type(st[1]) is Delay:
+                run.append(st)
+            else:
+                flush()
+                if kind == PURE:
+                    out.append((PURE, st[1]))
+                elif kind == EFFECT:
+                    out.append((EFFECT, st[1], st[2]))
+                else:
+                    out.append(st)
+        flush()
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Emitters.  Each mirrors the corresponding interpreter handler exactly;
+# consult repro.gpusim.interpreter for the reference semantics.
+# ---------------------------------------------------------------------------
+
+_EMITTERS: Dict[str, Callable[[_PlanBuilder, Operation], None]] = {}
+
+
+def _emitter(name: str):
+    def register(fn):
+        _EMITTERS[name] = fn
+        return fn
+    return register
+
+
+@_emitter("func.return")
+@_emitter("scf.yield")
+def _emit_nothing(b: _PlanBuilder, op: Operation) -> None:
+    return
+
+
+@_emitter("arith.constant")
+def _emit_constant(b: _PlanBuilder, op: arith.ConstantOp) -> None:
+    b.const_slot(op.result, op.value)
+
+
+#: Python-operator fast paths for scalar arithmetic.  Guarded at runtime on
+#: ``type(x) is int`` / ``is float`` so the result is *provably* the same
+#: value the NumPy impl + _to_python_scalar coercion would produce; anything
+#: else (np scalars, SymbolicTile, div-by-zero) falls through to the exact
+#: interpreter arithmetic.
+_INT_SCALAR_FAST = {
+    "arith.addi": operator.add, "arith.subi": operator.sub,
+    "arith.muli": operator.mul, "arith.divsi": operator.floordiv,
+    "arith.remsi": operator.mod, "arith.minsi": min, "arith.maxsi": max,
+    "arith.andi": operator.and_, "arith.ori": operator.or_,
+    "arith.xori": operator.xor,
+}
+_FLOAT_SCALAR_FAST = {
+    "arith.addf": operator.add, "arith.subf": operator.sub,
+    "arith.mulf": operator.mul, "arith.divf": operator.truediv,
+}
+
+
+def _emit_binary(b: _PlanBuilder, op: arith.BinaryOp) -> None:
+    ls, rs = b.slot(op.lhs), b.slot(op.rhs)
+    rd = b.new_slot(op.result)
+    impl = op.py_impl
+    elements = b.tensor_elements(op)
+    rty = op.result.type
+    scalar = isinstance(rty, ScalarType)
+    functional = b.tensor_real
+
+    if elements and not functional:
+        symb = SymbolicTile(tuple(rty.shape), rty.element_type)
+
+        def fn(regs, ctx, _rd=rd, _symb=symb):
+            regs[_rd] = _symb
+    elif scalar and (op.name in _INT_SCALAR_FAST or op.name in _FLOAT_SCALAR_FAST):
+        is_int = op.name in _INT_SCALAR_FAST
+        fast = _INT_SCALAR_FAST[op.name] if is_int else _FLOAT_SCALAR_FAST[op.name]
+
+        def fn(regs, ctx, _ls=ls, _rs=rs, _rd=rd, _impl=impl, _ty=rty,
+               _fast=fast, _t=int if is_int else float):
+            lhs = regs[_ls]
+            rhs = regs[_rs]
+            if type(lhs) is _t and type(rhs) is _t:
+                try:
+                    regs[_rd] = _fast(lhs, rhs)
+                    return
+                except ZeroDivisionError:
+                    pass
+            result = _impl(_as_array(lhs), _as_array(rhs))
+            if not isinstance(result, SymbolicTile):
+                result = _to_python_scalar(result, _ty)
+            regs[_rd] = result
+    else:
+        def fn(regs, ctx, _ls=ls, _rs=rs, _rd=rd, _impl=impl, _scalar=scalar,
+               _ty=rty):
+            result = _impl(_as_array(regs[_ls]), _as_array(regs[_rs]))
+            if _scalar and not isinstance(result, SymbolicTile):
+                result = _to_python_scalar(result, _ty)
+            regs[_rd] = result
+
+    if elements:
+        transcendental = op.name in ("arith.divf", "arith.powf")
+        cycles = b.cuda_cost(elements, transcendental)
+        b.emit_effect(b.delay(cycles), fn, coalescible=not b.op_reads_tainted(op))
+    else:
+        if b.is_const(ls) and b.is_const(rs):
+            fn(b.plan.template, None)
+            b.const[rd] = True
+        else:
+            b.emit_pure(op, fn)
+
+
+def _emit_unary(b: _PlanBuilder, op: arith.UnaryOp) -> None:
+    src = b.slot(op.operands[0])
+    rd = b.new_slot(op.result)
+    impl = op.py_impl
+    elements = b.tensor_elements(op)
+    rty = op.result.type
+    functional = b.tensor_real
+
+    if elements and not functional:
+        symb = SymbolicTile(tuple(rty.shape), rty.element_type)
+
+        def fn(regs, ctx, _rd=rd, _symb=symb):
+            regs[_rd] = _symb
+    else:
+        def fn(regs, ctx, _src=src, _rd=rd, _impl=impl):
+            regs[_rd] = _impl(_as_array(regs[_src]))
+
+    if elements:
+        b.emit_effect(b.delay(b.cuda_cost(elements, transcendental=True)), fn,
+                      coalescible=not b.op_reads_tainted(op))
+    else:
+        if b.is_const(src):
+            fn(b.plan.template, None)
+            b.const[rd] = True
+        else:
+            b.emit_pure(op, fn)
+
+
+_CMP_SCALAR_FAST = {
+    "eq": operator.eq, "ne": operator.ne,
+    "slt": operator.lt, "sle": operator.le, "sgt": operator.gt,
+    "sge": operator.ge, "lt": operator.lt, "le": operator.le,
+    "gt": operator.gt, "ge": operator.ge,
+}
+
+
+def _emit_cmp(b: _PlanBuilder, op: arith.CmpIOp) -> None:
+    ls, rs = b.slot(op.operands[0]), b.slot(op.operands[1])
+    rd = b.new_slot(op.result)
+    impl = op.py_impl
+    elements = b.tensor_elements(op)
+    rty = op.result.type
+    scalar = isinstance(rty, ScalarType)
+    functional = b.tensor_real
+
+    if elements and not functional:
+        symb = SymbolicTile(tuple(rty.shape), rty.element_type)
+
+        def fn(regs, ctx, _rd=rd, _symb=symb):
+            regs[_rd] = _symb
+    elif scalar:
+        def fn(regs, ctx, _ls=ls, _rs=rs, _rd=rd, _impl=impl,
+               _fast=_CMP_SCALAR_FAST[op.predicate]):
+            lhs = regs[_ls]
+            rhs = regs[_rs]
+            tl = type(lhs)
+            tr = type(rhs)
+            if (tl is int or tl is float) and (tr is int or tr is float):
+                regs[_rd] = _fast(lhs, rhs)
+                return
+            result = _impl(_as_array(lhs), _as_array(rhs))
+            if not isinstance(result, SymbolicTile):
+                result = bool(result)
+            regs[_rd] = result
+    else:
+        def fn(regs, ctx, _ls=ls, _rs=rs, _rd=rd, _impl=impl, _scalar=scalar):
+            result = _impl(_as_array(regs[_ls]), _as_array(regs[_rs]))
+            if _scalar and not isinstance(result, SymbolicTile):
+                result = bool(result)
+            regs[_rd] = result
+
+    if elements:
+        b.emit_effect(b.delay(b.cuda_cost(elements)), fn,
+                      coalescible=not b.op_reads_tainted(op))
+    else:
+        if b.is_const(ls) and b.is_const(rs):
+            fn(b.plan.template, None)
+            b.const[rd] = True
+        else:
+            b.emit_pure(op, fn)
+
+
+@_emitter("arith.select")
+def _emit_select(b: _PlanBuilder, op: arith.SelectOp) -> None:
+    cs, xs, ys = (b.slot(v) for v in op.operands)
+    rd = b.new_slot(op.result)
+    elements = b.tensor_elements(op)
+    rty = op.result.type
+    functional = b.tensor_real
+
+    if elements and not functional:
+        symb = SymbolicTile(tuple(rty.shape), rty.element_type)
+
+        def fn(regs, ctx, _rd=rd, _symb=symb):
+            regs[_rd] = _symb
+    else:
+        def fn(regs, ctx, _cs=cs, _xs=xs, _ys=ys, _rd=rd):
+            regs[_rd] = np.where(_as_array(regs[_cs]), _as_array(regs[_xs]),
+                                 _as_array(regs[_ys]))
+
+    if elements:
+        b.emit_effect(b.delay(b.cuda_cost(elements)), fn,
+                      coalescible=not b.op_reads_tainted(op))
+    else:
+        b.emit_pure(op, fn, foldable=True)
+
+
+@_emitter("arith.cast")
+def _emit_cast(b: _PlanBuilder, op: arith.CastOp) -> None:
+    src = b.slot(op.operands[0])
+    rd = b.new_slot(op.result)
+    ty = op.result.type
+    elements = b.tensor_elements(op)
+    functional = b.tensor_real
+
+    if isinstance(ty, TensorType):
+        if functional:
+            dtype = ty.element_type.numpy_dtype
+
+            def fn(regs, ctx, _src=src, _rd=rd, _dtype=dtype):
+                regs[_rd] = np.asarray(_as_array(regs[_src]), dtype=_dtype)
+        else:
+            symb = SymbolicTile(tuple(ty.shape), ty.element_type)
+
+            def fn(regs, ctx, _rd=rd, _symb=symb):
+                regs[_rd] = _symb
+    else:
+        scalar_ty = ty if isinstance(ty, ScalarType) else None
+
+        def fn(regs, ctx, _src=src, _rd=rd, _ty=scalar_ty):
+            value = _as_array(regs[_src])
+            if _ty is not None:
+                value = _to_python_scalar(value, _ty)
+            regs[_rd] = value
+
+    if elements:
+        b.emit_effect(b.delay(b.cuda_cost(elements)), fn,
+                      coalescible=not b.op_reads_tainted(op))
+    else:
+        b.emit_pure(op, fn, foldable=True)
+
+
+# -- structured control flow -------------------------------------------------
+
+
+@_emitter("scf.for")
+def _emit_scf_for(b: _PlanBuilder, op: scf.ForOp) -> None:
+    lb_s, ub_s, st_s = (b.slot(v) for v in (op.lower_bound, op.upper_bound, op.step))
+    init_slots = [b.slot(v) for v in op.init_args]
+    body = op.body
+
+    if (b.is_const(lb_s) and b.is_const(ub_s) and b.is_const(st_s)):
+        lb = int(b.plan.template[lb_s])
+        ub = int(b.plan.template[ub_s])
+        step = int(b.plan.template[st_s])
+        if step <= 0:
+            raise InterpreterError(f"scf.for with non-positive step {step}")
+        trip = max(0, -(-(ub - lb) // step))
+        if (trip * max(1, len(body.operations)) + b.ops_emitted
+                <= UNROLL_STEP_LIMIT):
+            _unroll_for(b, op, lb, ub, step, init_slots)
+            return
+
+    # Dynamic (or too-large) loop: compile the body once, drive it at runtime.
+    iv_slot = b.new_slot(body.arguments[0])
+    arg_slots = [b.new_slot(a) for a in body.arguments[1:]]
+    saved_steps = b.steps
+    b.steps = []
+    for inner in body.operations[:-1]:
+        b.emit_op(inner)
+    body_steps = b._finalize(b.steps)
+    b.steps = saved_steps
+    yield_slots = [b.slot(v) for v in body.terminator.operands]
+    result_slots = [b.new_slot(r) for r in op.results]
+
+    def loop_gen(regs, ctx, _lb=lb_s, _ub=ub_s, _st=st_s, _iv=iv_slot,
+                 _inits=tuple(init_slots), _args=tuple(arg_slots),
+                 _yields=tuple(yield_slots), _results=tuple(result_slots),
+                 _steps=body_steps):
+        lb = int(regs[_lb])
+        ub = int(regs[_ub])
+        step = int(regs[_st])
+        if step <= 0:
+            raise InterpreterError(f"scf.for with non-positive step {step}")
+        carried = [regs[s] for s in _inits]
+        for iv in range(lb, ub, step):
+            regs[_iv] = iv
+            for dst, val in zip(_args, carried):
+                regs[dst] = val
+            # Body dispatch inlined (instead of `yield from _drive(...)`) so
+            # each effect of the hot loop crosses one generator frame less.
+            for st in _steps:
+                kind = st[0]
+                if kind == PURE:
+                    st[1](regs, ctx)
+                elif kind == EFFECT:
+                    yield st[1]
+                    fn = st[2]
+                    if fn is not None:
+                        fn(regs, ctx)
+                elif kind == CHAIN:
+                    yield st[1]
+                    for fn in st[2]:
+                        fn(regs, ctx)
+                else:
+                    yield from st[1](regs, ctx)
+            carried = [regs[s] for s in _yields]
+        for dst, val in zip(_results, carried):
+            regs[dst] = val
+
+    b.emit_gen(loop_gen)
+
+
+def _unroll_for(b: _PlanBuilder, op: scf.ForOp, lb: int, ub: int, step: int,
+                init_slots: List[int]) -> None:
+    """Unroll a constant-trip-count loop; the induction variable becomes a
+    plan-time constant per iteration, so dependent index arithmetic folds."""
+    body = op.body
+    carried = list(init_slots)
+    for iv in range(lb, ub, step):
+        b.const_slot(body.arguments[0], iv)
+        for arg, slot in zip(body.arguments[1:], carried):
+            b.alias(arg, slot)
+        for inner in body.operations[:-1]:
+            b.emit_op(inner)
+        carried = [b.slot(v) for v in body.terminator.operands]
+    for res, slot in zip(op.results, carried):
+        b.alias(res, slot)
+
+
+@_emitter("scf.if")
+def _emit_scf_if(b: _PlanBuilder, op: scf.IfOp) -> None:
+    cond_s = b.slot(op.condition)
+
+    def compile_branch(block):
+        if block is None:
+            return None, None
+        saved = b.steps
+        b.steps = []
+        for inner in block.operations[:-1]:
+            b.emit_op(inner)
+        steps = b._finalize(b.steps)
+        b.steps = saved
+        term = block.terminator
+        yields = None
+        if term is not None and term.name == "scf.yield":
+            yields = tuple(b.slot(v) for v in term.operands)
+        return steps, yields
+
+    if b.is_const(cond_s):
+        # Plan-time-known condition: emit only the taken branch inline.
+        cond = b.plan.template[cond_s]
+        block = op.then_block if cond else op.else_block
+        if block is None:
+            for res in op.results:
+                b.const_slot(res, None)
+            return
+        for inner in block.operations[:-1]:
+            b.emit_op(inner)
+        term = block.terminator
+        if term is not None and term.name == "scf.yield":
+            for res, v in zip(op.results, term.operands):
+                b.alias(res, b.slot(v))
+        return
+
+    then_steps, then_yields = compile_branch(op.then_block)
+    else_steps, else_yields = compile_branch(op.else_block)
+    result_slots = tuple(b.new_slot(r) for r in op.results)
+
+    def effect_free(steps):
+        return steps is None or all(st[0] == PURE for st in steps)
+
+    if effect_free(then_steps) and effect_free(else_steps):
+        # Neither branch talks to the engine: run the conditional as a plain
+        # (movable, chain-absorbable) closure instead of a generator.
+        def if_fn(regs, ctx, _cond=cond_s, _then=then_steps, _ty=then_yields,
+                  _else=else_steps, _ey=else_yields, _results=result_slots):
+            if regs[_cond]:
+                steps, yields = _then, _ty
+            else:
+                steps, yields = _else, _ey
+            if steps is None:
+                for dst in _results:
+                    regs[dst] = None
+                return
+            for st in steps:
+                st[1](regs, ctx)
+            if yields is not None:
+                for dst, src in zip(_results, yields):
+                    regs[dst] = regs[src]
+
+        b.emit_pure(op, if_fn)
+        return
+
+    def if_gen(regs, ctx, _cond=cond_s, _then=then_steps, _ty=then_yields,
+               _else=else_steps, _ey=else_yields, _results=result_slots):
+        if regs[_cond]:
+            steps, yields = _then, _ty
+        else:
+            steps, yields = _else, _ey
+        if steps is None:
+            for dst in _results:
+                regs[dst] = None
+            return
+        yield from _drive(steps, regs, ctx)
+        if yields is not None:
+            for dst, src in zip(_results, yields):
+                regs[dst] = regs[src]
+
+    b.emit_gen(if_gen)
+
+
+@_emitter("tawa.warp_group")
+def _emit_warp_group_inline(b: _PlanBuilder, op: tawa.WarpGroupOp) -> None:
+    # Only reached when a warp_group region is executed inline.
+    b.emit_block(op.body)
+
+
+# -- tt dialect ---------------------------------------------------------------
+
+
+@_emitter("tt.get_program_id")
+def _emit_program_id(b: _PlanBuilder, op: tt.GetProgramIdOp) -> None:
+    b.cta_input(f"pid{op.axis}", op.result)
+
+
+@_emitter("tt.get_num_programs")
+def _emit_num_programs(b: _PlanBuilder, op: tt.GetNumProgramsOp) -> None:
+    b.cta_input(f"nprog{op.axis}", op.result)
+
+
+@_emitter("gpu.cta_id")
+def _emit_cta_id(b: _PlanBuilder, op: Operation) -> None:
+    b.cta_input("cta_id", op.result)
+
+
+@_emitter("gpu.num_ctas")
+def _emit_num_ctas(b: _PlanBuilder, op: Operation) -> None:
+    b.cta_input("num_ctas", op.result)
+
+
+@_emitter("gpu.num_tiles")
+def _emit_num_tiles(b: _PlanBuilder, op: Operation) -> None:
+    b.cta_input("num_tiles", op.result)
+
+
+@_emitter("gpu.warp_group_id")
+def _emit_warp_group_id(b: _PlanBuilder, op: Operation) -> None:
+    slot = b.new_slot(op.result)
+    b.replica_slots.append(slot)
+
+
+def _tensor_or_symbolic(b: _PlanBuilder, rty, compute):
+    """Plan-time analogue of _WarpGroupExec._tensor_result for foldable ops."""
+    if not isinstance(rty, TensorType):
+        return compute()
+    if b.tensor_real:
+        return compute()
+    return SymbolicTile(tuple(rty.shape), rty.element_type)
+
+
+@_emitter("tt.make_range")
+def _emit_make_range(b: _PlanBuilder, op: tt.MakeRangeOp) -> None:
+    value = _tensor_or_symbolic(
+        b, op.result.type,
+        lambda: np.arange(op.start, op.end, dtype=np.int64))
+    b.const_slot(op.result, value)
+
+
+@_emitter("tt.full")
+def _emit_full(b: _PlanBuilder, op: tt.FullOp) -> None:
+    ty = op.result.type
+    value = _tensor_or_symbolic(
+        b, ty, lambda: np.full(ty.shape, op.value, dtype=ty.element_type.numpy_dtype))
+    b.const_slot(op.result, value)
+
+
+@_emitter("tt.splat")
+def _emit_splat(b: _PlanBuilder, op: tt.SplatOp) -> None:
+    src = b.slot(op.operands[0])
+    rd = b.new_slot(op.result)
+    ty = op.result.type
+    functional = b.tensor_real
+    shape = tuple(ty.shape)
+    dtype = ty.element_type.numpy_dtype
+    symb = SymbolicTile(shape, ty.element_type)
+
+    def fn(regs, ctx, _src=src, _rd=rd, _shape=shape, _dtype=dtype,
+           _symb=symb, _functional=functional):
+        scalar = regs[_src]
+        if isinstance(scalar, Pointer):
+            regs[_rd] = scalar
+        elif _functional:
+            regs[_rd] = np.full(_shape, scalar, dtype=_dtype)
+        else:
+            regs[_rd] = _symb
+
+    b.emit_pure(op, fn, foldable=True)
+
+
+@_emitter("tt.expand_dims")
+def _emit_expand_dims(b: _PlanBuilder, op: tt.ExpandDimsOp) -> None:
+    src = b.slot(op.operands[0])
+    rd = b.new_slot(op.result)
+    axis = op.axis
+    ty = op.result.type
+    functional = b.tensor_real
+    symb = SymbolicTile(tuple(ty.shape), ty.element_type)
+
+    def fn(regs, ctx, _src=src, _rd=rd, _axis=axis, _symb=symb,
+           _functional=functional):
+        operand = regs[_src]
+        if isinstance(operand, Pointer):
+            offs = operand.offsets
+            if _functional and isinstance(offs, np.ndarray):
+                operand = Pointer(operand.buffer, np.expand_dims(offs, _axis))
+            regs[_rd] = operand
+        elif _functional:
+            regs[_rd] = np.expand_dims(_as_array(operand), _axis)
+        else:
+            regs[_rd] = _symb
+
+    b.emit_pure(op, fn, foldable=True)
+
+
+@_emitter("tt.broadcast")
+def _emit_broadcast(b: _PlanBuilder, op: tt.BroadcastOp) -> None:
+    src = b.slot(op.operands[0])
+    rd = b.new_slot(op.result)
+    ty = op.result.type
+    shape = tuple(ty.shape)
+    functional = b.tensor_real
+    symb = SymbolicTile(shape, ty.element_type)
+
+    def fn(regs, ctx, _src=src, _rd=rd, _shape=shape, _symb=symb,
+           _functional=functional):
+        if _functional:
+            regs[_rd] = np.broadcast_to(_as_array(regs[_src]), _shape).copy()
+        else:
+            regs[_rd] = _symb
+
+    b.emit_pure(op, fn, foldable=True)
+
+
+@_emitter("tt.trans")
+def _emit_trans(b: _PlanBuilder, op: tt.TransOp) -> None:
+    src = b.slot(op.operands[0])
+    rd = b.new_slot(op.result)
+    ty = op.result.type
+    functional = b.tensor_real
+    symb = SymbolicTile(tuple(ty.shape), ty.element_type)
+
+    def fn(regs, ctx, _src=src, _rd=rd, _symb=symb, _functional=functional):
+        operand = regs[_src]
+        if isinstance(operand, SmemTileView):
+            regs[_rd] = _TransposedView(operand)
+        elif _functional:
+            regs[_rd] = np.transpose(_as_array(operand))
+        else:
+            regs[_rd] = _symb
+
+    b.emit_pure(op, fn, foldable=True)
+
+
+@_emitter("tt.reshape")
+def _emit_reshape(b: _PlanBuilder, op: tt.ReshapeOp) -> None:
+    src = b.slot(op.operands[0])
+    rd = b.new_slot(op.result)
+    ty = op.result.type
+    shape = tuple(ty.shape)
+    functional = b.tensor_real
+    symb = SymbolicTile(shape, ty.element_type)
+
+    def fn(regs, ctx, _src=src, _rd=rd, _shape=shape, _symb=symb,
+           _functional=functional):
+        if _functional:
+            regs[_rd] = np.reshape(_as_array(regs[_src]), _shape)
+        else:
+            regs[_rd] = _symb
+
+    b.emit_pure(op, fn, foldable=True)
+
+
+@_emitter("tt.where")
+def _emit_where(b: _PlanBuilder, op: tt.WhereOp) -> None:
+    cs, xs, ys = (b.slot(v) for v in op.operands)
+    rd = b.new_slot(op.result)
+    elements = b.tensor_elements(op)
+    rty = op.result.type
+    functional = b.tensor_real
+
+    if elements and not functional:
+        symb = SymbolicTile(tuple(rty.shape), rty.element_type)
+
+        def fn(regs, ctx, _rd=rd, _symb=symb):
+            regs[_rd] = _symb
+    else:
+        def fn(regs, ctx, _cs=cs, _xs=xs, _ys=ys, _rd=rd):
+            regs[_rd] = np.where(_as_array(regs[_cs]), _as_array(regs[_xs]),
+                                 _as_array(regs[_ys]))
+
+    if elements:
+        b.emit_effect(b.delay(b.cuda_cost(elements)), fn,
+                      coalescible=not b.op_reads_tainted(op))
+    else:
+        b.emit_pure(op, fn, foldable=True)
+
+
+@_emitter("tt.reduce")
+def _emit_reduce(b: _PlanBuilder, op: tt.ReduceOp) -> None:
+    src = b.slot(op.operands[0])
+    rd = b.new_slot(op.results[0])
+    src_ty = op.operands[0].type
+    src_elems = src_ty.num_elements if isinstance(src_ty, TensorType) else 0
+    impl = {"max": np.max, "min": np.min, "sum": np.sum}[op.kind]
+    axis = op.axis
+    rty = op.results[0].type
+    functional = b.tensor_real
+
+    if isinstance(rty, TensorType) and not functional:
+        symb = SymbolicTile(tuple(rty.shape), rty.element_type)
+
+        def fn(regs, ctx, _rd=rd, _symb=symb):
+            regs[_rd] = _symb
+    elif not isinstance(rty, TensorType) and not functional:
+        def fn(regs, ctx, _rd=rd):
+            regs[_rd] = 0.0
+    else:
+        def fn(regs, ctx, _src=src, _rd=rd, _impl=impl, _axis=axis):
+            regs[_rd] = _impl(_as_array(regs[_src]), axis=_axis)
+
+    if src_elems:
+        b.emit_effect(b.delay(b.cuda_cost(src_elems) * 2.0), fn,
+                      coalescible=not b.op_reads_tainted(op))
+    else:
+        b.emit_pure(op, fn)
+
+
+@_emitter("tt.addptr")
+def _emit_addptr(b: _PlanBuilder, op: tt.AddPtrOp) -> None:
+    ps, os_ = b.slot(op.operands[0]), b.slot(op.operands[1])
+    rd = b.new_slot(op.result)
+    rty = op.result.type
+    shape = tuple(rty.shape) if isinstance(rty, TensorType) else ()
+    # Scalar pointer arithmetic stays real in the observer variant so that
+    # scalar loads through the resulting pointer read the right element.
+    functional = b.functional if not shape else b.tensor_real
+
+    def fn(regs, ctx, _ps=ps, _os=os_, _rd=rd, _shape=shape,
+           _functional=functional):
+        ptr = regs[_ps]
+        offset = _as_array(regs[_os])
+        if not isinstance(ptr, Pointer):
+            raise InterpreterError(f"tt.addptr on non-pointer runtime value {ptr!r}")
+        if _functional and not isinstance(offset, SymbolicTile):
+            regs[_rd] = ptr.offset_by(
+                np.asarray(offset, dtype=np.int64)
+                if not np.isscalar(offset) else int(offset))
+        else:
+            regs[_rd] = Pointer(ptr.buffer, SymbolicTile(_shape, ptr.element_type))
+
+    b.emit_pure(op, fn)
+
+
+@_emitter("tt.load")
+def _emit_load(b: _PlanBuilder, op: tt.LoadOp) -> None:
+    ps = b.slot(op.ptr)
+    ms = b.slot(op.mask) if op.mask is not None else None
+    rd = b.new_slot(op.result)
+    elements = b.tensor_elements(op) or 1
+    cycles = (b.config.global_load_latency_cycles * b.work_fraction
+              + b.cuda_cost(elements))
+    rty = op.result.type
+    # Scalar loads stay real in the observer variant: control flow (loop
+    # bounds, predicates) may depend on them and must match replica 0.
+    functional = (b.functional if not isinstance(rty, TensorType)
+                  else b.tensor_real)
+
+    if not functional:
+        value = (SymbolicTile(tuple(rty.shape), rty.element_type)
+                 if isinstance(rty, TensorType) else 0)
+
+        def fn(regs, ctx, _rd=rd, _value=value):
+            regs[_rd] = _value
+    else:
+        scalar_ty = None if isinstance(rty, TensorType) else rty
+
+        def fn(regs, ctx, _ps=ps, _ms=ms, _rd=rd, _ty=scalar_ty):
+            ptr = regs[_ps]
+            mask = regs[_ms] if _ms is not None else None
+            offsets = ptr.offsets if isinstance(ptr, Pointer) else 0
+            gathered = ptr.buffer.gather(np.asarray(offsets), mask)
+            if _ty is not None:
+                regs[_rd] = _to_python_scalar(gathered.reshape(()), _ty)
+            else:
+                regs[_rd] = gathered
+
+    b.emit_effect(b.delay(cycles), fn)
+
+
+@_emitter("tt.store")
+def _emit_store(b: _PlanBuilder, op: tt.StoreOp) -> None:
+    ps, vs = b.slot(op.ptr), b.slot(op.value)
+    ms = b.slot(op.mask) if op.mask is not None else None
+    elements = (op.value.type.num_elements
+                if isinstance(op.value.type, TensorType) else 1)
+    cycles = (elements / b.config.global_store_elements_per_cycle
+              * b.work_fraction)
+    functional = b.tensor_real
+
+    if not functional:
+        fn = None
+    else:
+        def fn(regs, ctx, _ps=ps, _vs=vs, _ms=ms):
+            ptr = regs[_ps]
+            value = _as_array(regs[_vs])
+            if not isinstance(ptr, Pointer):
+                return
+            if isinstance(ptr.offsets, SymbolicTile) or isinstance(value, SymbolicTile):
+                return
+            mask = regs[_ms] if _ms is not None else None
+            ptr.buffer.scatter(np.asarray(ptr.offsets), value, mask)
+
+    b.emit_effect(b.delay(cycles), fn)
+
+
+@_emitter("tt.tma_load")
+def _emit_tma_load_sync(b: _PlanBuilder, op: tt.TmaLoadOp) -> None:
+    ds = b.slot(op.desc)
+    coord_slots = tuple(b.slot(c) for c in op.coords)
+    rd = b.new_slot(op.result)
+    tile_shape = op.tile_shape
+    rty = op.result.type
+    functional = b.tensor_real
+    issue = b.delay(b.config.tma_issue_cycles)
+    latency = b.config.tma_latency_cycles
+    config = b.config
+
+    def gen(regs, ctx, _ds=ds, _coords=coord_slots, _rd=rd, _shape=tile_shape,
+            _issue=issue, _latency=latency, _config=config,
+            _functional=functional,
+            _symb=SymbolicTile(tuple(rty.shape), rty.element_type)):
+        desc = regs[_ds]
+        coords = [int(regs[c]) for c in _coords]
+        num_bytes = desc.tile_bytes(_shape)
+        yield _issue
+        yield Delay(_latency + _config.tma_cycles(num_bytes))
+        if _functional:
+            regs[_rd] = desc.buffer.read_tile(coords, _shape)
+        else:
+            regs[_rd] = _symb
+
+    b.emit_gen(gen)
+
+
+@_emitter("tt.tma_store")
+def _emit_tma_store(b: _PlanBuilder, op: tt.TmaStoreOp) -> None:
+    ds = b.slot(op.desc)
+    coord_slots = tuple(b.slot(c) for c in op.coords)
+    vs = b.slot(op.value)
+    elements = (op.value.type.num_elements
+                if isinstance(op.value.type, TensorType) else 1)
+    cycles = (elements / b.config.global_store_elements_per_cycle
+              * b.work_fraction)
+    functional = b.tensor_real
+
+    if not functional:
+        fn = None
+    else:
+        def fn(regs, ctx, _ds=ds, _coords=coord_slots, _vs=vs):
+            value = _as_array(regs[_vs])
+            if not isinstance(value, SymbolicTile):
+                desc = regs[_ds]
+                coords = [int(regs[c]) for c in _coords]
+                desc.buffer.write_tile(coords, np.asarray(value))
+
+    b.emit_effect(b.delay(cycles), fn)
+
+
+@_emitter("tt.dot")
+def _emit_dot_sync(b: _PlanBuilder, op: tt.DotOp) -> None:
+    a_s, b_s = b.slot(op.a), b.slot(op.b)
+    acc_s = b.slot(op.acc) if op.acc is not None else None
+    rd = b.new_slot(op.result)
+    ty = op.result.type
+    dtype_bits = op.a.type.element_type.bitwidth
+    issue = b.delay(b.config.wgmma_issue_cycles)
+    wg_issue = WgmmaIssue(op.flops * b.work_fraction, dtype_bits, ty.shape[1],
+                          chain=op)
+    wait = None if op.get_attr("tawa.async", False) else WgmmaWait(0)
+    functional = b.tensor_real
+    symb = SymbolicTile(tuple(ty.shape), ty.element_type)
+
+    b.emit_effect(issue, None)
+    if functional:
+        def fn(regs, ctx, _a=a_s, _b=b_s, _acc=acc_s, _rd=rd):
+            a = _as_array(regs[_a])
+            bb = _as_array(regs[_b])
+            acc = _as_array(regs[_acc]) if _acc is not None else None
+            regs[_rd] = _matmul(a, bb, acc)
+    else:
+        def fn(regs, ctx, _rd=rd, _symb=symb):
+            regs[_rd] = _symb
+    if wait is None:
+        b.emit_effect(wg_issue, fn)
+    else:
+        b.emit_effect(wg_issue, None)
+        b.emit_effect(wait, fn)
+
+
+# -- tawa dialect -------------------------------------------------------------
+
+
+@_emitter("tawa.create_aref")
+def _emit_create_aref(b: _PlanBuilder, op: tawa.CreateArefOp) -> None:
+    rd = b.new_slot(op.result)
+    depth = op.depth
+    name = op.get_attr("aref_name", f"aref{op.results[0].id}")
+
+    def fn(regs, ctx, _rd=rd, _depth=depth, _name=name):
+        regs[_rd] = ArefRuntime.create(_depth, _name)
+
+    b.emit_pure(op, fn)
+
+
+@_emitter("tawa.aref_slot")
+def _emit_aref_slot(b: _PlanBuilder, op: tawa.ArefSlotOp) -> None:
+    rs, is_ = b.slot(op.aref), b.slot(op.index)
+    rd = b.new_slot(op.result)
+
+    def fn(regs, ctx, _rs=rs, _is=is_, _rd=rd):
+        regs[_rd] = regs[_rs].slot(int(regs[_is]))
+
+    b.emit_pure(op, fn)
+
+
+@_emitter("tawa.put")
+def _emit_put(b: _PlanBuilder, op: tawa.PutOp) -> None:
+    ss = b.slot(op.slot)
+    value_slots = tuple(b.slot(v) for v in op.values)
+    delay = b.delay(b.config.aref_op_cycles)
+
+    def gen(regs, ctx, _ss=ss, _vals=value_slots, _delay=delay):
+        slot = regs[_ss]
+        yield _delay
+        yield ArefPut(slot)
+        slot.do_put(tuple(regs[s] for s in _vals))
+        ctx.engine.notify_aref(slot)
+
+    b.emit_gen(gen)
+
+
+@_emitter("tawa.get")
+def _emit_get(b: _PlanBuilder, op: tawa.GetOp) -> None:
+    ss = b.slot(op.slot)
+    result_slots = tuple(b.new_slot(r) for r in op.results)
+    delay = b.delay(b.config.aref_op_cycles)
+
+    def gen(regs, ctx, _ss=ss, _results=result_slots, _delay=delay):
+        slot = regs[_ss]
+        yield _delay
+        yield ArefGet(slot)
+        payload = slot.do_get()
+        for dst, value in zip(_results, payload):
+            regs[dst] = value
+        ctx.engine.notify_aref(slot)
+
+    b.emit_gen(gen)
+
+
+@_emitter("tawa.consumed")
+def _emit_consumed(b: _PlanBuilder, op: tawa.ConsumedOp) -> None:
+    ss = b.slot(op.slot)
+
+    def fn(regs, ctx, _ss=ss):
+        slot = regs[_ss]
+        slot.do_consumed()
+        ctx.engine.notify_aref(slot)
+
+    b.emit_effect(b.delay(b.config.aref_op_cycles), fn)
+
+
+# -- gpu dialect --------------------------------------------------------------
+
+
+@_emitter("gpu.alloc_smem")
+def _emit_alloc_smem(b: _PlanBuilder, op: gpu.AllocSmemOp) -> None:
+    rd = b.new_slot(op.result)
+    ty = op.buffer_type
+    shape = tuple(ty.shape)
+    elem = ty.element_type
+    num_bytes = ty.num_bytes
+    name = op.get_attr("buf_name", f"smem{op.result.id}")
+    functional = b.functional
+
+    def fn(regs, ctx, _rd=rd, _shape=shape, _elem=elem, _name=name,
+           _bytes=num_bytes, _functional=functional):
+        regs[_rd] = SmemTile(_shape, _elem, _functional, name=_name)
+        ctx.smem_bytes += _bytes
+
+    b.emit_pure(op, fn, movable=False)
+
+
+@_emitter("gpu.smem_slice")
+def _emit_smem_slice(b: _PlanBuilder, op: gpu.SmemSliceOp) -> None:
+    bs, is_ = b.slot(op.buffer), b.slot(op.index)
+    rd = b.new_slot(op.result)
+
+    def fn(regs, ctx, _bs=bs, _is=is_, _rd=rd):
+        regs[_rd] = regs[_bs].slice(int(regs[_is]))
+
+    b.emit_pure(op, fn)
+
+
+@_emitter("gpu.mbarrier_alloc")
+def _emit_mbarrier_alloc(b: _PlanBuilder, op: gpu.MBarrierAllocOp) -> None:
+    rd = b.new_slot(op.results[0])
+    arrive_count = op.arrive_count
+    count = op.count
+    name = op.get_attr("barrier_name", f"mbar{op.results[0].id}")
+
+    def fn(regs, ctx, _rd=rd, _ac=arrive_count, _n=count, _name=name):
+        regs[_rd] = [MBarrier(_ac, f"{_name}[{i}]") for i in range(_n)]
+
+    b.emit_pure(op, fn, movable=False)
+
+
+@_emitter("gpu.mbarrier_arrive")
+def _emit_mbarrier_arrive(b: _PlanBuilder, op: gpu.MBarrierArriveOp) -> None:
+    ms, is_ = b.slot(op.mbarrier), b.slot(op.index)
+
+    def fn(regs, ctx, _ms=ms, _is=is_):
+        barriers = regs[_ms]
+        bar = barriers[int(regs[_is]) % len(barriers)]
+        if bar.arrive():
+            ctx.engine.notify_barrier(bar)
+
+    b.emit_effect(b.delay(b.config.mbarrier_op_cycles), fn)
+
+
+@_emitter("gpu.mbarrier_expect_tx")
+def _emit_mbarrier_expect_tx(b: _PlanBuilder, op: gpu.MBarrierExpectTxOp) -> None:
+    ms, is_ = b.slot(op.mbarrier), b.slot(op.index)
+    num_bytes = op.bytes
+
+    def fn(regs, ctx, _ms=ms, _is=is_, _bytes=num_bytes):
+        barriers = regs[_ms]
+        bar = barriers[int(regs[_is]) % len(barriers)]
+        if bar.expect_tx(_bytes):
+            ctx.engine.notify_barrier(bar)
+
+    b.emit_effect(b.delay(b.config.mbarrier_op_cycles), fn)
+
+
+@_emitter("gpu.mbarrier_wait")
+def _emit_mbarrier_wait(b: _PlanBuilder, op: gpu.MBarrierWaitOp) -> None:
+    ms, is_, gs = (b.slot(v) for v in (op.mbarrier, op.index, op.generation))
+    delay = b.delay(b.config.mbarrier_op_cycles)
+
+    def gen(regs, ctx, _ms=ms, _is=is_, _gs=gs, _delay=delay):
+        barriers = regs[_ms]
+        bar = barriers[int(regs[_is]) % len(barriers)]
+        generation = int(regs[_gs])
+        yield _delay
+        yield WaitBarrier(bar, generation)
+
+    b.emit_gen(gen)
+
+
+@_emitter("gpu.tma_async_load")
+def _emit_tma_async_load(b: _PlanBuilder, op: gpu.TmaAsyncLoadOp) -> None:
+    ds = b.slot(op.desc)
+    coord_slots = tuple(b.slot(c) for c in op.coords)
+    ss, ms, is_ = (b.slot(v) for v in (op.smem, op.mbarrier, op.mbarrier_index))
+    num_bytes = op.bytes
+    issue = b.delay(b.config.tma_issue_cycles)
+    functional = b.tensor_real
+
+    def gen(regs, ctx, _ds=ds, _coords=coord_slots, _ss=ss, _ms=ms, _is=is_,
+            _bytes=num_bytes, _issue=issue, _functional=functional):
+        view = regs[_ss]
+        barriers = regs[_ms]
+        bar = barriers[int(regs[_is]) % len(barriers)]
+        on_complete = None
+        if _functional:
+            desc = regs[_ds]
+            coords = [int(regs[c]) for c in _coords]
+            tile = desc.buffer.read_tile(coords, view.shape)
+            on_complete = lambda v=view, t=tile: v.write(t)
+        yield _issue
+        yield TmaIssue(_bytes, barrier=bar, on_complete=on_complete)
+
+    b.emit_gen(gen)
+
+
+@_emitter("gpu.cp_async")
+def _emit_cp_async(b: _PlanBuilder, op: gpu.CpAsyncOp) -> None:
+    ds = b.slot(op.desc)
+    coord_slots = tuple(b.slot(c) for c in op.coords)
+    ss = b.slot(op.smem)
+    num_bytes = op.bytes
+    issue_cycles = (num_bytes / 1024.0 * b.config.cp_async_issue_cycles_per_kb
+                    * b.work_fraction)
+    issue = b.delay(issue_cycles)
+    functional = b.tensor_real
+
+    def gen(regs, ctx, _ds=ds, _coords=coord_slots, _ss=ss, _bytes=num_bytes,
+            _issue=issue, _functional=functional):
+        view = regs[_ss]
+        on_complete = None
+        if _functional:
+            desc = regs[_ds]
+            coords = [int(regs[c]) for c in _coords]
+            tile = desc.buffer.read_tile(coords, view.shape)
+            on_complete = lambda v=view, t=tile: v.write(t)
+        yield _issue
+        yield CpAsyncIssue(_bytes, on_complete=on_complete)
+
+    b.emit_gen(gen)
+
+
+@_emitter("gpu.cp_async_wait")
+def _emit_cp_async_wait(b: _PlanBuilder, op: gpu.CpAsyncWaitOp) -> None:
+    b.emit_effect(b.delay(b.config.cp_async_wait_cycles), None)
+    b.emit_effect(CpAsyncWait(op.pendings), None)
+
+
+@_emitter("gpu.smem_read")
+def _emit_smem_read(b: _PlanBuilder, op: gpu.SmemReadOp) -> None:
+    ss = b.slot(op.smem)
+    rd = b.new_slot(op.result)
+    elements = op.result.type.num_elements
+    functional = b.tensor_real
+    rty = op.result.type
+
+    if functional:
+        def fn(regs, ctx, _ss=ss, _rd=rd):
+            regs[_rd] = np.asarray(regs[_ss].read())
+    else:
+        symb = SymbolicTile(tuple(rty.shape), rty.element_type)
+
+        def fn(regs, ctx, _rd=rd, _symb=symb):
+            regs[_rd] = _symb
+
+    # Coalescible: between the mbarrier/aref acquire and the matching release
+    # (both non-coalescible steps) the slot's contents are stable by protocol,
+    # so reading it at the end of the batched delay sees the same data.
+    b.emit_effect(b.delay(b.cuda_cost(elements) * 0.25), fn, coalescible=True)
+
+
+@_emitter("gpu.smem_write")
+def _emit_smem_write(b: _PlanBuilder, op: gpu.SmemWriteOp) -> None:
+    vs, ss = b.slot(op.value), b.slot(op.smem)
+    elements = (op.value.type.num_elements
+                if isinstance(op.value.type, TensorType) else 1)
+    functional = b.tensor_real
+
+    if not functional:
+        fn = None
+    else:
+        def fn(regs, ctx, _vs=vs, _ss=ss):
+            value = regs[_vs]
+            if not isinstance(value, SymbolicTile):
+                regs[_ss].write(np.asarray(value))
+
+    b.emit_effect(b.delay(b.cuda_cost(elements) * 0.5), fn)
+
+
+@_emitter("gpu.wgmma")
+def _emit_wgmma(b: _PlanBuilder, op: gpu.WgmmaOp) -> None:
+    a_s, b_s, acc_s = (b.slot(v) for v in (op.a, op.b, op.acc))
+    rd = b.new_slot(op.result)
+    dtype_bits = _operand_bits(op.a) or 16
+    acc_n = op.result.type.shape[1]
+    issue = b.delay(b.config.wgmma_issue_cycles)
+    wg_issue = WgmmaIssue(op.flops * b.work_fraction, dtype_bits, acc_n, chain=op)
+    transpose_b = op.transpose_b
+    functional = b.tensor_real
+    rty = op.result.type
+
+    b.emit_effect(issue, None, coalescible=True)
+    if functional:
+        def fn(regs, ctx, _a=a_s, _b=b_s, _acc=acc_s, _rd=rd, _tb=transpose_b):
+            acc = _as_array(regs[_acc])
+            a = _resolve_operand(regs[_a])
+            bb = _resolve_operand(regs[_b])
+            if _tb:
+                bb = np.transpose(bb)
+            regs[_rd] = _matmul(a, bb, acc)
+    else:
+        symb = SymbolicTile(tuple(rty.shape), rty.element_type)
+
+        def fn(regs, ctx, _rd=rd, _symb=symb):
+            regs[_rd] = _symb
+    b.emit_effect(wg_issue, fn)
+
+
+@_emitter("gpu.wgmma_wait")
+def _emit_wgmma_wait(b: _PlanBuilder, op: gpu.WgmmaWaitOp) -> None:
+    b.emit_effect(WgmmaWait(op.pendings), None)
+
+
+@_emitter("gpu.barrier_sync")
+def _emit_barrier_sync(b: _PlanBuilder, op: gpu.BarrierSyncOp) -> None:
+    delay = b.delay(b.config.barrier_sync_cycles)
+
+    def gen(regs, ctx, _delay=delay):
+        bar = ctx.named_barrier
+        yield _delay
+        if bar is not None and bar.count > 1:
+            yield CtaBarrier(bar)
+
+    b.emit_gen(gen)
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def compile_plan(func: FuncOp, config: H100Config,
+                 functional: bool) -> ExecutionPlan:
+    """Compile one function into an :class:`ExecutionPlan`."""
+    return ExecutionPlan(func, config, functional)
+
+
+def get_plan(compiled, config: H100Config, functional: bool):
+    """The cached plan of a CompiledKernel for one (mode, config) pair.
+
+    Returns ``None`` when the kernel contains an op the plan compiler cannot
+    handle (the device then falls back to the interpreter).
+    """
+    from repro.perf.counters import COUNTERS
+
+    cache = getattr(compiled, "plans", None)
+    if cache is None:
+        cache = {}
+        compiled.plans = cache
+    key = (functional, config)
+    plan = cache.get(key, _MISSING)
+    if plan is not _MISSING:
+        COUNTERS.plan_cache_hits += 1
+        return plan
+    COUNTERS.plan_cache_misses += 1
+    try:
+        plan = compile_plan(compiled.func, config, functional)
+    except PlanError:
+        plan = None
+    cache[key] = plan
+    return plan
+
+
+_MISSING = object()

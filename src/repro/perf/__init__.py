@@ -1,5 +1,6 @@
-"""Performance measurement utilities: metrics, rooflines, text reports."""
+"""Performance measurement utilities: metrics, rooflines, counters, reports."""
 
+from repro.perf.counters import COUNTERS, SimCounters, reset_sim_counters, sim_counters
 from repro.perf.metrics import (
     FigureResult,
     MeasurementRow,
@@ -17,4 +18,8 @@ __all__ = [
     "apply_memory_roofline",
     "render_figure",
     "render_table",
+    "COUNTERS",
+    "SimCounters",
+    "sim_counters",
+    "reset_sim_counters",
 ]

@@ -1,0 +1,57 @@
+"""Process-wide simulator throughput counters.
+
+The simulator stack increments these as it works:
+
+* the process-wide kernel compile cache (:mod:`repro.gpusim.device`) counts
+  hits and misses -- every experiment builds a fresh ``perf_device()``, so
+  cross-device reuse is what makes full figure sweeps cheap;
+* the execution-plan cache (:mod:`repro.gpusim.plan`) counts plan builds and
+  reuses;
+* the device counts CTAs simulated through each execution path and the
+  discrete events the engine processed.
+
+``snapshot()`` gives a plain dict for reports / JSON; ``reset()`` zeroes the
+counters (used by benchmarks to scope a measurement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class SimCounters:
+    """Mutable counter block shared by the whole process."""
+
+    #: process-wide kernel compile cache (repro.gpusim.device)
+    compile_cache_hits: int = 0
+    compile_cache_misses: int = 0
+    #: execution-plan cache (repro.gpusim.plan), per (kernel, mode, config)
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    #: CTAs simulated via compiled plans vs. the IR interpreter
+    plan_ctas: int = 0
+    interpreter_ctas: int = 0
+    #: discrete events processed by the engine across all launches
+    engine_events: int = 0
+
+    def snapshot(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+
+#: The process-wide counter block.
+COUNTERS = SimCounters()
+
+
+def sim_counters() -> dict:
+    """A snapshot of the process-wide simulator counters."""
+    return COUNTERS.snapshot()
+
+
+def reset_sim_counters() -> None:
+    """Zero the process-wide simulator counters."""
+    COUNTERS.reset()
