@@ -8,20 +8,44 @@ Every experiment module follows the same pattern:
   models from :mod:`repro.baselines`.
 * A reduced parameter set (the default) runs in seconds for tests and
   continuous benchmarking; ``full=True`` sweeps the paper's full ranges.
+
+Simulated measurements are submitted as *batched sweeps*: each figure driver
+collects every (workload, problem, options) point it needs into a list of
+:class:`SweepPoint` and hands the whole sweep to :func:`measure_sweep`, which
+turns it into one :meth:`Device.run_many` submission -- compilation is
+deduplicated and front-loaded across the sweep, and (on functional devices
+with ``workers > 1``) execution is sharded across worker processes and
+overlapped with compilation of the following launches.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
 
 from repro.baselines import analytic
 from repro.core.options import CompileOptions, NAIVE_OPTIONS, TRITON_BASELINE_OPTIONS
 from repro.gpusim.config import DEFAULT_CONFIG, H100Config
-from repro.gpusim.device import Device
-from repro.kernels.attention import AttentionProblem, run_attention
-from repro.kernels.batched_gemm import BatchedGemmProblem, run_batched_gemm
-from repro.kernels.gemm import GemmProblem, run_gemm
-from repro.kernels.grouped_gemm import GroupedGemmProblem, run_grouped_gemm
+from repro.gpusim.device import Device, LaunchSpec
+from repro.kernels.attention import (
+    AttentionProblem,
+    attention_kernel,
+    make_attention_inputs,
+    run_attention,
+)
+from repro.kernels.batched_gemm import (
+    BatchedGemmProblem,
+    batched_matmul_kernel,
+    make_batched_inputs,
+    run_batched_gemm,
+)
+from repro.kernels.gemm import GemmProblem, make_gemm_inputs, matmul_kernel, run_gemm
+from repro.kernels.grouped_gemm import (
+    GroupedGemmProblem,
+    grouped_matmul_kernel,
+    make_grouped_inputs,
+    run_grouped_gemm,
+)
 from repro.perf.metrics import apply_memory_roofline, tflops
 
 TAWA = "Tawa"
@@ -111,3 +135,108 @@ def measure_attention(device: Device, problem: AttentionProblem,
     seconds = apply_memory_roofline(result.seconds,
                                     analytic.attention_bytes(problem), device.config)
     return tflops(problem.flops, seconds)
+
+
+# ---------------------------------------------------------------------------
+# Batched sweeps: many simulated measurements in one run_many submission
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepPoint:
+    """One simulated measurement of a sweep.
+
+    ``options=None`` marks a point as infeasible (e.g. the P > D cells of
+    Fig. 11); it is not launched and scores 0.0 TFLOP/s.
+    """
+
+    kind: str  # "gemm" | "batched_gemm" | "grouped_gemm" | "attention"
+    problem: Any
+    options: Optional[CompileOptions]
+
+
+def _gemm_spec(device: Device, problem: GemmProblem,
+               options: CompileOptions) -> LaunchSpec:
+    args, _, _ = make_gemm_inputs(problem, device)
+    return LaunchSpec(matmul_kernel, problem.grid, args, problem.constexprs(),
+                      options, problem.flops)
+
+
+def _batched_gemm_spec(device: Device, problem: BatchedGemmProblem,
+                       options: CompileOptions) -> LaunchSpec:
+    args, _ = make_batched_inputs(problem, device)
+    return LaunchSpec(batched_matmul_kernel, problem.grid, args,
+                      problem.constexprs(), options, problem.flops)
+
+
+def _grouped_gemm_spec(device: Device, problem: GroupedGemmProblem,
+                       options: CompileOptions) -> LaunchSpec:
+    args, _ = make_grouped_inputs(problem, device)
+    return LaunchSpec(grouped_matmul_kernel, problem.grid, args,
+                      problem.constexprs(), options, problem.flops)
+
+
+def _attention_spec(device: Device, problem: AttentionProblem,
+                    options: CompileOptions) -> LaunchSpec:
+    args, _ = make_attention_inputs(problem, device)
+    return LaunchSpec(attention_kernel, problem.grid, args, problem.constexprs(),
+                      options, problem.flops)
+
+
+_SPEC_BUILDERS = {
+    "gemm": _gemm_spec,
+    "batched_gemm": _batched_gemm_spec,
+    "grouped_gemm": _grouped_gemm_spec,
+    "attention": _attention_spec,
+}
+
+_SWEEP_BYTES = {
+    "gemm": lambda p: p.bytes_moved,
+    "batched_gemm": analytic.batched_gemm_bytes,
+    "grouped_gemm": analytic.grouped_gemm_bytes,
+    "attention": analytic.attention_bytes,
+}
+
+
+def measure_sweep(device: Device, points: Sequence[SweepPoint]) -> List[float]:
+    """Simulate a whole sweep in one batched submission.
+
+    Returns one TFLOP/s value per point, in order (0.0 for infeasible
+    points).  Equivalent to calling the per-point ``measure_*`` helpers one
+    at a time, but all launches go through :meth:`Device.run_many`.
+
+    Kernel compilation is front-loaded here (deduplicated by the process-wide
+    compile cache); a point whose configuration fails to compile scores 0.0,
+    like the zero cells of the paper's Fig. 11 heatmap.
+
+    Every point's launch arguments are materialized before the batch runs.
+    That is free on performance-mode devices (buffers are data-free shapes,
+    which is what every figure driver uses); for *functional* sweeps over
+    large problems, prefer submitting in chunks so the whole sweep's payload
+    buffers need not be resident at once.
+    """
+    from repro.core.options import CompileError
+
+    specs: List[LaunchSpec] = []
+    launched: List[int] = []
+    for i, point in enumerate(points):
+        if point.options is None:
+            continue
+        spec = _SPEC_BUILDERS[point.kind](device, point.problem, point.options)
+        try:
+            spec.kernel = device.compile(spec.kernel, spec.args, spec.constexprs,
+                                         spec.options)
+        except CompileError:
+            continue
+        specs.append(spec)
+        launched.append(i)
+    results = device.run_many(specs)
+
+    values = [0.0] * len(points)
+    for i, result in zip(launched, results):
+        point = points[i]
+        seconds = apply_memory_roofline(result.seconds,
+                                        _SWEEP_BYTES[point.kind](point.problem),
+                                        device.config)
+        values[i] = tflops(point.problem.flops, seconds)
+    return values

@@ -36,6 +36,16 @@ def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResul
     panels = ([("f16", False), ("f16", True), ("f8e4m3", False), ("f8e4m3", True)]
               if full else [("f16", False)])
 
+    # All four panels' simulated series form one batched sweep.
+    points = []
+    for dtype, causal in panels:
+        for seq_len in seq_lens:
+            problem = attention_problem(seq_len, dtype, causal)
+            points.append(common.SweepPoint("attention", problem,
+                                            common.tawa_attention_options()))
+            points.append(common.SweepPoint("attention", problem, common.triton_options()))
+    simulated = iter(common.measure_sweep(device, points))
+
     results = []
     for dtype, causal in panels:
         fig = FigureResult(
@@ -50,10 +60,8 @@ def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResul
             fig.add("FA3 (CUTLASS)", seq_len,
                     analytic.FA3_ATTENTION.tflops(problem.flops, bytes_moved, dtype,
                                                   device.config))
-            fig.add(common.TAWA, seq_len,
-                    common.measure_attention(device, problem, common.tawa_attention_options()))
-            fig.add(common.TRITON, seq_len,
-                    common.measure_attention(device, problem, common.triton_options()))
+            fig.add(common.TAWA, seq_len, next(simulated))
+            fig.add(common.TRITON, seq_len, next(simulated))
             fig.add("TileLang", seq_len,
                     analytic.TILELANG_ATTENTION.tflops(problem.flops, bytes_moved, dtype,
                                                        device.config))

@@ -27,20 +27,30 @@ def gemm_problem(full: bool) -> GemmProblem:
                        dtype="f16", block_m=128, block_n=256, block_k=64)
 
 
-def measure_cell(device: Device, problem: GemmProblem, aref_depth: int,
-                 mma_depth: int, persistent: bool) -> float:
-    """One heatmap cell; infeasible configurations score 0."""
+def cell_point(problem: GemmProblem, aref_depth: int, mma_depth: int,
+               persistent: bool) -> common.SweepPoint:
+    """One heatmap cell; infeasible configurations become a null point (0.0)."""
     try:
         options = common.tawa_gemm_options(aref_depth=aref_depth, mma_depth=mma_depth,
                                            persistent=persistent)
-        return common.measure_gemm(device, problem, options)
     except CompileError:
-        return 0.0
+        options = None
+    return common.SweepPoint("gemm", problem, options)
 
 
 def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResult]:
     device = device or common.perf_device()
     problem = gemm_problem(full)
+
+    # The full 2 x 3 x 3 heatmap is one batched sweep; infeasible (P > D)
+    # cells ride along as null points and score 0 without launching.
+    points = [
+        cell_point(problem, d, p, persistent)
+        for persistent in (False, True)
+        for d in DEPTHS
+        for p in MMA_DEPTHS
+    ]
+    simulated = iter(common.measure_sweep(device, points))
 
     results = []
     for persistent in (False, True):
@@ -52,7 +62,7 @@ def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResul
         )
         for d in DEPTHS:
             for p in MMA_DEPTHS:
-                fig.add(f"D={d}", p, measure_cell(device, problem, d, p, persistent))
+                fig.add(f"D={d}", p, next(simulated))
         fig.notes.append("cells with P > D are infeasible and reported as 0")
         results.append(fig)
     return results

@@ -82,24 +82,39 @@ def mha_steps() -> List[AblationStep]:
 def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResult]:
     device = device or common.perf_device()
 
+    # Both ablation ladders (GEMM + MHA, mixed workload kinds) are submitted
+    # as one batched sweep.
+    gemm_ladder = [
+        (step, GemmProblem(M=8192, N=8192, K=FULL_K if full else REDUCED_K,
+                           block_m=step.block_m, block_n=step.block_n, block_k=64))
+        for step in gemm_steps()
+    ]
+    mha_ladder = [
+        (step, AttentionProblem(batch=4, heads=32,
+                                seq_len=FULL_L if full else REDUCED_L,
+                                head_dim=128, causal=False,
+                                block_m=step.block_m, block_n=step.block_n))
+        for step in mha_steps()
+    ]
+    points = (
+        [common.SweepPoint("gemm", problem, step.options)
+         for step, problem in gemm_ladder]
+        + [common.SweepPoint("attention", problem, step.options)
+           for step, problem in mha_ladder]
+    )
+    simulated = iter(common.measure_sweep(device, points))
+
     gemm_fig = FigureResult(name="fig12-gemm",
                             title=f"GEMM ablation (K={FULL_K if full else REDUCED_K}), TFLOP/s",
                             x_label="step")
-    for i, step in enumerate(gemm_steps()):
-        problem = GemmProblem(M=8192, N=8192, K=FULL_K if full else REDUCED_K,
-                              block_m=step.block_m, block_n=step.block_n, block_k=64)
-        value = common.measure_gemm(device, problem, step.options)
-        gemm_fig.add(step.label, i, value, step=step.label)
+    for i, (step, _) in enumerate(gemm_ladder):
+        gemm_fig.add(step.label, i, next(simulated), step=step.label)
 
     mha_fig = FigureResult(name="fig12-mha",
                            title=f"MHA ablation (L={FULL_L if full else REDUCED_L}), TFLOP/s",
                            x_label="step")
-    for i, step in enumerate(mha_steps()):
-        problem = AttentionProblem(batch=4, heads=32, seq_len=FULL_L if full else REDUCED_L,
-                                   head_dim=128, causal=False,
-                                   block_m=step.block_m, block_n=step.block_n)
-        value = common.measure_attention(device, problem, step.options)
-        mha_fig.add(step.label, i, value, step=step.label)
+    for i, (step, _) in enumerate(mha_ladder):
+        mha_fig.add(step.label, i, next(simulated), step=step.label)
 
     return [gemm_fig, mha_fig]
 

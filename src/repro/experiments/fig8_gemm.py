@@ -31,6 +31,16 @@ def run(full: bool = False, device: Optional[Device] = None,
     ks = FULL_K_SWEEP if full else REDUCED_K_SWEEP
     dtypes = dtypes or (DTYPES if full else ["f16"])
 
+    # The whole figure (every precision, every K, both simulated series) is
+    # submitted as one batched sweep.
+    points = []
+    for dtype in dtypes:
+        for k in ks:
+            problem = gemm_problem(k, dtype)
+            points.append(common.SweepPoint("gemm", problem, common.tawa_gemm_options()))
+            points.append(common.SweepPoint("gemm", problem, common.triton_options()))
+    simulated = iter(common.measure_sweep(device, points))
+
     results = []
     for dtype in dtypes:
         fig = FigureResult(
@@ -45,10 +55,8 @@ def run(full: bool = False, device: Optional[Device] = None,
             fig.add("cuBLAS", k,
                     analytic.CUBLAS_GEMM.tflops(problem.flops, problem.bytes_moved, dtype,
                                                 device.config))
-            fig.add(common.TAWA, k, common.measure_gemm(device, problem,
-                                                        common.tawa_gemm_options()))
-            fig.add(common.TRITON, k, common.measure_gemm(device, problem,
-                                                          common.triton_options()))
+            fig.add(common.TAWA, k, next(simulated))
+            fig.add(common.TRITON, k, next(simulated))
             fig.add("TileLang", k,
                     analytic.TILELANG_GEMM.tflops(problem.flops, problem.bytes_moved, dtype,
                                                   device.config))

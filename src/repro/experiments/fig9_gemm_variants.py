@@ -38,6 +38,18 @@ def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResul
     sizes = FULL_SIZES if full else REDUCED_SIZES
     groups = FULL_GROUPS if full else REDUCED_GROUPS
 
+    # Both panels' simulated series go out as one batched sweep.
+    points = []
+    for size in sizes:
+        problem = batched_problem(size)
+        points.append(common.SweepPoint("batched_gemm", problem, common.tawa_gemm_options()))
+        points.append(common.SweepPoint("batched_gemm", problem, common.triton_options()))
+    for g in groups:
+        problem = grouped_problem(g)
+        points.append(common.SweepPoint("grouped_gemm", problem, common.tawa_gemm_options()))
+        points.append(common.SweepPoint("grouped_gemm", problem, common.triton_options()))
+    simulated = iter(common.measure_sweep(device, points))
+
     batched = FigureResult(
         name="fig9-batched",
         title="FP16 batched GEMM throughput (TFLOP/s), batch=8",
@@ -46,10 +58,8 @@ def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResul
     for size in sizes:
         problem = batched_problem(size)
         bytes_moved = analytic.batched_gemm_bytes(problem)
-        batched.add(common.TAWA, size,
-                    common.measure_batched_gemm(device, problem, common.tawa_gemm_options()))
-        batched.add(common.TRITON, size,
-                    common.measure_batched_gemm(device, problem, common.triton_options()))
+        batched.add(common.TAWA, size, next(simulated))
+        batched.add(common.TRITON, size, next(simulated))
         batched.add("TileLang", size,
                     analytic.TILELANG_BATCHED.tflops(problem.flops, bytes_moved, "f16",
                                                      device.config))
@@ -62,10 +72,8 @@ def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResul
     for g in groups:
         problem = grouped_problem(g)
         bytes_moved = analytic.grouped_gemm_bytes(problem)
-        grouped.add(common.TAWA, g,
-                    common.measure_grouped_gemm(device, problem, common.tawa_gemm_options()))
-        grouped.add(common.TRITON, g,
-                    common.measure_grouped_gemm(device, problem, common.triton_options()))
+        grouped.add(common.TAWA, g, next(simulated))
+        grouped.add(common.TRITON, g, next(simulated))
         # TileLang handles small group counts well but degrades as the group
         # count (and shape diversity) grows -- modelled as a mild penalty per
         # extra group on top of its grouped-GEMM roofline.

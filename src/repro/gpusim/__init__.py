@@ -11,7 +11,14 @@ Public surface:
 """
 
 from repro.gpusim.config import DEFAULT_CONFIG, H100Config
-from repro.gpusim.device import Device, LaunchResult, clear_compile_cache
+from repro.gpusim.device import (
+    Device,
+    LaunchBatch,
+    LaunchResult,
+    LaunchSpec,
+    clear_compile_cache,
+)
+from repro.gpusim.parallel import resolve_workers
 from repro.gpusim.engine import (
     ArefProtocolError,
     DeadlockError,
@@ -26,7 +33,10 @@ __all__ = [
     "H100Config",
     "DEFAULT_CONFIG",
     "Device",
+    "LaunchBatch",
     "LaunchResult",
+    "LaunchSpec",
+    "resolve_workers",
     "Engine",
     "MBarrier",
     "DeadlockError",

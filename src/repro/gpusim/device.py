@@ -18,6 +18,13 @@ Two execution modes exist:
   simulated in detail; the total runtime is extrapolated from the per-CTA
   steady state with wave quantization and launch overheads.  Used by the
   benchmark harnesses on paper-scale problem sizes.
+
+Functional grids can additionally be *sharded* across worker processes
+(``Device(workers=N)`` or ``REPRO_SIM_WORKERS=N``, see
+:mod:`repro.gpusim.parallel`); the merged result is bit-identical to serial
+execution.  Whole sweeps of launches are submitted at once through
+:meth:`Device.run_many` / :class:`LaunchBatch`, which front-loads and
+deduplicates compilation and overlaps it with sharded execution.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.gpusim import parallel
 from repro.gpusim.config import DEFAULT_CONFIG, H100Config
 from repro.gpusim.engine import Engine, Agent, SMResources, SimulationError
 from repro.gpusim.interpreter import CtaContext, LaunchContext, build_cta_agents
@@ -83,12 +91,82 @@ class LaunchResult:
         return ", ".join(parts)
 
 
+@dataclass
+class LaunchSpec:
+    """One launch of a batched submission (:meth:`Device.run_many`).
+
+    ``kernel`` may be a frontend kernel (compiled on demand, deduplicated by
+    the process-wide compile cache) or an already-compiled kernel.
+    """
+
+    kernel: Any
+    grid: Union[int, Sequence[int]]
+    args: Mapping[str, Any]
+    constexprs: Optional[Mapping[str, Any]] = None
+    options: Any = None
+    flops: Optional[float] = None
+
+
+@dataclass
+class _PreparedLaunch:
+    """Everything a launch needs to execute, resolved before any CTA runs.
+
+    Building this is the per-launch "compile" phase (kernel compilation, plan
+    lookup, argument binding); executing the CTA list is the "execute" phase.
+    The split is what lets :meth:`Device.run_many` overlap the two across
+    launches and what gives forked workers a complete, self-contained state.
+    """
+
+    spec: LaunchSpec
+    compiled: Any
+    launched_grid: Tuple[int, int, int]
+    launched_ctas: int
+    active_sms: int
+    persistent: bool
+    extrapolated: bool
+    cta_ids: List[int]
+    arg_values: List[Any]
+    launch_ctx: LaunchContext
+    bandwidth_scale: float
+    plan: Any
+    trace: Optional[List]
+
+
+class LaunchBatch:
+    """An order-preserving queue of launches executed by :meth:`Device.run_many`.
+
+    >>> batch = device.batch()
+    >>> batch.add(matmul_kernel, grid, args, constexprs=cexprs, options=opts)
+    >>> results = batch.run()          # one LaunchResult per add(), in order
+    """
+
+    def __init__(self, device: "Device"):
+        self.device = device
+        self.specs: List[LaunchSpec] = []
+        self.results: Optional[List[LaunchResult]] = None
+
+    def add(self, kernel, grid, args: Mapping[str, Any],
+            constexprs: Optional[Mapping[str, Any]] = None, options=None,
+            flops: Optional[float] = None) -> int:
+        """Queue one launch; returns its index into :attr:`results`."""
+        self.specs.append(LaunchSpec(kernel, grid, args, constexprs, options, flops))
+        return len(self.specs) - 1
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def run(self) -> List[LaunchResult]:
+        """Execute every queued launch and return their results in order."""
+        self.results = self.device.run_many(self.specs)
+        return self.results
+
+
 class Device:
     """A simulated H100 GPU."""
 
     def __init__(self, config: H100Config = DEFAULT_CONFIG, mode: str = "functional",
                  max_ctas_per_sm_simulated: int = 8, collect_trace: bool = False,
-                 use_plans: Optional[bool] = None):
+                 use_plans: Optional[bool] = None, workers: Optional[int] = None):
         if mode not in ("functional", "performance"):
             raise ValueError(f"unknown device mode {mode!r}")
         self.config = config
@@ -99,6 +177,10 @@ class Device:
         # (repro.gpusim.plan).  The IR interpreter remains available as the
         # differential-testing oracle via use_plans=False or REPRO_SIM_PLANS=0.
         self.use_plans = _env_use_plans() if use_plans is None else bool(use_plans)
+        # workers: shard functional grids across N forked processes
+        # (repro.gpusim.parallel).  None consults REPRO_SIM_WORKERS; 0 or
+        # "auto" selects the CPU count.  Results are bit-identical to serial.
+        self.workers = parallel.resolve_workers(workers)
 
     # ------------------------------------------------------------------ data API
 
@@ -203,7 +285,72 @@ class Device:
 
     def launch(self, compiled, grid, args: Mapping[str, Any],
                flops: Optional[float] = None) -> LaunchResult:
-        grid3 = _normalize_grid(grid)
+        prepared = self._prepare(LaunchSpec(compiled, grid, args, flops=flops))
+        workers = self._effective_workers(prepared)
+        if workers > 1:
+            self._share_launch_buffers(prepared)
+            rows = parallel.run_sharded(self._cta_runner(prepared),
+                                        prepared.cta_ids, workers)
+        else:
+            rows = self._execute_serial(prepared)
+        return self._finalize(prepared, rows)
+
+    def batch(self) -> LaunchBatch:
+        """A new, empty launch queue bound to this device."""
+        return LaunchBatch(self)
+
+    def run_many(self, specs: Sequence[LaunchSpec]) -> List[LaunchResult]:
+        """Execute a whole batch of launches; one result per spec, in order.
+
+        Compilation (kernel + execution plan, deduplicated by the process-wide
+        caches) is pipelined against sharded execution: while launch *i*'s
+        worker processes simulate its CTAs, the parent prepares -- compiles --
+        launch *i+1*, then collects *i* before forking *i+1*'s workers.  With
+        ``workers == 1`` this degenerates to sequential prepare/execute, still
+        with fully deduplicated compilation.
+        """
+        results: List[Optional[LaunchResult]] = [None] * len(specs)
+        pending: Optional[Tuple[int, _PreparedLaunch, parallel.ParallelLaunch]] = None
+        try:
+            for i, spec in enumerate(specs):
+                prepared = self._prepare(spec)
+                workers = self._effective_workers(prepared)
+                # Any launch may consume a previous launch's output buffer, so
+                # the in-flight sharded launch must complete before another
+                # launch executes; only the *prepare* phase (compilation, plan
+                # building, argument binding -- none of which read buffer
+                # payloads) overlaps it.
+                if pending is not None:
+                    j, prev, launched = pending
+                    pending = None
+                    results[j] = self._finalize(prev, launched.wait())
+                if workers > 1:
+                    self._share_launch_buffers(prepared)
+                    pending = (i, prepared,
+                               parallel.ParallelLaunch(self._cta_runner(prepared),
+                                                       prepared.cta_ids, workers))
+                else:
+                    results[i] = self._finalize(prepared, self._execute_serial(prepared))
+            if pending is not None:
+                j, prev, launched = pending
+                pending = None
+                results[j] = self._finalize(prev, launched.wait())
+        except BaseException:
+            # Don't leak forked workers when a later spec fails to prepare.
+            if pending is not None:
+                pending[2].abort()
+            raise
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ internals
+
+    def _prepare(self, spec: LaunchSpec) -> _PreparedLaunch:
+        """Resolve everything a launch needs before any CTA executes."""
+        compiled = spec.kernel
+        if not hasattr(compiled, "module"):
+            compiled = self.compile(spec.kernel, spec.args, spec.constexprs,
+                                    spec.options)
+        grid3 = _normalize_grid(spec.grid)
         total_tiles = grid3[0] * grid3[1] * grid3[2]
         persistent = bool(getattr(compiled.options, "persistent", False))
 
@@ -214,14 +361,14 @@ class Device:
             launched_ctas = total_tiles
             launched_grid = grid3
 
-        arg_values = self._bind_args(compiled, args)
+        arg_values = self._bind_args(compiled, spec.args)
         launch_ctx = LaunchContext(
             config=self.config,
             functional=self.functional,
             grid=grid3,
             launched_grid=launched_grid,
             num_tiles=total_tiles,
-            arg_values=dict(args),
+            arg_values=dict(spec.args),
         )
 
         active_sms = min(self.config.num_sms, launched_ctas)
@@ -242,31 +389,98 @@ class Device:
             # per-CTA work depends on the program id (causal attention: low
             # query blocks do far less work) are averaged fairly.
             gx, gy, gz = launched_grid
-            cta_ids = set()
+            sample = set()
             for i in range(n_sim):
                 p0 = int((i + 0.5) * gx / n_sim) % gx
                 p1 = int((i + 0.5) * gy / n_sim) % gy
                 p2 = int((i + 0.5) * gz / n_sim) % gz
-                cta_ids.add(min(launched_ctas - 1, p0 + gx * (p1 + gy * p2)))
-            cta_ids = sorted(cta_ids)
+                sample.add(min(launched_ctas - 1, p0 + gx * (p1 + gy * p2)))
+            cta_ids = sorted(sample)
             extrapolated = per_sm > len(cta_ids)
 
-        per_cta_cycles: List[float] = []
+        plan = None
+        if self.use_plans:
+            from repro.gpusim.plan import get_plan
+
+            # Resolved once per launch (not per CTA) so that the plan is built
+            # in the parent process before any workers fork and inherit it.
+            plan = get_plan(compiled, self.config, self.functional)
+
+        return _PreparedLaunch(
+            spec=spec,
+            compiled=compiled,
+            launched_grid=launched_grid,
+            launched_ctas=launched_ctas,
+            active_sms=active_sms,
+            persistent=persistent,
+            extrapolated=extrapolated,
+            cta_ids=cta_ids,
+            arg_values=arg_values,
+            launch_ctx=launch_ctx,
+            bandwidth_scale=bandwidth_scale,
+            plan=plan,
+            trace=[] if self.collect_trace else None,
+        )
+
+    def _effective_workers(self, prepared: _PreparedLaunch) -> int:
+        """How many worker processes this launch shards across (1 = serial).
+
+        Sharding engages only for functional grids (the perf-mode sample is a
+        handful of CTAs), never when a trace is collected (the trace must
+        interleave globally), and never with fewer than two CTAs per shardable
+        launch.
+        """
+        if not self.functional or self.collect_trace:
+            return 1
+        if not parallel.fork_available():
+            return 1
+        return max(1, min(self.workers, len(prepared.cta_ids)))
+
+    def _share_launch_buffers(self, prepared: _PreparedLaunch) -> None:
+        """Re-back every functional buffer of a launch with shared memory.
+
+        Must run before the launch's workers fork: tile stores and scatters
+        they execute land in these mappings, which is how functional outputs
+        come back to the parent.  Idempotent, and also applied to read-only
+        inputs (distinguishing them from outputs is not worth the copy it
+        would save).
+        """
+        for value in prepared.arg_values:
+            if isinstance(value, (Pointer, TensorDesc)):
+                value.buffer.make_shared()
+            elif isinstance(value, GlobalBuffer):
+                value.make_shared()
+
+    def _cta_runner(self, prepared: _PreparedLaunch):
+        """A picklable-free closure simulating one CTA of a prepared launch."""
+
+        def run_cta(linear: int) -> Tuple[float, float, int]:
+            return self._run_one_cta(prepared, linear)
+
+        return run_cta
+
+    def _execute_serial(self, prepared: _PreparedLaunch) -> List[Tuple[float, float, int]]:
+        return [self._run_one_cta(prepared, linear) for linear in prepared.cta_ids]
+
+    def _finalize(self, prepared: _PreparedLaunch,
+                  rows: Sequence[Tuple[float, float, int]]) -> LaunchResult:
+        """Merge per-CTA rows (in launch order) into a LaunchResult.
+
+        The merge is deterministic: rows arrive ordered by ``cta_ids``
+        regardless of which process simulated each CTA, and the reductions
+        below are computed in that order, so the result is bit-identical to
+        serial execution.
+        """
+        per_cta_cycles = [row[0] for row in rows]
         tc_busy = 0.0
         bytes_copied = 0
-        trace: Optional[List] = [] if self.collect_trace else None
-
-        for linear in cta_ids:
-            cycles, busy, copied = self._run_one_cta(
-                compiled, launch_ctx, linear, launched_grid, arg_values,
-                bandwidth_scale, trace
-            )
-            per_cta_cycles.append(cycles)
+        for _, busy, copied in rows:
             tc_busy += busy
             bytes_copied += copied
 
-        total_cycles = self._total_time(per_cta_cycles, launched_ctas, active_sms,
-                                        persistent, self.functional)
+        total_cycles = self._total_time(per_cta_cycles, prepared.launched_ctas,
+                                        prepared.active_sms, prepared.persistent,
+                                        self.functional)
         seconds = self.config.cycles_to_seconds(total_cycles)
 
         sm_cycles = sum(per_cta_cycles) or 1.0
@@ -275,18 +489,16 @@ class Device:
         return LaunchResult(
             cycles=total_cycles,
             seconds=seconds,
-            total_ctas=launched_ctas,
+            total_ctas=prepared.launched_ctas,
             simulated_ctas=len(per_cta_cycles),
             per_cta_cycles=per_cta_cycles,
             tensor_core_busy_cycles=tc_busy,
             tensor_core_utilization=utilization,
             bytes_copied=bytes_copied,
-            flops=flops,
-            extrapolated=extrapolated if not self.functional else False,
-            trace=trace,
+            flops=prepared.spec.flops,
+            extrapolated=prepared.extrapolated if not self.functional else False,
+            trace=prepared.trace,
         )
-
-    # ------------------------------------------------------------------ internals
 
     def _bind_args(self, compiled, args: Mapping[str, Any]) -> List[Any]:
         values = []
@@ -304,22 +516,19 @@ class Device:
             values.append(value)
         return values
 
-    def _run_one_cta(self, compiled, launch_ctx: LaunchContext, linear: int,
-                     launched_grid, arg_values, bandwidth_scale, trace) -> Tuple[float, float, int]:
-        engine = Engine(self.config, trace=trace)
-        sm = SMResources(self.config, bandwidth_scale)
-        pid = _linear_to_pid(linear, launched_grid)
-        cta = CtaContext(launch=launch_ctx, linear_id=linear, pid=pid, engine=engine, sm=sm)
-        plan = None
-        if self.use_plans:
-            from repro.gpusim.plan import get_plan
-
-            plan = get_plan(compiled, self.config, self.functional)
-        if plan is not None:
-            agents, prologue = plan.instantiate(cta, arg_values)
+    def _run_one_cta(self, prepared: _PreparedLaunch,
+                     linear: int) -> Tuple[float, float, int]:
+        engine = Engine(self.config, trace=prepared.trace)
+        sm = SMResources(self.config, prepared.bandwidth_scale)
+        pid = _linear_to_pid(linear, prepared.launched_grid)
+        cta = CtaContext(launch=prepared.launch_ctx, linear_id=linear, pid=pid,
+                         engine=engine, sm=sm)
+        if prepared.plan is not None:
+            agents, prologue = prepared.plan.instantiate(cta, prepared.arg_values)
             COUNTERS.plan_ctas += 1
         else:
-            agents, prologue = build_cta_agents(compiled.func, cta, arg_values)
+            agents, prologue = build_cta_agents(prepared.compiled.func, cta,
+                                                prepared.arg_values)
             COUNTERS.interpreter_ctas += 1
         for spec in agents:
             engine.add_agent(Agent(spec.name, spec.generator, sm), start_time=prologue)

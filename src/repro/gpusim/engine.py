@@ -390,10 +390,12 @@ class Agent:
         "resume",
     )
 
-    _ids = itertools.count()
-
     def __init__(self, name: str, generator: Iterator[Effect], sm: SMResources):
-        self.id = next(Agent._ids)
+        # Assigned by Engine.add_agent.  Ids are engine-local (not a process
+        # -wide counter) so an agent's id is identical no matter which worker
+        # process simulates its CTA -- part of the sharded-execution
+        # determinism guarantee, and one less piece of global mutable state.
+        self.id = -1
         self.name = name
         self.generator = generator
         self.sm = sm
@@ -425,6 +427,7 @@ class Engine:
         self.now = 0.0
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
+        self._agent_ids = itertools.count()
         self.agents: List[Agent] = []
         self.trace = trace
         self.max_events = max_events
@@ -436,6 +439,7 @@ class Engine:
         heapq.heappush(self._queue, (time, next(self._seq), fn))
 
     def add_agent(self, agent: Agent, start_time: float = 0.0) -> None:
+        agent.id = next(self._agent_ids)
         self.agents.append(agent)
         agent.resume = lambda: self._run_agent(agent)
         self.schedule(start_time, agent.resume)

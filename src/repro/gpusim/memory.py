@@ -16,12 +16,33 @@ These are the values that flow through the IR interpreter:
 
 from __future__ import annotations
 
+import mmap
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.ir.types import ScalarType, scalar_type
+
+
+def shared_ndarray(shape: Sequence[int], dtype) -> np.ndarray:
+    """Allocate a NumPy array backed by an anonymous *shared* mapping.
+
+    ``mmap.mmap(-1, ...)`` creates a ``MAP_SHARED | MAP_ANONYMOUS`` region on
+    POSIX systems, so writes performed by worker processes forked *after* the
+    allocation are visible to the parent (and vice versa).  This is what lets
+    the sharded executor (:mod:`repro.gpusim.parallel`) scatter CTA outputs
+    straight into the launch's buffers without any result shipping.
+
+    The mapping is kept alive by the returned array (``base`` chain), so no
+    extra reference management is needed.
+    """
+    dtype = np.dtype(dtype)
+    shape = tuple(int(s) for s in shape)
+    size = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    backing = mmap.mmap(-1, max(1, size))
+    return np.frombuffer(backing, dtype=dtype,
+                         count=int(np.prod(shape, dtype=np.int64))).reshape(shape)
 
 
 def _as_scalar_type(dtype: Union[str, ScalarType]) -> ScalarType:
@@ -69,6 +90,7 @@ class GlobalBuffer:
             if tuple(data.shape) != self.shape:
                 data = data.reshape(self.shape)
         self.data = data
+        self._shared = False
 
     # -- constructors -------------------------------------------------------------
 
@@ -88,6 +110,27 @@ class GlobalBuffer:
     @property
     def is_functional(self) -> bool:
         return self.data is not None
+
+    @property
+    def is_shared(self) -> bool:
+        """Whether ``data`` lives in fork-shared memory (see :meth:`make_shared`)."""
+        return self._shared
+
+    def make_shared(self) -> "GlobalBuffer":
+        """Re-back ``data`` with an anonymous shared mapping (idempotent).
+
+        Called by the device before forking worker processes so that tile
+        stores and scatters executed by sharded CTAs land in memory the parent
+        can see.  A no-op for performance-mode (data-free) buffers and for
+        buffers that are already shared.
+        """
+        if self.data is None or self._shared:
+            return self
+        shared = shared_ndarray(self.data.shape, self.data.dtype)
+        shared[...] = self.data
+        self.data = shared
+        self._shared = True
+        return self
 
     @property
     def num_elements(self) -> int:

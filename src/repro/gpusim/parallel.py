@@ -1,0 +1,224 @@
+"""Sharded multi-process CTA execution.
+
+All CTAs of a functional launch are independent -- each gets a fresh
+:class:`~repro.gpusim.engine.Engine` and :class:`SMResources`, and distinct
+CTAs write disjoint output tiles -- so grid execution is embarrassingly
+parallel.  This module shards a launch's CTA ids across ``N`` forked worker
+processes and merges the per-CTA results back in launch order, which makes the
+merged :class:`~repro.gpusim.device.LaunchResult` bit-identical to the serial
+path (the per-CTA simulations do not interact, so execution order and
+placement cannot change their cycle counts).
+
+Design notes:
+
+* **State crosses the process boundary by fork inheritance.**  Compiled
+  kernels, execution plans and launch contexts are full of closures and
+  generators that cannot be pickled; instead the device prepares everything
+  (compile, plan build, argument binding, buffer sharing) *before* the workers
+  are forked, so each child starts with the complete launch state already in
+  its address space.  Only the small, picklable pieces cross the boundary at
+  runtime: a :class:`CtaShard` (worker index + CTA ids) on the way in, and
+  per-CTA ``(linear_id, cycles, tc_busy, bytes_copied)`` rows plus a counter
+  snapshot on the way out.
+* **Outputs come back through shared memory.**  The device re-backs every
+  functional buffer reachable from the launch arguments with an anonymous
+  shared mapping (:meth:`repro.gpusim.memory.GlobalBuffer.make_shared`)
+  before forking, so worker tile stores are immediately visible to the
+  parent.
+* **Deterministic merge.**  Shards are formed round-robin (so data-dependent
+  trip counts balance across workers, mirroring the stratified perf-mode
+  sample), but results are re-ordered by the launch's original CTA order and
+  the per-worker counter deltas are summed, which is order-insensitive.
+
+Workers are plain ``fork`` processes with one result pipe each -- no pool
+threads -- so a launch can be left running in the background (see
+:class:`ParallelLaunch`) while the parent prepares, compiles or merges other
+launches.  That is what lets :meth:`Device.run_many` overlap compilation of
+launch *i+1* with execution of launch *i*.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from multiprocessing import connection as mp_connection
+import traceback
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.gpusim.engine import SimulationError
+from repro.perf.counters import COUNTERS
+
+
+def fork_available() -> bool:
+    """Whether this platform supports fork-based worker processes."""
+    return hasattr(os, "fork") and "fork" in mp.get_all_start_methods()
+
+
+def resolve_workers(workers: Optional[int] = None,
+                    env_var: str = "REPRO_SIM_WORKERS") -> int:
+    """The effective worker count for a device.
+
+    Explicit ``workers`` wins; otherwise the ``REPRO_SIM_WORKERS`` environment
+    variable is consulted (``auto`` or ``0`` selects the machine's CPU count).
+    The result is always >= 1; platforms without ``fork`` resolve to 1.
+    """
+    if workers is None:
+        raw = os.environ.get(env_var, "").strip().lower()
+        if raw in ("", "1"):
+            return 1
+        if raw in ("auto", "0"):
+            workers = os.cpu_count() or 1
+        else:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise SimulationError(
+                    f"invalid {env_var}={raw!r}; expected an integer or 'auto'"
+                ) from None
+    else:
+        workers = int(workers)
+        if workers == 0:
+            workers = os.cpu_count() or 1
+    if workers < 0:
+        raise SimulationError(f"invalid worker count {workers}")
+    if workers > 1 and not fork_available():
+        return 1
+    return max(1, workers)
+
+
+@dataclass(frozen=True)
+class CtaShard:
+    """The picklable work descriptor handed to one worker process."""
+
+    index: int
+    cta_ids: Tuple[int, ...]
+
+
+#: One per-CTA result row: (linear_id, cycles, tc_busy_cycles, bytes_copied).
+CtaRow = Tuple[int, float, float, int]
+
+
+def shard_cta_ids(cta_ids: Sequence[int], num_workers: int) -> List[CtaShard]:
+    """Split a launch's CTA ids round-robin into at most ``num_workers`` shards."""
+    shards = [
+        CtaShard(i, tuple(cta_ids[i::num_workers])) for i in range(num_workers)
+    ]
+    return [s for s in shards if s.cta_ids]
+
+
+def _worker_main(conn, run_cta: Callable[[int], Tuple[float, float, int]],
+                 shard: CtaShard) -> None:
+    """Body of one forked worker: simulate a shard, ship rows + counters back.
+
+    The child's ``COUNTERS`` block is a copy-on-write snapshot of the parent's;
+    resetting it first makes the final snapshot exactly this worker's delta,
+    which the parent folds back in with :meth:`SimCounters.merge`.
+    """
+    COUNTERS.reset()
+    try:
+        rows: List[CtaRow] = []
+        for linear in shard.cta_ids:
+            cycles, busy, copied = run_cta(linear)
+            rows.append((linear, cycles, busy, copied))
+        conn.send(("ok", shard.index, rows, COUNTERS.snapshot()))
+    except BaseException as exc:  # noqa: BLE001 - must cross the process boundary
+        conn.send(("error", shard.index,
+                   f"{type(exc).__name__}: {exc}", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+class ParallelLaunch:
+    """One launch's forked workers; ``wait()`` yields the merged per-CTA rows.
+
+    Construction forks the workers immediately (inheriting whatever launch
+    state ``run_cta`` closes over), so the parent is free to do other work --
+    compile the next launch, merge a previous one -- before calling
+    :meth:`wait`.
+    """
+
+    def __init__(self, run_cta: Callable[[int], Tuple[float, float, int]],
+                 cta_ids: Sequence[int], num_workers: int):
+        if not fork_available():  # pragma: no cover - linux containers have fork
+            raise SimulationError("sharded execution requires fork()")
+        ctx = mp.get_context("fork")
+        self._cta_ids = list(cta_ids)
+        self._conns = {}
+        self._procs = {}
+        for shard in shard_cta_ids(self._cta_ids, num_workers):
+            recv, send = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_worker_main, args=(send, run_cta, shard),
+                               daemon=True, name=f"repro-sim-worker-{shard.index}")
+            proc.start()
+            send.close()  # the child holds the write end now
+            self._conns[shard.index] = recv
+            self._procs[shard.index] = proc
+        self.num_workers = len(self._procs)
+        COUNTERS.parallel_launches += 1
+        COUNTERS.parallel_workers_forked += self.num_workers
+
+    # ------------------------------------------------------------------ collection
+
+    def wait(self) -> List[Tuple[float, float, int]]:
+        """Collect every shard and return per-CTA results in launch order."""
+        rows = {}
+        errors = []
+        pending = dict(self._conns)
+        while pending:
+            ready = mp_connection.wait(list(pending.values()), timeout=0.25)
+            dead = []
+            for conn in ready:
+                index = next(i for i, c in pending.items() if c is conn)
+                try:
+                    msg = conn.recv()
+                except EOFError:
+                    dead.append(index)
+                    continue
+                if msg[0] == "ok":
+                    _, _, shard_rows, counters = msg
+                    for linear, cycles, busy, copied in shard_rows:
+                        rows[linear] = (cycles, busy, copied)
+                    COUNTERS.merge(counters)
+                else:
+                    errors.append(f"worker {msg[1]}: {msg[2]}\n{msg[3]}")
+                conn.close()
+                del pending[index]
+            for index in dead:
+                proc = self._procs[index]
+                proc.join()
+                errors.append(
+                    f"worker {index} died without reporting "
+                    f"(exit code {proc.exitcode})"
+                )
+                pending[index].close()
+                del pending[index]
+        for proc in self._procs.values():
+            proc.join()
+        if errors:
+            raise SimulationError(
+                "sharded execution failed:\n" + "\n".join(errors)
+            )
+        return [rows[linear] for linear in self._cta_ids]
+
+    def abort(self) -> None:
+        """Terminate the workers without collecting results.
+
+        Called when the surrounding batch fails before this launch could be
+        waited on; otherwise the forked children would linger (blocked on a
+        full result pipe) for the life of the parent process.
+        """
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs.values():
+            proc.join()
+        for conn in self._conns.values():
+            conn.close()
+
+
+def run_sharded(run_cta: Callable[[int], Tuple[float, float, int]],
+                cta_ids: Sequence[int],
+                num_workers: int) -> List[Tuple[float, float, int]]:
+    """Fork, shard, execute and merge one launch synchronously."""
+    return ParallelLaunch(run_cta, cta_ids, num_workers).wait()

@@ -8,15 +8,22 @@ The simulator stack increments these as it works:
 * the execution-plan cache (:mod:`repro.gpusim.plan`) counts plan builds and
   reuses;
 * the device counts CTAs simulated through each execution path and the
-  discrete events the engine processed.
+  discrete events the engine processed;
+* the sharded executor (:mod:`repro.gpusim.parallel`) counts parallel
+  launches and forked workers, and folds each worker's counter delta back
+  into the parent's block via :meth:`SimCounters.merge` -- so the aggregate
+  view (CTAs simulated, engine events, ...) stays accurate no matter which
+  process did the work.
 
 ``snapshot()`` gives a plain dict for reports / JSON; ``reset()`` zeroes the
-counters (used by benchmarks to scope a measurement).
+counters (used by benchmarks to scope a measurement and by worker processes
+to turn their copy-on-write block into a pure delta).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import Mapping
 
 
 @dataclass
@@ -34,6 +41,9 @@ class SimCounters:
     interpreter_ctas: int = 0
     #: discrete events processed by the engine across all launches
     engine_events: int = 0
+    #: sharded execution (repro.gpusim.parallel)
+    parallel_launches: int = 0
+    parallel_workers_forked: int = 0
 
     def snapshot(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -41,6 +51,18 @@ class SimCounters:
     def reset(self) -> None:
         for f in fields(self):
             setattr(self, f.name, 0)
+
+    def merge(self, delta: Mapping[str, int]) -> None:
+        """Fold a worker process's counter snapshot into this block.
+
+        Addition is commutative, so the aggregate is independent of the order
+        in which worker shards complete -- part of the sharded executor's
+        determinism guarantee.
+        """
+        for f in fields(self):
+            increment = delta.get(f.name)
+            if increment:
+                setattr(self, f.name, getattr(self, f.name) + int(increment))
 
 
 #: The process-wide counter block.

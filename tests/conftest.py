@@ -6,9 +6,24 @@ import pytest
 
 from repro.core.options import CompileOptions, NAIVE_OPTIONS, TRITON_BASELINE_OPTIONS
 from repro.gpusim.config import H100Config
-from repro.gpusim.device import Device
+from repro.gpusim.device import Device, clear_compile_cache
 from repro.kernels.attention import AttentionProblem
 from repro.kernels.gemm import GemmProblem
+from repro.perf.counters import COUNTERS
+
+
+@pytest.fixture(autouse=True)
+def _isolate_process_wide_sim_state():
+    """Reset the process-wide counter block and compile cache per test.
+
+    Both are intentionally process-wide in production (cross-device reuse is
+    what makes figure sweeps cheap), but tests that assert on counter values
+    or cache hit/miss behaviour must not see state leaked by whichever tests
+    happened to run before them.
+    """
+    COUNTERS.reset()
+    clear_compile_cache()
+    yield
 
 
 @pytest.fixture

@@ -1,0 +1,378 @@
+"""Sharded multi-process execution and the batched launch API.
+
+The contract under test: sharding a functional launch across worker
+processes is *observationally invisible* -- outputs, per-CTA cycle counts,
+total cycles and utilization are bit-identical to serial execution -- and the
+batched ``run_many`` / ``LaunchBatch`` API returns exactly what the same
+launches would return one at a time.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.options import CompileOptions
+from repro.frontend.errors import FrontendError
+from repro.gpusim.device import Device, LaunchBatch, LaunchSpec
+from repro.gpusim.engine import SimulationError
+from repro.gpusim.memory import GlobalBuffer, shared_ndarray
+from repro.gpusim.parallel import (
+    CtaShard,
+    ParallelLaunch,
+    fork_available,
+    resolve_workers,
+    run_sharded,
+    shard_cta_ids,
+)
+from repro.kernels.attention import AttentionProblem, run_attention
+from repro.kernels.gemm import GemmProblem, gemm_reference, make_gemm_inputs, \
+    matmul_kernel, run_gemm
+from repro.perf.counters import COUNTERS
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="requires fork()")
+
+WS_OPTIONS = CompileOptions(enable_warp_specialization=True, aref_depth=2,
+                            mma_pipeline_depth=2, num_consumer_groups=2)
+
+
+# ---------------------------------------------------------------------------
+# Sharding primitives
+# ---------------------------------------------------------------------------
+
+
+class TestShardingPrimitives:
+    def test_round_robin_shards_cover_all_ctas(self):
+        shards = shard_cta_ids(list(range(10)), 3)
+        assert [s.index for s in shards] == [0, 1, 2]
+        assert shards[0].cta_ids == (0, 3, 6, 9)
+        assert shards[1].cta_ids == (1, 4, 7)
+        assert shards[2].cta_ids == (2, 5, 8)
+        assert sorted(sum((s.cta_ids for s in shards), ())) == list(range(10))
+
+    def test_more_workers_than_ctas_drops_empty_shards(self):
+        shards = shard_cta_ids([0, 1], 4)
+        assert len(shards) == 2
+        assert all(s.cta_ids for s in shards)
+
+    def test_shard_descriptor_is_picklable(self):
+        import pickle
+
+        shard = CtaShard(1, (3, 4, 5))
+        assert pickle.loads(pickle.dumps(shard)) == shard
+
+    def test_resolve_workers_explicit(self):
+        expected = 3 if fork_available() else 1
+        assert resolve_workers(3) == expected
+        assert resolve_workers(1) == 1
+        with pytest.raises(SimulationError):
+            resolve_workers(-2)
+
+    def test_resolve_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_WORKERS", "2")
+        assert resolve_workers(None) == (2 if fork_available() else 1)
+        monkeypatch.setenv("REPRO_SIM_WORKERS", "")
+        assert resolve_workers(None) == 1
+        monkeypatch.setenv("REPRO_SIM_WORKERS", "auto")
+        assert resolve_workers(None) >= 1
+        monkeypatch.setenv("REPRO_SIM_WORKERS", "lots")
+        with pytest.raises(SimulationError, match="REPRO_SIM_WORKERS"):
+            resolve_workers(None)
+
+    def test_device_workers_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_WORKERS", "2")
+        assert Device().workers == (2 if fork_available() else 1)
+        assert Device(workers=1).workers == 1
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory buffers
+# ---------------------------------------------------------------------------
+
+
+class TestSharedBuffers:
+    def test_make_shared_preserves_contents(self):
+        data = np.arange(12, dtype=np.float32).reshape(3, 4)
+        buf = GlobalBuffer.from_numpy(data, "f32", "x")
+        assert not buf.is_shared
+        buf.make_shared()
+        assert buf.is_shared
+        assert np.array_equal(buf.to_numpy(), data)
+        buf.make_shared()  # idempotent
+        assert buf.is_shared
+
+    def test_make_shared_noop_in_performance_mode(self):
+        buf = GlobalBuffer((4, 4), "f16", None, "sym")
+        buf.make_shared()
+        assert not buf.is_shared
+
+    @needs_fork
+    def test_fork_sees_writes_to_shared_array(self):
+        arr = shared_ndarray((8,), np.float32)
+        arr[:] = 0.0
+
+        def child():
+            arr[3] = 42.0
+
+        proc = mp.get_context("fork").Process(target=child)
+        proc.start()
+        proc.join()
+        assert proc.exitcode == 0
+        assert arr[3] == 42.0
+        # a regular (private) array would NOT propagate the write
+        private = np.zeros(8, dtype=np.float32)
+
+        def child2():
+            private[3] = 42.0
+
+        proc = mp.get_context("fork").Process(target=child2)
+        proc.start()
+        proc.join()
+        assert private[3] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# ParallelLaunch mechanics
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+class TestParallelLaunch:
+    def test_merges_rows_in_launch_order(self):
+        def run_cta(linear):
+            return (float(linear) * 10.0, 1.0, linear)
+
+        rows = run_sharded(run_cta, [4, 2, 7, 0], 2)
+        assert rows == [(40.0, 1.0, 4), (20.0, 1.0, 2), (70.0, 1.0, 7), (0.0, 1.0, 0)]
+
+    def test_worker_counter_deltas_are_merged(self):
+        def run_cta(linear):
+            COUNTERS.plan_ctas += 1
+            return (1.0, 0.0, 0)
+
+        before = COUNTERS.plan_ctas
+        run_sharded(run_cta, list(range(6)), 3)
+        assert COUNTERS.plan_ctas == before + 6
+        assert COUNTERS.parallel_launches >= 1
+        assert COUNTERS.parallel_workers_forked >= 3
+
+    def test_worker_exception_propagates(self):
+        def run_cta(linear):
+            if linear == 3:
+                raise ValueError("boom in CTA 3")
+            return (1.0, 0.0, 0)
+
+        with pytest.raises(SimulationError, match="boom in CTA 3"):
+            run_sharded(run_cta, list(range(5)), 2)
+
+    def test_dead_worker_is_reported(self):
+        def run_cta(linear):
+            os._exit(17)  # die without reporting
+
+        with pytest.raises(SimulationError, match="exit code 17"):
+            run_sharded(run_cta, [0, 1], 2)
+
+    def test_overlapped_launches(self):
+        """Two ParallelLaunches can be in flight at once (run_many pipelining)."""
+        first = ParallelLaunch(lambda i: (float(i), 0.0, 0), [0, 1, 2], 2)
+        second = ParallelLaunch(lambda i: (float(i) * 2, 0.0, 0), [0, 1], 2)
+        assert second.wait() == [(0.0, 0.0, 0), (2.0, 0.0, 0)]
+        assert first.wait() == [(0.0, 0.0, 0), (1.0, 0.0, 0), (2.0, 0.0, 0)]
+
+
+# ---------------------------------------------------------------------------
+# Bit-identical sharded kernel execution
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+class TestShardedLaunchesBitIdentical:
+    def _gemm(self):
+        return GemmProblem(M=128, N=128, K=64, block_m=64, block_n=64, block_k=32)
+
+    @pytest.mark.parametrize("use_plans", [True, False],
+                             ids=["plans", "interpreter"])
+    def test_gemm_matches_serial(self, use_plans):
+        problem = self._gemm()
+        r_s, c_s = run_gemm(Device(mode="functional", use_plans=use_plans, workers=1),
+                            problem, WS_OPTIONS)
+        r_p, c_p = run_gemm(Device(mode="functional", use_plans=use_plans, workers=2),
+                            problem, WS_OPTIONS)
+        assert r_p.cycles == r_s.cycles
+        assert r_p.per_cta_cycles == r_s.per_cta_cycles
+        assert r_p.tensor_core_utilization == r_s.tensor_core_utilization
+        assert r_p.bytes_copied == r_s.bytes_copied
+        assert np.array_equal(c_p, c_s)
+
+    def test_gemm_matches_reference(self):
+        problem = self._gemm()
+        device = Device(mode="functional", workers=2)
+        args, a, b = make_gemm_inputs(problem, device)
+        device.run(matmul_kernel, grid=problem.grid, args=args,
+                   constexprs=problem.constexprs(), options=WS_OPTIONS)
+        c = args["c_ptr"].buffer.to_numpy().astype(np.float32)
+        np.testing.assert_allclose(
+            c, gemm_reference(a, b, problem.dtype).astype(np.float32),
+            rtol=2e-2, atol=2e-2)
+
+    def test_attention_matches_serial(self):
+        problem = AttentionProblem(batch=1, heads=2, seq_len=128, head_dim=64,
+                                   block_m=64, block_n=64, causal=True)
+        options = CompileOptions(enable_warp_specialization=True, aref_depth=2,
+                                 mma_pipeline_depth=2, num_consumer_groups=2,
+                                 coarse_grained_pipelining=True)
+        r_s, o_s = run_attention(Device(mode="functional", workers=1), problem, options)
+        r_p, o_p = run_attention(Device(mode="functional", workers=3), problem, options)
+        assert r_p.cycles == r_s.cycles
+        assert r_p.per_cta_cycles == r_s.per_cta_cycles
+        assert np.array_equal(o_p, o_s)
+
+    def test_persistent_gemm_matches_serial(self):
+        problem = self._gemm()
+        options = CompileOptions(enable_warp_specialization=True, aref_depth=2,
+                                 mma_pipeline_depth=2, num_consumer_groups=2,
+                                 persistent=True)
+        r_s, c_s = run_gemm(Device(mode="functional", workers=1), problem, options)
+        r_p, c_p = run_gemm(Device(mode="functional", workers=2), problem, options)
+        assert r_p.cycles == r_s.cycles
+        assert np.array_equal(c_p, c_s)
+
+    def test_performance_mode_stays_serial(self):
+        problem = GemmProblem(M=2048, N=2048, K=512)
+        before = COUNTERS.parallel_launches
+        device = Device(mode="performance", workers=4, max_ctas_per_sm_simulated=2)
+        run_gemm(device, problem, WS_OPTIONS)
+        assert COUNTERS.parallel_launches == before
+
+    def test_trace_collection_stays_serial(self):
+        problem = self._gemm()
+        before = COUNTERS.parallel_launches
+        device = Device(mode="functional", workers=2, collect_trace=True)
+        result, _ = run_gemm(device, problem, WS_OPTIONS)
+        assert COUNTERS.parallel_launches == before
+        assert result.trace  # the serial path still collected a trace
+
+
+# ---------------------------------------------------------------------------
+# Batched launch API
+# ---------------------------------------------------------------------------
+
+
+class TestRunMany:
+    def _specs(self, device, ks=(64, 128)):
+        specs = []
+        for k in ks:
+            problem = GemmProblem(M=128, N=128, K=k, block_m=64, block_n=64,
+                                  block_k=32)
+            args, _, _ = make_gemm_inputs(problem, device)
+            specs.append(LaunchSpec(matmul_kernel, problem.grid, args,
+                                    problem.constexprs(), WS_OPTIONS, problem.flops))
+        return specs
+
+    @pytest.mark.parametrize("workers", [1, pytest.param(2, marks=needs_fork)])
+    def test_matches_individual_launches(self, workers):
+        device = Device(mode="functional", workers=workers)
+        specs = self._specs(device)
+        batched = device.run_many(specs)
+        for k, spec, result in zip((64, 128), specs, batched):
+            problem = GemmProblem(M=128, N=128, K=k, block_m=64, block_n=64,
+                                  block_k=32)
+            expected, c = run_gemm(Device(mode="functional", workers=1), problem, WS_OPTIONS)
+            assert result.cycles == expected.cycles
+            assert result.per_cta_cycles == expected.per_cta_cycles
+            assert np.array_equal(spec.args["c_ptr"].buffer.to_numpy(), c)
+
+    def test_performance_mode_batch(self):
+        device = Device(mode="performance", max_ctas_per_sm_simulated=2)
+        problem = GemmProblem(M=2048, N=2048, K=512)
+        args, _, _ = make_gemm_inputs(problem, device)
+        spec = LaunchSpec(matmul_kernel, problem.grid, args, problem.constexprs(),
+                          WS_OPTIONS, problem.flops)
+        batched = device.run_many([spec, spec])
+        individual, _ = run_gemm(Device(mode="performance", max_ctas_per_sm_simulated=2),
+                                 problem, WS_OPTIONS)
+        assert batched[0].cycles == individual.cycles
+        assert batched[1].cycles == individual.cycles
+
+    def test_empty_batch(self):
+        assert Device().run_many([]) == []
+
+    def test_compile_is_deduplicated_across_batch(self):
+        device = Device(mode="functional")
+        specs = self._specs(device, ks=(64, 64, 64))
+        before = COUNTERS.compile_cache_misses
+        device.run_many(specs)
+        assert COUNTERS.compile_cache_misses == before + 1
+
+    @needs_fork
+    def test_dependent_launches_see_completed_outputs(self):
+        """A later launch may consume an earlier sharded launch's output."""
+        device = Device(mode="functional", workers=2)
+        first = GemmProblem(M=128, N=128, K=64, block_m=64, block_n=64,
+                            block_k=32)
+        args1, a, b = make_gemm_inputs(first, device)
+        c_buf = args1["c_ptr"].buffer
+
+        # Second launch: D = C @ B2^T, reading the first launch's C (128x128).
+        # Grid is a single CTA, so it takes the serial path while C's workers
+        # may still be running unless run_many collects them first.
+        rng = np.random.default_rng(7)
+        b2 = rng.standard_normal((128, 128), dtype=np.float32) * 0.5
+        d_buf = device.buffer(np.zeros((128, 128), np.float32), "f16", name="D")
+        args2 = {
+            "a_desc": device.tensor_desc(c_buf),
+            "b_desc": device.tensor_desc(b2, "f16"),
+            "c_ptr": device.pointer(d_buf),
+            "M": 128, "N": 128, "K": 128,
+        }
+        cexprs2 = {"stride_cm": 128, "stride_cn": 1, "Mt": 128, "Nt": 128,
+                   "Kt": 32}
+        specs = [
+            LaunchSpec(matmul_kernel, first.grid, args1, first.constexprs(),
+                       WS_OPTIONS),
+            LaunchSpec(matmul_kernel, 1, args2, cexprs2, CompileOptions()),
+        ]
+        results = device.run_many(specs)
+        assert len(results) == 2
+        c = c_buf.to_numpy().astype(np.float32)
+        expected_c = gemm_reference(a, b, first.dtype).astype(np.float32)
+        np.testing.assert_allclose(c, expected_c, rtol=2e-2, atol=2e-2)
+        expected_d = (c.astype(np.float16).astype(np.float32)
+                      @ b2.astype(np.float16).astype(np.float32).T)
+        np.testing.assert_allclose(d_buf.to_numpy().astype(np.float32),
+                                   expected_d, rtol=4e-2, atol=4e-2)
+
+    @needs_fork
+    def test_failing_spec_does_not_leak_workers(self):
+        """If a later spec fails to prepare, in-flight workers are aborted."""
+        device = Device(mode="functional", workers=2)
+        good = self._specs(device, ks=(64,))
+        problem = GemmProblem(M=128, N=128, K=64, block_m=64, block_n=64,
+                              block_k=32)
+        args, _, _ = make_gemm_inputs(problem, device)
+        del args["c_ptr"]  # missing argument -> _prepare fails at compile time
+        bad = LaunchSpec(matmul_kernel, problem.grid, args, problem.constexprs(),
+                         WS_OPTIONS)
+        with pytest.raises(FrontendError, match="missing types"):
+            device.run_many(good + [bad])
+        for proc in mp.active_children():
+            proc.join(timeout=5)
+        assert not mp.active_children()
+
+    def test_launch_batch_handles(self):
+        device = Device(mode="functional", workers=resolve_workers(2))
+        batch = device.batch()
+        problem = GemmProblem(M=128, N=128, K=64, block_m=64, block_n=64,
+                              block_k=32)
+        args, a, b = make_gemm_inputs(problem, device)
+        index = batch.add(matmul_kernel, problem.grid, args, problem.constexprs(),
+                          WS_OPTIONS, problem.flops)
+        assert len(batch) == 1
+        results = batch.run()
+        assert batch.results is results and len(results) == 1
+        expected, c = run_gemm(Device(mode="functional", workers=1), problem, WS_OPTIONS)
+        assert results[index].cycles == expected.cycles
+        assert np.array_equal(args["c_ptr"].buffer.to_numpy(), c)
