@@ -1,0 +1,83 @@
+"""Persistent-cache smoke check: run a reduced fig8 sweep and verify the
+artifact cache behaved as expected for this process.
+
+Usage (CI runs it twice with the same ``REPRO_CACHE_DIR``):
+
+    python benchmarks/cache_smoke.py --expect cold   # populates the cache
+    python benchmarks/cache_smoke.py --expect warm   # must get disk hits,
+                                                     # zero pass executions
+
+``--expect warm`` exits non-zero unless the *second* process satisfied every
+compile from the persistent tier (disk hits > 0, ``compile_passes_run`` == 0)
+and -- when the cold run left a results file behind -- reproduced the cold
+run's figure values bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--expect", choices=["cold", "warm"], required=True)
+    args = parser.parse_args()
+
+    if not os.environ.get("REPRO_CACHE_DIR"):
+        print("cache_smoke: REPRO_CACHE_DIR must be set", file=sys.stderr)
+        return 2
+
+    from repro.experiments import fig8_gemm
+    from repro.perf.counters import sim_counters
+    from repro.perf.report import render_compile_report
+
+    figures = fig8_gemm.run(full=False)
+    values = [
+        [fig.name, [[row.series, row.x, row.tflops] for row in fig.rows]]
+        for fig in figures
+    ]
+    counters = sim_counters()
+    print(render_compile_report(counters))
+
+    results_file = Path(os.environ["REPRO_CACHE_DIR"]) / "cache_smoke_results.json"
+    failures = []
+    if args.expect == "cold":
+        if counters["compile_passes_run"] == 0:
+            failures.append("cold run executed no passes (cache unexpectedly warm?)")
+        if counters["compile_disk_writes"] == 0:
+            failures.append("cold run persisted no artifacts")
+        results_file.write_text(json.dumps(values))
+    else:
+        if counters["compile_disk_hits"] == 0:
+            failures.append("warm run reported no disk hits")
+        if counters["compile_passes_run"] != 0:
+            failures.append(
+                f"warm run executed {counters['compile_passes_run']} passes "
+                f"(expected 0: every artifact should come from REPRO_CACHE_DIR)"
+            )
+        if results_file.exists():
+            cold_values = json.loads(results_file.read_text())
+            if cold_values != values:
+                failures.append("warm-run figure values differ from the cold run")
+            else:
+                print("cache_smoke: warm figure values bit-identical to cold run")
+
+    if failures:
+        for failure in failures:
+            print(f"cache_smoke FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"cache_smoke OK ({args.expect}): "
+          f"{counters['compile_passes_run']} passes, "
+          f"{counters['compile_disk_hits']} disk hits, "
+          f"{counters['compile_disk_writes']} disk writes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

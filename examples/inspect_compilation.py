@@ -8,13 +8,19 @@ Prints the IR of the paper's GEMM kernel at the three interesting stages:
 * after aref lowering (shared-memory rings, mbarrier arrays, asynchronous TMA
   copies and WGMMA issues -- the "PTX" of this reproduction),
 
-followed by the per-pass resource summary.  This mirrors Fig. 2 of the paper.
+followed by the per-pass resource summary and the compile-cost report (which
+pipeline each options bundle resolved to, per-pass wall time, and the
+artifact-cache hit rates from ``repro.perf.sim_counters()``).  This mirrors
+Fig. 2 of the paper.
 
 Run with:  python examples/inspect_compilation.py
 """
 
 from repro.core.compiler import compile_kernel
 from repro.core.options import CompileOptions
+from repro.core.pipelines import resolve_pipeline_name
+from repro.core.service import get_compiler_service
+from repro.perf.report import render_compile_report
 from repro.ir.types import PointerType, TensorDescType, f16, i32
 from repro.kernels.gemm import matmul_kernel
 
@@ -51,9 +57,28 @@ def main() -> None:
     show("fully lowered (gpu dialect: smem rings, mbarriers, TMA, WGMMA)", lowered.ir(), 90)
 
     print(f"\n{'=' * 78}\n== pass pipeline and resources\n{'=' * 78}")
+    print(f"  pipeline: {lowered.pipeline!r} "
+          f"(resolved from options by the registry; "
+          f"baseline would be {resolve_pipeline_name(CompileOptions(enable_warp_specialization=False))!r})")
     for name in lowered.pass_dumps:
-        print(f"  ran pass: {name}")
+        ms = lowered.pass_timings.get(name, 0.0) * 1e3
+        print(f"  ran pass: {name}  ({ms:.2f} ms)")
     print(f"\n  {lowered.metadata.describe()}")
+
+    # The stage compiles above go through the *pure* driver (compile_kernel),
+    # so they never touch the artifact cache.  Compile through the service --
+    # twice, with identical inputs -- to show the content-addressed cache at
+    # work: the second request is a memory-tier hit, zero passes run.
+    service = get_compiler_service()
+    service_options = CompileOptions(aref_depth=3, mma_pipeline_depth=2,
+                                     num_consumer_groups=2, persistent=True)
+    for _ in range(2):
+        service.compile(matmul_kernel, ARG_TYPES, CONSTEXPRS, service_options)
+
+    # The process-wide compile counters aggregate everything above: per-pass
+    # wall seconds, total compile seconds and artifact-cache traffic.
+    print(f"\n{'=' * 78}\n== compile cost (repro.perf.sim_counters)\n{'=' * 78}")
+    print(render_compile_report())
 
 
 if __name__ == "__main__":

@@ -3,7 +3,7 @@
 The paper compares Tawa against cuBLAS, CUTLASS FlashAttention-3, TileLang and
 ThunderKittens.  Those systems are proprietary or hand-written CUDA and cannot
 be executed in this environment, so they are modelled analytically (this
-substitution is documented in DESIGN.md).  Each model is a simple roofline
+substitution is documented in docs/ARCHITECTURE.md).  Each model is a simple roofline
 
     time = max(flops / (peak * compute_efficiency),
                unique_bytes / (HBM_bw * memory_efficiency)) + overhead

@@ -14,10 +14,18 @@ Modules:
 * :mod:`repro.core.baseline` -- the non-warp-specialized cp.async pipeline.
 * :mod:`repro.core.persistent` -- persistent (grid-stride) kernels.
 * :mod:`repro.core.resources` -- shared-memory / register budget validation.
-* :mod:`repro.core.compiler` -- the driver gluing it all together.
+* :mod:`repro.core.pipelines` -- the named pass-pipeline registry.
+* :mod:`repro.core.compiler` -- the (uncached) driver gluing it all together.
+* :mod:`repro.core.cache` -- content-addressed artifact fingerprints and the
+  in-memory LRU / on-disk (``REPRO_CACHE_DIR``) cache tiers.
+* :mod:`repro.core.service` -- :class:`CompilerService`, the cached front
+  door the simulator stack compiles through.
+
+See ``docs/ARCHITECTURE.md`` for how the pieces fit together.
 """
 
 from repro.core.aref import ArefRing, ArefSlot, ArefStateError
+from repro.core.cache import CACHE_VERSION, artifact_fingerprint
 from repro.core.compiler import CompiledKernel, build_pass_pipeline, compile_kernel
 from repro.core.options import (
     NAIVE_OPTIONS,
@@ -25,18 +33,40 @@ from repro.core.options import (
     CompileError,
     CompileOptions,
 )
+from repro.core.pipelines import (
+    PipelineSpec,
+    available_pipelines,
+    get_pipeline,
+    register_pipeline,
+    resolve_pipeline_name,
+)
 from repro.core.resources import ResourceEstimate
+from repro.core.service import (
+    CompilerService,
+    get_compiler_service,
+    reset_compiler_service,
+)
 
 __all__ = [
     "ArefRing",
     "ArefSlot",
     "ArefStateError",
+    "CACHE_VERSION",
     "CompiledKernel",
     "CompileError",
     "CompileOptions",
+    "CompilerService",
+    "PipelineSpec",
     "ResourceEstimate",
     "NAIVE_OPTIONS",
     "TRITON_BASELINE_OPTIONS",
+    "artifact_fingerprint",
+    "available_pipelines",
     "build_pass_pipeline",
     "compile_kernel",
+    "get_compiler_service",
+    "get_pipeline",
+    "register_pipeline",
+    "reset_compiler_service",
+    "resolve_pipeline_name",
 ]

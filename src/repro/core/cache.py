@@ -1,0 +1,214 @@
+"""Content-addressed storage for compilation artifacts (two tiers).
+
+Cache keys are *stable fingerprints* rather than object identities: a SHA-256
+over the kernel's source hash (:attr:`repro.frontend.kernel.Kernel.source_fingerprint`),
+the full specialization (argument types, constexpr values, warp count),
+:meth:`CompileOptions.cache_key` and the hardware config.  Identical kernels
+therefore share artifacts across :class:`~repro.gpusim.device.Device`
+instances, across :meth:`Device.run_many` batches and -- with the disk tier
+enabled -- across *processes*, while any edit to the kernel source, the
+options, the specialization or the config produces a different key.
+
+Two tiers:
+
+* :class:`MemoryCache` -- an in-process LRU over finished
+  :class:`~repro.core.compiler.CompiledKernel` artifacts (capacity via
+  ``REPRO_CACHE_MEMORY_ENTRIES``, default 256).
+* :class:`DiskCache` -- an optional persistent tier rooted at
+  ``REPRO_CACHE_DIR``.  Each entry is one pickle holding the lowered module,
+  resource metadata, options and artifact provenance, written atomically
+  (temp file + ``os.replace``) and stamped with :data:`CACHE_VERSION`.
+  Entries are self-invalidating: a version mismatch, key mismatch or *any*
+  load failure (truncated pickle, unreadable file, incompatible class layout)
+  is treated as a miss -- the entry is discarded and the kernel recompiled,
+  never crashed on.
+
+Execution plans are not pickled (their instruction streams are closures);
+the service rebuilds them eagerly while finalizing a disk-loaded artifact,
+which is deterministic and cheap next to the pass pipeline the hit skipped.
+
+The orchestration lives in :mod:`repro.core.service`; see
+``docs/ARCHITECTURE.md`` for the full design.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.perf.counters import COUNTERS
+
+#: Bump whenever the pickled payload layout or the semantics of compiled
+#: artifacts change; every existing disk entry then self-invalidates.
+CACHE_VERSION = 1
+
+#: Environment variable naming the persistent tier's root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable overriding the in-process LRU capacity.
+MEMORY_ENTRIES_ENV = "REPRO_CACHE_MEMORY_ENTRIES"
+
+DEFAULT_MEMORY_ENTRIES = 256
+
+
+def stable_digest(*parts: Any) -> str:
+    """A SHA-256 hex digest over the ``repr`` of each part.
+
+    Every part must have a deterministic ``repr`` (strings, numbers, tuples
+    of those, frozen dataclasses) -- which is exactly what the fingerprint
+    inputs are made of.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def artifact_fingerprint(kern, spec, options, config) -> str:
+    """The content-addressed cache key of one compilation artifact.
+
+    Args:
+        kern: the frontend :class:`~repro.frontend.kernel.Kernel`.
+        spec: its :class:`~repro.frontend.kernel.Specialization` (argument
+            types, constexpr values, warp count).
+        options: the :class:`~repro.core.options.CompileOptions`.
+        config: the :class:`~repro.gpusim.config.H100Config` (frozen
+            dataclass; its repr is deterministic).
+    """
+    return stable_digest(
+        "repro-compile-artifact",
+        CACHE_VERSION,
+        kern.name,
+        kern.source_fingerprint,
+        spec.key(),
+        options.cache_key(),
+        config,
+    )
+
+
+class MemoryCache:
+    """In-process LRU tier over compiled artifacts.
+
+    ``capacity=0`` disables the tier (every lookup misses); a malformed or
+    negative ``REPRO_CACHE_MEMORY_ENTRIES`` value falls back to the default
+    rather than poisoning every compile in the process.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is None:
+            raw = os.environ.get(MEMORY_ENTRIES_ENV, "").strip()
+            try:
+                capacity = int(raw) if raw else DEFAULT_MEMORY_ENTRIES
+            except ValueError:
+                capacity = DEFAULT_MEMORY_ENTRIES
+            if capacity < 0:
+                capacity = DEFAULT_MEMORY_ENTRIES
+        elif capacity < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: str, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+
+class DiskCache:
+    """Persistent tier: one atomically-written, version-stamped pickle per key."""
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def load(self, key: str) -> Optional[dict]:
+        """The payload stored for ``key``, or ``None`` (miss).
+
+        Corrupted, stale-version or mismatched entries are removed
+        (best-effort) and reported as misses -- a damaged cache costs a
+        recompile, never a crash.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            COUNTERS.compile_disk_errors += 1
+            self._discard(path)
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("version") != CACHE_VERSION
+                or payload.get("key") != key):
+            COUNTERS.compile_disk_errors += 1
+            self._discard(path)
+            return None
+        return payload
+
+    def store(self, key: str, payload: dict) -> bool:
+        """Atomically persist ``payload`` under ``key``.
+
+        The temp-file + ``os.replace`` dance guarantees concurrent processes
+        (e.g. a sweep sharded across machines on one filesystem) only ever
+        observe complete entries.  Failures (read-only directory, unpicklable
+        payload) are counted and swallowed: persistence is an optimization.
+        """
+        payload = dict(payload, version=CACHE_VERSION, key=key)
+        path = self.path_for(key)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            COUNTERS.compile_disk_errors += 1
+            self._discard(tmp)
+            return False
+        COUNTERS.compile_disk_writes += 1
+        return True
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+def resolve_disk_cache() -> Optional[DiskCache]:
+    """The persistent tier configured by ``REPRO_CACHE_DIR``, if any.
+
+    Resolved per call (not cached) so tests and long-lived processes can
+    toggle the tier through the environment.
+    """
+    root = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if not root:
+        return None
+    return DiskCache(Path(root))

@@ -2,7 +2,8 @@
 
 ``compile_kernel`` takes an annotation-free tile-language kernel, a binding of
 argument types and constexpr values, and a :class:`CompileOptions`, and runs
-the full pass pipeline described in the paper (and in DESIGN.md):
+the pass pipeline the options resolve to (see :mod:`repro.core.pipelines` and
+``docs/ARCHITECTURE.md``).  The paper's Tawa path (``tawa-gpu``) is:
 
     frontend IR -> canonicalize
                 -> [persistent kernel]                     (IV-B)
@@ -16,6 +17,11 @@ the full pass pipeline described in the paper (and in DESIGN.md):
 or, with warp specialization disabled, the stock-Triton baseline path
 (cp.async software pipelining).  The result is a :class:`CompiledKernel` that
 the simulator (:class:`repro.gpusim.Device`) can launch.
+
+This module is the *pure* compiler: every call runs the pass pipeline.
+Callers that want caching (which is everything in the simulator stack) go
+through :class:`repro.core.service.CompilerService` instead, which
+content-addresses finished artifacts across devices and processes.
 """
 
 from __future__ import annotations
@@ -23,24 +29,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.core.baseline import BaselinePipeliningPass
-from repro.core.lowering import ArefLoweringPass
+from repro.core.cache import artifact_fingerprint
 from repro.core.options import CompileError, CompileOptions
-from repro.core.partition import WarpSpecializePass
-from repro.core.persistent import PersistentKernelPass
-from repro.core.pipelining import CoarseGrainedPipelinePass, FineGrainedPipelinePass
+from repro.core.pipelines import build_pass_pipeline, resolve_pipeline_name
 from repro.core.resources import ResourceEstimate, ResourceValidationPass
-from repro.core.tagging import TagSemanticsPass
 from repro.frontend.kernel import Kernel
 from repro.gpusim.config import DEFAULT_CONFIG, H100Config
-from repro.ir import FuncOp, ModuleOp, PassManager, print_op
-from repro.ir.canonicalize import CanonicalizePass, DeadCodeEliminationPass
+from repro.ir import FuncOp, ModuleOp, print_op
 from repro.ir.types import Type
+from repro.perf.counters import COUNTERS
+
+__all__ = [
+    "CompiledKernel",
+    "build_pass_pipeline",
+    "compile_kernel",
+]
 
 
 @dataclass
 class CompiledKernel:
-    """A kernel lowered and ready for simulation."""
+    """A compilation artifact: a kernel lowered and ready for simulation."""
 
     kernel: Kernel
     module: ModuleOp
@@ -49,9 +57,21 @@ class CompiledKernel:
     constexprs: Dict[str, Any]
     options: CompileOptions
     metadata: ResourceEstimate
+    #: Name of the registered pipeline that produced this artifact.
+    pipeline: str = ""
+    #: Content-addressed fingerprint (the artifact-cache key); see
+    #: :func:`repro.core.cache.artifact_fingerprint`.
+    fingerprint: Optional[str] = None
+    #: Per-pass wall seconds of the pipeline run that built this artifact
+    #: (empty for artifacts loaded from the persistent cache -- their
+    #: pipeline never ran in this process).
+    pass_timings: Dict[str, float] = field(default_factory=dict)
     pass_dumps: Dict[str, str] = field(default_factory=dict)
-    #: Cached simulator execution plans, keyed by (functional, config); built
-    #: lazily by repro.gpusim.plan.get_plan and shared by every CTA/launch.
+    #: Simulator execution plans, keyed by (functional, config).  Part of the
+    #: artifact: built eagerly by CompilerService finalization for every
+    #: requested mode, so launches and forked workers find them ready-made
+    #: (repro.gpusim.plan.get_plan remains the accessor, and lazily fills the
+    #: map only for kernels compiled outside the service).
     plans: Dict[Any, Any] = field(default_factory=dict, repr=False, compare=False)
 
     @property
@@ -67,31 +87,6 @@ class CompiledKernel:
         return f"<CompiledKernel {self.name} ({ws})>"
 
 
-def build_pass_pipeline(options: CompileOptions,
-                        config: Optional[H100Config] = None) -> PassManager:
-    """The pass pipeline for a given set of options (exposed for tests)."""
-    config = config or DEFAULT_CONFIG
-    pm = PassManager()
-    pm.add(CanonicalizePass())
-    if options.enable_warp_specialization:
-        if options.lower_to != "tt":
-            pm.add(PersistentKernelPass(options))
-            pm.add(TagSemanticsPass())
-            pm.add(WarpSpecializePass(options))
-            if options.lower_to == "gpu":
-                pm.add(FineGrainedPipelinePass(options))
-                pm.add(CoarseGrainedPipelinePass(options))
-                pm.add(ArefLoweringPass(options))
-                pm.add(CanonicalizePass())
-    else:
-        if options.lower_to != "tt":
-            pm.add(PersistentKernelPass(options))
-            pm.add(BaselinePipeliningPass(options))
-            pm.add(DeadCodeEliminationPass())
-    pm.add(ResourceValidationPass(options, config))
-    return pm
-
-
 def compile_kernel(
     kern: Kernel,
     arg_types: Union[Mapping[str, Type], Sequence[Type]],
@@ -99,6 +94,7 @@ def compile_kernel(
     options: Optional[CompileOptions] = None,
     config: Optional[H100Config] = None,
     dump_ir: bool = False,
+    spec=None,
 ) -> CompiledKernel:
     """Compile a tile-language kernel down to simulator-executable IR.
 
@@ -110,6 +106,10 @@ def compile_kernel(
         options: Tawa compilation options (defaults to warp specialization on).
         config: hardware configuration used for resource validation.
         dump_ir: record the IR after every pass in ``CompiledKernel.pass_dumps``.
+        spec: an already-built :class:`~repro.frontend.kernel.Specialization`
+            for these inputs (the compiler service passes the one it keyed
+            the cache lookup on, so specialization and fingerprinting happen
+            exactly once per request).
     """
     if not isinstance(kern, Kernel):
         raise CompileError(
@@ -119,11 +119,14 @@ def compile_kernel(
     config = config or DEFAULT_CONFIG
     constexprs = dict(constexprs or {})
 
-    spec = kern.specialize(arg_types, constexprs, num_warps=options.num_warps)
+    if spec is None:
+        spec = kern.specialize(arg_types, constexprs, num_warps=options.num_warps)
     module = kern.build_module(spec)
 
     dumps: Dict[str, str] = {}
+    pipeline_name = resolve_pipeline_name(options)
     pm = build_pass_pipeline(options, config)
+    pm.timing_sink = COUNTERS.record_pass_timing
     if dump_ir:
         pm.dump_each = lambda name, text: dumps.__setitem__(name, text)
     try:
@@ -140,6 +143,10 @@ def compile_kernel(
     validation = next(p for p in pm.passes if isinstance(p, ResourceValidationPass))
     metadata = validation.estimates[func.sym_name]
 
+    timings: Dict[str, float] = {}
+    for t in pm.timings:
+        timings[t.name] = timings.get(t.name, 0.0) + t.seconds
+
     return CompiledKernel(
         kernel=kern,
         module=module,
@@ -148,5 +155,8 @@ def compile_kernel(
         constexprs=constexprs,
         options=options,
         metadata=metadata,
+        pipeline=pipeline_name,
+        fingerprint=artifact_fingerprint(kern, spec, options, config),
+        pass_timings=timings,
         pass_dumps=dumps,
     )

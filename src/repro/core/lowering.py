@@ -21,7 +21,7 @@ dialect:
 Slot indices and generations are derived from the linearized iteration index
 attached to each ``tawa.aref_slot``: ``slot = index mod D`` and
 ``generation = index div D`` (the paper's parity bit generalized to a
-monotonically increasing counter; see DESIGN.md).
+monotonically increasing counter; see docs/ARCHITECTURE.md).
 """
 
 from __future__ import annotations

@@ -1,0 +1,175 @@
+"""The declarative pass-pipeline registry.
+
+The paper's headline claim is that warp specialization is a *compiler
+feature*: one flag on an unmodified kernel selects between materially
+different lowering strategies.  This module makes that selection data, not
+control flow -- every lowering strategy is a named :class:`PipelineSpec`
+registered here, and :func:`resolve_pipeline_name` maps a
+:class:`~repro.core.options.CompileOptions` onto one of them:
+
+===================  =====================================================
+name                 meaning
+===================  =====================================================
+``tawa-gpu``         full warp specialization, lowered to the gpu dialect
+                     (persistent -> tagging -> partitioning -> fine/coarse
+                     pipelining -> aref lowering); the paper's Tawa path
+``tawa-mid``         warp specialization stopped at the tawa dialect
+                     (``lower_to="tawa"``); aref channels still symbolic
+``triton-baseline``  stock-Triton path: cp.async software pipelining,
+                     no warp roles
+``naive``            no warp specialization *and* no software pipelining;
+                     the ablation starting point of Fig. 12
+``frontend-only``    ``lower_to="tt"``: canonicalized frontend IR only
+===================  =====================================================
+
+Every assembled pipeline is bracketed the same way: a canonicalize pass in
+front (folds the constexpr arithmetic the frontend emits) and resource
+validation at the back (shared-memory / register budgets), so a spec's
+``build_passes`` only lists the passes that make the strategy distinctive.
+
+See ``docs/ARCHITECTURE.md`` for how pipelines, the compile-artifact cache
+and execution plans fit together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.baseline import BaselinePipeliningPass
+from repro.core.lowering import ArefLoweringPass
+from repro.core.options import CompileError, CompileOptions
+from repro.core.partition import WarpSpecializePass
+from repro.core.persistent import PersistentKernelPass
+from repro.core.pipelining import CoarseGrainedPipelinePass, FineGrainedPipelinePass
+from repro.core.resources import ResourceValidationPass
+from repro.core.tagging import TagSemanticsPass
+from repro.gpusim.config import DEFAULT_CONFIG, H100Config
+from repro.ir import PassManager
+from repro.ir.canonicalize import CanonicalizePass, DeadCodeEliminationPass
+from repro.ir.passes import Pass
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """One named lowering strategy.
+
+    ``build_passes`` returns the strategy's distinctive passes; the shared
+    canonicalize / resource-validation bracket is added by
+    :func:`build_pass_pipeline`.
+    """
+
+    name: str
+    description: str
+    build_passes: Callable[[CompileOptions, H100Config], List[Pass]]
+
+
+_REGISTRY: Dict[str, PipelineSpec] = {}
+
+
+def register_pipeline(spec: PipelineSpec, replace: bool = False) -> PipelineSpec:
+    """Register a pipeline spec under its name (``replace=True`` to override)."""
+    if spec.name in _REGISTRY and not replace:
+        raise CompileError(f"pipeline {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_pipeline(name: str) -> PipelineSpec:
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise CompileError(
+            f"unknown pass pipeline {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        )
+    return spec
+
+
+def available_pipelines() -> Tuple[str, ...]:
+    """The registered pipeline names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def resolve_pipeline_name(options: CompileOptions) -> str:
+    """Map compile options onto the registered pipeline implementing them."""
+    if options.lower_to == "tt":
+        return "frontend-only"
+    if options.enable_warp_specialization:
+        return "tawa-mid" if options.lower_to == "tawa" else "tawa-gpu"
+    return "triton-baseline" if options.software_pipelining else "naive"
+
+
+def build_pass_pipeline(options: CompileOptions,
+                        config: Optional[H100Config] = None) -> PassManager:
+    """Assemble the pass pipeline for a given set of options.
+
+    Resolves the pipeline name from the options, asks the registered spec for
+    its passes and brackets them with the shared canonicalize / resource
+    validation passes.
+    """
+    config = config or DEFAULT_CONFIG
+    spec = get_pipeline(resolve_pipeline_name(options))
+    pm = PassManager()
+    pm.add(CanonicalizePass())
+    pm.add(*spec.build_passes(options, config))
+    pm.add(ResourceValidationPass(options, config))
+    return pm
+
+
+# ---------------------------------------------------------------------------
+# The built-in pipelines
+# ---------------------------------------------------------------------------
+
+
+register_pipeline(PipelineSpec(
+    "tawa-gpu",
+    "full warp specialization lowered to the gpu dialect (the Tawa path)",
+    lambda options, config: [
+        PersistentKernelPass(options),
+        TagSemanticsPass(),
+        WarpSpecializePass(options),
+        FineGrainedPipelinePass(options),
+        CoarseGrainedPipelinePass(options),
+        ArefLoweringPass(options),
+        CanonicalizePass(),
+    ],
+))
+
+register_pipeline(PipelineSpec(
+    "tawa-mid",
+    "warp specialization stopped at the tawa dialect (lower_to='tawa')",
+    lambda options, config: [
+        PersistentKernelPass(options),
+        TagSemanticsPass(),
+        WarpSpecializePass(options),
+    ],
+))
+
+def _baseline_passes(options: CompileOptions, config: H100Config) -> List[Pass]:
+    """Shared by ``triton-baseline`` and ``naive``: the two strategies are
+    deliberately the same pass list, distinguished only by
+    ``options.software_pipelining`` (which BaselinePipeliningPass reads and
+    no-ops on when disabled)."""
+    return [
+        PersistentKernelPass(options),
+        BaselinePipeliningPass(options),
+        DeadCodeEliminationPass(),
+    ]
+
+
+register_pipeline(PipelineSpec(
+    "triton-baseline",
+    "stock-Triton Hopper path: cp.async software pipelining, no warp roles",
+    _baseline_passes,
+))
+
+register_pipeline(PipelineSpec(
+    "naive",
+    "no warp specialization, no software pipelining (Fig. 12 ablation start)",
+    _baseline_passes,
+))
+
+register_pipeline(PipelineSpec(
+    "frontend-only",
+    "canonicalized frontend IR (lower_to='tt'), no Tawa or baseline passes",
+    lambda options, config: [],
+))

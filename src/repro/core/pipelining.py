@@ -14,7 +14,7 @@ partitioning:
   work in between): the loop is rotated by one iteration so that the Tensor
   Core stage T_j overlaps with the CUDA-core stage C_{j-1} and the downstream
   Tensor Core stage U_{j-1}.  This is Algorithm 1 of the paper with U folded
-  into the second pipeline stage (see DESIGN.md).
+  into the second pipeline stage (see docs/ARCHITECTURE.md).
 
 The loop rotation itself (:func:`rotate_loop`) is generic -- the
 non-warp-specialized baseline reuses it to software-pipeline cp.async copies

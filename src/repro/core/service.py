@@ -1,0 +1,188 @@
+"""The compiler service: one front door for producing compilation artifacts.
+
+:class:`CompilerService` is what the simulator stack calls instead of
+:func:`repro.core.compiler.compile_kernel` directly.  It owns the
+content-addressed artifact cache (:mod:`repro.core.cache`) and the artifact
+finalization step, so every caller -- :meth:`Device.compile`, the
+:meth:`Device.run_many` prepared-launch path, the front-loaded sweep
+compilation in :mod:`repro.experiments.common` -- gets the same behaviour:
+
+1. **Fingerprint** the request (kernel source hash + specialization +
+   options + config) -- never object identity.
+2. **Memory tier**: return the finished artifact if this process already
+   built or loaded it (LRU, counted as ``compile_cache_hits``).
+3. **Disk tier** (``REPRO_CACHE_DIR``): unpickle the lowered module and
+   metadata written by a previous process, re-attach the caller's kernel and
+   finalize -- the entire pass pipeline is skipped (``compile_passes_run``
+   stays flat, which is how tests prove cold-start reuse).
+4. **Compile**: run the registered pass pipeline
+   (:mod:`repro.core.pipelines`), then finalize and persist.
+
+*Finalization* makes execution plans first-class parts of the artifact: the
+:mod:`repro.gpusim.plan` plan for every requested (mode, config) pair is
+built eagerly here, before the artifact is returned, so launches -- and the
+worker processes :mod:`repro.gpusim.parallel` forks -- inherit ready plans by
+construction and nothing needs to mutate the artifact afterwards.
+
+See ``docs/ARCHITECTURE.md`` for the full design.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.core.cache import (
+    MemoryCache,
+    artifact_fingerprint,
+    resolve_disk_cache,
+)
+from repro.core.compiler import CompiledKernel, compile_kernel
+from repro.core.options import CompileError, CompileOptions
+from repro.frontend.kernel import Kernel
+from repro.gpusim.config import DEFAULT_CONFIG, H100Config
+from repro.ir.types import Type
+from repro.perf.counters import COUNTERS
+
+
+class CompilerService:
+    """Content-addressed, two-tier cached compilation."""
+
+    def __init__(self, memory_capacity: Optional[int] = None):
+        self._memory = MemoryCache(memory_capacity)
+
+    # ------------------------------------------------------------------ API
+
+    def compile(
+        self,
+        kern: Kernel,
+        arg_types: Union[Mapping[str, Type], Sequence[Type]],
+        constexprs: Optional[Mapping[str, Any]] = None,
+        options: Optional[CompileOptions] = None,
+        config: Optional[H100Config] = None,
+        plan_modes: Iterable[bool] = (),
+    ) -> CompiledKernel:
+        """A finished compilation artifact for the request (cached).
+
+        ``plan_modes`` lists the execution modes (``True`` = functional,
+        ``False`` = performance) whose simulator plans must be part of the
+        artifact; they are built eagerly at finalize time, never during a
+        launch.
+        """
+        if not isinstance(kern, Kernel):
+            raise CompileError(
+                f"CompilerService.compile expects an @kernel-decorated function, "
+                f"got {type(kern).__name__}"
+            )
+        options = options or CompileOptions()
+        config = config or DEFAULT_CONFIG
+        constexprs = dict(constexprs or {})
+        spec = kern.specialize(arg_types, constexprs, num_warps=options.num_warps)
+        key = artifact_fingerprint(kern, spec, options, config)
+        modes = tuple(dict.fromkeys(plan_modes))  # dedupe, keep order
+
+        compiled = self._memory.get(key)
+        if compiled is not None:
+            COUNTERS.compile_cache_hits += 1
+            self._finalize(compiled, config, modes)
+            return compiled
+        COUNTERS.compile_cache_misses += 1
+
+        disk = resolve_disk_cache()
+        if disk is not None:
+            payload = disk.load(key)
+            if payload is not None:
+                COUNTERS.compile_disk_hits += 1
+                compiled = self._reconstruct(kern, key, payload)
+                self._finalize(compiled, config,
+                               tuple(payload.get("plan_modes", ())) + modes)
+                self._memory.put(key, compiled)
+                return compiled
+            COUNTERS.compile_disk_misses += 1
+
+        compiled = compile_kernel(kern, dict(spec.arg_types), constexprs,
+                                  options, config=config, spec=spec)
+        assert compiled.fingerprint == key  # one key computation, two users
+        self._finalize(compiled, config, modes)
+        if disk is not None:
+            disk.store(key, self._payload(compiled, modes))
+        self._memory.put(key, compiled)
+        return compiled
+
+    def clear(self) -> None:
+        """Drop the in-process tier (tests; the disk tier is left alone)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # ------------------------------------------------------------------ internals
+
+    @staticmethod
+    def _finalize(compiled: CompiledKernel, config: H100Config,
+                  modes: Iterable[bool]) -> None:
+        """Eagerly build the artifact's execution plans for ``modes``.
+
+        :func:`repro.gpusim.plan.get_plan` memoizes per (mode, config) on the
+        artifact, so re-finalizing an already-finalized artifact (a cache
+        hit requesting the same modes) is a dict lookup.
+        """
+        from repro.gpusim.plan import get_plan
+
+        for functional in modes:
+            get_plan(compiled, config, functional)
+
+    @staticmethod
+    def _payload(compiled: CompiledKernel, modes: Iterable[bool]) -> dict:
+        """The picklable persistent form of an artifact.
+
+        Plans are deliberately absent: their instruction streams are closures,
+        so :meth:`_finalize` rebuilds them (deterministically, from the
+        pickled module) when the artifact is loaded.  The frontend ``Kernel``
+        is also absent -- the loading process supplies its own, and the
+        content fingerprint guarantees it has identical source.
+        """
+        return {
+            "kernel_name": compiled.kernel.name,
+            "source_fingerprint": compiled.kernel.source_fingerprint,
+            "module": compiled.module,
+            "func_name": compiled.func.sym_name,
+            "arg_names": list(compiled.arg_names),
+            "constexprs": dict(compiled.constexprs),
+            "options": compiled.options,
+            "metadata": compiled.metadata,
+            "pipeline": compiled.pipeline,
+            "plan_modes": tuple(modes),
+        }
+
+    @staticmethod
+    def _reconstruct(kern: Kernel, key: str, payload: dict) -> CompiledKernel:
+        """Rebuild a CompiledKernel from a disk payload (no passes run)."""
+        module = payload["module"]
+        return CompiledKernel(
+            kernel=kern,
+            module=module,
+            func=module.get_function(payload["func_name"]),
+            arg_names=list(payload["arg_names"]),
+            constexprs=dict(payload["constexprs"]),
+            options=payload["options"],
+            metadata=payload["metadata"],
+            pipeline=payload.get("pipeline", ""),
+            fingerprint=key,
+        )
+
+
+_SERVICE: Optional[CompilerService] = None
+
+
+def get_compiler_service() -> CompilerService:
+    """The process-wide compiler service (created on first use)."""
+    global _SERVICE
+    if _SERVICE is None:
+        _SERVICE = CompilerService()
+    return _SERVICE
+
+
+def reset_compiler_service() -> None:
+    """Drop the process-wide service's in-memory tier (tests)."""
+    if _SERVICE is not None:
+        _SERVICE.clear()

@@ -13,9 +13,13 @@ Simulated measurements are submitted as *batched sweeps*: each figure driver
 collects every (workload, problem, options) point it needs into a list of
 :class:`SweepPoint` and hands the whole sweep to :func:`measure_sweep`, which
 turns it into one :meth:`Device.run_many` submission -- compilation is
-deduplicated and front-loaded across the sweep, and (on functional devices
-with ``workers > 1``) execution is sharded across worker processes and
-overlapped with compilation of the following launches.
+front-loaded through the process-wide
+:class:`repro.core.service.CompilerService` (content-addressed artifacts,
+deduplicated across the sweep and -- with ``REPRO_CACHE_DIR`` set --
+persisted across processes, so re-running a figure skips the pass pipeline
+entirely), and (on functional devices with ``workers > 1``) execution is
+sharded across worker processes and overlapped with compilation of the
+following launches.
 """
 
 from __future__ import annotations
@@ -205,9 +209,10 @@ def measure_sweep(device: Device, points: Sequence[SweepPoint]) -> List[float]:
     points).  Equivalent to calling the per-point ``measure_*`` helpers one
     at a time, but all launches go through :meth:`Device.run_many`.
 
-    Kernel compilation is front-loaded here (deduplicated by the process-wide
-    compile cache); a point whose configuration fails to compile scores 0.0,
-    like the zero cells of the paper's Fig. 11 heatmap.
+    Kernel compilation is front-loaded here (deduplicated by the compiler
+    service's content-addressed artifact cache); a point whose configuration
+    fails to compile scores 0.0, like the zero cells of the paper's Fig. 11
+    heatmap.
 
     Every point's launch arguments are materialized before the batch runs.
     That is free on performance-mode devices (buffers are data-free shapes,

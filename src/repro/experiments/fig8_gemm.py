@@ -65,7 +65,7 @@ def run(full: bool = False, device: Optional[Device] = None,
                                                         dtype, device.config))
         fig.notes.append(
             "Tawa and Triton are compiled and simulated; cuBLAS/TileLang/ThunderKittens "
-            "are analytic reference models (see DESIGN.md)."
+            "are analytic reference models (see docs/ARCHITECTURE.md)."
         )
         results.append(fig)
     return results

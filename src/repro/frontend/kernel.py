@@ -11,8 +11,10 @@ Python into IR.
 from __future__ import annotations
 
 import ast
+import hashlib
 import inspect
 import textwrap
+import types
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -22,6 +24,56 @@ from repro.frontend.errors import FrontendError
 from repro.ir import Builder, FuncOp, ModuleOp, ReturnOp, verify
 from repro.ir.dialects import ensure_loaded
 from repro.ir.types import FunctionType, ScalarType, Type, f32, i1, i32
+
+
+#: Binding values encoded verbatim into the kernel fingerprint.
+_SCALAR_BINDING_TYPES = (bool, int, float, complex, str, bytes, type(None))
+
+
+def _stable_binding(value: Any) -> str:
+    """A process-independent encoding of one name binding.
+
+    Scalars (and flat sequences of them) encode by value -- editing a
+    module-level constant a kernel reads must change the fingerprint.
+    Everything else encodes by *identity that survives reimport* (module
+    name, qualified callable name, or type) rather than ``repr``, whose
+    memory addresses would break cross-process cache hits.
+    """
+    if isinstance(value, _SCALAR_BINDING_TYPES):
+        return f"const:{value!r}"
+    if isinstance(value, (tuple, list)):
+        return f"seq:[{','.join(_stable_binding(v) for v in value)}]"
+    if isinstance(value, types.ModuleType):
+        return f"module:{value.__name__}"
+    qualname = getattr(value, "__qualname__", None)
+    if qualname is not None:
+        return f"callable:{getattr(value, '__module__', '?')}.{qualname}"
+    return f"object:{type(value).__module__}.{type(value).__qualname__}"
+
+
+def _binding_digest(fn) -> str:
+    """The globals/closure bindings the kernel body resolves names against.
+
+    Codegen looks unresolved names up in ``fn.__globals__`` (and the
+    closure), so a kernel's generated IR depends on them even when its source
+    text is unchanged -- e.g. a module-level ``TILE = 64`` used as a tile
+    size.  Hashing the (stably-encoded, sorted) bindings alongside the source
+    keeps the artifact cache content-addressed in the presence of such edits.
+    Best-effort one level deep: mutations *inside* a referenced object are
+    not observable here.
+    """
+    code = fn.__code__
+    bindings = {}
+    for name in code.co_names:
+        if name in fn.__globals__:
+            bindings[name] = _stable_binding(fn.__globals__[name])
+    if code.co_freevars and fn.__closure__:
+        for name, cell in zip(code.co_freevars, fn.__closure__):
+            try:
+                bindings[name] = _stable_binding(cell.cell_contents)
+            except ValueError:  # pragma: no cover - unfilled cell
+                continue
+    return repr(sorted(bindings.items()))
 
 
 def _is_constexpr_annotation(annotation: Any) -> bool:
@@ -74,6 +126,7 @@ class Kernel:
             raise FrontendError(f"could not find a function definition in source of {self.name}")
         self._func_ast = func_defs[0]
         self.params = self._extract_params()
+        self._fingerprint_base = f"{self.name}\n{source}"
 
     # -- signature ---------------------------------------------------------------
 
@@ -87,6 +140,25 @@ class Kernel:
                 )
             params.append(KernelParam(p.name, _is_constexpr_annotation(p.annotation), p.default))
         return params
+
+    @property
+    def source_fingerprint(self) -> str:
+        """Content hash of the kernel's Python source *and* the live globals /
+        closure bindings its body resolves names against.
+
+        This is what makes compile-artifact cache keys *content-addressed*:
+        two Kernel objects with identical source and bindings (e.g. the same
+        module imported by different processes) share artifacts, while
+        editing the kernel body -- or a module-level constant it reads --
+        invalidates every cached artifact derived from it
+        (:mod:`repro.core.cache`).  Recomputed per access (not frozen at
+        decoration time) because codegen reads the *live* ``fn.__globals__``
+        at module-build time, so a global mutated after import must change
+        the fingerprint too.
+        """
+        return hashlib.sha256(
+            f"{self._fingerprint_base}\n{_binding_digest(self.fn)}".encode("utf-8")
+        ).hexdigest()
 
     @property
     def runtime_param_names(self) -> List[str]:

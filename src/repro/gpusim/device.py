@@ -3,8 +3,9 @@
 :class:`Device` is the user-facing entry point of the simulator.  It
 
 * wraps NumPy arrays into simulated global buffers / TMA descriptors,
-* compiles frontend kernels through the Tawa driver (with a specialization
-  cache),
+* compiles frontend kernels through the process-wide
+  :class:`repro.core.service.CompilerService` (content-addressed artifacts,
+  shared across devices and -- with ``REPRO_CACHE_DIR`` -- across processes),
 * schedules the grid onto SMs and runs the discrete-event engine,
 * returns a :class:`LaunchResult` with the functional outputs (functional
   mode) and the simulated execution time / utilization (both modes).
@@ -32,7 +33,7 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -44,17 +45,17 @@ from repro.gpusim.memory import GlobalBuffer, Pointer, TensorDesc
 from repro.ir.types import ScalarType, Type, f32, i1, i32
 from repro.perf.counters import COUNTERS
 
-#: Process-wide kernel compile cache.  Every experiment harness builds a fresh
-#: ``perf_device()``, so caching per Device meant identical kernels were
-#: recompiled for every figure run; the cache key carries everything that can
-#: change the compiled artifact (kernel, arg types, constexprs, options and
-#: hardware config), so sharing it across devices is safe.
-_COMPILE_CACHE: Dict[tuple, Any] = {}
-
-
 def clear_compile_cache() -> None:
-    """Drop the process-wide kernel compile cache (mostly for tests)."""
-    _COMPILE_CACHE.clear()
+    """Drop the process-wide in-memory compile cache (mostly for tests).
+
+    Compilation is owned by :class:`repro.core.service.CompilerService`
+    (content-addressed artifacts shared across devices and, with
+    ``REPRO_CACHE_DIR``, across processes); this only clears its in-process
+    tier -- the persistent tier is environment-scoped.
+    """
+    from repro.core.service import reset_compiler_service
+
+    reset_compiler_service()
 
 
 def _env_use_plans() -> bool:
@@ -237,29 +238,24 @@ class Device:
 
     def compile(self, kern, args: Mapping[str, Any], constexprs: Optional[Mapping[str, Any]] = None,
                 options=None):
-        """Compile a frontend kernel for the given runtime arguments (cached)."""
-        from repro.core.compiler import compile_kernel
-        from repro.core.options import CompileOptions
+        """Compile a frontend kernel for the given runtime arguments (cached).
 
-        options = options or CompileOptions()
+        Routed through the process-wide
+        :class:`repro.core.service.CompilerService`: artifacts are
+        content-addressed (kernel source hash + specialization + options +
+        config), deduplicated across devices / batches / processes, and
+        finalized with the execution plan for this device's mode already
+        built -- so by the time a launch forks worker processes the plan is
+        part of the inherited artifact.
+        """
+        from repro.core.service import get_compiler_service
+
         arg_types = {name: self.infer_arg_type(value) for name, value in args.items()}
-        key = (
-            kern,
-            tuple(sorted((n, str(t)) for n, t in arg_types.items())),
-            tuple(sorted((constexprs or {}).items())),
-            options.cache_key(),
-            self.config,
+        plan_modes = (self.functional,) if self.use_plans else ()
+        return get_compiler_service().compile(
+            kern, arg_types, constexprs, options, config=self.config,
+            plan_modes=plan_modes,
         )
-        compiled = _COMPILE_CACHE.get(key)
-        if compiled is None:
-            COUNTERS.compile_cache_misses += 1
-            compiled = compile_kernel(
-                kern, arg_types, constexprs or {}, options, config=self.config
-            )
-            _COMPILE_CACHE[key] = compiled
-        else:
-            COUNTERS.compile_cache_hits += 1
-        return compiled
 
     # ------------------------------------------------------------------ launch
 
@@ -402,8 +398,11 @@ class Device:
         if self.use_plans:
             from repro.gpusim.plan import get_plan
 
-            # Resolved once per launch (not per CTA) so that the plan is built
-            # in the parent process before any workers fork and inherit it.
+            # Plans are part of the compile artifact (built eagerly by
+            # CompilerService finalization for this device's mode), so for
+            # service-compiled kernels this is a pure lookup; kernels compiled
+            # directly via compile_kernel still get their plan built here,
+            # once per launch, before any workers fork.
             plan = get_plan(compiled, self.config, self.functional)
 
         return _PreparedLaunch(

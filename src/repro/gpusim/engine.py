@@ -166,7 +166,7 @@ class MBarrier:
     A *generation* completes when both its arrival count and its expected
     transaction bytes (if any) are satisfied.  Waiters wait for "at least G
     completed generations", which is the generalization of the hardware
-    parity-bit wait used by the lowering (see DESIGN.md).
+    parity-bit wait used by the lowering (see docs/ARCHITECTURE.md).
     """
 
     def __init__(self, arrive_count: int, name: str = "mbar"):

@@ -13,10 +13,12 @@ Design notes:
 
 * **State crosses the process boundary by fork inheritance.**  Compiled
   kernels, execution plans and launch contexts are full of closures and
-  generators that cannot be pickled; instead the device prepares everything
-  (compile, plan build, argument binding, buffer sharing) *before* the workers
-  are forked, so each child starts with the complete launch state already in
-  its address space.  Only the small, picklable pieces cross the boundary at
+  generators that cannot be pickled; instead workers inherit ready state by
+  construction -- execution plans are built into the compile artifact at
+  finalize time (:class:`repro.core.service.CompilerService`), and the device
+  resolves the remaining per-launch state (argument binding, buffer sharing)
+  before forking -- so each child starts with the complete launch state
+  already in its address space.  Only the small, picklable pieces cross the boundary at
   runtime: a :class:`CtaShard` (worker index + CTA ids) on the way in, and
   per-CTA ``(linear_id, cycles, tc_busy, bytes_copied)`` rows plus a counter
   snapshot on the way out.

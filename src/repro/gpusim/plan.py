@@ -1676,7 +1676,15 @@ def compile_plan(func: FuncOp, config: H100Config,
 
 
 def get_plan(compiled, config: H100Config, functional: bool):
-    """The cached plan of a CompiledKernel for one (mode, config) pair.
+    """The plan of a compile artifact for one (mode, config) pair.
+
+    Plans are first-class parts of the artifact:
+    :class:`repro.core.service.CompilerService` calls this eagerly at
+    artifact-finalize time for every requested mode, so launches (and the
+    worker processes :mod:`repro.gpusim.parallel` forks) see a ready-made
+    plan and this function degenerates to a dict hit.  Kernels compiled
+    outside the service (plain :func:`repro.core.compiler.compile_kernel`)
+    still fill the map lazily here.
 
     Returns ``None`` when the kernel contains an op the plan compiler cannot
     handle (the device then falls back to the interpreter).

@@ -67,6 +67,36 @@ class FoldIdentity(RewritePattern):
         return False
 
 
+class FoldZero(RewritePattern):
+    """x * 0 -> 0 and x - x -> 0 on *integer* scalars (type-preserving).
+
+    Like the other identity folds these are scalar-only: the replacement is
+    an ``arith.constant`` of the op's own result type, so uses see an
+    identically-typed value.  Deliberately integer-only (the frontend's
+    index/offset arithmetic): for floats with a non-constant operand these
+    rewrites are IEEE-unsound -- ``inf * 0.0`` is NaN, ``NaN - NaN`` is NaN
+    -- and would silently diverge from hardware semantics.
+    """
+
+    def match_and_rewrite(self, op: Operation, rewriter: Rewriter) -> bool:
+        if op.name not in ("arith.muli", "arith.subi"):
+            return False
+        if not isinstance(op.result.type, ScalarType):
+            return False
+        if op.name == "arith.muli":
+            if (arith.constant_value(op.operands[0]) == 0
+                    or arith.constant_value(op.operands[1]) == 0):
+                new = rewriter.create(arith.ConstantOp, 0, op.result.type)
+                rewriter.replace_op(op, new)
+                return True
+        else:
+            if op.operands[0] is op.operands[1]:
+                new = rewriter.create(arith.ConstantOp, 0, op.result.type)
+                rewriter.replace_op(op, new)
+                return True
+        return False
+
+
 def eliminate_dead_code(root: Operation) -> int:
     """Remove pure operations whose results are unused.  Returns #erased."""
     ensure_loaded()
@@ -97,7 +127,8 @@ class CanonicalizePass(Pass):
 
     def run(self, module: ModuleOp) -> None:
         ensure_loaded()
-        apply_patterns_greedily(module, [FoldConstantBinary(), FoldIdentity()])
+        apply_patterns_greedily(module, [FoldConstantBinary(), FoldIdentity(),
+                                         FoldZero()])
         eliminate_dead_code(module)
 
 

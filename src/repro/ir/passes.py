@@ -57,11 +57,16 @@ class PassManager:
         dump_each: when set, the printer output after each pass is passed to
             this callback -- used by the ``inspect_ir`` example and by tests
             that check intermediate stages.
+        timing_sink: when set, called with ``(pass_name, seconds)`` after each
+            pass finishes -- how the compiler driver feeds per-pass wall time
+            into the :mod:`repro.perf.counters` block so compile cost is
+            observable next to simulation cost.
     """
 
     passes: List[Pass] = field(default_factory=list)
     verify_each: bool = True
     dump_each: Optional[Callable[[str, str], None]] = None
+    timing_sink: Optional[Callable[[str, float], None]] = None
     timings: List[PassTiming] = field(default_factory=list)
 
     def add(self, *passes: Pass) -> "PassManager":
@@ -81,7 +86,10 @@ class PassManager:
                 raise
             except Exception as exc:
                 raise PassError(f"pass {p.name!r} failed: {exc}") from exc
-            self.timings.append(PassTiming(p.name, time.perf_counter() - start))
+            elapsed = time.perf_counter() - start
+            self.timings.append(PassTiming(p.name, elapsed))
+            if self.timing_sink is not None:
+                self.timing_sink(p.name, elapsed)
             if self.verify_each:
                 verify(module, context=f"after pass {p.name!r}")
             if self.dump_each is not None:

@@ -8,7 +8,7 @@ from repro.perf.metrics import (
     hbm_bound_seconds,
     tflops,
 )
-from repro.perf.report import render_figure, render_table
+from repro.perf.report import render_compile_report, render_figure, render_table
 
 __all__ = [
     "FigureResult",
@@ -16,6 +16,7 @@ __all__ = [
     "tflops",
     "hbm_bound_seconds",
     "apply_memory_roofline",
+    "render_compile_report",
     "render_figure",
     "render_table",
     "COUNTERS",

@@ -2,9 +2,12 @@
 
 The simulator stack increments these as it works:
 
-* the process-wide kernel compile cache (:mod:`repro.gpusim.device`) counts
-  hits and misses -- every experiment builds a fresh ``perf_device()``, so
-  cross-device reuse is what makes full figure sweeps cheap;
+* the compiler service (:mod:`repro.core.service`) counts artifact-cache hits
+  and misses for both tiers -- the in-process LRU (``compile_cache_*``) and
+  the optional ``REPRO_CACHE_DIR`` persistent tier (``compile_disk_*``) --
+  and the pass pipeline feeds per-pass wall time into ``compile_seconds`` /
+  ``compile_pass_seconds`` through :meth:`SimCounters.record_pass_timing`, so
+  compile cost is observable next to simulation cost;
 * the execution-plan cache (:mod:`repro.gpusim.plan`) counts plan builds and
   reuses;
 * the device counts CTAs simulated through each execution path and the
@@ -22,17 +25,29 @@ to turn their copy-on-write block into a pure delta).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from typing import Mapping
+from dataclasses import MISSING, dataclass, field, fields
+from typing import Dict, Mapping
 
 
 @dataclass
 class SimCounters:
     """Mutable counter block shared by the whole process."""
 
-    #: process-wide kernel compile cache (repro.gpusim.device)
+    #: in-process compile-artifact cache (repro.core.service)
     compile_cache_hits: int = 0
     compile_cache_misses: int = 0
+    #: persistent on-disk artifact cache (repro.core.cache, REPRO_CACHE_DIR);
+    #: only counted while the disk tier is enabled
+    compile_disk_hits: int = 0
+    compile_disk_misses: int = 0
+    compile_disk_writes: int = 0
+    compile_disk_errors: int = 0
+    #: pass-pipeline executions (repro.ir.passes timing hook): total passes
+    #: run, total compile wall-seconds, and per-pass wall-seconds.  A process
+    #: that satisfies every compile from the caches keeps these at zero.
+    compile_passes_run: int = 0
+    compile_seconds: float = 0.0
+    compile_pass_seconds: Dict[str, float] = field(default_factory=dict)
     #: execution-plan cache (repro.gpusim.plan), per (kernel, mode, config)
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
@@ -45,24 +60,51 @@ class SimCounters:
     parallel_launches: int = 0
     parallel_workers_forked: int = 0
 
+    def record_pass_timing(self, name: str, seconds: float) -> None:
+        """Fold one pass execution into the compile-cost counters.
+
+        Wired as the :attr:`repro.ir.passes.PassManager.timing_sink` by the
+        compiler driver, so every pass-pipeline execution in the process is
+        accounted for here.
+        """
+        self.compile_passes_run += 1
+        self.compile_seconds += seconds
+        self.compile_pass_seconds[name] = (
+            self.compile_pass_seconds.get(name, 0.0) + seconds
+        )
+
     def snapshot(self) -> dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {
+            f.name: (dict(v) if isinstance(v := getattr(self, f.name), dict) else v)
+            for f in fields(self)
+        }
 
     def reset(self) -> None:
         for f in fields(self):
-            setattr(self, f.name, 0)
+            if f.default_factory is not MISSING:  # type: ignore[misc]
+                setattr(self, f.name, f.default_factory())  # type: ignore[misc]
+            else:
+                setattr(self, f.name, f.default)
 
-    def merge(self, delta: Mapping[str, int]) -> None:
+    def merge(self, delta: Mapping) -> None:
         """Fold a worker process's counter snapshot into this block.
 
-        Addition is commutative, so the aggregate is independent of the order
-        in which worker shards complete -- part of the sharded executor's
-        determinism guarantee.
+        Addition is commutative (per scalar counter and per dict key), so the
+        aggregate is independent of the order in which worker shards complete
+        -- part of the sharded executor's determinism guarantee.
         """
         for f in fields(self):
             increment = delta.get(f.name)
-            if increment:
-                setattr(self, f.name, getattr(self, f.name) + int(increment))
+            if not increment:
+                continue
+            current = getattr(self, f.name)
+            if isinstance(current, dict):
+                for key, value in increment.items():
+                    current[key] = current.get(key, 0.0) + value
+            elif isinstance(current, float):
+                setattr(self, f.name, current + float(increment))
+            else:
+                setattr(self, f.name, current + int(increment))
 
 
 #: The process-wide counter block.

@@ -31,7 +31,7 @@ def apply_memory_roofline(seconds: float, bytes_moved: Optional[float],
     The per-SM staging bandwidth of the simulator models L2-resident operand
     reuse; workloads whose *unique* footprint exceeds what the cache can
     provide can never run faster than their HBM traffic allows, so the
-    experiment harness applies this bound explicitly (see DESIGN.md).
+    experiment harness applies this bound explicitly (see docs/ARCHITECTURE.md).
     """
     if not bytes_moved:
         return seconds

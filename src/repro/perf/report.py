@@ -1,8 +1,9 @@
-"""Plain-text rendering of figure results (the "plots" of this reproduction)."""
+"""Plain-text rendering of figure results (the "plots" of this reproduction),
+plus the compile-cost report backed by :func:`repro.perf.sim_counters`."""
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Mapping, Optional
 
 from repro.perf.metrics import FigureResult
 
@@ -42,3 +43,36 @@ def _format_x(x: float) -> str:
     if float(x).is_integer():
         return str(int(x))
     return f"{x:g}"
+
+
+def render_compile_report(counters: Optional[Mapping] = None) -> str:
+    """The compile-cost side of the counters: per-pass wall time + cache tiers.
+
+    ``counters`` defaults to a fresh :func:`repro.perf.sim_counters` snapshot.
+    Compile cost is reported next to the artifact-cache hit rates because the
+    two trade off directly: every cache hit (in-memory or ``REPRO_CACHE_DIR``
+    disk) is a pass-pipeline execution that never happened.
+    """
+    from repro.perf.counters import sim_counters
+
+    c = dict(counters if counters is not None else sim_counters())
+    lines = ["== compilation =="]
+    pass_seconds = c.get("compile_pass_seconds") or {}
+    if pass_seconds:
+        rows = [[name, f"{seconds * 1e3:.2f}"]
+                for name, seconds in sorted(pass_seconds.items(),
+                                            key=lambda kv: -kv[1])]
+        lines.append(render_table(["pass", "total ms"], rows))
+    lines.append(
+        f"passes run: {c.get('compile_passes_run', 0)}, "
+        f"compile wall time: {c.get('compile_seconds', 0.0) * 1e3:.2f} ms"
+    )
+    lines.append(
+        f"artifact cache: {c.get('compile_cache_hits', 0)} memory hits, "
+        f"{c.get('compile_cache_misses', 0)} misses; "
+        f"disk tier: {c.get('compile_disk_hits', 0)} hits, "
+        f"{c.get('compile_disk_misses', 0)} misses, "
+        f"{c.get('compile_disk_writes', 0)} writes, "
+        f"{c.get('compile_disk_errors', 0)} errors"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,452 @@
+"""The compilation-artifact layer: fingerprints, the two cache tiers and the
+persistent-cache cold-start guarantees.
+
+The headline property under test: with ``REPRO_CACHE_DIR`` set, a *second
+process* compiling the same kernel performs **zero pass-pipeline executions**
+(``compile_passes_run`` stays 0, disk-hit counters prove the reuse) and its
+launches are bit-identical -- cycles and functional outputs -- to both the
+cache-cold first process and a no-cache run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import cache as cache_mod
+from repro.core.cache import DiskCache, MemoryCache, artifact_fingerprint
+from repro.core.options import CompileOptions, NAIVE_OPTIONS
+from repro.core.service import CompilerService
+from repro.frontend import kernel, tl
+from repro.gpusim.config import DEFAULT_CONFIG, H100Config
+from repro.gpusim.device import Device
+from repro.kernels.gemm import GemmProblem, make_gemm_inputs, matmul_kernel
+from repro.perf.counters import COUNTERS
+from repro.ir.types import PointerType, TensorDescType, f16, i32
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_DIR = REPO_ROOT / "src"
+
+GEMM_TYPES = {
+    "a_desc": TensorDescType(f16), "b_desc": TensorDescType(f16),
+    "c_ptr": PointerType(f16), "M": i32, "N": i32, "K": i32,
+}
+GEMM_CONSTS = {"stride_cm": 64, "stride_cn": 1, "Mt": 32, "Nt": 32, "Kt": 32}
+
+
+def _spec(options: CompileOptions, constexprs=GEMM_CONSTS):
+    return matmul_kernel.specialize(GEMM_TYPES, constexprs,
+                                    num_warps=options.num_warps)
+
+
+def _make_elementwise():
+    @kernel
+    def doubler(x_ptr, out_ptr, n, BLOCK: tl.constexpr):
+        pid = tl.program_id(axis=0)
+        offs = pid * BLOCK + tl.arange(0, BLOCK)
+        mask = offs < n
+        x = tl.load(x_ptr + offs, mask=mask, other=0.0)
+        tl.store(out_ptr + offs, x + x, mask=mask)
+
+    return doubler
+
+
+@kernel
+def _body_variant_a(x_ptr, out_ptr, n, BLOCK: tl.constexpr):
+    pid = tl.program_id(axis=0)
+    offs = pid * BLOCK + tl.arange(0, BLOCK)
+    mask = offs < n
+    x = tl.load(x_ptr + offs, mask=mask, other=0.0)
+    tl.store(out_ptr + offs, x + x, mask=mask)
+
+
+@kernel
+def _body_variant_b(x_ptr, out_ptr, n, BLOCK: tl.constexpr):
+    pid = tl.program_id(axis=0)
+    offs = pid * BLOCK + tl.arange(0, BLOCK)
+    mask = offs < n
+    x = tl.load(x_ptr + offs, mask=mask, other=0.0)
+    tl.store(out_ptr + offs, x * x, mask=mask)
+
+
+_LIVE_SCALE = 2.0
+
+
+@kernel
+def _live_binding_kernel(x_ptr, out_ptr, n, BLOCK: tl.constexpr):
+    pid = tl.program_id(axis=0)
+    offs = pid * BLOCK + tl.arange(0, BLOCK)
+    mask = offs < n
+    x = tl.load(x_ptr + offs, mask=mask, other=0.0)
+    tl.store(out_ptr + offs, x * _LIVE_SCALE, mask=mask)
+
+
+def _make_closure_kernel(scale):
+    @kernel
+    def scaled(x_ptr, out_ptr, n, BLOCK: tl.constexpr):
+        pid = tl.program_id(axis=0)
+        offs = pid * BLOCK + tl.arange(0, BLOCK)
+        mask = offs < n
+        x = tl.load(x_ptr + offs, mask=mask, other=0.0)
+        tl.store(out_ptr + offs, x * scale, mask=mask)
+
+    return scaled
+
+
+class TestFingerprint:
+    def test_identical_source_shares_fingerprint(self):
+        k1, k2 = _make_elementwise(), _make_elementwise()
+        assert k1 is not k2
+        assert k1.source_fingerprint == k2.source_fingerprint
+        opts = NAIVE_OPTIONS
+        types = {"x_ptr": PointerType(f16), "out_ptr": PointerType(f16), "n": i32}
+        s1 = k1.specialize(types, {"BLOCK": 32}, num_warps=opts.num_warps)
+        s2 = k2.specialize(types, {"BLOCK": 32}, num_warps=opts.num_warps)
+        assert (artifact_fingerprint(k1, s1, opts, DEFAULT_CONFIG)
+                == artifact_fingerprint(k2, s2, opts, DEFAULT_CONFIG))
+
+    def test_body_edit_changes_fingerprint(self):
+        assert (_body_variant_a.source_fingerprint
+                != _body_variant_b.source_fingerprint)
+
+    def test_live_global_mutation_changes_fingerprint(self, monkeypatch):
+        # Codegen reads fn.__globals__ at build time, so the fingerprint is
+        # recomputed per access rather than frozen at decoration time.
+        before = _live_binding_kernel.source_fingerprint
+        monkeypatch.setattr(sys.modules[__name__], "_LIVE_SCALE", 3.0)
+        after = _live_binding_kernel.source_fingerprint
+        assert after != before
+        monkeypatch.setattr(sys.modules[__name__], "_LIVE_SCALE", 2.0)
+        assert _live_binding_kernel.source_fingerprint == before
+
+    def test_binding_edit_changes_fingerprint(self):
+        # The source text of the nested kernel is identical; only the value
+        # bound to the free variable differs.  Codegen resolves such names at
+        # build time, so the fingerprint must see them.
+        assert (_make_closure_kernel(2.0).source_fingerprint
+                != _make_closure_kernel(3.0).source_fingerprint)
+        assert (_make_closure_kernel(2.0).source_fingerprint
+                == _make_closure_kernel(2.0).source_fingerprint)
+
+    def test_sensitivity_to_every_input(self):
+        base_opts = CompileOptions()
+        base = artifact_fingerprint(matmul_kernel, _spec(base_opts), base_opts,
+                                    DEFAULT_CONFIG)
+        # options change
+        other_opts = CompileOptions(aref_depth=3)
+        assert artifact_fingerprint(matmul_kernel, _spec(other_opts), other_opts,
+                                    DEFAULT_CONFIG) != base
+        # constexpr change
+        consts = dict(GEMM_CONSTS, Kt=16)
+        assert artifact_fingerprint(matmul_kernel, _spec(base_opts, consts),
+                                    base_opts, DEFAULT_CONFIG) != base
+        # hardware config change
+        small = H100Config(num_sms=78)
+        assert artifact_fingerprint(matmul_kernel, _spec(base_opts), base_opts,
+                                    small) != base
+        # stability: recomputing with freshly-built inputs is identical
+        assert artifact_fingerprint(matmul_kernel, _spec(CompileOptions()),
+                                    CompileOptions(), DEFAULT_CONFIG) == base
+
+
+class TestMemoryTier:
+    def test_hit_returns_same_artifact_and_counts(self):
+        service = CompilerService(memory_capacity=8)
+        c1 = service.compile(matmul_kernel, GEMM_TYPES, GEMM_CONSTS, NAIVE_OPTIONS)
+        hits = COUNTERS.compile_cache_hits
+        c2 = service.compile(matmul_kernel, GEMM_TYPES, GEMM_CONSTS, NAIVE_OPTIONS)
+        assert c1 is c2
+        assert COUNTERS.compile_cache_hits == hits + 1
+        assert c1.fingerprint is not None and c1.pipeline == "naive"
+
+    def test_lru_evicts_oldest(self):
+        service = CompilerService(memory_capacity=1)
+        service.compile(matmul_kernel, GEMM_TYPES, GEMM_CONSTS, NAIVE_OPTIONS)
+        service.compile(matmul_kernel, GEMM_TYPES, GEMM_CONSTS,
+                        CompileOptions())  # evicts the naive artifact
+        assert len(service) == 1
+        misses = COUNTERS.compile_cache_misses
+        service.compile(matmul_kernel, GEMM_TYPES, GEMM_CONSTS, NAIVE_OPTIONS)
+        assert COUNTERS.compile_cache_misses == misses + 1  # recompiled
+
+    def test_plans_are_finalized_eagerly(self):
+        service = CompilerService(memory_capacity=8)
+        compiled = service.compile(matmul_kernel, GEMM_TYPES, GEMM_CONSTS,
+                                   CompileOptions(), config=DEFAULT_CONFIG,
+                                   plan_modes=(True,))
+        # The functional-mode plan is part of the artifact before any launch.
+        assert (True, DEFAULT_CONFIG) in compiled.plans
+
+
+class TestDiskTier:
+    @pytest.fixture(autouse=True)
+    def _cache_dir(self, tmp_path, monkeypatch):
+        self.root = tmp_path / "artifact-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(self.root))
+
+    def test_cold_load_skips_the_entire_pipeline(self):
+        warm = CompilerService()
+        c1 = warm.compile(matmul_kernel, GEMM_TYPES, GEMM_CONSTS, CompileOptions())
+        assert COUNTERS.compile_disk_writes == 1
+        assert COUNTERS.compile_passes_run > 0
+
+        # A fresh service models a fresh process (empty memory tier).
+        passes_before = COUNTERS.compile_passes_run
+        cold = CompilerService()
+        c2 = cold.compile(matmul_kernel, GEMM_TYPES, GEMM_CONSTS, CompileOptions(),
+                          plan_modes=(True,))
+        assert COUNTERS.compile_disk_hits == 1
+        assert COUNTERS.compile_passes_run == passes_before  # zero passes run
+        assert c2 is not c1
+        assert c2.ir() == c1.ir()  # bit-identical lowered IR
+        assert c2.metadata == c1.metadata
+        assert c2.fingerprint == c1.fingerprint
+        assert (True, DEFAULT_CONFIG) in c2.plans  # plans rebuilt at finalize
+
+    def test_launch_results_bit_identical_across_tiers(self):
+        problem = GemmProblem(M=64, N=64, K=64, block_m=32, block_n=32,
+                              block_k=32)
+
+        def run_once():
+            dev = Device(mode="functional")
+            args, _, c_buf = make_gemm_inputs(problem, dev)
+            result = dev.run(matmul_kernel, problem.grid, args,
+                             problem.constexprs(), CompileOptions())
+            return result, np.array(c_buf, copy=True)
+
+        res_cold, out_cold = run_once()
+        from repro.gpusim.device import clear_compile_cache
+        clear_compile_cache()  # drop the memory tier; disk tier survives
+        passes_before = COUNTERS.compile_passes_run
+        res_warm, out_warm = run_once()
+        assert COUNTERS.compile_passes_run == passes_before
+        assert COUNTERS.compile_disk_hits >= 1
+        assert res_warm.cycles == res_cold.cycles
+        assert res_warm.per_cta_cycles == res_cold.per_cta_cycles
+        assert out_warm.tobytes() == out_cold.tobytes()
+
+    def test_options_config_and_source_produce_distinct_entries(self):
+        service = CompilerService()
+        service.compile(matmul_kernel, GEMM_TYPES, GEMM_CONSTS, CompileOptions())
+        service.compile(matmul_kernel, GEMM_TYPES, GEMM_CONSTS, NAIVE_OPTIONS)
+        service.compile(matmul_kernel, GEMM_TYPES, GEMM_CONSTS, CompileOptions(),
+                        config=H100Config(num_sms=78))
+        types = {"x_ptr": PointerType(f16), "out_ptr": PointerType(f16), "n": i32}
+        service.compile(_body_variant_a, types, {"BLOCK": 32}, NAIVE_OPTIONS)
+        service.compile(_body_variant_b, types, {"BLOCK": 32}, NAIVE_OPTIONS)
+        assert len(list(self.root.glob("*.pkl"))) == 5
+
+    def test_corrupted_entry_falls_back_to_recompile(self):
+        CompilerService().compile(matmul_kernel, GEMM_TYPES, GEMM_CONSTS,
+                                  CompileOptions())
+        entry = next(self.root.glob("*.pkl"))
+        entry.write_bytes(entry.read_bytes()[:64])  # truncate the pickle
+
+        passes_before = COUNTERS.compile_passes_run
+        compiled = CompilerService().compile(matmul_kernel, GEMM_TYPES,
+                                             GEMM_CONSTS, CompileOptions())
+        assert compiled is not None
+        assert COUNTERS.compile_disk_errors >= 1
+        assert COUNTERS.compile_passes_run > passes_before  # recompiled
+        # ... and the damaged entry was replaced by a fresh one.
+        assert COUNTERS.compile_disk_writes == 2
+
+    def test_cache_version_bump_invalidates(self, monkeypatch):
+        service = CompilerService()
+        service.compile(matmul_kernel, GEMM_TYPES, GEMM_CONSTS, CompileOptions())
+        old_key = next(self.root.glob("*.pkl")).stem
+
+        monkeypatch.setattr(cache_mod, "CACHE_VERSION",
+                            cache_mod.CACHE_VERSION + 1)
+        # The version participates in the fingerprint: new key, disk miss.
+        misses = COUNTERS.compile_disk_misses
+        CompilerService().compile(matmul_kernel, GEMM_TYPES, GEMM_CONSTS,
+                                  CompileOptions())
+        assert COUNTERS.compile_disk_misses == misses + 1
+        # And a stale-stamped payload is self-invalidating even when loaded
+        # under its old key: discarded, reported as a miss, file removed.
+        assert DiskCache(self.root).load(old_key) is None
+        assert not (self.root / f"{old_key}.pkl").exists()
+
+    def test_unwritable_cache_root_is_nonfatal(self, monkeypatch, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(blocker / "sub"))
+        compiled = CompilerService().compile(matmul_kernel, GEMM_TYPES,
+                                             GEMM_CONSTS, CompileOptions())
+        assert compiled is not None
+        assert COUNTERS.compile_disk_errors >= 1
+
+
+class TestMemoryCacheUnit:
+    def test_lru_order_and_capacity(self):
+        cache = MemoryCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"
+        cache.put("c", 3)  # evicts "b", the least recently used
+        assert "b" not in cache and "a" in cache and "c" in cache
+
+    def test_zero_capacity_disables_the_tier(self):
+        cache = MemoryCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None and len(cache) == 0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryCache(capacity=-1)
+
+    def test_malformed_env_capacity_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MEMORY_ENTRIES", "not-a-number")
+        assert MemoryCache().capacity == cache_mod.DEFAULT_MEMORY_ENTRIES
+        monkeypatch.setenv("REPRO_CACHE_MEMORY_ENTRIES", "-5")
+        assert MemoryCache().capacity == cache_mod.DEFAULT_MEMORY_ENTRIES
+        monkeypatch.setenv("REPRO_CACHE_MEMORY_ENTRIES", "0")
+        assert MemoryCache().capacity == 0  # documented off switch
+
+
+# ---------------------------------------------------------------------------
+# Cross-process cold start
+# ---------------------------------------------------------------------------
+
+KERNEL_FILE_TEMPLATE = '''
+from repro.frontend import kernel, tl
+
+
+@kernel
+def scale_kernel(x_ptr, out_ptr, n, BLOCK: tl.constexpr):
+    pid = tl.program_id(axis=0)
+    offs = pid * BLOCK + tl.arange(0, BLOCK)
+    mask = offs < n
+    x = tl.load(x_ptr + offs, mask=mask, other=0.0)
+    tl.store(out_ptr + offs, x * {scale} + x, mask=mask)
+'''
+
+# Same kernel body, but the scale lives in a module-level global the kernel
+# reads -- editing it must invalidate cached artifacts even though the kernel
+# *source text* is unchanged.
+KERNEL_GLOBAL_TEMPLATE = '''
+from repro.frontend import kernel, tl
+
+SCALE = {scale}
+
+
+@kernel
+def scale_kernel(x_ptr, out_ptr, n, BLOCK: tl.constexpr):
+    pid = tl.program_id(axis=0)
+    offs = pid * BLOCK + tl.arange(0, BLOCK)
+    mask = offs < n
+    x = tl.load(x_ptr + offs, mask=mask, other=0.0)
+    tl.store(out_ptr + offs, x * SCALE + x, mask=mask)
+'''
+
+DRIVER = '''
+import importlib.util, json, sys
+sys.path.insert(0, {src!r})
+import numpy as np
+
+spec = importlib.util.spec_from_file_location("user_kernels", sys.argv[1])
+mod = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(mod)
+
+from repro.core.options import CompileOptions
+from repro.gpusim.device import Device
+from repro.perf.counters import sim_counters
+
+n, block = 192, 64
+dev = Device(mode="functional")
+x = (np.arange(n, dtype=np.float32) % 17) * 0.25
+out = np.zeros(n, dtype=np.float32)
+result = dev.run(mod.scale_kernel, (n // block,),
+                 {{"x_ptr": dev.pointer(x, "f32"), "out_ptr": dev.pointer(out, "f32"),
+                   "n": n}},
+                 {{"BLOCK": block}},
+                 CompileOptions(enable_warp_specialization=False,
+                                software_pipelining=False))
+c = sim_counters()
+print(json.dumps({{
+    "cycles": result.cycles,
+    "per_cta_cycles": result.per_cta_cycles,
+    "out_sha": __import__("hashlib").sha256(out.tobytes()).hexdigest(),
+    "passes_run": c["compile_passes_run"],
+    "disk_hits": c["compile_disk_hits"],
+    "disk_misses": c["compile_disk_misses"],
+    "disk_writes": c["compile_disk_writes"],
+}}))
+'''
+
+
+class TestColdProcessRoundTrip:
+    def _run_process(self, tmp_path, kernel_file, cache_dir):
+        env = dict(os.environ)
+        env.pop("REPRO_CACHE_DIR", None)
+        env.pop("REPRO_SIM_WORKERS", None)
+        if cache_dir is not None:
+            env["REPRO_CACHE_DIR"] = str(cache_dir)
+        driver = tmp_path / "driver.py"
+        driver.write_text(DRIVER.format(src=str(SRC_DIR)))
+        proc = subprocess.run(
+            [sys.executable, str(driver), str(kernel_file)],
+            capture_output=True, text=True, env=env, cwd=str(tmp_path),
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout.strip().splitlines()[-1])
+
+    def test_second_process_gets_disk_hits_and_identical_results(self, tmp_path):
+        kernel_file = tmp_path / "user_kernels.py"
+        kernel_file.write_text(KERNEL_FILE_TEMPLATE.format(scale="2.0"))
+        cache_dir = tmp_path / "cache"
+
+        cold = self._run_process(tmp_path, kernel_file, cache_dir)
+        assert cold["passes_run"] > 0
+        assert cold["disk_hits"] == 0 and cold["disk_writes"] >= 1
+
+        warm = self._run_process(tmp_path, kernel_file, cache_dir)
+        assert warm["passes_run"] == 0  # the whole pipeline was skipped
+        assert warm["disk_hits"] >= 1
+
+        uncached = self._run_process(tmp_path, kernel_file, cache_dir=None)
+        # Bit-identical across cold / warm / no-cache executions.
+        assert warm["cycles"] == cold["cycles"] == uncached["cycles"]
+        assert (warm["per_cta_cycles"] == cold["per_cta_cycles"]
+                == uncached["per_cta_cycles"])
+        assert warm["out_sha"] == cold["out_sha"] == uncached["out_sha"]
+
+    def test_kernel_source_edit_invalidates_across_processes(self, tmp_path):
+        kernel_file = tmp_path / "user_kernels.py"
+        kernel_file.write_text(KERNEL_FILE_TEMPLATE.format(scale="2.0"))
+        cache_dir = tmp_path / "cache"
+        first = self._run_process(tmp_path, kernel_file, cache_dir)
+
+        # Edit the kernel body; the content-addressed key must change.
+        kernel_file.write_text(KERNEL_FILE_TEMPLATE.format(scale="3.0"))
+        edited = self._run_process(tmp_path, kernel_file, cache_dir)
+        assert edited["passes_run"] > 0  # recompiled, no stale-artifact reuse
+        assert edited["disk_hits"] == 0 and edited["disk_misses"] >= 1
+        assert edited["out_sha"] != first["out_sha"]
+
+        # Re-running the edited source warm-starts from its own entry.
+        warm = self._run_process(tmp_path, kernel_file, cache_dir)
+        assert warm["passes_run"] == 0
+        assert warm["out_sha"] == edited["out_sha"]
+
+    def test_global_binding_edit_invalidates_across_processes(self, tmp_path):
+        kernel_file = tmp_path / "user_kernels.py"
+        kernel_file.write_text(KERNEL_GLOBAL_TEMPLATE.format(scale="2.0"))
+        cache_dir = tmp_path / "cache"
+        first = self._run_process(tmp_path, kernel_file, cache_dir)
+
+        # Identical kernel source; only the module-level SCALE changes.  A
+        # source-text-only fingerprint would serve the stale SCALE=2 artifact.
+        kernel_file.write_text(KERNEL_GLOBAL_TEMPLATE.format(scale="3.0"))
+        edited = self._run_process(tmp_path, kernel_file, cache_dir)
+        assert edited["passes_run"] > 0
+        assert edited["disk_hits"] == 0
+        assert edited["out_sha"] != first["out_sha"]

@@ -6,6 +6,13 @@ import pytest
 
 from repro.core.compiler import build_pass_pipeline, compile_kernel
 from repro.core.options import CompileError, CompileOptions
+from repro.core.pipelines import (
+    PipelineSpec,
+    available_pipelines,
+    get_pipeline,
+    register_pipeline,
+    resolve_pipeline_name,
+)
 from repro.core.resources import estimate_resources
 from repro.core.tagging import ROLE_ATTR, TagSemanticsPass, tag_function
 from repro.frontend import kernel, tl
@@ -280,6 +287,50 @@ class TestPersistentAndResources:
         assert est.num_warp_groups == 3  # 1 producer + 2 cooperative consumers
         assert est.smem_bytes > 0
         assert "KiB" in est.describe()
+
+
+class TestPipelineRegistry:
+    def test_builtin_pipelines_registered(self):
+        names = available_pipelines()
+        for expected in ("tawa-gpu", "tawa-mid", "triton-baseline", "naive",
+                         "frontend-only"):
+            assert expected in names
+
+    def test_options_resolve_to_pipeline_names(self):
+        assert resolve_pipeline_name(CompileOptions()) == "tawa-gpu"
+        assert resolve_pipeline_name(CompileOptions(lower_to="tawa")) == "tawa-mid"
+        assert resolve_pipeline_name(CompileOptions(lower_to="tt")) == "frontend-only"
+        assert resolve_pipeline_name(
+            CompileOptions(enable_warp_specialization=False)) == "triton-baseline"
+        assert resolve_pipeline_name(
+            CompileOptions(enable_warp_specialization=False,
+                           software_pipelining=False)) == "naive"
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(CompileError, match="unknown pass pipeline"):
+            get_pipeline("no-such-pipeline")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(CompileError, match="already registered"):
+            register_pipeline(PipelineSpec("tawa-gpu", "dup", lambda o, c: []))
+
+    def test_every_pipeline_is_bracketed(self):
+        # Canonicalize in front, resource validation at the back -- for every
+        # registered strategy.
+        for options in (CompileOptions(), CompileOptions(lower_to="tawa"),
+                        CompileOptions(lower_to="tt"),
+                        CompileOptions(enable_warp_specialization=False)):
+            names = [p.name for p in build_pass_pipeline(options).passes]
+            assert names[0] == "canonicalize"
+            assert names[-1] == "resource-validation"
+
+    def test_compiled_artifact_records_pipeline_and_timings(self):
+        compiled = compile_kernel(matmul_kernel, GEMM_TYPES, GEMM_CONSTS,
+                                  CompileOptions(num_consumer_groups=2))
+        assert compiled.pipeline == "tawa-gpu"
+        assert compiled.fingerprint is not None
+        assert "warp-specialize" in compiled.pass_timings
+        assert all(seconds >= 0.0 for seconds in compiled.pass_timings.values())
 
 
 class TestDriver:

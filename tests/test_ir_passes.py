@@ -13,7 +13,12 @@ from repro.ir import (
     print_op,
     verify,
 )
-from repro.ir.canonicalize import CanonicalizePass, DeadCodeEliminationPass, eliminate_dead_code
+from repro.ir.canonicalize import (
+    CanonicalizePass,
+    DeadCodeEliminationPass,
+    FoldZero,
+    eliminate_dead_code,
+)
 from repro.ir.dialects import arith, scf, tt, ensure_loaded
 from repro.ir.passes import PassError
 from repro.ir.rewriter import RewritePattern, Rewriter, apply_patterns_greedily
@@ -134,6 +139,74 @@ class TestCanonicalize:
         CanonicalizePass().run(module)
         names = [op.name for op in fn.body.operations]
         assert "arith.addi" not in names  # x + 0 folded away
+
+    def _loop_keeping(self, b, bound_value):
+        """An scf.for using ``bound_value`` as its upper bound (never DCE'd)."""
+        lo = arith.c_i32(b, 0)
+        step = arith.c_i32(b, 1)
+        loop = b.create(scf.ForOp, lo, bound_value, step, [])
+        with b.at(loop.body):
+            b.create(scf.YieldOp, [])
+        return loop
+
+    def test_mul_by_zero_folds_to_zero(self):
+        module = ModuleOp()
+        fn = FuncOp("f", FunctionType((i32,), ()))
+        module.append(fn)
+        b = Builder(fn.body)
+        zero = arith.c_i32(b, 0)
+        mul = b.create(arith.MulIOp, fn.argument(0), zero)
+        loop = self._loop_keeping(b, mul.result)
+        b.create(ReturnOp)
+        CanonicalizePass().run(module)
+        assert all(op.name != "arith.muli" for op in fn.body.operations)
+        bound = loop.operands[1].defining_op
+        assert bound.name == "arith.constant"
+        assert bound.attributes["value"] == 0
+        assert loop.operands[1].type == i32  # type-preserving
+
+    def test_float_zero_patterns_not_folded(self):
+        # IEEE-unsound for non-constant operands (inf * 0.0 is NaN, NaN - NaN
+        # is NaN), so FoldZero must leave float ops alone.
+        module = ModuleOp()
+        fn = FuncOp("f", FunctionType((f32,), ()))
+        module.append(fn)
+        b = Builder(fn.body)
+        zero = b.create(arith.ConstantOp, 0.0, f32).result
+        mul = b.create(arith.MulFOp, zero, fn.argument(0))
+        sub = b.create(arith.SubFOp, fn.argument(0), fn.argument(0))
+        b.create(tt.SplatOp, mul.result, (4,))
+        b.create(tt.SplatOp, sub.result, (4,))
+        b.create(ReturnOp)
+        apply_patterns_greedily(module, [FoldZero()])  # no DCE: inspect the IR
+        names = [op.name for op in fn.body.operations]
+        assert "arith.mulf" in names and "arith.subf" in names
+
+    def test_sub_self_folds_to_zero(self):
+        module = ModuleOp()
+        fn = FuncOp("f", FunctionType((i32,), ()))
+        module.append(fn)
+        b = Builder(fn.body)
+        sub = b.create(arith.SubIOp, fn.argument(0), fn.argument(0))
+        loop = self._loop_keeping(b, sub.result)
+        b.create(ReturnOp)
+        CanonicalizePass().run(module)
+        assert all(op.name != "arith.subi" for op in fn.body.operations)
+        bound = loop.operands[1].defining_op
+        assert bound.name == "arith.constant"
+        assert bound.attributes["value"] == 0
+        assert loop.operands[1].type == i32
+
+    def test_sub_of_distinct_values_untouched(self):
+        module = ModuleOp()
+        fn = FuncOp("f", FunctionType((i32, i32), ()))
+        module.append(fn)
+        b = Builder(fn.body)
+        sub = b.create(arith.SubIOp, fn.argument(0), fn.argument(1))
+        self._loop_keeping(b, sub.result)
+        b.create(ReturnOp)
+        CanonicalizePass().run(module)
+        assert any(op.name == "arith.subi" for op in fn.body.operations)
 
     def test_dce_keeps_side_effects(self):
         module, fn, _ = build_gemm_like_func()
