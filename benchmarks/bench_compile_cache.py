@@ -91,3 +91,47 @@ def test_cold_vs_warm_process_compile(tmp_path):
           f"({cold['passes_run']} passes)")
     print(f"warm process: {warm['wall_seconds'] * 1e3:.0f} ms wall, "
           f"0 passes, {warm['disk_hits']} disk hits")
+
+
+def test_fingerprint_memoization():
+    """Warm ``Kernel.source_fingerprint`` accesses skip the full re-hash.
+
+    Every cache lookup in a launch loop re-keys the artifact by the kernel's
+    source fingerprint, which used to re-hash source + live globals on each
+    access.  The memoized path only re-takes a cheap bindings snapshot; this
+    records the per-access cost of both paths and the speedup.
+    """
+    import time
+
+    from repro.kernels.gemm import matmul_kernel
+
+    accesses = 2000
+    matmul_kernel.source_fingerprint  # prime the memo
+
+    recomputes_before = matmul_kernel.fingerprint_recomputes
+    start = time.perf_counter()
+    for _ in range(accesses):
+        matmul_kernel.source_fingerprint
+    warm_seconds = time.perf_counter() - start
+    # The memo must actually have served the warm loop: zero recomputes.
+    assert matmul_kernel.fingerprint_recomputes == recomputes_before
+
+    start = time.perf_counter()
+    for _ in range(accesses):
+        # Dropping the memo forces the historical full-hash path.
+        matmul_kernel._fingerprint_value = None
+        matmul_kernel.source_fingerprint
+    cold_seconds = time.perf_counter() - start
+
+    speedup = cold_seconds / max(warm_seconds, 1e-12)
+    payload = {
+        "accesses": accesses,
+        "warm_us_per_access": round(warm_seconds / accesses * 1e6, 3),
+        "cold_us_per_access": round(cold_seconds / accesses * 1e6, 3),
+        "memoized_speedup": round(speedup, 2),
+    }
+    emit_json("bench_fingerprint_memoization", payload)
+    print(f"\nfingerprint access: warm {payload['warm_us_per_access']} us, "
+          f"full re-hash {payload['cold_us_per_access']} us "
+          f"({payload['memoized_speedup']}x)")
+    assert speedup > 1.0

@@ -1,0 +1,71 @@
+"""Workload throughput benchmark: TFLOP/s for every registered workload.
+
+The registry (:mod:`repro.workloads`) is the single source of truth for
+what the simulator can run; this benchmark sweeps every registered
+workload's reduced problem set through one batched
+:func:`repro.experiments.common.measure_sweep` submission on a
+performance-mode device -- the exact path the CLI and figure harnesses use
+-- and publishes the per-point TFLOP/s series (plus wall time and counter
+evidence of batched compilation) as JSON in ``benchmarks/out/``.
+
+New workloads appear here automatically the moment they register.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit_json
+from repro import workloads
+from repro.experiments.common import SweepPoint, measure_sweep, perf_device
+from repro.perf.counters import COUNTERS
+
+
+def test_workload_throughput(benchmark):
+    points = []
+    meta = []
+    for name in workloads.list_workloads():
+        workload = workloads.get(name)
+        for problem in workload.reduced_sweep():
+            points.append(SweepPoint(name, problem,
+                                     workload.default_options()))
+            meta.append((name, problem))
+
+    state = {}
+
+    def run_sweep():
+        device = perf_device()
+        start = time.perf_counter()
+        values = measure_sweep(device, points)
+        state["values"] = values
+        state["seconds"] = time.perf_counter() - start
+        return values
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    values = state["values"]
+    rows = []
+    print()
+    for (name, problem), value in zip(meta, values):
+        print(f"{value:10.1f} TFLOP/s  {name}: {problem!r}")
+        rows.append({"workload": name, "problem": repr(problem),
+                     "tflops": round(value, 2),
+                     "flops": workloads.get(name).flops(problem),
+                     "bytes_moved": workloads.get(name).bytes_moved(problem)})
+    print(f"  {len(points)} points in {state['seconds']:.2f}s "
+          f"({COUNTERS.compile_cache_misses} compiles, "
+          f"{COUNTERS.compile_cache_hits} cache hits)")
+
+    emit_json("bench_workloads", {
+        "points": rows,
+        "sweep_seconds": round(state["seconds"], 3),
+        "num_workloads": len(workloads.list_workloads()),
+        "counters": COUNTERS.snapshot(),
+    }, benchmark=benchmark)
+
+    # Every registered workload must produce a non-zero measurement: a 0.0
+    # means its default configuration stopped compiling or launching.
+    assert len(values) == len(points)
+    assert all(v > 0.0 for v in values), [
+        m for m, v in zip(meta, values) if v == 0.0
+    ]

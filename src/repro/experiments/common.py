@@ -25,31 +25,16 @@ following launches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.baselines import analytic
 from repro.core.options import CompileOptions, NAIVE_OPTIONS, TRITON_BASELINE_OPTIONS
 from repro.gpusim.config import DEFAULT_CONFIG, H100Config
 from repro.gpusim.device import Device, LaunchSpec
-from repro.kernels.attention import (
-    AttentionProblem,
-    attention_kernel,
-    make_attention_inputs,
-    run_attention,
-)
-from repro.kernels.batched_gemm import (
-    BatchedGemmProblem,
-    batched_matmul_kernel,
-    make_batched_inputs,
-    run_batched_gemm,
-)
-from repro.kernels.gemm import GemmProblem, make_gemm_inputs, matmul_kernel, run_gemm
-from repro.kernels.grouped_gemm import (
-    GroupedGemmProblem,
-    grouped_matmul_kernel,
-    make_grouped_inputs,
-    run_grouped_gemm,
-)
+from repro.kernels.attention import AttentionProblem, run_attention
+from repro.kernels.batched_gemm import BatchedGemmProblem, run_batched_gemm
+from repro.kernels.gemm import GemmProblem, run_gemm
+from repro.kernels.grouped_gemm import GroupedGemmProblem, run_grouped_gemm
 from repro.perf.metrics import apply_memory_roofline, tflops
 
 TAWA = "Tawa"
@@ -150,56 +135,15 @@ def measure_attention(device: Device, problem: AttentionProblem,
 class SweepPoint:
     """One simulated measurement of a sweep.
 
+    ``kind`` is a name in the workload registry (:mod:`repro.workloads`) --
+    the four figure workloads plus anything registered since.
     ``options=None`` marks a point as infeasible (e.g. the P > D cells of
     Fig. 11); it is not launched and scores 0.0 TFLOP/s.
     """
 
-    kind: str  # "gemm" | "batched_gemm" | "grouped_gemm" | "attention"
+    kind: str  # a registered workload name: "gemm", "attention", "softmax", ...
     problem: Any
     options: Optional[CompileOptions]
-
-
-def _gemm_spec(device: Device, problem: GemmProblem,
-               options: CompileOptions) -> LaunchSpec:
-    args, _, _ = make_gemm_inputs(problem, device)
-    return LaunchSpec(matmul_kernel, problem.grid, args, problem.constexprs(),
-                      options, problem.flops)
-
-
-def _batched_gemm_spec(device: Device, problem: BatchedGemmProblem,
-                       options: CompileOptions) -> LaunchSpec:
-    args, _ = make_batched_inputs(problem, device)
-    return LaunchSpec(batched_matmul_kernel, problem.grid, args,
-                      problem.constexprs(), options, problem.flops)
-
-
-def _grouped_gemm_spec(device: Device, problem: GroupedGemmProblem,
-                       options: CompileOptions) -> LaunchSpec:
-    args, _ = make_grouped_inputs(problem, device)
-    return LaunchSpec(grouped_matmul_kernel, problem.grid, args,
-                      problem.constexprs(), options, problem.flops)
-
-
-def _attention_spec(device: Device, problem: AttentionProblem,
-                    options: CompileOptions) -> LaunchSpec:
-    args, _ = make_attention_inputs(problem, device)
-    return LaunchSpec(attention_kernel, problem.grid, args, problem.constexprs(),
-                      options, problem.flops)
-
-
-_SPEC_BUILDERS = {
-    "gemm": _gemm_spec,
-    "batched_gemm": _batched_gemm_spec,
-    "grouped_gemm": _grouped_gemm_spec,
-    "attention": _attention_spec,
-}
-
-_SWEEP_BYTES = {
-    "gemm": lambda p: p.bytes_moved,
-    "batched_gemm": analytic.batched_gemm_bytes,
-    "grouped_gemm": analytic.grouped_gemm_bytes,
-    "attention": analytic.attention_bytes,
-}
 
 
 def measure_sweep(device: Device, points: Sequence[SweepPoint]) -> List[float]:
@@ -208,6 +152,12 @@ def measure_sweep(device: Device, points: Sequence[SweepPoint]) -> List[float]:
     Returns one TFLOP/s value per point, in order (0.0 for infeasible
     points).  Equivalent to calling the per-point ``measure_*`` helpers one
     at a time, but all launches go through :meth:`Device.run_many`.
+
+    Each point is resolved through the workload registry
+    (:mod:`repro.workloads`), so any registered workload can ride in a
+    sweep; a workload may expand to *several* launches per point (split-K
+    GEMM's partial + reduction pipeline) whose simulated seconds are summed
+    before the memory roofline is applied.
 
     Kernel compilation is front-loaded here (deduplicated by the compiler
     service's content-addressed artifact cache); a point whose configuration
@@ -221,27 +171,42 @@ def measure_sweep(device: Device, points: Sequence[SweepPoint]) -> List[float]:
     buffers need not be resident at once.
     """
     from repro.core.options import CompileError
+    from repro import workloads
 
     specs: List[LaunchSpec] = []
-    launched: List[int] = []
+    launched: List[Tuple[int, int]] = []  # (point index, launches for it)
     for i, point in enumerate(points):
         if point.options is None:
             continue
-        spec = _SPEC_BUILDERS[point.kind](device, point.problem, point.options)
+        workload = workloads.get(point.kind)
         try:
-            spec.kernel = device.compile(spec.kernel, spec.args, spec.constexprs,
-                                         spec.options)
+            point_specs = workloads.build_sweep_specs(device, workload,
+                                                      point.problem, point.options)
         except CompileError:
             continue
-        specs.append(spec)
-        launched.append(i)
+        specs.extend(point_specs)
+        launched.append((i, len(point_specs)))
     results = device.run_many(specs)
 
     values = [0.0] * len(points)
-    for i, result in zip(launched, results):
+    cursor = 0
+    for i, count in launched:
         point = points[i]
-        seconds = apply_memory_roofline(result.seconds,
-                                        _SWEEP_BYTES[point.kind](point.problem),
+        workload = workloads.get(point.kind)
+        seconds = sum(r.seconds for r in results[cursor:cursor + count])
+        cursor += count
+        seconds = apply_memory_roofline(seconds,
+                                        workload.bytes_moved(point.problem),
                                         device.config)
         values[i] = tflops(point.problem.flops, seconds)
     return values
+
+
+def measure_workload(device: Device, kind: str, problem: Any,
+                     options: Optional[CompileOptions] = None) -> float:
+    """Measure one registered workload point (TFLOP/s after the roofline)."""
+    from repro import workloads
+
+    if options is None:
+        options = workloads.get(kind).default_options()
+    return measure_sweep(device, [SweepPoint(kind, problem, options)])[0]

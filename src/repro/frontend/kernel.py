@@ -51,6 +51,76 @@ def _stable_binding(value: Any) -> str:
     return f"object:{type(value).__module__}.{type(value).__qualname__}"
 
 
+def _referenced_names(fn) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """The (global, closure) names a kernel body can resolve — per code object.
+
+    Deliberately *unfiltered* by current ``fn.__globals__`` membership: a
+    module constant defined below the ``@kernel`` decorator must still enter
+    the bindings snapshot (as present-or-missing), otherwise mutating it
+    later could never invalidate the memoized fingerprint.
+    """
+    code = fn.__code__
+    free_names = tuple(code.co_freevars) if (code.co_freevars and fn.__closure__) else ()
+    return tuple(code.co_names), free_names
+
+
+def _snapshot_value(value: Any) -> Any:
+    """A cheap, comparison-safe snapshot of one binding value.
+
+    Scalars snapshot by repr and sequences element-wise (a mutated
+    module-level constant must be noticed); everything else snapshots as the
+    object reference itself, compared by *identity* in
+    :func:`_snapshots_equal` -- never by ``==``, which arbitrary objects
+    (NumPy arrays!) do not implement as a boolean.  Holding the reference
+    also pins the object's id, so a recycled id cannot alias a stale entry.
+    """
+    if isinstance(value, _SCALAR_BINDING_TYPES):
+        # repr, not the raw value: the comparison must be exactly as
+        # discriminating as _stable_binding's ``const:{value!r}`` encoding.
+        # Plain ``==`` coerces across 1 == 1.0 == True (and 0.0 == -0.0),
+        # which would serve a stale fingerprint for a type-changing rebind.
+        return repr(value)
+    if isinstance(value, (tuple, list)):
+        return tuple(_snapshot_value(v) for v in value)
+    return _ByIdentity(value)
+
+
+class _ByIdentity:
+    """Wrapper whose equality is object identity of the wrapped value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, _ByIdentity) and self.value is other.value
+
+    def __ne__(self, other: Any) -> bool:
+        return not self.__eq__(other)
+
+
+def _binding_snapshot(fn, names: Tuple[Tuple[str, ...], Tuple[str, ...]]) -> tuple:
+    """Snapshot every binding the kernel body resolves, for cheap change checks."""
+    global_names, free_names = names
+    g = fn.__globals__
+    entries = []
+    for name in global_names:
+        # A name can disappear from (or appear in) the module namespace; the
+        # sentinel keeps such transitions visible to the comparison.
+        entries.append(_snapshot_value(g[name]) if name in g else _MISSING_BINDING)
+    if free_names:
+        for cell in fn.__closure__:
+            try:
+                entries.append(_snapshot_value(cell.cell_contents))
+            except ValueError:  # pragma: no cover - unfilled cell
+                entries.append(_MISSING_BINDING)
+    return tuple(entries)
+
+
+_MISSING_BINDING = object()
+
+
 def _binding_digest(fn) -> str:
     """The globals/closure bindings the kernel body resolves names against.
 
@@ -127,6 +197,12 @@ class Kernel:
         self._func_ast = func_defs[0]
         self.params = self._extract_params()
         self._fingerprint_base = f"{self.name}\n{source}"
+        self._fingerprint_names = _referenced_names(fn)
+        self._fingerprint_snapshot: Optional[tuple] = None
+        self._fingerprint_value: Optional[str] = None
+        #: Full source+bindings hash computations (observability for tests
+        #: and the compile-cache benchmark; warm accesses must not bump it).
+        self.fingerprint_recomputes = 0
 
     # -- signature ---------------------------------------------------------------
 
@@ -151,14 +227,26 @@ class Kernel:
         module imported by different processes) share artifacts, while
         editing the kernel body -- or a module-level constant it reads --
         invalidates every cached artifact derived from it
-        (:mod:`repro.core.cache`).  Recomputed per access (not frozen at
-        decoration time) because codegen reads the *live* ``fn.__globals__``
-        at module-build time, so a global mutated after import must change
-        the fingerprint too.
+        (:mod:`repro.core.cache`).  Not frozen at decoration time because
+        codegen reads the *live* ``fn.__globals__`` at module-build time, so
+        a global mutated after import must change the fingerprint too.
+
+        Memoized behind a cheap bindings snapshot: warm accesses (the common
+        case -- every cache hit in a launch loop re-keys the artifact) only
+        re-take the snapshot and compare it against the one the cached hash
+        was computed from; the full stable-encode + SHA-256 runs again only
+        when a binding actually changed.
         """
-        return hashlib.sha256(
+        snapshot = _binding_snapshot(self.fn, self._fingerprint_names)
+        if self._fingerprint_value is not None and snapshot == self._fingerprint_snapshot:
+            return self._fingerprint_value
+        self.fingerprint_recomputes += 1
+        digest = hashlib.sha256(
             f"{self._fingerprint_base}\n{_binding_digest(self.fn)}".encode("utf-8")
         ).hexdigest()
+        self._fingerprint_snapshot = snapshot
+        self._fingerprint_value = digest
+        return digest
 
     @property
     def runtime_param_names(self) -> List[str]:

@@ -95,8 +95,41 @@ class TLBuiltin:
         return f"<tl.{self.name}>"
 
 
-def _host_cdiv(a, b):
+def host_cdiv(a: int, b: int) -> int:
+    """Ceiling division, the *single* host-side implementation.
+
+    Pinned semantics: for a positive divisor ``b`` this returns
+    ``ceil(a / b)`` for every integer ``a`` (including negative dividends:
+    ``host_cdiv(-7, 2) == -3``), which is exactly what the device-side
+    lowering ``(a + b - 1) // b`` computes under the simulator's
+    floor-division ``arith.divsi``.  Negative divisors are rejected rather
+    than silently diverging from the device: no grid or tile computation in
+    this codebase has a meaningful ``b <= 0`` case, and the two formulas
+    disagree there.
+
+    Every kernel module's host-side grid math must route through this helper
+    (via ``tl.cdiv``) so host and device ceil-div can never drift apart.
+    """
+    if b <= 0:
+        raise ValueError(f"host_cdiv requires a positive divisor, got {b}")
     return -(-a // b)
+
+
+# Backwards-compatible alias (pre-consolidation private name).
+_host_cdiv = host_cdiv
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= ``n`` (host-side tile-sizing helper).
+
+    Row-oriented kernels pad their column tile to a power of two so
+    ``tl.arange`` stays power-of-two-sized; like :func:`host_cdiv` this is
+    the single shared implementation so padding rules cannot drift between
+    kernel modules.  ``n <= 1`` returns 1.
+    """
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
 
 
 # Program / grid queries
@@ -104,7 +137,7 @@ program_id = TLBuiltin("program_id")
 num_programs = TLBuiltin("num_programs")
 
 # Integer helpers (cdiv also works on the host for grid computations)
-cdiv = TLBuiltin("cdiv", host_impl=_host_cdiv)
+cdiv = TLBuiltin("cdiv", host_impl=host_cdiv)
 minimum = TLBuiltin("minimum", host_impl=min)
 maximum = TLBuiltin("maximum", host_impl=max)
 multiple_of = TLBuiltin("multiple_of", host_impl=lambda x, *_: x)

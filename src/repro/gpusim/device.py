@@ -285,8 +285,11 @@ class Device:
         workers = self._effective_workers(prepared)
         if workers > 1:
             self._share_launch_buffers(prepared)
-            rows = parallel.run_sharded(self._cta_runner(prepared),
-                                        prepared.cta_ids, workers)
+            try:
+                rows = parallel.run_sharded(self._cta_runner(prepared),
+                                            prepared.cta_ids, workers)
+            finally:
+                self._release_launch_buffers(prepared)
         else:
             rows = self._execute_serial(prepared)
         return self._finalize(prepared, rows)
@@ -319,22 +322,37 @@ class Device:
                 if pending is not None:
                     j, prev, launched = pending
                     pending = None
-                    results[j] = self._finalize(prev, launched.wait())
+                    try:
+                        results[j] = self._finalize(prev, launched.wait())
+                    finally:
+                        self._release_launch_buffers(prev)
                 if workers > 1:
                     self._share_launch_buffers(prepared)
-                    pending = (i, prepared,
-                               parallel.ParallelLaunch(self._cta_runner(prepared),
-                                                       prepared.cta_ids, workers))
+                    # Between sharing and the pending assignment the except
+                    # block below cannot see this launch's buffers, so a fork
+                    # failure must release them here.
+                    try:
+                        launched = parallel.ParallelLaunch(
+                            self._cta_runner(prepared), prepared.cta_ids, workers)
+                    except BaseException:
+                        self._release_launch_buffers(prepared)
+                        raise
+                    pending = (i, prepared, launched)
                 else:
                     results[i] = self._finalize(prepared, self._execute_serial(prepared))
             if pending is not None:
                 j, prev, launched = pending
                 pending = None
-                results[j] = self._finalize(prev, launched.wait())
+                try:
+                    results[j] = self._finalize(prev, launched.wait())
+                finally:
+                    self._release_launch_buffers(prev)
         except BaseException:
-            # Don't leak forked workers when a later spec fails to prepare.
+            # Don't leak forked workers when a later spec fails to prepare,
+            # nor their launch's shared mappings once they are terminated.
             if pending is not None:
                 pending[2].abort()
+                self._release_launch_buffers(pending[1])
             raise
         return results  # type: ignore[return-value]
 
@@ -449,6 +467,21 @@ class Device:
                 value.buffer.make_shared()
             elif isinstance(value, GlobalBuffer):
                 value.make_shared()
+
+    def _release_launch_buffers(self, prepared: _PreparedLaunch) -> None:
+        """Re-privatize a sharded launch's buffers once its workers are joined.
+
+        Inverse of :meth:`_share_launch_buffers`: the post-fork merge has
+        completed (or the launch was aborted), so the anonymous shared
+        mappings are unmapped *now* instead of whenever GC notices -- a long
+        batched sweep must not accumulate live mappings.  A buffer reused by
+        a later launch of the same batch is simply re-shared then.
+        """
+        for value in prepared.arg_values:
+            if isinstance(value, (Pointer, TensorDesc)):
+                value.buffer.release_shared()
+            elif isinstance(value, GlobalBuffer):
+                value.release_shared()
 
     def _cta_runner(self, prepared: _PreparedLaunch):
         """A picklable-free closure simulating one CTA of a prepared launch."""

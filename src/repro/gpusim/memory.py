@@ -34,15 +34,26 @@ def shared_ndarray(shape: Sequence[int], dtype) -> np.ndarray:
     the sharded executor (:mod:`repro.gpusim.parallel`) scatter CTA outputs
     straight into the launch's buffers without any result shipping.
 
-    The mapping is kept alive by the returned array (``base`` chain), so no
-    extra reference management is needed.
+    The mapping is kept alive by the returned array (``base`` chain).
+    Callers that need *deterministic* unmapping (rather than waiting for GC)
+    should use :func:`shared_ndarray_with_backing` and close the mapping
+    themselves once every view is gone.
     """
+    array, _ = shared_ndarray_with_backing(shape, dtype)
+    return array
+
+
+def shared_ndarray_with_backing(shape: Sequence[int],
+                                dtype) -> Tuple[np.ndarray, mmap.mmap]:
+    """Like :func:`shared_ndarray`, but also returns the mmap object itself
+    so the owner can ``close()`` it deterministically (see
+    :meth:`GlobalBuffer.release_shared`)."""
     dtype = np.dtype(dtype)
     shape = tuple(int(s) for s in shape)
-    size = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    count = int(np.prod(shape, dtype=np.int64))
+    size = count * dtype.itemsize
     backing = mmap.mmap(-1, max(1, size))
-    return np.frombuffer(backing, dtype=dtype,
-                         count=int(np.prod(shape, dtype=np.int64))).reshape(shape)
+    return np.frombuffer(backing, dtype=dtype, count=count).reshape(shape), backing
 
 
 def _as_scalar_type(dtype: Union[str, ScalarType]) -> ScalarType:
@@ -91,6 +102,8 @@ class GlobalBuffer:
                 data = data.reshape(self.shape)
         self.data = data
         self._shared = False
+        self._shared_backing: Optional[mmap.mmap] = None
+        self._shared_nbytes = 0
 
     # -- constructors -------------------------------------------------------------
 
@@ -123,14 +136,72 @@ class GlobalBuffer:
         stores and scatters executed by sharded CTAs land in memory the parent
         can see.  A no-op for performance-mode (data-free) buffers and for
         buffers that are already shared.
+
+        The mapping's lifetime is bracketed by the launch: once the workers
+        have been joined and their rows merged, the device calls
+        :meth:`release_shared` to re-privatize the buffer and unmap the
+        region deterministically (``sim_counters()['parallel_shared_bytes']``
+        tracks the bytes currently live in such mappings).
         """
         if self.data is None or self._shared:
             return self
-        shared = shared_ndarray(self.data.shape, self.data.dtype)
+        from repro.perf.counters import COUNTERS
+
+        # A previous release may have had to retain its mapping because an
+        # external view still exported it; retry (handing off to GC as the
+        # last resort) before mapping a new region, so at most one backing is
+        # ever tracked per buffer.
+        self._close_backing(force=True)
+        shared, backing = shared_ndarray_with_backing(self.data.shape, self.data.dtype)
         shared[...] = self.data
         self.data = shared
         self._shared = True
+        self._shared_backing = backing
+        self._shared_nbytes = len(backing)
+        COUNTERS.parallel_shared_bytes += self._shared_nbytes
         return self
+
+    def release_shared(self) -> "GlobalBuffer":
+        """Re-privatize a shared buffer and unmap its backing (idempotent).
+
+        Inverse of :meth:`make_shared`: copies the (worker-written) shared
+        contents into an ordinary private array, drops the shared view and
+        closes the anonymous mapping, so a long batched sweep never
+        accumulates live ``MAP_SHARED`` regions waiting for GC.  Safe only
+        once the launch's worker processes have been joined.
+
+        If a caller still holds a view of the shared array the mapping
+        cannot close yet; it (and its ``parallel_shared_bytes`` accounting)
+        is retained and retried on the next release/share of this buffer, so
+        the gauge never reports an unmapped region that is in fact live.
+        """
+        if self._shared:
+            self.data = np.array(self.data, copy=True)
+            self._shared = False
+        self._close_backing()
+        return self
+
+    def _close_backing(self, force: bool = False) -> None:
+        """Close the retained mapping if possible, keeping the gauge honest.
+
+        ``force=True`` (the re-share path) hands an unclosable mapping over
+        to GC -- dropping the reference and its gauge contribution -- so a
+        buffer never tracks two backings at once.
+        """
+        backing = self._shared_backing
+        if backing is None:
+            return
+        from repro.perf.counters import COUNTERS
+
+        try:
+            backing.close()
+        except BufferError:
+            # An external view still exports the buffer.
+            if not force:
+                return  # keep the mapping (and its bytes) accounted; retry later
+        self._shared_backing = None
+        COUNTERS.parallel_shared_bytes -= self._shared_nbytes
+        self._shared_nbytes = 0
 
     @property
     def num_elements(self) -> int:

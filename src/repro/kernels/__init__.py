@@ -6,10 +6,18 @@
   (Fig. 9 right).
 * :mod:`repro.kernels.attention` -- FlashAttention-style MHA forward
   (Fig. 10), causal and non-causal.
+* :mod:`repro.kernels.softmax` -- numerically-stable row softmax.
+* :mod:`repro.kernels.layernorm` -- LayerNorm forward with affine scale.
+* :mod:`repro.kernels.splitk_gemm` -- split-K GEMM with a reduction-epilogue
+  second launch.
+* :mod:`repro.kernels.fused_elementwise` -- fused bias + activation +
+  residual epilogue chain.
 
 Each module exports the kernel itself, a ``*Problem`` dataclass describing a
 workload instance, host-side input builders, a NumPy reference and
 ``run_*`` / ``check_*`` helpers used by tests, examples and benchmarks.
+Every module is also registered in the :mod:`repro.workloads` registry,
+which is how the sweep harnesses, the CLI and the benchmarks discover it.
 """
 
 from repro.kernels.attention import (
@@ -26,6 +34,13 @@ from repro.kernels.batched_gemm import (
     check_batched_gemm,
     run_batched_gemm,
 )
+from repro.kernels.fused_elementwise import (
+    FusedElementwiseProblem,
+    check_fused_elementwise,
+    fused_bias_act_kernel,
+    fused_reference,
+    run_fused_elementwise,
+)
 from repro.kernels.gemm import (
     GemmProblem,
     check_gemm,
@@ -39,6 +54,29 @@ from repro.kernels.grouped_gemm import (
     grouped_matmul_kernel,
     grouped_reference,
     run_grouped_gemm,
+)
+from repro.kernels.layernorm import (
+    LayerNormProblem,
+    check_layernorm,
+    layernorm_kernel,
+    layernorm_reference,
+    run_layernorm,
+)
+from repro.kernels.softmax import (
+    SoftmaxProblem,
+    check_softmax,
+    run_softmax,
+    softmax_kernel,
+    softmax_reference,
+)
+from repro.kernels.splitk_gemm import (
+    SplitKGemmProblem,
+    check_splitk_gemm,
+    run_splitk_gemm,
+    splitk_partial_kernel,
+    splitk_reduce_kernel,
+    splitk_reference,
+    splitk_specs,
 )
 
 __all__ = [
@@ -62,4 +100,26 @@ __all__ = [
     "attention_reference",
     "run_attention",
     "check_attention",
+    "SoftmaxProblem",
+    "softmax_kernel",
+    "softmax_reference",
+    "run_softmax",
+    "check_softmax",
+    "LayerNormProblem",
+    "layernorm_kernel",
+    "layernorm_reference",
+    "run_layernorm",
+    "check_layernorm",
+    "SplitKGemmProblem",
+    "splitk_partial_kernel",
+    "splitk_reduce_kernel",
+    "splitk_reference",
+    "splitk_specs",
+    "run_splitk_gemm",
+    "check_splitk_gemm",
+    "FusedElementwiseProblem",
+    "fused_bias_act_kernel",
+    "fused_reference",
+    "run_fused_elementwise",
+    "check_fused_elementwise",
 ]

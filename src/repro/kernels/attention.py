@@ -92,7 +92,7 @@ class AttentionProblem:
 
     @property
     def grid(self) -> Tuple[int, int]:
-        return (_cdiv(self.seq_len, self.block_m), self.batch * self.heads)
+        return (tl.cdiv(self.seq_len, self.block_m), self.batch * self.heads)
 
     @property
     def flops(self) -> float:
@@ -197,7 +197,3 @@ def check_attention(device: Device, problem: AttentionProblem,
     expected = attention_reference(q, k, v, problem)
     np.testing.assert_allclose(out, expected, rtol=rtol, atol=atol)
     return result
-
-
-def _cdiv(a: int, b: int) -> int:
-    return -(-a // b)

@@ -62,7 +62,7 @@ class BatchedGemmProblem:
 
     @property
     def grid(self) -> Tuple[int, int]:
-        return (_cdiv(self.M, self.block_m) * _cdiv(self.N, self.block_n), self.batch)
+        return (tl.cdiv(self.M, self.block_m) * tl.cdiv(self.N, self.block_n), self.batch)
 
     def constexprs(self) -> dict:
         return {
@@ -130,7 +130,3 @@ def check_batched_gemm(device: Device, problem: BatchedGemmProblem,
     c = args["c_ptr"].buffer.to_numpy().astype(np.float32)
     np.testing.assert_allclose(c, batched_reference(a, b, problem), rtol=rtol, atol=atol)
     return result
-
-
-def _cdiv(a: int, b: int) -> int:
-    return -(-a // b)

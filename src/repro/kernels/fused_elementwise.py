@@ -1,0 +1,152 @@
+"""Fused elementwise epilogue chain: bias add + activation + residual add.
+
+The classic post-GEMM epilogue of a transformer MLP, fused into one pass so
+the activation matrix is read and written exactly once:
+``y = act(x + bias) + residual``.  The activation is a constexpr-selected
+slot (ReLU / GELU-tanh-approx / sigmoid-gated SiLU), so one kernel source
+specializes into three distinct compiled artifacts -- a deliberate stress on
+the content-addressed compile cache.
+
+Registered as the ``fused_elementwise`` workload (:mod:`repro.workloads`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.options import CompileOptions
+from repro.frontend import kernel, tl
+from repro.gpusim.device import Device, LaunchResult
+
+#: Activation-slot values for the ``ACT`` constexpr.
+ACT_RELU = 0
+ACT_GELU = 1
+ACT_SILU = 2
+
+_GELU_C = 0.7978845608028654  # sqrt(2 / pi)
+
+
+@kernel
+def fused_bias_act_kernel(x_ptr, bias_ptr, res_ptr, out_ptr, n_cols,
+                          ACT: tl.constexpr, COLS: tl.constexpr):
+    """``out = act(x + bias) + residual`` for one row per program."""
+    pid = tl.program_id(axis=0)
+    col = tl.arange(0, COLS)
+    mask = col < n_cols
+    x = tl.load(x_ptr + pid * n_cols + col, mask=mask, other=0.0)
+    bias = tl.load(bias_ptr + col, mask=mask, other=0.0)
+    res = tl.load(res_ptr + pid * n_cols + col, mask=mask, other=0.0)
+    y = x + bias
+    if ACT == 0:
+        y = tl.maximum(y, 0.0)
+    elif ACT == 1:
+        y = 0.5 * y * (1.0 + tl.tanh(0.7978845608028654 * (y + 0.044715 * y * y * y)))
+    else:
+        y = y * tl.sigmoid(y)
+    tl.store(out_ptr + pid * n_cols + col, y + res, mask=mask)
+
+
+@dataclass
+class FusedElementwiseProblem:
+    """One fused bias+activation+residual problem plus its launch config."""
+
+    rows: int = 4096
+    cols: int = 4096
+    activation: int = ACT_GELU
+    block_cols: int = 0  # 0: next power of two >= cols
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.activation not in (ACT_RELU, ACT_GELU, ACT_SILU):
+            raise ValueError(f"unknown activation slot {self.activation}")
+
+    @property
+    def padded_cols(self) -> int:
+        if self.block_cols:
+            return self.block_cols
+        return tl.next_pow2(self.cols)
+
+    @property
+    def grid(self) -> int:
+        return self.rows
+
+    @property
+    def flops(self) -> float:
+        """bias add + activation (~6 ops for the GELU tanh chain) + residual."""
+        per_elem = {ACT_RELU: 3.0, ACT_GELU: 9.0, ACT_SILU: 6.0}[self.activation]
+        return per_elem * self.rows * self.cols
+
+    @property
+    def bytes_moved(self) -> float:
+        """x + residual read, out written per element; bias read once."""
+        return float(self.rows * self.cols * 12 + self.cols * 4)
+
+    def constexprs(self) -> dict:
+        return {"ACT": self.activation, "COLS": self.padded_cols}
+
+
+def make_fused_inputs(problem: FusedElementwiseProblem, device: Device):
+    rng = np.random.default_rng(problem.seed)
+    shape = (problem.rows, problem.cols)
+    if device.functional:
+        x = rng.standard_normal(shape, dtype=np.float32) * 2.0
+        bias = rng.standard_normal(problem.cols, dtype=np.float32)
+        res = rng.standard_normal(shape, dtype=np.float32)
+    else:
+        x = bias = res = None
+    x_buf = device.buffer(x if device.functional else shape, "f32", name="X")
+    bias_buf = device.buffer(bias if device.functional else (problem.cols,),
+                             "f32", name="Bias")
+    res_buf = device.buffer(res if device.functional else shape, "f32", name="Res")
+    out_buf = device.buffer(shape, "f32", name="Out")
+    args = {
+        "x_ptr": device.pointer(x_buf),
+        "bias_ptr": device.pointer(bias_buf),
+        "res_ptr": device.pointer(res_buf),
+        "out_ptr": device.pointer(out_buf),
+        "n_cols": problem.cols,
+    }
+    return args, (x, bias, res)
+
+
+def fused_reference(x: np.ndarray, bias: np.ndarray, res: np.ndarray,
+                    activation: int) -> np.ndarray:
+    """NumPy reference for the fused chain in float32."""
+    y = x.astype(np.float32) + bias.astype(np.float32)
+    if activation == ACT_RELU:
+        y = np.maximum(y, 0.0)
+    elif activation == ACT_GELU:
+        y = 0.5 * y * (1.0 + np.tanh(_GELU_C * (y + 0.044715 * y * y * y)))
+    else:
+        y = y * (1.0 / (1.0 + np.exp(-y)))  # SiLU: y * sigmoid(y)
+    return (y + res.astype(np.float32)).astype(np.float32)
+
+
+def run_fused_elementwise(device: Device, problem: FusedElementwiseProblem,
+                          options: Optional[CompileOptions] = None
+                          ) -> Tuple[LaunchResult, Optional[np.ndarray]]:
+    options = options or CompileOptions()
+    args, _ = make_fused_inputs(problem, device)
+    result = device.run(fused_bias_act_kernel, grid=problem.grid, args=args,
+                        constexprs=problem.constexprs(), options=options,
+                        flops=problem.flops)
+    out = args["out_ptr"].buffer.to_numpy() if device.functional else None
+    return result, out
+
+
+def check_fused_elementwise(device: Device, problem: FusedElementwiseProblem,
+                            options: Optional[CompileOptions] = None,
+                            rtol: float = 1e-5, atol: float = 1e-5) -> LaunchResult:
+    """Run the kernel functionally and compare against the NumPy reference."""
+    options = options or CompileOptions()
+    args, (x, bias, res) = make_fused_inputs(problem, device)
+    result = device.run(fused_bias_act_kernel, grid=problem.grid, args=args,
+                        constexprs=problem.constexprs(), options=options,
+                        flops=problem.flops)
+    out = args["out_ptr"].buffer.to_numpy()
+    np.testing.assert_allclose(out, fused_reference(x, bias, res, problem.activation),
+                               rtol=rtol, atol=atol)
+    return result

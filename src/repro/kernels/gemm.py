@@ -13,7 +13,6 @@ benchmarks: problem construction, grid computation, launching on a
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -68,7 +67,7 @@ class GemmProblem:
 
     @property
     def grid(self) -> int:
-        return _cdiv(self.M, self.block_m) * _cdiv(self.N, self.block_n)
+        return tl.cdiv(self.M, self.block_m) * tl.cdiv(self.N, self.block_n)
 
     @property
     def bytes_moved(self) -> float:
@@ -157,7 +156,3 @@ def check_gemm(device: Device, problem: GemmProblem,
     expected = gemm_reference(a, b, problem.dtype).astype(np.float32)
     np.testing.assert_allclose(c, expected, rtol=rtol, atol=atol)
     return result
-
-
-def _cdiv(a: int, b: int) -> int:
-    return -(-a // b)

@@ -83,8 +83,8 @@ class GroupedGemmProblem:
         rows, bns, cns = [], [], []
         row_base = 0
         for g, m in enumerate(self.group_ms):
-            tiles_m = _cdiv(m, self.block_m)
-            tiles_n = _cdiv(self.N, self.block_n)
+            tiles_m = tl.cdiv(m, self.block_m)
+            tiles_n = tl.cdiv(self.N, self.block_n)
             for tm in range(tiles_m):
                 for tn in range(tiles_n):
                     rows.append(row_base + tm * self.block_m)
@@ -168,7 +168,3 @@ def check_grouped_gemm(device: Device, problem: GroupedGemmProblem,
     c = args["c_ptr"].buffer.to_numpy().astype(np.float32)
     np.testing.assert_allclose(c, grouped_reference(a, b, problem), rtol=rtol, atol=atol)
     return result
-
-
-def _cdiv(a: int, b: int) -> int:
-    return -(-a // b)

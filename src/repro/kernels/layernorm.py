@@ -1,0 +1,135 @@
+"""LayerNorm forward: per-row mean/variance normalization with affine scale.
+
+Each program normalizes one row of an ``(rows, cols)`` activation matrix:
+``y = (x - mean(x)) * rsqrt(var(x) + eps) * w + b``.  This is the
+transformer-block normalization between attention and MLP; on the simulator
+it exercises chained ``tl.sum`` reductions feeding elementwise math
+(``tl.rsqrt``) and three input streams (activations, weight, bias).
+
+Registered as the ``layernorm`` workload (:mod:`repro.workloads`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.options import CompileOptions
+from repro.frontend import kernel, tl
+from repro.gpusim.device import Device, LaunchResult
+
+
+@kernel
+def layernorm_kernel(x_ptr, w_ptr, b_ptr, out_ptr, n_cols, inv_n, eps,
+                     COLS: tl.constexpr):
+    """LayerNorm forward for one row per program (mean/var in f32)."""
+    pid = tl.program_id(axis=0)
+    col = tl.arange(0, COLS)
+    mask = col < n_cols
+    x = tl.load(x_ptr + pid * n_cols + col, mask=mask, other=0.0)
+    mean = tl.sum(x, axis=0) * inv_n
+    d = tl.where(mask, x - mean, 0.0)
+    var = tl.sum(d * d, axis=0) * inv_n
+    rstd = tl.rsqrt(var + eps)
+    w = tl.load(w_ptr + col, mask=mask, other=1.0)
+    b = tl.load(b_ptr + col, mask=mask, other=0.0)
+    y = d * rstd * w + b
+    tl.store(out_ptr + pid * n_cols + col, y, mask=mask)
+
+
+@dataclass
+class LayerNormProblem:
+    """One LayerNorm-forward problem plus its launch configuration."""
+
+    rows: int = 4096
+    cols: int = 4096
+    eps: float = 1e-5
+    block_cols: int = 0  # 0: next power of two >= cols
+    seed: int = 0
+
+    @property
+    def padded_cols(self) -> int:
+        if self.block_cols:
+            return self.block_cols
+        return tl.next_pow2(self.cols)
+
+    @property
+    def grid(self) -> int:
+        return self.rows
+
+    @property
+    def flops(self) -> float:
+        """Two reduction passes plus the normalize/affine pass: ~8 ops/elem."""
+        return 8.0 * self.rows * self.cols
+
+    @property
+    def bytes_moved(self) -> float:
+        """x read + y written per element, w/b read once."""
+        return float(self.rows * self.cols * 8 + self.cols * 8)
+
+    def constexprs(self) -> dict:
+        return {"COLS": self.padded_cols}
+
+
+def make_layernorm_inputs(problem: LayerNormProblem, device: Device):
+    rng = np.random.default_rng(problem.seed)
+    shape = (problem.rows, problem.cols)
+    if device.functional:
+        x = rng.standard_normal(shape, dtype=np.float32) * 2.0
+        w = rng.standard_normal(problem.cols, dtype=np.float32) * 0.5 + 1.0
+        b = rng.standard_normal(problem.cols, dtype=np.float32) * 0.5
+    else:
+        x = w = b = None
+    x_buf = device.buffer(x if device.functional else shape, "f32", name="X")
+    w_buf = device.buffer(w if device.functional else (problem.cols,), "f32", name="W")
+    b_buf = device.buffer(b if device.functional else (problem.cols,), "f32", name="B")
+    out_buf = device.buffer(shape, "f32", name="Out")
+    args = {
+        "x_ptr": device.pointer(x_buf),
+        "w_ptr": device.pointer(w_buf),
+        "b_ptr": device.pointer(b_buf),
+        "out_ptr": device.pointer(out_buf),
+        "n_cols": problem.cols,
+        "inv_n": 1.0 / problem.cols,
+        "eps": problem.eps,
+    }
+    return args, (x, w, b)
+
+
+def layernorm_reference(x: np.ndarray, w: np.ndarray, b: np.ndarray,
+                        eps: float) -> np.ndarray:
+    """NumPy reference LayerNorm forward in float32 (biased variance)."""
+    x = x.astype(np.float32)
+    mean = x.mean(axis=1, keepdims=True, dtype=np.float32)
+    d = x - mean
+    var = np.mean(d * d, axis=1, keepdims=True, dtype=np.float32)
+    return (d / np.sqrt(var + np.float32(eps)) * w + b).astype(np.float32)
+
+
+def run_layernorm(device: Device, problem: LayerNormProblem,
+                  options: Optional[CompileOptions] = None
+                  ) -> Tuple[LaunchResult, Optional[np.ndarray]]:
+    options = options or CompileOptions()
+    args, _ = make_layernorm_inputs(problem, device)
+    result = device.run(layernorm_kernel, grid=problem.grid, args=args,
+                        constexprs=problem.constexprs(), options=options,
+                        flops=problem.flops)
+    out = args["out_ptr"].buffer.to_numpy() if device.functional else None
+    return result, out
+
+
+def check_layernorm(device: Device, problem: LayerNormProblem,
+                    options: Optional[CompileOptions] = None,
+                    rtol: float = 1e-4, atol: float = 1e-4) -> LaunchResult:
+    """Run the kernel functionally and compare against the NumPy reference."""
+    options = options or CompileOptions()
+    args, (x, w, b) = make_layernorm_inputs(problem, device)
+    result = device.run(layernorm_kernel, grid=problem.grid, args=args,
+                        constexprs=problem.constexprs(), options=options,
+                        flops=problem.flops)
+    out = args["out_ptr"].buffer.to_numpy()
+    np.testing.assert_allclose(out, layernorm_reference(x, w, b, problem.eps),
+                               rtol=rtol, atol=atol)
+    return result

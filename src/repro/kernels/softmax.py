@@ -1,0 +1,118 @@
+"""Row softmax: one numerically-stable softmax per matrix row.
+
+The standard LLM building block (attention logits, MoE router scores): each
+program normalizes one row of an ``(rows, cols)`` matrix with the
+max-subtract / exp / sum-divide sequence, exercising the same ``tl.max`` /
+``tl.exp`` / ``tl.sum`` reduction surface the attention kernel uses for its
+online softmax -- but over masked 1-D tiles with pointer addressing instead
+of TMA descriptors.
+
+Registered as the ``softmax`` workload (:mod:`repro.workloads`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.options import CompileOptions
+from repro.frontend import kernel, tl
+from repro.gpusim.device import Device, LaunchResult
+
+
+@kernel
+def softmax_kernel(x_ptr, out_ptr, n_cols, COLS: tl.constexpr):
+    """Numerically-stable softmax of one row per program."""
+    pid = tl.program_id(axis=0)
+    col = tl.arange(0, COLS)
+    mask = col < n_cols
+    row = x_ptr + pid * n_cols + col
+    x = tl.load(row, mask=mask, other=float("-inf"))
+    m = tl.max(x, axis=0)
+    e = tl.exp(x - m)
+    e = tl.where(mask, e, 0.0)
+    s = tl.sum(e, axis=0)
+    tl.store(out_ptr + pid * n_cols + col, e / s, mask=mask)
+
+
+@dataclass
+class SoftmaxProblem:
+    """One row-softmax problem plus its launch configuration."""
+
+    rows: int = 4096
+    cols: int = 4096
+    block_cols: int = 0  # 0: next power of two >= cols
+    seed: int = 0
+
+    @property
+    def padded_cols(self) -> int:
+        if self.block_cols:
+            return self.block_cols
+        return tl.next_pow2(self.cols)
+
+    @property
+    def grid(self) -> int:
+        return self.rows
+
+    @property
+    def flops(self) -> float:
+        """max + subtract + exp + sum + divide: ~5 ops per element."""
+        return 5.0 * self.rows * self.cols
+
+    @property
+    def bytes_moved(self) -> float:
+        """One f32 read and one f32 write per element."""
+        return float(self.rows * self.cols * 8)
+
+    def constexprs(self) -> dict:
+        return {"COLS": self.padded_cols}
+
+
+def make_softmax_inputs(problem: SoftmaxProblem,
+                        device: Device) -> Tuple[dict, Optional[np.ndarray]]:
+    rng = np.random.default_rng(problem.seed)
+    shape = (problem.rows, problem.cols)
+    x = rng.standard_normal(shape, dtype=np.float32) * 2.0 if device.functional else None
+    x_buf = device.buffer(x if device.functional else shape, "f32", name="X")
+    out_buf = device.buffer(shape, "f32", name="Out")
+    args = {
+        "x_ptr": device.pointer(x_buf),
+        "out_ptr": device.pointer(out_buf),
+        "n_cols": problem.cols,
+    }
+    return args, x
+
+
+def softmax_reference(x: np.ndarray) -> np.ndarray:
+    """NumPy reference: stable row softmax in float32."""
+    x = x.astype(np.float32)
+    e = np.exp(x - x.max(axis=1, keepdims=True))
+    return (e / e.sum(axis=1, keepdims=True)).astype(np.float32)
+
+
+def run_softmax(device: Device, problem: SoftmaxProblem,
+                options: Optional[CompileOptions] = None
+                ) -> Tuple[LaunchResult, Optional[np.ndarray]]:
+    options = options or CompileOptions()
+    args, _ = make_softmax_inputs(problem, device)
+    result = device.run(softmax_kernel, grid=problem.grid, args=args,
+                        constexprs=problem.constexprs(), options=options,
+                        flops=problem.flops)
+    out = args["out_ptr"].buffer.to_numpy() if device.functional else None
+    return result, out
+
+
+def check_softmax(device: Device, problem: SoftmaxProblem,
+                  options: Optional[CompileOptions] = None,
+                  rtol: float = 1e-5, atol: float = 1e-6) -> LaunchResult:
+    """Run the kernel functionally and compare against the NumPy reference."""
+    options = options or CompileOptions()
+    args, x = make_softmax_inputs(problem, device)
+    result = device.run(softmax_kernel, grid=problem.grid, args=args,
+                        constexprs=problem.constexprs(), options=options,
+                        flops=problem.flops)
+    out = args["out_ptr"].buffer.to_numpy()
+    np.testing.assert_allclose(out, softmax_reference(x), rtol=rtol, atol=atol)
+    return result

@@ -1,0 +1,234 @@
+"""Split-K GEMM: the K dimension is split across CTAs, with a reduction epilogue.
+
+For tall-skinny problems (small M*N, large K -- e.g. LLM decode-time
+projections) a plain tiled GEMM launches too few CTAs to fill the machine.
+Split-K parallelizes the K loop: the second grid axis assigns each CTA one of
+``splits`` contiguous K slices, partial f32 accumulators land in a
+``(splits * M, N)`` scratch buffer, and a second *reduction* kernel sums the
+partials into the final f16 C.  The workload is therefore a **two-launch
+pipeline** -- the first multi-launch workload in the registry, which is what
+forced :func:`repro.experiments.common.measure_sweep` to learn that one sweep
+point may expand to several ``LaunchSpec``s.
+
+Registered as the ``splitk_gemm`` workload (:mod:`repro.workloads`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.options import CompileOptions
+from repro.frontend import kernel, tl
+from repro.gpusim.device import Device, LaunchResult, LaunchSpec
+
+
+@kernel
+def splitk_partial_kernel(a_desc, b_desc, p_ptr, M, N,
+                          K_SPLIT: tl.constexpr, stride_pm: tl.constexpr,
+                          Mt: tl.constexpr, Nt: tl.constexpr, Kt: tl.constexpr):
+    """One (output tile, K slice) partial product of ``C = A @ B^T``.
+
+    Grid axis 0 walks output tiles, axis 1 walks K slices; the f32 partial
+    for slice ``s`` is stored at row block ``s * M`` of the scratch buffer.
+    """
+    pid = tl.program_id(axis=0)
+    sid = tl.program_id(axis=1)
+    num_pid_m = tl.cdiv(M, Mt)
+    pid_m = pid % num_pid_m
+    pid_n = pid // num_pid_m
+    o_am = pid_m * Mt
+    o_bn = pid_n * Nt
+    o_k = sid * K_SPLIT
+    acc = tl.zeros((Mt, Nt), dtype=tl.float32)
+    for k in tl.range(0, K_SPLIT // Kt):
+        a = tl.tma_load(a_desc, [o_am, o_k], [Mt, Kt])
+        b = tl.tma_load(b_desc, [o_bn, o_k], [Nt, Kt])
+        acc = tl.dot(a, b.T, acc=acc)
+        o_k += Kt
+    offs_pm = sid * M + pid_m * Mt + tl.arange(0, Mt)
+    offs_pn = pid_n * Nt + tl.arange(0, Nt)
+    p_ptrs = p_ptr + stride_pm * offs_pm[:, None] + offs_pn[None, :]
+    mask = (pid_m * Mt + tl.arange(0, Mt)[:, None] < M) & (offs_pn[None, :] < N)
+    tl.store(p_ptrs, acc, mask=mask)
+
+
+@kernel
+def splitk_reduce_kernel(p_ptr, c_ptr, total,
+                         SPLITS: tl.constexpr, STRIDE: tl.constexpr,
+                         BLOCK: tl.constexpr):
+    """Reduction epilogue: sum the per-split f32 partials into the final C."""
+    pid = tl.program_id(axis=0)
+    offs = pid * BLOCK + tl.arange(0, BLOCK)
+    mask = offs < total
+    acc = tl.zeros((BLOCK,), dtype=tl.float32)
+    for s in tl.range(0, SPLITS):
+        acc = acc + tl.load(p_ptr + s * STRIDE + offs, mask=mask, other=0.0)
+    tl.store(c_ptr + offs, acc, mask=mask)
+
+
+@dataclass
+class SplitKGemmProblem:
+    """One split-K GEMM problem plus its launch configuration.
+
+    ``K`` must divide evenly into ``splits`` slices of whole ``block_k``
+    steps (``K % (splits * block_k) == 0``), mirroring the alignment real
+    split-K kernels require.
+    """
+
+    M: int = 256
+    N: int = 256
+    K: int = 8192
+    splits: int = 4
+    dtype: str = "f16"
+    block_m: int = 128
+    block_n: int = 128
+    block_k: int = 64
+    reduce_block: int = 256
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.splits < 1:
+            raise ValueError(f"splits must be >= 1, got {self.splits}")
+        if self.K % (self.splits * self.block_k) != 0:
+            raise ValueError(
+                f"K={self.K} must be a multiple of splits*block_k="
+                f"{self.splits * self.block_k}"
+            )
+
+    @property
+    def k_split(self) -> int:
+        return self.K // self.splits
+
+    @property
+    def flops(self) -> float:
+        """The MACs plus the epilogue adds."""
+        return 2.0 * self.M * self.N * self.K + self.splits * self.M * self.N
+
+    @property
+    def bytes_moved(self) -> float:
+        """A/B read once; partials written+read in f32; C written in f16."""
+        elem = 1 if self.dtype.startswith("f8") else 2
+        partial = self.splits * self.M * self.N * 4
+        return float((self.M + self.N) * self.K * elem + 2 * partial
+                     + self.M * self.N * 2)
+
+    @property
+    def partial_grid(self) -> Tuple[int, int]:
+        return (tl.cdiv(self.M, self.block_m) * tl.cdiv(self.N, self.block_n),
+                self.splits)
+
+    @property
+    def reduce_grid(self) -> int:
+        return tl.cdiv(self.M * self.N, self.reduce_block)
+
+    def partial_constexprs(self) -> dict:
+        return {
+            "K_SPLIT": self.k_split,
+            "stride_pm": self.N,
+            "Mt": self.block_m,
+            "Nt": self.block_n,
+            "Kt": self.block_k,
+        }
+
+    def reduce_constexprs(self) -> dict:
+        return {
+            "SPLITS": self.splits,
+            "STRIDE": self.M * self.N,
+            "BLOCK": self.reduce_block,
+        }
+
+
+def make_splitk_inputs(problem: SplitKGemmProblem, device: Device):
+    """Build the buffers and the *two* argument dicts (partial, reduce)."""
+    rng = np.random.default_rng(problem.seed)
+    a_shape = (problem.M, problem.K)
+    b_shape = (problem.N, problem.K)
+    p_shape = (problem.splits * problem.M, problem.N)
+    if device.functional:
+        a = rng.standard_normal(a_shape, dtype=np.float32) * 0.5
+        b = rng.standard_normal(b_shape, dtype=np.float32) * 0.5
+    else:
+        a = b = None
+    a_buf = device.buffer(a if device.functional else a_shape, problem.dtype, name="A")
+    b_buf = device.buffer(b if device.functional else b_shape, problem.dtype, name="B")
+    p_buf = device.buffer(p_shape, "f32", name="P")
+    c_buf = device.buffer((problem.M, problem.N), "f16", name="C")
+    partial_args = {
+        "a_desc": device.tensor_desc(a_buf),
+        "b_desc": device.tensor_desc(b_buf),
+        "p_ptr": device.pointer(p_buf),
+        "M": problem.M,
+        "N": problem.N,
+    }
+    reduce_args = {
+        "p_ptr": device.pointer(p_buf),
+        "c_ptr": device.pointer(c_buf),
+        "total": problem.M * problem.N,
+    }
+    return partial_args, reduce_args, (a, b)
+
+
+def _splitk_pipeline(
+    device: Device, problem: SplitKGemmProblem,
+    options: Optional[CompileOptions],
+) -> Tuple[List[LaunchSpec], Tuple[Optional[np.ndarray], Optional[np.ndarray]]]:
+    """Build the two-launch pipeline plus the host copies of A and B."""
+    options = options or CompileOptions()
+    partial_args, reduce_args, host_inputs = make_splitk_inputs(problem, device)
+    gemm_flops = 2.0 * problem.M * problem.N * problem.K
+    specs = [
+        LaunchSpec(splitk_partial_kernel, problem.partial_grid, partial_args,
+                   problem.partial_constexprs(), options, gemm_flops),
+        LaunchSpec(splitk_reduce_kernel, problem.reduce_grid, reduce_args,
+                   problem.reduce_constexprs(), CompileOptions(),
+                   float(problem.splits * problem.M * problem.N)),
+    ]
+    return specs, host_inputs
+
+
+def splitk_specs(device: Device, problem: SplitKGemmProblem,
+                 options: Optional[CompileOptions] = None) -> List[LaunchSpec]:
+    """The workload's launch pipeline: partial GEMM then reduction epilogue.
+
+    The reduction launch always compiles with default options: warp
+    specialization is a GEMM-shaped transform, and the paper's sweeps vary
+    only the main kernel's configuration.
+    """
+    return _splitk_pipeline(device, problem, options)[0]
+
+
+def splitk_reference(a: np.ndarray, b: np.ndarray,
+                     problem: SplitKGemmProblem) -> np.ndarray:
+    """NumPy reference: per-split f32 partials summed, then cast to f16."""
+    a = a.astype(np.float16).astype(np.float32)
+    b = b.astype(np.float16).astype(np.float32)
+    acc = np.zeros((problem.M, problem.N), dtype=np.float32)
+    for s in range(problem.splits):
+        ks = slice(s * problem.k_split, (s + 1) * problem.k_split)
+        acc += a[:, ks] @ b[:, ks].T
+    return acc.astype(np.float16)
+
+
+def run_splitk_gemm(device: Device, problem: SplitKGemmProblem,
+                    options: Optional[CompileOptions] = None
+                    ) -> Tuple[List[LaunchResult], Optional[np.ndarray]]:
+    """Run both launches through :meth:`Device.run_many`; returns (results, C)."""
+    specs = splitk_specs(device, problem, options)
+    results = device.run_many(specs)
+    c = specs[1].args["c_ptr"].buffer.to_numpy() if device.functional else None
+    return results, c
+
+
+def check_splitk_gemm(device: Device, problem: SplitKGemmProblem,
+                      options: Optional[CompileOptions] = None,
+                      rtol: float = 2e-2, atol: float = 2e-2) -> LaunchResult:
+    """Run the pipeline functionally and compare against the NumPy reference."""
+    specs, (a, b) = _splitk_pipeline(device, problem, options)
+    results = device.run_many(specs)
+    c = specs[1].args["c_ptr"].buffer.to_numpy().astype(np.float32)
+    expected = splitk_reference(a, b, problem).astype(np.float32)
+    np.testing.assert_allclose(c, expected, rtol=rtol, atol=atol)
+    return results[0]

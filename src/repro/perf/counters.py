@@ -59,6 +59,10 @@ class SimCounters:
     #: sharded execution (repro.gpusim.parallel)
     parallel_launches: int = 0
     parallel_workers_forked: int = 0
+    #: bytes currently live in anonymous MAP_SHARED launch-buffer mappings
+    #: (a gauge, not a cumulative counter: GlobalBuffer.make_shared adds,
+    #: GlobalBuffer.release_shared subtracts; a quiesced process reads 0)
+    parallel_shared_bytes: int = 0
 
     def record_pass_timing(self, name: str, seconds: float) -> None:
         """Fold one pass execution into the compile-cost counters.

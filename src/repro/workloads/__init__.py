@@ -1,0 +1,43 @@
+"""Declarative workload registry + CLI sweep runner.
+
+``import repro.workloads`` registers the eight shipped workloads (the four
+paper figure workloads plus row softmax, LayerNorm forward, split-K GEMM and
+the fused bias+activation+residual chain) and exposes the registry API::
+
+    from repro import workloads
+    workloads.list_workloads()        # ['attention', 'batched_gemm', ...]
+    wl = workloads.get("softmax")     # -> Workload record
+    wl.check(device, wl.check_problem())
+
+The CLI front end lives in :mod:`repro.workloads.cli`::
+
+    python -m repro.workloads list
+    python -m repro.workloads run [name ...] [--mode functional|perf]
+                                  [--workers N] [--sweep reduced] [--json F]
+
+Every CLI sweep is submitted through :meth:`Device.run_many` /
+:func:`repro.experiments.common.measure_sweep`, so batched compilation,
+eager execution plans and both compile-cache tiers are exercised by
+construction.
+"""
+
+from repro.workloads.registry import (
+    Workload,
+    build_sweep_specs,
+    get,
+    list_workloads,
+    register,
+    sweep_points,
+    unregister,
+)
+from repro.workloads import builtin  # noqa: F401  (registers the workloads)
+
+__all__ = [
+    "Workload",
+    "register",
+    "unregister",
+    "get",
+    "list_workloads",
+    "build_sweep_specs",
+    "sweep_points",
+]

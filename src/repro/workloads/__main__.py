@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.workloads`` (see :mod:`repro.workloads.cli`)."""
+
+import sys
+
+from repro.workloads.cli import main
+
+sys.exit(main())

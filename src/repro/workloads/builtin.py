@@ -1,0 +1,249 @@
+"""Registration of the eight shipped workloads.
+
+Importing this module (which ``import repro.workloads`` does) populates the
+registry with the paper's four figure workloads and the four LLM scenarios
+added on top of them.  Each entry wires the kernel module's existing
+``*Problem`` / input-builder / reference / ``check_*`` pattern into one
+:class:`repro.workloads.registry.Workload` record.
+
+The ``reduced_sweep`` of every workload is sized for CI: a handful of
+problems that a performance-mode sweep finishes in seconds while still
+exercising several launch configurations (so batched compilation and the
+compile-cache tiers see real variety).  ``check_problem`` is a functional-
+mode-sized instance used by ``python -m repro.workloads run --mode
+functional`` and the smoke tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines import analytic
+from repro.core.options import CompileOptions
+from repro.experiments.common import tawa_attention_options, tawa_gemm_options
+from repro.gpusim.device import Device, LaunchSpec
+from repro.kernels.attention import (
+    AttentionProblem,
+    attention_kernel,
+    check_attention,
+    make_attention_inputs,
+)
+from repro.kernels.batched_gemm import (
+    BatchedGemmProblem,
+    batched_matmul_kernel,
+    check_batched_gemm,
+    make_batched_inputs,
+)
+from repro.kernels.fused_elementwise import (
+    FusedElementwiseProblem,
+    check_fused_elementwise,
+    fused_bias_act_kernel,
+    make_fused_inputs,
+)
+from repro.kernels.gemm import (
+    GemmProblem,
+    check_gemm,
+    make_gemm_inputs,
+    matmul_kernel,
+)
+from repro.kernels.grouped_gemm import (
+    GroupedGemmProblem,
+    check_grouped_gemm,
+    grouped_matmul_kernel,
+    make_grouped_inputs,
+)
+from repro.kernels.layernorm import (
+    LayerNormProblem,
+    check_layernorm,
+    layernorm_kernel,
+    make_layernorm_inputs,
+)
+from repro.kernels.softmax import (
+    SoftmaxProblem,
+    check_softmax,
+    make_softmax_inputs,
+    softmax_kernel,
+)
+from repro.kernels.splitk_gemm import (
+    SplitKGemmProblem,
+    check_splitk_gemm,
+    splitk_specs,
+)
+from repro.workloads.registry import Workload, register
+
+
+# --------------------------------------------------------------------------
+# Single-launch spec builders for the four figure workloads
+# --------------------------------------------------------------------------
+
+
+def _gemm_specs(device: Device, problem: GemmProblem,
+                options: CompileOptions) -> List[LaunchSpec]:
+    args, _, _ = make_gemm_inputs(problem, device)
+    return [LaunchSpec(matmul_kernel, problem.grid, args, problem.constexprs(),
+                       options, problem.flops)]
+
+
+def _batched_gemm_specs(device: Device, problem: BatchedGemmProblem,
+                        options: CompileOptions) -> List[LaunchSpec]:
+    args, _ = make_batched_inputs(problem, device)
+    return [LaunchSpec(batched_matmul_kernel, problem.grid, args,
+                       problem.constexprs(), options, problem.flops)]
+
+
+def _grouped_gemm_specs(device: Device, problem: GroupedGemmProblem,
+                        options: CompileOptions) -> List[LaunchSpec]:
+    args, _ = make_grouped_inputs(problem, device)
+    return [LaunchSpec(grouped_matmul_kernel, problem.grid, args,
+                       problem.constexprs(), options, problem.flops)]
+
+
+def _attention_specs(device: Device, problem: AttentionProblem,
+                     options: CompileOptions) -> List[LaunchSpec]:
+    args, _ = make_attention_inputs(problem, device)
+    return [LaunchSpec(attention_kernel, problem.grid, args,
+                       problem.constexprs(), options, problem.flops)]
+
+
+def _softmax_specs(device: Device, problem: SoftmaxProblem,
+                   options: CompileOptions) -> List[LaunchSpec]:
+    args, _ = make_softmax_inputs(problem, device)
+    return [LaunchSpec(softmax_kernel, problem.grid, args, problem.constexprs(),
+                       options, problem.flops)]
+
+
+def _layernorm_specs(device: Device, problem: LayerNormProblem,
+                     options: CompileOptions) -> List[LaunchSpec]:
+    args, _ = make_layernorm_inputs(problem, device)
+    return [LaunchSpec(layernorm_kernel, problem.grid, args, problem.constexprs(),
+                       options, problem.flops)]
+
+
+def _fused_specs(device: Device, problem: FusedElementwiseProblem,
+                 options: CompileOptions) -> List[LaunchSpec]:
+    args, _ = make_fused_inputs(problem, device)
+    return [LaunchSpec(fused_bias_act_kernel, problem.grid, args,
+                       problem.constexprs(), options, problem.flops)]
+
+
+# --------------------------------------------------------------------------
+# The registrations
+# --------------------------------------------------------------------------
+
+register(Workload(
+    name="gemm",
+    description="tiled C = A @ B^T (paper Fig. 2b / Fig. 8)",
+    problem_cls=GemmProblem,
+    make_specs=_gemm_specs,
+    check=check_gemm,
+    bytes_moved=lambda p: p.bytes_moved,
+    default_options=tawa_gemm_options,
+    reduced_sweep=lambda: [
+        GemmProblem(M=8192, N=8192, K=k, block_m=128, block_n=256, block_k=64)
+        for k in (512, 4096)
+    ],
+    check_problem=lambda: GemmProblem(M=128, N=128, K=128, block_m=64,
+                                      block_n=64, block_k=32),
+))
+
+register(Workload(
+    name="batched_gemm",
+    description="batched same-shape GEMMs, batch on grid axis 1 (Fig. 9 left)",
+    problem_cls=BatchedGemmProblem,
+    make_specs=_batched_gemm_specs,
+    check=check_batched_gemm,
+    bytes_moved=analytic.batched_gemm_bytes,
+    default_options=tawa_gemm_options,
+    reduced_sweep=lambda: [
+        BatchedGemmProblem(batch=b, M=1024, N=1024, K=1024) for b in (4, 16)
+    ],
+    check_problem=lambda: BatchedGemmProblem(batch=2, M=64, N=64, K=64,
+                                             block_m=32, block_n=32, block_k=32),
+))
+
+register(Workload(
+    name="grouped_gemm",
+    description="grouped GEMMs with per-group M located via metadata (Fig. 9 right)",
+    problem_cls=GroupedGemmProblem,
+    make_specs=_grouped_gemm_specs,
+    check=check_grouped_gemm,
+    bytes_moved=analytic.grouped_gemm_bytes,
+    default_options=tawa_gemm_options,
+    reduced_sweep=lambda: [
+        GroupedGemmProblem.with_groups(g, N=4096, K=4096) for g in (2, 4)
+    ],
+    check_problem=lambda: GroupedGemmProblem(group_ms=[64, 128], N=64, K=64,
+                                             block_m=32, block_n=32, block_k=32),
+))
+
+register(Workload(
+    name="attention",
+    description="FlashAttention-style MHA forward, online softmax (Fig. 10)",
+    problem_cls=AttentionProblem,
+    make_specs=_attention_specs,
+    check=check_attention,
+    bytes_moved=analytic.attention_bytes,
+    default_options=tawa_attention_options,
+    reduced_sweep=lambda: [
+        AttentionProblem(batch=4, heads=32, seq_len=s, head_dim=128, causal=c)
+        for s, c in ((2048, False), (4096, True))
+    ],
+    check_problem=lambda: AttentionProblem(batch=1, heads=2, seq_len=128,
+                                           head_dim=64, block_m=64, block_n=64),
+))
+
+register(Workload(
+    name="softmax",
+    description="numerically-stable row softmax (max / exp / sum reductions)",
+    problem_cls=SoftmaxProblem,
+    make_specs=_softmax_specs,
+    check=check_softmax,
+    bytes_moved=lambda p: p.bytes_moved,
+    reduced_sweep=lambda: [
+        SoftmaxProblem(rows=4096, cols=c) for c in (1024, 4096)
+    ],
+    check_problem=lambda: SoftmaxProblem(rows=16, cols=100),
+))
+
+register(Workload(
+    name="layernorm",
+    description="LayerNorm forward: mean/var reductions + rsqrt + affine",
+    problem_cls=LayerNormProblem,
+    make_specs=_layernorm_specs,
+    check=check_layernorm,
+    bytes_moved=lambda p: p.bytes_moved,
+    reduced_sweep=lambda: [
+        LayerNormProblem(rows=4096, cols=c) for c in (1024, 4096)
+    ],
+    check_problem=lambda: LayerNormProblem(rows=16, cols=100),
+))
+
+register(Workload(
+    name="splitk_gemm",
+    description="split-K GEMM partials + reduction epilogue (two launches)",
+    problem_cls=SplitKGemmProblem,
+    make_specs=splitk_specs,
+    check=check_splitk_gemm,
+    bytes_moved=lambda p: p.bytes_moved,
+    default_options=tawa_gemm_options,
+    reduced_sweep=lambda: [
+        SplitKGemmProblem(M=256, N=256, K=8192, splits=s) for s in (2, 8)
+    ],
+    check_problem=lambda: SplitKGemmProblem(M=64, N=64, K=256, splits=2,
+                                            block_m=32, block_n=32, block_k=32,
+                                            reduce_block=64),
+))
+
+register(Workload(
+    name="fused_elementwise",
+    description="fused bias + activation + residual epilogue chain",
+    problem_cls=FusedElementwiseProblem,
+    make_specs=_fused_specs,
+    check=check_fused_elementwise,
+    bytes_moved=lambda p: p.bytes_moved,
+    reduced_sweep=lambda: [
+        FusedElementwiseProblem(rows=4096, cols=4096, activation=act)
+        for act in (0, 1, 2)
+    ],
+    check_problem=lambda: FusedElementwiseProblem(rows=16, cols=100),
+))

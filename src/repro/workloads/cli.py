@@ -1,0 +1,161 @@
+"""``python -m repro.workloads`` -- list, check and sweep registered workloads.
+
+Commands::
+
+    python -m repro.workloads list
+    python -m repro.workloads run [name ...] [--mode functional|perf]
+                                  [--workers N] [--sweep reduced|smoke]
+                                  [--json FILE]
+
+``run`` with no names runs every registered workload.  Functional mode
+executes each workload's small check problem and asserts it against the
+NumPy reference (sharded across ``--workers`` processes when > 1).  Perf
+mode submits the whole reduced sweep of every selected workload as **one**
+:func:`repro.experiments.common.measure_sweep` batch, so compilation is
+front-loaded and deduplicated through the compiler service, execution plans
+are built eagerly at finalize, and both compile-cache tiers (plus worker
+sharding on functional devices) are exercised by construction.
+
+The exit status is non-zero if any functional check fails or any requested
+name is unknown, so CI can gate on the smoke run directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.common import SweepPoint, measure_sweep, perf_device
+from repro.gpusim.device import Device
+from repro.perf.counters import reset_sim_counters, sim_counters
+from repro.workloads import registry
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Run registered simulator workloads.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list registered workloads")
+
+    run = sub.add_parser("run", help="check / sweep workloads")
+    run.add_argument("names", nargs="*",
+                     help="workload names (default: all registered)")
+    run.add_argument("--mode", choices=("functional", "perf"),
+                     default="functional",
+                     help="functional: NumPy-reference checks; "
+                          "perf: batched TFLOP/s sweep")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes for functional sharding "
+                          "(default: REPRO_SIM_WORKERS)")
+    run.add_argument("--sweep", choices=("reduced", "smoke"), default="reduced",
+                     help="perf sweep size: the reduced CI sweep, or its "
+                          "first point per workload (smoke)")
+    run.add_argument("--json", dest="json_path", default=None,
+                     help="write machine-readable results to this file")
+    return parser
+
+
+def _resolve_names(names: List[str]) -> List[str]:
+    if not names:
+        return registry.list_workloads()
+    known = set(registry.list_workloads())
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown workload(s) {', '.join(unknown)}; "
+            f"registered: {', '.join(sorted(known))}"
+        )
+    return names
+
+
+def _cmd_list() -> int:
+    for name in registry.list_workloads():
+        workload = registry.get(name)
+        print(f"{name:20s} {workload.description}")
+    return 0
+
+
+def _run_functional(names: List[str], workers: Optional[int],
+                    report: dict) -> int:
+    device = Device(mode="functional", workers=workers)
+    failures = 0
+    for name in names:
+        workload = registry.get(name)
+        problem = workload.check_problem()
+        start = time.perf_counter()
+        try:
+            workload.check(device, problem, None)
+        except Exception as exc:  # noqa: BLE001 - report, keep checking
+            failures += 1
+            status, detail = "FAIL", f"{type(exc).__name__}: {exc}"
+        else:
+            status, detail = "ok", f"{(time.perf_counter() - start) * 1e3:.0f} ms"
+        print(f"{name:20s} {status:4s}  {detail}")
+        report["checks"].append({"workload": name, "status": status,
+                                 "problem": repr(problem)})
+    return failures
+
+
+def _run_perf(names: List[str], sweep: str, report: dict) -> int:
+    device = perf_device()
+    points: List[SweepPoint] = []
+    labels: List[str] = []
+    for name in names:
+        workload = registry.get(name)
+        problems = workload.reduced_sweep()
+        if sweep == "smoke":
+            problems = problems[:1]
+        for problem in problems:
+            points.append(SweepPoint(name, problem, workload.default_options()))
+            labels.append(f"{name}: {problem!r}")
+    values = measure_sweep(device, points)
+    for label, value in zip(labels, values):
+        print(f"{value:10.1f} TFLOP/s  {label}")
+        report["sweep"].append({"point": label, "tflops": round(value, 2)})
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command != "run":
+        _parser().print_help()
+        return 2
+
+    names = _resolve_names(args.names)
+    reset_sim_counters()
+    report: dict = {"mode": args.mode, "workloads": names,
+                    "checks": [], "sweep": []}
+    if args.mode == "functional":
+        failures = _run_functional(names, args.workers, report)
+    else:
+        failures = _run_perf(names, args.sweep, report)
+
+    counters = sim_counters()
+    report["counters"] = counters
+    print(
+        f"-- compile cache {counters['compile_cache_hits']} hits / "
+        f"{counters['compile_cache_misses']} misses, "
+        f"{counters['plan_ctas']} plan CTAs, "
+        f"{counters['parallel_launches']} sharded launches, "
+        f"{counters['parallel_shared_bytes']} shared bytes live"
+    )
+    if args.json_path:
+        parent = os.path.dirname(os.path.abspath(args.json_path))
+        os.makedirs(parent, exist_ok=True)
+        with open(args.json_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"-- wrote {args.json_path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

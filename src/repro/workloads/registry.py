@@ -1,0 +1,117 @@
+"""The declarative workload registry.
+
+A *workload* bundles everything the harnesses need to drive one kernel
+scenario end to end -- the ``*Problem`` dataclass, the launch-spec builder,
+the NumPy-reference check, the byte/FLOP accounting and a reduced sweep --
+behind one uniform :class:`Workload` record.  Registering a workload makes it
+visible everywhere at once:
+
+* :func:`repro.experiments.common.measure_sweep` resolves
+  ``SweepPoint(kind=...)`` through :func:`get`, so any registered name can
+  ride in a batched figure sweep;
+* the CLI (``python -m repro.workloads``) lists, checks and sweeps every
+  registered workload through :meth:`Device.run_many`;
+* ``benchmarks/bench_workloads.py`` publishes a throughput series per
+  registered workload.
+
+Adding a scenario is therefore one module: write the kernel + problem +
+reference, then call :func:`register` at import time (see
+:mod:`repro.workloads.builtin` for the eight shipped examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.options import CompileOptions
+from repro.gpusim.device import Device, LaunchResult, LaunchSpec
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One registered kernel scenario.
+
+    ``make_specs`` may return *several* launch specs for one problem (e.g.
+    split-K GEMM's partial + reduction pipeline); the sweep harness sums
+    their simulated seconds before applying the memory roofline.
+    """
+
+    #: Registry key (``SweepPoint.kind``, CLI name).
+    name: str
+    #: One-line description shown by ``python -m repro.workloads list``.
+    description: str
+    #: The ``*Problem`` dataclass for this workload.
+    problem_cls: type
+    #: (device, problem, options) -> the launch pipeline for one problem.
+    make_specs: Callable[[Device, Any, CompileOptions], List[LaunchSpec]]
+    #: (device, problem, options) -> LaunchResult; runs functionally and
+    #: asserts against the NumPy reference.
+    check: Callable[[Device, Any, Optional[CompileOptions]], LaunchResult]
+    #: problem -> unique global-memory traffic in bytes (roofline input).
+    bytes_moved: Callable[[Any], float]
+    #: () -> the workload's default simulated-measurement CompileOptions.
+    default_options: Callable[[], CompileOptions] = CompileOptions
+    #: () -> problems for the reduced (CI-sized) sweep.
+    reduced_sweep: Callable[[], List[Any]] = field(default=lambda: [])
+    #: () -> a small problem for functional checking (reduced_sweep may be
+    #: perf-mode sized).
+    check_problem: Callable[[], Any] = field(default=lambda: None)
+
+    def flops(self, problem: Any) -> float:
+        return float(problem.flops)
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    """Add a workload to the registry; the name must be unused."""
+    if workload.name in _REGISTRY:
+        raise ValueError(f"workload {workload.name!r} is already registered")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def unregister(name: str) -> None:
+    """Remove a workload (tests re-registering variants)."""
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> Workload:
+    """Look a workload up by name; raises ``KeyError`` with the known names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; registered: {', '.join(list_workloads())}"
+        ) from None
+
+
+def list_workloads() -> List[str]:
+    """The registered workload names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def build_sweep_specs(device: Device, workload: Workload, problem: Any,
+                      options: Optional[CompileOptions] = None) -> List[LaunchSpec]:
+    """The fully-compiled launch pipeline for one (workload, problem) point.
+
+    Compilation is front-loaded through :meth:`Device.compile` (the
+    process-wide compiler service), so callers batching many points get
+    deduplicated, cache-served artifacts before any launch runs.
+    """
+    specs = workload.make_specs(device, problem,
+                                options or workload.default_options())
+    for spec in specs:
+        spec.kernel = device.compile(spec.kernel, spec.args, spec.constexprs,
+                                     spec.options)
+    return specs
+
+
+def sweep_points(names: Optional[Sequence[str]] = None):
+    """Yield ``(workload, problem)`` over the reduced sweep of each name."""
+    for name in names or list_workloads():
+        workload = get(name)
+        for problem in workload.reduced_sweep():
+            yield workload, problem

@@ -1,0 +1,78 @@
+"""Host-side vs device-side ceil division can never disagree.
+
+``tl.cdiv`` is one helper with two faces: on the host it executes
+:func:`repro.frontend.language.host_cdiv` (the single consolidated
+implementation every kernel module's grid math routes through), and inside a
+kernel it lowers to ``(a + b - 1) // b`` under the simulator's
+floor-division ``arith.divsi``.  These tests pin the semantics -- exact
+ceiling for every integer dividend with a positive divisor -- and prove the
+two faces agree by actually compiling and running a kernel that stores
+``tl.cdiv(a, b)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.options import CompileOptions
+from repro.frontend import kernel, tl
+from repro.frontend.language import host_cdiv
+from repro.gpusim.device import Device
+
+
+class TestHostCdiv:
+    @pytest.mark.parametrize("b", [1, 2, 3, 5, 7, 64])
+    def test_is_exact_ceiling_for_all_dividends(self, b):
+        for a in range(-3 * b - 1, 3 * b + 2):
+            assert host_cdiv(a, b) == math.ceil(a / b), (a, b)
+
+    def test_negative_dividend_examples(self):
+        # The pinned semantics: ceil toward +inf, not C-style truncation.
+        assert host_cdiv(-7, 2) == -3
+        assert host_cdiv(-1, 2) == 0
+        assert host_cdiv(-8, 4) == -2
+
+    def test_rejects_non_positive_divisors(self):
+        with pytest.raises(ValueError):
+            host_cdiv(4, 0)
+        with pytest.raises(ValueError):
+            host_cdiv(4, -2)
+
+    def test_tl_cdiv_is_the_same_callable(self):
+        # tl.cdiv on the host *is* host_cdiv -- no second implementation.
+        assert tl.cdiv(7, 2) == host_cdiv(7, 2) == 4
+        assert tl.cdiv._host_impl is host_cdiv
+
+    def test_kernel_modules_have_no_private_copies(self):
+        """The historical per-module ``_cdiv`` clones must stay gone."""
+        import repro.kernels.attention as attention
+        import repro.kernels.batched_gemm as batched_gemm
+        import repro.kernels.gemm as gemm
+        import repro.kernels.grouped_gemm as grouped_gemm
+
+        for module in (gemm, batched_gemm, grouped_gemm, attention):
+            assert not hasattr(module, "_cdiv"), module.__name__
+
+
+@kernel
+def _cdiv_probe_kernel(a, b, out_ptr):
+    tl.store(out_ptr, tl.cdiv(a, b))
+
+
+class TestDeviceCdiv:
+    def test_device_agrees_with_host_over_signed_range(self):
+        device = Device(mode="functional")
+        cases = [(a, b) for b in (1, 2, 3, 5) for a in range(-9, 10)]
+        for a, b in cases:
+            out = np.zeros(1, dtype=np.int32)
+            device.run(
+                _cdiv_probe_kernel,
+                grid=1,
+                args={"a": a, "b": b, "out_ptr": device.pointer(out, "i32")},
+                options=CompileOptions(enable_warp_specialization=False,
+                                       software_pipelining=False),
+            )
+            assert int(out[0]) == host_cdiv(a, b), (a, b, int(out[0]))

@@ -11,6 +11,7 @@ cache-cold first process and a no-cache run.
 from __future__ import annotations
 
 import json
+import linecache
 import os
 import subprocess
 import sys
@@ -133,6 +134,88 @@ class TestFingerprint:
                 != _make_closure_kernel(3.0).source_fingerprint)
         assert (_make_closure_kernel(2.0).source_fingerprint
                 == _make_closure_kernel(2.0).source_fingerprint)
+
+    def test_warm_access_is_memoized(self):
+        # Launch loops re-key the artifact cache on every run; the full
+        # source+bindings SHA-256 must only run when a binding changed.
+        k = _make_elementwise()
+        first = k.source_fingerprint
+        recomputes = k.fingerprint_recomputes
+        assert recomputes == 1
+        for _ in range(10):
+            assert k.source_fingerprint == first
+        assert k.fingerprint_recomputes == recomputes  # all served memoized
+
+    def test_memo_invalidates_on_global_mutation(self, monkeypatch):
+        before = _live_binding_kernel.source_fingerprint
+        recomputes = _live_binding_kernel.fingerprint_recomputes
+        monkeypatch.setattr(sys.modules[__name__], "_LIVE_SCALE", 5.0)
+        after = _live_binding_kernel.source_fingerprint
+        assert after != before
+        assert _live_binding_kernel.fingerprint_recomputes == recomputes + 1
+        # Warm again at the new binding...
+        assert _live_binding_kernel.source_fingerprint == after
+        assert _live_binding_kernel.fingerprint_recomputes == recomputes + 1
+        # ...and restoring the old value recomputes back to the old hash.
+        monkeypatch.setattr(sys.modules[__name__], "_LIVE_SCALE", 2.0)
+        assert _live_binding_kernel.source_fingerprint == before
+
+    def test_memo_sees_globals_defined_after_decoration(self):
+        # A module constant defined *below* the @kernel decorator is absent
+        # from fn.__globals__ at decoration time; the memo's snapshot must
+        # still notice when it appears or changes.
+        namespace = {"kernel": kernel, "tl": tl}
+        src = (
+            "@kernel\n"
+            "def late(x_ptr, out_ptr, n, BLOCK: tl.constexpr):\n"
+            "    pid = tl.program_id(axis=0)\n"
+            "    offs = pid * BLOCK + tl.arange(0, BLOCK)\n"
+            "    mask = offs < n\n"
+            "    x = tl.load(x_ptr + offs, mask=mask, other=0.0)\n"
+            "    tl.store(out_ptr + offs, x * LATE_SCALE, mask=mask)\n"
+        )
+        # Kernel.__init__ reads the decorated function's source via inspect;
+        # prime linecache so the exec'd definition is inspectable.
+        filename = "<test_memo_late_globals>"
+        linecache.cache[filename] = (
+            len(src), None, src.splitlines(keepends=True), filename,
+        )
+        try:
+            exec(compile(src, filename, "exec"), namespace)
+            late = namespace["late"]
+            undefined = late.source_fingerprint
+            namespace["LATE_SCALE"] = 2.0
+            defined = late.source_fingerprint
+            assert defined != undefined
+            namespace["LATE_SCALE"] = 3.0
+            assert late.source_fingerprint != defined
+        finally:
+            linecache.cache.pop(filename, None)
+
+    def test_memo_sees_type_changing_rebinds(self, monkeypatch):
+        # Python coerces 2 == 2.0 == True, but _stable_binding hashes each
+        # repr distinctly; the memo's snapshot comparison must be exactly as
+        # discriminating or it serves a stale fingerprint (and hence a wrong
+        # cached artifact) for a type-changing rebind.
+        float_fp = _live_binding_kernel.source_fingerprint  # _LIVE_SCALE = 2.0
+        monkeypatch.setattr(sys.modules[__name__], "_LIVE_SCALE", 2)
+        int_fp = _live_binding_kernel.source_fingerprint
+        assert int_fp != float_fp
+        monkeypatch.setattr(sys.modules[__name__], "_LIVE_SCALE", True)
+        bool_fp = _live_binding_kernel.source_fingerprint
+        assert bool_fp not in (float_fp, int_fp)
+        monkeypatch.setattr(sys.modules[__name__], "_LIVE_SCALE", 2.0)
+        assert _live_binding_kernel.source_fingerprint == float_fp
+
+    def test_memo_ignores_identity_preserving_rebinds(self):
+        # Rebinding a name to the *same* object must not thrash the memo.
+        k = _make_elementwise()
+        k.source_fingerprint
+        recomputes = k.fingerprint_recomputes
+        g = k.fn.__globals__
+        g["tl"] = g["tl"]
+        assert k.source_fingerprint
+        assert k.fingerprint_recomputes == recomputes
 
     def test_sensitivity_to_every_input(self):
         base_opts = CompileOptions()

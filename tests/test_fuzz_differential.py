@@ -21,6 +21,14 @@ Two kernel families are fuzzed:
 * *gemm* -- the paper's GEMM with randomized problem/tile sizes and a
   randomized compilation path (warp-specialized, persistent, Triton-style,
   naive); exercises TMA, arefs, WGMMA and every pipeline lowering.
+* *rowop* -- randomized per-row reduction kernels (softmax, mean-centering,
+  RMS normalization, max-shift) over ragged masked rows; exercises the
+  ``tl.max`` / ``tl.sum`` / ``tl.exp`` / ``tl.rsqrt`` surface the softmax
+  and LayerNorm workloads are built from.
+* *splitk* -- the split-K GEMM **two-launch pipeline** (partial products +
+  reduction epilogue) with randomized split counts and tile shapes,
+  submitted through ``Device.run_many``; exercises cross-launch buffer
+  reuse under sharding and the reduction-epilogue accumulation order.
 
 On failure the harness *shrinks* the case (halving sizes, simplifying ops
 and options) and reports the smallest configuration that still disagrees,
@@ -44,6 +52,7 @@ from repro.core.options import CompileOptions, NAIVE_OPTIONS, TRITON_BASELINE_OP
 from repro.frontend import kernel, tl
 from repro.gpusim.device import Device
 from repro.kernels.gemm import GemmProblem, make_gemm_inputs, matmul_kernel
+from repro.kernels.splitk_gemm import SplitKGemmProblem, run_splitk_gemm
 
 BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260726"))
 CASES_PER_FAMILY = int(os.environ.get("REPRO_FUZZ_CASES", "5"))
@@ -283,6 +292,178 @@ class GemmCase:
 
 
 # ---------------------------------------------------------------------------
+# Family 3: randomized per-row reduction kernels (softmax / normalization)
+# ---------------------------------------------------------------------------
+
+
+@kernel
+def _fuzz_rowop_kernel(x_ptr, out_ptr, n_cols, inv_n,
+                       OP: tl.constexpr, COLS: tl.constexpr):
+    """One constexpr-selected row reduction per program, over a masked row."""
+    pid = tl.program_id(axis=0)
+    col = tl.arange(0, COLS)
+    mask = col < n_cols
+    x = tl.load(x_ptr + pid * n_cols + col, mask=mask, other=0.0)
+    if OP == 0:  # numerically-stable softmax
+        xm = tl.where(mask, x, float("-inf"))
+        m = tl.max(xm, axis=0)
+        e = tl.where(mask, tl.exp(xm - m), 0.0)
+        r = e / tl.sum(e, axis=0)
+    elif OP == 1:  # mean-centering (LayerNorm's first half)
+        mean = tl.sum(x, axis=0) * inv_n
+        r = tl.where(mask, x - mean, 0.0)
+    elif OP == 2:  # RMS normalization
+        ms = tl.sum(x * x, axis=0) * inv_n
+        r = x * tl.rsqrt(ms + 1e-5)
+    else:  # max-shift
+        m = tl.max(tl.where(mask, x, float("-inf")), axis=0)
+        r = x - m
+    tl.store(out_ptr + pid * n_cols + col, r, mask=mask)
+
+
+@dataclass(frozen=True)
+class RowOpCase:
+    rows: int
+    cols: int
+    block: int  # COLS constexpr; >= cols
+    op: int
+    options_index: int
+    data_seed: int
+
+    def describe(self) -> str:
+        return (f"rowop(rows={self.rows}, cols={self.cols}, block={self.block}, "
+                f"op={self.op}, options={self.options_index}, "
+                f"data_seed={self.data_seed})")
+
+    @classmethod
+    def random(cls, rng: np.random.Generator) -> "RowOpCase":
+        block = int(rng.choice([16, 32, 64, 128]))
+        # Bias towards ragged rows so the masked reduction lanes are hit.
+        cols = block - (int(rng.integers(1, block)) if rng.random() < 0.7 else 0)
+        return cls(
+            rows=int(rng.integers(1, 7)),
+            cols=max(1, cols),
+            block=block,
+            op=int(rng.integers(0, 4)),
+            options_index=int(rng.integers(0, len(_EW_OPTIONS))),
+            data_seed=int(rng.integers(0, 2**31)),
+        )
+
+    def execute(self, engine: str) -> Observation:
+        device = _device(engine)
+        rng = np.random.default_rng(self.data_seed)
+        x = rng.standard_normal((self.rows, self.cols), dtype=np.float32) * 2.0
+        args = {
+            "x_ptr": device.pointer(x, "f32"),
+            "out_ptr": device.pointer(np.zeros((self.rows, self.cols),
+                                               np.float32), "f32"),
+            "n_cols": self.cols,
+            "inv_n": 1.0 / self.cols,
+        }
+        result = device.run(
+            _fuzz_rowop_kernel,
+            grid=self.rows,
+            args=args,
+            constexprs={"OP": self.op, "COLS": self.block},
+            options=_EW_OPTIONS[self.options_index],
+        )
+        return Observation(
+            output=args["out_ptr"].buffer.to_numpy().tobytes(),
+            cycles=result.cycles,
+            per_cta_cycles=tuple(result.per_cta_cycles),
+            utilization=result.tensor_core_utilization,
+            bytes_copied=result.bytes_copied,
+        )
+
+    def shrink_candidates(self) -> List["RowOpCase"]:
+        out = []
+        if self.rows > 1:
+            out.append(dataclasses.replace(self, rows=max(1, self.rows // 2)))
+        if self.block > 16:
+            out.append(dataclasses.replace(
+                self, block=self.block // 2, cols=min(self.cols, self.block // 2)))
+        if self.op != 3:
+            out.append(dataclasses.replace(self, op=3))
+        if self.options_index != 0:
+            out.append(dataclasses.replace(self, options_index=0))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Family 4: split-K accumulation pipelines (two launches via run_many)
+# ---------------------------------------------------------------------------
+
+# Persistent kernels require a 1-D grid; split-K rides the second grid axis,
+# so that configuration is statically infeasible rather than fuzzable.
+_SPLITK_OPTIONS = [opt for opt in _GEMM_OPTIONS
+                   if not getattr(opt, "persistent", False)]
+
+
+@dataclass(frozen=True)
+class SplitKCase:
+    m_blocks: int
+    n_blocks: int
+    splits: int
+    k_steps_per_split: int
+    options_index: int
+    data_seed: int
+
+    BLOCK = 32
+
+    def describe(self) -> str:
+        return (f"splitk(M={self.m_blocks}x{self.BLOCK}, N={self.n_blocks}x{self.BLOCK}, "
+                f"splits={self.splits}, ksteps={self.k_steps_per_split}, "
+                f"options={self.options_index}, data_seed={self.data_seed})")
+
+    @classmethod
+    def random(cls, rng: np.random.Generator) -> "SplitKCase":
+        return cls(
+            m_blocks=int(rng.integers(1, 3)),
+            n_blocks=int(rng.integers(1, 3)),
+            splits=int(rng.choice([1, 2, 4])),
+            k_steps_per_split=int(rng.integers(1, 3)),
+            options_index=int(rng.integers(0, len(_SPLITK_OPTIONS))),
+            data_seed=int(rng.integers(0, 2**31)),
+        )
+
+    def problem(self) -> SplitKGemmProblem:
+        return SplitKGemmProblem(
+            M=self.m_blocks * self.BLOCK,
+            N=self.n_blocks * self.BLOCK,
+            K=self.splits * self.k_steps_per_split * self.BLOCK,
+            splits=self.splits,
+            block_m=self.BLOCK,
+            block_n=self.BLOCK,
+            block_k=self.BLOCK,
+            reduce_block=64,
+            seed=self.data_seed,
+        )
+
+    def execute(self, engine: str) -> Observation:
+        device = _device(engine)
+        results, c = run_splitk_gemm(device, self.problem(),
+                                     _SPLITK_OPTIONS[self.options_index])
+        return Observation(
+            output=c.tobytes(),
+            cycles=sum(r.cycles for r in results),
+            per_cta_cycles=tuple(c for r in results for c in r.per_cta_cycles),
+            utilization=sum(r.tensor_core_utilization for r in results),
+            bytes_copied=sum(r.bytes_copied for r in results),
+        )
+
+    def shrink_candidates(self) -> List["SplitKCase"]:
+        out = []
+        for attr in ("m_blocks", "n_blocks", "k_steps_per_split"):
+            if getattr(self, attr) > 1:
+                out.append(dataclasses.replace(self, **{attr: getattr(self, attr) // 2}))
+        if self.splits > 1:
+            out.append(dataclasses.replace(self, splits=self.splits // 2))
+        if self.options_index != 0:
+            out.append(dataclasses.replace(self, options_index=0))
+        return out
+
+
+# ---------------------------------------------------------------------------
 # The differential harness
 # ---------------------------------------------------------------------------
 
@@ -340,6 +521,18 @@ def test_fuzz_elementwise(case):
 @pytest.mark.parametrize("case", _cases(GemmCase.random, CASES_PER_FAMILY, 2),
                          ids=lambda c: c.describe())
 def test_fuzz_gemm(case):
+    _check(case)
+
+
+@pytest.mark.parametrize("case", _cases(RowOpCase.random, CASES_PER_FAMILY, 3),
+                         ids=lambda c: c.describe())
+def test_fuzz_rowop(case):
+    _check(case)
+
+
+@pytest.mark.parametrize("case", _cases(SplitKCase.random, CASES_PER_FAMILY, 4),
+                         ids=lambda c: c.describe())
+def test_fuzz_splitk(case):
     _check(case)
 
 

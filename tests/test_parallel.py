@@ -109,6 +109,42 @@ class TestSharedBuffers:
         buf.make_shared()
         assert not buf.is_shared
 
+    def test_release_shared_round_trip(self):
+        data = np.arange(12, dtype=np.float32).reshape(3, 4)
+        buf = GlobalBuffer.from_numpy(data, "f32", "x")
+        buf.make_shared()
+        assert COUNTERS.parallel_shared_bytes > 0
+        buf.to_numpy()[1, 2] = 99.0  # a "worker" write into the mapping
+        buf.release_shared()
+        assert not buf.is_shared
+        assert COUNTERS.parallel_shared_bytes == 0
+        # Contents (including the in-mapping write) survive re-privatization.
+        assert buf.to_numpy()[1, 2] == 99.0
+        assert np.array_equal(np.delete(buf.to_numpy().ravel(), 6),
+                              np.delete(data.ravel(), 6))
+        buf.release_shared()  # idempotent
+        assert COUNTERS.parallel_shared_bytes == 0
+
+    def test_release_shared_closes_the_mapping(self):
+        buf = GlobalBuffer.from_numpy(np.zeros((4, 4), np.float32), "f32", "x")
+        buf.make_shared()
+        backing = buf._shared_backing
+        assert backing is not None and not backing.closed
+        buf.release_shared()
+        assert backing.closed
+        assert buf._shared_backing is None
+
+    def test_shared_bytes_gauge_tracks_multiple_buffers(self):
+        bufs = [GlobalBuffer.from_numpy(np.zeros(64, np.float32), "f32", f"b{i}")
+                for i in range(3)]
+        for b in bufs:
+            b.make_shared()
+        live = COUNTERS.parallel_shared_bytes
+        assert live >= 3 * 64 * 4
+        for b in bufs:
+            b.release_shared()
+        assert COUNTERS.parallel_shared_bytes == 0
+
     @needs_fork
     def test_fork_sees_writes_to_shared_array(self):
         arr = shared_ndarray((8,), np.float32)
@@ -376,3 +412,108 @@ class TestRunMany:
         expected, c = run_gemm(Device(mode="functional", workers=1), problem, WS_OPTIONS)
         assert results[index].cycles == expected.cycles
         assert np.array_equal(args["c_ptr"].buffer.to_numpy(), c)
+
+
+# ---------------------------------------------------------------------------
+# Shared-mapping lifecycle across launches
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+class TestSharedMappingLifecycle:
+    """Sharded launches must not accumulate live MAP_SHARED mappings.
+
+    Before the deterministic-release fix, every sharded launch left its
+    buffers backed by anonymous shared mmaps until GC happened to collect
+    them; a long batched sweep therefore held an unbounded number of live
+    mappings.  Now the device re-privatizes every launch buffer right after
+    the post-fork merge, observable through the ``parallel_shared_bytes``
+    gauge in :func:`repro.perf.counters.sim_counters`.
+    """
+
+    def test_single_sharded_launch_releases_buffers(self):
+        device = Device(mode="functional", workers=2)
+        problem = GemmProblem(M=128, N=128, K=64, block_m=64, block_n=64,
+                              block_k=32)
+        args, a, b = make_gemm_inputs(problem, device)
+        device.run(matmul_kernel, problem.grid, args, problem.constexprs(),
+                   WS_OPTIONS)
+        assert COUNTERS.parallel_launches == 1
+        assert COUNTERS.parallel_shared_bytes == 0
+        for value in args.values():
+            if hasattr(value, "buffer"):
+                assert not value.buffer.is_shared
+        # ... and the worker-written outputs survived re-privatization.
+        np.testing.assert_allclose(
+            args["c_ptr"].buffer.to_numpy().astype(np.float32),
+            gemm_reference(a, b, problem.dtype).astype(np.float32),
+            rtol=2e-2, atol=2e-2)
+
+    def test_long_batched_sweep_does_not_accumulate_mappings(self):
+        """A 12-launch sharded sweep ends with zero live shared bytes."""
+        device = Device(mode="functional", workers=2)
+        specs = []
+        for i in range(12):
+            problem = GemmProblem(M=128, N=128, K=64, block_m=64, block_n=64,
+                                  block_k=32, seed=i)
+            args, _, _ = make_gemm_inputs(problem, device)
+            specs.append(LaunchSpec(matmul_kernel, problem.grid, args,
+                                    problem.constexprs(), WS_OPTIONS))
+        results = device.run_many(specs)
+        assert len(results) == 12
+        assert COUNTERS.parallel_launches == 12
+        # Every launch's mappings were released as soon as it merged; none
+        # wait for GC.
+        assert COUNTERS.parallel_shared_bytes == 0
+        for spec in specs:
+            for value in spec.args.values():
+                if hasattr(value, "buffer"):
+                    assert not value.buffer.is_shared
+                    assert value.buffer._shared_backing is None
+
+    def test_fork_failure_releases_shared_buffers(self, monkeypatch):
+        """A launch whose worker fork fails must still release its mappings.
+
+        ``run_many`` shares buffers *before* constructing ``ParallelLaunch``;
+        if the fork raises, the launch never reaches the pending slot that the
+        batch-level error handler cleans up, so the release must happen on
+        the spot.
+        """
+        import repro.gpusim.parallel as parallel_mod
+
+        device = Device(mode="functional", workers=2)
+        problem = GemmProblem(M=128, N=128, K=64, block_m=64, block_n=64,
+                              block_k=32)
+        args, _, _ = make_gemm_inputs(problem, device)
+        spec = LaunchSpec(matmul_kernel, problem.grid, args,
+                          problem.constexprs(), WS_OPTIONS)
+
+        def failing_fork(*_a, **_k):
+            raise OSError("fork: Resource temporarily unavailable")
+
+        monkeypatch.setattr(parallel_mod, "ParallelLaunch", failing_fork)
+        with pytest.raises(OSError, match="fork"):
+            device.run_many([spec])
+        assert COUNTERS.parallel_shared_bytes == 0
+        for value in spec.args.values():
+            if hasattr(value, "buffer"):
+                assert not value.buffer.is_shared
+
+    def test_reused_buffer_across_launches_stays_correct(self):
+        """Share -> release -> re-share of the same buffer keeps data intact."""
+        device = Device(mode="functional", workers=2)
+        problem = GemmProblem(M=128, N=128, K=64, block_m=64, block_n=64,
+                              block_k=32)
+        args, a, b = make_gemm_inputs(problem, device)
+        specs = [
+            LaunchSpec(matmul_kernel, problem.grid, args, problem.constexprs(),
+                       WS_OPTIONS),
+            LaunchSpec(matmul_kernel, problem.grid, args, problem.constexprs(),
+                       WS_OPTIONS),
+        ]
+        device.run_many(specs)
+        assert COUNTERS.parallel_shared_bytes == 0
+        np.testing.assert_allclose(
+            args["c_ptr"].buffer.to_numpy().astype(np.float32),
+            gemm_reference(a, b, problem.dtype).astype(np.float32),
+            rtol=2e-2, atol=2e-2)
