@@ -1,0 +1,72 @@
+"""Autotuner benchmark: tuned vs hand-written-default TFLOP/s per workload.
+
+Runs the cost-model-guided autotuner (:mod:`repro.tune`) on each tunable
+workload's first reduced-sweep problem (no persisted store -- every run
+measures) and publishes the tuned-vs-default series as JSON in
+``benchmarks/out/``, so the tuning win is tracked next to the raw workload
+throughput of ``bench_workloads.py``.
+
+The tuner always includes the default configuration in its measured
+finalists, so ``speedup >= 1.0`` for every workload is an invariant this
+benchmark asserts, not just reports.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit_json
+from repro.experiments.common import perf_device
+from repro.perf.counters import COUNTERS
+from repro.tune import Autotuner
+
+#: Workloads whose default options are warp-specialized GEMM/attention-style
+#: configurations the standard tuning grid applies to.
+TUNED_WORKLOADS = ("gemm", "attention", "batched_gemm", "splitk_gemm")
+
+
+def test_autotune_speedup(benchmark):
+    state = {}
+
+    def run_tuning():
+        device = perf_device()
+        tuner = Autotuner(device=device, top_k=6, use_store=False)
+        results = []
+        start = time.perf_counter()
+        for name in TUNED_WORKLOADS:
+            results.append(tuner.tune(name))
+        state["results"] = results
+        state["seconds"] = time.perf_counter() - start
+        return results
+
+    benchmark.pedantic(run_tuning, rounds=1, iterations=1)
+
+    rows = []
+    print()
+    for result in state["results"]:
+        print(f"  {result.describe()}")
+        rows.append({
+            "workload": result.workload,
+            "problem": repr(result.problem),
+            "default_tflops": round(result.default_tflops, 2),
+            "tuned_tflops": round(result.best_tflops, 2),
+            "speedup": round(result.speedup_over_default, 4),
+            "config": result.best.describe(),
+            "candidates_considered": result.candidates_considered,
+            "candidates_pruned": result.candidates_pruned,
+            "measurements": result.measurements,
+        })
+    print(f"  {len(rows)} workloads tuned in {state['seconds']:.2f}s "
+          f"({COUNTERS.tune_measurements} measurements, "
+          f"{COUNTERS.tune_candidates_pruned} pruned, "
+          f"{COUNTERS.compile_cache_misses} compiles)")
+
+    emit_json("bench_autotune", {
+        "workloads": rows,
+        "tune_seconds": round(state["seconds"], 3),
+        "counters": COUNTERS.snapshot(),
+    }, benchmark=benchmark)
+
+    assert len(rows) == len(TUNED_WORKLOADS)
+    for row in rows:
+        assert row["tuned_tflops"] >= row["default_tflops"] > 0.0, row

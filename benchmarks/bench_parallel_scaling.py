@@ -27,7 +27,6 @@ import hashlib
 import os
 import time
 
-import numpy as np
 import pytest
 
 from conftest import emit_json, full_sweep_requested

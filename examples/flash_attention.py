@@ -16,7 +16,6 @@ The example:
 Run with:  python examples/flash_attention.py
 """
 
-import numpy as np
 
 from repro.baselines import FA3_ATTENTION, attention_bytes
 from repro.core.options import CompileOptions, TRITON_BASELINE_OPTIONS

@@ -59,7 +59,8 @@ def main() -> None:
     print(f"\n{'=' * 78}\n== pass pipeline and resources\n{'=' * 78}")
     print(f"  pipeline: {lowered.pipeline!r} "
           f"(resolved from options by the registry; "
-          f"baseline would be {resolve_pipeline_name(CompileOptions(enable_warp_specialization=False))!r})")
+          f"baseline would be "
+          f"{resolve_pipeline_name(CompileOptions(enable_warp_specialization=False))!r})")
     for name in lowered.pass_dumps:
         ms = lowered.pass_timings.get(name, 0.0) * 1e3
         print(f"  ran pass: {name}  ({ms:.2f} ms)")

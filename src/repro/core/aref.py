@@ -22,7 +22,7 @@ credit; exactly one of the three states holds at any time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generic, List, Optional, Tuple, TypeVar
 
 T = TypeVar("T")

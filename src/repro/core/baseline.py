@@ -11,12 +11,12 @@ execution used as the ablation baseline of Fig. 12.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.core.options import CompileOptions
 from repro.core.pipelining import plan_rotation, rotate_loop
-from repro.ir import Builder, FuncOp, ModuleOp, Operation, Value
-from repro.ir.dialects import arith, gpu, scf, tt
+from repro.ir import Builder, FuncOp, ModuleOp, Operation
+from repro.ir.dialects import gpu, scf
 from repro.ir.passes import FunctionPass
 
 

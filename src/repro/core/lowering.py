@@ -33,7 +33,7 @@ from repro.core.options import CompileError, CompileOptions
 from repro.core.pipelining import ASYNC_ATTR
 from repro.ir import Builder, FuncOp, ModuleOp, Operation, Value
 from repro.ir.canonicalize import eliminate_dead_code
-from repro.ir.dialects import arith, gpu, scf, tawa, tt
+from repro.ir.dialects import arith, gpu, tawa, tt
 from repro.ir.passes import FunctionPass
 from repro.ir.types import TensorType
 

@@ -32,11 +32,10 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.options import CompileError, CompileOptions
 from repro.core.tagging import is_tile_anchor, is_tma_load
 from repro.ir import Builder, FuncOp, IRMapping, ModuleOp, Operation, Value
-from repro.ir.dialects import arith, scf, tawa, tt
+from repro.ir.dialects import scf, tawa
 from repro.ir.operation import Block, BlockArgument, OpResult
-from repro.ir.passes import FunctionPass, PassError
+from repro.ir.passes import FunctionPass
 from repro.ir.traversal import external_operands
-from repro.ir.types import i32
 
 
 #: pure "view" ops through which we look to find the dot consuming a load
@@ -325,7 +324,7 @@ def _clone_block(ctx: _CloneContext, src: Block) -> None:
             continue
         if ctx.side == "consumer" and is_tma_load(op):
             continue  # satisfied through the aref channel
-        new_op = builder.insert(op.clone(ctx.mapping))
+        builder.insert(op.clone(ctx.mapping))
         if ctx.side == "producer" and is_tma_load(op):
             _maybe_emit_put(ctx, op, block_groups)
 

@@ -19,7 +19,7 @@ from typing import List
 
 from repro.core.options import CompileError, CompileOptions
 from repro.ir import Builder, FuncOp, ModuleOp, Operation
-from repro.ir.dialects import gpu, scf, tt
+from repro.ir.dialects import gpu, scf
 from repro.ir.passes import FunctionPass
 
 

@@ -24,12 +24,12 @@ against Tensor Core work, exactly like stock Triton does on Ampere.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set
 
 from repro.core.linearize import enclosing_loops, linear_index_for_loops, trip_count
 from repro.core.options import CompileOptions
 from repro.ir import Builder, FuncOp, IRMapping, ModuleOp, Operation, Value
-from repro.ir.dialects import arith, gpu, scf, tawa, tt
+from repro.ir.dialects import arith, gpu, scf, tawa
 from repro.ir.passes import FunctionPass
 from repro.ir.traversal import backward_slice
 

@@ -20,7 +20,6 @@ from __future__ import annotations
 from typing import List, Set
 
 from repro.ir import FuncOp, ModuleOp, Operation
-from repro.ir.dialects import tt
 from repro.ir.passes import FunctionPass
 from repro.ir.traversal import backward_slice, defining_op
 from repro.ir.types import TensorType

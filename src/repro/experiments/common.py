@@ -35,7 +35,7 @@ from repro.kernels.attention import AttentionProblem, run_attention
 from repro.kernels.batched_gemm import BatchedGemmProblem, run_batched_gemm
 from repro.kernels.gemm import GemmProblem, run_gemm
 from repro.kernels.grouped_gemm import GroupedGemmProblem, run_grouped_gemm
-from repro.perf.metrics import apply_memory_roofline, tflops
+from repro.perf.metrics import Infeasible, apply_memory_roofline, tflops
 
 TAWA = "Tawa"
 TRITON = "Triton"
@@ -138,7 +138,8 @@ class SweepPoint:
     ``kind`` is a name in the workload registry (:mod:`repro.workloads`) --
     the four figure workloads plus anything registered since.
     ``options=None`` marks a point as infeasible (e.g. the P > D cells of
-    Fig. 11); it is not launched and scores 0.0 TFLOP/s.
+    Fig. 11); it is not launched and scores an
+    :class:`~repro.perf.metrics.Infeasible` marker.
     """
 
     kind: str  # a registered workload name: "gemm", "attention", "softmax", ...
@@ -149,9 +150,9 @@ class SweepPoint:
 def measure_sweep(device: Device, points: Sequence[SweepPoint]) -> List[float]:
     """Simulate a whole sweep in one batched submission.
 
-    Returns one TFLOP/s value per point, in order (0.0 for infeasible
-    points).  Equivalent to calling the per-point ``measure_*`` helpers one
-    at a time, but all launches go through :meth:`Device.run_many`.
+    Returns one TFLOP/s value per point, in order.  Equivalent to calling
+    the per-point ``measure_*`` helpers one at a time, but all launches go
+    through :meth:`Device.run_many` (i.e. the device's executor).
 
     Each point is resolved through the workload registry
     (:mod:`repro.workloads`), so any registered workload can ride in a
@@ -160,9 +161,14 @@ def measure_sweep(device: Device, points: Sequence[SweepPoint]) -> List[float]:
     before the memory roofline is applied.
 
     Kernel compilation is front-loaded here (deduplicated by the compiler
-    service's content-addressed artifact cache); a point whose configuration
-    fails to compile scores 0.0, like the zero cells of the paper's Fig. 11
-    heatmap.
+    service's content-addressed artifact cache).  A point whose
+    configuration fails to compile -- or whose ``options`` are ``None``, the
+    statically-infeasible case -- is never launched and scores an
+    :class:`~repro.perf.metrics.Infeasible` marker: a 0.0-valued float
+    (existing aggregations keep working, like the zero cells of the paper's
+    Fig. 11 heatmap) that :func:`repro.perf.metrics.is_infeasible` can
+    distinguish from a *measured* zero, which is what stops the autotuner
+    from ranking configurations that cannot run.
 
     Every point's launch arguments are materialized before the batch runs.
     That is free on performance-mode devices (buffers are data-free shapes,
@@ -175,6 +181,7 @@ def measure_sweep(device: Device, points: Sequence[SweepPoint]) -> List[float]:
 
     specs: List[LaunchSpec] = []
     launched: List[Tuple[int, int]] = []  # (point index, launches for it)
+    values: List[float] = [Infeasible("not launched (options=None)")] * len(points)
     for i, point in enumerate(points):
         if point.options is None:
             continue
@@ -182,13 +189,13 @@ def measure_sweep(device: Device, points: Sequence[SweepPoint]) -> List[float]:
         try:
             point_specs = workloads.build_sweep_specs(device, workload,
                                                       point.problem, point.options)
-        except CompileError:
+        except CompileError as exc:
+            values[i] = Infeasible(str(exc))
             continue
         specs.extend(point_specs)
         launched.append((i, len(point_specs)))
     results = device.run_many(specs)
 
-    values = [0.0] * len(points)
     cursor = 0
     for i, count in launched:
         point = points[i]

@@ -1,20 +1,24 @@
 """Figure 11: impact of the aref size D and the MMA pipeline depth P.
 
 A 3x3 sweep of (D, P) for the FP16 GEMM with K = 16384, once without and once
-with persistent kernels.  Configurations with P > D are infeasible (the
-fine-grained pipeline would deadlock; ``CompileOptions`` rejects them) and are
-reported as 0, exactly like the zero cells of the paper's heatmap.
+with persistent kernels.  The grid is declared as a
+:class:`repro.tune.ConfigSpace` -- the same machinery the autotuner
+enumerates -- so the heatmap and the tuner are guaranteed to agree on which
+cells exist and which are infeasible: configurations with P > D (the
+fine-grained pipeline would deadlock; ``CompileOptions`` rejects them) come
+back as :class:`~repro.perf.metrics.Infeasible` markers and render as
+``n/f``, exactly like the zero cells of the paper's heatmap.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.core.options import CompileError
 from repro.experiments import common
 from repro.gpusim.device import Device
 from repro.kernels.gemm import GemmProblem
 from repro.perf.metrics import FigureResult
+from repro.tune import ConfigSpace
 
 DEPTHS = [1, 2, 3]
 MMA_DEPTHS = [1, 2, 3]
@@ -27,32 +31,39 @@ def gemm_problem(full: bool) -> GemmProblem:
                        dtype="f16", block_m=128, block_n=256, block_k=64)
 
 
-def cell_point(problem: GemmProblem, aref_depth: int, mma_depth: int,
-               persistent: bool) -> common.SweepPoint:
-    """One heatmap cell; infeasible configurations become a null point (0.0)."""
-    try:
-        options = common.tawa_gemm_options(aref_depth=aref_depth, mma_depth=mma_depth,
-                                           persistent=persistent)
-    except CompileError:
-        options = None
-    return common.SweepPoint("gemm", problem, options)
+def config_space() -> ConfigSpace:
+    """The figure's 2 x 3 x 3 grid over (persistent, D, P).
+
+    Declared around the hand-selected GEMM configuration so every other knob
+    (cooperative consumer groups, warp count) matches the paper's setup.
+    Enumeration order is persistent-major, then D, then P -- the order the
+    heatmap panels are rendered in.
+    """
+    return ConfigSpace(
+        base=common.tawa_gemm_options(),
+        persistent=[False, True],
+        aref_depth=DEPTHS,
+        mma_pipeline_depth=MMA_DEPTHS,
+    )
 
 
 def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResult]:
     device = device or common.perf_device()
     problem = gemm_problem(full)
 
-    # The full 2 x 3 x 3 heatmap is one batched sweep; infeasible (P > D)
-    # cells ride along as null points and score 0 without launching.
+    # The full heatmap is one batched sweep over the declared space;
+    # infeasible (P > D) cells ride along as null points and come back as
+    # Infeasible markers without launching.
+    cells = config_space().cells()
     points = [
-        cell_point(problem, d, p, persistent)
-        for persistent in (False, True)
-        for d in DEPTHS
-        for p in MMA_DEPTHS
+        common.SweepPoint("gemm", problem,
+                          cell.candidate.options if cell.feasible else None)
+        for cell in cells
     ]
     simulated = iter(common.measure_sweep(device, points))
 
     results = []
+    by_persistent = {False: None, True: None}
     for persistent in (False, True):
         fig = FigureResult(
             name=f"fig11-{'persistent' if persistent else 'nonpersistent'}",
@@ -60,11 +71,18 @@ def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResul
                    f"vs aref size D and MMA depth P (K={problem.K})"),
             x_label="P",
         )
-        for d in DEPTHS:
-            for p in MMA_DEPTHS:
-                fig.add(f"D={d}", p, next(simulated))
-        fig.notes.append("cells with P > D are infeasible and reported as 0")
+        fig.notes.append(
+            "cells with P > D are infeasible (CompileOptions rejects them) "
+            "and rendered as n/f"
+        )
+        by_persistent[persistent] = fig
         results.append(fig)
+
+    for cell, value in zip(cells, simulated):
+        assignment = dict(cell.assignment)
+        fig = by_persistent[assignment["persistent"]]
+        fig.add(f"D={assignment['aref_depth']}", assignment["mma_pipeline_depth"],
+                value)
     return results
 
 

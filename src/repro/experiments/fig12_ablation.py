@@ -20,7 +20,7 @@ step requires cooperative warp groups first.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from repro.core.options import CompileOptions, NAIVE_OPTIONS
 from repro.experiments import common
@@ -28,7 +28,7 @@ from repro.gpusim.device import Device
 from repro.kernels.attention import AttentionProblem
 from repro.kernels.gemm import GemmProblem
 from repro.perf.metrics import FigureResult
-from repro.perf.report import render_table
+from repro.perf.report import format_tflops, render_table
 
 FULL_K = 16384
 REDUCED_K = 2048
@@ -120,7 +120,7 @@ def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResul
 
 
 def render_ablation(fig: FigureResult) -> str:
-    rows = [[row.series, f"{row.tflops:.0f}"] for row in fig.rows]
+    rows = [[row.series, format_tflops(row.tflops, "{:.0f}")] for row in fig.rows]
     return f"== {fig.name}: {fig.title} ==\n" + render_table(["step", "TFLOP/s"], rows)
 
 

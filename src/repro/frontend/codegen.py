@@ -22,14 +22,12 @@ from __future__ import annotations
 
 import ast
 import builtins
-import math
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.frontend import language as tl_lang
 from repro.frontend.errors import FrontendError, TypeMismatchError, UnsupportedSyntaxError
 from repro.ir import Builder, Value
 from repro.ir.dialects import arith, scf, tt
-from repro.ir.operation import Operation
 from repro.ir.types import (
     PointerType,
     ScalarType,
@@ -545,7 +543,8 @@ class CodeGenerator(ast.NodeVisitor):
                 lhs, rhs = rhs, lhs
                 lhs_elem, rhs_elem = rhs_elem, lhs_elem
             if isinstance(op, ast.Add):
-                return self.builder.create(tt.AddPtrOp, self.to_ir(lhs), self.to_ir(rhs, i32)).result
+                return self.builder.create(tt.AddPtrOp, self.to_ir(lhs),
+                                           self.to_ir(rhs, i32)).result
             if isinstance(op, ast.Sub):
                 offset = self.to_ir(rhs, i32)
                 zero = self.to_ir(0, i32)
@@ -560,9 +559,11 @@ class CodeGenerator(ast.NodeVisitor):
             hint = rhs_elem
         if isinstance(lhs_elem, ScalarType) and lhs_elem.is_float:
             hint = lhs_elem
-        if not self.is_ir(lhs) and isinstance(lhs, float) and hint is not None and not hint.is_float:
+        if (not self.is_ir(lhs) and isinstance(lhs, float)
+                and hint is not None and not hint.is_float):
             hint = f32
-        if not self.is_ir(rhs) and isinstance(rhs, float) and hint is not None and not hint.is_float:
+        if (not self.is_ir(rhs) and isinstance(rhs, float)
+                and hint is not None and not hint.is_float):
             hint = f32
         lhs_v = self.to_ir(lhs, hint)
         rhs_v = self.to_ir(rhs, hint)

@@ -15,7 +15,7 @@ import hashlib
 import inspect
 import textwrap
 import types
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.frontend import language as tl_lang
@@ -23,7 +23,7 @@ from repro.frontend.codegen import CodeGenerator
 from repro.frontend.errors import FrontendError
 from repro.ir import Builder, FuncOp, ModuleOp, ReturnOp, verify
 from repro.ir.dialects import ensure_loaded
-from repro.ir.types import FunctionType, ScalarType, Type, f32, i1, i32
+from repro.ir.types import FunctionType, Type
 
 
 #: Binding values encoded verbatim into the kernel fingerprint.
@@ -183,10 +183,15 @@ class Specialization:
 class Kernel:
     """A tile-language kernel (the object produced by ``@kernel``)."""
 
-    def __init__(self, fn):
+    def __init__(self, fn, configs=None):
         self.fn = fn
         self.name = fn.__name__
         self.__doc__ = fn.__doc__
+        #: Optional :class:`repro.tune.ConfigSpace` attached at decoration
+        #: time (``@kernel(configs=...)``); the autotuner searches it instead
+        #: of its generic default grid when tuning a workload that launches
+        #: this kernel.
+        self.configs = configs
         source = textwrap.dedent(inspect.getsource(fn))
         self._source = source
         self._source_lines = source.splitlines()
@@ -331,6 +336,25 @@ class Kernel:
         verify(module, context=f"IR generated from kernel {self.name!r}")
         return module
 
+    # -- autotuning --------------------------------------------------------------
+
+    def tune(self, workload: str, problem=None, space=None, device=None, **kwargs):
+        """Autotune this kernel's configuration for a registered workload.
+
+        Convenience front door to :func:`repro.tune.tune_workload`:
+        ``workload`` names the :mod:`repro.workloads` registration whose
+        launch pipeline uses this kernel, ``space`` defaults to the
+        decoration-time ``configs=`` attachment (then to the tuner's generic
+        grid).  Returns a :class:`repro.tune.TuneResult`; with
+        ``REPRO_TUNE_DIR`` set the winner persists and is picked up
+        transparently by later launches.
+        """
+        from repro.tune import tune_workload
+
+        return tune_workload(workload, problem=problem,
+                             space=space if space is not None else self.configs,
+                             device=device, **kwargs)
+
     def __call__(self, *args, **kwargs):
         raise RuntimeError(
             f"kernel {self.name!r} cannot be called directly; launch it through "
@@ -341,11 +365,23 @@ class Kernel:
         return f"<tile kernel {self.name}>"
 
 
-def kernel(fn=None):
-    """Decorator turning a Python function into a tile-language :class:`Kernel`."""
+def kernel(fn=None, *, configs=None):
+    """Decorator turning a Python function into a tile-language :class:`Kernel`.
+
+    Supports both the bare and the parametrized form::
+
+        @kernel
+        def k(...): ...
+
+        @kernel(configs=ConfigSpace(aref_depth=[2, 3], ...))
+        def k(...): ...
+
+    ``configs`` attaches a :class:`repro.tune.ConfigSpace` the autotuner
+    searches when tuning workloads built on this kernel.
+    """
     if fn is None:
-        return kernel
-    return Kernel(fn)
+        return lambda f: Kernel(f, configs=configs)
+    return Kernel(fn, configs=configs)
 
 
 # Triton-compatible alias: ``@jit``.

@@ -14,7 +14,6 @@ numbers, which makes host-side grid-size computations convenient.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 from repro.ir import types as irt
 

@@ -1,4 +1,4 @@
-"""The simulated GPU device: kernel launch, CTA scheduling, result collection.
+"""The simulated GPU device: a thin façade over the executor layer.
 
 :class:`Device` is the user-facing entry point of the simulator.  It
 
@@ -6,9 +6,14 @@
 * compiles frontend kernels through the process-wide
   :class:`repro.core.service.CompilerService` (content-addressed artifacts,
   shared across devices and -- with ``REPRO_CACHE_DIR`` -- across processes),
-* schedules the grid onto SMs and runs the discrete-event engine,
-* returns a :class:`LaunchResult` with the functional outputs (functional
-  mode) and the simulated execution time / utilization (both modes).
+* selects an :class:`~repro.gpusim.executors.Executor` from its
+  ``(mode, workers, use_plans, collect_trace)`` settings and delegates every
+  launch path -- :meth:`launch`, :meth:`run_many`, the figure sweeps --
+  through it.
+
+All launch-prep, shard-orchestration, merge and extrapolation logic lives in
+:mod:`repro.gpusim.executors`; the device holds no per-launch state and no
+execution bodies of its own.
 
 Two execution modes exist:
 
@@ -22,28 +27,38 @@ Two execution modes exist:
 
 Functional grids can additionally be *sharded* across worker processes
 (``Device(workers=N)`` or ``REPRO_SIM_WORKERS=N``, see
-:mod:`repro.gpusim.parallel`); the merged result is bit-identical to serial
-execution.  Whole sweeps of launches are submitted at once through
+:mod:`repro.gpusim.executors.sharded`); the merged result is bit-identical to
+serial execution.  Whole sweeps of launches are submitted at once through
 :meth:`Device.run_many` / :class:`LaunchBatch`, which front-loads and
 deduplicates compilation and overlaps it with sharded execution.
 """
 
 from __future__ import annotations
 
-import math
 import os
-from dataclasses import dataclass, field
-from typing import Any, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.gpusim import parallel
+from repro.gpusim import executors, parallel
 from repro.gpusim.config import DEFAULT_CONFIG, H100Config
-from repro.gpusim.engine import Engine, Agent, SMResources, SimulationError
-from repro.gpusim.interpreter import CtaContext, LaunchContext, build_cta_agents
+from repro.gpusim.launch import (
+    LaunchResult,
+    LaunchSpec,
+    linear_to_pid as _linear_to_pid,  # noqa: F401 - re-exported for tests
+    normalize_grid as _normalize_grid,  # noqa: F401 - re-exported for tests
+)
 from repro.gpusim.memory import GlobalBuffer, Pointer, TensorDesc
-from repro.ir.types import ScalarType, Type, f32, i1, i32
-from repro.perf.counters import COUNTERS
+from repro.ir.types import ScalarType, Type
+
+__all__ = [
+    "Device",
+    "LaunchBatch",
+    "LaunchResult",
+    "LaunchSpec",
+    "clear_compile_cache",
+]
+
 
 def clear_compile_cache() -> None:
     """Drop the process-wide in-memory compile cache (mostly for tests).
@@ -60,77 +75,6 @@ def clear_compile_cache() -> None:
 
 def _env_use_plans() -> bool:
     return os.environ.get("REPRO_SIM_PLANS", "1") not in ("0", "false", "off")
-
-
-@dataclass
-class LaunchResult:
-    """Everything a kernel launch produces."""
-
-    cycles: float
-    seconds: float
-    total_ctas: int
-    simulated_ctas: int
-    per_cta_cycles: List[float] = field(default_factory=list)
-    tensor_core_busy_cycles: float = 0.0
-    tensor_core_utilization: float = 0.0
-    bytes_copied: int = 0
-    flops: Optional[float] = None
-    extrapolated: bool = False
-    trace: Optional[List] = None
-
-    @property
-    def tflops(self) -> Optional[float]:
-        if not self.flops or self.seconds <= 0:
-            return None
-        return self.flops / self.seconds / 1e12
-
-    def describe(self) -> str:
-        parts = [f"{self.seconds * 1e6:.1f} us", f"{self.cycles:.0f} cycles"]
-        if self.tflops is not None:
-            parts.append(f"{self.tflops:.1f} TFLOP/s")
-        parts.append(f"TC util {self.tensor_core_utilization * 100:.0f}%")
-        return ", ".join(parts)
-
-
-@dataclass
-class LaunchSpec:
-    """One launch of a batched submission (:meth:`Device.run_many`).
-
-    ``kernel`` may be a frontend kernel (compiled on demand, deduplicated by
-    the process-wide compile cache) or an already-compiled kernel.
-    """
-
-    kernel: Any
-    grid: Union[int, Sequence[int]]
-    args: Mapping[str, Any]
-    constexprs: Optional[Mapping[str, Any]] = None
-    options: Any = None
-    flops: Optional[float] = None
-
-
-@dataclass
-class _PreparedLaunch:
-    """Everything a launch needs to execute, resolved before any CTA runs.
-
-    Building this is the per-launch "compile" phase (kernel compilation, plan
-    lookup, argument binding); executing the CTA list is the "execute" phase.
-    The split is what lets :meth:`Device.run_many` overlap the two across
-    launches and what gives forked workers a complete, self-contained state.
-    """
-
-    spec: LaunchSpec
-    compiled: Any
-    launched_grid: Tuple[int, int, int]
-    launched_ctas: int
-    active_sms: int
-    persistent: bool
-    extrapolated: bool
-    cta_ids: List[int]
-    arg_values: List[Any]
-    launch_ctx: LaunchContext
-    bandwidth_scale: float
-    plan: Any
-    trace: Optional[List]
 
 
 class LaunchBatch:
@@ -179,9 +123,32 @@ class Device:
         # differential-testing oracle via use_plans=False or REPRO_SIM_PLANS=0.
         self.use_plans = _env_use_plans() if use_plans is None else bool(use_plans)
         # workers: shard functional grids across N forked processes
-        # (repro.gpusim.parallel).  None consults REPRO_SIM_WORKERS; 0 or
-        # "auto" selects the CPU count.  Results are bit-identical to serial.
+        # (repro.gpusim.executors.sharded).  None consults REPRO_SIM_WORKERS;
+        # 0 or "auto" selects the CPU count.  Results are bit-identical to
+        # serial.
         self.workers = parallel.resolve_workers(workers)
+
+    # ------------------------------------------------------------------ executor
+
+    def executor_settings(self) -> executors.ExecutorSettings:
+        """The current device settings as an executor-layer value object."""
+        return executors.ExecutorSettings(
+            config=self.config,
+            mode=self.mode,
+            max_ctas_per_sm_simulated=self.max_ctas_per_sm_simulated,
+            collect_trace=self.collect_trace,
+            use_plans=self.use_plans,
+            workers=self.workers,
+        )
+
+    def executor(self) -> executors.ExecutorBase:
+        """The executor this device's launches run through.
+
+        Re-selected per call from the live attribute values (they are plain
+        and mutable), so tests toggling ``device.workers`` or
+        ``device.use_plans`` see the strategy change immediately.
+        """
+        return executors.select_executor(self.executor_settings())
 
     # ------------------------------------------------------------------ data API
 
@@ -221,41 +188,18 @@ class Device:
     @staticmethod
     def infer_arg_type(value: Any) -> Type:
         """Infer the IR type of a runtime kernel argument."""
-        if isinstance(value, (TensorDesc, Pointer)):
-            return value.ir_type
-        if isinstance(value, GlobalBuffer):
-            return Pointer(value).ir_type
-        if isinstance(value, bool):
-            return i1
-        if isinstance(value, (int, np.integer)):
-            return i32
-        if isinstance(value, (float, np.floating)):
-            return f32
-        raise SimulationError(
-            f"cannot infer an IR type for runtime argument {value!r}; wrap arrays with "
-            f"Device.tensor_desc(...) or Device.pointer(...)"
-        )
+        return executors.infer_arg_type(value)
 
     def compile(self, kern, args: Mapping[str, Any], constexprs: Optional[Mapping[str, Any]] = None,
                 options=None):
         """Compile a frontend kernel for the given runtime arguments (cached).
 
         Routed through the process-wide
-        :class:`repro.core.service.CompilerService`: artifacts are
-        content-addressed (kernel source hash + specialization + options +
-        config), deduplicated across devices / batches / processes, and
-        finalized with the execution plan for this device's mode already
-        built -- so by the time a launch forks worker processes the plan is
-        part of the inherited artifact.
+        :class:`repro.core.service.CompilerService` (see
+        :func:`repro.gpusim.executors.base.compile_spec`).
         """
-        from repro.core.service import get_compiler_service
-
-        arg_types = {name: self.infer_arg_type(value) for name, value in args.items()}
-        plan_modes = (self.functional,) if self.use_plans else ()
-        return get_compiler_service().compile(
-            kern, arg_types, constexprs, options, config=self.config,
-            plan_modes=plan_modes,
-        )
+        return executors.compile_spec(self.executor_settings(), kern, args,
+                                      constexprs, options)
 
     # ------------------------------------------------------------------ launch
 
@@ -274,25 +218,14 @@ class Device:
         (descriptors, pointers, scalars).  ``flops`` is the logical FLOP count
         of the launch, used only to report TFLOP/s.
         """
-        compiled = kernel_or_compiled
-        if not hasattr(compiled, "module"):
-            compiled = self.compile(kernel_or_compiled, args, constexprs, options)
-        return self.launch(compiled, grid, args, flops=flops)
+        spec = LaunchSpec(kernel_or_compiled, grid, args, constexprs, options,
+                          flops)
+        executor = self.executor()
+        return executor.run(executor.prepare(spec))
 
     def launch(self, compiled, grid, args: Mapping[str, Any],
                flops: Optional[float] = None) -> LaunchResult:
-        prepared = self._prepare(LaunchSpec(compiled, grid, args, flops=flops))
-        workers = self._effective_workers(prepared)
-        if workers > 1:
-            self._share_launch_buffers(prepared)
-            try:
-                rows = parallel.run_sharded(self._cta_runner(prepared),
-                                            prepared.cta_ids, workers)
-            finally:
-                self._release_launch_buffers(prepared)
-        else:
-            rows = self._execute_serial(prepared)
-        return self._finalize(prepared, rows)
+        return self.run(compiled, grid, args, flops=flops)
 
     def batch(self) -> LaunchBatch:
         """A new, empty launch queue bound to this device."""
@@ -301,300 +234,17 @@ class Device:
     def run_many(self, specs: Sequence[LaunchSpec]) -> List[LaunchResult]:
         """Execute a whole batch of launches; one result per spec, in order.
 
-        Compilation (kernel + execution plan, deduplicated by the process-wide
-        caches) is pipelined against sharded execution: while launch *i*'s
-        worker processes simulate its CTAs, the parent prepares -- compiles --
-        launch *i+1*, then collects *i* before forking *i+1*'s workers.  With
-        ``workers == 1`` this degenerates to sequential prepare/execute, still
-        with fully deduplicated compilation.
+        Delegates to :func:`repro.gpusim.executors.base.run_pipelined`, which
+        overlaps compilation of launch *i+1* with (sharded) execution of
+        launch *i* for any executor strategy.
         """
-        results: List[Optional[LaunchResult]] = [None] * len(specs)
-        pending: Optional[Tuple[int, _PreparedLaunch, parallel.ParallelLaunch]] = None
-        try:
-            for i, spec in enumerate(specs):
-                prepared = self._prepare(spec)
-                workers = self._effective_workers(prepared)
-                # Any launch may consume a previous launch's output buffer, so
-                # the in-flight sharded launch must complete before another
-                # launch executes; only the *prepare* phase (compilation, plan
-                # building, argument binding -- none of which read buffer
-                # payloads) overlaps it.
-                if pending is not None:
-                    j, prev, launched = pending
-                    pending = None
-                    try:
-                        results[j] = self._finalize(prev, launched.wait())
-                    finally:
-                        self._release_launch_buffers(prev)
-                if workers > 1:
-                    self._share_launch_buffers(prepared)
-                    # Between sharing and the pending assignment the except
-                    # block below cannot see this launch's buffers, so a fork
-                    # failure must release them here.
-                    try:
-                        launched = parallel.ParallelLaunch(
-                            self._cta_runner(prepared), prepared.cta_ids, workers)
-                    except BaseException:
-                        self._release_launch_buffers(prepared)
-                        raise
-                    pending = (i, prepared, launched)
-                else:
-                    results[i] = self._finalize(prepared, self._execute_serial(prepared))
-            if pending is not None:
-                j, prev, launched = pending
-                pending = None
-                try:
-                    results[j] = self._finalize(prev, launched.wait())
-                finally:
-                    self._release_launch_buffers(prev)
-        except BaseException:
-            # Don't leak forked workers when a later spec fails to prepare,
-            # nor their launch's shared mappings once they are terminated.
-            if pending is not None:
-                pending[2].abort()
-                self._release_launch_buffers(pending[1])
-            raise
-        return results  # type: ignore[return-value]
+        return executors.run_pipelined(self.executor(), specs)
 
     # ------------------------------------------------------------------ internals
 
-    def _prepare(self, spec: LaunchSpec) -> _PreparedLaunch:
-        """Resolve everything a launch needs before any CTA executes."""
-        compiled = spec.kernel
-        if not hasattr(compiled, "module"):
-            compiled = self.compile(spec.kernel, spec.args, spec.constexprs,
-                                    spec.options)
-        grid3 = _normalize_grid(spec.grid)
-        total_tiles = grid3[0] * grid3[1] * grid3[2]
-        persistent = bool(getattr(compiled.options, "persistent", False))
-
-        if persistent:
-            launched_ctas = min(self.config.num_sms, total_tiles)
-            launched_grid = (launched_ctas, 1, 1)
-        else:
-            launched_ctas = total_tiles
-            launched_grid = grid3
-
-        arg_values = self._bind_args(compiled, spec.args)
-        launch_ctx = LaunchContext(
-            config=self.config,
-            functional=self.functional,
-            grid=grid3,
-            launched_grid=launched_grid,
-            num_tiles=total_tiles,
-            arg_values=dict(spec.args),
-        )
-
-        active_sms = min(self.config.num_sms, launched_ctas)
-        bandwidth_scale = min(4.0, self.config.num_sms / max(1, active_sms))
-
-        if self.functional:
-            cta_ids = list(range(launched_ctas))
-            extrapolated = False
-        else:
-            # Simulate a representative sample of the CTAs mapped to one SM.
-            # The sample is spread evenly over the launch so that workloads with
-            # data-dependent trip counts (e.g. causal attention, where low
-            # query-block indices do far less work) are averaged fairly.
-            per_sm = math.ceil(launched_ctas / active_sms) if launched_ctas else 0
-            n_sim = max(1, min(per_sm, self.max_ctas_per_sm_simulated,
-                               launched_ctas)) if launched_ctas else 0
-            # Stratify the sample along every grid axis so that workloads whose
-            # per-CTA work depends on the program id (causal attention: low
-            # query blocks do far less work) are averaged fairly.
-            gx, gy, gz = launched_grid
-            sample = set()
-            for i in range(n_sim):
-                p0 = int((i + 0.5) * gx / n_sim) % gx
-                p1 = int((i + 0.5) * gy / n_sim) % gy
-                p2 = int((i + 0.5) * gz / n_sim) % gz
-                sample.add(min(launched_ctas - 1, p0 + gx * (p1 + gy * p2)))
-            cta_ids = sorted(sample)
-            extrapolated = per_sm > len(cta_ids)
-
-        plan = None
-        if self.use_plans:
-            from repro.gpusim.plan import get_plan
-
-            # Plans are part of the compile artifact (built eagerly by
-            # CompilerService finalization for this device's mode), so for
-            # service-compiled kernels this is a pure lookup; kernels compiled
-            # directly via compile_kernel still get their plan built here,
-            # once per launch, before any workers fork.
-            plan = get_plan(compiled, self.config, self.functional)
-
-        return _PreparedLaunch(
-            spec=spec,
-            compiled=compiled,
-            launched_grid=launched_grid,
-            launched_ctas=launched_ctas,
-            active_sms=active_sms,
-            persistent=persistent,
-            extrapolated=extrapolated,
-            cta_ids=cta_ids,
-            arg_values=arg_values,
-            launch_ctx=launch_ctx,
-            bandwidth_scale=bandwidth_scale,
-            plan=plan,
-            trace=[] if self.collect_trace else None,
-        )
-
-    def _effective_workers(self, prepared: _PreparedLaunch) -> int:
-        """How many worker processes this launch shards across (1 = serial).
-
-        Sharding engages only for functional grids (the perf-mode sample is a
-        handful of CTAs), never when a trace is collected (the trace must
-        interleave globally), and never with fewer than two CTAs per shardable
-        launch.
-        """
-        if not self.functional or self.collect_trace:
-            return 1
-        if not parallel.fork_available():
-            return 1
-        return max(1, min(self.workers, len(prepared.cta_ids)))
-
-    def _share_launch_buffers(self, prepared: _PreparedLaunch) -> None:
-        """Re-back every functional buffer of a launch with shared memory.
-
-        Must run before the launch's workers fork: tile stores and scatters
-        they execute land in these mappings, which is how functional outputs
-        come back to the parent.  Idempotent, and also applied to read-only
-        inputs (distinguishing them from outputs is not worth the copy it
-        would save).
-        """
-        for value in prepared.arg_values:
-            if isinstance(value, (Pointer, TensorDesc)):
-                value.buffer.make_shared()
-            elif isinstance(value, GlobalBuffer):
-                value.make_shared()
-
-    def _release_launch_buffers(self, prepared: _PreparedLaunch) -> None:
-        """Re-privatize a sharded launch's buffers once its workers are joined.
-
-        Inverse of :meth:`_share_launch_buffers`: the post-fork merge has
-        completed (or the launch was aborted), so the anonymous shared
-        mappings are unmapped *now* instead of whenever GC notices -- a long
-        batched sweep must not accumulate live mappings.  A buffer reused by
-        a later launch of the same batch is simply re-shared then.
-        """
-        for value in prepared.arg_values:
-            if isinstance(value, (Pointer, TensorDesc)):
-                value.buffer.release_shared()
-            elif isinstance(value, GlobalBuffer):
-                value.release_shared()
-
-    def _cta_runner(self, prepared: _PreparedLaunch):
-        """A picklable-free closure simulating one CTA of a prepared launch."""
-
-        def run_cta(linear: int) -> Tuple[float, float, int]:
-            return self._run_one_cta(prepared, linear)
-
-        return run_cta
-
-    def _execute_serial(self, prepared: _PreparedLaunch) -> List[Tuple[float, float, int]]:
-        return [self._run_one_cta(prepared, linear) for linear in prepared.cta_ids]
-
-    def _finalize(self, prepared: _PreparedLaunch,
-                  rows: Sequence[Tuple[float, float, int]]) -> LaunchResult:
-        """Merge per-CTA rows (in launch order) into a LaunchResult.
-
-        The merge is deterministic: rows arrive ordered by ``cta_ids``
-        regardless of which process simulated each CTA, and the reductions
-        below are computed in that order, so the result is bit-identical to
-        serial execution.
-        """
-        per_cta_cycles = [row[0] for row in rows]
-        tc_busy = 0.0
-        bytes_copied = 0
-        for _, busy, copied in rows:
-            tc_busy += busy
-            bytes_copied += copied
-
-        total_cycles = self._total_time(per_cta_cycles, prepared.launched_ctas,
-                                        prepared.active_sms, prepared.persistent,
-                                        self.functional)
-        seconds = self.config.cycles_to_seconds(total_cycles)
-
-        sm_cycles = sum(per_cta_cycles) or 1.0
-        utilization = min(1.0, tc_busy / sm_cycles)
-
-        return LaunchResult(
-            cycles=total_cycles,
-            seconds=seconds,
-            total_ctas=prepared.launched_ctas,
-            simulated_ctas=len(per_cta_cycles),
-            per_cta_cycles=per_cta_cycles,
-            tensor_core_busy_cycles=tc_busy,
-            tensor_core_utilization=utilization,
-            bytes_copied=bytes_copied,
-            flops=prepared.spec.flops,
-            extrapolated=prepared.extrapolated if not self.functional else False,
-            trace=prepared.trace,
-        )
-
-    def _bind_args(self, compiled, args: Mapping[str, Any]) -> List[Any]:
-        values = []
-        for name in compiled.arg_names:
-            if name not in args:
-                raise SimulationError(f"missing runtime argument {name!r}")
-            value = args[name]
-            if isinstance(value, GlobalBuffer):
-                value = Pointer(value)
-            if isinstance(value, np.ndarray):
-                raise SimulationError(
-                    f"argument {name!r} is a raw NumPy array; wrap it with "
-                    f"Device.tensor_desc(...) or Device.pointer(...)"
-                )
-            values.append(value)
-        return values
-
-    def _run_one_cta(self, prepared: _PreparedLaunch,
-                     linear: int) -> Tuple[float, float, int]:
-        engine = Engine(self.config, trace=prepared.trace)
-        sm = SMResources(self.config, prepared.bandwidth_scale)
-        pid = _linear_to_pid(linear, prepared.launched_grid)
-        cta = CtaContext(launch=prepared.launch_ctx, linear_id=linear, pid=pid,
-                         engine=engine, sm=sm)
-        if prepared.plan is not None:
-            agents, prologue = prepared.plan.instantiate(cta, prepared.arg_values)
-            COUNTERS.plan_ctas += 1
-        else:
-            agents, prologue = build_cta_agents(prepared.compiled.func, cta,
-                                                prepared.arg_values)
-            COUNTERS.interpreter_ctas += 1
-        for spec in agents:
-            engine.add_agent(Agent(spec.name, spec.generator, sm), start_time=prologue)
-        cycles = engine.run()
-        COUNTERS.engine_events += engine.events_processed
-        return cycles, sm.tensor_core.busy_cycles, sm.tma.bytes_copied + sm.copy.bytes_copied
-
     def _total_time(self, per_cta_cycles: List[float], launched_ctas: int,
                     active_sms: int, persistent: bool, functional: bool) -> float:
-        cfg = self.config
-        launch_overhead = cfg.kernel_launch_overhead_us * 1e-6 * cfg.cycles_per_second
-        if not per_cta_cycles:
-            return launch_overhead
-        if persistent:
-            # One resident CTA per SM; CTA 0 (the one we simulate) owns the most
-            # tiles, so its runtime is the critical path.
-            return launch_overhead + cfg.cta_launch_overhead_cycles + max(per_cta_cycles)
-        per_sm = math.ceil(launched_ctas / max(1, active_sms))
-        mean = (sum(per_cta_cycles) / len(per_cta_cycles)) + cfg.cta_launch_overhead_cycles
-        # The critical SM executes ceil(launched / active_sms) CTAs back to back;
-        # the simulated CTAs are an (evenly spread) sample of that population.
-        return launch_overhead + mean * per_sm
-
-
-def _normalize_grid(grid: Union[int, Sequence[int]]) -> Tuple[int, int, int]:
-    if isinstance(grid, (int, np.integer)):
-        dims: Tuple[int, ...] = (int(grid),)
-    else:
-        dims = tuple(int(g) for g in grid)
-    if len(dims) > 3 or len(dims) == 0 or any(d <= 0 for d in dims):
-        raise SimulationError(f"invalid grid {grid!r}")
-    return dims + (1,) * (3 - len(dims))
-
-
-def _linear_to_pid(linear: int, grid: Tuple[int, int, int]) -> Tuple[int, int, int]:
-    gx, gy, gz = grid
-    return (linear % gx, (linear // gx) % gy, (linear // (gx * gy)) % gz)
+        """Delegate kept for tests: see :func:`executors.total_launch_cycles`."""
+        return executors.total_launch_cycles(self.executor_settings(),
+                                             per_cta_cycles, launched_ctas,
+                                             active_sms, persistent, functional)

@@ -1,0 +1,72 @@
+"""The executor layer: every way the simulator runs a prepared launch.
+
+An *executor* turns :class:`~repro.gpusim.launch.LaunchSpec` objects into
+:class:`~repro.gpusim.launch.LaunchResult` objects behind one small protocol
+(:class:`Executor`): ``prepare(spec)`` resolves everything a launch needs
+before any CTA runs, ``run(prepared)`` executes it.  The
+:class:`~repro.gpusim.device.Device` façade selects an executor from its
+``(mode, workers, use_plans, collect_trace)`` settings and delegates every
+launch path -- ``launch``, ``run_many``, the figure sweeps -- through it, so
+the three execution strategies (serial interpreter/plan execution, sharded
+multi-process execution) share one launch-prep, merge and counter pipeline.
+
+Strategies:
+
+* :class:`~repro.gpusim.executors.serial.SerialExecutor` -- every CTA in the
+  calling process (plans or the interpreter oracle).
+* :class:`~repro.gpusim.executors.sharded.ShardedExecutor` -- functional
+  grids forked across worker processes (:mod:`repro.gpusim.parallel`), with
+  asynchronous submission so batch pipelining can overlap compilation with
+  execution.  Falls back to serial execution per launch when a launch is too
+  small (or ineligible) to shard.
+
+New strategies plug in by subclassing :class:`ExecutorBase` and overriding
+``execute`` (synchronous) or ``submit`` (overlapped); the autotuner
+(:mod:`repro.tune`) and the sweep harnesses see them through the same
+protocol automatically.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.executors.base import (
+    Executor,
+    ExecutorBase,
+    ExecutorSettings,
+    InflightLaunch,
+    compile_spec,
+    infer_arg_type,
+    run_pipelined,
+    total_launch_cycles,
+)
+from repro.gpusim.executors.serial import SerialExecutor
+from repro.gpusim.executors.sharded import ShardedExecutor
+
+__all__ = [
+    "Executor",
+    "ExecutorBase",
+    "ExecutorSettings",
+    "InflightLaunch",
+    "SerialExecutor",
+    "ShardedExecutor",
+    "compile_spec",
+    "infer_arg_type",
+    "run_pipelined",
+    "select_executor",
+    "total_launch_cycles",
+]
+
+
+def select_executor(settings: ExecutorSettings) -> ExecutorBase:
+    """The executor a device with ``settings`` runs launches through.
+
+    Sharding is only ever profitable (and only correct -- the trace must
+    interleave globally, and the perf-mode sample is a handful of CTAs) for
+    functional, trace-free devices with more than one worker; everything else
+    runs serially.
+    """
+    from repro.gpusim import parallel
+
+    if (settings.functional and not settings.collect_trace
+            and settings.workers > 1 and parallel.fork_available()):
+        return ShardedExecutor(settings)
+    return SerialExecutor(settings)

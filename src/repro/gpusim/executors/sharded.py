@@ -1,0 +1,135 @@
+"""The sharded executor: functional grids forked across worker processes.
+
+Wraps :mod:`repro.gpusim.parallel` (round-robin CTA sharding, fork
+inheritance, deterministic launch-order merge) in the :class:`Executor`
+protocol.  The executor owns the whole shared-buffer lifecycle: every
+functional buffer reachable from the launch arguments is re-backed with an
+anonymous shared mapping before the workers fork and re-privatized as soon
+as they are joined (or the launch is aborted), so a long batched sweep never
+accumulates live mappings.
+
+``submit`` is asynchronous -- construction of the
+:class:`~repro.gpusim.parallel.ParallelLaunch` forks the workers and returns
+immediately -- which is what lets :func:`repro.gpusim.executors.base.run_pipelined`
+overlap compilation of the next launch with execution of this one.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gpusim import parallel
+from repro.gpusim.executors.base import CtaRow, InflightLaunch
+from repro.gpusim.executors.serial import SerialExecutor
+from repro.gpusim.launch import LaunchResult, PreparedLaunch
+from repro.gpusim.memory import GlobalBuffer, Pointer, TensorDesc
+
+
+class ShardedExecutor(SerialExecutor):
+    """Shard a launch's CTAs across forked worker processes.
+
+    Results are bit-identical to :class:`SerialExecutor` (the per-CTA
+    simulations do not interact, and the merge re-orders rows into launch
+    order).  Launches that cannot shard -- fewer than two CTAs, fork
+    unavailable -- run through the inherited serial body instead.
+    """
+
+    def effective_workers(self, prepared: PreparedLaunch) -> int:
+        """How many worker processes this launch shards across (1 = serial)."""
+        if not parallel.fork_available():
+            return 1
+        return max(1, min(self.settings.workers, len(prepared.cta_ids)))
+
+    def execute(self, prepared: PreparedLaunch) -> List[CtaRow]:
+        workers = self.effective_workers(prepared)
+        if workers <= 1:
+            return super().execute(prepared)
+        self.share_launch_buffers(prepared)
+        try:
+            return parallel.run_sharded(self.cta_runner(prepared),
+                                        prepared.cta_ids, workers)
+        finally:
+            self.release_launch_buffers(prepared)
+
+    def submit(self, prepared: PreparedLaunch) -> InflightLaunch:
+        """Fork this launch's workers and return without collecting.
+
+        Unshardable launches complete synchronously through the serial body
+        (the returned handle is already done).
+        """
+        workers = self.effective_workers(prepared)
+        if workers <= 1:
+            return InflightLaunch(self.finalize(prepared, SerialExecutor.execute(self, prepared)))
+        self.share_launch_buffers(prepared)
+        # Until the in-flight handle exists nobody else can see this launch's
+        # shared buffers, so a fork failure must release them here.
+        try:
+            launched = parallel.ParallelLaunch(self.cta_runner(prepared),
+                                               prepared.cta_ids, workers)
+        except BaseException:
+            self.release_launch_buffers(prepared)
+            raise
+        return _ShardedInflight(self, prepared, launched)
+
+    # ------------------------------------------------------------------ buffers
+
+    def share_launch_buffers(self, prepared: PreparedLaunch) -> None:
+        """Re-back every functional buffer of a launch with shared memory.
+
+        Must run before the launch's workers fork: tile stores and scatters
+        they execute land in these mappings, which is how functional outputs
+        come back to the parent.  Idempotent, and also applied to read-only
+        inputs (distinguishing them from outputs is not worth the copy it
+        would save).
+        """
+        for value in prepared.arg_values:
+            if isinstance(value, (Pointer, TensorDesc)):
+                value.buffer.make_shared()
+            elif isinstance(value, GlobalBuffer):
+                value.make_shared()
+
+    def release_launch_buffers(self, prepared: PreparedLaunch) -> None:
+        """Re-privatize a sharded launch's buffers once its workers are joined.
+
+        Inverse of :meth:`share_launch_buffers`: the post-fork merge has
+        completed (or the launch was aborted), so the anonymous shared
+        mappings are unmapped *now* instead of whenever GC notices -- a long
+        batched sweep must not accumulate live mappings.  A buffer reused by
+        a later launch of the same batch is simply re-shared then.
+        """
+        for value in prepared.arg_values:
+            if isinstance(value, (Pointer, TensorDesc)):
+                value.buffer.release_shared()
+            elif isinstance(value, GlobalBuffer):
+                value.release_shared()
+
+
+class _ShardedInflight(InflightLaunch):
+    """Handle over one sharded launch's forked workers."""
+
+    def __init__(self, executor: ShardedExecutor, prepared: PreparedLaunch,
+                 launched: parallel.ParallelLaunch):
+        self._executor = executor
+        self._prepared = prepared
+        self._launched = launched
+
+    @property
+    def done(self) -> bool:
+        return False
+
+    def collect(self) -> LaunchResult:
+        try:
+            rows = self._launched.wait()
+        finally:
+            self._executor.release_launch_buffers(self._prepared)
+        return self._executor.finalize(self._prepared, rows)
+
+    def abort(self) -> None:
+        """Terminate the workers without collecting results.
+
+        Called when the surrounding batch fails before this launch could be
+        collected; otherwise the forked children would linger (blocked on a
+        full result pipe) for the life of the parent process.
+        """
+        self._launched.abort()
+        self._executor.release_launch_buffers(self._prepared)

@@ -20,13 +20,13 @@ on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.gpusim.config import H100Config
 from repro.gpusim.engine import (
-    ArefConsumed,
     ArefGet,
     ArefPut,
     ArefSlotRuntime,
@@ -45,14 +45,7 @@ from repro.gpusim.engine import (
     WgmmaIssue,
     WgmmaWait,
 )
-from repro.gpusim.memory import (
-    GlobalBuffer,
-    Pointer,
-    SmemTile,
-    SmemTileView,
-    SymbolicTile,
-    TensorDesc,
-)
+from repro.gpusim.memory import Pointer, SmemTile, SmemTileView, SymbolicTile, TensorDesc
 from repro.ir import FuncOp, Operation, Value
 from repro.ir.dialects import arith, gpu, scf, tawa, tt
 from repro.ir.types import ScalarType, TensorType
@@ -233,7 +226,6 @@ class _WarpGroupExec:
     def _exec_scf_if(self, op: scf.IfOp) -> Iterator[Effect]:
         cond = self.get(op.condition)
         block = op.then_block if cond else op.else_block
-        results: List[Any] = [self.get(v) for v in op.operands[1:]] if False else []
         if block is None:
             # No else region: results keep their current (undefined) bindings.
             for res in op.results:
@@ -414,7 +406,8 @@ class _WarpGroupExec:
 
     def _exec_reduce(self, op: tt.ReduceOp) -> Iterator[Effect]:
         operand = self._as_array(self.get(op.operands[0]))
-        src_elems = op.operands[0].type.num_elements if isinstance(op.operands[0].type, TensorType) else 0
+        src_type = op.operands[0].type
+        src_elems = src_type.num_elements if isinstance(src_type, TensorType) else 0
         if src_elems:
             yield Delay(self._cuda_cost(src_elems) * 2.0)
         fn = {"max": np.max, "min": np.min, "sum": np.sum}[op.kind]
@@ -609,7 +602,7 @@ class _WarpGroupExec:
         on_complete = None
         if self.functional:
             tile = desc.buffer.read_tile(coords, view.shape)
-            on_complete = lambda v=view, t=tile: v.write(t)
+            on_complete = partial(view.write, tile)
         yield Delay(self.config.tma_issue_cycles)
         yield TmaIssue(num_bytes, barrier=bar, on_complete=on_complete)
 
@@ -621,7 +614,7 @@ class _WarpGroupExec:
         on_complete = None
         if self.functional:
             tile = desc.buffer.read_tile(coords, view.shape)
-            on_complete = lambda v=view, t=tile: v.write(t)
+            on_complete = partial(view.write, tile)
         issue = num_bytes / 1024.0 * self.config.cp_async_issue_cycles_per_kb
         yield Delay(issue * self.work_fraction)
         yield CpAsyncIssue(num_bytes, on_complete=on_complete)

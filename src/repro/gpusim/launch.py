@@ -1,0 +1,114 @@
+"""Launch descriptions shared by the device façade and the executor layer.
+
+This module owns the three value types every execution path speaks:
+
+* :class:`LaunchSpec` -- what the caller wants launched (kernel, grid,
+  arguments); the unit of :meth:`Device.run_many` batching.
+* :class:`PreparedLaunch` -- a spec resolved into everything a CTA needs
+  before any CTA executes (compiled artifact, plan, bound arguments, the
+  perf-mode sample).  Produced by :meth:`Executor.prepare`.
+* :class:`LaunchResult` -- what a launch produced (cycles, seconds,
+  utilization, functional outputs live in the argument buffers).
+
+Keeping them here (rather than in :mod:`repro.gpusim.device`) breaks the
+import cycle between the device façade and :mod:`repro.gpusim.executors`:
+both layers import *down* into this module, never at each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.gpusim.engine import SimulationError
+from repro.gpusim.interpreter import LaunchContext
+
+
+@dataclass
+class LaunchResult:
+    """Everything a kernel launch produces."""
+
+    cycles: float
+    seconds: float
+    total_ctas: int
+    simulated_ctas: int
+    per_cta_cycles: List[float] = field(default_factory=list)
+    tensor_core_busy_cycles: float = 0.0
+    tensor_core_utilization: float = 0.0
+    bytes_copied: int = 0
+    flops: Optional[float] = None
+    extrapolated: bool = False
+    trace: Optional[List] = None
+
+    @property
+    def tflops(self) -> Optional[float]:
+        if not self.flops or self.seconds <= 0:
+            return None
+        return self.flops / self.seconds / 1e12
+
+    def describe(self) -> str:
+        parts = [f"{self.seconds * 1e6:.1f} us", f"{self.cycles:.0f} cycles"]
+        if self.tflops is not None:
+            parts.append(f"{self.tflops:.1f} TFLOP/s")
+        parts.append(f"TC util {self.tensor_core_utilization * 100:.0f}%")
+        return ", ".join(parts)
+
+
+@dataclass
+class LaunchSpec:
+    """One launch of a batched submission (:meth:`Device.run_many`).
+
+    ``kernel`` may be a frontend kernel (compiled on demand, deduplicated by
+    the process-wide compile cache) or an already-compiled kernel.
+    """
+
+    kernel: Any
+    grid: Union[int, Sequence[int]]
+    args: Mapping[str, Any]
+    constexprs: Optional[Mapping[str, Any]] = None
+    options: Any = None
+    flops: Optional[float] = None
+
+
+@dataclass
+class PreparedLaunch:
+    """Everything a launch needs to execute, resolved before any CTA runs.
+
+    Building this is the per-launch "compile" phase (kernel compilation, plan
+    lookup, argument binding); executing the CTA list is the "execute" phase.
+    The split is what lets the executor layer overlap the two across launches
+    of a batch and what gives forked workers a complete, self-contained state.
+    """
+
+    spec: LaunchSpec
+    compiled: Any
+    launched_grid: Tuple[int, int, int]
+    launched_ctas: int
+    active_sms: int
+    persistent: bool
+    extrapolated: bool
+    cta_ids: List[int]
+    arg_values: List[Any]
+    launch_ctx: LaunchContext
+    bandwidth_scale: float
+    plan: Any
+    trace: Optional[List]
+
+
+def normalize_grid(grid: Union[int, Sequence[int]]) -> Tuple[int, int, int]:
+    """Pad a 1-3 dimensional grid out to the canonical 3-tuple."""
+    if isinstance(grid, (int, np.integer)):
+        dims: Tuple[int, ...] = (int(grid),)
+    else:
+        dims = tuple(int(g) for g in grid)
+    if len(dims) > 3 or len(dims) == 0 or any(d <= 0 for d in dims):
+        raise SimulationError(f"invalid grid {grid!r}")
+    return dims + (1,) * (3 - len(dims))
+
+
+def linear_to_pid(linear: int, grid: Tuple[int, int, int]) -> Tuple[int, int, int]:
+    """The (x, y, z) program id of a linearized CTA index."""
+    gx, gy, gz = grid
+    return (linear % gx, (linear // gx) % gy, (linear // (gx * gy)) % gz)

@@ -17,7 +17,7 @@ These are the values that flow through the IR interpreter:
 from __future__ import annotations
 
 import mmap
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -115,7 +115,8 @@ class GlobalBuffer:
     @classmethod
     def empty(cls, shape: Sequence[int], element_type: Union[str, ScalarType],
               functional: bool = True, name: str = "buf") -> "GlobalBuffer":
-        data = np.zeros(shape, dtype=_as_scalar_type(element_type).numpy_dtype) if functional else None
+        data = (np.zeros(shape, dtype=_as_scalar_type(element_type).numpy_dtype)
+                if functional else None)
         return cls(shape, element_type, data=data, name=name)
 
     # -- properties ----------------------------------------------------------------
@@ -422,7 +423,8 @@ class SmemTileView:
     def write(self, tile) -> None:
         if self.parent.data is None:
             return
-        self.parent.data[self.index] = np.asarray(tile, dtype=self.parent.data.dtype).reshape(self.shape)
+        tile = np.asarray(tile, dtype=self.parent.data.dtype)
+        self.parent.data[self.index] = tile.reshape(self.shape)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"SmemTileView({self.parent.name}[{self.index}])"

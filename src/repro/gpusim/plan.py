@@ -35,6 +35,7 @@ differential-testing oracle.
 from __future__ import annotations
 
 import operator
+from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -67,7 +68,7 @@ from repro.gpusim.interpreter import (
     _to_python_scalar,
     _TransposedView,
 )
-from repro.gpusim.memory import Pointer, SmemTile, SmemTileView, SymbolicTile, TensorDesc
+from repro.gpusim.memory import Pointer, SmemTile, SmemTileView, SymbolicTile
 from repro.ir import FuncOp, Operation, Value
 from repro.ir.dialects import arith, gpu, scf, tawa, tt
 from repro.ir.types import ScalarType, TensorType
@@ -1537,7 +1538,7 @@ def _emit_tma_async_load(b: _PlanBuilder, op: gpu.TmaAsyncLoadOp) -> None:
             desc = regs[_ds]
             coords = [int(regs[c]) for c in _coords]
             tile = desc.buffer.read_tile(coords, view.shape)
-            on_complete = lambda v=view, t=tile: v.write(t)
+            on_complete = partial(view.write, tile)
         yield _issue
         yield TmaIssue(_bytes, barrier=bar, on_complete=on_complete)
 
@@ -1563,7 +1564,7 @@ def _emit_cp_async(b: _PlanBuilder, op: gpu.CpAsyncOp) -> None:
             desc = regs[_ds]
             coords = [int(regs[c]) for c in _coords]
             tile = desc.buffer.read_tile(coords, view.shape)
-            on_complete = lambda v=view, t=tile: v.write(t)
+            on_complete = partial(view.write, tile)
         yield _issue
         yield CpAsyncIssue(_bytes, on_complete=on_complete)
 

@@ -8,7 +8,7 @@ without manually threading block positions around.
 from __future__ import annotations
 
 import contextlib
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Union
 
 from repro.ir.operation import Block, IRError, Operation, Value
 

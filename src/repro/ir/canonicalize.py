@@ -9,7 +9,6 @@ removes the duplicated computations left behind by task-aware partitioning.
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.ir.dialects import arith, registry, ensure_loaded
 from repro.ir.module import ModuleOp
@@ -51,7 +50,8 @@ class FoldIdentity(RewritePattern):
                 rewriter.erase_op(op)
                 return True
             if op.name in ("arith.addi", "arith.addf"):
-                if arith.constant_value(op.operands[0]) == 0 and op.operands[1].type == op.result.type:
+                if (arith.constant_value(op.operands[0]) == 0
+                        and op.operands[1].type == op.result.type):
                     op.replace_all_uses_with([op.operands[1]])
                     rewriter.erase_op(op)
                     return True

@@ -12,8 +12,7 @@ the op definition.
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -25,10 +24,8 @@ from repro.ir.types import (
     TensorType,
     Type,
     broadcast_shapes,
-    f32,
     i1,
     i32,
-    i64,
     index,
 )
 

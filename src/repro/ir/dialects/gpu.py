@@ -32,7 +32,6 @@ from repro.ir.types import (
     SmemBufferType,
     TensorDescType,
     TensorType,
-    Type,
     f32,
     i32,
 )

@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence
 
 from repro.ir.dialects import register_op
 from repro.ir.operation import Block, IRError, Operation, Region, Value
-from repro.ir.types import ArefSlotType, ArefType, TensorType, TupleType, Type
+from repro.ir.types import ArefSlotType, ArefType, TupleType, Type
 
 
 PRODUCER_ROLE = "producer"

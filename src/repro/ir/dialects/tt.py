@@ -20,7 +20,6 @@ from repro.ir.types import (
     Type,
     broadcast_shapes,
     f32,
-    i1,
     i32,
 )
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.ir.operation import Block, IRError, Operation, Region, Value
-from repro.ir.types import FunctionType, Type
+from repro.ir.types import FunctionType
 
 
 class ModuleOp(Operation):

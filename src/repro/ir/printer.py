@@ -16,9 +16,9 @@ place of FileCheck) and by the examples that dump IR before/after Tawa passes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.ir.operation import Block, BlockArgument, Operation, Value
+from repro.ir.operation import Block, Operation, Value
 
 
 class _NameManager:

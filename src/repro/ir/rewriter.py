@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-from repro.ir.builder import Builder, InsertionPoint
+from repro.ir.builder import Builder
 from repro.ir.operation import Operation, Value
 
 

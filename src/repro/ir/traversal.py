@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, List, Optional, Set
 
-from repro.ir.operation import Block, BlockArgument, OpResult, Operation, Value
+from repro.ir.operation import Block, OpResult, Operation, Value
 
 
 def defining_op(value: Value) -> Optional[Operation]:
@@ -125,7 +125,6 @@ def external_operands(ops: Iterable[Operation]) -> List[Value]:
     variable of an scf.for in the set) do not count as external.
     """
     ops = list(ops)
-    op_set = set(ops)
     defined: Set[Value] = set()
     owned_blocks: Set[Block] = set()
     for op in ops:

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.ir.module import FuncOp, ModuleOp
-from repro.ir.operation import Block, BlockArgument, IRError, OpResult, Operation, Value
+from repro.ir.operation import BlockArgument, IRError, OpResult, Operation
 
 
 class VerificationError(IRError):

@@ -63,6 +63,13 @@ class SimCounters:
     #: (a gauge, not a cumulative counter: GlobalBuffer.make_shared adds,
     #: GlobalBuffer.release_shared subtracts; a quiesced process reads 0)
     parallel_shared_bytes: int = 0
+    #: autotuner (repro.tune): persisted best-config tier lookups, simulated
+    #: measurements actually run (a warm store hit runs zero), and candidates
+    #: discarded by static pruning before ranking
+    tune_store_hits: int = 0
+    tune_store_misses: int = 0
+    tune_measurements: int = 0
+    tune_candidates_pruned: int = 0
 
     def record_pass_timing(self, name: str, seconds: float) -> None:
         """Fold one pass execution into the compile-cost counters.

@@ -15,6 +15,35 @@ def tflops(flops: float, seconds: float) -> float:
     return flops / seconds / 1e12
 
 
+class Infeasible(float):
+    """Marker for a sweep cell that cannot run at all.
+
+    A sweep point whose configuration is rejected (``CompileError``: the
+    P > D cells of Fig. 11, a blown shared-memory or register budget) is
+    *infeasible* -- fundamentally different from a measured 0.0 TFLOP/s,
+    even though the paper's heatmaps render both as 0.  The marker subclasses
+    ``float`` with value 0.0 so every existing aggregation (speedups,
+    geomeans, JSON) keeps working, while consumers that must not confuse the
+    two -- the autotuner ranking candidates, the figure renderers -- test
+    :func:`is_infeasible` and see ``reason`` (the compile error text).
+    """
+
+    __slots__ = ("reason",)
+
+    def __new__(cls, reason: str = "") -> "Infeasible":
+        self = super().__new__(cls, 0.0)
+        self.reason = reason
+        return self
+
+    def __repr__(self) -> str:
+        return f"Infeasible({self.reason!r})"
+
+
+def is_infeasible(value) -> bool:
+    """Whether a sweep value marks an infeasible (never launched) point."""
+    return isinstance(value, Infeasible)
+
+
 def seconds_for_tflops(flops: float, rate_tflops: float) -> float:
     return flops / (rate_tflops * 1e12)
 
@@ -56,6 +85,10 @@ class MeasurementRow:
             self.x_label: self.x,
             "tflops": round(self.tflops, 1),
         }
+        if is_infeasible(self.tflops):
+            out["infeasible"] = True
+            if self.tflops.reason:
+                out["infeasible_reason"] = self.tflops.reason
         out.update(self.extra)
         return out
 

@@ -5,7 +5,19 @@ from __future__ import annotations
 
 from typing import List, Mapping, Optional
 
-from repro.perf.metrics import FigureResult
+from repro.perf.metrics import FigureResult, is_infeasible
+
+#: How infeasible (never launched) sweep cells render in every table.
+INFEASIBLE_CELL = "n/f"
+
+
+def format_tflops(value: Optional[float], fmt: str = "{:.1f}") -> str:
+    """One table cell: a TFLOP/s number, ``-`` (absent) or ``n/f`` (infeasible)."""
+    if value is None:
+        return "-"
+    if is_infeasible(value):
+        return INFEASIBLE_CELL
+    return fmt.format(float(value))
 
 
 def render_table(headers: List[str], rows: List[List[str]]) -> str:
@@ -28,8 +40,7 @@ def render_figure(result: FigureResult) -> str:
     for x in result.x_values:
         cells = [_format_x(x)]
         for series in result.series_names:
-            value = result.value(series, x)
-            cells.append(f"{value:.1f}" if value is not None else "-")
+            cells.append(format_tflops(result.value(series, x)))
         rows.append(cells)
     text = [f"== {result.name}: {result.title} =="]
     text.append(render_table(headers, rows))

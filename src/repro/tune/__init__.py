@@ -1,0 +1,66 @@
+"""Cost-model-guided autotuning over the executor layer.
+
+The paper's headline results depend on picking good ``CompileOptions`` per
+workload -- Fig. 11 is literally a sweep over the aref-depth / MMA-depth
+(D, P) hyper-parameters -- and the paper tunes them *manually* (section
+V-A).  This package automates that protocol:
+
+* :class:`~repro.tune.space.ConfigSpace` -- declarative grids over compile
+  options and problem tile sizes (deterministic enumeration, dedup, static
+  feasibility baked in);
+* :mod:`~repro.tune.cost` -- an analytic roofline (in the style of
+  :mod:`repro.baselines.analytic`) that prunes hopeless points and ranks the
+  rest without compiling them;
+* :class:`~repro.tune.tuner.Autotuner` -- measures only the top-K ranked
+  candidates through one batched :func:`measure_sweep` submission on the
+  executor layer, never ranks an :class:`~repro.perf.metrics.Infeasible`
+  point, and always includes the hand-written default so tuning can only
+  ever help;
+* :mod:`~repro.tune.store` -- persisted best configs (``REPRO_TUNE_DIR``),
+  content-addressed by kernel fingerprint + problem class + sim config, so
+  a warm process reuses results with zero re-measurements and any kernel
+  edit invalidates them.
+
+Entry points: ``python -m repro.workloads tune``,
+:meth:`repro.frontend.kernel.Kernel.tune`, or :func:`tune_workload` here.
+"""
+
+from repro.tune.cost import pipeline_efficiency, predict_tflops, static_infeasibility
+from repro.tune.space import Candidate, Cell, ConfigSpace
+from repro.tune.store import (
+    TUNE_DIR_ENV,
+    TUNE_VERSION,
+    TunedRecord,
+    TuneStore,
+    resolve_tune_store,
+    tuning_key,
+)
+from repro.tune.tuner import (
+    Autotuner,
+    TuneResult,
+    apply_tuned,
+    default_space,
+    lookup_tuned,
+    tune_workload,
+)
+
+__all__ = [
+    "Autotuner",
+    "Candidate",
+    "Cell",
+    "ConfigSpace",
+    "TUNE_DIR_ENV",
+    "TUNE_VERSION",
+    "TuneResult",
+    "TuneStore",
+    "TunedRecord",
+    "apply_tuned",
+    "default_space",
+    "lookup_tuned",
+    "pipeline_efficiency",
+    "predict_tflops",
+    "resolve_tune_store",
+    "static_infeasibility",
+    "tune_workload",
+    "tuning_key",
+]

@@ -1,0 +1,159 @@
+"""The analytic cost model the autotuner ranks candidates with.
+
+Measuring every point of a configuration space through the simulator is
+exactly what the tuner exists to avoid: compilation + simulation per point is
+the expensive part.  Instead, survivors of static pruning are *ranked* with a
+roofline in the style of :mod:`repro.baselines.analytic` -- the same
+``max(compute, memory) + overhead`` shape used for the paper's closed-source
+comparison libraries -- whose compute efficiency is parametrized by the
+candidate's pipeline configuration.  Only the top-K ranked candidates are
+then actually measured (one batched :func:`measure_sweep` submission).
+
+The efficiency terms are calibrated against the qualitative behaviour the
+paper reports (and this simulator reproduces): deeper arefs hide more TMA
+latency with diminishing returns (Fig. 11 rows), an in-flight MMA pipeline
+(P >= 2) overlaps issue with accumulation, cooperative consumer warp groups
+unlock the full WGMMA rate on wide accumulators (Fig. 12 "+Cooperative
+WGs"), and persistent kernels amortize CTA launch overhead only when the
+grid meaningfully exceeds the SM count (Fig. 12 "+Persistent Kernel").  The
+model only has to *order* candidates sensibly; absolute accuracy comes from
+the measurement stage.
+
+Everything here is pure arithmetic over the candidate and problem -- fully
+deterministic, no simulator state -- so ranking order is reproducible, which
+the tuner tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.options import CompileOptions
+from repro.gpusim.config import DEFAULT_CONFIG, H100Config
+from repro.tune.space import Candidate
+
+
+def _dtype_of(problem: Any) -> str:
+    return getattr(problem, "dtype", "f16")
+
+
+def _block(problem: Any, name: str) -> Optional[int]:
+    value = getattr(problem, name, None)
+    return int(value) if isinstance(value, int) else None
+
+
+def _total_tiles(problem: Any) -> Optional[int]:
+    grid = getattr(problem, "grid", None)
+    if grid is None:
+        return None
+    if isinstance(grid, int):
+        return grid
+    try:
+        total = 1
+        for g in grid:
+            total *= int(g)
+        return total
+    except TypeError:
+        return None
+
+
+def static_infeasibility(problem: Any, options: CompileOptions,
+                         config: H100Config = DEFAULT_CONFIG) -> Optional[str]:
+    """A cheap, compile-free reason a candidate cannot work, or ``None``.
+
+    Mirrors the two budgets :mod:`repro.core.resources` validates after
+    lowering -- D staging buffers in shared memory, the accumulator in the
+    consumer register file -- using the problem's block sizes directly, so
+    clearly-doomed points never reach compilation.  Conservative by design:
+    borderline points pass and are caught (as
+    :class:`~repro.perf.metrics.Infeasible`) by the real resource-validation
+    pass at measure time; a *feasible* point must never be pruned here.
+    Problems without block-size fields skip the check entirely.
+    """
+    if options.persistent:
+        # The persistent pass rejects kernels that read program ids off axis
+        # != 0 (repro.core.persistent: "persistent kernels currently require
+        # a 1-D grid"); a problem whose launch grid has more than one
+        # non-unit dimension is the static image of that constraint.
+        grid = getattr(problem, "grid", None)
+        if (isinstance(grid, (tuple, list))
+                and sum(1 for g in grid if int(g) > 1) > 1):
+            return (f"persistent kernels require a 1-D launch grid, "
+                    f"problem grid is {tuple(grid)}")
+    bm, bn, bk = (_block(problem, n) for n in ("block_m", "block_n", "block_k"))
+    elem = 1 if _dtype_of(problem).startswith("f8") else 2
+    if options.enable_warp_specialization and bm and bn:
+        if bk:
+            # D staged (A-tile + B-tile) operand buffers must fit in shared
+            # memory alongside double-buffered epilogue traffic; exact layout
+            # is the resource pass's job, the factor here just rejects the
+            # hopeless (e.g. D=4 with 256-wide tiles).
+            smem = options.aref_depth * (bm * bk + bn * bk) * elem
+            if smem > config.smem_bytes_per_sm:
+                return (f"~{smem // 1024} KiB of aref staging exceeds the "
+                        f"{config.smem_bytes_per_sm // 1024} KiB SM budget "
+                        f"(D={options.aref_depth}, tile {bm}x{bn}x{bk})")
+        # The f32 accumulator is live in consumer registers for the whole
+        # main loop, split across cooperative replicas.
+        acc_regs = (bm * bn * 4) / (config.threads_per_warp_group * 4)
+        acc_regs /= max(1, options.num_consumer_groups)
+        acc_regs += config.baseline_registers_per_thread
+        budget = config.consumer_register_budget(options.num_consumer_groups)
+        if acc_regs > budget * 1.15:
+            return (f"~{int(acc_regs)} accumulator registers/thread exceed the "
+                    f"{budget}-register consumer budget "
+                    f"({options.num_consumer_groups} consumer group(s), "
+                    f"tile {bm}x{bn})")
+    return None
+
+
+def pipeline_efficiency(options: CompileOptions, problem: Any,
+                        config: H100Config = DEFAULT_CONFIG) -> float:
+    """Predicted sustained fraction of Tensor-Core peak for a candidate."""
+    if not options.enable_warp_specialization:
+        return 0.42 if options.software_pipelining else 0.22
+
+    eff = 0.50
+    # Deeper arefs hide more TMA latency, with sharply diminishing returns
+    # (the D axis of Fig. 11).
+    d = min(options.aref_depth, 4)
+    eff += 0.10 * (1.0 - 1.0 / d)
+    # An in-flight MMA pipeline overlaps WGMMA issue with accumulation.
+    p = min(options.mma_pipeline_depth, 3)
+    eff += 0.06 * (1.0 - 1.0 / p)
+    # Cooperative consumer warp groups reach the full WGMMA rate on wide
+    # accumulators (paper Fig. 12 "+Cooperative WGs"); on narrow tiles the
+    # second group mostly adds synchronization.
+    bn = _block(problem, "block_n")
+    if options.num_consumer_groups >= 2:
+        eff += 0.08 if (bn is None or bn >= config.wgmma_n_full_rate // 2) else 0.02
+    # Persistent kernels amortize per-CTA launch overhead, but only pay off
+    # when the grid meaningfully exceeds the SM count.
+    tiles = _total_tiles(problem)
+    if options.persistent:
+        if tiles is None or tiles >= 2 * config.num_sms:
+            eff += 0.03
+        else:
+            eff -= 0.02
+    # Non-standard warp counts mostly shift occupancy; mild preference for
+    # the 8-warp (1 producer + 1-2 consumer group) layout the paper uses.
+    if options.num_warps not in (8, 12):
+        eff -= 0.02
+    return max(0.05, min(0.95, eff))
+
+
+def predict_tflops(candidate: Candidate, problem: Any, flops: float,
+                   bytes_moved: float,
+                   config: H100Config = DEFAULT_CONFIG) -> float:
+    """Predicted TFLOP/s of one candidate (ranking signal, not a measurement)."""
+    tuned_problem = candidate.apply(problem)
+    options = candidate.options
+    dtype = _dtype_of(tuned_problem)
+    dtype_bits = 8 if dtype.startswith("f8") else 16
+    peak = config.peak_tflops(dtype_bits) * 1e12
+    eff = pipeline_efficiency(options, tuned_problem, config)
+    compute = flops / (peak * eff)
+    memory = bytes_moved / (config.hbm_bandwidth_gbs * 1e9 * 0.85)
+    overhead_us = 6.0 if options.persistent else 8.0
+    seconds = max(compute, memory) + overhead_us * 1e-6
+    return flops / seconds / 1e12

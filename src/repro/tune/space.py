@@ -1,0 +1,169 @@
+"""Declarative configuration spaces for the autotuner.
+
+A :class:`ConfigSpace` is a grid over :class:`~repro.core.options.CompileOptions`
+fields (``aref_depth``, ``mma_pipeline_depth``, ``num_consumer_groups``,
+``num_warps``, ``persistent``, ...) and, optionally, over *problem* fields
+(tile sizes like ``block_m`` / ``block_n`` / ``block_k``, which this
+reproduction keeps on the ``*Problem`` dataclasses).  Enumeration is fully
+deterministic -- axes iterate in declaration order, values in the order
+given -- which is what makes tuner ranking and the figure heatmaps built on
+top of it reproducible.
+
+Enumerating a space yields :class:`Cell` objects: every grid point, feasible
+or not.  Statically infeasible assignments (``CompileOptions`` construction
+raises :class:`~repro.core.options.CompileError`, e.g. the P > D cells of
+Fig. 11) keep their position in the grid with ``candidate=None`` and the
+error text as ``reason`` -- the fig11 heatmap renders them, the tuner skips
+them.  :meth:`ConfigSpace.candidates` is the tuner's view: feasible cells
+only, deduplicated by content (options cache key + problem overrides), first
+occurrence wins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.options import CompileError, CompileOptions
+
+#: CompileOptions field names a space may sweep.
+OPTION_AXES = frozenset(f.name for f in fields(CompileOptions))
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One feasible tuning configuration.
+
+    ``options`` drive compilation; ``problem_overrides`` (a sorted tuple of
+    ``(field, value)`` pairs) are applied to the problem dataclass before
+    launch -- this is how tile-size axes reach the grid/constexpr
+    computation, which lives on the problem in this reproduction.
+    """
+
+    options: CompileOptions
+    problem_overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def key(self) -> tuple:
+        """Content identity (what dedup and the persisted store key on)."""
+        return (self.options.cache_key(), self.problem_overrides)
+
+    def apply(self, problem: Any) -> Any:
+        """The problem this candidate actually launches."""
+        if not self.problem_overrides:
+            return problem
+        return dataclasses.replace(problem, **dict(self.problem_overrides))
+
+    def describe(self) -> str:
+        o = self.options
+        parts = [f"D={o.aref_depth}", f"P={o.mma_pipeline_depth}",
+                 f"groups={o.num_consumer_groups}", f"warps={o.num_warps}"]
+        if o.persistent:
+            parts.append("persistent")
+        if not o.enable_warp_specialization:
+            parts.append("no-WS")
+        parts.extend(f"{k}={v}" for k, v in self.problem_overrides)
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid point of a space: its axis assignment and, if feasible, the
+    candidate it denotes."""
+
+    assignment: Tuple[Tuple[str, Any], ...]
+    candidate: Optional[Candidate]
+    reason: str = ""
+
+    @property
+    def feasible(self) -> bool:
+        return self.candidate is not None
+
+
+class ConfigSpace:
+    """A declarative grid over compile options and problem fields.
+
+    >>> space = ConfigSpace(base=tawa_gemm_options(),
+    ...                     aref_depth=[1, 2, 3], mma_pipeline_depth=[1, 2, 3],
+    ...                     problem_axes={"block_n": [128, 256]})
+    >>> len(space.cells())        # full grid, infeasible cells included
+    18
+    >>> len(space.candidates())   # feasible, deduplicated
+    12
+
+    Option axes must name ``CompileOptions`` fields; anything else raises
+    immediately (a typo must not silently tune nothing).  Problem axes are
+    validated at launch time by ``dataclasses.replace``.
+    """
+
+    def __init__(self, base: Optional[CompileOptions] = None,
+                 problem_axes: Optional[Mapping[str, Sequence[Any]]] = None,
+                 **axes: Sequence[Any]):
+        self.base = base if base is not None else CompileOptions()
+        unknown = sorted(set(axes) - OPTION_AXES)
+        if unknown:
+            raise ValueError(
+                f"unknown CompileOptions axes {unknown}; valid fields: "
+                f"{', '.join(sorted(OPTION_AXES))}"
+            )
+        self.axes: Dict[str, List[Any]] = {k: list(v) for k, v in axes.items()}
+        self.problem_axes: Dict[str, List[Any]] = {
+            k: list(v) for k, v in (problem_axes or {}).items()
+        }
+        for name, values in itertools.chain(self.axes.items(),
+                                            self.problem_axes.items()):
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+
+    # ------------------------------------------------------------------ enumeration
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self.axes.values():
+            n *= len(values)
+        for values in self.problem_axes.values():
+            n *= len(values)
+        return n
+
+    def cells(self) -> List[Cell]:
+        """Every grid point, in deterministic declaration order."""
+        out: List[Cell] = []
+        option_names = list(self.axes)
+        problem_names = list(self.problem_axes)
+        value_lists = [self.axes[n] for n in option_names]
+        value_lists += [self.problem_axes[n] for n in problem_names]
+        for combo in itertools.product(*value_lists):
+            option_values = combo[:len(option_names)]
+            problem_values = combo[len(option_names):]
+            assignment = tuple(zip(option_names + problem_names, combo))
+            try:
+                options = self.base.evolve(**dict(zip(option_names, option_values)))
+            except CompileError as exc:
+                out.append(Cell(assignment, None, str(exc)))
+                continue
+            overrides = tuple(sorted(zip(problem_names, problem_values)))
+            out.append(Cell(assignment, Candidate(options, overrides)))
+        return out
+
+    def candidates(self) -> List[Candidate]:
+        """The feasible cells, deduplicated by content (first wins)."""
+        seen = set()
+        out: List[Candidate] = []
+        for cell in self.cells():
+            if cell.candidate is None:
+                continue
+            key = cell.candidate.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(cell.candidate)
+        return out
+
+    def __iter__(self) -> Iterator[Candidate]:
+        return iter(self.candidates())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        axes = {**{k: len(v) for k, v in self.axes.items()},
+                **{k: len(v) for k, v in self.problem_axes.items()}}
+        return f"<ConfigSpace {axes} ({len(self)} cells)>"

@@ -1,0 +1,317 @@
+"""The cost-model-guided autotuner.
+
+The tuning loop per (workload, problem):
+
+1. **Warm path** -- look the tuning key up in the persisted tier
+   (``REPRO_TUNE_DIR``).  A hit returns the stored best configuration with
+   *zero* re-measurements (``tune_measurements`` stays flat), which is what
+   makes tuning free across processes.
+2. **Enumerate** the :class:`~repro.tune.space.ConfigSpace` (explicit
+   argument, the kernel's ``@kernel(configs=...)`` attachment, or the
+   default space over D / P / consumer groups / persistence), deduplicated
+   and with statically infeasible cells already gone.
+3. **Prune** survivors whose block sizes obviously blow a hardware budget
+   (:func:`repro.tune.cost.static_infeasibility`) -- no compilation spent on
+   hopeless points.
+4. **Rank** the remainder with the analytic roofline
+   (:func:`repro.tune.cost.predict_tflops`) and keep the top-K.  The
+   workload's hand-written default configuration always rides along, so the
+   tuner can never return something slower than the default.
+5. **Measure** the finalists through one batched
+   :func:`repro.experiments.common.measure_sweep` submission on the executor
+   layer (front-loaded deduplicated compilation; points that fail deep
+   resource validation come back :class:`~repro.perf.metrics.Infeasible` and
+   are never ranked).
+6. **Persist** the winner.
+
+``python -m repro.workloads tune`` drives this for every registered
+workload; :meth:`repro.frontend.kernel.Kernel.tune` drives it for a single
+kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+from weakref import WeakKeyDictionary
+
+from repro.core.options import CompileOptions
+from repro.gpusim.device import Device
+from repro.perf.counters import COUNTERS
+from repro.perf.metrics import is_infeasible
+from repro.tune.cost import predict_tflops, static_infeasibility
+from repro.tune.space import Candidate, ConfigSpace
+from repro.tune.store import TunedRecord, TuneStore, resolve_tune_store, tuning_key
+
+#: How many ranked candidates are actually measured by default.
+DEFAULT_TOP_K = 8
+
+#: Per-Workload memo of the frontend kernels its launch pipeline uses (see
+#: :meth:`Autotuner.pipeline_kernels`); weak keys let test-registered
+#: workload variants be collected.
+_PIPELINE_KERNELS: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+@dataclass
+class TuneResult:
+    """What one tuning run produced."""
+
+    workload: str
+    problem: Any
+    key: str
+    best: Candidate
+    best_tflops: float
+    default_tflops: float
+    from_store: bool
+    #: simulated measurements this run actually executed (0 on a warm hit)
+    measurements: int
+    candidates_considered: int = 0
+    candidates_pruned: int = 0
+    #: (candidate, measured TFLOP/s) for every finalist, in measured order
+    measured: List[Tuple[Candidate, float]] = field(default_factory=list)
+
+    @property
+    def speedup_over_default(self) -> float:
+        if self.default_tflops <= 0:
+            return 1.0
+        return self.best_tflops / self.default_tflops
+
+    def describe(self) -> str:
+        src = "store" if self.from_store else f"{self.measurements} measurements"
+        return (f"{self.workload}: {self.best_tflops:.1f} TFLOP/s "
+                f"({self.speedup_over_default:.2f}x default, {src}) "
+                f"[{self.best.describe()}]")
+
+
+def default_space(options: CompileOptions) -> ConfigSpace:
+    """The standard tuning grid around a workload's default options.
+
+    Covers the paper's hyper-parameters (Fig. 11's D and P), the cooperative
+    warp-group count and persistence (Fig. 12's ablation axes).  Tile-size
+    axes are deliberately not defaulted -- they change the launch grid and
+    belong to spaces declared per kernel via ``@kernel(configs=...)``.
+    """
+    return ConfigSpace(
+        base=options,
+        aref_depth=[1, 2, 3, 4],
+        mma_pipeline_depth=[1, 2, 3],
+        num_consumer_groups=[1, 2],
+        persistent=[False, True],
+    )
+
+
+class Autotuner:
+    """Cost-model-guided search over a configuration space."""
+
+    def __init__(self, device: Optional[Device] = None, top_k: int = DEFAULT_TOP_K,
+                 store: Optional[TuneStore] = None, use_store: bool = True):
+        if device is None:
+            from repro.experiments.common import perf_device
+
+            device = perf_device()
+        self.device = device
+        self.top_k = max(1, top_k)
+        #: None resolves REPRO_TUNE_DIR per tune() call, so one Autotuner
+        #: instance observes environment changes the way the compile cache does.
+        self._store = store
+        self.use_store = use_store
+
+    # ------------------------------------------------------------------ keys
+
+    def store_for(self) -> Optional[TuneStore]:
+        return self._store if self._store is not None else resolve_tune_store()
+
+    def pipeline_kernels(self, workload, problem: Any) -> tuple:
+        """The frontend kernels of the workload's launch pipeline (cached).
+
+        Building the launch specs just to read the kernel objects off them
+        is the expensive part of a tuning-key computation (buffers, argument
+        dicts), and the kernel *objects* never change for a registered
+        workload -- only their live fingerprints do.  The kernel list is
+        therefore memoized per ``Workload`` record, while fingerprints are
+        re-read from the live kernels on every :meth:`key_for` call, so the
+        invalidation semantics (a mutated module global moves the key) are
+        untouched.
+        """
+        kernels = _PIPELINE_KERNELS.get(workload)
+        if kernels is None:
+            specs = workload.make_specs(self.device, problem,
+                                        workload.default_options())
+            # Unwrap CompiledKernel artifacts down to the frontend Kernel.
+            kernels = tuple(getattr(s.kernel, "kernel", s.kernel) for s in specs)
+            _PIPELINE_KERNELS[workload] = kernels
+        return kernels
+
+    def key_for(self, workload, problem: Any) -> str:
+        """The content-addressed tuning key of one (workload, problem) pair.
+
+        The kernel fingerprints are taken from the workload's launch
+        pipeline, so *any* kernel edit -- including a mutated module-level
+        constant a kernel body reads -- moves the key and invalidates every
+        previously persisted result for it.
+        """
+        fingerprints = [k.source_fingerprint
+                        for k in self.pipeline_kernels(workload, problem)]
+        return tuning_key(fingerprints, type(problem), self.device.config,
+                          qualifier=workload.name)
+
+    # ------------------------------------------------------------------ tuning
+
+    def tune(self, workload_name: str, problem: Any = None,
+             space: Optional[ConfigSpace] = None) -> TuneResult:
+        """Find (or recall) the best configuration for one workload problem."""
+        from repro import workloads
+
+        workload = workloads.get(workload_name)
+        if problem is None:
+            reduced = workload.reduced_sweep()
+            problem = reduced[0] if reduced else workload.check_problem()
+        if problem is None:
+            raise ValueError(
+                f"workload {workload_name!r} has no reduced sweep or check "
+                f"problem; pass an explicit problem to tune"
+            )
+
+        key = self.key_for(workload, problem)
+        store = self.store_for() if self.use_store else None
+        if store is not None:
+            record = store.load(key)
+            if record is not None:
+                best = Candidate(record.options, record.problem_overrides)
+                return TuneResult(
+                    workload=workload.name, problem=problem, key=key,
+                    best=best, best_tflops=record.measured_tflops,
+                    default_tflops=record.default_tflops,
+                    from_store=True, measurements=0,
+                )
+
+        if space is None:
+            space = self._attached_space(workload, problem)
+        if space is None:
+            space = default_space(workload.default_options())
+
+        default_candidate = Candidate(workload.default_options())
+        candidates = space.candidates()
+        considered = len(candidates)
+
+        # Static pruning: drop points that obviously blow a hardware budget.
+        survivors: List[Candidate] = []
+        pruned = 0
+        for candidate in candidates:
+            reason = static_infeasibility(candidate.apply(problem),
+                                          candidate.options,
+                                          self.device.config)
+            if reason is not None:
+                pruned += 1
+                continue
+            survivors.append(candidate)
+        COUNTERS.tune_candidates_pruned += pruned
+
+        # Rank with the analytic model; ties break on enumeration order so
+        # the ranking -- and therefore what gets measured -- is deterministic.
+        flops = workload.flops(problem)
+        bytes_moved = workload.bytes_moved(problem)
+        ranked = sorted(
+            enumerate(survivors),
+            key=lambda iv: (-predict_tflops(iv[1], problem, flops, bytes_moved,
+                                            self.device.config), iv[0]),
+        )
+        finalists = [candidate for _, candidate in ranked[:self.top_k]]
+        # The hand-written default always rides along: the tuner must never
+        # come back with something slower than not tuning at all.
+        if all(c.key() != default_candidate.key() for c in finalists):
+            finalists.append(default_candidate)
+
+        measured = self._measure(workload, problem, finalists)
+        feasible = [(c, v) for c, v in measured if not is_infeasible(v)]
+        # Finalists that came back Infeasible were never launched; only the
+        # cells the simulator actually measured count as measurements.
+        COUNTERS.tune_measurements += len(feasible)
+        if not feasible:
+            raise RuntimeError(
+                f"autotuning {workload.name!r} measured no feasible candidate "
+                f"out of {len(finalists)} finalists"
+            )
+        best, best_tflops = max(feasible, key=lambda cv: cv[1])
+        default_tflops = next(
+            (v for c, v in measured if c.key() == default_candidate.key()), 0.0)
+
+        result = TuneResult(
+            workload=workload.name, problem=problem, key=key,
+            best=best, best_tflops=float(best_tflops),
+            default_tflops=float(default_tflops),
+            from_store=False, measurements=len(feasible),
+            candidates_considered=considered, candidates_pruned=pruned,
+            measured=measured,
+        )
+        if store is not None:
+            store.store(TunedRecord(
+                key=key, workload=workload.name, options=best.options,
+                problem_overrides=best.problem_overrides,
+                measured_tflops=result.best_tflops,
+                default_tflops=result.default_tflops,
+                predicted_tflops=predict_tflops(best, problem, flops,
+                                                bytes_moved, self.device.config),
+                measurements=result.measurements,
+            ))
+        return result
+
+    # ------------------------------------------------------------------ internals
+
+    def _attached_space(self, workload, problem: Any) -> Optional[ConfigSpace]:
+        """The ``@kernel(configs=...)`` space of the pipeline's lead kernel."""
+        for kern in self.pipeline_kernels(workload, problem):
+            configs = getattr(kern, "configs", None)
+            if configs is not None:
+                return configs
+        return None
+
+    def _measure(self, workload, problem: Any,
+                 finalists: List[Candidate]) -> List[Tuple[Candidate, float]]:
+        """Measure every finalist in one batched sweep on the executor layer."""
+        from repro.experiments.common import SweepPoint, measure_sweep
+
+        points = [SweepPoint(workload.name, candidate.apply(problem),
+                             candidate.options)
+                  for candidate in finalists]
+        values = measure_sweep(self.device, points)
+        return list(zip(finalists, values))
+
+
+def tune_workload(workload_name: str, problem: Any = None,
+                  space: Optional[ConfigSpace] = None,
+                  device: Optional[Device] = None,
+                  top_k: int = DEFAULT_TOP_K,
+                  use_store: bool = True) -> TuneResult:
+    """One-call convenience wrapper over :class:`Autotuner`."""
+    tuner = Autotuner(device=device, top_k=top_k, use_store=use_store)
+    return tuner.tune(workload_name, problem, space)
+
+
+def lookup_tuned(device: Device, workload, problem: Any) -> Optional[TunedRecord]:
+    """The persisted best config for (workload, problem), if any.
+
+    This is the *transparent pickup* path: resolvers that were not asked for
+    explicit options (``python -m repro.workloads run``, the registry's
+    spec builder) consult it so a tuned process transparently launches tuned
+    configurations.  Without ``REPRO_TUNE_DIR`` it is free (no key is even
+    computed).
+    """
+    store = resolve_tune_store()
+    if store is None:
+        return None
+    tuner = Autotuner(device=device, store=store)
+    return store.load(tuner.key_for(workload, problem))
+
+
+def apply_tuned(device: Device, workload, problem: Any) -> Tuple[Any, CompileOptions]:
+    """The (problem, options) a workload should actually launch with.
+
+    The persisted best config when one exists (problem overrides applied),
+    the workload's hand-written default otherwise.
+    """
+    record = lookup_tuned(device, workload, problem)
+    if record is None:
+        return problem, workload.default_options()
+    candidate = Candidate(record.options, record.problem_overrides)
+    return candidate.apply(problem), record.options

@@ -14,6 +14,8 @@ The CLI front end lives in :mod:`repro.workloads.cli`::
     python -m repro.workloads list
     python -m repro.workloads run [name ...] [--mode functional|perf]
                                   [--workers N] [--sweep reduced] [--json F]
+    python -m repro.workloads tune [name ...] [--sweep reduced|smoke]
+                                   [--top-k N] [--json F]
 
 Every CLI sweep is submitted through :meth:`Device.run_many` /
 :func:`repro.experiments.common.measure_sweep`, so batched compilation,
@@ -27,6 +29,7 @@ from repro.workloads.registry import (
     get,
     list_workloads,
     register,
+    resolve_options,
     sweep_points,
     unregister,
 )
@@ -39,5 +42,6 @@ __all__ = [
     "get",
     "list_workloads",
     "build_sweep_specs",
+    "resolve_options",
     "sweep_points",
 ]

@@ -1,4 +1,4 @@
-"""``python -m repro.workloads`` -- list, check and sweep registered workloads.
+"""``python -m repro.workloads`` -- list, check, sweep and tune workloads.
 
 Commands::
 
@@ -6,6 +6,9 @@ Commands::
     python -m repro.workloads run [name ...] [--mode functional|perf]
                                   [--workers N] [--sweep reduced|smoke]
                                   [--json FILE]
+    python -m repro.workloads tune [name ...] [--sweep reduced|smoke]
+                                   [--top-k N] [--json FILE]
+                                   [--expect-store hit|miss] [--no-store]
 
 ``run`` with no names runs every registered workload.  Functional mode
 executes each workload's small check problem and asserts it against the
@@ -14,10 +17,20 @@ mode submits the whole reduced sweep of every selected workload as **one**
 :func:`repro.experiments.common.measure_sweep` batch, so compilation is
 front-loaded and deduplicated through the compiler service, execution plans
 are built eagerly at finalize, and both compile-cache tiers (plus worker
-sharding on functional devices) are exercised by construction.
+sharding on functional devices) are exercised by construction.  With
+``REPRO_TUNE_DIR`` set, perf sweeps transparently launch persisted tuned
+configurations instead of the hand-written defaults.
 
-The exit status is non-zero if any functional check fails or any requested
-name is unknown, so CI can gate on the smoke run directly.
+``tune`` runs the cost-model-guided autotuner (:mod:`repro.tune`) on each
+selected workload's first sweep problem and reports tuned vs default
+TFLOP/s.  With ``REPRO_TUNE_DIR`` set the winners persist; a warm process
+reuses them with zero re-measurements.  ``--expect-store hit|miss`` turns
+that expectation into an exit-code gate for CI.
+
+The exit status is non-zero if any functional check fails, any tuned config
+loses to its hand-written default, a ``--expect-store`` expectation is
+violated, or any requested name is unknown, so CI can gate on the smoke
+runs directly.
 """
 
 from __future__ import annotations
@@ -32,6 +45,7 @@ from typing import List, Optional
 from repro.experiments.common import SweepPoint, measure_sweep, perf_device
 from repro.gpusim.device import Device
 from repro.perf.counters import reset_sim_counters, sim_counters
+from repro.perf.metrics import is_infeasible
 from repro.workloads import registry
 
 
@@ -59,6 +73,24 @@ def _parser() -> argparse.ArgumentParser:
                           "first point per workload (smoke)")
     run.add_argument("--json", dest="json_path", default=None,
                      help="write machine-readable results to this file")
+
+    tune = sub.add_parser("tune", help="autotune workload configurations")
+    tune.add_argument("names", nargs="*",
+                      help="workload names (default: all registered)")
+    tune.add_argument("--sweep", choices=("reduced", "smoke"), default="reduced",
+                      help="tuning effort on the first reduced-sweep problem: "
+                           "reduced measures the default top-k finalists, "
+                           "smoke measures fewer (see --top-k)")
+    tune.add_argument("--top-k", type=int, default=None,
+                      help="ranked candidates to measure per workload "
+                           "(default: 8, smoke: 4)")
+    tune.add_argument("--no-store", action="store_true",
+                      help="ignore REPRO_TUNE_DIR (always re-measure, never persist)")
+    tune.add_argument("--expect-store", choices=("hit", "miss"), default=None,
+                      help="fail unless every workload was (hit) / was not "
+                           "(miss) served from the persisted tier")
+    tune.add_argument("--json", dest="json_path", default=None,
+                      help="write machine-readable results to this file")
     return parser
 
 
@@ -113,31 +145,85 @@ def _run_perf(names: List[str], sweep: str, report: dict) -> int:
         if sweep == "smoke":
             problems = problems[:1]
         for problem in problems:
-            points.append(SweepPoint(name, problem, workload.default_options()))
+            # Transparent tuned-config pickup: with REPRO_TUNE_DIR set and a
+            # persisted result for this workload, the sweep launches the
+            # tuned configuration instead of the hand-written default.
+            problem, options = registry.resolve_options(device, workload, problem)
+            points.append(SweepPoint(name, problem, options))
             labels.append(f"{name}: {problem!r}")
     values = measure_sweep(device, points)
     for label, value in zip(labels, values):
-        print(f"{value:10.1f} TFLOP/s  {label}")
-        report["sweep"].append({"point": label, "tflops": round(value, 2)})
+        if is_infeasible(value):
+            print(f"{'n/f':>10s} TFLOP/s  {label}  [infeasible: {value.reason}]")
+            report["sweep"].append({"point": label, "tflops": 0.0,
+                                    "infeasible": True,
+                                    "infeasible_reason": value.reason})
+        else:
+            print(f"{value:10.1f} TFLOP/s  {label}")
+            report["sweep"].append({"point": label, "tflops": round(value, 2)})
     return 0
+
+
+def _run_tune(args, names: List[str], report: dict) -> int:
+    from repro.tune import Autotuner
+
+    top_k = args.top_k if args.top_k is not None else (4 if args.sweep == "smoke" else 8)
+    device = perf_device()
+    tuner = Autotuner(device=device, top_k=top_k, use_store=not args.no_store)
+    failures = 0
+    for name in names:
+        result = tuner.tune(name)
+        source = "store" if result.from_store else f"{result.measurements} meas."
+        losing = result.best_tflops + 1e-9 < result.default_tflops
+        expect_violated = (args.expect_store == "hit" and not result.from_store) or (
+            args.expect_store == "miss" and result.from_store)
+        status = "ok"
+        if losing:
+            failures += 1
+            status = "SLOWER-THAN-DEFAULT"
+        if expect_violated:
+            failures += 1
+            status = f"EXPECTED-STORE-{args.expect_store.upper()}"
+        print(f"{name:20s} {result.best_tflops:8.1f} TFLOP/s tuned vs "
+              f"{result.default_tflops:8.1f} default "
+              f"({result.speedup_over_default:4.2f}x, {source:14s}) {status}")
+        print(f"{'':20s} -> {result.best.describe()}")
+        report["tune"].append({
+            "workload": name,
+            "problem": repr(result.problem),
+            "tuned_tflops": round(result.best_tflops, 2),
+            "default_tflops": round(result.default_tflops, 2),
+            "speedup": round(result.speedup_over_default, 4),
+            "config": result.best.describe(),
+            "from_store": result.from_store,
+            "measurements": result.measurements,
+            "candidates_considered": result.candidates_considered,
+            "candidates_pruned": result.candidates_pruned,
+            "status": status,
+        })
+    return failures
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
-    if args.command != "run":
+    if args.command not in ("run", "tune"):
         _parser().print_help()
         return 2
 
     names = _resolve_names(args.names)
     reset_sim_counters()
-    report: dict = {"mode": args.mode, "workloads": names,
-                    "checks": [], "sweep": []}
-    if args.mode == "functional":
-        failures = _run_functional(names, args.workers, report)
+    if args.command == "tune":
+        report = {"mode": "tune", "workloads": names, "tune": []}
+        failures = _run_tune(args, names, report)
     else:
-        failures = _run_perf(names, args.sweep, report)
+        report = {"mode": args.mode, "workloads": names,
+                  "checks": [], "sweep": []}
+        if args.mode == "functional":
+            failures = _run_functional(names, args.workers, report)
+        else:
+            failures = _run_perf(names, args.sweep, report)
 
     counters = sim_counters()
     report["counters"] = counters
@@ -148,6 +234,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{counters['parallel_launches']} sharded launches, "
         f"{counters['parallel_shared_bytes']} shared bytes live"
     )
+    if args.command == "tune":
+        print(
+            f"-- tune store {counters['tune_store_hits']} hits / "
+            f"{counters['tune_store_misses']} misses, "
+            f"{counters['tune_measurements']} measurements, "
+            f"{counters['tune_candidates_pruned']} pruned"
+        )
     if args.json_path:
         parent = os.path.dirname(os.path.abspath(args.json_path))
         os.makedirs(parent, exist_ok=True)

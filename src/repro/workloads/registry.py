@@ -22,7 +22,7 @@ reference, then call :func:`register` at import time (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.options import CompileOptions
 from repro.gpusim.device import Device, LaunchResult, LaunchSpec
@@ -93,16 +93,33 @@ def list_workloads() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def resolve_options(device: Device, workload: Workload,
+                    problem: Any) -> Tuple[Any, CompileOptions]:
+    """The (problem, options) a workload launches when none were requested.
+
+    With ``REPRO_TUNE_DIR`` set, a persisted autotuning result for this
+    (kernel fingerprint, problem class, sim config) is picked up
+    transparently -- tile-size overrides applied to the problem, tuned
+    options returned; otherwise the workload's hand-written default.
+    """
+    from repro.tune import apply_tuned
+
+    return apply_tuned(device, workload, problem)
+
+
 def build_sweep_specs(device: Device, workload: Workload, problem: Any,
                       options: Optional[CompileOptions] = None) -> List[LaunchSpec]:
     """The fully-compiled launch pipeline for one (workload, problem) point.
 
     Compilation is front-loaded through :meth:`Device.compile` (the
     process-wide compiler service), so callers batching many points get
-    deduplicated, cache-served artifacts before any launch runs.
+    deduplicated, cache-served artifacts before any launch runs.  When
+    ``options`` is ``None`` they resolve through :func:`resolve_options`
+    (persisted tuned config, then the workload default).
     """
-    specs = workload.make_specs(device, problem,
-                                options or workload.default_options())
+    if options is None:
+        problem, options = resolve_options(device, workload, problem)
+    specs = workload.make_specs(device, problem, options)
     for spec in specs:
         spec.kernel = device.compile(spec.kernel, spec.args, spec.constexprs,
                                      spec.options)

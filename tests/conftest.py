@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.options import CompileOptions, NAIVE_OPTIONS, TRITON_BASELINE_OPTIONS
-from repro.gpusim.config import H100Config
 from repro.gpusim.device import Device, clear_compile_cache
 from repro.kernels.attention import AttentionProblem
 from repro.kernels.gemm import GemmProblem

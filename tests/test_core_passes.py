@@ -13,10 +13,8 @@ from repro.core.pipelines import (
     register_pipeline,
     resolve_pipeline_name,
 )
-from repro.core.resources import estimate_resources
-from repro.core.tagging import ROLE_ATTR, TagSemanticsPass, tag_function
+from repro.core.tagging import ROLE_ATTR, tag_function
 from repro.frontend import kernel, tl
-from repro.gpusim.config import DEFAULT_CONFIG
 from repro.ir import print_op, verify
 from repro.ir.dialects import scf, tawa
 from repro.ir.types import PointerType, TensorDescType, f16, f32, i32

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.frontend import FrontendError, Kernel, TypeMismatchError, UnsupportedSyntaxError, kernel, tl
+from repro.frontend import FrontendError, TypeMismatchError, UnsupportedSyntaxError, kernel, tl
 from repro.ir import print_op
 from repro.ir.dialects import scf
-from repro.ir.types import PointerType, TensorDescType, TensorType, f16, f32, i32
+from repro.ir.types import PointerType, TensorType, f32, i32
 
 
 def build(kern, arg_types, constexprs=None, num_warps=8):

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.gpusim.config import DEFAULT_CONFIG, H100Config
+from repro.gpusim.config import DEFAULT_CONFIG
 from repro.gpusim.engine import (
     Agent,
     ArefProtocolError,

@@ -7,7 +7,7 @@ from repro.core.options import CompileOptions, NAIVE_OPTIONS
 from repro.gpusim.device import Device, _linear_to_pid, _normalize_grid
 from repro.gpusim.engine import SimulationError
 from repro.gpusim.memory import GlobalBuffer, Pointer, SmemTile, SymbolicTile, TensorDesc
-from repro.ir.types import PointerType, TensorDescType, f8e4m3, f16, f32
+from repro.ir.types import PointerType, TensorDescType, f8e4m3, f16
 from repro.kernels.gemm import GemmProblem, make_gemm_inputs, matmul_kernel
 
 

@@ -9,9 +9,8 @@ and attention benefits from the coarse-grained pipeline.
 
 import pytest
 
-from repro.core.options import CompileOptions, NAIVE_OPTIONS, TRITON_BASELINE_OPTIONS
+from repro.core.options import NAIVE_OPTIONS, TRITON_BASELINE_OPTIONS
 from repro.experiments import common
-from repro.gpusim.device import Device
 from repro.kernels.attention import AttentionProblem
 from repro.kernels.gemm import GemmProblem
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.ir import Builder, FuncOp, IRError
-from repro.ir.dialects import arith, gpu, scf, tawa, tt, ensure_loaded, registry
+from repro.ir.dialects import arith, gpu, tawa, tt, ensure_loaded, registry
 from repro.ir.types import (
     ArefSlotType,
     ArefType,

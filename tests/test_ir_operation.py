@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.ir import Block, Builder, FuncOp, IRError, IRMapping, ModuleOp, ReturnOp
+from repro.ir import Block, Builder, FuncOp, IRError, IRMapping, ReturnOp
 from repro.ir.dialects import arith, scf, tt, ensure_loaded
-from repro.ir.types import FunctionType, TensorDescType, f16, f32, i32
+from repro.ir.types import FunctionType, TensorDescType, f16, i32
 
 ensure_loaded()
 
@@ -167,9 +167,9 @@ class TestBuilderInsertion:
         fn = _empty_func()
         b = Builder(fn.body)
         c1 = b.create(arith.ConstantOp, 1, i32)
-        c3 = b.create(arith.ConstantOp, 3, i32)
+        b.create(arith.ConstantOp, 3, i32)
         b.set_insertion_point_after(c1)
-        c2 = b.create(arith.ConstantOp, 2, i32)
+        b.create(arith.ConstantOp, 2, i32)
         values = [op.attributes["value"] for op in fn.body.operations]
         assert values == [1, 2, 3]
 

@@ -21,7 +21,7 @@ from repro.ir.canonicalize import (
 )
 from repro.ir.dialects import arith, scf, tt, ensure_loaded
 from repro.ir.passes import PassError
-from repro.ir.rewriter import RewritePattern, Rewriter, apply_patterns_greedily
+from repro.ir.rewriter import apply_patterns_greedily
 from repro.ir.traversal import backward_slice, external_operands, forward_slice
 from repro.ir.types import FunctionType, TensorDescType, f16, f32, i32
 

@@ -17,7 +17,7 @@ import pytest
 
 from repro.core.options import CompileOptions
 from repro.frontend.errors import FrontendError
-from repro.gpusim.device import Device, LaunchBatch, LaunchSpec
+from repro.gpusim.device import Device, LaunchSpec
 from repro.gpusim.engine import SimulationError
 from repro.gpusim.memory import GlobalBuffer, shared_ndarray
 from repro.gpusim.parallel import (

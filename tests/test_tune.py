@@ -1,0 +1,435 @@
+"""Autotuner tests: spaces, ranking, persistence, invalidation.
+
+Pins the tuner contracts PR 5 introduced:
+
+* :class:`ConfigSpace` enumeration is deterministic, deduplicated and keeps
+  infeasible cells (with reasons) in grid positions;
+* analytic-model ranking order is deterministic (same inputs, same order);
+* persisted best configs round-trip across *processes* and a warm process
+  re-measures nothing;
+* editing a kernel (here: a module-level constant its body reads) moves the
+  tuning key, so stale entries can never serve the mutated kernel.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.options import CompileOptions
+from repro.frontend import kernel, tl
+from repro.gpusim.device import Device, LaunchSpec
+from repro.kernels.gemm import GemmProblem
+from repro.perf.metrics import Infeasible
+from repro.tune import (
+    Autotuner,
+    Candidate,
+    ConfigSpace,
+    TunedRecord,
+    TuneStore,
+    predict_tflops,
+    static_infeasibility,
+    tuning_key,
+)
+from repro import workloads
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+# ---------------------------------------------------------------------------
+# A tiny custom workload whose kernel reads a module-level constant, so tests
+# can move its source fingerprint by mutation.
+# ---------------------------------------------------------------------------
+
+SCALE = 2.0
+
+
+@kernel
+def scale_rows_kernel(x_ptr, out_ptr, n, BLOCK: tl.constexpr):
+    pid = tl.program_id(axis=0)
+    offs = pid * BLOCK + tl.arange(0, BLOCK)
+    mask = offs < n
+    x = tl.load(x_ptr + offs, mask=mask, other=0.0)
+    tl.store(out_ptr + offs, x * SCALE, mask=mask)
+
+
+@dataclass
+class ScaleProblem:
+    n: int = 512
+    block: int = 64
+
+    @property
+    def flops(self) -> float:
+        return float(self.n)
+
+    @property
+    def bytes_moved(self) -> float:
+        return float(self.n * 8)
+
+    @property
+    def grid(self) -> int:
+        return (self.n + self.block - 1) // self.block
+
+
+def _scale_specs(device: Device, problem: ScaleProblem, options: CompileOptions):
+    x = device.buffer((problem.n,), "f32", "x")
+    out = device.buffer((problem.n,), "f32", "out")
+    from repro.gpusim.memory import Pointer
+
+    return [LaunchSpec(scale_rows_kernel, problem.grid,
+                       {"x_ptr": Pointer(x), "out_ptr": Pointer(out),
+                        "n": problem.n},
+                       {"BLOCK": problem.block}, options, problem.flops)]
+
+
+def _scale_check(device: Device, problem: ScaleProblem, options):
+    x = np.linspace(-1.0, 1.0, problem.n, dtype=np.float32)
+    out = np.zeros(problem.n, dtype=np.float32)
+    opts = options or _scale_default_options()
+    result = device.run(scale_rows_kernel, problem.grid,
+                        {"x_ptr": device.pointer(x, "f32"),
+                         "out_ptr": device.pointer(out, "f32"), "n": problem.n},
+                        {"BLOCK": problem.block}, opts, problem.flops)
+    np.testing.assert_allclose(out, x * SCALE, rtol=1e-5)
+    return result
+
+
+def _scale_default_options() -> CompileOptions:
+    return CompileOptions(enable_warp_specialization=False,
+                          software_pipelining=False)
+
+
+@pytest.fixture
+def scale_workload():
+    name = "_tune_test_scale"
+    workloads.unregister(name)
+    wl = workloads.register(workloads.Workload(
+        name=name,
+        description="test-only elementwise scale workload",
+        problem_cls=ScaleProblem,
+        make_specs=_scale_specs,
+        check=_scale_check,
+        bytes_moved=lambda p: p.bytes_moved,
+        default_options=_scale_default_options,
+        reduced_sweep=lambda: [ScaleProblem()],
+        check_problem=lambda: ScaleProblem(n=128),
+    ))
+    yield wl
+    workloads.unregister(name)
+
+
+def _small_space() -> ConfigSpace:
+    return ConfigSpace(base=_scale_default_options(),
+                       software_pipelining=[False, True],
+                       num_stages=[2, 3])
+
+
+# ---------------------------------------------------------------------------
+# ConfigSpace
+# ---------------------------------------------------------------------------
+
+
+class TestConfigSpace:
+    def test_enumeration_is_deterministic_and_ordered(self):
+        space = ConfigSpace(aref_depth=[1, 2], mma_pipeline_depth=[1, 2])
+        cells = space.cells()
+        assert len(cells) == len(space) == 4
+        assert [dict(c.assignment) for c in cells] == [
+            {"aref_depth": 1, "mma_pipeline_depth": 1},
+            {"aref_depth": 1, "mma_pipeline_depth": 2},
+            {"aref_depth": 2, "mma_pipeline_depth": 1},
+            {"aref_depth": 2, "mma_pipeline_depth": 2},
+        ]
+        assert [c.assignment for c in cells] == [c.assignment
+                                                 for c in space.cells()]
+
+    def test_infeasible_cells_keep_position_and_reason(self):
+        space = ConfigSpace(aref_depth=[1, 2], mma_pipeline_depth=[1, 2])
+        cells = space.cells()
+        infeasible = [c for c in cells if not c.feasible]
+        assert len(infeasible) == 1  # D=1, P=2
+        assert dict(infeasible[0].assignment) == {"aref_depth": 1,
+                                                  "mma_pipeline_depth": 2}
+        assert "infeasible" in infeasible[0].reason
+        assert len(space.candidates()) == 3
+
+    def test_candidates_dedup_by_content(self):
+        space = ConfigSpace(aref_depth=[2, 2, 3])
+        assert len(space.cells()) == 3
+        assert len(space.candidates()) == 2
+
+    def test_problem_axes_become_overrides(self):
+        space = ConfigSpace(problem_axes={"block_n": [128, 256]})
+        candidates = space.candidates()
+        assert [c.problem_overrides for c in candidates] == [
+            (("block_n", 128),), (("block_n", 256),)]
+        problem = GemmProblem(M=128, N=128, K=128)
+        assert candidates[0].apply(problem).block_n == 128
+        assert candidates[1].apply(problem).block_n == 256
+        assert problem.block_n == 256  # original untouched
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown CompileOptions axes"):
+            ConfigSpace(arf_depth=[1, 2])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            ConfigSpace(aref_depth=[])
+
+
+# ---------------------------------------------------------------------------
+# Cost model + ranking determinism
+# ---------------------------------------------------------------------------
+
+
+class TestCostModel:
+    def test_static_pruning_matches_resource_rationale(self):
+        """A 128x256 accumulator needs cooperative warp groups (docs of
+        repro.core.resources); the static model agrees without compiling."""
+        problem = GemmProblem(M=8192, N=8192, K=2048, block_m=128,
+                              block_n=256, block_k=64)
+        one_group = CompileOptions(num_consumer_groups=1)
+        two_groups = CompileOptions(num_consumer_groups=2)
+        assert static_infeasibility(problem, one_group) is not None
+        assert static_infeasibility(problem, two_groups) is None
+
+    def test_persistent_requires_1d_grid_statically(self):
+        """Persistent candidates for multi-dim-grid problems are pruned
+        before any compile (repro.core.persistent rejects them anyway)."""
+        from repro.kernels.attention import AttentionProblem
+
+        problem = AttentionProblem(batch=4, heads=32, seq_len=2048,
+                                   head_dim=128)
+        persistent = CompileOptions(num_consumer_groups=2, persistent=True)
+        reason = static_infeasibility(problem, persistent)
+        assert reason is not None and "1-D launch grid" in reason
+        assert static_infeasibility(
+            problem, CompileOptions(num_consumer_groups=2)) is None
+        # 1-D-grid problems keep persistent candidates.
+        gemm = GemmProblem(M=8192, N=8192, K=2048, block_m=128, block_n=256,
+                           block_k=64)
+        assert static_infeasibility(gemm, persistent) is None
+
+    def test_predict_is_deterministic(self):
+        problem = GemmProblem(M=8192, N=8192, K=2048)
+        candidate = Candidate(CompileOptions(aref_depth=3, num_consumer_groups=2))
+        a = predict_tflops(candidate, problem, problem.flops, problem.bytes_moved)
+        b = predict_tflops(candidate, problem, problem.flops, problem.bytes_moved)
+        assert a == b > 0
+
+    def test_ranking_order_is_deterministic(self, scale_workload):
+        orders = []
+        for _ in range(2):
+            tuner = Autotuner(top_k=4, use_store=False)
+            result = tuner.tune(scale_workload.name, space=_small_space())
+            orders.append([c.key() for c, _ in result.measured])
+        assert orders[0] == orders[1]
+        assert len(orders[0]) >= 2
+
+
+# ---------------------------------------------------------------------------
+# The tuner
+# ---------------------------------------------------------------------------
+
+
+class TestAutotuner:
+    def test_never_loses_to_the_default(self):
+        result = Autotuner(top_k=4, use_store=False).tune("gemm")
+        assert result.best_tflops >= result.default_tflops > 0
+        assert not result.from_store
+        assert result.measurements == len(result.measured) > 0
+
+    def test_default_candidate_always_measured(self, scale_workload):
+        # A space that does not contain the default configuration at all.
+        space = ConfigSpace(base=_scale_default_options(),
+                            software_pipelining=[True], num_stages=[3])
+        result = Autotuner(use_store=False).tune(scale_workload.name,
+                                                 space=space)
+        default_key = Candidate(scale_workload.default_options()).key()
+        assert any(c.key() == default_key for c, _ in result.measured)
+
+    def test_infeasible_measurements_never_win(self, scale_workload,
+                                               monkeypatch):
+        def fake_measure(self, workload, problem, finalists):
+            values = [Infeasible("boom")] * len(finalists)
+            values[-1] = 1.25  # only the last finalist is feasible
+            return list(zip(finalists, values))
+
+        monkeypatch.setattr(Autotuner, "_measure", fake_measure)
+        result = Autotuner(use_store=False).tune(scale_workload.name,
+                                                 space=_small_space())
+        assert result.best_tflops == 1.25
+        assert result.best.key() == result.measured[-1][0].key()
+
+    def test_all_infeasible_raises(self, scale_workload, monkeypatch):
+        monkeypatch.setattr(
+            Autotuner, "_measure",
+            lambda self, workload, problem, finalists: [
+                (c, Infeasible("boom")) for c in finalists])
+        with pytest.raises(RuntimeError, match="no feasible candidate"):
+            Autotuner(use_store=False).tune(scale_workload.name,
+                                            space=_small_space())
+
+    def test_kernel_configs_attachment_used(self, scale_workload):
+        space = _small_space()
+        assert scale_rows_kernel.configs is None
+        scale_rows_kernel.configs = space
+        try:
+            tuner = Autotuner(use_store=False)
+            assert tuner._attached_space(scale_workload, ScaleProblem()) is space
+            result = tuner.tune(scale_workload.name)
+            assert result.measurements <= len(space.candidates()) + 1
+        finally:
+            scale_rows_kernel.configs = None
+
+    def test_kernel_decorator_configs_kwarg(self):
+        space = ConfigSpace(aref_depth=[2, 3])
+
+        @kernel(configs=space)
+        def k(x_ptr, BLOCK: tl.constexpr):
+            pid = tl.program_id(axis=0)
+            tl.store(x_ptr + pid, 1.0)
+
+        assert k.configs is space
+        assert k.name == "k"
+        assert callable(k.tune)
+
+
+# ---------------------------------------------------------------------------
+# The persisted store
+# ---------------------------------------------------------------------------
+
+
+class TestTuneStore:
+    def _record(self, key: str) -> TunedRecord:
+        return TunedRecord(
+            key=key, workload="gemm",
+            options=CompileOptions(aref_depth=3, persistent=True),
+            problem_overrides=(("block_n", 128),),
+            measured_tflops=123.4, default_tflops=100.0,
+            predicted_tflops=130.0, measurements=5,
+        )
+
+    def test_round_trip(self, tmp_path):
+        store = TuneStore(tmp_path)
+        record = self._record("k1")
+        assert store.store(record)
+        loaded = store.load("k1")
+        assert loaded == record
+        assert loaded.options.persistent is True
+        assert loaded.problem_overrides == (("block_n", 128),)
+
+    def test_corrupt_entry_is_discarded_as_miss(self, tmp_path):
+        store = TuneStore(tmp_path)
+        store.store(self._record("k1"))
+        store.path_for("k1").write_text("{not json", encoding="utf-8")
+        assert store.load("k1") is None
+        assert not store.path_for("k1").exists()
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        store = TuneStore(tmp_path)
+        store.store(self._record("k1"))
+        payload = json.loads(store.path_for("k1").read_text())
+        payload["version"] = 999
+        store.path_for("k1").write_text(json.dumps(payload))
+        assert store.load("k1") is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        store = TuneStore(tmp_path)
+        record = self._record("k1")
+        store.store(record)
+        os.rename(store.path_for("k1"), store.path_for("k2"))
+        assert store.load("k2") is None
+
+    def test_tuning_key_dimensions(self):
+        from repro.gpusim.config import DEFAULT_CONFIG
+
+        base = tuning_key(["f1"], GemmProblem, DEFAULT_CONFIG)
+        assert base == tuning_key(["f1"], GemmProblem, DEFAULT_CONFIG)
+        assert base != tuning_key(["f2"], GemmProblem, DEFAULT_CONFIG)
+        assert base != tuning_key(["f1"], ScaleProblem, DEFAULT_CONFIG)
+        assert base != tuning_key(["f1"], GemmProblem,
+                                  DEFAULT_CONFIG.with_overrides(num_sms=8))
+        assert base != tuning_key(["f1"], GemmProblem, DEFAULT_CONFIG,
+                                  qualifier="other")
+
+
+# ---------------------------------------------------------------------------
+# Persistence round-trip across processes + warm zero-measurement reuse
+# ---------------------------------------------------------------------------
+
+
+class TestCrossProcessPersistence:
+    def _run_cli(self, tmp_path, tune_dir, expect):
+        json_path = tmp_path / f"tune-{expect}.json"
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+        env["REPRO_TUNE_DIR"] = str(tune_dir)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.workloads", "tune", "gemm",
+             "--sweep", "smoke", "--expect-store", expect,
+             "--json", str(json_path)],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        return json.loads(json_path.read_text())
+
+    def test_warm_process_reuses_with_zero_measurements(self, tmp_path):
+        tune_dir = tmp_path / "tuned"
+        cold = self._run_cli(tmp_path, tune_dir, "miss")
+        warm = self._run_cli(tmp_path, tune_dir, "hit")
+
+        assert cold["tune"][0]["from_store"] is False
+        assert cold["tune"][0]["measurements"] > 0
+        assert cold["counters"]["tune_measurements"] > 0
+
+        assert warm["tune"][0]["from_store"] is True
+        assert warm["tune"][0]["measurements"] == 0
+        assert warm["counters"]["tune_measurements"] == 0
+        assert warm["counters"]["compile_passes_run"] == 0
+
+        assert warm["tune"][0]["tuned_tflops"] == cold["tune"][0]["tuned_tflops"]
+        assert warm["tune"][0]["config"] == cold["tune"][0]["config"]
+        # The tuned config must beat (or tie) the hand-written default.
+        assert warm["tune"][0]["tuned_tflops"] >= warm["tune"][0]["default_tflops"]
+
+
+# ---------------------------------------------------------------------------
+# Stale-entry invalidation on kernel fingerprint change
+# ---------------------------------------------------------------------------
+
+
+class TestStaleInvalidation:
+    def test_kernel_edit_moves_the_key(self, scale_workload, tmp_path):
+        store = TuneStore(tmp_path)
+        tuner = Autotuner(store=store, top_k=2)
+        cold = tuner.tune(scale_workload.name, space=_small_space())
+        assert not cold.from_store
+
+        warm = tuner.tune(scale_workload.name, space=_small_space())
+        assert warm.from_store
+        assert warm.measurements == 0
+        assert warm.key == cold.key
+
+        global SCALE
+        original = SCALE
+        SCALE = 3.5  # the kernel body reads this: its fingerprint must move
+        try:
+            stale = tuner.tune(scale_workload.name, space=_small_space())
+            assert stale.key != cold.key
+            assert not stale.from_store  # old entry can never serve the edit
+            assert stale.measurements > 0
+        finally:
+            SCALE = original
+
+        # Restoring the constant restores the original key -> warm again.
+        restored = tuner.tune(scale_workload.name, space=_small_space())
+        assert restored.from_store
+        assert restored.key == cold.key
