@@ -19,9 +19,13 @@ Two tiers:
   resource metadata, options and artifact provenance, written atomically
   (temp file + ``os.replace``) and stamped with :data:`CACHE_VERSION`.
   Entries are self-invalidating: a version mismatch, key mismatch or *any*
-  load failure (truncated pickle, unreadable file, incompatible class layout)
-  is treated as a miss -- the entry is discarded and the kernel recompiled,
-  never crashed on.
+  load failure (truncated pickle, unreadable file, transient ``OSError``,
+  ENOSPC mid-write, incompatible class layout) is treated as a miss -- the
+  damaged entry is *quarantined* (renamed to ``<entry>.corrupt``, counted by
+  ``compile_disk_quarantined``, so the evidence survives for diagnosis while
+  never matching a future lookup) and the kernel recompiled, never crashed
+  on.  The :mod:`repro.faults` hooks in :meth:`DiskCache.load` /
+  :meth:`DiskCache.store` exist so tests can inject exactly these failures.
 
 Execution plans are not pickled (their instruction streams are closures);
 the service rebuilds them eagerly while finalizing a disk-loaded artifact,
@@ -40,6 +44,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Optional
 
+from repro import faults
 from repro.perf.counters import COUNTERS
 
 #: Bump whenever the pickled payload layout or the semantics of compiled
@@ -149,25 +154,27 @@ class DiskCache:
     def load(self, key: str) -> Optional[dict]:
         """The payload stored for ``key``, or ``None`` (miss).
 
-        Corrupted, stale-version or mismatched entries are removed
-        (best-effort) and reported as misses -- a damaged cache costs a
+        Corrupted, stale-version, mismatched or unreadable (transient
+        ``OSError``) entries are quarantined (best-effort rename to
+        ``*.corrupt``) and reported as misses -- a damaged cache costs a
         recompile, never a crash.
         """
         path = self.path_for(key)
         try:
+            faults.raise_injected_io("cache_read", path)
             with open(path, "rb") as fh:
                 payload = pickle.load(fh)
         except FileNotFoundError:
             return None
         except Exception:
             COUNTERS.compile_disk_errors += 1
-            self._discard(path)
+            self._quarantine(path)
             return None
         if (not isinstance(payload, dict)
                 or payload.get("version") != CACHE_VERSION
                 or payload.get("key") != key):
             COUNTERS.compile_disk_errors += 1
-            self._discard(path)
+            self._quarantine(path)
             return None
         return payload
 
@@ -184,18 +191,34 @@ class DiskCache:
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
         try:
             self.root.mkdir(parents=True, exist_ok=True)
+            faults.raise_injected_io("cache_write", path)
             with open(tmp, "wb") as fh:
                 pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except Exception:
             COUNTERS.compile_disk_errors += 1
-            self._discard(tmp)
+            # A partial temp file is the write's evidence; quarantine it so
+            # it can be inspected but can never be picked up by a lookup.
+            self._quarantine(tmp)
             return False
         COUNTERS.compile_disk_writes += 1
         return True
 
     @staticmethod
-    def _discard(path: Path) -> None:
+    def _quarantine(path: Path) -> None:
+        """Move a damaged entry out of the lookup namespace (best-effort).
+
+        ``<name>.corrupt`` never matches ``path_for`` or a ``*.pkl`` glob, so
+        the entry is a guaranteed miss from here on while the bytes survive
+        for diagnosis.  Falls back to unlinking when even the rename fails
+        (e.g. a read-only directory); a path that no longer exists is a no-op.
+        """
+        try:
+            os.replace(path, path.with_name(f"{path.name}.corrupt"))
+            COUNTERS.compile_disk_quarantined += 1
+            return
+        except OSError:
+            pass
         try:
             os.unlink(path)
         except OSError:

@@ -111,7 +111,9 @@ class Device:
 
     def __init__(self, config: H100Config = DEFAULT_CONFIG, mode: str = "functional",
                  max_ctas_per_sm_simulated: int = 8, collect_trace: bool = False,
-                 use_plans: Optional[bool] = None, workers: Optional[int] = None):
+                 use_plans: Optional[bool] = None, workers: Optional[int] = None,
+                 shard_timeout: Optional[float] = None,
+                 shard_retries: Optional[int] = None):
         if mode not in ("functional", "performance"):
             raise ValueError(f"unknown device mode {mode!r}")
         self.config = config
@@ -127,6 +129,13 @@ class Device:
         # 0 or "auto" selects the CPU count.  Results are bit-identical to
         # serial.
         self.workers = parallel.resolve_workers(workers)
+        # Supervision policy for sharded launches (repro.gpusim.parallel):
+        # seconds without worker progress before a shard is declared hung
+        # (None consults REPRO_SIM_SHARD_TIMEOUT; 0 disables the deadline)
+        # and re-forks per failed shard before the in-process serial fallback
+        # (None consults REPRO_SIM_SHARD_RETRIES).
+        self.shard_timeout = parallel.resolve_shard_timeout(shard_timeout)
+        self.shard_retries = parallel.resolve_shard_retries(shard_retries)
 
     # ------------------------------------------------------------------ executor
 
@@ -139,6 +148,8 @@ class Device:
             collect_trace=self.collect_trace,
             use_plans=self.use_plans,
             workers=self.workers,
+            shard_timeout=self.shard_timeout,
+            shard_retries=self.shard_retries,
         )
 
     def executor(self) -> executors.ExecutorBase:

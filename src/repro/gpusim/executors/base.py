@@ -59,6 +59,12 @@ class ExecutorSettings:
     collect_trace: bool = False
     use_plans: bool = True
     workers: int = 1
+    #: supervision policy for sharded launches (see repro.gpusim.parallel):
+    #: seconds a shard may go without progress before it is declared hung
+    #: (0 disables the deadline), and re-forks per failed shard before the
+    #: parent degrades to re-executing that shard serially in-process.
+    shard_timeout: float = 60.0
+    shard_retries: int = 2
 
     @property
     def functional(self) -> bool:

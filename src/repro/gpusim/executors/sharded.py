@@ -1,12 +1,18 @@
 """The sharded executor: functional grids forked across worker processes.
 
 Wraps :mod:`repro.gpusim.parallel` (round-robin CTA sharding, fork
-inheritance, deterministic launch-order merge) in the :class:`Executor`
-protocol.  The executor owns the whole shared-buffer lifecycle: every
-functional buffer reachable from the launch arguments is re-backed with an
-anonymous shared mapping before the workers fork and re-privatized as soon
-as they are joined (or the launch is aborted), so a long batched sweep never
-accumulates live mappings.
+inheritance, worker supervision, deterministic launch-order merge) in the
+:class:`Executor` protocol.  The executor owns the whole shared-buffer
+lifecycle: every functional buffer reachable from the launch arguments is
+re-backed with an anonymous shared mapping before the workers fork and
+re-privatized exactly once when the launch ends -- merge, serial fallback,
+worker-reported error or abort alike -- so a long batched sweep never
+accumulates live mappings and ``parallel_shared_bytes`` returns to 0 on
+every recovery path.
+
+Supervision policy (hang deadline, retry budget) comes from the device via
+:class:`~repro.gpusim.executors.base.ExecutorSettings` and is handed to the
+parallel layer as a :class:`~repro.gpusim.parallel.SupervisorConfig`.
 
 ``submit`` is asynchronous -- construction of the
 :class:`~repro.gpusim.parallel.ParallelLaunch` forks the workers and returns
@@ -22,7 +28,7 @@ from repro.gpusim import parallel
 from repro.gpusim.executors.base import CtaRow, InflightLaunch
 from repro.gpusim.executors.serial import SerialExecutor
 from repro.gpusim.launch import LaunchResult, PreparedLaunch
-from repro.gpusim.memory import GlobalBuffer, Pointer, TensorDesc
+from repro.gpusim.memory import release_buffers, share_buffers
 
 
 class ShardedExecutor(SerialExecutor):
@@ -40,6 +46,13 @@ class ShardedExecutor(SerialExecutor):
             return 1
         return max(1, min(self.settings.workers, len(prepared.cta_ids)))
 
+    def supervisor_config(self) -> parallel.SupervisorConfig:
+        """The supervision policy this executor's launches run under."""
+        return parallel.SupervisorConfig(
+            timeout=self.settings.shard_timeout,
+            retries=self.settings.shard_retries,
+        )
+
     def execute(self, prepared: PreparedLaunch) -> List[CtaRow]:
         workers = self.effective_workers(prepared)
         if workers <= 1:
@@ -47,7 +60,8 @@ class ShardedExecutor(SerialExecutor):
         self.share_launch_buffers(prepared)
         try:
             return parallel.run_sharded(self.cta_runner(prepared),
-                                        prepared.cta_ids, workers)
+                                        prepared.cta_ids, workers,
+                                        supervisor=self.supervisor_config())
         finally:
             self.release_launch_buffers(prepared)
 
@@ -65,7 +79,8 @@ class ShardedExecutor(SerialExecutor):
         # shared buffers, so a fork failure must release them here.
         try:
             launched = parallel.ParallelLaunch(self.cta_runner(prepared),
-                                               prepared.cta_ids, workers)
+                                               prepared.cta_ids, workers,
+                                               supervisor=self.supervisor_config())
         except BaseException:
             self.release_launch_buffers(prepared)
             raise
@@ -76,32 +91,22 @@ class ShardedExecutor(SerialExecutor):
     def share_launch_buffers(self, prepared: PreparedLaunch) -> None:
         """Re-back every functional buffer of a launch with shared memory.
 
-        Must run before the launch's workers fork: tile stores and scatters
-        they execute land in these mappings, which is how functional outputs
-        come back to the parent.  Idempotent, and also applied to read-only
-        inputs (distinguishing them from outputs is not worth the copy it
-        would save).
+        Delegates to :func:`repro.gpusim.memory.share_buffers`; see there for
+        the lifecycle rules (one share per launch, mappings survive
+        supervised retries, one release on any exit path).
         """
-        for value in prepared.arg_values:
-            if isinstance(value, (Pointer, TensorDesc)):
-                value.buffer.make_shared()
-            elif isinstance(value, GlobalBuffer):
-                value.make_shared()
+        share_buffers(prepared.arg_values)
 
     def release_launch_buffers(self, prepared: PreparedLaunch) -> None:
-        """Re-privatize a sharded launch's buffers once its workers are joined.
+        """Re-privatize a sharded launch's buffers once the launch has ended.
 
-        Inverse of :meth:`share_launch_buffers`: the post-fork merge has
-        completed (or the launch was aborted), so the anonymous shared
-        mappings are unmapped *now* instead of whenever GC notices -- a long
-        batched sweep must not accumulate live mappings.  A buffer reused by
-        a later launch of the same batch is simply re-shared then.
+        Inverse of :meth:`share_launch_buffers`, delegating to
+        :func:`repro.gpusim.memory.release_buffers`.  Runs in a ``finally``
+        on every exit path -- merge, worker-reported error, exhausted-retries
+        serial fallback, abort -- so the ``parallel_shared_bytes`` gauge
+        returns to 0 no matter how the launch ended.
         """
-        for value in prepared.arg_values:
-            if isinstance(value, (Pointer, TensorDesc)):
-                value.buffer.release_shared()
-            elif isinstance(value, GlobalBuffer):
-                value.release_shared()
+        release_buffers(prepared.arg_values)
 
 
 class _ShardedInflight(InflightLaunch):

@@ -361,6 +361,46 @@ class Pointer:
         return ()
 
 
+def _reachable_buffers(values) -> "list[GlobalBuffer]":
+    buffers = []
+    for value in values:
+        if isinstance(value, (Pointer, TensorDesc)):
+            buffers.append(value.buffer)
+        elif isinstance(value, GlobalBuffer):
+            buffers.append(value)
+    return buffers
+
+
+def share_buffers(values) -> None:
+    """Re-back every buffer reachable from launch arguments with shared memory.
+
+    Must run before a sharded launch's workers fork: tile stores and scatters
+    they execute land in these mappings, which is how functional outputs come
+    back to the parent.  Idempotent, and also applied to read-only inputs
+    (distinguishing them from outputs is not worth the copy it would save).
+    The mappings stay live for the *whole* launch, including supervised
+    retries: a re-forked shard inherits the current mappings (re-mapping
+    between attempts would disconnect surviving workers still writing into
+    the old region), and :func:`release_buffers` runs exactly once, after the
+    merge / serial fallback / abort.
+    """
+    for buffer in _reachable_buffers(values):
+        buffer.make_shared()
+
+
+def release_buffers(values) -> None:
+    """Re-privatize a sharded launch's buffers once its workers are joined.
+
+    Inverse of :func:`share_buffers`; run on every launch exit path --
+    success, worker-reported error, exhausted-retries serial fallback, abort
+    -- so ``sim_counters()['parallel_shared_bytes']`` returns to 0 no matter
+    how the launch ended.  A buffer reused by a later launch of the same
+    batch is simply re-shared then.
+    """
+    for buffer in _reachable_buffers(values):
+        buffer.release_shared()
+
+
 class SmemTile:
     """One staging buffer in shared memory (possibly a ring of slots).
 

@@ -1,4 +1,4 @@
-"""Sharded multi-process CTA execution.
+"""Sharded multi-process CTA execution with worker supervision.
 
 All CTAs of a functional launch are independent -- each gets a fresh
 :class:`~repro.gpusim.engine.Engine` and :class:`SMResources`, and distinct
@@ -18,10 +18,10 @@ Design notes:
   finalize time (:class:`repro.core.service.CompilerService`), and the device
   resolves the remaining per-launch state (argument binding, buffer sharing)
   before forking -- so each child starts with the complete launch state
-  already in its address space.  Only the small, picklable pieces cross the boundary at
-  runtime: a :class:`CtaShard` (worker index + CTA ids) on the way in, and
-  per-CTA ``(linear_id, cycles, tc_busy, bytes_copied)`` rows plus a counter
-  snapshot on the way out.
+  already in its address space.  Only the small, picklable pieces cross the
+  boundary at runtime: a :class:`CtaShard` (worker index + CTA ids) on the
+  way in, and heartbeats plus per-CTA ``(linear_id, cycles, tc_busy,
+  bytes_copied)`` rows and a counter snapshot on the way out.
 * **Outputs come back through shared memory.**  The device re-backs every
   functional buffer reachable from the launch arguments with an anonymous
   shared mapping (:meth:`repro.gpusim.memory.GlobalBuffer.make_shared`)
@@ -31,6 +31,29 @@ Design notes:
   trip counts balance across workers, mirroring the stratified perf-mode
   sample), but results are re-ordered by the launch's original CTA order and
   the per-worker counter deltas are summed, which is order-insensitive.
+* **Supervision.**  The parent tracks a per-shard state machine (*forked* ->
+  *running* -> *merged*).  Worker death is detected by pipe EOF + exitcode;
+  worker hangs by a per-shard progress deadline
+  (:data:`REPRO_SIM_SHARD_TIMEOUT` seconds without a message -- workers send
+  throttled heartbeats between CTAs, so long shards are not falsely killed);
+  corrupt pipe messages by unpickling/shape failures.  Any of the three
+  re-forks *just the failed shard* with exponential backoff, up to
+  :data:`REPRO_SIM_SHARD_RETRIES` attempts, and then degrades to in-process
+  serial re-execution of that shard (never the whole launch).  Re-running a
+  shard is safe because CTAs are deterministic and idempotent: they rewrite
+  exactly their own output tiles with identical values, and a failed shard's
+  counter snapshot is never merged, so recovered launches stay bit-identical
+  to serial and counters stay single-counted.  Worker-*reported* exceptions
+  (the simulation itself raised) are deterministic application errors and
+  are re-raised immediately, not retried.
+
+Every failure path keeps the shared-mapping lifecycle intact: retried shards
+inherit the launch's *existing* ``MAP_SHARED`` regions at re-fork time
+(releasing and re-mapping between attempts would disconnect the surviving
+workers still writing into them), and release happens exactly once per
+launch -- after the merge, the terminal serial fallback, or the abort/raise
+-- so ``sim_counters()['parallel_shared_bytes']`` returns to 0 no matter
+which recovery path ran.
 
 Workers are plain ``fork`` processes with one result pipe each -- no pool
 threads -- so a launch can be left running in the background (see
@@ -41,15 +64,32 @@ launch *i+1* with execution of launch *i*.
 
 from __future__ import annotations
 
+import math
 import multiprocessing as mp
 import os
+import time
 from multiprocessing import connection as mp_connection
 import traceback
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.gpusim.engine import SimulationError
 from repro.perf.counters import COUNTERS
+
+#: Seconds a worker may go without sending any message (heartbeat or result)
+#: before the parent declares it hung and recovers.  ``0`` disables the
+#: deadline (and heartbeats with it).
+SHARD_TIMEOUT_ENV = "REPRO_SIM_SHARD_TIMEOUT"
+DEFAULT_SHARD_TIMEOUT = 60.0
+
+#: How many times a failed shard is re-forked before the parent degrades to
+#: re-executing it serially in-process.
+SHARD_RETRIES_ENV = "REPRO_SIM_SHARD_RETRIES"
+DEFAULT_SHARD_RETRIES = 2
+
+#: Base delay before the first re-fork; doubles per subsequent attempt.
+DEFAULT_RETRY_BACKOFF = 0.05
 
 
 def fork_available() -> bool:
@@ -89,6 +129,72 @@ def resolve_workers(workers: Optional[int] = None,
     return max(1, workers)
 
 
+def resolve_shard_timeout(timeout: Optional[float] = None) -> float:
+    """The effective per-shard progress deadline in seconds (0 = disabled)."""
+    if timeout is None:
+        raw = os.environ.get(SHARD_TIMEOUT_ENV, "").strip()
+        if not raw:
+            return DEFAULT_SHARD_TIMEOUT
+        try:
+            timeout = float(raw)
+        except ValueError:
+            raise SimulationError(
+                f"invalid {SHARD_TIMEOUT_ENV}={raw!r}; expected seconds (0 disables)"
+            ) from None
+    timeout = float(timeout)
+    if timeout < 0 or not math.isfinite(timeout):
+        raise SimulationError(f"invalid shard timeout {timeout}")
+    return timeout
+
+
+def resolve_shard_retries(retries: Optional[int] = None) -> int:
+    """The effective per-shard re-fork budget before serial fallback."""
+    if retries is None:
+        raw = os.environ.get(SHARD_RETRIES_ENV, "").strip()
+        if not raw:
+            return DEFAULT_SHARD_RETRIES
+        try:
+            retries = int(raw)
+        except ValueError:
+            raise SimulationError(
+                f"invalid {SHARD_RETRIES_ENV}={raw!r}; expected an integer >= 0"
+            ) from None
+    retries = int(retries)
+    if retries < 0:
+        raise SimulationError(f"invalid shard retry count {retries}")
+    return retries
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """The supervision policy one sharded launch runs under."""
+
+    timeout: float = DEFAULT_SHARD_TIMEOUT
+    retries: int = DEFAULT_SHARD_RETRIES
+    backoff: float = DEFAULT_RETRY_BACKOFF
+
+    @classmethod
+    def from_env(cls) -> "SupervisorConfig":
+        return cls(timeout=resolve_shard_timeout(),
+                   retries=resolve_shard_retries())
+
+    @property
+    def heartbeat_interval(self) -> float:
+        """Seconds between worker heartbeats (0 = heartbeats disabled).
+
+        A quarter of the deadline keeps several heartbeats inside every
+        deadline window, capped at one per second so fast shards do not
+        spam the pipe.
+        """
+        if self.timeout <= 0:
+            return 0.0
+        return min(1.0, self.timeout / 4.0)
+
+    def retry_delay(self, attempt: int) -> float:
+        """Exponential backoff before re-fork ``attempt`` (1-based)."""
+        return self.backoff * (2.0 ** max(0, attempt - 1))
+
+
 @dataclass(frozen=True)
 class CtaShard:
     """The picklable work descriptor handed to one worker process."""
@@ -100,6 +206,13 @@ class CtaShard:
 #: One per-CTA result row: (linear_id, cycles, tc_busy_cycles, bytes_copied).
 CtaRow = Tuple[int, float, float, int]
 
+#: Per-shard supervision states (ShardState.status).
+FORKED = "forked"
+RUNNING = "running"
+BACKOFF = "backoff"
+MERGED = "merged"
+FAILED = "failed"
+
 
 def shard_cta_ids(cta_ids: Sequence[int], num_workers: int) -> List[CtaShard]:
     """Split a launch's CTA ids round-robin into at most ``num_workers`` shards."""
@@ -109,20 +222,45 @@ def shard_cta_ids(cta_ids: Sequence[int], num_workers: int) -> List[CtaShard]:
     return [s for s in shards if s.cta_ids]
 
 
+#: Bytes a pipe-corruption fault ships instead of the result tuple; not a
+#: valid pickle, so the parent's recv raises and the supervisor recovers.
+_CORRUPT_PAYLOAD = b"\xde\xad\xbe\xef repro fault: corrupted shard result"
+
+
 def _worker_main(conn, run_cta: Callable[[int], Tuple[float, float, int]],
-                 shard: CtaShard) -> None:
+                 shard: CtaShard, heartbeat_interval: float) -> None:
     """Body of one forked worker: simulate a shard, ship rows + counters back.
 
     The child's ``COUNTERS`` block is a copy-on-write snapshot of the parent's;
     resetting it first makes the final snapshot exactly this worker's delta,
     which the parent folds back in with :meth:`SimCounters.merge`.
+
+    Between CTAs the worker emits throttled ``("hb", index, done)`` progress
+    messages (at most one per ``heartbeat_interval`` seconds) so the parent's
+    hang deadline measures *lack of progress*, not shard length.  Fault hooks
+    (:mod:`repro.faults`) sit before each CTA (kill / hang) and before the
+    final send (pipe corruption).
     """
     COUNTERS.reset()
     try:
         rows: List[CtaRow] = []
-        for linear in shard.cta_ids:
+        last_beat = time.monotonic()
+        for ordinal, linear in enumerate(shard.cta_ids):
+            spec = faults.fire("worker", worker=shard.index, cta=ordinal)
+            if spec is not None:
+                if spec.kind == "kill":
+                    os._exit(faults.registry.FAULT_KILL_EXIT)
+                time.sleep(spec.seconds)  # "hang": the parent's deadline ends it
             cycles, busy, copied = run_cta(linear)
             rows.append((linear, cycles, busy, copied))
+            if heartbeat_interval > 0:
+                now = time.monotonic()
+                if now - last_beat >= heartbeat_interval:
+                    conn.send(("hb", shard.index, ordinal + 1))
+                    last_beat = now
+        if faults.fire("pipe", worker=shard.index) is not None:
+            conn.send_bytes(_CORRUPT_PAYLOAD)
+            return
         conn.send(("ok", shard.index, rows, COUNTERS.snapshot()))
     except BaseException as exc:  # noqa: BLE001 - must cross the process boundary
         conn.send(("error", shard.index,
@@ -131,77 +269,226 @@ def _worker_main(conn, run_cta: Callable[[int], Tuple[float, float, int]],
         conn.close()
 
 
+class ShardState:
+    """One shard's supervision record: process, pipe, deadline, attempts."""
+
+    __slots__ = ("shard", "proc", "conn", "status", "attempts", "deadline",
+                 "retry_at", "last_progress", "last_failure")
+
+    def __init__(self, shard: CtaShard):
+        self.shard = shard
+        self.proc = None
+        self.conn = None
+        self.status = FORKED
+        self.attempts = 0          # forks so far (1 after the initial fork)
+        self.deadline = math.inf   # monotonic instant the shard is declared hung
+        self.retry_at = 0.0        # monotonic instant a scheduled re-fork fires
+        self.last_progress = 0     # CTAs the live worker has reported done
+        self.last_failure = None   # reason string of the most recent failure
+
+    @property
+    def live(self) -> bool:
+        return self.status in (FORKED, RUNNING)
+
+
 class ParallelLaunch:
-    """One launch's forked workers; ``wait()`` yields the merged per-CTA rows.
+    """One launch's supervised forked workers; ``wait()`` yields merged rows.
 
     Construction forks the workers immediately (inheriting whatever launch
     state ``run_cta`` closes over), so the parent is free to do other work --
     compile the next launch, merge a previous one -- before calling
-    :meth:`wait`.
+    :meth:`wait`.  Supervision (hang deadlines, re-forks, serial fallback)
+    happens inside :meth:`wait`.
     """
 
     def __init__(self, run_cta: Callable[[int], Tuple[float, float, int]],
-                 cta_ids: Sequence[int], num_workers: int):
+                 cta_ids: Sequence[int], num_workers: int,
+                 supervisor: Optional[SupervisorConfig] = None):
         if not fork_available():  # pragma: no cover - linux containers have fork
             raise SimulationError("sharded execution requires fork()")
-        ctx = mp.get_context("fork")
+        # Materialize the fault registry (and its fork-shared budget cells)
+        # before the first fork, so workers inherit it.
+        faults.active_registry()
+        self.config = supervisor or SupervisorConfig.from_env()
+        self._ctx = mp.get_context("fork")
+        self._run_cta = run_cta
         self._cta_ids = list(cta_ids)
-        self._conns = {}
-        self._procs = {}
+        self._states: Dict[int, ShardState] = {}
         for shard in shard_cta_ids(self._cta_ids, num_workers):
-            recv, send = ctx.Pipe(duplex=False)
-            proc = ctx.Process(target=_worker_main, args=(send, run_cta, shard),
-                               daemon=True, name=f"repro-sim-worker-{shard.index}")
-            proc.start()
-            send.close()  # the child holds the write end now
-            self._conns[shard.index] = recv
-            self._procs[shard.index] = proc
-        self.num_workers = len(self._procs)
+            state = ShardState(shard)
+            self._states[shard.index] = state
+            self._fork(state)
+        self.num_workers = len(self._states)
         COUNTERS.parallel_launches += 1
-        COUNTERS.parallel_workers_forked += self.num_workers
+
+    # ------------------------------------------------------------------ forking
+
+    def _fork(self, state: ShardState) -> None:
+        recv, send = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(send, self._run_cta, state.shard,
+                  self.config.heartbeat_interval),
+            daemon=True,
+            name=f"repro-sim-worker-{state.shard.index}.{state.attempts}",
+        )
+        proc.start()
+        send.close()  # the child holds the write end now
+        state.proc, state.conn = proc, recv
+        state.status = FORKED
+        state.attempts += 1
+        state.last_progress = 0
+        if self.config.timeout > 0:
+            state.deadline = time.monotonic() + self.config.timeout
+        else:
+            state.deadline = math.inf
+        COUNTERS.parallel_workers_forked += 1
+
+    def _reap(self, state: ShardState) -> Optional[int]:
+        """Terminate (if needed) and join a shard's worker; its exit code."""
+        proc = state.proc
+        if proc is None:
+            return None
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - SIGTERM-ignoring child
+                proc.kill()
+                proc.join()
+        else:
+            proc.join()
+        if state.conn is not None:
+            state.conn.close()
+        state.proc, state.conn = None, None
+        return proc.exitcode
+
+    # ------------------------------------------------------------------ recovery
+
+    def _fail(self, state: ShardState, reason: str,
+              rows: Dict[int, Tuple[float, float, int]]) -> None:
+        """Recover a failed shard: schedule a re-fork or fall back to serial."""
+        state.last_failure = reason
+        self._reap(state)
+        if state.attempts <= self.config.retries:
+            delay = self.config.retry_delay(state.attempts)
+            state.status = BACKOFF
+            state.retry_at = time.monotonic() + delay
+            COUNTERS.shard_retries += 1
+            return
+        # Terminal fallback: re-execute just this shard, serially, in-process.
+        # The launch's buffers are still the shared mappings every surviving
+        # worker writes into, so parent-side stores land in the same place.
+        COUNTERS.shard_serial_fallbacks += 1
+        for linear in state.shard.cta_ids:
+            rows[linear] = self._run_cta(linear)
+        state.status = MERGED
 
     # ------------------------------------------------------------------ collection
 
+    def shard_states(self) -> Dict[int, str]:
+        """Shard index -> supervision state (observability / tests)."""
+        return {index: state.status for index, state in self._states.items()}
+
     def wait(self) -> List[Tuple[float, float, int]]:
-        """Collect every shard and return per-CTA results in launch order."""
-        rows = {}
-        errors = []
-        pending = dict(self._conns)
-        while pending:
-            ready = mp_connection.wait(list(pending.values()), timeout=0.25)
-            dead = []
-            for conn in ready:
-                index = next(i for i, c in pending.items() if c is conn)
-                try:
-                    msg = conn.recv()
-                except EOFError:
-                    dead.append(index)
-                    continue
-                if msg[0] == "ok":
-                    _, _, shard_rows, counters = msg
-                    for linear, cycles, busy, copied in shard_rows:
-                        rows[linear] = (cycles, busy, copied)
-                    COUNTERS.merge(counters)
-                else:
-                    errors.append(f"worker {msg[1]}: {msg[2]}\n{msg[3]}")
-                conn.close()
-                del pending[index]
-            for index in dead:
-                proc = self._procs[index]
-                proc.join()
-                errors.append(
-                    f"worker {index} died without reporting "
-                    f"(exit code {proc.exitcode})"
-                )
-                pending[index].close()
-                del pending[index]
-        for proc in self._procs.values():
-            proc.join()
-        if errors:
-            raise SimulationError(
-                "sharded execution failed:\n" + "\n".join(errors)
-            )
+        """Collect every shard and return per-CTA results in launch order.
+
+        Runs the supervision loop: drains messages, refreshes progress
+        deadlines, re-forks failed shards after their backoff, and serially
+        re-executes shards that exhausted their retries.  Worker-reported
+        exceptions abort the launch immediately (they are deterministic
+        simulation errors, not infrastructure failures).
+        """
+        rows: Dict[int, Tuple[float, float, int]] = {}
+        try:
+            while True:
+                pending = [s for s in self._states.values()
+                           if s.status != MERGED]
+                if not pending:
+                    break
+                now = time.monotonic()
+                for state in pending:
+                    if state.status == BACKOFF and now >= state.retry_at:
+                        self._fork(state)
+                self._drain(rows)
+                now = time.monotonic()
+                for state in self._states.values():
+                    if state.live and now > state.deadline:
+                        COUNTERS.shard_timeouts += 1
+                        self._fail(
+                            state,
+                            f"worker {state.shard.index} made no progress for "
+                            f"{self.config.timeout}s", rows)
+                faults.sync_fired()
+        except BaseException:
+            self.abort()
+            raise
+        faults.sync_fired()
         return [rows[linear] for linear in self._cta_ids]
+
+    def _drain(self, rows: Dict[int, Tuple[float, float, int]]) -> None:
+        """One supervision step: wait for messages/deadlines, process them."""
+        live = {s.conn: s for s in self._states.values() if s.live}
+        now = time.monotonic()
+        wakeups = [s.deadline for s in self._states.values() if s.live]
+        wakeups += [s.retry_at for s in self._states.values()
+                    if s.status == BACKOFF]
+        horizon = min(wakeups) if wakeups else now
+        timeout = None if horizon == math.inf else max(0.0, horizon - now)
+        if not live:
+            if timeout:
+                time.sleep(min(timeout, 0.25))
+            return
+        ready = mp_connection.wait(list(live), timeout=timeout)
+        for conn in ready:
+            state = live[conn]
+            try:
+                msg = conn.recv()
+            except EOFError:
+                code = self._reap(state)
+                self._fail(
+                    state,
+                    f"worker {state.shard.index} died without reporting "
+                    f"(exit code {code})", rows)
+                continue
+            except Exception as exc:
+                self._fail(
+                    state,
+                    f"worker {state.shard.index} sent a corrupt message "
+                    f"({type(exc).__name__}: {exc})", rows)
+                continue
+            self._handle(state, msg, rows)
+
+    def _handle(self, state: ShardState, msg,
+                rows: Dict[int, Tuple[float, float, int]]) -> None:
+        if not (isinstance(msg, tuple) and msg and isinstance(msg[0], str)):
+            self._fail(
+                state,
+                f"worker {state.shard.index} sent a malformed message "
+                f"{msg!r}", rows)
+            return
+        if msg[0] == "hb":
+            state.status = RUNNING
+            state.last_progress = msg[2]
+            if self.config.timeout > 0:
+                state.deadline = time.monotonic() + self.config.timeout
+        elif msg[0] == "ok":
+            _, _, shard_rows, counters = msg
+            for linear, cycles, busy, copied in shard_rows:
+                rows[linear] = (cycles, busy, copied)
+            COUNTERS.merge(counters)
+            self._reap(state)
+            state.status = MERGED
+        elif msg[0] == "error":
+            self._reap(state)
+            state.status = FAILED
+            raise SimulationError(
+                f"sharded execution failed:\nworker {msg[1]}: {msg[2]}\n{msg[3]}"
+            )
+        else:
+            self._fail(
+                state,
+                f"worker {state.shard.index} sent an unknown message tag "
+                f"{msg[0]!r}", rows)
 
     def abort(self) -> None:
         """Terminate the workers without collecting results.
@@ -210,17 +497,13 @@ class ParallelLaunch:
         waited on; otherwise the forked children would linger (blocked on a
         full result pipe) for the life of the parent process.
         """
-        for proc in self._procs.values():
-            if proc.is_alive():
-                proc.terminate()
-        for proc in self._procs.values():
-            proc.join()
-        for conn in self._conns.values():
-            conn.close()
+        for state in self._states.values():
+            self._reap(state)
 
 
 def run_sharded(run_cta: Callable[[int], Tuple[float, float, int]],
-                cta_ids: Sequence[int],
-                num_workers: int) -> List[Tuple[float, float, int]]:
-    """Fork, shard, execute and merge one launch synchronously."""
-    return ParallelLaunch(run_cta, cta_ids, num_workers).wait()
+                cta_ids: Sequence[int], num_workers: int,
+                supervisor: Optional[SupervisorConfig] = None,
+                ) -> List[Tuple[float, float, int]]:
+    """Fork, shard, execute, supervise and merge one launch synchronously."""
+    return ParallelLaunch(run_cta, cta_ids, num_workers, supervisor).wait()

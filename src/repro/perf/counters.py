@@ -42,6 +42,11 @@ class SimCounters:
     compile_disk_misses: int = 0
     compile_disk_writes: int = 0
     compile_disk_errors: int = 0
+    #: disk entries quarantined (renamed to *.corrupt) after an IO failure
+    #: or corruption, instead of being deleted -- the evidence survives, the
+    #: launch falls back to a cold compile / re-tune
+    compile_disk_quarantined: int = 0
+    tune_store_quarantined: int = 0
     #: pass-pipeline executions (repro.ir.passes timing hook): total passes
     #: run, total compile wall-seconds, and per-pass wall-seconds.  A process
     #: that satisfies every compile from the caches keeps these at zero.
@@ -59,6 +64,15 @@ class SimCounters:
     #: sharded execution (repro.gpusim.parallel)
     parallel_launches: int = 0
     parallel_workers_forked: int = 0
+    #: shard supervision (repro.gpusim.parallel): re-forks after a worker
+    #: death/hang/corrupt result, hang deadlines that fired, and shards that
+    #: exhausted their retries and re-executed serially in the parent
+    shard_retries: int = 0
+    shard_timeouts: int = 0
+    shard_serial_fallbacks: int = 0
+    #: faults fired by the active repro.faults registry (tree-wide: fires
+    #: inside worker processes are folded in by the registry's owner)
+    faults_injected: int = 0
     #: bytes currently live in anonymous MAP_SHARED launch-buffer mappings
     #: (a gauge, not a cumulative counter: GlobalBuffer.make_shared adds,
     #: GlobalBuffer.release_shared subtracts; a quiesced process reads 0)

@@ -12,9 +12,15 @@ persisted best config for it silently misses: stale entries can never serve
 a mutated kernel.
 
 Like the compile cache's disk tier, entries are self-invalidating: a version
-mismatch, key mismatch or any load failure (truncated JSON, unknown options
-field after a ``CompileOptions`` schema change) is treated as a miss and the
-entry discarded -- a damaged store costs a re-tune, never a crash.
+mismatch, key mismatch or any load failure (truncated JSON, transient
+``OSError``, unknown options field after a ``CompileOptions`` schema change)
+is treated as a miss and the entry *quarantined* -- renamed to
+``<entry>.corrupt`` (counted by ``tune_store_quarantined``) so the evidence
+survives while never matching a future lookup.  A damaged store costs a
+re-tune, never a crash; the :mod:`repro.faults` hooks in
+:meth:`TuneStore.load` / :meth:`TuneStore.store` let tests inject exactly
+these failures (``match=`` the tune directory to scope a fault to this
+tier).
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.core.cache import stable_digest
 from repro.core.options import CompileOptions
 from repro.perf.counters import COUNTERS
@@ -110,18 +117,20 @@ class TuneStore:
     def load(self, key: str) -> Optional[TunedRecord]:
         """The record stored for ``key``, or ``None`` (miss).
 
-        Corrupted, stale-version or mismatched entries are removed
-        (best-effort) and reported as misses.
+        Corrupted, stale-version, mismatched or unreadable (transient
+        ``OSError``) entries are quarantined (best-effort rename to
+        ``*.corrupt``) and reported as misses.
         """
         path = self.path_for(key)
         try:
+            faults.raise_injected_io("cache_read", path)
             with open(path, "r", encoding="utf-8") as fh:
                 payload = json.load(fh)
         except FileNotFoundError:
             COUNTERS.tune_store_misses += 1
             return None
         except Exception:
-            self._discard(path)
+            self._quarantine(path)
             COUNTERS.tune_store_misses += 1
             return None
         try:
@@ -133,7 +142,7 @@ class TuneStore:
         except Exception:
             # Includes CompileError on CompileOptions schema drift: a stored
             # field set the current dataclass rejects must re-tune, not crash.
-            self._discard(path)
+            self._quarantine(path)
             COUNTERS.tune_store_misses += 1
             return None
         COUNTERS.tune_store_hits += 1
@@ -149,16 +158,30 @@ class TuneStore:
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
         try:
             self.root.mkdir(parents=True, exist_ok=True)
+            faults.raise_injected_io("cache_write", path)
             with open(tmp, "w", encoding="utf-8") as fh:
                 json.dump(record.payload(), fh, indent=2, sort_keys=True)
             os.replace(tmp, path)
         except Exception:
-            self._discard(tmp)
+            self._quarantine(tmp)
             return False
         return True
 
     @staticmethod
-    def _discard(path: Path) -> None:
+    def _quarantine(path: Path) -> None:
+        """Move a damaged entry out of the lookup namespace (best-effort).
+
+        Mirrors :meth:`repro.core.cache.DiskCache._quarantine`:
+        ``<name>.corrupt`` never matches ``path_for`` or a ``*.json`` glob,
+        so the entry is a guaranteed miss while the bytes survive for
+        diagnosis.  Falls back to unlinking when the rename fails.
+        """
+        try:
+            os.replace(path, path.with_name(f"{path.name}.corrupt"))
+            COUNTERS.tune_store_quarantined += 1
+            return
+        except OSError:
+            pass
         try:
             os.unlink(path)
         except OSError:

@@ -29,6 +29,11 @@ Two kernel families are fuzzed:
   reduction epilogue) with randomized split counts and tile shapes,
   submitted through ``Device.run_many``; exercises cross-launch buffer
   reuse under sharding and the reduction-epilogue accumulation order.
+* *chaos* -- a seeded GEMM case with **one random injected fault**
+  (worker kill, worker hang or pipe corruption, via :mod:`repro.faults`)
+  per iteration: the sharded launch must recover -- retry, or degrade to
+  the in-process serial fallback -- and still produce an
+  :class:`Observation` bit-identical to the serial plans engine.
 
 On failure the harness *shrinks* the case (halving sizes, simplifying ops
 and options) and reports the smallest configuration that still disagrees,
@@ -48,6 +53,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.core.options import CompileOptions, NAIVE_OPTIONS, TRITON_BASELINE_OPTIONS
 from repro.frontend import kernel, tl
 from repro.gpusim.device import Device
@@ -259,7 +265,9 @@ class GemmCase:
         )
 
     def execute(self, engine: str) -> Observation:
-        device = _device(engine)
+        return self.observe(_device(engine))
+
+    def observe(self, device: Device) -> Observation:
         problem = self.problem()
         args, _, _ = make_gemm_inputs(problem, device)
         result = device.run(
@@ -464,6 +472,76 @@ class SplitKCase:
 
 
 # ---------------------------------------------------------------------------
+# Family 5: chaos -- sharded execution with one injected fault per case
+# ---------------------------------------------------------------------------
+
+_CHAOS_FAULT_KINDS = ("kill", "hang", "pipe")
+
+#: Supervision policy the chaos cases run under: a short hang deadline (so a
+#: faulted-in hang resolves in test time, with heartbeats scaled down with
+#: it) and the default retry budget.
+_CHAOS_TIMEOUT = 0.5
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """A sharded GEMM launch with one randomly-placed injected fault.
+
+    The fault targets a random worker (and, for kill/hang, a random CTA
+    ordinal within its shard -- which may not exist, in which case nothing
+    fires and the case degenerates to a clean differential: also worth
+    checking).  The supervised launch must recover and match the serial
+    plans engine bit-for-bit.
+    """
+
+    gemm: GemmCase
+    fault_kind: str
+    fault_worker: int
+    fault_cta: int
+
+    def describe(self) -> str:
+        return (f"chaos({self.fault_spec()} into {self.gemm.describe()})")
+
+    @classmethod
+    def random(cls, rng: np.random.Generator) -> "ChaosCase":
+        gemm = GemmCase.random(rng)
+        if gemm.m_blocks * gemm.n_blocks < 2:
+            # The launch must actually shard for the fault to have a target.
+            gemm = dataclasses.replace(gemm, n_blocks=2)
+        return cls(
+            gemm=gemm,
+            fault_kind=_CHAOS_FAULT_KINDS[int(rng.integers(0, 3))],
+            fault_worker=int(rng.integers(0, 2)),
+            fault_cta=int(rng.integers(0, 2)),
+        )
+
+    def fault_spec(self) -> str:
+        if self.fault_kind == "pipe":
+            return f"pipe:worker={self.fault_worker}"
+        # seconds far beyond the deadline: the supervisor, not the sleep,
+        # must end an injected hang
+        return (f"{self.fault_kind}:worker={self.fault_worker},"
+                f"cta={self.fault_cta},seconds=60")
+
+    def execute(self, engine: str) -> Observation:
+        if engine != "sharded":
+            return self.gemm.execute(engine)
+        device = Device(mode="functional", use_plans=True, workers=2,
+                        shard_timeout=_CHAOS_TIMEOUT, shard_retries=2)
+        with faults.inject_faults(self.fault_spec()):
+            return self.gemm.observe(device)
+
+    def shrink_candidates(self) -> List["ChaosCase"]:
+        out = [dataclasses.replace(self, gemm=candidate)
+               for candidate in self.gemm.shrink_candidates()]
+        if self.fault_cta != 0:
+            out.append(dataclasses.replace(self, fault_cta=0))
+        if self.fault_worker != 0:
+            out.append(dataclasses.replace(self, fault_worker=0))
+        return out
+
+
+# ---------------------------------------------------------------------------
 # The differential harness
 # ---------------------------------------------------------------------------
 
@@ -533,6 +611,13 @@ def test_fuzz_rowop(case):
 @pytest.mark.parametrize("case", _cases(SplitKCase.random, CASES_PER_FAMILY, 4),
                          ids=lambda c: c.describe())
 def test_fuzz_splitk(case):
+    _check(case)
+
+
+@pytest.mark.parametrize("case", _cases(ChaosCase.random, CASES_PER_FAMILY, 5),
+                         ids=lambda c: c.describe())
+def test_fuzz_chaos(case):
+    """Sharded execution stays bit-identical to serial under injected faults."""
     _check(case)
 
 

@@ -15,6 +15,7 @@ import os
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.core.options import CompileOptions
 from repro.frontend.errors import FrontendError
 from repro.gpusim.device import Device, LaunchSpec
@@ -22,8 +23,12 @@ from repro.gpusim.engine import SimulationError
 from repro.gpusim.memory import GlobalBuffer, shared_ndarray
 from repro.gpusim.parallel import (
     CtaShard,
+    MERGED,
     ParallelLaunch,
+    SupervisorConfig,
     fork_available,
+    resolve_shard_retries,
+    resolve_shard_timeout,
     resolve_workers,
     run_sharded,
     shard_cta_ids,
@@ -86,6 +91,51 @@ class TestShardingPrimitives:
         monkeypatch.setenv("REPRO_SIM_WORKERS", "2")
         assert Device().workers == (2 if fork_available() else 1)
         assert Device(workers=1).workers == 1
+
+    def test_resolve_shard_timeout(self, monkeypatch):
+        assert resolve_shard_timeout(2.5) == 2.5
+        assert resolve_shard_timeout(0) == 0.0
+        monkeypatch.setenv("REPRO_SIM_SHARD_TIMEOUT", "7.5")
+        assert resolve_shard_timeout(None) == 7.5
+        monkeypatch.setenv("REPRO_SIM_SHARD_TIMEOUT", "")
+        assert resolve_shard_timeout(None) == 60.0
+        monkeypatch.setenv("REPRO_SIM_SHARD_TIMEOUT", "soon")
+        with pytest.raises(SimulationError, match="REPRO_SIM_SHARD_TIMEOUT"):
+            resolve_shard_timeout(None)
+        with pytest.raises(SimulationError):
+            resolve_shard_timeout(-1.0)
+
+    def test_resolve_shard_retries(self, monkeypatch):
+        assert resolve_shard_retries(5) == 5
+        assert resolve_shard_retries(0) == 0
+        monkeypatch.setenv("REPRO_SIM_SHARD_RETRIES", "3")
+        assert resolve_shard_retries(None) == 3
+        monkeypatch.setenv("REPRO_SIM_SHARD_RETRIES", "")
+        assert resolve_shard_retries(None) == 2
+        monkeypatch.setenv("REPRO_SIM_SHARD_RETRIES", "many")
+        with pytest.raises(SimulationError, match="REPRO_SIM_SHARD_RETRIES"):
+            resolve_shard_retries(None)
+        with pytest.raises(SimulationError):
+            resolve_shard_retries(-1)
+
+    def test_device_supervision_knobs_flow_to_settings(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_SHARD_TIMEOUT", "12.5")
+        monkeypatch.setenv("REPRO_SIM_SHARD_RETRIES", "4")
+        settings = Device().executor_settings()
+        assert settings.shard_timeout == 12.5
+        assert settings.shard_retries == 4
+        settings = Device(shard_timeout=1.0, shard_retries=0).executor_settings()
+        assert settings.shard_timeout == 1.0
+        assert settings.shard_retries == 0
+
+    def test_supervisor_heartbeat_interval(self):
+        assert SupervisorConfig(timeout=0).heartbeat_interval == 0.0
+        assert SupervisorConfig(timeout=2.0).heartbeat_interval == 0.5
+        assert SupervisorConfig(timeout=60.0).heartbeat_interval == 1.0
+        cfg = SupervisorConfig(backoff=0.05)
+        assert cfg.retry_delay(1) == 0.05
+        assert cfg.retry_delay(2) == 0.1
+        assert cfg.retry_delay(3) == 0.2
 
 
 # ---------------------------------------------------------------------------
@@ -204,12 +254,28 @@ class TestParallelLaunch:
         with pytest.raises(SimulationError, match="boom in CTA 3"):
             run_sharded(run_cta, list(range(5)), 2)
 
-    def test_dead_worker_is_reported(self):
-        def run_cta(linear):
-            os._exit(17)  # die without reporting
+    def test_dead_worker_is_recovered(self):
+        """A worker that dies without reporting no longer kills the launch.
 
-        with pytest.raises(SimulationError, match="exit code 17"):
-            run_sharded(run_cta, [0, 1], 2)
+        Every forked attempt dies (the exit is pid-guarded so the parent's
+        terminal serial fallback survives); the launch must still complete
+        with correct rows, through retries and then the in-process fallback.
+        """
+        parent = os.getpid()
+
+        def run_cta(linear):
+            if os.getpid() != parent:
+                os._exit(17)  # die without reporting, but only in a worker
+            return (float(linear), 0.0, linear)
+
+        before = (COUNTERS.shard_retries, COUNTERS.shard_serial_fallbacks)
+        rows = run_sharded(run_cta, [0, 1], 2,
+                           supervisor=SupervisorConfig(timeout=30, retries=1,
+                                                       backoff=0.01))
+        assert rows == [(0.0, 0.0, 0), (1.0, 0.0, 1)]
+        # both shards died on every fork: retried once each, then fell back
+        assert COUNTERS.shard_retries == before[0] + 2
+        assert COUNTERS.shard_serial_fallbacks == before[1] + 2
 
     def test_overlapped_launches(self):
         """Two ParallelLaunches can be in flight at once (run_many pipelining)."""
@@ -217,6 +283,144 @@ class TestParallelLaunch:
         second = ParallelLaunch(lambda i: (float(i) * 2, 0.0, 0), [0, 1], 2)
         assert second.wait() == [(0.0, 0.0, 0), (2.0, 0.0, 0)]
         assert first.wait() == [(0.0, 0.0, 0), (1.0, 0.0, 0), (2.0, 0.0, 0)]
+
+
+# ---------------------------------------------------------------------------
+# Supervision: injected kill / hang / pipe-corruption recovery
+# ---------------------------------------------------------------------------
+
+
+def _identity_cta(linear):
+    return (float(linear), 0.0, linear)
+
+
+@needs_fork
+class TestSupervision:
+    """The supervised launch recovers from infrastructure failures.
+
+    Faults are injected through :mod:`repro.faults` (fork-shared budgets, so
+    a fault consumed by one attempt is not re-triggered by its retry) and the
+    launch must always produce the same rows serial execution would.
+    """
+
+    FAST = SupervisorConfig(timeout=30.0, retries=2, backoff=0.01)
+
+    def test_injected_kill_is_retried(self):
+        with faults.inject_faults("kill:worker=1,cta=0"):
+            rows = run_sharded(_identity_cta, list(range(8)), 3,
+                               supervisor=self.FAST)
+        assert rows == [_identity_cta(i) for i in range(8)]
+        assert COUNTERS.shard_retries == 1
+        assert COUNTERS.shard_serial_fallbacks == 0
+        assert COUNTERS.faults_injected == 1
+
+    def test_injected_hang_trips_the_deadline(self):
+        with faults.inject_faults("hang:worker=0,cta=1,seconds=60"):
+            rows = run_sharded(
+                _identity_cta, list(range(6)), 2,
+                supervisor=SupervisorConfig(timeout=0.4, retries=2,
+                                            backoff=0.01))
+        assert rows == [_identity_cta(i) for i in range(6)]
+        assert COUNTERS.shard_timeouts == 1
+        assert COUNTERS.shard_retries == 1
+        assert COUNTERS.faults_injected == 1
+
+    def test_injected_pipe_corruption_is_retried(self):
+        with faults.inject_faults("pipe:worker=1"):
+            rows = run_sharded(_identity_cta, list(range(6)), 2,
+                               supervisor=self.FAST)
+        assert rows == [_identity_cta(i) for i in range(6)]
+        assert COUNTERS.shard_retries == 1
+        assert COUNTERS.faults_injected == 1
+
+    def test_exhausted_retries_degrade_to_serial_fallback(self):
+        """A shard that dies on every fork is re-executed in the parent."""
+        with faults.inject_faults("kill:worker=0,count=-1"):
+            rows = run_sharded(
+                _identity_cta, list(range(6)), 2,
+                supervisor=SupervisorConfig(timeout=30, retries=2,
+                                            backoff=0.01))
+        assert rows == [_identity_cta(i) for i in range(6)]
+        assert COUNTERS.shard_retries == 2
+        assert COUNTERS.shard_serial_fallbacks == 1
+        # initial fork + 2 retries of worker 0 each consumed one kill
+        assert COUNTERS.faults_injected == 3
+
+    def test_zero_retries_fall_back_immediately(self):
+        with faults.inject_faults("kill:worker=0"):
+            rows = run_sharded(
+                _identity_cta, [0, 1], 2,
+                supervisor=SupervisorConfig(timeout=30, retries=0))
+        assert rows == [_identity_cta(0), _identity_cta(1)]
+        assert COUNTERS.shard_retries == 0
+        assert COUNTERS.shard_serial_fallbacks == 1
+
+    def test_only_the_failed_shard_is_retried(self):
+        """Surviving shards merge once; only the killed shard re-forks."""
+        with faults.inject_faults("kill:worker=2,cta=0"):
+            launch = ParallelLaunch(_identity_cta, list(range(9)), 3,
+                                    supervisor=self.FAST)
+            rows = launch.wait()
+        assert rows == [_identity_cta(i) for i in range(9)]
+        assert launch.shard_states() == {0: MERGED, 1: MERGED, 2: MERGED}
+        # 3 initial forks + exactly one re-fork
+        assert COUNTERS.parallel_workers_forked == 4
+
+    def test_worker_error_is_not_retried(self):
+        """A worker-*reported* exception is deterministic; fail fast."""
+        def run_cta(linear):
+            if linear == 3:
+                raise ValueError("boom in CTA 3")
+            return _identity_cta(linear)
+
+        with pytest.raises(SimulationError, match="boom in CTA 3"):
+            run_sharded(run_cta, list(range(5)), 2, supervisor=self.FAST)
+        assert COUNTERS.shard_retries == 0
+        assert COUNTERS.shard_serial_fallbacks == 0
+
+    def test_disabled_deadline_still_recovers_from_death(self):
+        """timeout=0 turns off hang detection, not death detection."""
+        with faults.inject_faults("kill:worker=0,cta=0"):
+            rows = run_sharded(
+                _identity_cta, [0, 1, 2], 2,
+                supervisor=SupervisorConfig(timeout=0, retries=1,
+                                            backoff=0.01))
+        assert rows == [_identity_cta(i) for i in range(3)]
+        assert COUNTERS.shard_retries == 1
+        assert COUNTERS.shard_timeouts == 0
+
+    def test_heartbeats_keep_long_shards_alive(self):
+        """A shard far outliving the deadline survives while it progresses."""
+        def slow_cta(linear):
+            import time
+
+            time.sleep(0.12)
+            return _identity_cta(linear)
+
+        # 8 CTAs x 0.12s on one worker ~ 1s of work against a 0.4s deadline:
+        # without heartbeats (interval = 0.1s) this would be declared hung.
+        rows = run_sharded(slow_cta, list(range(8)), 1,
+                           supervisor=SupervisorConfig(timeout=0.4, retries=0))
+        assert rows == [_identity_cta(i) for i in range(8)]
+        assert COUNTERS.shard_timeouts == 0
+        assert COUNTERS.shard_serial_fallbacks == 0
+
+    def test_gemm_bit_identical_under_injected_kill(self):
+        """The acceptance bar: recovery is observationally invisible."""
+        problem = GemmProblem(M=128, N=128, K=64, block_m=64, block_n=64,
+                              block_k=32)
+        r_s, c_s = run_gemm(Device(mode="functional", workers=1), problem,
+                            WS_OPTIONS)
+        with faults.inject_faults("kill:worker=1,cta=0"):
+            device = Device(mode="functional", workers=2, shard_retries=2)
+            r_p, c_p = run_gemm(device, problem, WS_OPTIONS)
+        assert COUNTERS.faults_injected == 1
+        assert COUNTERS.shard_retries == 1
+        assert r_p.cycles == r_s.cycles
+        assert r_p.per_cta_cycles == r_s.per_cta_cycles
+        assert r_p.bytes_copied == r_s.bytes_copied
+        assert np.array_equal(c_p, c_s)
+        assert COUNTERS.parallel_shared_bytes == 0
 
 
 # ---------------------------------------------------------------------------
@@ -498,6 +702,80 @@ class TestSharedMappingLifecycle:
         for value in spec.args.values():
             if hasattr(value, "buffer"):
                 assert not value.buffer.is_shared
+
+    def _gemm_spec(self, device):
+        problem = GemmProblem(M=128, N=128, K=64, block_m=64, block_n=64,
+                              block_k=32)
+        args, a, b = make_gemm_inputs(problem, device)
+        return problem, args, a, b
+
+    def test_killed_and_retried_launch_releases_buffers(self):
+        """A launch that recovered via re-fork still ends with zero live bytes."""
+        device = Device(mode="functional", workers=2, shard_retries=2)
+        problem, args, a, b = self._gemm_spec(device)
+        with faults.inject_faults("kill:worker=0,cta=0"):
+            device.run(matmul_kernel, problem.grid, args, problem.constexprs(),
+                       WS_OPTIONS)
+        assert COUNTERS.shard_retries == 1
+        assert COUNTERS.parallel_shared_bytes == 0
+        for value in args.values():
+            if hasattr(value, "buffer"):
+                assert not value.buffer.is_shared
+        np.testing.assert_allclose(
+            args["c_ptr"].buffer.to_numpy().astype(np.float32),
+            gemm_reference(a, b, problem.dtype).astype(np.float32),
+            rtol=2e-2, atol=2e-2)
+
+    def test_timed_out_launch_releases_buffers(self):
+        """A launch that tripped the hang deadline still ends at zero bytes."""
+        device = Device(mode="functional", workers=2, shard_timeout=0.4,
+                        shard_retries=1)
+        problem, args, a, b = self._gemm_spec(device)
+        with faults.inject_faults("hang:worker=1,cta=0,seconds=60"):
+            device.run(matmul_kernel, problem.grid, args, problem.constexprs(),
+                       WS_OPTIONS)
+        assert COUNTERS.shard_timeouts == 1
+        assert COUNTERS.parallel_shared_bytes == 0
+        np.testing.assert_allclose(
+            args["c_ptr"].buffer.to_numpy().astype(np.float32),
+            gemm_reference(a, b, problem.dtype).astype(np.float32),
+            rtol=2e-2, atol=2e-2)
+
+    def test_exhausted_retries_fallback_releases_buffers(self):
+        """The serial-fallback path (worker 0 always dies) ends at zero bytes
+        -- and the fallback's in-parent stores land in the shared mappings
+        the surviving worker also wrote, so the output is still complete."""
+        device = Device(mode="functional", workers=2, shard_retries=1)
+        problem, args, a, b = self._gemm_spec(device)
+        with faults.inject_faults("kill:worker=0,count=-1"):
+            device.run(matmul_kernel, problem.grid, args, problem.constexprs(),
+                       WS_OPTIONS)
+        assert COUNTERS.shard_serial_fallbacks == 1
+        assert COUNTERS.parallel_shared_bytes == 0
+        for value in args.values():
+            if hasattr(value, "buffer"):
+                assert not value.buffer.is_shared
+                assert value.buffer._shared_backing is None
+        np.testing.assert_allclose(
+            args["c_ptr"].buffer.to_numpy().astype(np.float32),
+            gemm_reference(a, b, problem.dtype).astype(np.float32),
+            rtol=2e-2, atol=2e-2)
+
+    def test_aborted_inflight_launch_releases_buffers(self):
+        """abort() on an in-flight sharded launch releases its mappings."""
+        device = Device(mode="functional", workers=2)
+        problem, args, _, _ = self._gemm_spec(device)
+        executor = device.executor()
+        prepared = executor.prepare(
+            LaunchSpec(matmul_kernel, problem.grid, args, problem.constexprs(),
+                       WS_OPTIONS))
+        inflight = executor.submit(prepared)
+        assert not inflight.done
+        assert COUNTERS.parallel_shared_bytes > 0
+        inflight.abort()
+        assert COUNTERS.parallel_shared_bytes == 0
+        for proc in mp.active_children():
+            proc.join(timeout=5)
 
     def test_reused_buffer_across_launches_stays_correct(self):
         """Share -> release -> re-share of the same buffer keeps data intact."""
