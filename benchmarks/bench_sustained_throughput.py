@@ -1,0 +1,131 @@
+"""Sustained launch-stream throughput: fork-per-launch vs. persistent pool.
+
+The sharded executor pays a fork + per-launch ``MAP_SHARED`` remap + plan
+rebuild on *every* launch, so a sustained stream of identical small launches
+-- the serving-style pattern the worker pool (:mod:`repro.gpusim.pool`)
+exists for -- is its worst case.  This benchmark runs the same launch stream
+through both parallel engines at 2 workers and records launches/s:
+
+* **fork-per-launch** -- ``Device(workers=2)``, the sharded executor;
+* **pool** -- ``Device(pool=2)``, persistent workers dispatching from their
+  fork-inherited warm compile/plan caches through the reusable shared arena.
+
+Correctness is asserted alongside (both engines must produce bit-identical
+output digests per launch); the throughput expectation -- the pool must at
+least match fork-per-launch on a sustained stream -- is enforced unless
+``REPRO_THROUGHPUT_STRICT=0`` (used by CI, where shared runners make
+wall-clock thresholds flaky; the curve is still recorded as JSON).
+
+``REPRO_FULL=1`` lengthens the stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+
+import pytest
+
+from conftest import emit_json, full_sweep_requested
+from repro.experiments.common import tawa_gemm_options
+from repro.gpusim.device import Device
+from repro.gpusim.parallel import fork_available
+from repro.gpusim.pool import shutdown_pools
+from repro.kernels.gemm import GemmProblem, run_gemm
+from repro.perf.counters import COUNTERS, sim_counters
+
+
+def _stream_case(full: bool):
+    problem = GemmProblem(M=256, N=256, K=128, block_m=64, block_n=64,
+                          block_k=32)
+    return problem, (60 if full else 20)
+
+
+def _measure(engine: str, problem: GemmProblem, launches: int) -> dict:
+    if engine == "pool":
+        device = Device(mode="functional", pool=2)
+    else:
+        device = Device(mode="functional", workers=2)
+    options = tawa_gemm_options()
+    run_gemm(device, problem, options)  # warm compile + plan caches
+    COUNTERS.reset()
+    start = time.perf_counter()
+    digest = None
+    for _ in range(launches):
+        _, output = run_gemm(device, problem, options)
+        launch_digest = hashlib.sha256(output.tobytes()).hexdigest()
+        assert digest is None or digest == launch_digest
+        digest = launch_digest
+    seconds = time.perf_counter() - start
+    counters = sim_counters()
+    return {
+        "engine": engine,
+        "launches": launches,
+        "ctas_per_launch": problem.grid,
+        "seconds": round(seconds, 4),
+        "launches_per_sec": round(launches / seconds, 2),
+        "output_digest": digest,
+        "workers_forked": counters["parallel_workers_forked"],
+        "pool_workers_spawned": counters["pool_workers_spawned"],
+        "pool_launches": counters["pool_launches"],
+        "pool_fallback_launches": counters["pool_fallback_launches"],
+    }
+
+
+@pytest.mark.skipif(not fork_available(),
+                    reason="parallel execution requires fork()")
+def test_sustained_throughput(benchmark):
+    problem, launches = _stream_case(full_sweep_requested())
+
+    rows = []
+
+    def run_stream():
+        rows.clear()
+        try:
+            rows.extend(_measure(engine, problem, launches)
+                        for engine in ("fork", "pool"))
+        finally:
+            shutdown_pools()
+        return rows
+
+    benchmark.pedantic(run_stream, rounds=1, iterations=1)
+
+    fork_row, pool_row = rows
+    print()
+    print(f"sustained throughput: problem={problem} grid={problem.grid} "
+          f"stream={launches} launches")
+    for row in rows:
+        print(f"  {row['engine']:>4}: {row['launches_per_sec']:>7.2f} "
+              f"launches/s ({row['seconds']:.3f}s, "
+              f"forked={row['workers_forked']}, "
+              f"pool_spawned={row['pool_workers_spawned']})")
+
+    emit_json("sustained_throughput_fork_vs_pool", {
+        "problem": repr(problem),
+        "grid": problem.grid,
+        "stream_launches": launches,
+        "rows": rows,
+        "speedup_pool_vs_fork": round(
+            pool_row["launches_per_sec"] / fork_row["launches_per_sec"], 3),
+    }, benchmark=benchmark)
+
+    # Both engines must compute exactly the same thing...
+    assert pool_row["output_digest"] == fork_row["output_digest"]
+    # ...and the pool must actually be the engine that ran: warm dispatch,
+    # no per-launch forks, no fallbacks.
+    assert pool_row["pool_launches"] == launches
+    assert pool_row["pool_fallback_launches"] == 0
+    assert pool_row["workers_forked"] == 0
+    assert pool_row["pool_workers_spawned"] <= 2
+    assert fork_row["workers_forked"] == 2 * launches
+
+    strict = os.environ.get("REPRO_THROUGHPUT_STRICT", "1") not in (
+        "0", "false", "off")
+    if strict:
+        # The pool's whole point: a sustained stream of identical launches
+        # must not be slower than re-forking for every one of them.
+        assert pool_row["launches_per_sec"] >= fork_row["launches_per_sec"], (
+            f"pool ({pool_row['launches_per_sec']} launches/s) lost to "
+            f"fork-per-launch ({fork_row['launches_per_sec']} launches/s)"
+        )

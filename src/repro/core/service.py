@@ -108,6 +108,33 @@ class CompilerService:
         self._memory.put(key, compiled)
         return compiled
 
+    def lookup(self, key: str) -> Optional[CompiledKernel]:
+        """The memory-tier artifact for a content fingerprint, if present.
+
+        This is the persistent worker pool's warm path: work items carry the
+        artifact's fingerprint (the compiled kernel itself cannot pickle),
+        and the pool worker resolves it from the memory tier it inherited at
+        fork time -- counted as a cache hit, since it replaces a compile.  A
+        miss means the worker forked before the artifact existed; the pool
+        respawns it rather than compiling in-worker.
+        """
+        compiled = self._memory.get(key)
+        if compiled is not None:
+            COUNTERS.compile_cache_hits += 1
+        else:
+            COUNTERS.compile_cache_misses += 1
+        return compiled
+
+    def ensure_cached(self, key: str, compiled: CompiledKernel) -> None:
+        """Pin an already-finalized artifact into the memory tier.
+
+        Used by the pool right before (re)spawning workers for a launch, so
+        a fork taken now is guaranteed to inherit the launch's artifact even
+        if LRU pressure evicted it since ``compile`` returned.
+        """
+        if self._memory.get(key) is None:
+            self._memory.put(key, compiled)
+
     def clear(self) -> None:
         """Drop the in-process tier (tests; the disk tier is left alone)."""
         self._memory.clear()

@@ -197,8 +197,19 @@ class FaultRegistry:
 
     def fire(self, site: str, **attrs) -> Optional[FaultSpec]:
         """The spec that fires for this hook hit, if any (consumes budget)."""
+        fired = self.fire_indexed(site, **attrs)
+        return None if fired is None else fired[1]
+
+    def fire_indexed(self, site: str, **attrs):
+        """Like :meth:`fire`, also returning the firing spec's index.
+
+        Persistent-pool workers run against a *local copy* of the parent's
+        registry (:meth:`from_state`) and report fires back over the result
+        pipe by spec index, so the parent -- the budget's single owner --
+        can consume the budget exactly once (:meth:`consume_remote_fire`).
+        """
         fired = None
-        for state in self._states:
+        for index, state in enumerate(self._states):
             spec = state.spec
             if spec.site != site:
                 continue
@@ -223,11 +234,79 @@ class FaultRegistry:
                     state.remaining.value -= 1
             with state.fired.get_lock():
                 state.fired.value += 1
-            fired = spec
+            fired = (index, spec)
             break
         if fired is not None:
             self.sync_fired()
         return fired
+
+    # -- state shipping (persistent worker pool) ------------------------------
+
+    def export_state(self) -> List[tuple]:
+        """The picklable ``(spec, hits, remaining)`` rows a work item carries.
+
+        Pool workers fork once and live across many ``inject_faults`` scopes,
+        so they cannot observe registries created after their fork by cell
+        inheritance the way per-launch forks do; instead each work item
+        carries this snapshot and the worker rebuilds a local registry from
+        it (:meth:`from_state`).  Exported at *send* time, so a budget the
+        parent consumed for a previous attempt is already spent in the copy a
+        retried shard sees.
+        """
+        return [(state.spec, state.hits.value, state.remaining.value)
+                for state in self._states]
+
+    @classmethod
+    def from_state(cls, state: List[tuple], owner_pid: int = -1) -> "FaultRegistry":
+        """A local registry rebuilt from :meth:`export_state` rows.
+
+        ``owner_pid`` defaults to a pid that is never this process, so the
+        copy's :meth:`sync_fired` is a no-op -- the parent owns the
+        ``faults_injected`` counter and folds remote fires in itself.
+        """
+        registry = cls([spec for spec, _, _ in state])
+        for cell, (_, hits, remaining) in zip(registry._states, state):
+            cell.hits.value = hits
+            cell.remaining.value = remaining
+        registry._owner_pid = owner_pid
+        return registry
+
+    def consume_remote_fire(self, index: int) -> Optional[FaultSpec]:
+        """Fold one worker-reported fire of spec ``index`` into this registry.
+
+        The pool worker fired its local copy (advancing only its own cells)
+        and reported the spec index before acting; consuming here makes the
+        parent's budget authoritative, so a ``count=1`` fault consumed by a
+        killed worker is *not* re-armed for that shard's retry.
+        """
+        if not 0 <= index < len(self._states):
+            return None
+        state = self._states[index]
+        with state.hits.get_lock():
+            state.hits.value += 1
+        with state.remaining.get_lock():
+            if state.remaining.value > 0:
+                state.remaining.value -= 1
+        with state.fired.get_lock():
+            state.fired.value += 1
+        self.sync_fired()
+        return state.spec
+
+    def hit_values(self) -> List[int]:
+        """Per-spec hook-hit counts (used to compute a worker's delta)."""
+        return [state.hits.value for state in self._states]
+
+    def add_remote_hits(self, hits: List[int]) -> None:
+        """Fold a worker's non-firing hook-hit deltas into the ``hits`` cells.
+
+        Keeps ``nth`` / ``prob`` ordinals roughly process-tree-wide under the
+        pool (a worker that died never ships its delta, mirroring the
+        fork-per-launch model's lost copy-on-write increments).
+        """
+        for state, delta in zip(self._states, hits):
+            if delta:
+                with state.hits.get_lock():
+                    state.hits.value += delta
 
     def fired_total(self) -> int:
         """How many times any spec of this registry has fired, tree-wide."""

@@ -41,6 +41,7 @@ from typing import Any, List, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from repro.gpusim import executors, parallel
+from repro.gpusim import pool as pool_mod
 from repro.gpusim.config import DEFAULT_CONFIG, H100Config
 from repro.gpusim.launch import (
     LaunchResult,
@@ -113,7 +114,8 @@ class Device:
                  max_ctas_per_sm_simulated: int = 8, collect_trace: bool = False,
                  use_plans: Optional[bool] = None, workers: Optional[int] = None,
                  shard_timeout: Optional[float] = None,
-                 shard_retries: Optional[int] = None):
+                 shard_retries: Optional[int] = None,
+                 pool=None):
         if mode not in ("functional", "performance"):
             raise ValueError(f"unknown device mode {mode!r}")
         self.config = config
@@ -136,20 +138,33 @@ class Device:
         # (None consults REPRO_SIM_SHARD_RETRIES).
         self.shard_timeout = parallel.resolve_shard_timeout(shard_timeout)
         self.shard_retries = parallel.resolve_shard_retries(shard_retries)
+        # pool: dispatch functional launches to a persistent worker pool
+        # (repro.gpusim.pool) instead of forking per launch.  Accepts a
+        # WorkerPool, a size (>= 2), "auto", or None to consult
+        # REPRO_SIM_POOL; anything that resolves below 2 workers disables
+        # the pool.  Results are bit-identical to serial.
+        self.pool = pool_mod.resolve_pool(pool)
 
     # ------------------------------------------------------------------ executor
 
     def executor_settings(self) -> executors.ExecutorSettings:
         """The current device settings as an executor-layer value object."""
+        pool = self.pool if (self.pool is not None
+                             and not self.pool.closed) else None
+        # With a pool attached, fallback fork-per-launch sharding (arena
+        # overflow, unkeyed artifact) parallelizes at least as wide as the
+        # pool would have.
+        workers = self.workers if pool is None else max(self.workers, pool.size)
         return executors.ExecutorSettings(
             config=self.config,
             mode=self.mode,
             max_ctas_per_sm_simulated=self.max_ctas_per_sm_simulated,
             collect_trace=self.collect_trace,
             use_plans=self.use_plans,
-            workers=self.workers,
+            workers=workers,
             shard_timeout=self.shard_timeout,
             shard_retries=self.shard_retries,
+            pool=pool,
         )
 
     def executor(self) -> executors.ExecutorBase:

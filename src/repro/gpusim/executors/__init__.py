@@ -40,12 +40,14 @@ from repro.gpusim.executors.base import (
 )
 from repro.gpusim.executors.serial import SerialExecutor
 from repro.gpusim.executors.sharded import ShardedExecutor
+from repro.gpusim.executors.pooled import PooledExecutor
 
 __all__ = [
     "Executor",
     "ExecutorBase",
     "ExecutorSettings",
     "InflightLaunch",
+    "PooledExecutor",
     "SerialExecutor",
     "ShardedExecutor",
     "compile_spec",
@@ -61,12 +63,17 @@ def select_executor(settings: ExecutorSettings) -> ExecutorBase:
 
     Sharding is only ever profitable (and only correct -- the trace must
     interleave globally, and the perf-mode sample is a handful of CTAs) for
-    functional, trace-free devices with more than one worker; everything else
-    runs serially.
+    functional, trace-free devices; everything else runs serially.  Among
+    sharding strategies, a device bound to a persistent worker pool
+    dispatches to it (:class:`PooledExecutor`); otherwise more than one
+    worker selects fork-per-launch sharding.
     """
     from repro.gpusim import parallel
 
     if (settings.functional and not settings.collect_trace
-            and settings.workers > 1 and parallel.fork_available()):
-        return ShardedExecutor(settings)
+            and parallel.fork_available()):
+        if settings.pool is not None and not settings.pool.closed:
+            return PooledExecutor(settings)
+        if settings.workers > 1:
+            return ShardedExecutor(settings)
     return SerialExecutor(settings)

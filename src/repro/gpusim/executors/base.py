@@ -65,6 +65,9 @@ class ExecutorSettings:
     #: parent degrades to re-executing that shard serially in-process.
     shard_timeout: float = 60.0
     shard_retries: int = 2
+    #: persistent worker pool (repro.gpusim.pool.WorkerPool) launches are
+    #: dispatched to instead of forking per launch; None = fork-per-launch.
+    pool: Any = None
 
     @property
     def functional(self) -> bool:
@@ -417,4 +420,13 @@ def run_pipelined(executor: Executor,
         if pending is not None:
             pending[1].abort()
         raise
-    return results  # type: ignore[return-value]
+    # Every submitted launch was collected exactly once above; a collect()
+    # that returned without producing a result would otherwise escape here
+    # silently typed as a LaunchResult.
+    missing = [i for i, result in enumerate(results) if result is None]
+    if missing:
+        raise SimulationError(
+            f"run_pipelined finished with uncollected launches at indices "
+            f"{missing} of {len(results)}"
+        )
+    return [result for result in results if result is not None]

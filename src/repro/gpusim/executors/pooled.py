@@ -1,0 +1,108 @@
+"""The pooled executor: launches dispatched to a persistent worker pool.
+
+Bridges :mod:`repro.gpusim.pool` into the :class:`Executor` protocol.  The
+launch pipeline is unchanged from the sharded executor's point of view --
+``prepare`` compiles through the compiler service, ``submit`` returns an
+in-flight handle, ``collect`` merges in launch order -- but execution goes
+to the pool's long-lived workers: the work item carries the artifact's
+content fingerprint (resolved from the worker's fork-inherited cache, zero
+compiles when warm) and the launch's buffers travel through the pool's
+reusable shared-memory arena instead of per-launch ``MAP_SHARED`` churn.
+
+Every ineligible launch degrades gracefully to the inherited
+:class:`ShardedExecutor` behaviour (counted as ``pool_fallback_launches``):
+
+* fewer than two CTAs -- serial in-process, same as sharded;
+* no content fingerprint (kernel compiled outside the service), a busy or
+  shut-down pool, or a launch that does not fit the arena -- fork-per-launch
+  sharding with the usual share/release buffer lifecycle.
+
+Results are bit-identical to :class:`SerialExecutor` either way: the same
+per-CTA simulation runs against content-identical arguments, and the merge
+is the shared deterministic launch-order reduction.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim import pool as pool_mod
+from repro.gpusim.executors.base import InflightLaunch
+from repro.gpusim.executors.serial import SerialExecutor
+from repro.gpusim.executors.sharded import ShardedExecutor
+from repro.gpusim.launch import LaunchResult, PreparedLaunch
+from repro.perf.counters import COUNTERS
+
+
+class PooledExecutor(ShardedExecutor):
+    """Shard launches across a persistent :class:`WorkerPool`."""
+
+    @property
+    def pool(self) -> "pool_mod.WorkerPool":
+        return self.settings.pool
+
+    def pool_workers(self, prepared: PreparedLaunch) -> int:
+        """How many pool workers this launch shards across (1 = serial)."""
+        return max(1, min(self.pool.size, len(prepared.cta_ids)))
+
+    def settings_state(self) -> tuple:
+        """The picklable settings slice a pool work item carries."""
+        s = self.settings
+        return (s.config, s.mode, s.max_ctas_per_sm_simulated, s.use_plans)
+
+    def run(self, prepared: PreparedLaunch) -> LaunchResult:
+        return self.submit(prepared).collect()
+
+    def submit(self, prepared: PreparedLaunch) -> InflightLaunch:
+        """Dispatch to the pool, or degrade to the inherited sharded paths."""
+        workers = self.pool_workers(prepared)
+        if workers <= 1:
+            return InflightLaunch(
+                self.finalize(prepared, SerialExecutor.execute(self, prepared)))
+        pool = self.pool
+        key = getattr(prepared.compiled, "fingerprint", None)
+        if key is None or pool.closed or pool.busy:
+            COUNTERS.pool_fallback_launches += 1
+            return super().submit(prepared)
+        placements = pool.arena.place_buffers(
+            list(prepared.spec.args.values()))
+        if placements is None:  # oversized launch (or data-free buffer)
+            COUNTERS.pool_fallback_launches += 1
+            return super().submit(prepared)
+        try:
+            launched = pool_mod.PoolLaunch(
+                pool, self.cta_runner(prepared), prepared.cta_ids, workers,
+                self.supervisor_config(), key, prepared.compiled,
+                prepared.spec.grid, pool_mod.encode_args(prepared.spec.args,
+                                                         placements),
+                self.settings_state())
+        except BaseException:
+            pool.arena.restore_buffers(placements)
+            raise
+        return _PooledInflight(self, prepared, launched, placements)
+
+
+class _PooledInflight(InflightLaunch):
+    """Handle over one launch in flight on the pool's workers."""
+
+    def __init__(self, executor: PooledExecutor, prepared: PreparedLaunch,
+                 launched: "pool_mod.PoolLaunch", placements: list):
+        self._executor = executor
+        self._prepared = prepared
+        self._launched = launched
+        self._placements = placements
+
+    @property
+    def done(self) -> bool:
+        return False
+
+    def collect(self) -> LaunchResult:
+        try:
+            rows = self._launched.wait()
+        finally:
+            # Evacuate the arena on every exit path (merge, worker-reported
+            # error, abort-on-raise) so the next launch can recycle it.
+            self._executor.pool.arena.restore_buffers(self._placements)
+        return self._executor.finalize(self._prepared, rows)
+
+    def abort(self) -> None:
+        self._launched.abort()
+        self._executor.pool.arena.restore_buffers(self._placements)

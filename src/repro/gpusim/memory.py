@@ -401,6 +401,150 @@ def release_buffers(values) -> None:
         buffer.release_shared()
 
 
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+@dataclass
+class ArenaPlacement:
+    """One buffer's residence in a :class:`SharedArena` for one launch."""
+
+    buffer: "GlobalBuffer"
+    offset: int
+    nbytes: int
+
+
+class SharedArena:
+    """One reusable anonymous ``MAP_SHARED`` region, bump-allocated per launch.
+
+    The persistent worker pool (:mod:`repro.gpusim.pool`) maps a single
+    sized-up shared region when it is created -- *before* its workers fork,
+    so every worker (including later respawns, which re-fork from the parent)
+    inherits the same mapping.  Each launch then *places* its reachable
+    buffers into the arena (bump allocation + one copy in), workers write
+    their output tiles straight into the shared views, and the merge
+    *restores* the buffers to private memory and recycles the bump pointer
+    -- replacing the per-launch ``mmap``/``munmap`` churn of
+    :func:`share_buffers` / :func:`release_buffers` with two memcpys.
+
+    The region's size is accounted in the ``parallel_shared_bytes`` gauge for
+    its whole lifetime (creation to :meth:`close`), since the mapping is live
+    that whole time regardless of how much of it the current launch uses.
+    """
+
+    #: Bump-allocation granularity (cache-line aligned views).
+    ALIGN = 64
+
+    def __init__(self, nbytes: int):
+        nbytes = int(nbytes)
+        if nbytes <= 0:
+            raise ValueError(f"arena size must be positive, got {nbytes}")
+        from repro.perf.counters import COUNTERS
+
+        self.nbytes = nbytes
+        self._backing: Optional[mmap.mmap] = mmap.mmap(-1, nbytes)
+        self._offset = 0
+        COUNTERS.parallel_shared_bytes += nbytes
+
+    # -- bump allocation ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._backing is None
+
+    @property
+    def used(self) -> int:
+        """Bytes the current launch has bump-allocated."""
+        return self._offset
+
+    def view(self, offset: int, shape: Sequence[int], dtype) -> np.ndarray:
+        """A NumPy view over ``[offset, offset + size)`` of the region."""
+        if self._backing is None:
+            raise RuntimeError("view() on a closed arena")
+        dtype = np.dtype(dtype)
+        shape = tuple(int(s) for s in shape)
+        count = int(np.prod(shape, dtype=np.int64))
+        return np.frombuffer(self._backing, dtype=dtype, count=count,
+                             offset=offset).reshape(shape)
+
+    def recycle(self) -> None:
+        """Reset the bump pointer; the next launch reuses the whole region."""
+        self._offset = 0
+
+    # -- per-launch buffer residency ----------------------------------------------
+
+    def place_buffers(self, values) -> Optional[list]:
+        """Move every buffer reachable from launch arguments into the arena.
+
+        Returns the placements (to hand back to :meth:`restore_buffers` at
+        merge), or ``None`` -- without side effects -- when the launch does
+        not fit or reaches a data-free buffer; the caller then falls back to
+        the per-launch :func:`share_buffers` path.
+        """
+        if self._backing is None:
+            return None
+        buffers: list = []
+        seen = set()
+        for buffer in _reachable_buffers(values):
+            if id(buffer) not in seen:
+                seen.add(id(buffer))
+                buffers.append(buffer)
+        if any(buffer.data is None for buffer in buffers):
+            return None
+        # Dry-run the bump allocation first so an oversized launch is
+        # rejected before any buffer has moved.
+        offset = self._offset
+        offsets = []
+        for buffer in buffers:
+            offset = _align_up(offset, self.ALIGN)
+            offsets.append(offset)
+            offset += buffer.data.nbytes
+        if offset > self.nbytes:
+            return None
+        placements = []
+        for buffer, start in zip(buffers, offsets):
+            view = self.view(start, buffer.data.shape, buffer.data.dtype)
+            view[...] = buffer.data
+            buffer.data = view
+            placements.append(ArenaPlacement(buffer, start, view.nbytes))
+        self._offset = offset
+        return placements
+
+    def restore_buffers(self, placements) -> None:
+        """Evacuate placed buffers back to private memory and recycle.
+
+        Runs exactly once per launch, on every exit path (merge, serial
+        fallback, worker-reported error, abort), mirroring
+        :func:`release_buffers`; the copy-out is what makes the recycled
+        region safe to overwrite by the next launch.
+        """
+        for placement in placements:
+            placement.buffer.data = np.array(placement.buffer.data, copy=True)
+        self.recycle()
+
+    # -- teardown -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap the region (idempotent); the gauge drops to its pre-arena value.
+
+        Safe only once every placed buffer has been restored and the pool's
+        workers are gone; a still-exported view keeps the mapping (and its
+        gauge contribution) alive, exactly like
+        :meth:`GlobalBuffer.release_shared`.
+        """
+        backing = self._backing
+        if backing is None:
+            return
+        from repro.perf.counters import COUNTERS
+
+        try:
+            backing.close()
+        except BufferError:  # pragma: no cover - an external view survives
+            return
+        self._backing = None
+        COUNTERS.parallel_shared_bytes -= self.nbytes
+
+
 class SmemTile:
     """One staging buffer in shared memory (possibly a ring of slots).
 

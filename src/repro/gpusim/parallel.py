@@ -227,6 +227,30 @@ def shard_cta_ids(cta_ids: Sequence[int], num_workers: int) -> List[CtaShard]:
 _CORRUPT_PAYLOAD = b"\xde\xad\xbe\xef repro fault: corrupted shard result"
 
 
+def _hang(send_beat: Optional[Callable[[], None]], seconds: float,
+          heartbeat_interval: float) -> None:
+    """An injected hang: sleep ``seconds`` while heartbeating *without* progress.
+
+    ``send_beat`` re-sends the worker's last progress report, so the beats
+    keep the pipe chatty -- which is exactly what the progress deadline must
+    see through: ``ctas_done`` never advances, so a correctly implemented
+    supervisor still times the shard out.  The parent's deadline (not
+    ``seconds``) is what normally ends the hang.
+    """
+    end = time.monotonic() + seconds
+    tick = heartbeat_interval if heartbeat_interval > 0 else 0.25
+    while True:
+        remaining = end - time.monotonic()
+        if remaining <= 0:
+            return
+        time.sleep(min(tick, remaining))
+        if send_beat is not None and heartbeat_interval > 0:
+            try:
+                send_beat()
+            except OSError:  # parent already gave up on us
+                return
+
+
 def _worker_main(conn, run_cta: Callable[[int], Tuple[float, float, int]],
                  shard: CtaShard, heartbeat_interval: float) -> None:
     """Body of one forked worker: simulate a shard, ship rows + counters back.
@@ -250,7 +274,8 @@ def _worker_main(conn, run_cta: Callable[[int], Tuple[float, float, int]],
             if spec is not None:
                 if spec.kind == "kill":
                     os._exit(faults.registry.FAULT_KILL_EXIT)
-                time.sleep(spec.seconds)  # "hang": the parent's deadline ends it
+                _hang(lambda done=ordinal: conn.send(("hb", shard.index, done)),
+                      spec.seconds, heartbeat_interval)
             cycles, busy, copied = run_cta(linear)
             rows.append((linear, cycles, busy, copied))
             if heartbeat_interval > 0:
@@ -319,6 +344,9 @@ class ParallelLaunch:
             self._states[shard.index] = state
             self._fork(state)
         self.num_workers = len(self._states)
+        #: Supervision-step count (observability: regression tests bound this
+        #: to prove the wait loop sleeps instead of busy-spinning).
+        self.drain_calls = 0
         COUNTERS.parallel_launches += 1
 
     # ------------------------------------------------------------------ forking
@@ -427,6 +455,7 @@ class ParallelLaunch:
 
     def _drain(self, rows: Dict[int, Tuple[float, float, int]]) -> None:
         """One supervision step: wait for messages/deadlines, process them."""
+        self.drain_calls += 1
         live = {s.conn: s for s in self._states.values() if s.live}
         now = time.monotonic()
         wakeups = [s.deadline for s in self._states.values() if s.live]
@@ -435,8 +464,14 @@ class ParallelLaunch:
         horizon = min(wakeups) if wakeups else now
         timeout = None if horizon == math.inf else max(0.0, horizon - now)
         if not live:
-            if timeout:
-                time.sleep(min(timeout, 0.25))
+            # No pipes to select on (every shard is waiting out a BACKOFF, or
+            # nothing is due at all).  Always sleep a bounded tick: ``if
+            # timeout:`` would skip the sleep for a 0.0 horizon *and* for the
+            # None-from-inf case, hot-looping the wait() loop until retry_at.
+            if timeout is not None:
+                time.sleep(min(max(timeout, 0.0), 0.25))
+            else:
+                time.sleep(0.05)
             return
         ready = mp_connection.wait(list(live), timeout=timeout)
         for conn in ready:
@@ -468,8 +503,13 @@ class ParallelLaunch:
             return
         if msg[0] == "hb":
             state.status = RUNNING
-            state.last_progress = msg[2]
-            if self.config.timeout > 0:
+            progressed = msg[2] > state.last_progress
+            state.last_progress = max(state.last_progress, msg[2])
+            # The deadline measures lack of *progress*, not lack of chatter:
+            # only a heartbeat whose ctas_done advanced extends it.  A worker
+            # beating while stuck (injected hang, livelocked CTA) keeps its
+            # original deadline and still times out.
+            if progressed and self.config.timeout > 0:
                 state.deadline = time.monotonic() + self.config.timeout
         elif msg[0] == "ok":
             _, _, shard_rows, counters = msg

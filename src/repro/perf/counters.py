@@ -70,6 +70,15 @@ class SimCounters:
     shard_retries: int = 0
     shard_timeouts: int = 0
     shard_serial_fallbacks: int = 0
+    #: persistent worker pool (repro.gpusim.pool): launches dispatched to
+    #: pool workers, long-lived workers forked (spawns + supervision
+    #: respawns), respawns alone, and launches a PooledExecutor had to fall
+    #: back to fork-per-launch for (arena overflow, unkeyed artifact, busy
+    #: pool)
+    pool_launches: int = 0
+    pool_workers_spawned: int = 0
+    pool_worker_respawns: int = 0
+    pool_fallback_launches: int = 0
     #: faults fired by the active repro.faults registry (tree-wide: fires
     #: inside worker processes are folded in by the registry's owner)
     faults_injected: int = 0

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.options import CompileOptions, NAIVE_OPTIONS, TRITON_BASELINE_OPTIONS
+from repro.gpusim import pool as pool_mod
 from repro.gpusim.device import Device, clear_compile_cache
 from repro.kernels.attention import AttentionProblem
 from repro.kernels.gemm import GemmProblem
@@ -18,11 +19,14 @@ def _isolate_process_wide_sim_state():
     Both are intentionally process-wide in production (cross-device reuse is
     what makes figure sweeps cheap), but tests that assert on counter values
     or cache hit/miss behaviour must not see state leaked by whichever tests
-    happened to run before them.
+    happened to run before them.  Process-global worker pools are shut down
+    on teardown for the same reason (and so tests asserting on
+    ``mp.active_children()`` never see another test's pool workers).
     """
     COUNTERS.reset()
     clear_compile_cache()
     yield
+    pool_mod.shutdown_pools()
 
 
 @pytest.fixture

@@ -20,8 +20,10 @@ import pytest
 from repro.core.options import CompileOptions
 from repro.gpusim import executors
 from repro.gpusim.device import Device, LaunchSpec, clear_compile_cache
+from repro.gpusim.engine import SimulationError
 from repro.gpusim.executors import (
     ExecutorSettings,
+    InflightLaunch,
     SerialExecutor,
     ShardedExecutor,
     select_executor,
@@ -165,3 +167,33 @@ class TestPipelinedBatch:
         inflight = executor.submit(prepared)
         assert inflight.done
         assert inflight.collect().total_ctas == 4
+
+    def test_uncollected_launch_cannot_escape_as_none(self, tiny_gemm):
+        """Regression: a collect() that produces no result must raise.
+
+        ``run_pipelined`` is typed to return ``List[LaunchResult]``; before
+        the guard, an executor whose in-flight handle yielded ``None`` let
+        that ``None`` escape into callers (``Device.run_many`` users index
+        into the list and call attributes on the entries) typed as a result.
+        """
+
+        class _NoResultInflight(InflightLaunch):
+            def __init__(self):
+                super().__init__(None)
+
+            @property
+            def done(self):
+                return False
+
+            def collect(self):
+                return None
+
+        class _NoResultExecutor(SerialExecutor):
+            def submit(self, prepared):
+                return _NoResultInflight()
+
+        device = Device(mode="functional", workers=1)
+        broken = _NoResultExecutor(device.executor_settings())
+        spec = _gemm_spec(device, tiny_gemm)
+        with pytest.raises(SimulationError, match="uncollected"):
+            executors.run_pipelined(broken, [spec])

@@ -1,12 +1,14 @@
-"""Differential fuzzing: interpreter vs. serial plans vs. sharded execution.
+"""Differential fuzzing: interpreter vs. plans vs. sharded vs. pooled.
 
 Randomized small kernels and grids (seeded, so every CI run reproduces the
-same cases) are executed through the simulator's three functional execution
+same cases) are executed through the simulator's four functional execution
 paths:
 
 * the IR interpreter (``use_plans=False``) -- the semantics oracle,
-* compile-once execution plans (``use_plans=True``), and
-* sharded multi-process execution (``workers=2`` on top of plans),
+* compile-once execution plans (``use_plans=True``),
+* sharded multi-process execution (``workers=2`` on top of plans), and
+* persistent-pool execution (``pool=2``: long-lived workers and the
+  reusable shared arena, :mod:`repro.gpusim.pool`),
 
 and the results must agree **bit-for-bit**: output buffers (compared as raw
 bytes), total cycles, per-CTA cycle lists, tensor-core utilization and bytes
@@ -31,9 +33,10 @@ Two kernel families are fuzzed:
   reuse under sharding and the reduction-epilogue accumulation order.
 * *chaos* -- a seeded GEMM case with **one random injected fault**
   (worker kill, worker hang or pipe corruption, via :mod:`repro.faults`)
-  per iteration: the sharded launch must recover -- retry, or degrade to
-  the in-process serial fallback -- and still produce an
-  :class:`Observation` bit-identical to the serial plans engine.
+  per iteration: the sharded launch -- and the pooled launch, where the
+  same fault respawns a persistent worker instead of re-forking -- must
+  recover (retry, or degrade to the in-process serial fallback) and still
+  produce an :class:`Observation` bit-identical to the serial plans engine.
 
 On failure the harness *shrinks* the case (halving sizes, simplifying ops
 and options) and reports the smallest configuration that still disagrees,
@@ -64,7 +67,7 @@ BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260726"))
 CASES_PER_FAMILY = int(os.environ.get("REPRO_FUZZ_CASES", "5"))
 MAX_SHRINK_STEPS = 24
 
-ENGINES = ("interpreter", "plans", "sharded")
+ENGINES = ("interpreter", "plans", "sharded", "pooled")
 
 
 def _device(engine: str) -> Device:
@@ -72,7 +75,9 @@ def _device(engine: str) -> Device:
         return Device(mode="functional", use_plans=False, workers=1)
     if engine == "plans":
         return Device(mode="functional", use_plans=True, workers=1)
-    return Device(mode="functional", use_plans=True, workers=2)
+    if engine == "sharded":
+        return Device(mode="functional", use_plans=True, workers=2)
+    return Device(mode="functional", use_plans=True, workers=1, pool=2)
 
 
 @dataclass(frozen=True)
@@ -524,10 +529,14 @@ class ChaosCase:
                 f"cta={self.fault_cta},seconds=60")
 
     def execute(self, engine: str) -> Observation:
-        if engine != "sharded":
+        if engine == "sharded":
+            device = Device(mode="functional", use_plans=True, workers=2,
+                            shard_timeout=_CHAOS_TIMEOUT, shard_retries=2)
+        elif engine == "pooled":
+            device = Device(mode="functional", use_plans=True, pool=2,
+                            shard_timeout=_CHAOS_TIMEOUT, shard_retries=2)
+        else:
             return self.gemm.execute(engine)
-        device = Device(mode="functional", use_plans=True, workers=2,
-                        shard_timeout=_CHAOS_TIMEOUT, shard_retries=2)
         with faults.inject_faults(self.fault_spec()):
             return self.gemm.observe(device)
 
@@ -547,7 +556,7 @@ class ChaosCase:
 
 
 def _disagreement(case) -> Optional[str]:
-    """Run a case through all three engines; a description of any mismatch."""
+    """Run a case through every engine; a description of any mismatch."""
     oracle = case.execute(ENGINES[0])
     for engine in ENGINES[1:]:
         observed = case.execute(engine)

@@ -9,8 +9,10 @@ launches would return one at a time.
 
 from __future__ import annotations
 
+import math
 import multiprocessing as mp
 import os
+import time
 
 import numpy as np
 import pytest
@@ -22,9 +24,11 @@ from repro.gpusim.device import Device, LaunchSpec
 from repro.gpusim.engine import SimulationError
 from repro.gpusim.memory import GlobalBuffer, shared_ndarray
 from repro.gpusim.parallel import (
+    BACKOFF,
     CtaShard,
     MERGED,
     ParallelLaunch,
+    RUNNING,
     SupervisorConfig,
     fork_available,
     resolve_shard_retries,
@@ -421,6 +425,117 @@ class TestSupervision:
         assert r_p.bytes_copied == r_s.bytes_copied
         assert np.array_equal(c_p, c_s)
         assert COUNTERS.parallel_shared_bytes == 0
+
+
+# ---------------------------------------------------------------------------
+# Supervision-loop regressions: bounded drains, progress-gated deadlines
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+class TestSupervisionLoopRegressions:
+    """Pin the wait-loop fixes: the supervisor sleeps instead of spinning,
+    and only heartbeats that report *new* progress extend a shard's hang
+    deadline."""
+
+    def test_kill_then_backoff_launch_has_bounded_drains(self):
+        """A launch waiting out retry backoffs must sleep, not busy-spin."""
+        with faults.inject_faults("kill:worker=0,count=-1"):
+            launch = ParallelLaunch(
+                _identity_cta, list(range(6)), 2,
+                supervisor=SupervisorConfig(timeout=30, retries=2,
+                                            backoff=0.15))
+            rows = launch.wait()
+        assert rows == [_identity_cta(i) for i in range(6)]
+        assert COUNTERS.shard_retries == 2
+        # Three attempts of worker 0 with ~0.15s/0.3s backoffs between them:
+        # every drain either receives a message or sleeps a bounded tick, so
+        # the count stays small.  A drain that returns without sleeping
+        # would spin the wait loop and record tens of thousands here.
+        assert launch.drain_calls < 60
+
+    def _merged_launch(self, supervisor=None) -> ParallelLaunch:
+        launch = ParallelLaunch(_identity_cta, [0, 1], 2, supervisor=supervisor)
+        launch.wait()
+        return launch
+
+    def test_drain_sleeps_a_fixed_tick_when_nothing_is_due(self):
+        """No live pipes and no finite horizon: drain must still sleep.
+
+        The unfixed branch (``if timeout:``) treated the ``None``-from-inf
+        horizon as "don't sleep" and returned immediately, hot-looping
+        ``wait()``.
+        """
+        launch = self._merged_launch()
+        state = launch._states[0]
+        state.status = BACKOFF
+        state.retry_at = math.inf  # no wakeup scheduled at all
+        start = time.monotonic()
+        launch._drain({})
+        elapsed = time.monotonic() - start
+        state.status = MERGED
+        assert elapsed >= 0.04
+
+    def test_drain_bounds_a_distant_backoff_horizon(self):
+        """A far-off retry sleeps one bounded tick, not the whole horizon."""
+        launch = self._merged_launch()
+        state = launch._states[0]
+        state.status = BACKOFF
+        state.retry_at = time.monotonic() + 30.0
+        start = time.monotonic()
+        launch._drain({})
+        elapsed = time.monotonic() - start
+        state.status = MERGED
+        assert 0.04 <= elapsed <= 5.0
+
+    def test_drain_handles_an_already_due_horizon(self):
+        """A horizon in the past must neither sleep long nor raise."""
+        launch = self._merged_launch()
+        state = launch._states[0]
+        state.status = BACKOFF
+        state.retry_at = time.monotonic() - 1.0
+        start = time.monotonic()
+        launch._drain({})
+        elapsed = time.monotonic() - start
+        state.status = MERGED
+        assert elapsed < 1.0  # returns promptly so wait() can re-dispatch
+
+    def test_heartbeat_without_progress_does_not_extend_deadline(self):
+        """Only a heartbeat whose ctas_done advanced refreshes the deadline.
+
+        The unfixed handler refreshed it on *any* heartbeat, so a worker
+        beating while stuck (injected hang, livelocked CTA) never timed out.
+        """
+        launch = self._merged_launch(
+            supervisor=SupervisorConfig(timeout=5.0))
+        state = launch._states[0]
+        state.status = RUNNING
+        state.last_progress = 2
+        state.deadline = frozen = time.monotonic() + 0.25
+        launch._handle(state, ("hb", 0, 2), {})  # chatter, no progress
+        assert state.deadline == frozen
+        launch._handle(state, ("hb", 0, 1), {})  # stale/reordered report
+        assert state.deadline == frozen
+        assert state.last_progress == 2
+        launch._handle(state, ("hb", 0, 3), {})  # real progress
+        assert state.deadline > frozen
+        state.status = MERGED
+
+    def test_hang_that_heartbeats_still_times_out(self):
+        """An injected hang beats without progress; the deadline must see
+        through the chatter and still declare the shard hung."""
+        start = time.monotonic()
+        with faults.inject_faults("hang:worker=0,cta=0,seconds=60"):
+            rows = run_sharded(
+                _identity_cta, list(range(6)), 2,
+                supervisor=SupervisorConfig(timeout=0.5, retries=1,
+                                            backoff=0.01))
+        assert rows == [_identity_cta(i) for i in range(6)]
+        assert COUNTERS.shard_timeouts == 1
+        assert COUNTERS.shard_retries == 1
+        assert COUNTERS.faults_injected == 1
+        # The supervisor's deadline, not the 60s sleep, ended the hang.
+        assert time.monotonic() - start < 30.0
 
 
 # ---------------------------------------------------------------------------
