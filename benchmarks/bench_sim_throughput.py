@@ -3,25 +3,37 @@
 The figure benchmarks track *what* the simulator computes; this one tracks how
 *fast* it computes it, so regressions in the simulator's own hot path show up
 in the BENCH trajectory directly.  It measures GEMM and attention in both
-device modes (functional and performance) through both execution engines (the
-compile-once plan path and the IR-interpreter oracle) and reports simulated
-CTAs/sec plus the plan-vs-interpreter speedup.  Results are printed and
+device modes (functional and performance) through three execution engines:
+the IR-interpreter oracle, the compile-once plan path, and the vectorized
+codegen path (:mod:`repro.gpusim.codegen`), reporting simulated CTAs/sec plus
+the plan-vs-interpreter and codegen-vs-plan speedups.  Results are printed and
 emitted as JSON via ``conftest.emit_json``.
+
+The interpreter/plan series run the paper's warp-specialized configurations.
+Warp-specialized kernels are multi-region and not vectorizable, so the codegen
+series runs a single-region configuration of the same kernel (pipelined
+triton-baseline GEMM, non-causal ``tt``-lowered attention) and compares
+codegen against plans on *that* configuration -- an apples-to-apples CTA
+batch.  The GEMM functional case is the regression gate: codegen must clear
+``1.5x`` plans unless ``REPRO_BENCH_STRICT=0`` waives it (shared runners).
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
 
 from conftest import emit_json, full_sweep_requested
-from repro.core.options import CompileOptions
+from repro.core.options import CompileOptions, TRITON_BASELINE_OPTIONS
 from repro.experiments.common import tawa_attention_options, tawa_gemm_options
 from repro.gpusim.device import Device
 from repro.kernels.attention import AttentionProblem, run_attention
 from repro.kernels.gemm import GemmProblem, run_gemm
 from repro.perf.counters import COUNTERS
+
+CODEGEN_GEMM_GATE = 1.5  # codegen-vs-plan floor on gemm-functional
 
 
 def _gemm_case(full: bool):
@@ -49,28 +61,59 @@ def _attention_perf_case():
     return problem, tawa_attention_options(), run_attention
 
 
-def _measure(mode: str, problem, options: CompileOptions, runner,
-             use_plans: bool, repeats: int = 3) -> dict:
-    device = Device(mode=mode, use_plans=use_plans,
-                    max_ctas_per_sm_simulated=8)
-    runner(device, problem, options)  # warm compile + plan caches
+def _codegen_case(case: str, full: bool):
+    """A single-region (vectorizable) configuration of the case's kernel."""
+    if case == "gemm-functional":
+        mn = 2048 if full else 1024
+        problem = GemmProblem(M=mn, N=mn, K=256, block_m=64, block_n=64,
+                              block_k=32)
+        return problem, TRITON_BASELINE_OPTIONS, run_gemm
+    if case == "gemm-performance":
+        return (GemmProblem(M=8192, N=8192, K=4096), TRITON_BASELINE_OPTIONS,
+                run_gemm)
+    if case == "attention-functional":
+        seq = 1024 if full else 512
+        problem = AttentionProblem(batch=1, heads=4, seq_len=seq, head_dim=64,
+                                   block_m=64, block_n=64, causal=False)
+        return problem, CompileOptions(lower_to="tt"), run_attention
+    problem = AttentionProblem(batch=8, heads=16, seq_len=4096, head_dim=64,
+                               block_m=64, block_n=64, causal=False)
+    return problem, CompileOptions(lower_to="tt"), run_attention
+
+
+def _device_for(engine: str, mode: str) -> Device:
+    if engine == "interpreter":
+        return Device(mode=mode, use_plans=False, max_ctas_per_sm_simulated=8)
+    if engine == "plan":
+        return Device(mode=mode, use_plans=True, max_ctas_per_sm_simulated=8)
+    return Device(mode=mode, use_plans=True, codegen=True,
+                  max_ctas_per_sm_simulated=8)
+
+
+def _measure(engine: str, mode: str, problem, options: CompileOptions, runner,
+             repeats: int = 3) -> dict:
+    device = _device_for(engine, mode)
+    runner(device, problem, options)  # warm compile + plan/codegen caches
     best = float("inf")
     result = None
     events_before = COUNTERS.engine_events
+    batched_before = COUNTERS.codegen_ctas_batched
     for _ in range(repeats):
         start = time.perf_counter()
         result, _ = runner(device, problem, options)
         best = min(best, time.perf_counter() - start)
     ctas = result.simulated_ctas
     events = (COUNTERS.engine_events - events_before) // repeats
+    batched = (COUNTERS.codegen_ctas_batched - batched_before) // repeats
     return {
-        "engine": "plan" if use_plans else "interpreter",
+        "engine": engine,
         "mode": mode,
         "simulated_ctas": ctas,
         "seconds": round(best, 6),
         "ctas_per_sec": round(ctas / best, 1),
         "ms_per_cta": round(best / ctas * 1e3, 4),
         "engine_events": events,
+        "ctas_batched": batched,
     }
 
 
@@ -93,31 +136,48 @@ def test_sim_throughput(benchmark, case):
     else:
         problem, options, runner = _attention_perf_case()
         mode = "performance"
+    cg_problem, cg_options, cg_runner = _codegen_case(case, full)
 
     rows = []
+    cg_rows = []
 
-    def run_both():
+    def run_all():
         rows.clear()
-        for use_plans in (False, True):
-            rows.append(_measure(mode, problem, options, runner, use_plans))
-        return rows
+        cg_rows.clear()
+        for engine in ("interpreter", "plan"):
+            rows.append(_measure(engine, mode, problem, options, runner))
+        for engine in ("plan", "codegen"):
+            cg_rows.append(_measure(engine, mode, cg_problem, cg_options,
+                                    cg_runner))
+        return rows + cg_rows
 
-    benchmark.pedantic(run_both, rounds=1, iterations=1)
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     interp, plan = rows
-    speedup = interp["ms_per_cta"] / plan["ms_per_cta"]
+    cg_plan, codegen = cg_rows
+    plan_speedup = interp["ms_per_cta"] / plan["ms_per_cta"]
+    codegen_speedup = cg_plan["ms_per_cta"] / codegen["ms_per_cta"]
     print()
     print(f"{case}: problem={problem}")
     for row in rows:
         print(f"  {row['engine']:>11}: {row['ctas_per_sec']:>8.1f} CTAs/s "
               f"({row['ms_per_cta']:.3f} ms/CTA, {row['simulated_ctas']} CTAs, "
               f"{row['engine_events']} events)")
-    print(f"  plan speedup: {speedup:.2f}x")
+    print(f"  plan speedup: {plan_speedup:.2f}x")
+    print(f"{case} [single-region]: problem={cg_problem}")
+    for row in cg_rows:
+        print(f"  {row['engine']:>11}: {row['ctas_per_sec']:>8.1f} CTAs/s "
+              f"({row['ms_per_cta']:.3f} ms/CTA, {row['simulated_ctas']} CTAs, "
+              f"{row['ctas_batched']} batched)")
+    print(f"  codegen speedup: {codegen_speedup:.2f}x")
     emit_json(f"sim_throughput_{case}", {
         "case": case,
         "problem": repr(problem),
         "engines": rows,
-        "plan_speedup": round(speedup, 3),
+        "plan_speedup": round(plan_speedup, 3),
+        "codegen_problem": repr(cg_problem),
+        "codegen_engines": cg_rows,
+        "codegen_speedup": round(codegen_speedup, 3),
         "counters": COUNTERS.snapshot(),
     }, benchmark=benchmark)
     # Wall-clock comparisons are noisy on shared runners, so the regression
@@ -125,3 +185,11 @@ def test_sim_throughput(benchmark, case):
     # delays (DelayChain), so they must never process more engine events than
     # the interpreter does for the same launch.
     assert plan["engine_events"] <= interp["engine_events"]
+    # The codegen series must actually vectorize (no silent fallback) ...
+    assert codegen["ctas_batched"] >= codegen["simulated_ctas"]
+    # ... and on the GEMM functional gate it must beat plans outright.
+    strict = os.environ.get("REPRO_BENCH_STRICT", "1") not in ("0", "false")
+    if case == "gemm-functional" and strict:
+        assert codegen_speedup >= CODEGEN_GEMM_GATE, (
+            f"codegen {codegen_speedup:.2f}x < {CODEGEN_GEMM_GATE}x over "
+            f"plans (set REPRO_BENCH_STRICT=0 to waive on noisy runners)")

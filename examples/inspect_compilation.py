@@ -8,6 +8,10 @@ Prints the IR of the paper's GEMM kernel at the three interesting stages:
 * after aref lowering (shared-memory rings, mbarrier arrays, asynchronous TMA
   copies and WGMMA issues -- the "PTX" of this reproduction),
 
+then the *fourth* stage this reproduction adds on top of the paper's three --
+the vectorized NumPy source that :mod:`repro.gpusim.codegen` generates from
+the lowered kernel (one ``cta_batch`` call executing every CTA of a launch at
+once) together with its cache status (emitted / memory hit / disk hit) --
 followed by the per-pass resource summary and the compile-cost report (which
 pipeline each options bundle resolved to, per-pass wall time, and the
 artifact-cache hit rates from ``repro.perf.sim_counters()``).  This mirrors
@@ -17,7 +21,7 @@ Run with:  python examples/inspect_compilation.py
 """
 
 from repro.core.compiler import compile_kernel
-from repro.core.options import CompileOptions
+from repro.core.options import CompileOptions, TRITON_BASELINE_OPTIONS
 from repro.core.pipelines import resolve_pipeline_name
 from repro.core.service import get_compiler_service
 from repro.perf.report import render_compile_report
@@ -40,6 +44,43 @@ def show(title: str, text: str, max_lines: int = 60) -> None:
         print(f"... ({len(lines) - max_lines} more lines)")
 
 
+def codegen_status(compiled, functional: bool = True):
+    """Resolve the codegen artifact and report which cache tier satisfied it."""
+    from repro.gpusim.codegen import get_codegen
+    from repro.gpusim.config import DEFAULT_CONFIG
+    from repro.perf.counters import COUNTERS
+
+    before = (COUNTERS.codegen_emitted, COUNTERS.codegen_disk_hits)
+    artifact = get_codegen(compiled, DEFAULT_CONFIG, functional)
+    if COUNTERS.codegen_emitted > before[0]:
+        status = "emitted"
+    elif COUNTERS.codegen_disk_hits > before[1]:
+        status = "disk hit"
+    else:
+        status = "memory hit"
+    return artifact, status
+
+
+def show_codegen() -> None:
+    """The simulator-side JIT: plan-to-source vectorized NumPy codegen."""
+    service = get_compiler_service()
+    compiled = service.compile(matmul_kernel, ARG_TYPES, CONSTEXPRS,
+                               TRITON_BASELINE_OPTIONS)
+    artifact, status = codegen_status(compiled)
+    show(f"generated NumPy batch source ({status}) -- one call per launch",
+         artifact.source, 80)
+    _, status = codegen_status(compiled)
+    print(f"\n  same artifact requested again: {status}")
+    ws = service.compile(matmul_kernel, ARG_TYPES, CONSTEXPRS,
+                         CompileOptions(enable_warp_specialization=True,
+                                        aref_depth=3, mma_pipeline_depth=2,
+                                        num_consumer_groups=2))
+    ws_artifact, _ = codegen_status(ws)
+    print(f"  warp-specialized variant: vectorizable="
+          f"{ws_artifact.vectorizable} ({ws_artifact.reason}) "
+          f"-- such launches fall back to plans")
+
+
 def main() -> None:
     # Stop the pipeline at each stage to show the intermediate IR.
     frontend = compile_kernel(matmul_kernel, ARG_TYPES, CONSTEXPRS,
@@ -55,6 +96,8 @@ def main() -> None:
                                             num_consumer_groups=2, persistent=True),
                              dump_ir=True)
     show("fully lowered (gpu dialect: smem rings, mbarriers, TMA, WGMMA)", lowered.ir(), 90)
+
+    show_codegen()
 
     print(f"\n{'=' * 78}\n== pass pipeline and resources\n{'=' * 78}")
     print(f"  pipeline: {lowered.pipeline!r} "

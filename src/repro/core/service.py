@@ -60,13 +60,17 @@ class CompilerService:
         options: Optional[CompileOptions] = None,
         config: Optional[H100Config] = None,
         plan_modes: Iterable[bool] = (),
+        codegen_modes: Iterable[bool] = (),
     ) -> CompiledKernel:
         """A finished compilation artifact for the request (cached).
 
         ``plan_modes`` lists the execution modes (``True`` = functional,
         ``False`` = performance) whose simulator plans must be part of the
         artifact; they are built eagerly at finalize time, never during a
-        launch.
+        launch.  ``codegen_modes`` does the same for the vectorized
+        plan-to-source artifacts (:mod:`repro.gpusim.codegen`), which have
+        their own persistent-cache entries keyed off this artifact's
+        fingerprint.
         """
         if not isinstance(kern, Kernel):
             raise CompileError(
@@ -79,11 +83,12 @@ class CompilerService:
         spec = kern.specialize(arg_types, constexprs, num_warps=options.num_warps)
         key = artifact_fingerprint(kern, spec, options, config)
         modes = tuple(dict.fromkeys(plan_modes))  # dedupe, keep order
+        cg_modes = tuple(dict.fromkeys(codegen_modes))
 
         compiled = self._memory.get(key)
         if compiled is not None:
             COUNTERS.compile_cache_hits += 1
-            self._finalize(compiled, config, modes)
+            self._finalize(compiled, config, modes, cg_modes)
             return compiled
         COUNTERS.compile_cache_misses += 1
 
@@ -94,7 +99,8 @@ class CompilerService:
                 COUNTERS.compile_disk_hits += 1
                 compiled = self._reconstruct(kern, key, payload)
                 self._finalize(compiled, config,
-                               tuple(payload.get("plan_modes", ())) + modes)
+                               tuple(payload.get("plan_modes", ())) + modes,
+                               tuple(payload.get("codegen_modes", ())) + cg_modes)
                 self._memory.put(key, compiled)
                 return compiled
             COUNTERS.compile_disk_misses += 1
@@ -102,9 +108,9 @@ class CompilerService:
         compiled = compile_kernel(kern, dict(spec.arg_types), constexprs,
                                   options, config=config, spec=spec)
         assert compiled.fingerprint == key  # one key computation, two users
-        self._finalize(compiled, config, modes)
+        self._finalize(compiled, config, modes, cg_modes)
         if disk is not None:
-            disk.store(key, self._payload(compiled, modes))
+            disk.store(key, self._payload(compiled, modes, cg_modes))
         self._memory.put(key, compiled)
         return compiled
 
@@ -146,20 +152,28 @@ class CompilerService:
 
     @staticmethod
     def _finalize(compiled: CompiledKernel, config: H100Config,
-                  modes: Iterable[bool]) -> None:
+                  modes: Iterable[bool],
+                  codegen_modes: Iterable[bool] = ()) -> None:
         """Eagerly build the artifact's execution plans for ``modes``.
 
         :func:`repro.gpusim.plan.get_plan` memoizes per (mode, config) on the
         artifact, so re-finalizing an already-finalized artifact (a cache
-        hit requesting the same modes) is a dict lookup.
+        hit requesting the same modes) is a dict lookup.  The same holds for
+        :func:`repro.gpusim.codegen.get_codegen` and ``codegen_modes``.
         """
         from repro.gpusim.plan import get_plan
 
         for functional in modes:
             get_plan(compiled, config, functional)
+        if codegen_modes := tuple(codegen_modes):
+            from repro.gpusim.codegen import get_codegen
+
+            for functional in codegen_modes:
+                get_codegen(compiled, config, functional)
 
     @staticmethod
-    def _payload(compiled: CompiledKernel, modes: Iterable[bool]) -> dict:
+    def _payload(compiled: CompiledKernel, modes: Iterable[bool],
+                 codegen_modes: Iterable[bool] = ()) -> dict:
         """The picklable persistent form of an artifact.
 
         Plans are deliberately absent: their instruction streams are closures,
@@ -179,6 +193,7 @@ class CompilerService:
             "metadata": compiled.metadata,
             "pipeline": compiled.pipeline,
             "plan_modes": tuple(modes),
+            "codegen_modes": tuple(codegen_modes),
         }
 
     @staticmethod

@@ -78,6 +78,10 @@ def _env_use_plans() -> bool:
     return os.environ.get("REPRO_SIM_PLANS", "1") not in ("0", "false", "off")
 
 
+def _env_codegen() -> bool:
+    return os.environ.get("REPRO_SIM_CODEGEN", "0") in ("1", "true", "on")
+
+
 class LaunchBatch:
     """An order-preserving queue of launches executed by :meth:`Device.run_many`.
 
@@ -115,7 +119,7 @@ class Device:
                  use_plans: Optional[bool] = None, workers: Optional[int] = None,
                  shard_timeout: Optional[float] = None,
                  shard_retries: Optional[int] = None,
-                 pool=None):
+                 pool=None, codegen: Optional[bool] = None):
         if mode not in ("functional", "performance"):
             raise ValueError(f"unknown device mode {mode!r}")
         self.config = config
@@ -144,6 +148,21 @@ class Device:
         # REPRO_SIM_POOL; anything that resolves below 2 workers disables
         # the pool.  Results are bit-identical to serial.
         self.pool = pool_mod.resolve_pool(pool)
+        # codegen: batch vectorizable launches through one generated NumPy
+        # call per launch (repro.gpusim.codegen); non-vectorizable launches
+        # fall back to plans/interpreter.  None consults REPRO_SIM_CODEGEN
+        # (default off).  Results are bit-identical to serial.
+        self.codegen = _env_codegen() if codegen is None else bool(codegen)
+        # Reject explicitly contradictory knob combinations up front; knobs
+        # resolved from the environment are judged by the selection matrix
+        # (graceful degradation), not here.
+        executors.validate_engine_settings(
+            collect_trace=self.collect_trace,
+            use_plans=self.use_plans if use_plans is not None else None,
+            workers=self.workers if workers is not None else None,
+            pool=self.pool if pool is not None else None,
+            codegen=self.codegen if codegen is not None else None,
+        )
 
     # ------------------------------------------------------------------ executor
 
@@ -165,6 +184,7 @@ class Device:
             shard_timeout=self.shard_timeout,
             shard_retries=self.shard_retries,
             pool=pool,
+            codegen=self.codegen,
         )
 
     def executor(self) -> executors.ExecutorBase:

@@ -41,8 +41,10 @@ from repro.gpusim.executors.base import (
 from repro.gpusim.executors.serial import SerialExecutor
 from repro.gpusim.executors.sharded import ShardedExecutor
 from repro.gpusim.executors.pooled import PooledExecutor
+from repro.gpusim.executors.vectorized import CodegenExecutor
 
 __all__ = [
+    "CodegenExecutor",
     "Executor",
     "ExecutorBase",
     "ExecutorSettings",
@@ -55,11 +57,19 @@ __all__ = [
     "run_pipelined",
     "select_executor",
     "total_launch_cycles",
+    "validate_engine_settings",
 ]
 
 
 def select_executor(settings: ExecutorSettings) -> ExecutorBase:
     """The executor a device with ``settings`` runs launches through.
+
+    The vectorized codegen engine wraps whichever strategy the rest of the
+    settings would select: it batches vectorizable launches through one
+    generated NumPy call and delegates everything else (per launch) to its
+    fallback, so ``codegen=True`` composes with sharding and pools.  Trace
+    collection disables it -- the per-op event trace only exists on the
+    interpreted/planned paths.
 
     Sharding is only ever profitable (and only correct -- the trace must
     interleave globally, and the perf-mode sample is a handful of CTAs) for
@@ -70,6 +80,8 @@ def select_executor(settings: ExecutorSettings) -> ExecutorBase:
     """
     from repro.gpusim import parallel
 
+    if settings.codegen and not settings.collect_trace:
+        return CodegenExecutor(settings)
     if (settings.functional and not settings.collect_trace
             and parallel.fork_available()):
         if settings.pool is not None and not settings.pool.closed:
@@ -77,3 +89,47 @@ def select_executor(settings: ExecutorSettings) -> ExecutorBase:
         if settings.workers > 1:
             return ShardedExecutor(settings)
     return SerialExecutor(settings)
+
+
+def validate_engine_settings(*, collect_trace=None, use_plans=None,
+                             workers=None, pool=None, codegen=None) -> None:
+    """Reject contradictory engine-selection knob combinations up front.
+
+    This is the one home of the engine-selection compatibility matrix.  Every
+    argument is ``None`` when the caller did not set the corresponding knob
+    *explicitly* -- environment-resolved defaults (``REPRO_SIM_WORKERS``,
+    ``REPRO_SIM_POOL``, ...) are deliberately not judged here, so a test that
+    builds a tracing device under a CI-wide ``REPRO_SIM_WORKERS=2`` still
+    degrades gracefully to serial execution instead of erroring.
+
+    ``workers=N`` is likewise only a *hint* even when explicit -- the sharding
+    layer has always degraded it silently (small grids, perf mode, trace
+    collection; pinned by ``tests/test_parallel.py``), so it is never judged
+    here either.  The pool and codegen knobs, by contrast, name a specific
+    engine: asking for one in a configuration that can never use it raises
+    :class:`~repro.gpusim.engine.SimulationError` immediately, at
+    construction time, instead of being silently ignored at launch time.
+    """
+    del workers  # an optimization hint, degraded by the selection matrix
+
+    from repro.gpusim.engine import SimulationError
+
+    if use_plans is False and pool is not None:
+        raise SimulationError(
+            "use_plans=False cannot be combined with a persistent worker "
+            "pool: pool workers resolve pre-built execution plans by artifact "
+            "fingerprint. Drop pool= or re-enable plans."
+        )
+    if collect_trace:
+        if pool is not None:
+            raise SimulationError(
+                "collect_trace=True requires serial execution (the event "
+                "trace must interleave globally); it cannot be combined with "
+                "a persistent worker pool. Drop pool= or the trace."
+            )
+        if codegen:
+            raise SimulationError(
+                "collect_trace=True cannot be combined with codegen=True: "
+                "the vectorized batch call executes no per-op events to "
+                "trace. Drop codegen= or the trace."
+            )

@@ -68,6 +68,10 @@ class ExecutorSettings:
     #: persistent worker pool (repro.gpusim.pool.WorkerPool) launches are
     #: dispatched to instead of forking per launch; None = fork-per-launch.
     pool: Any = None
+    #: vectorized plan-to-source engine (repro.gpusim.codegen): batch all
+    #: CTAs of a launch through one generated NumPy call, falling back to
+    #: plans for launches the emitter cannot vectorize.
+    codegen: bool = False
 
     @property
     def functional(self) -> bool:
@@ -108,9 +112,10 @@ def compile_spec(settings: ExecutorSettings, kern, args: Mapping[str, Any],
 
     arg_types = {name: infer_arg_type(value) for name, value in args.items()}
     plan_modes = (settings.functional,) if settings.use_plans else ()
+    codegen_modes = (settings.functional,) if settings.codegen else ()
     return get_compiler_service().compile(
         kern, arg_types, constexprs, options, config=settings.config,
-        plan_modes=plan_modes,
+        plan_modes=plan_modes, codegen_modes=codegen_modes,
     )
 
 

@@ -86,6 +86,18 @@ class SimCounters:
     #: (a gauge, not a cumulative counter: GlobalBuffer.make_shared adds,
     #: GlobalBuffer.release_shared subtracts; a quiesced process reads 0)
     parallel_shared_bytes: int = 0
+    #: plan-to-source codegen (repro.gpusim.codegen): artifacts emitted vs.
+    #: reused from the in-process memo / persistent disk tier, launches that
+    #: went through a vectorized batch call (with the CTAs they batched), and
+    #: launches that fell back to plans/interpreter because the kernel or the
+    #: launch was not vectorizable
+    codegen_emitted: int = 0
+    codegen_memory_hits: int = 0
+    codegen_disk_hits: int = 0
+    codegen_disk_writes: int = 0
+    codegen_launches: int = 0
+    codegen_ctas_batched: int = 0
+    codegen_fallback_launches: int = 0
     #: autotuner (repro.tune): persisted best-config tier lookups, simulated
     #: measurements actually run (a warm store hit runs zero), and candidates
     #: discarded by static pruning before ranking

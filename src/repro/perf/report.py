@@ -86,4 +86,13 @@ def render_compile_report(counters: Optional[Mapping] = None) -> str:
         f"{c.get('compile_disk_writes', 0)} writes, "
         f"{c.get('compile_disk_errors', 0)} errors"
     )
+    lines.append(
+        f"codegen artifacts: {c.get('codegen_emitted', 0)} emitted, "
+        f"{c.get('codegen_memory_hits', 0)} memory hits, "
+        f"{c.get('codegen_disk_hits', 0)} disk hits, "
+        f"{c.get('codegen_disk_writes', 0)} disk writes; "
+        f"launches: {c.get('codegen_launches', 0)} batched "
+        f"({c.get('codegen_ctas_batched', 0)} CTAs), "
+        f"{c.get('codegen_fallback_launches', 0)} fallbacks"
+    )
     return "\n".join(lines)

@@ -1,14 +1,17 @@
-"""Differential fuzzing: interpreter vs. plans vs. sharded vs. pooled.
+"""Differential fuzzing: interpreter vs. plans vs. sharded vs. pooled vs. codegen.
 
 Randomized small kernels and grids (seeded, so every CI run reproduces the
-same cases) are executed through the simulator's four functional execution
+same cases) are executed through the simulator's five functional execution
 paths:
 
 * the IR interpreter (``use_plans=False``) -- the semantics oracle,
 * compile-once execution plans (``use_plans=True``),
-* sharded multi-process execution (``workers=2`` on top of plans), and
+* sharded multi-process execution (``workers=2`` on top of plans),
 * persistent-pool execution (``pool=2``: long-lived workers and the
-  reusable shared arena, :mod:`repro.gpusim.pool`),
+  reusable shared arena, :mod:`repro.gpusim.pool`), and
+* vectorized codegen (``codegen=True``: one generated NumPy batch call per
+  launch, :mod:`repro.gpusim.codegen`, falling back to plans for kernels the
+  emitter cannot vectorize -- the fallback path is differential-tested too),
 
 and the results must agree **bit-for-bit**: output buffers (compared as raw
 bytes), total cycles, per-CTA cycle lists, tensor-core utilization and bytes
@@ -67,7 +70,7 @@ BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260726"))
 CASES_PER_FAMILY = int(os.environ.get("REPRO_FUZZ_CASES", "5"))
 MAX_SHRINK_STEPS = 24
 
-ENGINES = ("interpreter", "plans", "sharded", "pooled")
+ENGINES = ("interpreter", "plans", "sharded", "pooled", "codegen")
 
 
 def _device(engine: str) -> Device:
@@ -77,6 +80,8 @@ def _device(engine: str) -> Device:
         return Device(mode="functional", use_plans=True, workers=1)
     if engine == "sharded":
         return Device(mode="functional", use_plans=True, workers=2)
+    if engine == "codegen":
+        return Device(mode="functional", use_plans=True, workers=1, codegen=True)
     return Device(mode="functional", use_plans=True, workers=1, pool=2)
 
 

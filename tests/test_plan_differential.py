@@ -98,6 +98,66 @@ class TestFunctionalDifferential:
         assert r_p.per_cta_cycles == r_i.per_cta_cycles
 
 
+class TestCodegenDifferential:
+    """Vectorized codegen vs. plans: bit-identical across every compile path.
+
+    Warp-specialized (multi-region) kernels are not vectorizable; for those
+    the codegen device must transparently fall back to plans -- counted by
+    ``codegen_fallback_launches`` -- and still agree bit for bit.
+    """
+
+    @pytest.mark.parametrize("name,options", GEMM_OPTION_CASES,
+                             ids=[c[0] for c in GEMM_OPTION_CASES])
+    def test_gemm_all_paths(self, name, options):
+        problem = GemmProblem(M=256, N=256, K=128, block_m=64, block_n=64,
+                              block_k=32)
+        plan = Device(mode="functional", use_plans=True)
+        gen = Device(mode="functional", use_plans=True, codegen=True)
+        r_p, c_p = run_gemm(plan, problem, options)
+        r_c, c_c = run_gemm(gen, problem, options)
+        assert r_c.cycles == r_p.cycles
+        assert r_c.per_cta_cycles == r_p.per_cta_cycles
+        assert r_c.tensor_core_utilization == r_p.tensor_core_utilization
+        assert np.array_equal(c_c, c_p)
+
+    def test_single_region_gemm_uses_the_batch_call(self):
+        problem = GemmProblem(M=128, N=128, K=64, block_m=32, block_n=32,
+                              block_k=32)
+        launches = COUNTERS.codegen_launches
+        fallbacks = COUNTERS.codegen_fallback_launches
+        run_gemm(Device(codegen=True), problem, NAIVE_OPTIONS)
+        assert COUNTERS.codegen_launches == launches + 1
+        assert COUNTERS.codegen_fallback_launches == fallbacks
+
+    def test_warp_specialized_gemm_falls_back(self):
+        problem = GemmProblem(M=128, N=128, K=64, block_m=32, block_n=32,
+                              block_k=32)
+        options = GEMM_OPTION_CASES[0][1]
+        launches = COUNTERS.codegen_launches
+        fallbacks = COUNTERS.codegen_fallback_launches
+        run_gemm(Device(codegen=True), problem, options)
+        assert COUNTERS.codegen_launches == launches
+        assert COUNTERS.codegen_fallback_launches == fallbacks + 1
+
+    @pytest.mark.parametrize("fig", ["fig8_gemm", "fig9_gemm_variants",
+                                     "fig10_attention", "fig11_hyperparams",
+                                     "fig12_ablation"])
+    def test_figure_rows_identical(self, fig):
+        import importlib
+
+        mod = importlib.import_module(f"repro.experiments.{fig}")
+        plan = Device(mode="performance", max_ctas_per_sm_simulated=2)
+        gen = Device(mode="performance", max_ctas_per_sm_simulated=2,
+                     codegen=True)
+        figs_p = mod.run(full=False, device=plan)
+        figs_c = mod.run(full=False, device=gen)
+        assert len(figs_p) == len(figs_c)
+        for f_p, f_c in zip(figs_p, figs_c):
+            rows_p = [(r.series, r.x, r.tflops) for r in f_p.rows]
+            rows_c = [(r.series, r.x, r.tflops) for r in f_c.rows]
+            assert rows_c == rows_p
+
+
 class TestPerformanceDifferential:
     """Performance mode over the reduced fig8-fig12 configurations."""
 
