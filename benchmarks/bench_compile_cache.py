@@ -106,12 +106,12 @@ def test_fingerprint_memoization():
     from repro.kernels.gemm import matmul_kernel
 
     accesses = 2000
-    matmul_kernel.source_fingerprint  # prime the memo
+    assert matmul_kernel.source_fingerprint  # prime the memo
 
     recomputes_before = matmul_kernel.fingerprint_recomputes
     start = time.perf_counter()
     for _ in range(accesses):
-        matmul_kernel.source_fingerprint
+        _ = matmul_kernel.source_fingerprint
     warm_seconds = time.perf_counter() - start
     # The memo must actually have served the warm loop: zero recomputes.
     assert matmul_kernel.fingerprint_recomputes == recomputes_before
@@ -120,7 +120,7 @@ def test_fingerprint_memoization():
     for _ in range(accesses):
         # Dropping the memo forces the historical full-hash path.
         matmul_kernel._fingerprint_value = None
-        matmul_kernel.source_fingerprint
+        _ = matmul_kernel.source_fingerprint
     cold_seconds = time.perf_counter() - start
 
     speedup = cold_seconds / max(warm_seconds, 1e-12)

@@ -25,7 +25,6 @@ import json
 import os
 import re
 from pathlib import Path
-from typing import Optional
 
 import pytest
 
@@ -42,7 +41,7 @@ def bench_warmup_rounds() -> int:
     return max(0, int(os.environ.get("REPRO_BENCH_WARMUP", "0")))
 
 
-def json_output_dir() -> Optional[Path]:
+def json_output_dir() -> Path | None:
     raw = os.environ.get("REPRO_BENCH_JSON", "")
     if raw in ("0", "false", "off"):
         return None
@@ -70,7 +69,7 @@ def _benchmark_stats(benchmark) -> dict:
         return {}
 
 
-def emit_json(name: str, payload: dict, benchmark=None) -> Optional[Path]:
+def emit_json(name: str, payload: dict, benchmark=None) -> Path | None:
     """Write one machine-readable JSON document for a benchmark run."""
     out_dir = json_output_dir()
     if out_dir is None:

@@ -12,10 +12,12 @@ then the *fourth* stage this reproduction adds on top of the paper's three --
 the vectorized NumPy source that :mod:`repro.gpusim.codegen` generates from
 the lowered kernel (one ``cta_batch`` call executing every CTA of a launch at
 once) together with its cache status (emitted / memory hit / disk hit) --
-followed by the per-pass resource summary and the compile-cost report (which
-pipeline each options bundle resolved to, per-pass wall time, and the
-artifact-cache hit rates from ``repro.perf.sim_counters()``).  This mirrors
-Fig. 2 of the paper.
+and the static-analysis verdict (:mod:`repro.analysis`: channel protocol,
+bounds, resource budgets, with per-severity counts and the artifact's cache
+status), followed by the per-pass resource summary and the compile-cost
+report (which pipeline each options bundle resolved to, per-pass wall time,
+and the artifact-cache hit rates from ``repro.perf.sim_counters()``).  This
+mirrors Fig. 2 of the paper.
 
 Run with:  python examples/inspect_compilation.py
 """
@@ -81,6 +83,31 @@ def show_codegen() -> None:
           f"-- such launches fall back to plans")
 
 
+def show_analysis() -> None:
+    """The static-analysis stage: findings + artifact-cache status."""
+    from repro.analysis import get_analysis
+    from repro.gpusim.config import DEFAULT_CONFIG
+    from repro.perf.counters import COUNTERS
+
+    service = get_compiler_service()
+    compiled = service.compile(matmul_kernel, ARG_TYPES, CONSTEXPRS,
+                               CompileOptions(num_consumer_groups=2))
+    before = (COUNTERS.analysis_runs, COUNTERS.analysis_disk_hits)
+    result = get_analysis(compiled, DEFAULT_CONFIG)
+    if COUNTERS.analysis_runs > before[0]:
+        status = "analyzed"
+    elif COUNTERS.analysis_disk_hits > before[1]:
+        status = "disk hit"
+    else:
+        status = "memory hit"
+    show(f"static analysis ({status}) -- channel protocol, bounds, resources",
+         result.render())
+    before_hits = COUNTERS.analysis_memory_hits
+    get_analysis(compiled, DEFAULT_CONFIG)
+    again = "memory hit" if COUNTERS.analysis_memory_hits > before_hits else status
+    print(f"\n  same artifact requested again: {again}")
+
+
 def main() -> None:
     # Stop the pipeline at each stage to show the intermediate IR.
     frontend = compile_kernel(matmul_kernel, ARG_TYPES, CONSTEXPRS,
@@ -98,6 +125,7 @@ def main() -> None:
     show("fully lowered (gpu dialect: smem rings, mbarriers, TMA, WGMMA)", lowered.ir(), 90)
 
     show_codegen()
+    show_analysis()
 
     print(f"\n{'=' * 78}\n== pass pipeline and resources\n{'=' * 78}")
     print(f"  pipeline: {lowered.pipeline!r} "

@@ -1,0 +1,266 @@
+"""Interval/affine bounds and mask analysis over index arithmetic.
+
+A small abstract interpreter over the integer index expressions feeding tile
+loads and stores: program ids, loop induction variables, ``make_range`` tiles
+and the ``cdiv``-derived extents the frontend folds into them.  Each value is
+abstracted to a closed interval ``[lo, hi]`` over the *set of elements* (a
+tensor's interval spans all its lanes), with ``±inf`` for unknown runtime
+quantities (grid extents, ``M``/``N``/``K`` arguments).
+
+What it proves and reports:
+
+* ``bounds-negative-offset`` (error) -- a TMA coordinate or an unmasked
+  pointer offset that is provably negative (``hi < 0``): the access can never
+  be in bounds.
+* ``bounds-unproven-access`` (warning) -- an *unmasked* load/store whose
+  offset may be negative (``lo < 0 <= hi``): neither provably in-bounds nor
+  mask-guarded.
+* ``bounds-unreachable-mask`` (warning) -- a mask that is provably false for
+  every lane: the guarded access is dead code (usually an inverted
+  comparison).
+* ``bounds-redundant-mask`` (note) -- a mask provably true for every lane.
+
+Upper bounds against runtime buffer extents are not provable statically (the
+extents are launch arguments); masked accesses are accepted as guarded, which
+matches how the kernels in :mod:`repro.workloads` are written.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.channels import _enclosing_warp_group, _region_label
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.ir.dialects import scf
+from repro.ir.module import FuncOp
+from repro.ir.operation import BlockArgument, OpResult, Value
+
+INF = math.inf
+TOP = (-INF, INF)
+
+#: shape-only ops through which intervals (and mask truth) pass unchanged
+_VIEW_OPS = ("tt.splat", "tt.expand_dims", "tt.broadcast", "tt.reshape",
+             "tt.trans")
+
+
+def _hull(a, b):
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def _add(a, b):
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def _sub(a, b):
+    return (a[0] - b[1], a[1] - b[0])
+
+
+def _mul(a, b):
+    products = []
+    for x in a:
+        for y in b:
+            if (x in (INF, -INF) or y in (INF, -INF)) and 0.0 in (x, y):
+                products.append(0.0)  # inf * 0 -> conservative 0 endpoint
+            else:
+                products.append(x * y)
+    return (min(products), max(products))
+
+
+class _Evaluator:
+    """Memoized interval evaluation over the SSA graph (demand-driven)."""
+
+    def __init__(self):
+        self.env: dict = {}
+
+    def eval(self, value: Value):
+        cached = self.env.get(value)
+        if cached is not None:
+            return cached
+        self.env[value] = TOP  # cycle guard for loop-carried values
+        result = self._compute(value)
+        self.env[value] = result
+        return result
+
+    def _compute(self, value: Value):
+        if isinstance(value, BlockArgument):
+            owner = value.block.parent_op
+            if isinstance(owner, scf.ForOp) and value.index == 0:
+                lb = self.eval(owner.lower_bound)
+                ub = self.eval(owner.upper_bound)
+                step = self.eval(owner.step)
+                if step[0] > 0:  # forward loop: iv in [lb, ub-1]
+                    return (lb[0], ub[1] - 1)
+            return TOP
+        assert isinstance(value, OpResult)
+        op = value.op
+        name = op.name
+        if name == "arith.constant":
+            v = op.attributes.get("value")
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                return TOP
+            return (float(v), float(v))
+        if name == "tt.get_program_id":
+            return (0.0, INF)
+        if name == "tt.get_num_programs":
+            return (1.0, INF)
+        if name == "tt.make_range":
+            return (float(op.start), float(op.end - 1))
+        if name == "tt.full":
+            v = op.attributes.get("value")
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                return (float(v), float(v))
+            return TOP
+        if name in _VIEW_OPS or name == "arith.cast":
+            return self.eval(op.operands[0])
+        if name in ("arith.addi", "arith.addf"):
+            return _add(self.eval(op.operands[0]), self.eval(op.operands[1]))
+        if name in ("arith.subi", "arith.subf"):
+            return _sub(self.eval(op.operands[0]), self.eval(op.operands[1]))
+        if name in ("arith.muli", "arith.mulf"):
+            return _mul(self.eval(op.operands[0]), self.eval(op.operands[1]))
+        if name == "arith.divsi":
+            a, b = (self.eval(o) for o in op.operands)
+            if b[0] == b[1] and b[0] > 0:
+                lo = a[0] / b[0] if a[0] in (INF, -INF) else math.floor(a[0] / b[0])
+                hi = a[1] / b[0] if a[1] in (INF, -INF) else math.floor(a[1] / b[0])
+                return (lo, hi)
+            return TOP
+        if name == "arith.remsi":
+            b = self.eval(op.operands[1])
+            if b[0] == b[1] and b[0] > 0:
+                return (0.0, b[0] - 1)
+            return TOP
+        if name == "arith.minsi":
+            a, b = (self.eval(o) for o in op.operands)
+            return (min(a[0], b[0]), min(a[1], b[1]))
+        if name == "arith.maxsi":
+            a, b = (self.eval(o) for o in op.operands)
+            return (max(a[0], b[0]), max(a[1], b[1]))
+        if name in ("arith.select", "tt.where"):
+            return _hull(self.eval(op.operands[1]), self.eval(op.operands[2]))
+        return TOP
+
+    # -- mask truth ---------------------------------------------------------
+
+    def mask_truth(self, value: Value):
+        """``True`` / ``False`` when provable for every lane, else ``None``."""
+        if isinstance(value, BlockArgument):
+            return None
+        op = value.op
+        name = op.name
+        if name in _VIEW_OPS:
+            return self.mask_truth(op.operands[0])
+        if name == "arith.constant":
+            v = op.attributes.get("value")
+            return bool(v) if isinstance(v, (bool, int)) else None
+        if name == "arith.andi":
+            truths = [self.mask_truth(o) for o in op.operands]
+            if False in truths:
+                return False
+            if all(t is True for t in truths):
+                return True
+            return None
+        if name == "arith.ori":
+            truths = [self.mask_truth(o) for o in op.operands]
+            if True in truths:
+                return True
+            if all(t is False for t in truths):
+                return False
+            return None
+        if name in ("arith.cmpi", "arith.cmpf"):
+            return self._cmp_truth(op)
+        return None
+
+    def _cmp_truth(self, op):
+        a = self.eval(op.operands[0])
+        b = self.eval(op.operands[1])
+        pred = op.attributes.get("predicate")
+        if pred in ("slt", "lt"):
+            if a[1] < b[0]:
+                return True
+            if a[0] >= b[1]:
+                return False
+        elif pred in ("sle", "le"):
+            if a[1] <= b[0]:
+                return True
+            if a[0] > b[1]:
+                return False
+        elif pred in ("sgt", "gt"):
+            if a[0] > b[1]:
+                return True
+            if a[1] <= b[0]:
+                return False
+        elif pred in ("sge", "ge"):
+            if a[0] >= b[1]:
+                return True
+            if a[1] < b[0]:
+                return False
+        elif pred == "eq":
+            if a[1] < b[0] or b[1] < a[0]:
+                return False
+            if a[0] == a[1] == b[0] == b[1]:
+                return True
+        elif pred == "ne":
+            if a[1] < b[0] or b[1] < a[0]:
+                return True
+            if a[0] == a[1] == b[0] == b[1]:
+                return False
+        return None
+
+    # -- pointer offsets ----------------------------------------------------
+
+    def ptr_offset(self, value: Value):
+        """The accumulated element offset of a pointer (base pointer = 0)."""
+        if isinstance(value, BlockArgument):
+            return (0.0, 0.0)
+        op = value.op
+        if op.name == "tt.addptr":
+            return _add(self.ptr_offset(op.operands[0]), self.eval(op.operands[1]))
+        if op.name in _VIEW_OPS:
+            return self.ptr_offset(op.operands[0])
+        return (0.0, 0.0)
+
+
+def analyze_bounds(func: FuncOp) -> list:
+    """Check every tile access of ``func``; returns the diagnostic list."""
+    ev = _Evaluator()
+    diags: list = []
+    fname = func.sym_name
+
+    def report(severity, code, message, op):
+        where = _region_label(_enclosing_warp_group(op))
+        diags.append(Diagnostic(severity, code, message, fname, op.name, where))
+
+    for op in func.walk():
+        name = op.name
+        if name in ("tt.tma_load", "tt.tma_store"):
+            for axis, coord in enumerate(op.coords):
+                lo, hi = ev.eval(coord)
+                if hi < 0:
+                    report(Severity.ERROR, "bounds-negative-offset",
+                           f"coordinate #{axis} is provably negative "
+                           f"(range [{lo:g}, {hi:g}]); the tile can never be "
+                           f"in bounds", op)
+        elif name in ("tt.load", "tt.store"):
+            mask = op.mask
+            if mask is not None:
+                truth = ev.mask_truth(mask)
+                if truth is False:
+                    report(Severity.WARNING, "bounds-unreachable-mask",
+                           "mask is provably false for every lane; the "
+                           "guarded access is dead code", op)
+                elif truth is True:
+                    report(Severity.NOTE, "bounds-redundant-mask",
+                           "mask is provably true for every lane", op)
+                continue  # mask-guarded: accepted
+            lo, hi = ev.ptr_offset(op.ptr)
+            if hi < 0:
+                report(Severity.ERROR, "bounds-negative-offset",
+                       f"pointer offset is provably negative "
+                       f"(range [{lo:g}, {hi:g}])", op)
+            elif lo < 0:
+                report(Severity.WARNING, "bounds-unproven-access",
+                       f"unmasked access with a possibly-negative offset "
+                       f"(range [{lo:g}, {hi:g}]); add a mask or tighten the "
+                       f"index arithmetic", op)
+    return diags

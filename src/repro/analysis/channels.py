@@ -1,0 +1,249 @@
+"""Static happens-before checking of aref channels (the race detector).
+
+Works on mid-level (``tawa`` dialect) IR, where channels are still symbolic:
+``tawa.create_aref`` declares a ring, ``tawa.aref_slot`` selects a generation
+slot and ``tawa.put`` / ``tawa.get`` / ``tawa.consumed`` are the protocol
+steps executed inside ``tawa.warp_group`` regions.  The analysis rebuilds the
+producer/consumer channel graph from those ops and checks the protocol of
+paper Fig. 4 *statically*:
+
+* role discipline -- ``put`` only in producer regions, ``get``/``consumed``
+  only in consumer regions, and never outside a warp group;
+* per-generation linearity -- at most one ``put`` and one ``get`` per slot
+  value (a slot value *is* one ring generation), and every ``get`` released
+  by a ``consumed`` before the ring index wraps;
+* connectivity -- every channel has exactly one producing and one consuming
+  region (cooperative consumer replicas share a region), so no two regions
+  touch the same smem slot without an intervening channel edge;
+* index agreement -- the producer's and the consumer's slot-index expressions
+  must be the *same* affine function of the loop nest (compared by canonical
+  fingerprint), otherwise the producer writes generation ``i`` while the
+  consumer waits on generation ``j``;
+* ring coverage -- a loop-carried channel's depth must cover the pipelining
+  distance chosen by :mod:`repro.core.pipelining` (D >= P), the feasible
+  region of the paper's Fig. 11.
+
+Everything is reported as :class:`~repro.analysis.diagnostics.Diagnostic`;
+nothing raises, so one broken kernel yields its full finding list.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.ir.dialects import scf, tawa
+from repro.ir.module import FuncOp
+from repro.ir.operation import BlockArgument, Operation, Value
+
+
+def _enclosing_warp_group(op: Operation):
+    cur = op.parent_op
+    while cur is not None and not isinstance(cur, FuncOp):
+        if isinstance(cur, tawa.WarpGroupOp):
+            return cur
+        cur = cur.parent_op
+    return None
+
+
+def _region_label(wg) -> str:
+    if wg is None:
+        return "top-level"
+    return f"{wg.role}@{wg.partition}"
+
+
+def _loop_depth(loop: Operation) -> int:
+    depth = 0
+    cur = loop.parent_op
+    while cur is not None and not isinstance(cur, FuncOp):
+        if isinstance(cur, scf.ForOp):
+            depth += 1
+        cur = cur.parent_op
+    return depth
+
+
+def index_fingerprint(value: Value, _depth: int = 0):
+    """A canonical, clone-invariant fingerprint of an index expression.
+
+    Two warp-group regions are clones of the same loop nest, so their slot
+    indices are *different SSA values* computing the *same affine function*.
+    The fingerprint abstracts each value to its defining structure: loop
+    induction variables to ``("iv", nesting depth, bounds)``, function
+    arguments to their position, constants to their value, and any other op
+    to its name, attributes and operand fingerprints.  Structurally equal
+    clones therefore fingerprint identically, while a skewed index (e.g. an
+    extra ``+1`` on one side) does not.
+    """
+    if _depth > 64:
+        return ("deep",)
+    if isinstance(value, BlockArgument):
+        owner = value.block.parent_op
+        if isinstance(owner, scf.ForOp) and value.index == 0:
+            bounds = tuple(index_fingerprint(b, _depth + 1)
+                           for b in (owner.lower_bound, owner.upper_bound, owner.step))
+            return ("iv", _loop_depth(owner), bounds)
+        return ("arg", value.index)
+    op = value.op
+    if op.name == "arith.constant":
+        return ("const", op.attributes.get("value"))
+    attrs = tuple(sorted(
+        (k, v) for k, v in op.attributes.items() if isinstance(v, (int, str, bool, float))
+    ))
+    operands = tuple(index_fingerprint(o, _depth + 1) for o in op.operands)
+    return (op.name, attrs, operands)
+
+
+def _is_loop_variant(fp) -> bool:
+    """Whether a fingerprint depends on a loop induction variable."""
+    if not isinstance(fp, tuple):
+        return False
+    if fp and fp[0] == "iv":
+        return True
+    return any(_is_loop_variant(part) for part in fp)
+
+
+class _SlotUse:
+    """One ``tawa.aref_slot`` and the protocol ops applied to its result."""
+
+    def __init__(self, slot_op: tawa.ArefSlotOp):
+        self.slot_op = slot_op
+        self.wg = _enclosing_warp_group(slot_op)
+        self.fingerprint = index_fingerprint(slot_op.index)
+        self.puts = []
+        self.gets = []
+        self.consumeds = []
+        users = [user for user, _ in slot_op.result.uses
+                 if user.parent is not None]
+        for user in sorted(users, key=lambda u: u.block_position()):
+            if isinstance(user, tawa.PutOp):
+                self.puts.append(user)
+            elif isinstance(user, tawa.GetOp):
+                self.gets.append(user)
+            elif isinstance(user, tawa.ConsumedOp):
+                self.consumeds.append(user)
+
+    @property
+    def where(self) -> str:
+        return _region_label(self.wg)
+
+
+def analyze_channels(func: FuncOp, options) -> list:
+    """Check every aref channel of ``func``; returns the diagnostic list."""
+    diags: list = []
+    fname = func.sym_name
+
+    def report(severity, code, message, op="?", where="top-level"):
+        diags.append(Diagnostic(severity, code, message, fname, op, where))
+
+    creates = [op for op in func.walk() if isinstance(op, tawa.CreateArefOp)]
+    for create in creates:
+        aref_name = create.get_attr("aref_name", "aref")
+        depth = create.depth
+        uses = [
+            _SlotUse(user)
+            for user, _ in create.results[0].uses
+            if isinstance(user, tawa.ArefSlotOp) and user.parent is not None
+        ]
+
+        producer_regions = {}
+        consumer_regions = {}
+        put_fps, get_fps = [], []
+        for use in uses:
+            role = use.wg.role if use.wg is not None else None
+            # -- role discipline -------------------------------------------
+            for put in use.puts:
+                if role != tawa.PRODUCER_ROLE:
+                    report(Severity.ERROR, "aref-role-mismatch",
+                           f"put on {aref_name!r} outside a producer region",
+                           put.name, use.where)
+            for acq in use.gets + use.consumeds:
+                if role != tawa.CONSUMER_ROLE:
+                    report(Severity.ERROR, "aref-role-mismatch",
+                           f"{acq.name} on {aref_name!r} outside a consumer region",
+                           acq.name, use.where)
+            # -- per-generation linearity ----------------------------------
+            if len(use.puts) > 1:
+                report(Severity.ERROR, "aref-double-put",
+                       f"{len(use.puts)} puts on one generation of {aref_name!r}: "
+                       f"the second blocks until a get, deadlocking the producer",
+                       "tawa.put", use.where)
+            if len(use.gets) > 1:
+                report(Severity.ERROR, "aref-double-get",
+                       f"{len(use.gets)} gets on one generation of {aref_name!r}",
+                       "tawa.get", use.where)
+            if use.gets and not use.consumeds:
+                report(Severity.ERROR, "aref-missing-consumed",
+                       f"get on {aref_name!r} is never released by tawa.consumed; "
+                       f"the slot never returns to EMPTY, so the producer "
+                       f"deadlocks when the ring index wraps",
+                       "tawa.get", use.where)
+            if len(use.consumeds) > len(use.gets):
+                report(Severity.ERROR, "aref-spurious-consumed",
+                       f"{len(use.consumeds)} consumed(s) for "
+                       f"{len(use.gets)} get(s) on {aref_name!r}: consumed "
+                       f"without a matching get releases a slot the consumer "
+                       f"does not hold",
+                       "tawa.consumed", use.where)
+            if use.puts and use.wg is not None:
+                producer_regions.setdefault(id(use.wg), use.where)
+                put_fps.append(use)
+            if use.gets and use.wg is not None:
+                consumer_regions.setdefault(id(use.wg), use.where)
+                get_fps.append(use)
+
+        # -- connectivity ---------------------------------------------------
+        total_puts = sum(len(u.puts) for u in uses)
+        total_gets = sum(len(u.gets) for u in uses)
+        if total_puts and not total_gets:
+            report(Severity.ERROR, "aref-no-consumer",
+                   f"{aref_name!r} is written ({total_puts} put(s)) but never read",
+                   create.name)
+        elif total_gets and not total_puts:
+            report(Severity.ERROR, "aref-no-producer",
+                   f"{aref_name!r} is read ({total_gets} get(s)) but never written",
+                   create.name)
+        elif not total_puts and not total_gets:
+            report(Severity.WARNING, "aref-unused",
+                   f"{aref_name!r} is created but neither written nor read",
+                   create.name)
+        if len(producer_regions) > 1:
+            report(Severity.ERROR, "aref-slot-shared",
+                   f"{aref_name!r} is written from {len(producer_regions)} regions "
+                   f"({', '.join(sorted(producer_regions.values()))}) with no "
+                   f"channel edge ordering their smem slot writes",
+                   create.name)
+        if len(consumer_regions) > 1:
+            report(Severity.ERROR, "aref-slot-shared",
+                   f"{aref_name!r} is read from {len(consumer_regions)} regions "
+                   f"({', '.join(sorted(consumer_regions.values()))}) with no "
+                   f"channel edge ordering their smem slot reads",
+                   create.name)
+
+        # -- index agreement ------------------------------------------------
+        producer_fps = {u.fingerprint for u in put_fps}
+        consumer_fps = {u.fingerprint for u in get_fps}
+        if producer_fps and consumer_fps and producer_fps != consumer_fps:
+            report(Severity.ERROR, "aref-index-skew",
+                   f"producer and consumer of {aref_name!r} select slots with "
+                   f"different index expressions: the producer fills generation "
+                   f"i while the consumer waits on a different generation",
+                   "tawa.aref_slot",
+                   next(iter(consumer_regions.values()), "top-level"))
+
+        # -- ring coverage ---------------------------------------------------
+        loop_carried = any(_is_loop_variant(u.fingerprint) for u in uses)
+        pipelining = (getattr(options, "fine_grained_pipelining", False)
+                      or getattr(options, "coarse_grained_pipelining", False))
+        distance = getattr(options, "mma_pipeline_depth", 1)
+        if loop_carried and pipelining and depth < distance:
+            report(Severity.ERROR, "aref-depth-insufficient",
+                   f"{aref_name!r} has depth D={depth} but the pipelining "
+                   f"distance is P={distance}; liveness requires D >= P "
+                   f"(feasible region of Fig. 11)",
+                   create.name)
+        if not loop_carried and depth > 1 and uses:
+            report(Severity.WARNING, "aref-depth-mismatch",
+                   f"{aref_name!r} has depth {depth} but its slot index is "
+                   f"loop-invariant; every generation reuses one slot and the "
+                   f"extra staging buffers only cost shared memory",
+                   create.name)
+
+    return diags

@@ -1,0 +1,121 @@
+"""Severity-carrying diagnostics with op provenance, and their renderer.
+
+Every analysis in :mod:`repro.analysis` reports findings as
+:class:`Diagnostic` values -- never by raising -- so one kernel's full finding
+list is always available to the linter, the pipeline stage and the artifact
+cache.  A diagnostic is a plain frozen value (picklable, deterministic repr)
+because analysis results are persisted in the content-addressed artifact
+cache next to compile and codegen artifacts.
+
+Provenance is structural, not positional: the IR has no source locations, so
+a diagnostic names the function, the op and the enclosing warp-group region
+(``where``), which is enough to find the construct in ``compiled.ir()``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels: ``ERROR`` gates the linter's exit code."""
+
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analysis finding, attached to an op in a named function."""
+
+    severity: Severity
+    #: stable machine-readable code, e.g. ``aref-double-put`` -- golden tests
+    #: and the mutation differential suite match on this, not the message
+    code: str
+    message: str
+    func: str = "?"
+    #: op name the finding anchors to (``tawa.put``, ``tt.tma_store``, ...)
+    op: str = "?"
+    #: enclosing region, e.g. ``producer@0`` / ``consumer@1`` / ``top-level``
+    where: str = "top-level"
+
+    def render(self) -> str:
+        return (f"{self.severity}: [{self.code}] {self.func}/{self.where} "
+                f"{self.op}: {self.message}")
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Every diagnostic the analyses produced for one compiled kernel."""
+
+    kernel_name: str
+    diagnostics: tuple = ()
+    #: which analyses ran (channel / bounds / resources), for the report line
+    analyses: tuple = ("channels", "bounds", "resources")
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def num_errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def num_warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        return self.num_errors == 0
+
+    def by_code(self, code: str) -> tuple:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def render(self) -> str:
+        """The full human-readable finding list plus a one-line summary."""
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(
+            f"{self.kernel_name}: {self.num_errors} error(s), "
+            f"{self.num_warnings} warning(s), "
+            f"{self.count(Severity.NOTE)} note(s) "
+            f"[{', '.join(self.analyses)}]"
+        )
+        return "\n".join(lines)
+
+    # -- persistence (content-addressed artifact payload) -------------------
+
+    def payload(self) -> dict:
+        return {
+            "kernel_name": self.kernel_name,
+            "diagnostics": [
+                (int(d.severity), d.code, d.message, d.func, d.op, d.where)
+                for d in self.diagnostics
+            ],
+            "analyses": tuple(self.analyses),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "AnalysisResult":
+        diags = tuple(
+            Diagnostic(Severity(sev), code, message, func, op, where)
+            for sev, code, message, func, op, where
+            in payload.get("diagnostics", ())
+        )
+        return cls(
+            kernel_name=payload.get("kernel_name", "?"),
+            diagnostics=diags,
+            analyses=tuple(payload.get("analyses", ())),
+        )
+
+
+def sort_diagnostics(diags) -> tuple:
+    """Deterministic report order: most severe first, then code, then place."""
+    return tuple(sorted(
+        diags,
+        key=lambda d: (-int(d.severity), d.code, d.func, d.where, d.op, d.message),
+    ))

@@ -1,0 +1,51 @@
+"""The opt-in pipeline stage running the analyses during compilation.
+
+``CompileOptions(run_analysis=True)`` inserts :class:`AnalysisPass` into the
+warp-specialization pipelines right after partitioning -- the point where
+aref channels exist symbolically -- so a kernel with a broken channel
+protocol or a provably out-of-bounds access is rejected *at compile time*
+with the full rendered finding list, instead of corrupting data or
+deadlocking deep inside a forked worker at launch time.
+
+Resource budgets keep their own dedicated pass at the back of every pipeline
+(:class:`repro.core.resources.ResourceValidationPass`); this stage covers the
+dataflow analyses (channels + bounds).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import analyze_bounds
+from repro.analysis.channels import analyze_channels
+from repro.analysis.diagnostics import AnalysisResult, Severity, sort_diagnostics
+from repro.core.options import CompileError, CompileOptions
+from repro.ir.module import FuncOp, ModuleOp
+from repro.ir.passes import FunctionPass
+from repro.perf.counters import COUNTERS
+
+
+class AnalysisPass(FunctionPass):
+    """Run the channel + bounds analyses; fail the compile on any error."""
+
+    name = "static-analysis"
+
+    def __init__(self, options: CompileOptions):
+        self.options = options
+        self.results: dict = {}
+
+    def run_on_function(self, func: FuncOp, module: ModuleOp) -> None:
+        diags = analyze_channels(func, self.options) + analyze_bounds(func)
+        COUNTERS.analysis_runs += 1
+        COUNTERS.analysis_diagnostics += len(diags)
+        result = AnalysisResult(kernel_name=func.sym_name,
+                                diagnostics=sort_diagnostics(diags),
+                                analyses=("channels", "bounds"))
+        self.results[func.sym_name] = result
+        if not result.ok:
+            rendered = "\n".join(
+                d.render() for d in result.diagnostics
+                if d.severity is Severity.ERROR
+            )
+            raise CompileError(
+                f"static analysis rejected kernel {func.sym_name!r} "
+                f"({result.num_errors} error(s)):\n{rendered}"
+            )

@@ -1,0 +1,120 @@
+"""Resource facts in lint form (one implementation, two consumers).
+
+The budget arithmetic that used to live inline in
+:func:`repro.tune.cost.static_infeasibility` -- D staging buffers in shared
+memory, the f32 accumulator in the consumer register file, the persistent
+pass's 1-D grid constraint -- is factored out here as *fact functions* that
+return a human-readable reason string (or ``None``).  The autotuner's static
+pruner and the linter call the same functions, so the two can never disagree
+about what is infeasible.
+
+:func:`analyze_resources` additionally lints a *finished* compile artifact's
+:class:`~repro.core.resources.ResourceEstimate` (attached by the resource
+validation pass): over-budget estimates are errors (reachable with
+``validate_resources=False``), and estimates within 10% of a budget are
+pressure warnings -- the configuration compiles today but has no headroom.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.gpusim.config import DEFAULT_CONFIG, H100Config
+
+#: estimates above this fraction of a hardware budget draw a pressure warning
+PRESSURE_FRACTION = 0.9
+
+#: slack factor on the static accumulator-register estimate (the real layout
+#: is the resource pass's job; pruning must never reject a feasible point)
+REGISTER_SLACK = 1.15
+
+
+def persistent_grid_reason(grid: Any) -> str | None:
+    """Why a persistent kernel cannot run over ``grid``, or ``None``.
+
+    The persistent pass rejects kernels that read program ids off axis != 0
+    (:mod:`repro.core.persistent`: persistent kernels currently require a 1-D
+    grid); a launch grid with more than one non-unit dimension is the static
+    image of that constraint.
+    """
+    if isinstance(grid, (tuple, list)) and sum(1 for g in grid if int(g) > 1) > 1:
+        return (f"persistent kernels require a 1-D launch grid, "
+                f"problem grid is {tuple(grid)}")
+    return None
+
+
+def aref_staging_reason(aref_depth: int, bm: int, bn: int, bk: int,
+                        elem_bytes: int,
+                        config: H100Config = DEFAULT_CONFIG) -> str | None:
+    """Why D staged (A + B) operand buffers overflow shared memory, or ``None``."""
+    smem = aref_depth * (bm * bk + bn * bk) * elem_bytes
+    if smem > config.smem_bytes_per_sm:
+        return (f"~{smem // 1024} KiB of aref staging exceeds the "
+                f"{config.smem_bytes_per_sm // 1024} KiB SM budget "
+                f"(D={aref_depth}, tile {bm}x{bn}x{bk})")
+    return None
+
+
+def accumulator_register_reason(bm: int, bn: int, num_consumer_groups: int,
+                                config: H100Config = DEFAULT_CONFIG) -> str | None:
+    """Why the f32 accumulator overflows the consumer register file, or ``None``.
+
+    The accumulator is live in consumer registers for the whole main loop,
+    split across cooperative replicas.
+    """
+    acc_regs = (bm * bn * 4) / (config.threads_per_warp_group * 4)
+    acc_regs /= max(1, num_consumer_groups)
+    acc_regs += config.baseline_registers_per_thread
+    budget = config.consumer_register_budget(num_consumer_groups)
+    if acc_regs > budget * REGISTER_SLACK:
+        return (f"~{int(acc_regs)} accumulator registers/thread exceed the "
+                f"{budget}-register consumer budget "
+                f"({num_consumer_groups} consumer group(s), "
+                f"tile {bm}x{bn})")
+    return None
+
+
+def analyze_resources(kernel_name: str, metadata: Any, options: Any,
+                      config: H100Config = DEFAULT_CONFIG) -> list:
+    """Lint a compile artifact's resource estimate against hardware budgets."""
+    diags: list = []
+    if metadata is None:
+        return diags
+
+    def report(severity, code, message):
+        diags.append(Diagnostic(severity, code, message, kernel_name,
+                                "resource-estimate", "top-level"))
+
+    smem = getattr(metadata, "smem_bytes", 0)
+    smem_budget = config.smem_bytes_per_sm
+    if smem > smem_budget:
+        report(Severity.ERROR, "resource-smem-budget",
+               f"shared-memory footprint {smem // 1024} KiB exceeds the "
+               f"{smem_budget // 1024} KiB available per SM "
+               f"(reduce the tile size or aref depth "
+               f"D={getattr(options, 'aref_depth', '?')})")
+    elif smem > smem_budget * PRESSURE_FRACTION:
+        report(Severity.WARNING, "resource-smem-pressure",
+               f"shared-memory footprint {smem // 1024} KiB uses more than "
+               f"{int(PRESSURE_FRACTION * 100)}% of the "
+               f"{smem_budget // 1024} KiB SM budget; deeper arefs or larger "
+               f"tiles will not fit")
+
+    regs = getattr(metadata, "consumer_regs_per_thread", 0)
+    if getattr(metadata, "warp_specialized", False):
+        budget = config.consumer_register_budget(
+            getattr(metadata, "consumer_replicas", 1))
+    else:
+        budget = config.registers_per_thread_available(
+            getattr(metadata, "num_warp_groups", 1))
+    if regs > budget:
+        report(Severity.ERROR, "resource-register-budget",
+               f"consumer warp group needs ~{regs} registers/thread but only "
+               f"{budget} are available; use cooperative consumer warp groups "
+               f"(num_consumer_groups=2) or a smaller tile")
+    elif regs > budget * PRESSURE_FRACTION:
+        report(Severity.WARNING, "resource-register-pressure",
+               f"consumer warp group needs ~{regs} of {budget} available "
+               f"registers/thread; spills are one tile-size bump away")
+    return diags

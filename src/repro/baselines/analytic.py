@@ -26,7 +26,6 @@ Triton -- does not use these models: both sides are compiled and simulated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.gpusim.config import DEFAULT_CONFIG, H100Config
 from repro.kernels.attention import AttentionProblem
@@ -56,7 +55,7 @@ class AnalyticModel:
         return self.compute_efficiency_fp16
 
     def seconds(self, flops: float, bytes_moved: float, dtype: str,
-                config: H100Config = DEFAULT_CONFIG) -> Optional[float]:
+                config: H100Config = DEFAULT_CONFIG) -> float | None:
         if dtype.startswith("f8") and not self.supports_fp8:
             return None
         dtype_bits = 8 if dtype.startswith("f8") else 16
@@ -66,7 +65,7 @@ class AnalyticModel:
         return max(compute, memory) + self.overhead_us * 1e-6
 
     def tflops(self, flops: float, bytes_moved: float, dtype: str,
-               config: H100Config = DEFAULT_CONFIG) -> Optional[float]:
+               config: H100Config = DEFAULT_CONFIG) -> float | None:
         seconds = self.seconds(flops, bytes_moved, dtype, config)
         if seconds is None:
             return None

@@ -23,7 +23,7 @@ credit; exactly one of the three states holds at any time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generic, List, Optional, Tuple, TypeVar
+from typing import Generic, TypeVar
 
 T = TypeVar("T")
 
@@ -36,7 +36,7 @@ class ArefStateError(Exception):
 class ArefState(Generic[T]):
     """The <buf, F, E> triple of the paper's operational semantics."""
 
-    buf: Optional[T] = None
+    buf: T | None = None
     full: bool = False
     empty: bool = True
 
@@ -57,7 +57,7 @@ class ArefSlot(Generic[T]):
     def __init__(self, name: str = "aref"):
         self.name = name
         self.state = ArefState[T]()
-        self.history: List[str] = []
+        self.history: list[str] = []
 
     # -- protocol operations ------------------------------------------------------
 
@@ -121,7 +121,7 @@ class ArefRing(Generic[T]):
             raise ValueError(f"aref ring depth must be >= 1, got {depth}")
         self.depth = depth
         self.name = name
-        self.slots: List[ArefSlot[T]] = [ArefSlot(f"{name}[{i}]") for i in range(depth)]
+        self.slots: list[ArefSlot[T]] = [ArefSlot(f"{name}[{i}]") for i in range(depth)]
 
     def slot(self, index: int) -> ArefSlot[T]:
         return self.slots[index % self.depth]
@@ -136,7 +136,7 @@ class ArefRing(Generic[T]):
         self.slot(index).consumed()
 
     @property
-    def states(self) -> Tuple[str, ...]:
+    def states(self) -> tuple[str, ...]:
         return tuple(s.state_name for s in self.slots)
 
     def max_producer_lead(self) -> int:
@@ -144,7 +144,7 @@ class ArefRing(Generic[T]):
         return self.depth
 
 
-def run_trace(slot: ArefSlot, operations: List[Tuple[str, Optional[object]]]) -> List[str]:
+def run_trace(slot: ArefSlot, operations: list[tuple[str, object | None]]) -> list[str]:
     """Execute a sequence of (op, value) pairs against one slot.
 
     Returns the state names after each operation.  Used by property tests to

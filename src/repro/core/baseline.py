@@ -11,7 +11,6 @@ execution used as the ablation baseline of Fig. 12.
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.core.options import CompileOptions
 from repro.core.pipelining import plan_rotation, rotate_loop
@@ -36,7 +35,7 @@ class BaselinePipeliningPass(FunctionPass):
             pipeline_with_cp_async(func, loop, self.options)
 
 
-def _main_loops(func: FuncOp) -> List[scf.ForOp]:
+def _main_loops(func: FuncOp) -> list[scf.ForOp]:
     """Loops that directly contain both a TMA load and a dot."""
     loops = []
     for op in func.walk():
@@ -62,7 +61,7 @@ def pipeline_with_cp_async(func: FuncOp, loop: scf.ForOp,
     while top_anchor.parent_op is not None and top_anchor.parent_op is not func:
         top_anchor = top_anchor.parent_op
 
-    copy_ops: List[Operation] = []
+    copy_ops: list[Operation] = []
     read_by_load = {}
     for i, load in enumerate(loads):
         ty = load.results[0].type

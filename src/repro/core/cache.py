@@ -42,7 +42,7 @@ import os
 import pickle
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any
 
 from repro import faults
 from repro.perf.counters import COUNTERS
@@ -69,7 +69,7 @@ def stable_digest(*parts: Any) -> str:
     """
     h = hashlib.sha256()
     for part in parts:
-        h.update(repr(part).encode("utf-8"))
+        h.update(repr(part).encode())
         h.update(b"\x00")
     return h.hexdigest()
 
@@ -104,7 +104,7 @@ class MemoryCache:
     rather than poisoning every compile in the process.
     """
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(self, capacity: int | None = None):
         if capacity is None:
             raw = os.environ.get(MEMORY_ENTRIES_ENV, "").strip()
             try:
@@ -118,7 +118,7 @@ class MemoryCache:
         self.capacity = capacity
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
 
-    def get(self, key: str) -> Optional[Any]:
+    def get(self, key: str) -> Any | None:
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
@@ -151,7 +151,7 @@ class DiskCache:
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
 
-    def load(self, key: str) -> Optional[dict]:
+    def load(self, key: str) -> dict | None:
         """The payload stored for ``key``, or ``None`` (miss).
 
         Corrupted, stale-version, mismatched or unreadable (transient
@@ -225,7 +225,7 @@ class DiskCache:
             pass
 
 
-def resolve_disk_cache() -> Optional[DiskCache]:
+def resolve_disk_cache() -> DiskCache | None:
     """The persistent tier configured by ``REPRO_CACHE_DIR``, if any.
 
     Resolved per call (not cached) so tests and long-lived processes can

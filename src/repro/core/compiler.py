@@ -27,11 +27,16 @@ content-addresses finished artifacts across devices and processes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from repro.core.cache import artifact_fingerprint
 from repro.core.options import CompileError, CompileOptions
-from repro.core.pipelines import build_pass_pipeline, resolve_pipeline_name
+from repro.core.pipelines import (
+    MidLevelSnapshotPass,
+    build_pass_pipeline,
+    resolve_pipeline_name,
+)
 from repro.core.resources import ResourceEstimate, ResourceValidationPass
 from repro.frontend.kernel import Kernel
 from repro.gpusim.config import DEFAULT_CONFIG, H100Config
@@ -53,26 +58,32 @@ class CompiledKernel:
     kernel: Kernel
     module: ModuleOp
     func: FuncOp
-    arg_names: List[str]
-    constexprs: Dict[str, Any]
+    arg_names: list[str]
+    constexprs: dict[str, Any]
     options: CompileOptions
     metadata: ResourceEstimate
     #: Name of the registered pipeline that produced this artifact.
     pipeline: str = ""
     #: Content-addressed fingerprint (the artifact-cache key); see
     #: :func:`repro.core.cache.artifact_fingerprint`.
-    fingerprint: Optional[str] = None
+    fingerprint: str | None = None
     #: Per-pass wall seconds of the pipeline run that built this artifact
     #: (empty for artifacts loaded from the persistent cache -- their
     #: pipeline never ran in this process).
-    pass_timings: Dict[str, float] = field(default_factory=dict)
-    pass_dumps: Dict[str, str] = field(default_factory=dict)
+    pass_timings: dict[str, float] = field(default_factory=dict)
+    pass_dumps: dict[str, str] = field(default_factory=dict)
     #: Simulator execution plans, keyed by (functional, config).  Part of the
     #: artifact: built eagerly by CompilerService finalization for every
     #: requested mode, so launches and forked workers find them ready-made
     #: (repro.gpusim.plan.get_plan remains the accessor, and lazily fills the
     #: map only for kernels compiled outside the service).
-    plans: Dict[Any, Any] = field(default_factory=dict, repr=False, compare=False)
+    plans: dict[Any, Any] = field(default_factory=dict, repr=False, compare=False)
+    #: Clone of the module at the tawa stage of the ``tawa-gpu`` pipeline
+    #: (see :class:`repro.core.pipelines.MidLevelSnapshotPass`).  Never
+    #: persisted: absent on baseline artifacts and on artifacts reloaded from
+    #: the disk tier, where :mod:`repro.analysis` falls back to the
+    #: content-addressed sibling compile.
+    mid_module: ModuleOp | None = field(default=None, repr=False, compare=False)
 
     @property
     def name(self) -> str:
@@ -89,10 +100,10 @@ class CompiledKernel:
 
 def compile_kernel(
     kern: Kernel,
-    arg_types: Union[Mapping[str, Type], Sequence[Type]],
-    constexprs: Optional[Mapping[str, Any]] = None,
-    options: Optional[CompileOptions] = None,
-    config: Optional[H100Config] = None,
+    arg_types: Mapping[str, Type] | Sequence[Type],
+    constexprs: Mapping[str, Any] | None = None,
+    options: CompileOptions | None = None,
+    config: H100Config | None = None,
     dump_ir: bool = False,
     spec=None,
 ) -> CompiledKernel:
@@ -123,7 +134,7 @@ def compile_kernel(
         spec = kern.specialize(arg_types, constexprs, num_warps=options.num_warps)
     module = kern.build_module(spec)
 
-    dumps: Dict[str, str] = {}
+    dumps: dict[str, str] = {}
     pipeline_name = resolve_pipeline_name(options)
     pm = build_pass_pipeline(options, config)
     pm.timing_sink = COUNTERS.record_pass_timing
@@ -142,8 +153,10 @@ def compile_kernel(
     func = module.get_function(kern.name)
     validation = next(p for p in pm.passes if isinstance(p, ResourceValidationPass))
     metadata = validation.estimates[func.sym_name]
+    snapshot = next((p.snapshot for p in pm.passes
+                     if isinstance(p, MidLevelSnapshotPass)), None)
 
-    timings: Dict[str, float] = {}
+    timings: dict[str, float] = {}
     for t in pm.timings:
         timings[t.name] = timings.get(t.name, 0.0) + t.seconds
 
@@ -159,4 +172,5 @@ def compile_kernel(
         fingerprint=artifact_fingerprint(kern, spec, options, config),
         pass_timings=timings,
         pass_dumps=dumps,
+        mid_module=snapshot,
     )

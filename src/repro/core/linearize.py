@@ -11,20 +11,19 @@ for a stack of enclosing ``scf.for`` loops (outermost first).
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from repro.ir import Builder, Operation, Value
 from repro.ir.dialects import arith, scf
 from repro.ir.operation import Block
 
 
-def enclosing_loops(block: Block, stop_at: Optional[Operation] = None) -> List[scf.ForOp]:
+def enclosing_loops(block: Block, stop_at: Operation | None = None) -> list[scf.ForOp]:
     """The ``scf.for`` ops enclosing ``block``, outermost first.
 
     Walks up the region tree and stops (exclusive) at ``stop_at`` (typically
     the ``tawa.warp_group`` op or the function).
     """
-    loops: List[scf.ForOp] = []
+    loops: list[scf.ForOp] = []
     op = block.parent_op
     while op is not None and op is not stop_at:
         if isinstance(op, scf.ForOp):
@@ -60,8 +59,8 @@ def trip_count(builder: Builder, loop: scf.ForOp) -> Value:
     return builder.create(arith.DivSIOp, num, loop.step).result
 
 
-def linear_index_for_loops(builder: Builder, loops: List[scf.ForOp],
-                           innermost_override: Optional[Value] = None) -> Value:
+def linear_index_for_loops(builder: Builder, loops: list[scf.ForOp],
+                           innermost_override: Value | None = None) -> Value:
     """The linearized iteration index for a stack of loops (outermost first).
 
     ``innermost_override`` replaces the innermost loop's normalized induction
@@ -70,7 +69,7 @@ def linear_index_for_loops(builder: Builder, loops: List[scf.ForOp],
     """
     if not loops:
         return arith.c_i32(builder, 0)
-    linear: Optional[Value] = None
+    linear: Value | None = None
     for i, loop in enumerate(loops):
         if i == len(loops) - 1 and innermost_override is not None:
             norm = innermost_override

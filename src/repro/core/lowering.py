@@ -27,7 +27,6 @@ monotonically increasing counter; see docs/ARCHITECTURE.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 from repro.core.options import CompileError, CompileOptions
 from repro.core.pipelining import ASYNC_ATTR
@@ -43,10 +42,10 @@ class _ArefRecord:
     """Lowered resources of one aref ring."""
 
     depth: int
-    payload_types: List[TensorType]
-    smem_buffers: List[Value] = field(default_factory=list)
-    empty_barriers: Optional[Value] = None
-    full_barriers: Optional[Value] = None
+    payload_types: list[TensorType]
+    smem_buffers: list[Value] = field(default_factory=list)
+    empty_barriers: Value | None = None
+    full_barriers: Value | None = None
 
     @property
     def payload_bytes(self) -> int:
@@ -101,8 +100,8 @@ def _consumer_replicas(func: FuncOp) -> int:
 
 
 def _lower_create_arefs(func: FuncOp, builder: Builder,
-                        consumer_replicas: int) -> Dict[Value, _ArefRecord]:
-    records: Dict[Value, _ArefRecord] = {}
+                        consumer_replicas: int) -> dict[Value, _ArefRecord]:
+    records: dict[Value, _ArefRecord] = {}
     for op in list(func.body.operations):
         if not isinstance(op, tawa.CreateArefOp):
             continue
@@ -133,8 +132,8 @@ def _lower_create_arefs(func: FuncOp, builder: Builder,
 
 
 def _lower_slot_ops(func: FuncOp, builder: Builder,
-                    records: Dict[Value, _ArefRecord]) -> Dict[Value, _SlotInfo]:
-    slots: Dict[Value, _SlotInfo] = {}
+                    records: dict[Value, _ArefRecord]) -> dict[Value, _SlotInfo]:
+    slots: dict[Value, _SlotInfo] = {}
     for op in list(func.walk()):
         if not isinstance(op, tawa.ArefSlotOp):
             continue
@@ -154,7 +153,7 @@ def _lower_slot_ops(func: FuncOp, builder: Builder,
 # ---------------------------------------------------------------------------
 
 
-def _lower_puts(func: FuncOp, builder: Builder, slots: Dict[Value, _SlotInfo]) -> None:
+def _lower_puts(func: FuncOp, builder: Builder, slots: dict[Value, _SlotInfo]) -> None:
     for op in list(func.walk()):
         if not isinstance(op, tawa.PutOp):
             continue
@@ -195,10 +194,10 @@ def _lower_puts(func: FuncOp, builder: Builder, slots: Dict[Value, _SlotInfo]) -
 
 
 def _lower_gets_and_dots(func: FuncOp, builder: Builder,
-                         slots: Dict[Value, _SlotInfo]) -> None:
+                         slots: dict[Value, _SlotInfo]) -> None:
     #: get result -> shared-memory slot view
-    slice_of: Dict[Value, Value] = {}
-    get_ops: List[Operation] = []
+    slice_of: dict[Value, Value] = {}
+    get_ops: list[Operation] = []
 
     for op in list(func.walk()):
         if not isinstance(op, tawa.GetOp):
@@ -230,7 +229,7 @@ def _lower_gets_and_dots(func: FuncOp, builder: Builder,
 
 
 def _convert_consumer_dots(func: FuncOp, builder: Builder,
-                           slice_of: Dict[Value, Value]) -> None:
+                           slice_of: dict[Value, Value]) -> None:
     for op in list(func.walk()):
         if op.name != "tt.dot" or op.parent is None:
             continue
@@ -255,7 +254,7 @@ def _convert_consumer_dots(func: FuncOp, builder: Builder,
         op.erase()
 
 
-def _resolve_dot_operand(value: Value, slice_of: Dict[Value, Value]) -> Tuple[Value, bool]:
+def _resolve_dot_operand(value: Value, slice_of: dict[Value, Value]) -> tuple[Value, bool]:
     """Map a dot operand to an SMEM slot view when it comes from an aref get.
 
     Returns ``(operand, transposed)``; looking through a single ``tt.trans``
@@ -276,7 +275,7 @@ def _resolve_dot_operand(value: Value, slice_of: Dict[Value, Value]) -> Tuple[Va
 # ---------------------------------------------------------------------------
 
 
-def _lower_consumed(func: FuncOp, builder: Builder, slots: Dict[Value, _SlotInfo]) -> None:
+def _lower_consumed(func: FuncOp, builder: Builder, slots: dict[Value, _SlotInfo]) -> None:
     for op in list(func.walk()):
         if not isinstance(op, tawa.ConsumedOp):
             continue
@@ -286,8 +285,8 @@ def _lower_consumed(func: FuncOp, builder: Builder, slots: Dict[Value, _SlotInfo
         op.erase()
 
 
-def _cleanup(func: FuncOp, records: Dict[Value, _ArefRecord],
-             slots: Dict[Value, _SlotInfo]) -> None:
+def _cleanup(func: FuncOp, records: dict[Value, _ArefRecord],
+             slots: dict[Value, _SlotInfo]) -> None:
     # Drop now-dead view ops (tt.trans of former get results, etc.).
     eliminate_dead_code(func)
     for op in list(func.walk()):

@@ -49,6 +49,9 @@ class CompileOptions:
     lower_to: str = "gpu"
     #: Check shared-memory and register budgets (disable only in tests).
     validate_resources: bool = True
+    #: Run the static dataflow analyses (aref channel protocol, bounds) as a
+    #: pipeline stage; error-severity findings fail the compile.
+    run_analysis: bool = False
 
     def __post_init__(self):
         if self.aref_depth < 1:

@@ -27,7 +27,7 @@ and stores), connected by aref channels:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 from repro.core.options import CompileError, CompileOptions
 from repro.core.tagging import is_tile_anchor, is_tma_load
@@ -46,11 +46,11 @@ _VIEW_OPS = ("tt.trans", "tt.expand_dims", "tt.broadcast", "tt.reshape", "arith.
 class ChannelGroup:
     """One aref channel: the loads it carries and where they live."""
 
-    loads: List[Operation]
+    loads: list[Operation]
     block: Block
-    consumer_anchor: Optional[Operation]
+    consumer_anchor: Operation | None
     depth: int = 1
-    aref_value: Optional[Value] = None
+    aref_value: Value | None = None
 
     @property
     def payload_types(self):
@@ -61,9 +61,9 @@ class ChannelGroup:
 class PartitionInfo:
     """The result of partition construction for one role."""
 
-    kept_ops: Set[Operation] = field(default_factory=set)
-    needed_values: Set[Value] = field(default_factory=set)
-    channel_values: Set[Value] = field(default_factory=set)
+    kept_ops: set[Operation] = field(default_factory=set)
+    needed_values: set[Value] = field(default_factory=set)
+    channel_values: set[Value] = field(default_factory=set)
 
 
 class WarpSpecializePass(FunctionPass):
@@ -124,7 +124,7 @@ def specialize_function(func: FuncOp, options: CompileOptions) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def _consuming_anchor(load: Operation) -> Optional[Operation]:
+def _consuming_anchor(load: Operation) -> Operation | None:
     """The tile anchor (usually a dot) that consumes this load, looking through views."""
     seen = set()
     frontier = [load]
@@ -152,9 +152,9 @@ def _is_inside_loop(block: Block, func: FuncOp) -> bool:
 
 
 def _build_channel_groups(func: FuncOp, loads: Sequence[Operation],
-                          options: CompileOptions) -> List[ChannelGroup]:
-    groups: List[ChannelGroup] = []
-    by_key: Dict[Tuple[int, int], ChannelGroup] = {}
+                          options: CompileOptions) -> list[ChannelGroup]:
+    groups: list[ChannelGroup] = []
+    by_key: dict[tuple[int, int], ChannelGroup] = {}
     for load in loads:
         anchor = _consuming_anchor(load)
         key = (id(load.parent), id(anchor) if anchor is not None else id(load))
@@ -174,7 +174,7 @@ def _build_channel_groups(func: FuncOp, loads: Sequence[Operation],
 # ---------------------------------------------------------------------------
 
 
-def _side_effecting_sinks(func: FuncOp) -> List[Operation]:
+def _side_effecting_sinks(func: FuncOp) -> list[Operation]:
     sinks = []
     for op in func.walk():
         if op is func or op.regions or op.name in ("func.return", "scf.yield"):
@@ -271,24 +271,24 @@ def _build_partition(func: FuncOp, role: str, loads: Sequence[Operation]) -> Par
 class _CloneContext:
     func: FuncOp
     info: PartitionInfo
-    groups: List[ChannelGroup]
+    groups: list[ChannelGroup]
     side: str
     builder: Builder
     mapping: IRMapping = field(default_factory=IRMapping)
     #: stack of cloned loops enclosing the current insertion point
-    loop_stack: List[scf.ForOp] = field(default_factory=list)
+    loop_stack: list[scf.ForOp] = field(default_factory=list)
     #: aref slot values awaiting their tawa.consumed (consumer side)
-    pending_consumed: Dict[int, Value] = field(default_factory=dict)
+    pending_consumed: dict[int, Value] = field(default_factory=dict)
 
 
 def _clone_partition(func: FuncOp, dest: Block, info: PartitionInfo,
-                     groups: List[ChannelGroup], side: str) -> None:
+                     groups: list[ChannelGroup], side: str) -> None:
     builder = Builder(dest)
     ctx = _CloneContext(func=func, info=info, groups=groups, side=side, builder=builder)
     _clone_block(ctx, func.body)
 
 
-def _groups_in_block(ctx: _CloneContext, block: Block) -> List[ChannelGroup]:
+def _groups_in_block(ctx: _CloneContext, block: Block) -> list[ChannelGroup]:
     return [g for g in ctx.groups if g.block is block]
 
 
@@ -335,7 +335,7 @@ def _clone_block(ctx: _CloneContext, src: Block) -> None:
 
 
 def _maybe_emit_put(ctx: _CloneContext, load: Operation,
-                    block_groups: List[ChannelGroup]) -> None:
+                    block_groups: list[ChannelGroup]) -> None:
     """After cloning the *last* load of a group, publish the tuple with tawa.put."""
     for group in block_groups:
         if load is group.loads[-1]:

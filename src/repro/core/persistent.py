@@ -15,7 +15,6 @@ warp groups and the aref slot indices are linearized across it (see
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.core.options import CompileError, CompileOptions
 from repro.ir import Builder, FuncOp, ModuleOp, Operation
@@ -45,7 +44,7 @@ def make_persistent(func: FuncOp) -> None:
             "(tt.get_program_id along axis 0 only)"
         )
 
-    body_ops: List[Operation] = [
+    body_ops: list[Operation] = [
         op for op in func.body.operations if op.name != "func.return"
     ]
     return_op = func.body.terminator

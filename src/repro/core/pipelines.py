@@ -34,7 +34,7 @@ and execution plans fit together.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from collections.abc import Callable
 
 from repro.core.baseline import BaselinePipeliningPass
 from repro.core.lowering import ArefLoweringPass
@@ -45,7 +45,7 @@ from repro.core.pipelining import CoarseGrainedPipelinePass, FineGrainedPipeline
 from repro.core.resources import ResourceValidationPass
 from repro.core.tagging import TagSemanticsPass
 from repro.gpusim.config import DEFAULT_CONFIG, H100Config
-from repro.ir import PassManager
+from repro.ir import ModuleOp, PassManager
 from repro.ir.canonicalize import CanonicalizePass, DeadCodeEliminationPass
 from repro.ir.passes import Pass
 
@@ -61,10 +61,10 @@ class PipelineSpec:
 
     name: str
     description: str
-    build_passes: Callable[[CompileOptions, H100Config], List[Pass]]
+    build_passes: Callable[[CompileOptions, H100Config], list[Pass]]
 
 
-_REGISTRY: Dict[str, PipelineSpec] = {}
+_REGISTRY: dict[str, PipelineSpec] = {}
 
 
 def register_pipeline(spec: PipelineSpec, replace: bool = False) -> PipelineSpec:
@@ -84,7 +84,7 @@ def get_pipeline(name: str) -> PipelineSpec:
     return spec
 
 
-def available_pipelines() -> Tuple[str, ...]:
+def available_pipelines() -> tuple[str, ...]:
     """The registered pipeline names, in registration order."""
     return tuple(_REGISTRY)
 
@@ -99,7 +99,7 @@ def resolve_pipeline_name(options: CompileOptions) -> str:
 
 
 def build_pass_pipeline(options: CompileOptions,
-                        config: Optional[H100Config] = None) -> PassManager:
+                        config: H100Config | None = None) -> PassManager:
     """Assemble the pass pipeline for a given set of options.
 
     Resolves the pipeline name from the options, asks the registered spec for
@@ -120,6 +120,44 @@ def build_pass_pipeline(options: CompileOptions,
 # ---------------------------------------------------------------------------
 
 
+class MidLevelSnapshotPass(Pass):
+    """Capture a clone of the module at the tawa stage of the ``tawa-gpu``
+    pipeline (right after partitioning, before aref lowering erases the
+    symbolic channel graph).
+
+    The clone costs ~1 ms next to a ~15 ms pipeline run and is what lets
+    :mod:`repro.analysis` analyze a gpu-lowered artifact's channels without
+    re-running the prefix passes as a ``lower_to="tawa"`` sibling compile.
+    The snapshot is attached to the :class:`CompiledKernel` by the driver but
+    never persisted: artifacts reloaded from the disk tier fall back to the
+    (equally content-addressed) sibling compile.
+    """
+
+    name = "mid-level-snapshot"
+
+    def __init__(self):
+        self.snapshot = None
+
+    def run(self, module: ModuleOp) -> None:
+        self.snapshot = module.clone()
+
+
+def _analysis_stage(options: CompileOptions) -> list[Pass]:
+    """The opt-in static-analysis stage of the warp-specialized pipelines.
+
+    Placed right after partitioning, where the aref channel graph exists
+    symbolically (before ArefLoweringPass rewrites it into mbarrier
+    arithmetic).  Imported lazily: ``repro.analysis`` sits above the core
+    package (it consumes compile artifacts), so a module-level import here
+    would be circular through ``repro.core.__init__``.
+    """
+    if not options.run_analysis:
+        return []
+    from repro.analysis.passes import AnalysisPass
+
+    return [AnalysisPass(options)]
+
+
 register_pipeline(PipelineSpec(
     "tawa-gpu",
     "full warp specialization lowered to the gpu dialect (the Tawa path)",
@@ -127,6 +165,8 @@ register_pipeline(PipelineSpec(
         PersistentKernelPass(options),
         TagSemanticsPass(),
         WarpSpecializePass(options),
+        *_analysis_stage(options),
+        MidLevelSnapshotPass(),
         FineGrainedPipelinePass(options),
         CoarseGrainedPipelinePass(options),
         ArefLoweringPass(options),
@@ -141,10 +181,11 @@ register_pipeline(PipelineSpec(
         PersistentKernelPass(options),
         TagSemanticsPass(),
         WarpSpecializePass(options),
+        *_analysis_stage(options),
     ],
 ))
 
-def _baseline_passes(options: CompileOptions, config: H100Config) -> List[Pass]:
+def _baseline_passes(options: CompileOptions, config: H100Config) -> list[Pass]:
     """Shared by ``triton-baseline`` and ``naive``: the two strategies are
     deliberately the same pass list, distinguished only by
     ``options.software_pipelining`` (which BaselinePipeliningPass reads and

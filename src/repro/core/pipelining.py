@@ -24,7 +24,7 @@ against Tensor Core work, exactly like stock Triton does on Ampere.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set
+from collections.abc import Sequence
 
 from repro.core.linearize import enclosing_loops, linear_index_for_loops, trip_count
 from repro.core.options import CompileOptions
@@ -36,12 +36,12 @@ from repro.ir.traversal import backward_slice
 ASYNC_ATTR = "tawa.async"
 
 
-def _consumer_warp_groups(func: FuncOp) -> List[tawa.WarpGroupOp]:
+def _consumer_warp_groups(func: FuncOp) -> list[tawa.WarpGroupOp]:
     return [op for op in func.walk()
             if isinstance(op, tawa.WarpGroupOp) and op.is_consumer]
 
 
-def _loops_directly_containing(root: Operation, op_name: str) -> List[scf.ForOp]:
+def _loops_directly_containing(root: Operation, op_name: str) -> list[scf.ForOp]:
     loops = []
     for op in root.walk():
         if isinstance(op, scf.ForOp):
@@ -148,7 +148,7 @@ def pipeline_gemm_loop(loop: scf.ForOp, wg: tawa.WarpGroupOp,
     return True
 
 
-def _find_consumed(loop: scf.ForOp, slot: Value) -> Optional[Operation]:
+def _find_consumed(loop: scf.ForOp, slot: Value) -> Operation | None:
     for op in loop.body.operations:
         if op.name == "tawa.consumed" and op.operands[0] is slot:
             return op
@@ -164,14 +164,14 @@ def _find_consumed(loop: scf.ForOp, slot: Value) -> Optional[Operation]:
 class RotationPlan:
     """Stage assignment for :func:`rotate_loop`."""
 
-    stage0_ops: List[Operation]
-    stage1_ops: List[Operation]
-    stage0_iter_indices: List[int]
-    stage1_iter_indices: List[int]
-    cross_values: List[Value]
+    stage0_ops: list[Operation]
+    stage1_ops: list[Operation]
+    stage0_iter_indices: list[int]
+    stage1_iter_indices: list[int]
+    cross_values: list[Value]
 
 
-def plan_rotation(loop: scf.ForOp, seeds: Sequence[Operation]) -> Optional[RotationPlan]:
+def plan_rotation(loop: scf.ForOp, seeds: Sequence[Operation]) -> RotationPlan | None:
     """Split a loop body into two pipeline stages around ``seeds``.
 
     Stage 0 is the backward slice of the seed operations; iter_args used by
@@ -181,7 +181,7 @@ def plan_rotation(loop: scf.ForOp, seeds: Sequence[Operation]) -> Optional[Rotat
     rotated (a value would be needed by both stages' carried state).
     """
     body_ops = [op for op in loop.body.operations if op.name != "scf.yield"]
-    stage0: Set[Operation] = set(backward_slice(list(seeds), within=loop.body))
+    stage0: set[Operation] = set(backward_slice(list(seeds), within=loop.body))
     yield_operands = list(loop.yield_op.operands)
     iter_args = list(loop.iter_args)
 
@@ -218,7 +218,7 @@ def plan_rotation(loop: scf.ForOp, seeds: Sequence[Operation]) -> Optional[Rotat
         else:
             stage1_idx.append(idx)
 
-    cross_values: List[Value] = []
+    cross_values: list[Value] = []
     for op in stage0_ops:
         for res in op.results:
             if any(user in stage1_set for user in res.users) and res not in cross_values:
@@ -233,7 +233,7 @@ def plan_rotation(loop: scf.ForOp, seeds: Sequence[Operation]) -> Optional[Rotat
     # aref lowering needs every tawa.consumed to see a real tawa.aref_slot, and
     # recomputing a couple of scalar ops is cheaper than carrying channel
     # handles in registers.
-    remat: Set[Operation] = set()
+    remat: set[Operation] = set()
     for value in list(cross_values):
         op = value.defining_op
         if op is None or op.name != "tawa.aref_slot":
@@ -254,7 +254,7 @@ def _scalar_only(op: Operation) -> bool:
 
 def rotate_loop(loop: scf.ForOp, plan: RotationPlan, *,
                 mark_dots_async: bool = False,
-                stage1_wgmma_pendings: Optional[int] = None) -> scf.ForOp:
+                stage1_wgmma_pendings: int | None = None) -> scf.ForOp:
     """Rotate ``loop`` one iteration deep according to ``plan``.
 
     The new loop executes stage 0 of iteration ``i`` and stage 1 of iteration
@@ -267,7 +267,7 @@ def rotate_loop(loop: scf.ForOp, plan: RotationPlan, *,
     iter_args = list(loop.iter_args)
     init_args = list(loop.init_args)
 
-    def _clone_stage(ops: List[Operation], mapping: IRMapping) -> None:
+    def _clone_stage(ops: list[Operation], mapping: IRMapping) -> None:
         for op in ops:
             cloned = builder.insert(op.clone(mapping))
             if mark_dots_async and cloned.name == "tt.dot":
@@ -376,7 +376,7 @@ class CoarseGrainedPipelinePass(FunctionPass):
                     rotate_tcu_loop(loop, self.options)
 
 
-def rotate_tcu_loop(loop: scf.ForOp, options: CompileOptions) -> Optional[scf.ForOp]:
+def rotate_tcu_loop(loop: scf.ForOp, options: CompileOptions) -> scf.ForOp | None:
     """Rotate an attention-like loop so T_j overlaps C_{j-1}/U_{j-1}."""
     dots = [op for op in loop.body.operations if op.name == "tt.dot"]
     t_dot = dots[0]

@@ -18,7 +18,6 @@ configuration raises :class:`repro.core.options.CompileError`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
 
 from repro.core.options import CompileError, CompileOptions
 from repro.gpusim.config import DEFAULT_CONFIG, H100Config
@@ -39,7 +38,7 @@ class ResourceEstimate:
     consumer_replicas: int = 1
     warp_specialized: bool = False
     persistent: bool = False
-    notes: List[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
 
     def describe(self) -> str:
         return (
@@ -140,7 +139,7 @@ class ResourceValidationPass(FunctionPass):
 
     name = "resource-validation"
 
-    def __init__(self, options: CompileOptions, config: Optional[H100Config] = None):
+    def __init__(self, options: CompileOptions, config: H100Config | None = None):
         self.options = options
         self.config = config or DEFAULT_CONFIG
         self.estimates = {}

@@ -29,7 +29,8 @@ See ``docs/ARCHITECTURE.md`` for the full design.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
 
 from repro.core.cache import (
     MemoryCache,
@@ -47,7 +48,7 @@ from repro.perf.counters import COUNTERS
 class CompilerService:
     """Content-addressed, two-tier cached compilation."""
 
-    def __init__(self, memory_capacity: Optional[int] = None):
+    def __init__(self, memory_capacity: int | None = None):
         self._memory = MemoryCache(memory_capacity)
 
     # ------------------------------------------------------------------ API
@@ -55,10 +56,10 @@ class CompilerService:
     def compile(
         self,
         kern: Kernel,
-        arg_types: Union[Mapping[str, Type], Sequence[Type]],
-        constexprs: Optional[Mapping[str, Any]] = None,
-        options: Optional[CompileOptions] = None,
-        config: Optional[H100Config] = None,
+        arg_types: Mapping[str, Type] | Sequence[Type],
+        constexprs: Mapping[str, Any] | None = None,
+        options: CompileOptions | None = None,
+        config: H100Config | None = None,
         plan_modes: Iterable[bool] = (),
         codegen_modes: Iterable[bool] = (),
     ) -> CompiledKernel:
@@ -114,7 +115,7 @@ class CompilerService:
         self._memory.put(key, compiled)
         return compiled
 
-    def lookup(self, key: str) -> Optional[CompiledKernel]:
+    def lookup(self, key: str) -> CompiledKernel | None:
         """The memory-tier artifact for a content fingerprint, if present.
 
         This is the persistent worker pool's warm path: work items carry the
@@ -213,7 +214,7 @@ class CompilerService:
         )
 
 
-_SERVICE: Optional[CompilerService] = None
+_SERVICE: CompilerService | None = None
 
 
 def get_compiler_service() -> CompilerService:

@@ -17,7 +17,6 @@ can inspect it.
 
 from __future__ import annotations
 
-from typing import List, Set
 
 from repro.ir import FuncOp, ModuleOp, Operation
 from repro.ir.passes import FunctionPass
@@ -53,7 +52,7 @@ class TagSemanticsPass(FunctionPass):
 
 
 def tag_function(func: FuncOp) -> None:
-    all_ops: List[Operation] = [op for op in func.walk() if op is not func]
+    all_ops: list[Operation] = [op for op in func.walk() if op is not func]
 
     loads = [op for op in all_ops if is_tma_load(op)]
     tile_anchors = [op for op in all_ops if is_tile_anchor(op)]
@@ -61,7 +60,7 @@ def tag_function(func: FuncOp) -> None:
     # Iteration statements: the backward slices of TMA-load *coordinates*
     # (not the descriptor itself) -- pointer/offset arithmetic scattered
     # through the IR, e.g. the `o_k += Kt` update in the paper's Fig. 2b.
-    iteration_ops: Set[Operation] = set()
+    iteration_ops: set[Operation] = set()
     coord_producers = []
     for load in loads:
         for coord in load.coords:
@@ -77,7 +76,7 @@ def tag_function(func: FuncOp) -> None:
 
     # Tile statements: anchors plus everything downstream of a dot, plus the
     # float-tensor arithmetic that feeds the anchors (softmax and friends).
-    tile_ops: Set[Operation] = set(tile_anchors)
+    tile_ops: set[Operation] = set(tile_anchors)
     tile_ops.update(
         op for op in backward_slice(tile_anchors, include_roots=False)
         if _produces_float_tile(op) and not is_tma_load(op)
@@ -94,7 +93,7 @@ def tag_function(func: FuncOp) -> None:
             op.set_attr(ROLE_ATTR, ROLE_OTHER)
 
 
-def _carried_update_ops(value) -> List[Operation]:
+def _carried_update_ops(value) -> list[Operation]:
     """The ops computing the next-iteration value of a loop-carried coordinate."""
     from repro.ir.dialects import scf
     from repro.ir.operation import BlockArgument

@@ -18,12 +18,11 @@ generated from.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from repro.perf.metrics import FigureResult
 
 
-def run_all(full: bool = False) -> Dict[str, List[FigureResult]]:
+def run_all(full: bool = False) -> dict[str, list[FigureResult]]:
     """Run every experiment; returns {figure module name: results}."""
     from repro.experiments import (
         fig8_gemm,

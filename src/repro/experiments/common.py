@@ -25,7 +25,8 @@ following launches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Any
 
 from repro.baselines import analytic
 from repro.core.options import CompileOptions, NAIVE_OPTIONS, TRITON_BASELINE_OPTIONS
@@ -42,7 +43,7 @@ TRITON = "Triton"
 PEAK = "Theoretical Peak"
 
 
-def perf_device(config: Optional[H100Config] = None,
+def perf_device(config: H100Config | None = None,
                 max_ctas_per_sm: int = 4) -> Device:
     """A performance-mode device used by all experiments."""
     return Device(config or DEFAULT_CONFIG, mode="performance",
@@ -144,10 +145,10 @@ class SweepPoint:
 
     kind: str  # a registered workload name: "gemm", "attention", "softmax", ...
     problem: Any
-    options: Optional[CompileOptions]
+    options: CompileOptions | None
 
 
-def measure_sweep(device: Device, points: Sequence[SweepPoint]) -> List[float]:
+def measure_sweep(device: Device, points: Sequence[SweepPoint]) -> list[float]:
     """Simulate a whole sweep in one batched submission.
 
     Returns one TFLOP/s value per point, in order.  Equivalent to calling
@@ -179,9 +180,9 @@ def measure_sweep(device: Device, points: Sequence[SweepPoint]) -> List[float]:
     from repro.core.options import CompileError
     from repro import workloads
 
-    specs: List[LaunchSpec] = []
-    launched: List[Tuple[int, int]] = []  # (point index, launches for it)
-    values: List[float] = [Infeasible("not launched (options=None)")] * len(points)
+    specs: list[LaunchSpec] = []
+    launched: list[tuple[int, int]] = []  # (point index, launches for it)
+    values: list[float] = [Infeasible("not launched (options=None)")] * len(points)
     for i, point in enumerate(points):
         if point.options is None:
             continue
@@ -210,7 +211,7 @@ def measure_sweep(device: Device, points: Sequence[SweepPoint]) -> List[float]:
 
 
 def measure_workload(device: Device, kind: str, problem: Any,
-                     options: Optional[CompileOptions] = None) -> float:
+                     options: CompileOptions | None = None) -> float:
     """Measure one registered workload point (TFLOP/s after the roofline)."""
     from repro import workloads
 

@@ -9,7 +9,6 @@ paper).
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from repro.baselines import analytic
 from repro.experiments import common
@@ -30,7 +29,7 @@ def attention_problem(seq_len: int, dtype: str, causal: bool) -> AttentionProble
                             block_m=128, block_n=128)
 
 
-def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResult]:
+def run(full: bool = False, device: Device | None = None) -> list[FigureResult]:
     device = device or common.perf_device()
     seq_lens = FULL_SEQ_LENS if full else REDUCED_SEQ_LENS
     panels = ([("f16", False), ("f16", True), ("f8e4m3", False), ("f8e4m3", True)]

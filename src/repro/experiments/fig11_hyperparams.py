@@ -12,7 +12,6 @@ back as :class:`~repro.perf.metrics.Infeasible` markers and render as
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from repro.experiments import common
 from repro.gpusim.device import Device
@@ -47,7 +46,7 @@ def config_space() -> ConfigSpace:
     )
 
 
-def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResult]:
+def run(full: bool = False, device: Device | None = None) -> list[FigureResult]:
     device = device or common.perf_device()
     problem = gemm_problem(full)
 

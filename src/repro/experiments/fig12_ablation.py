@@ -20,7 +20,6 @@ step requires cooperative warp groups first.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 from repro.core.options import CompileOptions, NAIVE_OPTIONS
 from repro.experiments import common
@@ -44,7 +43,7 @@ class AblationStep:
     block_n: int
 
 
-def gemm_steps() -> List[AblationStep]:
+def gemm_steps() -> list[AblationStep]:
     ws = dict(enable_warp_specialization=True, aref_depth=2, mma_pipeline_depth=2)
     return [
         AblationStep("Triton w/o WS", NAIVE_OPTIONS, 128, 128),
@@ -60,7 +59,7 @@ def gemm_steps() -> List[AblationStep]:
     ]
 
 
-def mha_steps() -> List[AblationStep]:
+def mha_steps() -> list[AblationStep]:
     ws = dict(enable_warp_specialization=True, mma_pipeline_depth=2)
     return [
         AblationStep("Triton w/o WS", NAIVE_OPTIONS, 64, 128),
@@ -79,7 +78,7 @@ def mha_steps() -> List[AblationStep]:
     ]
 
 
-def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResult]:
+def run(full: bool = False, device: Device | None = None) -> list[FigureResult]:
     device = device or common.perf_device()
 
     # Both ablation ladders (GEMM + MHA, mixed workload kinds) are submitted

@@ -6,7 +6,6 @@ Series: Theoretical Peak, cuBLAS (analytic), Tawa (simulated), Triton
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from repro.baselines import analytic
 from repro.experiments import common
@@ -24,8 +23,8 @@ def gemm_problem(k: int, dtype: str) -> GemmProblem:
                        block_m=128, block_n=256, block_k=64)
 
 
-def run(full: bool = False, device: Optional[Device] = None,
-        dtypes: Optional[List[str]] = None) -> List[FigureResult]:
+def run(full: bool = False, device: Device | None = None,
+        dtypes: list[str] | None = None) -> list[FigureResult]:
     """Regenerate both panels of Fig. 8 (one FigureResult per precision)."""
     device = device or common.perf_device()
     ks = FULL_K_SWEEP if full else REDUCED_K_SWEEP

@@ -8,7 +8,6 @@ ThunderKittens provides no working kernels for these cases (paper section V-C).
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from repro.baselines import analytic
 from repro.experiments import common
@@ -33,7 +32,7 @@ def grouped_problem(groups: int) -> GroupedGemmProblem:
                                           block_m=128, block_n=256, block_k=64)
 
 
-def run(full: bool = False, device: Optional[Device] = None) -> List[FigureResult]:
+def run(full: bool = False, device: Device | None = None) -> list[FigureResult]:
     device = device or common.perf_device()
     sizes = FULL_SIZES if full else REDUCED_SIZES
     groups = FULL_GROUPS if full else REDUCED_GROUPS

@@ -47,13 +47,13 @@ import multiprocessing as mp
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Union
+from collections.abc import Iterable, Iterator
 
 #: Environment variable holding a fault spec string (see module docstring).
 FAULTS_ENV = "REPRO_FAULTS"
 
 #: Every recognised fault kind, mapped to the hook site it responds to.
-FAULT_KINDS: Dict[str, str] = {
+FAULT_KINDS: dict[str, str] = {
     "kill": "worker",
     "hang": "worker",
     "pipe": "pipe",
@@ -77,14 +77,14 @@ class FaultSpec:
     """One fault to inject, parsed from the spec grammar."""
 
     kind: str
-    worker: Optional[int] = None
-    cta: Optional[int] = None
-    nth: Optional[int] = None
+    worker: int | None = None
+    cta: int | None = None
+    nth: int | None = None
     count: int = 1
     prob: float = 1.0
     seed: int = 0
     seconds: float = 3600.0
-    match: Optional[str] = None
+    match: str | None = None
 
     @property
     def site(self) -> str:
@@ -146,7 +146,7 @@ def _parse_one(text: str) -> FaultSpec:
     return spec
 
 
-def parse_faults(spec: str) -> List[FaultSpec]:
+def parse_faults(spec: str) -> list[FaultSpec]:
     """Parse a fault spec string into :class:`FaultSpec` records."""
     specs = []
     for part in spec.split(";"):
@@ -192,10 +192,10 @@ class FaultRegistry:
         self._synced_fired = 0
 
     @property
-    def specs(self) -> List[FaultSpec]:
+    def specs(self) -> list[FaultSpec]:
         return [state.spec for state in self._states]
 
-    def fire(self, site: str, **attrs) -> Optional[FaultSpec]:
+    def fire(self, site: str, **attrs) -> FaultSpec | None:
         """The spec that fires for this hook hit, if any (consumes budget)."""
         fired = self.fire_indexed(site, **attrs)
         return None if fired is None else fired[1]
@@ -242,7 +242,7 @@ class FaultRegistry:
 
     # -- state shipping (persistent worker pool) ------------------------------
 
-    def export_state(self) -> List[tuple]:
+    def export_state(self) -> list[tuple]:
         """The picklable ``(spec, hits, remaining)`` rows a work item carries.
 
         Pool workers fork once and live across many ``inject_faults`` scopes,
@@ -257,7 +257,7 @@ class FaultRegistry:
                 for state in self._states]
 
     @classmethod
-    def from_state(cls, state: List[tuple], owner_pid: int = -1) -> "FaultRegistry":
+    def from_state(cls, state: list[tuple], owner_pid: int = -1) -> "FaultRegistry":
         """A local registry rebuilt from :meth:`export_state` rows.
 
         ``owner_pid`` defaults to a pid that is never this process, so the
@@ -271,7 +271,7 @@ class FaultRegistry:
         registry._owner_pid = owner_pid
         return registry
 
-    def consume_remote_fire(self, index: int) -> Optional[FaultSpec]:
+    def consume_remote_fire(self, index: int) -> FaultSpec | None:
         """Fold one worker-reported fire of spec ``index`` into this registry.
 
         The pool worker fired its local copy (advancing only its own cells)
@@ -292,11 +292,11 @@ class FaultRegistry:
         self.sync_fired()
         return state.spec
 
-    def hit_values(self) -> List[int]:
+    def hit_values(self) -> list[int]:
         """Per-spec hook-hit counts (used to compute a worker's delta)."""
         return [state.hits.value for state in self._states]
 
-    def add_remote_hits(self, hits: List[int]) -> None:
+    def add_remote_hits(self, hits: list[int]) -> None:
         """Fold a worker's non-firing hook-hit deltas into the ``hits`` cells.
 
         Keeps ``nth`` / ``prob`` ordinals roughly process-tree-wide under the
@@ -312,8 +312,8 @@ class FaultRegistry:
         """How many times any spec of this registry has fired, tree-wide."""
         return sum(state.fired.value for state in self._states)
 
-    def fired_by_kind(self) -> Dict[str, int]:
-        out: Dict[str, int] = {}
+    def fired_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
         for state in self._states:
             if state.fired.value:
                 out[state.spec.kind] = out.get(state.spec.kind, 0) + state.fired.value
@@ -344,12 +344,12 @@ class FaultRegistry:
 # Activation: an explicit stack (inject_faults) over an env-derived default
 # ---------------------------------------------------------------------------
 
-_STACK: List[FaultRegistry] = []
-_ENV_REGISTRY: Optional[FaultRegistry] = None
-_ENV_RAW: Optional[str] = None
+_STACK: list[FaultRegistry] = []
+_ENV_REGISTRY: FaultRegistry | None = None
+_ENV_RAW: str | None = None
 
 
-def active_registry() -> Optional[FaultRegistry]:
+def active_registry() -> FaultRegistry | None:
     """The registry hooks consult: innermost ``inject_faults`` scope, else
     the ``REPRO_FAULTS`` environment registry, else ``None``.
 
@@ -374,7 +374,7 @@ def active_registry() -> Optional[FaultRegistry]:
 
 @contextmanager
 def inject_faults(
-    spec: Union[str, Iterable[FaultSpec]],
+    spec: str | Iterable[FaultSpec],
 ) -> Iterator[FaultRegistry]:
     """Scope a fresh fault registry to a ``with`` block.
 
@@ -394,7 +394,7 @@ def inject_faults(
         registry.sync_fired()
 
 
-def fire(site: str, **attrs) -> Optional[FaultSpec]:
+def fire(site: str, **attrs) -> FaultSpec | None:
     """Hook entry point: the spec firing at ``site`` for ``attrs``, if any.
 
     A no-op returning ``None`` when no registry is active, which is the

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import ast
 import builtins
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Any
 
 from repro.frontend import language as tl_lang
 from repro.frontend.errors import FrontendError, TypeMismatchError, UnsupportedSyntaxError
@@ -56,16 +57,16 @@ class CodeGenerator(ast.NodeVisitor):
         *,
         kernel_name: str,
         builder: Builder,
-        symbols: Dict[str, Any],
-        globals: Dict[str, Any],
-        source_lines: Optional[List[str]] = None,
+        symbols: dict[str, Any],
+        globals: dict[str, Any],
+        source_lines: list[str] | None = None,
     ):
         self.kernel_name = kernel_name
         self.builder = builder
         self.symbols = symbols
         self.globals = globals
         self.source_lines = source_lines or []
-        self._lineno: Optional[int] = None
+        self._lineno: int | None = None
 
     # ------------------------------------------------------------------ utils
 
@@ -84,7 +85,7 @@ class CodeGenerator(ast.NodeVisitor):
     def is_ir(self, value: Any) -> bool:
         return isinstance(value, Value)
 
-    def to_ir(self, value: Any, hint: Optional[Type] = None) -> Value:
+    def to_ir(self, value: Any, hint: Type | None = None) -> Value:
         """Convert a Python constant into an IR value (constants keep their hint type)."""
         if isinstance(value, Value):
             return value
@@ -101,7 +102,7 @@ class CodeGenerator(ast.NodeVisitor):
             TypeMismatchError,
         )
 
-    def _element_type(self, value: Any) -> Optional[Type]:
+    def _element_type(self, value: Any) -> Type | None:
         if not isinstance(value, Value):
             return None
         ty = value.type
@@ -208,7 +209,7 @@ class CodeGenerator(ast.NodeVisitor):
         else:
             self._build_scf_for(node, bounds)
 
-    def _loop_bounds(self, iter_node: ast.expr) -> Tuple[Tuple[Any, Any, Any], bool]:
+    def _loop_bounds(self, iter_node: ast.expr) -> tuple[tuple[Any, Any, Any], bool]:
         """Extract (lb, ub, step) and whether the loop must be unrolled."""
         if not isinstance(iter_node, ast.Call):
             raise self.error("loops must iterate over range(...) or tl.range(...)")
@@ -237,15 +238,15 @@ class CodeGenerator(ast.NodeVisitor):
             raise self.error("tl.static_range bounds must be compile-time integers")
         return (lb, ub, step), is_static
 
-    def _unroll_static_loop(self, node: ast.For, bounds: Tuple[Any, Any, Any]) -> None:
+    def _unroll_static_loop(self, node: ast.For, bounds: tuple[Any, Any, Any]) -> None:
         lb, ub, step = bounds
         for i in builtins.range(lb, ub, step):
             self.symbols[node.target.id] = i
             self.run_body(node.body)
 
-    def _assigned_names(self, statements: Sequence[ast.stmt]) -> List[str]:
+    def _assigned_names(self, statements: Sequence[ast.stmt]) -> list[str]:
         """Names (re)assigned anywhere in a statement list, in first-assignment order."""
-        names: List[str] = []
+        names: list[str] = []
 
         class _Collector(ast.NodeVisitor):
             def visit_Assign(self, n):  # noqa: N802
@@ -277,7 +278,7 @@ class CodeGenerator(ast.NodeVisitor):
             collector.visit(stmt)
         return names
 
-    def _build_scf_for(self, node: ast.For, bounds: Tuple[Any, Any, Any]) -> None:
+    def _build_scf_for(self, node: ast.For, bounds: tuple[Any, Any, Any]) -> None:
         lb, ub, step = bounds
         lb_v = self.to_ir(lb, i32)
         ub_v = self.to_ir(ub, i32)
@@ -286,8 +287,8 @@ class CodeGenerator(ast.NodeVisitor):
         carried = [n for n in self._assigned_names(node.body) if n in self.symbols]
         # Drop names whose current binding cannot become an SSA value (dtypes,
         # shapes, descriptors rebound inside the loop would be a user error).
-        inits: List[Value] = []
-        carried_names: List[str] = []
+        inits: list[Value] = []
+        carried_names: list[str] = []
         for name in carried:
             current = self.symbols[name]
             if isinstance(current, Value) or isinstance(current, (int, float, bool)):
@@ -787,7 +788,7 @@ class CodeGenerator(ast.NodeVisitor):
             return list(value)
         return [value]
 
-    def _static_shape(self, shape) -> Tuple[int, ...]:
+    def _static_shape(self, shape) -> tuple[int, ...]:
         dims = self._as_list(shape)
         out = []
         for d in dims:

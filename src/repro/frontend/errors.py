@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
 
 class FrontendError(Exception):
@@ -12,8 +11,8 @@ class FrontendError(Exception):
     points at the offending statement rather than at compiler internals.
     """
 
-    def __init__(self, message: str, *, kernel: Optional[str] = None,
-                 lineno: Optional[int] = None, source_line: Optional[str] = None):
+    def __init__(self, message: str, *, kernel: str | None = None,
+                 lineno: int | None = None, source_line: str | None = None):
         self.kernel = kernel
         self.lineno = lineno
         self.source_line = source_line

@@ -16,7 +16,8 @@ import inspect
 import textwrap
 import types
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from repro.frontend import language as tl_lang
 from repro.frontend.codegen import CodeGenerator
@@ -51,7 +52,7 @@ def _stable_binding(value: Any) -> str:
     return f"object:{type(value).__module__}.{type(value).__qualname__}"
 
 
-def _referenced_names(fn) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+def _referenced_names(fn) -> tuple[tuple[str, ...], tuple[str, ...]]:
     """The (global, closure) names a kernel body can resolve — per code object.
 
     Deliberately *unfiltered* by current ``fn.__globals__`` membership: a
@@ -100,7 +101,7 @@ class _ByIdentity:
         return not self.__eq__(other)
 
 
-def _binding_snapshot(fn, names: Tuple[Tuple[str, ...], Tuple[str, ...]]) -> tuple:
+def _binding_snapshot(fn, names: tuple[tuple[str, ...], tuple[str, ...]]) -> tuple:
     """Snapshot every binding the kernel body resolves, for cheap change checks."""
     global_names, free_names = names
     g = fn.__globals__
@@ -172,8 +173,8 @@ class KernelParam:
 class Specialization:
     """A fully-bound request to generate IR for a kernel."""
 
-    arg_types: Tuple[Tuple[str, Type], ...]
-    constexprs: Tuple[Tuple[str, Any], ...]
+    arg_types: tuple[tuple[str, Type], ...]
+    constexprs: tuple[tuple[str, Any], ...]
     num_warps: int = 8
 
     def key(self) -> tuple:
@@ -203,15 +204,15 @@ class Kernel:
         self.params = self._extract_params()
         self._fingerprint_base = f"{self.name}\n{source}"
         self._fingerprint_names = _referenced_names(fn)
-        self._fingerprint_snapshot: Optional[tuple] = None
-        self._fingerprint_value: Optional[str] = None
+        self._fingerprint_snapshot: tuple | None = None
+        self._fingerprint_value: str | None = None
         #: Full source+bindings hash computations (observability for tests
         #: and the compile-cache benchmark; warm accesses must not bump it).
         self.fingerprint_recomputes = 0
 
     # -- signature ---------------------------------------------------------------
 
-    def _extract_params(self) -> List[KernelParam]:
+    def _extract_params(self) -> list[KernelParam]:
         sig = inspect.signature(self.fn)
         params = []
         for p in sig.parameters.values():
@@ -247,24 +248,24 @@ class Kernel:
             return self._fingerprint_value
         self.fingerprint_recomputes += 1
         digest = hashlib.sha256(
-            f"{self._fingerprint_base}\n{_binding_digest(self.fn)}".encode("utf-8")
+            f"{self._fingerprint_base}\n{_binding_digest(self.fn)}".encode()
         ).hexdigest()
         self._fingerprint_snapshot = snapshot
         self._fingerprint_value = digest
         return digest
 
     @property
-    def runtime_param_names(self) -> List[str]:
+    def runtime_param_names(self) -> list[str]:
         return [p.name for p in self.params if not p.is_constexpr]
 
     @property
-    def constexpr_param_names(self) -> List[str]:
+    def constexpr_param_names(self) -> list[str]:
         return [p.name for p in self.params if p.is_constexpr]
 
     def specialize(
         self,
         arg_types: Mapping[str, Type] | Sequence[Type],
-        constexprs: Optional[Mapping[str, Any]] = None,
+        constexprs: Mapping[str, Any] | None = None,
         num_warps: int = 8,
     ) -> Specialization:
         """Bind argument types and constexpr values into a specialization.
@@ -317,7 +318,7 @@ class Kernel:
                       {"arg_names": list(arg_names)})
         module.append(func)
 
-        symbols: Dict[str, Any] = {}
+        symbols: dict[str, Any] = {}
         for name, value in zip(arg_names, func.arguments):
             symbols[name] = value
         for name, value in spec.constexprs:

@@ -43,7 +43,8 @@ from __future__ import annotations
 import math
 import sys
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -122,13 +123,13 @@ def vary(value: Any, B: int, sort: str) -> np.ndarray:
     return np.broadcast_to(arr, (B,) + arr.shape)
 
 
-def bsplat(value: Any, B: int, shape: Tuple[int, ...], dtype: str) -> np.ndarray:
+def bsplat(value: Any, B: int, shape: tuple[int, ...], dtype: str) -> np.ndarray:
     """Batched ``tt.splat`` of a CTA-varying scalar: ``(B,) + shape``."""
     v = np.asarray(value).astype(dtype)
     return np.broadcast_to(v.reshape((B,) + (1,) * len(shape)), (B,) + tuple(shape))
 
 
-def btile_read(buffer, coords: Sequence[Any], tile_shape: Tuple[int, ...], B: int) -> np.ndarray:
+def btile_read(buffer, coords: Sequence[Any], tile_shape: tuple[int, ...], B: int) -> np.ndarray:
     """Batched ``read_tile``: one tile per CTA, stacked on a leading axis.
 
     All-in-bounds tiles take a vectorized sliding-window gather; partial
@@ -160,7 +161,7 @@ def btile_write(buffer, coords: Sequence[Any], value: np.ndarray, rank: int, B: 
         buffer.write_tile([int(c[i]) for c in cs], tiles[i])
 
 
-def bstore(buffer, offsets: Any, values: Any, mask: Optional[Any]) -> None:
+def bstore(buffer, offsets: Any, values: Any, mask: Any | None) -> None:
     """Batched ``tt.store``: one scatter whose C-order matches launch order."""
     offsets = np.asarray(offsets, dtype=np.int64)
     shapes = [offsets.shape, np.shape(values)]
@@ -170,7 +171,7 @@ def bstore(buffer, offsets: Any, values: Any, mask: Optional[Any]) -> None:
     buffer.scatter(np.broadcast_to(offsets, shape), values, mask)
 
 
-def bmm(a: Any, b: Any, acc: Optional[Any]) -> np.ndarray:
+def bmm(a: Any, b: Any, acc: Any | None) -> np.ndarray:
     """Batched matmul with the interpreter's exact f32 accumulate semantics."""
     out = np.matmul(np.asarray(a, dtype=np.float32), np.asarray(b, dtype=np.float32))
     if acc is not None:
@@ -193,7 +194,7 @@ _STRONGISH = ("strong", "tensor")
 class Tag:
     sort: str
     varying: bool = False
-    root: Optional[int] = None  # argument index for ptr/desc chains
+    root: int | None = None  # argument index for ptr/desc chains
     srank: int = 0  # runtime serial rank of pointer offsets
 
 
@@ -203,7 +204,7 @@ def _join(a: Tag, b: Tag, what: str) -> Tag:
     return Tag(a.sort, a.varying or b.varying, a.root, a.srank)
 
 
-def _scalar_sort(ty: ScalarType) -> Tuple[str, str]:
+def _scalar_sort(ty: ScalarType) -> tuple[str, str]:
     """(weak sort, weak default numpy dtype expr) of an IR scalar type."""
     if ty.name == "i1":
         return "wb", "np.bool_"
@@ -250,13 +251,13 @@ class _Emitter:
     def __init__(self, func, kernel_name: str):
         self.func = func
         self.kernel_name = kernel_name
-        self.lines: List[str] = []
+        self.lines: list[str] = []
         self.indent = 1
-        self.tags: Dict[Value, Tag] = {}
-        self.names: Dict[Value, str] = {}
-        self.shapes: Dict[Value, Tuple[int, ...]] = {}  # smem views / rings
-        self.load_roots: Set[int] = set()
-        self.store_roots: Set[int] = set()
+        self.tags: dict[Value, Tag] = {}
+        self.names: dict[Value, str] = {}
+        self.shapes: dict[Value, tuple[int, ...]] = {}  # smem views / rings
+        self.load_roots: set[int] = set()
+        self.store_roots: set[int] = set()
 
     # -- plumbing -----------------------------------------------------------
 
@@ -312,7 +313,7 @@ class _Emitter:
         ty = op.results[0].type
         return ty.rank if isinstance(ty, TensorType) else 0
 
-    def _any_varying(self, values: Sequence[Optional[Value]]) -> bool:
+    def _any_varying(self, values: Sequence[Value | None]) -> bool:
         return any(v is not None and self.tag(v).varying for v in values)
 
     def _require_uniform(self, value: Value, what: str) -> None:
@@ -327,7 +328,7 @@ class _Emitter:
 
     # -- weak-promotion plumbing -------------------------------------------
 
-    def _promoted_pair(self, a: Value, b: Value, rank: int) -> Tuple[str, str]:
+    def _promoted_pair(self, a: Value, b: Value, rank: int) -> tuple[str, str]:
         """Operand exprs for a promoting binary pair (wcast where needed)."""
         ta, tb = self.tag(a), self.tag(b)
         ea, eb = self.ref(a), self.ref(b)
@@ -471,7 +472,7 @@ class _Emitter:
         self._require_uniform(op.condition, "branch condition")
         result_names = [f"v{res.id}" for res in op.results]
 
-        def walk_branch(block) -> List[Value]:
+        def walk_branch(block) -> list[Value]:
             for inner in block.operations[:-1]:
                 self.emit_op(inner)
             term = block.terminator
@@ -485,7 +486,7 @@ class _Emitter:
         then_mark = len(self.lines)  # where the then-branch assignments go
         self.indent -= 1
 
-        else_yields: List[Value] = []
+        else_yields: list[Value] = []
         if op.else_block is not None:
             self.line("else:")
             self.indent += 1
@@ -501,7 +502,7 @@ class _Emitter:
         else:
             joined = then_tags
 
-        def assignments(yields: List[Value]) -> List[str]:
+        def assignments(yields: list[Value]) -> list[str]:
             texts = []
             for name, v, slot in zip(result_names, yields, joined):
                 expr = self.ref(v)
@@ -974,11 +975,11 @@ class CodegenArtifact:
     """Generated source + compiled handle for one (kernel, mode, config)."""
 
     kernel_name: str
-    source: Optional[str]
+    source: str | None
     vectorizable: bool
-    reason: Optional[str] = None
-    load_roots: Tuple[int, ...] = ()
-    store_roots: Tuple[int, ...] = ()
+    reason: str | None = None
+    load_roots: tuple[int, ...] = ()
+    store_roots: tuple[int, ...] = ()
     _fn: Any = field(default=None, repr=False, compare=False)
 
     def callable(self):
@@ -986,7 +987,7 @@ class CodegenArtifact:
         if self._fn is None:
             if not self.vectorizable or not self.source:
                 raise CodegenError(f"artifact for {self.kernel_name!r} is not vectorizable")
-            namespace: Dict[str, Any] = {"np": np, "R": sys.modules[__name__]}
+            namespace: dict[str, Any] = {"np": np, "R": sys.modules[__name__]}
             code = compile(self.source, f"<codegen:{self.kernel_name}>", "exec")
             exec(code, namespace)
             self._fn = namespace["cta_batch"]

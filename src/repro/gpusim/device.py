@@ -36,7 +36,8 @@ deduplicates compilation and overlaps it with sharded execution.
 from __future__ import annotations
 
 import os
-from typing import Any, List, Mapping, Optional, Sequence, Union
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -82,6 +83,10 @@ def _env_codegen() -> bool:
     return os.environ.get("REPRO_SIM_CODEGEN", "0") in ("1", "true", "on")
 
 
+def _env_sanitize() -> bool:
+    return os.environ.get("REPRO_SIM_SANITIZE", "0") in ("1", "true", "on")
+
+
 class LaunchBatch:
     """An order-preserving queue of launches executed by :meth:`Device.run_many`.
 
@@ -92,12 +97,12 @@ class LaunchBatch:
 
     def __init__(self, device: "Device"):
         self.device = device
-        self.specs: List[LaunchSpec] = []
-        self.results: Optional[List[LaunchResult]] = None
+        self.specs: list[LaunchSpec] = []
+        self.results: list[LaunchResult] | None = None
 
     def add(self, kernel, grid, args: Mapping[str, Any],
-            constexprs: Optional[Mapping[str, Any]] = None, options=None,
-            flops: Optional[float] = None) -> int:
+            constexprs: Mapping[str, Any] | None = None, options=None,
+            flops: float | None = None) -> int:
         """Queue one launch; returns its index into :attr:`results`."""
         self.specs.append(LaunchSpec(kernel, grid, args, constexprs, options, flops))
         return len(self.specs) - 1
@@ -105,7 +110,7 @@ class LaunchBatch:
     def __len__(self) -> int:
         return len(self.specs)
 
-    def run(self) -> List[LaunchResult]:
+    def run(self) -> list[LaunchResult]:
         """Execute every queued launch and return their results in order."""
         self.results = self.device.run_many(self.specs)
         return self.results
@@ -116,10 +121,11 @@ class Device:
 
     def __init__(self, config: H100Config = DEFAULT_CONFIG, mode: str = "functional",
                  max_ctas_per_sm_simulated: int = 8, collect_trace: bool = False,
-                 use_plans: Optional[bool] = None, workers: Optional[int] = None,
-                 shard_timeout: Optional[float] = None,
-                 shard_retries: Optional[int] = None,
-                 pool=None, codegen: Optional[bool] = None):
+                 use_plans: bool | None = None, workers: int | None = None,
+                 shard_timeout: float | None = None,
+                 shard_retries: int | None = None,
+                 pool=None, codegen: bool | None = None,
+                 sanitize: bool | None = None):
         if mode not in ("functional", "performance"):
             raise ValueError(f"unknown device mode {mode!r}")
         self.config = config
@@ -153,6 +159,11 @@ class Device:
         # fall back to plans/interpreter.  None consults REPRO_SIM_CODEGEN
         # (default off).  Results are bit-identical to serial.
         self.codegen = _env_codegen() if codegen is None else bool(codegen)
+        # sanitize: validate every committed aref transition against the
+        # formal protocol model (repro.analysis.sanitizer), TSan-style.
+        # Forces serial interpreter execution.  None consults
+        # REPRO_SIM_SANITIZE (default off).
+        self.sanitize = _env_sanitize() if sanitize is None else bool(sanitize)
         # Reject explicitly contradictory knob combinations up front; knobs
         # resolved from the environment are judged by the selection matrix
         # (graceful degradation), not here.
@@ -162,6 +173,7 @@ class Device:
             workers=self.workers if workers is not None else None,
             pool=self.pool if pool is not None else None,
             codegen=self.codegen if codegen is not None else None,
+            sanitize=self.sanitize if sanitize is not None else None,
         )
 
     # ------------------------------------------------------------------ executor
@@ -185,6 +197,7 @@ class Device:
             shard_retries=self.shard_retries,
             pool=pool,
             codegen=self.codegen,
+            sanitize=self.sanitize,
         )
 
     def executor(self) -> executors.ExecutorBase:
@@ -202,7 +215,7 @@ class Device:
     def functional(self) -> bool:
         return self.mode == "functional"
 
-    def buffer(self, array_or_shape, element_type: Union[str, ScalarType],
+    def buffer(self, array_or_shape, element_type: str | ScalarType,
                name: str = "buf") -> GlobalBuffer:
         """Create a global-memory buffer (from a NumPy array or just a shape)."""
         if isinstance(array_or_shape, np.ndarray):
@@ -211,7 +224,7 @@ class Device:
             return GlobalBuffer(array_or_shape.shape, element_type, None, name)
         return GlobalBuffer.empty(array_or_shape, element_type, self.functional, name)
 
-    def tensor_desc(self, array_or_buffer, element_type: Union[str, ScalarType, None] = None,
+    def tensor_desc(self, array_or_buffer, element_type: str | ScalarType | None = None,
                     name: str = "desc") -> TensorDesc:
         """Create a TMA tensor descriptor over a buffer or NumPy array."""
         if isinstance(array_or_buffer, GlobalBuffer):
@@ -220,7 +233,7 @@ class Device:
             raise ValueError("element_type is required when wrapping a NumPy array")
         return TensorDesc(self.buffer(array_or_buffer, element_type, name))
 
-    def pointer(self, array_or_buffer, element_type: Union[str, ScalarType, None] = None,
+    def pointer(self, array_or_buffer, element_type: str | ScalarType | None = None,
                 name: str = "ptr") -> Pointer:
         """Create a pointer argument over a buffer or NumPy array."""
         if isinstance(array_or_buffer, GlobalBuffer):
@@ -236,7 +249,7 @@ class Device:
         """Infer the IR type of a runtime kernel argument."""
         return executors.infer_arg_type(value)
 
-    def compile(self, kern, args: Mapping[str, Any], constexprs: Optional[Mapping[str, Any]] = None,
+    def compile(self, kern, args: Mapping[str, Any], constexprs: Mapping[str, Any] | None = None,
                 options=None):
         """Compile a frontend kernel for the given runtime arguments (cached).
 
@@ -252,11 +265,11 @@ class Device:
     def run(
         self,
         kernel_or_compiled,
-        grid: Union[int, Sequence[int]],
+        grid: int | Sequence[int],
         args: Mapping[str, Any],
-        constexprs: Optional[Mapping[str, Any]] = None,
+        constexprs: Mapping[str, Any] | None = None,
         options=None,
-        flops: Optional[float] = None,
+        flops: float | None = None,
     ) -> LaunchResult:
         """Compile (if necessary) and launch a kernel over ``grid``.
 
@@ -270,14 +283,14 @@ class Device:
         return executor.run(executor.prepare(spec))
 
     def launch(self, compiled, grid, args: Mapping[str, Any],
-               flops: Optional[float] = None) -> LaunchResult:
+               flops: float | None = None) -> LaunchResult:
         return self.run(compiled, grid, args, flops=flops)
 
     def batch(self) -> LaunchBatch:
         """A new, empty launch queue bound to this device."""
         return LaunchBatch(self)
 
-    def run_many(self, specs: Sequence[LaunchSpec]) -> List[LaunchResult]:
+    def run_many(self, specs: Sequence[LaunchSpec]) -> list[LaunchResult]:
         """Execute a whole batch of launches; one result per spec, in order.
 
         Delegates to :func:`repro.gpusim.executors.base.run_pipelined`, which
@@ -288,7 +301,7 @@ class Device:
 
     # ------------------------------------------------------------------ internals
 
-    def _total_time(self, per_cta_cycles: List[float], launched_ctas: int,
+    def _total_time(self, per_cta_cycles: list[float], launched_ctas: int,
                     active_sms: int, persistent: bool, functional: bool) -> float:
         """Delegate kept for tests: see :func:`executors.total_launch_cycles`."""
         return executors.total_launch_cycles(self.executor_settings(),

@@ -29,7 +29,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from collections.abc import Callable, Iterator
 
 from repro.gpusim.config import H100Config
 
@@ -76,7 +76,7 @@ class DelayChain(Effect):
     single wake-up event instead of one per delay.
     """
 
-    delays: Tuple[float, ...]
+    delays: tuple[float, ...]
 
 
 @dataclass(slots=True)
@@ -92,8 +92,8 @@ class TmaIssue(Effect):
     """Issue an asynchronous TMA copy that credits ``barrier`` on completion."""
 
     num_bytes: int
-    barrier: Optional["MBarrier"] = None
-    on_complete: Optional[Callable[[], None]] = None
+    barrier: "MBarrier" | None = None
+    on_complete: Callable[[], None] | None = None
 
 
 @dataclass(slots=True)
@@ -101,7 +101,7 @@ class CpAsyncIssue(Effect):
     """Issue an Ampere-style cp.async copy tracked per warp group."""
 
     num_bytes: int
-    on_complete: Optional[Callable[[], None]] = None
+    on_complete: Callable[[], None] | None = None
 
 
 @dataclass(slots=True)
@@ -176,7 +176,7 @@ class MBarrier:
         self.expected_tx = 0
         self.received_tx = 0
         self.completed = 0
-        self.waiters: List[Tuple["Agent", int]] = []
+        self.waiters: list[tuple["Agent", int]] = []
 
     # -- state transitions -------------------------------------------------------
 
@@ -227,7 +227,7 @@ class NamedBarrier:
         self.name = name
         self.generation = 0
         self.arrived = 0
-        self.waiters: List[Tuple["Agent", int]] = []
+        self.waiters: list[tuple["Agent", int]] = []
 
 
 class ArefSlotRuntime:
@@ -244,8 +244,8 @@ class ArefSlotRuntime:
         self.name = name
         self.state = self.EMPTY
         self.payload = None
-        self.put_waiters: List["Agent"] = []
-        self.get_waiters: List["Agent"] = []
+        self.put_waiters: list["Agent"] = []
+        self.get_waiters: list["Agent"] = []
 
     def can_put(self) -> bool:
         return self.state == self.EMPTY
@@ -342,7 +342,7 @@ class TensorCoreUnit(_SingleServerQueue):
         super().__init__()
         self.config = config
         self.flops_issued = 0.0
-        self._chain_free_at: Dict[object, float] = {}
+        self._chain_free_at: dict[object, float] = {}
 
     def submit_wgmma(self, now: float, flops: float, dtype_bits: int, acc_n: int,
                      chain: object = None) -> float:
@@ -400,19 +400,19 @@ class Agent:
         self.generator = generator
         self.sm = sm
         self.finished = False
-        self.finish_time: Optional[float] = None
-        self.blocked_on: Optional[str] = None
+        self.finish_time: float | None = None
+        self.blocked_on: str | None = None
         # cp.async / wgmma bookkeeping (per warp group, like the hardware).
         self.outstanding_wgmma = 0
         self.outstanding_cpasync = 0
-        self.wgmma_waiters: List[int] = []
+        self.wgmma_waiters: list[int] = []
         self.busy_cycles = 0.0
         # Parked wait thresholds (one per counter, see _wake_parked).
-        self._wgmma_parked: Optional[int] = None
-        self._cpasync_parked: Optional[int] = None
+        self._wgmma_parked: int | None = None
+        self._cpasync_parked: int | None = None
         # One reusable wake-up closure per agent (set by Engine.add_agent)
         # instead of a fresh lambda per scheduled resume.
-        self.resume: Optional[Callable[[], None]] = None
+        self.resume: Callable[[], None] | None = None
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Agent {self.name}>"
@@ -421,14 +421,14 @@ class Agent:
 class Engine:
     """The discrete-event scheduler."""
 
-    def __init__(self, config: H100Config, trace: Optional[List] = None,
+    def __init__(self, config: H100Config, trace: list | None = None,
                  max_events: int = 50_000_000):
         self.config = config
         self.now = 0.0
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._agent_ids = itertools.count()
-        self.agents: List[Agent] = []
+        self.agents: list[Agent] = []
         self.trace = trace
         self.max_events = max_events
         self.events_processed = 0
@@ -444,7 +444,7 @@ class Engine:
         agent.resume = lambda: self._run_agent(agent)
         self.schedule(start_time, agent.resume)
 
-    def record(self, agent: Optional[Agent], kind: str, detail: str = "") -> None:
+    def record(self, agent: Agent | None, kind: str, detail: str = "") -> None:
         if self.trace is not None:
             self.trace.append((self.now, agent.name if agent else "-", kind, detail))
 

@@ -80,6 +80,10 @@ def select_executor(settings: ExecutorSettings) -> ExecutorBase:
     """
     from repro.gpusim import parallel
 
+    if settings.sanitize:
+        # The sanitizer validates the *interpreter's* committed aref
+        # transitions, and its error must surface in the calling process.
+        return SerialExecutor(settings)
     if settings.codegen and not settings.collect_trace:
         return CodegenExecutor(settings)
     if (settings.functional and not settings.collect_trace
@@ -92,7 +96,8 @@ def select_executor(settings: ExecutorSettings) -> ExecutorBase:
 
 
 def validate_engine_settings(*, collect_trace=None, use_plans=None,
-                             workers=None, pool=None, codegen=None) -> None:
+                             workers=None, pool=None, codegen=None,
+                             sanitize=None) -> None:
     """Reject contradictory engine-selection knob combinations up front.
 
     This is the one home of the engine-selection compatibility matrix.  Every
@@ -132,4 +137,18 @@ def validate_engine_settings(*, collect_trace=None, use_plans=None,
                 "collect_trace=True cannot be combined with codegen=True: "
                 "the vectorized batch call executes no per-op events to "
                 "trace. Drop codegen= or the trace."
+            )
+    if sanitize:
+        if codegen:
+            raise SimulationError(
+                "sanitize=True cannot be combined with codegen=True: the "
+                "vectorized batch call commits no per-op aref transitions "
+                "for the sanitizer to validate. Drop codegen= or sanitize=."
+            )
+        if pool is not None:
+            raise SimulationError(
+                "sanitize=True requires serial in-process execution (the "
+                "sanitizer's verdict must surface in the calling process); "
+                "it cannot be combined with a persistent worker pool. Drop "
+                "pool= or sanitize=."
             )

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, List, Mapping, Optional, Protocol, Sequence, Tuple, runtime_checkable
+from collections.abc import Mapping, Sequence
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -41,7 +42,7 @@ from repro.ir.types import Type, f32, i1, i32
 from repro.perf.counters import COUNTERS
 
 #: One executed CTA: (cycles, tensor-core busy cycles, bytes copied).
-CtaRow = Tuple[float, float, int]
+CtaRow = tuple[float, float, int]
 
 
 @dataclass(frozen=True)
@@ -72,6 +73,9 @@ class ExecutorSettings:
     #: CTAs of a launch through one generated NumPy call, falling back to
     #: plans for launches the emitter cannot vectorize.
     codegen: bool = False
+    #: validate every committed aref transition against the formal protocol
+    #: model (repro.analysis.sanitizer); forces serial interpreter execution
+    sanitize: bool = False
 
     @property
     def functional(self) -> bool:
@@ -97,7 +101,7 @@ def infer_arg_type(value: Any) -> Type:
 
 
 def compile_spec(settings: ExecutorSettings, kern, args: Mapping[str, Any],
-                 constexprs: Optional[Mapping[str, Any]] = None, options=None):
+                 constexprs: Mapping[str, Any] | None = None, options=None):
     """Compile a frontend kernel for the given runtime arguments (cached).
 
     Routed through the process-wide
@@ -111,7 +115,8 @@ def compile_spec(settings: ExecutorSettings, kern, args: Mapping[str, Any],
     from repro.core.service import get_compiler_service
 
     arg_types = {name: infer_arg_type(value) for name, value in args.items()}
-    plan_modes = (settings.functional,) if settings.use_plans else ()
+    use_plans = settings.use_plans and not settings.sanitize
+    plan_modes = (settings.functional,) if use_plans else ()
     codegen_modes = (settings.functional,) if settings.codegen else ()
     return get_compiler_service().compile(
         kern, arg_types, constexprs, options, config=settings.config,
@@ -119,7 +124,7 @@ def compile_spec(settings: ExecutorSettings, kern, args: Mapping[str, Any],
     )
 
 
-def total_launch_cycles(settings: ExecutorSettings, per_cta_cycles: List[float],
+def total_launch_cycles(settings: ExecutorSettings, per_cta_cycles: list[float],
                         launched_ctas: int, active_sms: int, persistent: bool,
                         functional: bool) -> float:
     """Total simulated cycles of a launch from its per-CTA sample.
@@ -225,6 +230,7 @@ class ExecutorBase:
             launched_grid=launched_grid,
             num_tiles=total_tiles,
             arg_values=dict(spec.args),
+            sanitize=settings.sanitize,
         )
 
         active_sms = min(settings.config.num_sms, launched_ctas)
@@ -252,7 +258,7 @@ class ExecutorBase:
             extrapolated = per_sm > len(cta_ids)
 
         plan = None
-        if settings.use_plans:
+        if settings.use_plans and not settings.sanitize:
             from repro.gpusim.plan import get_plan
 
             # Plans are part of the compile artifact (built eagerly by
@@ -278,7 +284,7 @@ class ExecutorBase:
             trace=[] if settings.collect_trace else None,
         )
 
-    def _bind_args(self, compiled, args: Mapping[str, Any]) -> List[Any]:
+    def _bind_args(self, compiled, args: Mapping[str, Any]) -> list[Any]:
         values = []
         for name in compiled.arg_names:
             if name not in args:
@@ -296,7 +302,7 @@ class ExecutorBase:
 
     # ------------------------------------------------------------------ execute
 
-    def execute(self, prepared: PreparedLaunch) -> List[CtaRow]:
+    def execute(self, prepared: PreparedLaunch) -> list[CtaRow]:
         """Produce per-CTA rows in ``prepared.cta_ids`` order (strategy hook)."""
         raise NotImplementedError
 
@@ -338,6 +344,9 @@ class ExecutorBase:
         for spec in agents:
             engine.add_agent(Agent(spec.name, spec.generator, sm), start_time=prologue)
         cycles = engine.run()
+        if cta.sanitizer is not None:
+            # Drain check: the CTA retired, so every aref slot must be EMPTY.
+            cta.sanitizer.finalize()
         COUNTERS.engine_events += engine.events_processed
         return cycles, sm.tensor_core.busy_cycles, sm.tma.bytes_copied + sm.copy.bytes_copied
 
@@ -353,6 +362,8 @@ class ExecutorBase:
         across strategies.
         """
         settings = self.settings
+        if settings.sanitize:
+            COUNTERS.analysis_sanitized_launches += 1
         per_cta_cycles = [row[0] for row in rows]
         tc_busy = 0.0
         bytes_copied = 0
@@ -386,7 +397,7 @@ class ExecutorBase:
 
 
 def run_pipelined(executor: Executor,
-                  specs: Sequence[LaunchSpec]) -> List[LaunchResult]:
+                  specs: Sequence[LaunchSpec]) -> list[LaunchResult]:
     """Execute a batch of launches through one executor, in order.
 
     Compilation (kernel + execution plan, deduplicated by the process-wide
@@ -401,8 +412,8 @@ def run_pipelined(executor: Executor,
     the *prepare* phase (compilation, plan building, argument binding --
     none of which read buffer payloads) overlaps it.
     """
-    results: List[Optional[LaunchResult]] = [None] * len(specs)
-    pending: Optional[Tuple[int, InflightLaunch]] = None
+    results: list[LaunchResult | None] = [None] * len(specs)
+    pending: tuple[int, InflightLaunch] | None = None
     try:
         for i, spec in enumerate(specs):
             prepared = executor.prepare(spec)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.gpusim.executors.base import CtaRow, ExecutorBase
 from repro.gpusim.launch import PreparedLaunch
@@ -18,5 +17,5 @@ class SerialExecutor(ExecutorBase):
     class -- any launch it cannot shard falls back to exactly this body.
     """
 
-    def execute(self, prepared: PreparedLaunch) -> List[CtaRow]:
+    def execute(self, prepared: PreparedLaunch) -> list[CtaRow]:
         return [self.run_one_cta(prepared, linear) for linear in prepared.cta_ids]

@@ -22,7 +22,6 @@ overlap compilation of the next launch with execution of this one.
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.gpusim import parallel
 from repro.gpusim.executors.base import CtaRow, InflightLaunch
@@ -53,7 +52,7 @@ class ShardedExecutor(SerialExecutor):
             retries=self.settings.shard_retries,
         )
 
-    def execute(self, prepared: PreparedLaunch) -> List[CtaRow]:
+    def execute(self, prepared: PreparedLaunch) -> list[CtaRow]:
         workers = self.effective_workers(prepared)
         if workers <= 1:
             return super().execute(prepared)

@@ -26,7 +26,6 @@ executor the device would have selected without codegen, counted by
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List
 
 import numpy as np
 
@@ -102,7 +101,7 @@ class CodegenExecutor(ExecutorBase):
         return True
 
     @staticmethod
-    def _root_buffers(args, roots) -> List[object]:
+    def _root_buffers(args, roots) -> list[object]:
         buffers = []
         for index in roots:
             value = args[index]
@@ -112,7 +111,7 @@ class CodegenExecutor(ExecutorBase):
 
     # ------------------------------------------------------------------ execute
 
-    def _vector_rows(self, prepared: PreparedLaunch) -> List[CtaRow]:
+    def _vector_rows(self, prepared: PreparedLaunch) -> list[CtaRow]:
         """The launch's per-CTA rows: one simulated row, replicated.
 
         The representative CTA is ``cta_ids[0]`` and runs *first* (reading
@@ -136,7 +135,7 @@ class CodegenExecutor(ExecutorBase):
         COUNTERS.codegen_ctas_batched += len(ids)
         return [row] * len(ids)
 
-    def execute(self, prepared: PreparedLaunch) -> List[CtaRow]:
+    def execute(self, prepared: PreparedLaunch) -> list[CtaRow]:
         """Strategy hook (protocol completeness): vectorize or fall back."""
         if self._eligible(prepared):
             return self._vector_rows(prepared)

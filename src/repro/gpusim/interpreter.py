@@ -21,7 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Iterator, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -67,7 +68,7 @@ class ArefRuntime:
     """Runtime state of a tawa.create_aref ring (mid-level interpretation)."""
 
     depth: int
-    slots: List[ArefSlotRuntime] = field(default_factory=list)
+    slots: list[ArefSlotRuntime] = field(default_factory=list)
 
     @classmethod
     def create(cls, depth: int, name: str) -> "ArefRuntime":
@@ -83,10 +84,13 @@ class LaunchContext:
 
     config: H100Config
     functional: bool
-    grid: Tuple[int, int, int]
-    launched_grid: Tuple[int, int, int]
+    grid: tuple[int, int, int]
+    launched_grid: tuple[int, int, int]
     num_tiles: int
-    arg_values: Dict[str, Any]
+    arg_values: dict[str, Any]
+    #: validate every committed aref transition against the formal protocol
+    #: model (repro.analysis.sanitizer); forces the interpreter path
+    sanitize: bool = False
 
 
 @dataclass
@@ -95,12 +99,16 @@ class CtaContext:
 
     launch: LaunchContext
     linear_id: int
-    pid: Tuple[int, int, int]
+    pid: tuple[int, int, int]
     engine: Engine
     sm: SMResources
-    env: Dict[Value, Any] = field(default_factory=dict)
-    named_barrier: Optional[NamedBarrier] = None
+    env: dict[Value, Any] = field(default_factory=dict)
+    named_barrier: NamedBarrier | None = None
     smem_bytes: int = 0
+    #: the CTA's aref transition recorder when the launch runs sanitized
+    #: (repro.analysis.sanitizer.CtaSanitizer); shared by every warp-group
+    #: agent of the CTA
+    sanitizer: Any = None
 
 
 @dataclass
@@ -126,7 +134,7 @@ class _WarpGroupExec:
         self.replicas = max(1, replicas)
         self.work_fraction = 1.0 / self.replicas
         self.name = name
-        self.env: Dict[Value, Any] = dict(cta.env)
+        self.env: dict[Value, Any] = dict(cta.env)
 
     # -- value access ----------------------------------------------------------
 
@@ -510,6 +518,11 @@ class _WarpGroupExec:
     def _exec_create_aref(self, op: tawa.CreateArefOp) -> Iterator[Effect]:
         name = op.get_attr("aref_name", f"aref{op.results[0].id}")
         self.set(op.result, ArefRuntime.create(op.depth, name))
+        if self.launch.sanitize and self.cta.sanitizer is None:
+            # Lazy import: repro.analysis sits above the gpusim package.
+            from repro.analysis.sanitizer import CtaSanitizer
+
+            self.cta.sanitizer = CtaSanitizer(f"cta{self.cta.linear_id}")
         return
         yield  # pragma: no cover
 
@@ -526,6 +539,8 @@ class _WarpGroupExec:
         yield ArefPut(slot)
         payload = tuple(self.get(v) for v in op.values)
         slot.do_put(payload)
+        if self.cta.sanitizer is not None:
+            self.cta.sanitizer.record("put", slot, self.role)
         self.engine.notify_aref(slot)
 
     def _exec_get(self, op: tawa.GetOp) -> Iterator[Effect]:
@@ -533,6 +548,8 @@ class _WarpGroupExec:
         yield Delay(self.config.aref_op_cycles)
         yield ArefGet(slot)
         payload = slot.do_get()
+        if self.cta.sanitizer is not None:
+            self.cta.sanitizer.record("get", slot, self.role)
         for res, value in zip(op.results, payload):
             self.set(res, value)
         self.engine.notify_aref(slot)
@@ -541,6 +558,8 @@ class _WarpGroupExec:
         slot: ArefSlotRuntime = self.get(op.slot)
         yield Delay(self.config.aref_op_cycles)
         slot.do_consumed()
+        if self.cta.sanitizer is not None:
+            self.cta.sanitizer.record("consumed", slot, self.role)
         self.engine.notify_aref(slot)
 
     # ========================================================================
@@ -571,7 +590,7 @@ class _WarpGroupExec:
         yield  # pragma: no cover
 
     def _barrier_slot(self, mbar_value: Value, index_value: Value) -> MBarrier:
-        barriers: List[MBarrier] = self.get(mbar_value)
+        barriers: list[MBarrier] = self.get(mbar_value)
         index = int(self.get(index_value)) % len(barriers)
         return barriers[index]
 
@@ -712,7 +731,7 @@ def _resolve_operand(value: Any) -> Any:
     return value
 
 
-def _operand_bits(value: Value) -> Optional[int]:
+def _operand_bits(value: Value) -> int | None:
     ty = value.type
     elem = getattr(ty, "element_type", None)
     if isinstance(elem, ScalarType):
@@ -803,7 +822,7 @@ def build_cta_agents(
     func: FuncOp,
     cta: CtaContext,
     arg_values: Sequence[Any],
-) -> Tuple[List[AgentSpec], float]:
+) -> tuple[list[AgentSpec], float]:
     """Prepare the agents of one CTA.
 
     Executes the CTA-common prologue (shared memory, mbarrier and aref
@@ -844,7 +863,7 @@ def build_cta_agents(
     total_replicas = sum(max(1, wg.replicas) for wg in warp_groups)
     cta.named_barrier = NamedBarrier(total_replicas, f"cta{cta.linear_id}/bar")
 
-    agents: List[AgentSpec] = []
+    agents: list[AgentSpec] = []
     for wg in warp_groups:
         replicas = max(1, wg.replicas)
         for replica in range(replicas):

@@ -18,7 +18,8 @@ both layers import *down* into this module, never at each other.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Mapping, Optional, Sequence, Tuple, Union
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -34,16 +35,16 @@ class LaunchResult:
     seconds: float
     total_ctas: int
     simulated_ctas: int
-    per_cta_cycles: List[float] = field(default_factory=list)
+    per_cta_cycles: list[float] = field(default_factory=list)
     tensor_core_busy_cycles: float = 0.0
     tensor_core_utilization: float = 0.0
     bytes_copied: int = 0
-    flops: Optional[float] = None
+    flops: float | None = None
     extrapolated: bool = False
-    trace: Optional[List] = None
+    trace: list | None = None
 
     @property
-    def tflops(self) -> Optional[float]:
+    def tflops(self) -> float | None:
         if not self.flops or self.seconds <= 0:
             return None
         return self.flops / self.seconds / 1e12
@@ -65,11 +66,11 @@ class LaunchSpec:
     """
 
     kernel: Any
-    grid: Union[int, Sequence[int]]
+    grid: int | Sequence[int]
     args: Mapping[str, Any]
-    constexprs: Optional[Mapping[str, Any]] = None
+    constexprs: Mapping[str, Any] | None = None
     options: Any = None
-    flops: Optional[float] = None
+    flops: float | None = None
 
 
 @dataclass
@@ -84,23 +85,23 @@ class PreparedLaunch:
 
     spec: LaunchSpec
     compiled: Any
-    launched_grid: Tuple[int, int, int]
+    launched_grid: tuple[int, int, int]
     launched_ctas: int
     active_sms: int
     persistent: bool
     extrapolated: bool
-    cta_ids: List[int]
-    arg_values: List[Any]
+    cta_ids: list[int]
+    arg_values: list[Any]
     launch_ctx: LaunchContext
     bandwidth_scale: float
     plan: Any
-    trace: Optional[List]
+    trace: list | None
 
 
-def normalize_grid(grid: Union[int, Sequence[int]]) -> Tuple[int, int, int]:
+def normalize_grid(grid: int | Sequence[int]) -> tuple[int, int, int]:
     """Pad a 1-3 dimensional grid out to the canonical 3-tuple."""
     if isinstance(grid, (int, np.integer)):
-        dims: Tuple[int, ...] = (int(grid),)
+        dims: tuple[int, ...] = (int(grid),)
     else:
         dims = tuple(int(g) for g in grid)
     if len(dims) > 3 or len(dims) == 0 or any(d <= 0 for d in dims):
@@ -108,7 +109,7 @@ def normalize_grid(grid: Union[int, Sequence[int]]) -> Tuple[int, int, int]:
     return dims + (1,) * (3 - len(dims))
 
 
-def linear_to_pid(linear: int, grid: Tuple[int, int, int]) -> Tuple[int, int, int]:
+def linear_to_pid(linear: int, grid: tuple[int, int, int]) -> tuple[int, int, int]:
     """The (x, y, z) program id of a linearized CTA index."""
     gx, gy, gz = grid
     return (linear % gx, (linear // gx) % gy, (linear // (gx * gy)) % gz)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import mmap
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple, Union
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -44,7 +44,7 @@ def shared_ndarray(shape: Sequence[int], dtype) -> np.ndarray:
 
 
 def shared_ndarray_with_backing(shape: Sequence[int],
-                                dtype) -> Tuple[np.ndarray, mmap.mmap]:
+                                dtype) -> tuple[np.ndarray, mmap.mmap]:
     """Like :func:`shared_ndarray`, but also returns the mmap object itself
     so the owner can ``close()`` it deterministically (see
     :meth:`GlobalBuffer.release_shared`)."""
@@ -56,7 +56,7 @@ def shared_ndarray_with_backing(shape: Sequence[int],
     return np.frombuffer(backing, dtype=dtype, count=count).reshape(shape), backing
 
 
-def _as_scalar_type(dtype: Union[str, ScalarType]) -> ScalarType:
+def _as_scalar_type(dtype: str | ScalarType) -> ScalarType:
     if isinstance(dtype, ScalarType):
         return dtype
     return scalar_type(dtype)
@@ -66,7 +66,7 @@ def _as_scalar_type(dtype: Union[str, ScalarType]) -> ScalarType:
 class SymbolicTile:
     """A data-free tile used in performance mode."""
 
-    shape: Tuple[int, ...]
+    shape: tuple[int, ...]
     dtype: ScalarType
 
     @property
@@ -91,8 +91,8 @@ class GlobalBuffer:
     though both are stored as float32/float16 NumPy arrays.
     """
 
-    def __init__(self, shape: Sequence[int], element_type: Union[str, ScalarType],
-                 data: Optional[np.ndarray] = None, name: str = "buf"):
+    def __init__(self, shape: Sequence[int], element_type: str | ScalarType,
+                 data: np.ndarray | None = None, name: str = "buf"):
         self.shape = tuple(int(s) for s in shape)
         self.element_type = _as_scalar_type(element_type)
         self.name = name
@@ -102,18 +102,18 @@ class GlobalBuffer:
                 data = data.reshape(self.shape)
         self.data = data
         self._shared = False
-        self._shared_backing: Optional[mmap.mmap] = None
+        self._shared_backing: mmap.mmap | None = None
         self._shared_nbytes = 0
 
     # -- constructors -------------------------------------------------------------
 
     @classmethod
-    def from_numpy(cls, array: np.ndarray, element_type: Union[str, ScalarType],
+    def from_numpy(cls, array: np.ndarray, element_type: str | ScalarType,
                    name: str = "buf") -> "GlobalBuffer":
         return cls(array.shape, element_type, data=array, name=name)
 
     @classmethod
-    def empty(cls, shape: Sequence[int], element_type: Union[str, ScalarType],
+    def empty(cls, shape: Sequence[int], element_type: str | ScalarType,
               functional: bool = True, name: str = "buf") -> "GlobalBuffer":
         data = (np.zeros(shape, dtype=_as_scalar_type(element_type).numpy_dtype)
                 if functional else None)
@@ -271,7 +271,7 @@ class GlobalBuffer:
 
     # -- flat (pointer) access ----------------------------------------------------------
 
-    def gather(self, offsets: np.ndarray, mask: Optional[np.ndarray] = None,
+    def gather(self, offsets: np.ndarray, mask: np.ndarray | None = None,
                other: float = 0.0) -> np.ndarray:
         if self.data is None:
             raise RuntimeError("gather on a non-functional buffer")
@@ -285,7 +285,7 @@ class GlobalBuffer:
         return np.where(valid, out, np.asarray(other, dtype=flat.dtype))
 
     def scatter(self, offsets: np.ndarray, values: np.ndarray,
-                mask: Optional[np.ndarray] = None) -> None:
+                mask: np.ndarray | None = None) -> None:
         if self.data is None:
             return
         flat = self.data.reshape(-1)
@@ -339,7 +339,7 @@ class Pointer:
     """
 
     buffer: GlobalBuffer
-    offsets: Union[int, np.ndarray] = 0
+    offsets: int | np.ndarray = 0
 
     @property
     def element_type(self) -> ScalarType:
@@ -351,11 +351,11 @@ class Pointer:
 
         return PointerType(self.element_type)
 
-    def offset_by(self, delta: Union[int, np.ndarray]) -> "Pointer":
+    def offset_by(self, delta: int | np.ndarray) -> "Pointer":
         return Pointer(self.buffer, self.offsets + delta)
 
     @property
-    def shape(self) -> Tuple[int, ...]:
+    def shape(self) -> tuple[int, ...]:
         if isinstance(self.offsets, np.ndarray):
             return tuple(self.offsets.shape)
         return ()
@@ -442,7 +442,7 @@ class SharedArena:
         from repro.perf.counters import COUNTERS
 
         self.nbytes = nbytes
-        self._backing: Optional[mmap.mmap] = mmap.mmap(-1, nbytes)
+        self._backing: mmap.mmap | None = mmap.mmap(-1, nbytes)
         self._offset = 0
         COUNTERS.parallel_shared_bytes += nbytes
 
@@ -473,7 +473,7 @@ class SharedArena:
 
     # -- per-launch buffer residency ----------------------------------------------
 
-    def place_buffers(self, values) -> Optional[list]:
+    def place_buffers(self, values) -> list | None:
         """Move every buffer reachable from launch arguments into the arena.
 
         Returns the placements (to hand back to :meth:`restore_buffers` at
@@ -562,7 +562,7 @@ class SmemTile:
             n *= d
         self.num_elements = n
         self.logical_bytes = n * element_type.bitwidth // 8
-        self.data: Optional[np.ndarray] = (
+        self.data: np.ndarray | None = (
             np.zeros(self.shape, dtype=element_type.numpy_dtype) if functional else None
         )
         # Views are stateless (parent + slot index), so the ring caches one
@@ -599,7 +599,7 @@ class SmemTileView:
         self.num_elements = n
         self.logical_bytes = n * parent.element_type.bitwidth // 8
 
-    def read(self) -> Union[np.ndarray, SymbolicTile]:
+    def read(self) -> np.ndarray | SymbolicTile:
         if self.parent.data is None:
             return SymbolicTile(self.shape, self.element_type)
         return self.parent.data[self.index]

@@ -71,7 +71,7 @@ import time
 from multiprocessing import connection as mp_connection
 import traceback
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 from repro import faults
 from repro.gpusim.engine import SimulationError
@@ -97,7 +97,7 @@ def fork_available() -> bool:
     return hasattr(os, "fork") and "fork" in mp.get_all_start_methods()
 
 
-def resolve_workers(workers: Optional[int] = None,
+def resolve_workers(workers: int | None = None,
                     env_var: str = "REPRO_SIM_WORKERS") -> int:
     """The effective worker count for a device.
 
@@ -129,7 +129,7 @@ def resolve_workers(workers: Optional[int] = None,
     return max(1, workers)
 
 
-def resolve_shard_timeout(timeout: Optional[float] = None) -> float:
+def resolve_shard_timeout(timeout: float | None = None) -> float:
     """The effective per-shard progress deadline in seconds (0 = disabled)."""
     if timeout is None:
         raw = os.environ.get(SHARD_TIMEOUT_ENV, "").strip()
@@ -147,7 +147,7 @@ def resolve_shard_timeout(timeout: Optional[float] = None) -> float:
     return timeout
 
 
-def resolve_shard_retries(retries: Optional[int] = None) -> int:
+def resolve_shard_retries(retries: int | None = None) -> int:
     """The effective per-shard re-fork budget before serial fallback."""
     if retries is None:
         raw = os.environ.get(SHARD_RETRIES_ENV, "").strip()
@@ -200,11 +200,11 @@ class CtaShard:
     """The picklable work descriptor handed to one worker process."""
 
     index: int
-    cta_ids: Tuple[int, ...]
+    cta_ids: tuple[int, ...]
 
 
 #: One per-CTA result row: (linear_id, cycles, tc_busy_cycles, bytes_copied).
-CtaRow = Tuple[int, float, float, int]
+CtaRow = tuple[int, float, float, int]
 
 #: Per-shard supervision states (ShardState.status).
 FORKED = "forked"
@@ -214,7 +214,7 @@ MERGED = "merged"
 FAILED = "failed"
 
 
-def shard_cta_ids(cta_ids: Sequence[int], num_workers: int) -> List[CtaShard]:
+def shard_cta_ids(cta_ids: Sequence[int], num_workers: int) -> list[CtaShard]:
     """Split a launch's CTA ids round-robin into at most ``num_workers`` shards."""
     shards = [
         CtaShard(i, tuple(cta_ids[i::num_workers])) for i in range(num_workers)
@@ -227,7 +227,7 @@ def shard_cta_ids(cta_ids: Sequence[int], num_workers: int) -> List[CtaShard]:
 _CORRUPT_PAYLOAD = b"\xde\xad\xbe\xef repro fault: corrupted shard result"
 
 
-def _hang(send_beat: Optional[Callable[[], None]], seconds: float,
+def _hang(send_beat: Callable[[], None] | None, seconds: float,
           heartbeat_interval: float) -> None:
     """An injected hang: sleep ``seconds`` while heartbeating *without* progress.
 
@@ -251,7 +251,7 @@ def _hang(send_beat: Optional[Callable[[], None]], seconds: float,
                 return
 
 
-def _worker_main(conn, run_cta: Callable[[int], Tuple[float, float, int]],
+def _worker_main(conn, run_cta: Callable[[int], tuple[float, float, int]],
                  shard: CtaShard, heartbeat_interval: float) -> None:
     """Body of one forked worker: simulate a shard, ship rows + counters back.
 
@@ -267,7 +267,7 @@ def _worker_main(conn, run_cta: Callable[[int], Tuple[float, float, int]],
     """
     COUNTERS.reset()
     try:
-        rows: List[CtaRow] = []
+        rows: list[CtaRow] = []
         last_beat = time.monotonic()
         for ordinal, linear in enumerate(shard.cta_ids):
             spec = faults.fire("worker", worker=shard.index, cta=ordinal)
@@ -326,9 +326,9 @@ class ParallelLaunch:
     happens inside :meth:`wait`.
     """
 
-    def __init__(self, run_cta: Callable[[int], Tuple[float, float, int]],
+    def __init__(self, run_cta: Callable[[int], tuple[float, float, int]],
                  cta_ids: Sequence[int], num_workers: int,
-                 supervisor: Optional[SupervisorConfig] = None):
+                 supervisor: SupervisorConfig | None = None):
         if not fork_available():  # pragma: no cover - linux containers have fork
             raise SimulationError("sharded execution requires fork()")
         # Materialize the fault registry (and its fork-shared budget cells)
@@ -338,7 +338,7 @@ class ParallelLaunch:
         self._ctx = mp.get_context("fork")
         self._run_cta = run_cta
         self._cta_ids = list(cta_ids)
-        self._states: Dict[int, ShardState] = {}
+        self._states: dict[int, ShardState] = {}
         for shard in shard_cta_ids(self._cta_ids, num_workers):
             state = ShardState(shard)
             self._states[shard.index] = state
@@ -372,7 +372,7 @@ class ParallelLaunch:
             state.deadline = math.inf
         COUNTERS.parallel_workers_forked += 1
 
-    def _reap(self, state: ShardState) -> Optional[int]:
+    def _reap(self, state: ShardState) -> int | None:
         """Terminate (if needed) and join a shard's worker; its exit code."""
         proc = state.proc
         if proc is None:
@@ -393,7 +393,7 @@ class ParallelLaunch:
     # ------------------------------------------------------------------ recovery
 
     def _fail(self, state: ShardState, reason: str,
-              rows: Dict[int, Tuple[float, float, int]]) -> None:
+              rows: dict[int, tuple[float, float, int]]) -> None:
         """Recover a failed shard: schedule a re-fork or fall back to serial."""
         state.last_failure = reason
         self._reap(state)
@@ -413,11 +413,11 @@ class ParallelLaunch:
 
     # ------------------------------------------------------------------ collection
 
-    def shard_states(self) -> Dict[int, str]:
+    def shard_states(self) -> dict[int, str]:
         """Shard index -> supervision state (observability / tests)."""
         return {index: state.status for index, state in self._states.items()}
 
-    def wait(self) -> List[Tuple[float, float, int]]:
+    def wait(self) -> list[tuple[float, float, int]]:
         """Collect every shard and return per-CTA results in launch order.
 
         Runs the supervision loop: drains messages, refreshes progress
@@ -426,7 +426,7 @@ class ParallelLaunch:
         exceptions abort the launch immediately (they are deterministic
         simulation errors, not infrastructure failures).
         """
-        rows: Dict[int, Tuple[float, float, int]] = {}
+        rows: dict[int, tuple[float, float, int]] = {}
         try:
             while True:
                 pending = [s for s in self._states.values()
@@ -453,7 +453,7 @@ class ParallelLaunch:
         faults.sync_fired()
         return [rows[linear] for linear in self._cta_ids]
 
-    def _drain(self, rows: Dict[int, Tuple[float, float, int]]) -> None:
+    def _drain(self, rows: dict[int, tuple[float, float, int]]) -> None:
         """One supervision step: wait for messages/deadlines, process them."""
         self.drain_calls += 1
         live = {s.conn: s for s in self._states.values() if s.live}
@@ -494,7 +494,7 @@ class ParallelLaunch:
             self._handle(state, msg, rows)
 
     def _handle(self, state: ShardState, msg,
-                rows: Dict[int, Tuple[float, float, int]]) -> None:
+                rows: dict[int, tuple[float, float, int]]) -> None:
         if not (isinstance(msg, tuple) and msg and isinstance(msg[0], str)):
             self._fail(
                 state,
@@ -541,9 +541,9 @@ class ParallelLaunch:
             self._reap(state)
 
 
-def run_sharded(run_cta: Callable[[int], Tuple[float, float, int]],
+def run_sharded(run_cta: Callable[[int], tuple[float, float, int]],
                 cta_ids: Sequence[int], num_workers: int,
-                supervisor: Optional[SupervisorConfig] = None,
-                ) -> List[Tuple[float, float, int]]:
+                supervisor: SupervisorConfig | None = None,
+                ) -> list[tuple[float, float, int]]:
     """Fork, shard, execute, supervise and merge one launch synchronously."""
     return ParallelLaunch(run_cta, cta_ids, num_workers, supervisor).wait()

@@ -36,7 +36,8 @@ from __future__ import annotations
 
 import operator
 from functools import partial
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -124,8 +125,8 @@ class RegionPlan:
                  "observer_steps")
 
     def __init__(self, role: str, partition: int, replicas: int,
-                 steps: List[tuple], replica_slots: List[int],
-                 observer_steps: Optional[List[tuple]] = None):
+                 steps: list[tuple], replica_slots: list[int],
+                 observer_steps: list[tuple] | None = None):
         self.role = role
         self.partition = partition
         self.replicas = replicas
@@ -147,13 +148,13 @@ class ExecutionPlan:
     def __init__(self, func: FuncOp, config: H100Config, functional: bool):
         self.functional = functional
         self.config = config
-        self.template: List[Any] = []
-        self.arg_slots: List[int] = []
+        self.template: list[Any] = []
+        self.arg_slots: list[int] = []
         #: (slot, kind) pairs resolved per CTA at instantiation time.
-        self.cta_inputs: List[Tuple[int, str]] = []
-        self.prologue_fns: List[Callable] = []
+        self.cta_inputs: list[tuple[int, str]] = []
+        self.prologue_fns: list[Callable] = []
         self.prologue_cycles: float = 0.0
-        self.regions: List[RegionPlan] = []
+        self.regions: list[RegionPlan] = []
         self.warp_specialized = False
         self.total_replicas = 0
         _PlanBuilder(self, func, config, functional).build(func)
@@ -161,7 +162,7 @@ class ExecutionPlan:
     # -- per-CTA instantiation -------------------------------------------------
 
     def instantiate(self, cta: CtaContext,
-                    arg_values: Sequence[Any]) -> Tuple[List[AgentSpec], float]:
+                    arg_values: Sequence[Any]) -> tuple[list[AgentSpec], float]:
         """Create the agents of one CTA from the shared plan.
 
         Mirrors :func:`repro.gpusim.interpreter.build_cta_agents`.
@@ -204,7 +205,7 @@ class ExecutionPlan:
             fn(regs, cta)
         cta.named_barrier = NamedBarrier(self.total_replicas, f"cta{cta.linear_id}/bar")
 
-        agents: List[AgentSpec] = []
+        agents: list[AgentSpec] = []
         for region in self.regions:
             for replica in range(region.replicas):
                 name = f"cta{cta.linear_id}/{region.role}{region.partition}" + (
@@ -252,19 +253,19 @@ class _PlanBuilder:
         self.functional = functional
         #: True while emitting the observer variant of a replicated region.
         self.observer = False
-        self.slots: Dict[Value, int] = {}
-        self.const: Dict[int, bool] = {}
-        self.cta_input_cache: Dict[str, int] = {}
+        self.slots: dict[Value, int] = {}
+        self.const: dict[int, bool] = {}
+        self.cta_input_cache: dict[str, int] = {}
         self.work_fraction = 1.0
-        self.steps: List[tuple] = []
-        self.replica_slots: List[int] = []
+        self.steps: list[tuple] = []
+        self.replica_slots: list[int] = []
         self.ops_emitted = 0
         self.tainted: set = set()
-        self._delay_cache: Dict[float, Delay] = {}
+        self._delay_cache: dict[float, Delay] = {}
 
     # -- slot management -------------------------------------------------------
 
-    def new_slot(self, value: Optional[Value] = None, init: Any = None) -> int:
+    def new_slot(self, value: Value | None = None, init: Any = None) -> int:
         slot = len(self.plan.template)
         self.plan.template.append(init)
         if value is not None:
@@ -283,7 +284,7 @@ class _PlanBuilder:
     def alias(self, value: Value, slot: int) -> None:
         self.slots[value] = slot
 
-    def const_slot(self, value: Optional[Value], const_value: Any) -> int:
+    def const_slot(self, value: Value | None, const_value: Any) -> int:
         slot = self.new_slot(value, const_value)
         self.const[slot] = True
         return slot
@@ -341,7 +342,7 @@ class _PlanBuilder:
             return
         self.steps.append((PURE, fn, movable))
 
-    def emit_effect(self, effect, fn: Optional[Callable],
+    def emit_effect(self, effect, fn: Callable | None,
                     coalescible: bool = False) -> None:
         self.steps.append((EFFECT, effect, fn, coalescible))
 
@@ -422,7 +423,7 @@ class _PlanBuilder:
                 continue
             self.emit_op(op)
         prologue_cycles = 0.0
-        prologue_fns: List[Callable] = []
+        prologue_fns: list[Callable] = []
         for st in self.steps:
             if st[0] == PURE:
                 prologue_fns.append(st[1])
@@ -496,7 +497,7 @@ class _PlanBuilder:
 
     # -- finalization: batch pure runs and coalesce local delay chains --------
 
-    def _finalize(self, steps: List[tuple]) -> List[tuple]:
+    def _finalize(self, steps: list[tuple]) -> list[tuple]:
         """Batch effect-free runs and agent-local delay chains.
 
         A run of consecutive steps that are either movable PURE closures or
@@ -506,8 +507,8 @@ class _PlanBuilder:
         float additions the individual delays would have used, then the
         closures run in their original order.
         """
-        out: List[tuple] = []
-        run: List[tuple] = []
+        out: list[tuple] = []
+        run: list[tuple] = []
 
         def flush() -> None:
             if not run:
@@ -559,7 +560,7 @@ class _PlanBuilder:
 # consult repro.gpusim.interpreter for the reference semantics.
 # ---------------------------------------------------------------------------
 
-_EMITTERS: Dict[str, Callable[[_PlanBuilder, Operation], None]] = {}
+_EMITTERS: dict[str, Callable[[_PlanBuilder, Operation], None]] = {}
 
 
 def _emitter(name: str):
@@ -864,7 +865,7 @@ def _emit_scf_for(b: _PlanBuilder, op: scf.ForOp) -> None:
 
 
 def _unroll_for(b: _PlanBuilder, op: scf.ForOp, lb: int, ub: int, step: int,
-                init_slots: List[int]) -> None:
+                init_slots: list[int]) -> None:
     """Unroll a constant-trip-count loop; the induction variable becomes a
     plan-time constant per iteration, so dependent index arithmetic folds."""
     body = op.body
@@ -1287,11 +1288,11 @@ def _emit_tma_load_sync(b: _PlanBuilder, op: tt.TmaLoadOp) -> None:
     issue = b.delay(b.config.tma_issue_cycles)
     latency = b.config.tma_latency_cycles
     config = b.config
+    symb = SymbolicTile(tuple(rty.shape), rty.element_type)
 
     def gen(regs, ctx, _ds=ds, _coords=coord_slots, _rd=rd, _shape=tile_shape,
             _issue=issue, _latency=latency, _config=config,
-            _functional=functional,
-            _symb=SymbolicTile(tuple(rty.shape), rty.element_type)):
+            _functional=functional, _symb=symb):
         desc = regs[_ds]
         coords = [int(regs[c]) for c in _coords]
         num_bytes = desc.tile_bytes(_shape)

@@ -64,7 +64,8 @@ import os
 import time
 import traceback
 from multiprocessing import connection as mp_connection
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
 from repro import faults
 from repro.faults import registry as faults_registry
@@ -101,7 +102,7 @@ POOL_ARENA_ENV = "REPRO_SIM_POOL_ARENA"
 DEFAULT_ARENA_BYTES = 64 << 20
 
 
-def resolve_arena_bytes(nbytes: Optional[int] = None) -> int:
+def resolve_arena_bytes(nbytes: int | None = None) -> int:
     """The effective arena size in bytes for a pool."""
     if nbytes is None:
         raw = os.environ.get(POOL_ARENA_ENV, "").strip()
@@ -125,13 +126,13 @@ def resolve_arena_bytes(nbytes: Optional[int] = None) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _buffer_ref(buffer: GlobalBuffer, offsets: Dict[int, int]) -> tuple:
+def _buffer_ref(buffer: GlobalBuffer, offsets: dict[int, int]) -> tuple:
     return (offsets[id(buffer)], buffer.data.shape, buffer.data.dtype.str,
             buffer.element_type.name, buffer.name)
 
 
 def encode_args(args: Mapping[str, Any],
-                placements: Sequence[ArenaPlacement]) -> Dict[str, tuple]:
+                placements: Sequence[ArenaPlacement]) -> dict[str, tuple]:
     """The picklable form of a launch's arguments for a pool work item.
 
     Every reachable buffer has already been placed into the pool's arena
@@ -139,7 +140,7 @@ def encode_args(args: Mapping[str, Any],
     offsets; scalars cross as-is.
     """
     offsets = {id(p.buffer): p.offset for p in placements}
-    encoded: Dict[str, tuple] = {}
+    encoded: dict[str, tuple] = {}
     for name, value in args.items():
         if isinstance(value, TensorDesc):
             encoded[name] = ("desc", _buffer_ref(value.buffer, offsets))
@@ -154,7 +155,7 @@ def encode_args(args: Mapping[str, Any],
 
 
 def decode_args(encoded: Mapping[str, tuple],
-                arena: SharedArena) -> Dict[str, Any]:
+                arena: SharedArena) -> dict[str, Any]:
     """Rebuild launch arguments inside a pool worker, viewing the arena.
 
     Buffers at the same arena offset decode to the same
@@ -162,7 +163,7 @@ def decode_args(encoded: Mapping[str, tuple],
     ``data`` is a view of the inherited mapping -- tile stores land directly
     in memory the parent sees.
     """
-    buffers: Dict[int, GlobalBuffer] = {}
+    buffers: dict[int, GlobalBuffer] = {}
 
     def resolve(ref: tuple) -> GlobalBuffer:
         offset, shape, dtype, element_type, name = ref
@@ -173,7 +174,7 @@ def decode_args(encoded: Mapping[str, tuple],
             buffers[offset] = buffer
         return buffer
 
-    args: Dict[str, Any] = {}
+    args: dict[str, Any] = {}
     for name, value in encoded.items():
         tag = value[0]
         if tag == "desc":
@@ -239,7 +240,7 @@ def _pool_worker_main(conn, index: int, arena: SharedArena) -> None:
                 max_ctas_per_sm_simulated=max_ctas, use_plans=use_plans))
             args = decode_args(encoded_args, arena)
             prepared = executor.prepare(LaunchSpec(compiled, grid, args))
-            rows: List[tuple] = []
+            rows: list[tuple] = []
             last_beat = time.monotonic()
             for ordinal, linear in enumerate(shard.cta_ids):
                 if registry is not None:
@@ -318,7 +319,7 @@ class WorkerPool:
     value.
     """
 
-    def __init__(self, size: int, arena_bytes: Optional[int] = None):
+    def __init__(self, size: int, arena_bytes: int | None = None):
         if not fork_available():  # pragma: no cover - linux containers have fork
             raise SimulationError("a worker pool requires fork()")
         size = int(size)
@@ -330,8 +331,8 @@ class WorkerPool:
         self.arena = SharedArena(resolve_arena_bytes(arena_bytes))
         self._workers = [PoolWorker(i) for i in range(size)]
         self._serial = 0
-        self._key_serial: Dict[str, int] = {}
-        self._active: Optional["PoolLaunch"] = None
+        self._key_serial: dict[str, int] = {}
+        self._active: "PoolLaunch" | None = None
         self.closed = False
 
     # ------------------------------------------------------------------ state
@@ -441,10 +442,10 @@ class PoolLaunch:
     """
 
     def __init__(self, pool: WorkerPool,
-                 run_cta: Callable[[int], Tuple[float, float, int]],
+                 run_cta: Callable[[int], tuple[float, float, int]],
                  cta_ids: Sequence[int], num_workers: int,
                  supervisor: SupervisorConfig, key: str, compiled: Any,
-                 grid: Union[int, Sequence[int]],
+                 grid: int | Sequence[int],
                  encoded_args: Mapping[str, tuple],
                  settings_state: tuple):
         if pool.busy:
@@ -468,7 +469,7 @@ class PoolLaunch:
         from repro.core.service import get_compiler_service
 
         get_compiler_service().ensure_cached(key, compiled)
-        self._states: Dict[int, ShardState] = {}
+        self._states: dict[int, ShardState] = {}
         pool._active = self
         try:
             for shard in shard_cta_ids(self._cta_ids, num_workers):
@@ -510,7 +511,7 @@ class PoolLaunch:
     # ------------------------------------------------------------------ recovery
 
     def _fail(self, state: ShardState, reason: str,
-              rows: Dict[int, Tuple[float, float, int]]) -> None:
+              rows: dict[int, tuple[float, float, int]]) -> None:
         """Recover a failed shard: respawn-and-retry or serial fallback."""
         state.last_failure = reason
         self.pool.reap_worker(self.pool.worker(state.shard.index))
@@ -530,13 +531,13 @@ class PoolLaunch:
 
     # ------------------------------------------------------------------ collection
 
-    def shard_states(self) -> Dict[int, str]:
+    def shard_states(self) -> dict[int, str]:
         """Shard index -> supervision state (observability / tests)."""
         return {index: state.status for index, state in self._states.items()}
 
-    def wait(self) -> List[Tuple[float, float, int]]:
+    def wait(self) -> list[tuple[float, float, int]]:
         """Collect every shard and return per-CTA results in launch order."""
-        rows: Dict[int, Tuple[float, float, int]] = {}
+        rows: dict[int, tuple[float, float, int]] = {}
         try:
             while True:
                 pending = [s for s in self._states.values()
@@ -566,7 +567,7 @@ class PoolLaunch:
         self.pool._active = None
         return [rows[linear] for linear in self._cta_ids]
 
-    def _drain(self, rows: Dict[int, Tuple[float, float, int]]) -> None:
+    def _drain(self, rows: dict[int, tuple[float, float, int]]) -> None:
         """One supervision step: wait for messages/deadlines, process them."""
         self.drain_calls += 1
         conns = {}
@@ -606,7 +607,7 @@ class PoolLaunch:
             self._handle(state, msg, rows)
 
     def _handle(self, state: ShardState, msg,
-                rows: Dict[int, Tuple[float, float, int]]) -> None:
+                rows: dict[int, tuple[float, float, int]]) -> None:
         if not (isinstance(msg, tuple) and len(msg) >= 2
                 and isinstance(msg[0], str)):
             self._fail(
@@ -681,10 +682,10 @@ class PoolLaunch:
 # ---------------------------------------------------------------------------
 
 
-_POOLS: Dict[Tuple[int, int], WorkerPool] = {}
+_POOLS: dict[tuple[int, int], WorkerPool] = {}
 
 
-def get_worker_pool(size: int, arena_bytes: Optional[int] = None) -> WorkerPool:
+def get_worker_pool(size: int, arena_bytes: int | None = None) -> WorkerPool:
     """The process-global pool for ``(size, arena size)``; created on demand.
 
     Devices resolving ``pool=N`` share one pool per shape, so two devices
@@ -706,8 +707,8 @@ def shutdown_pools() -> None:
     _POOLS.clear()
 
 
-def resolve_pool(pool: Union[None, bool, int, str, WorkerPool] = None,
-                 ) -> Optional[WorkerPool]:
+def resolve_pool(pool: None | bool | int | str | WorkerPool = None,
+                 ) -> WorkerPool | None:
     """The effective :class:`WorkerPool` for a device's ``pool=`` knob.
 
     An explicit :class:`WorkerPool` wins; ``None`` consults the

@@ -8,7 +8,6 @@ without manually threading block positions around.
 from __future__ import annotations
 
 import contextlib
-from typing import List, Optional, Union
 
 from repro.ir.operation import Block, IRError, Operation, Value
 
@@ -16,7 +15,7 @@ from repro.ir.operation import Block, IRError, Operation, Value
 class InsertionPoint:
     """A position inside a block: operations are inserted *before* ``index``."""
 
-    def __init__(self, block: Block, index: Optional[int] = None):
+    def __init__(self, block: Block, index: int | None = None):
         self.block = block
         self.index = len(block.operations) if index is None else index
 
@@ -44,10 +43,10 @@ class InsertionPoint:
 class Builder:
     """Creates and inserts operations at a movable insertion point."""
 
-    def __init__(self, ip: Optional[Union[InsertionPoint, Block]] = None):
+    def __init__(self, ip: InsertionPoint | Block | None = None):
         if isinstance(ip, Block):
             ip = InsertionPoint.at_end(ip)
-        self._ip: Optional[InsertionPoint] = ip
+        self._ip: InsertionPoint | None = ip
 
     # -- insertion point management -------------------------------------------
 
@@ -61,7 +60,7 @@ class Builder:
     def block(self) -> Block:
         return self.insertion_point.block
 
-    def set_insertion_point(self, ip: Union[InsertionPoint, Block]) -> None:
+    def set_insertion_point(self, ip: InsertionPoint | Block) -> None:
         if isinstance(ip, Block):
             ip = InsertionPoint.at_end(ip)
         self._ip = ip
@@ -79,7 +78,7 @@ class Builder:
         self._ip = InsertionPoint.after(op)
 
     @contextlib.contextmanager
-    def at(self, ip: Union[InsertionPoint, Block, Operation]):
+    def at(self, ip: InsertionPoint | Block | Operation):
         """Temporarily move the insertion point (context manager)."""
         saved = self._ip
         if isinstance(ip, Operation):
@@ -108,6 +107,6 @@ class Builder:
         """Construct, insert and return the single result of the op."""
         return self.create(op_cls, *args, **kwargs).result
 
-    def results(self, op_cls, *args, **kwargs) -> List[Value]:
+    def results(self, op_cls, *args, **kwargs) -> list[Value]:
         """Construct, insert and return all results of the op."""
         return list(self.create(op_cls, *args, **kwargs).results)

@@ -9,23 +9,22 @@ op names without importing every dialect module eagerly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Type as PyType
 
 from repro.ir.operation import Operation
 
 
 @dataclass(frozen=True)
 class OpInfo:
-    cls: PyType[Operation]
+    cls: type[Operation]
     pure: bool
     terminator: bool
 
 
 class _Registry:
     def __init__(self):
-        self._ops: Dict[str, OpInfo] = {}
+        self._ops: dict[str, OpInfo] = {}
 
-    def register(self, cls: PyType[Operation]) -> PyType[Operation]:
+    def register(self, cls: type[Operation]) -> type[Operation]:
         name = cls.NAME
         info = OpInfo(
             cls=cls,
@@ -35,21 +34,21 @@ class _Registry:
         self._ops[name] = info
         return cls
 
-    def lookup(self, name: str) -> Optional[OpInfo]:
+    def lookup(self, name: str) -> OpInfo | None:
         return self._ops.get(name)
 
     def is_pure(self, name: str) -> bool:
         info = self.lookup(name)
         return bool(info and info.pure)
 
-    def all_ops(self) -> Dict[str, OpInfo]:
+    def all_ops(self) -> dict[str, OpInfo]:
         return dict(self._ops)
 
 
 registry = _Registry()
 
 
-def register_op(cls: PyType[Operation]) -> PyType[Operation]:
+def register_op(cls: type[Operation]) -> type[Operation]:
     """Class decorator registering an operation in the global registry."""
     return registry.register(cls)
 

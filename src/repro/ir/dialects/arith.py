@@ -12,7 +12,7 @@ the op definition.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
 
 import numpy as np
 
@@ -36,7 +36,7 @@ def _element_type(ty: Type) -> Type:
     return ty
 
 
-def _result_type(lhs: Type, rhs: Type, element_override: Optional[Type] = None) -> Type:
+def _result_type(lhs: Type, rhs: Type, element_override: Type | None = None) -> Type:
     """Infer the (possibly broadcast) result type of a binary elementwise op."""
     le, re = _element_type(lhs), _element_type(rhs)
     elem = element_override
@@ -88,7 +88,7 @@ class BinaryOp(Operation):
 
     PURE = True
     py_impl: Callable = None  # type: ignore[assignment]
-    result_element_override: Optional[Type] = None
+    result_element_override: Type | None = None
 
     def __init__(self, lhs: Value, rhs: Value):
         result = _result_type(lhs.type, rhs.type, self.result_element_override)

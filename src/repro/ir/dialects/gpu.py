@@ -22,7 +22,7 @@ exposes, at the granularity that matters for warp specialization:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.ir.dialects import register_op
 from repro.ir.operation import IRError, Operation, Value
@@ -44,7 +44,7 @@ class AllocSmemOp(Operation):
     NAME = "gpu.alloc_smem"
 
     def __init__(self, shape: Sequence[int], element_type: ScalarType,
-                 name: Optional[str] = None):
+                 name: str | None = None):
         ty = SmemBufferType(tuple(shape), element_type)
         attrs = {"bytes": ty.num_bytes}
         if name:
@@ -93,7 +93,7 @@ class MBarrierAllocOp(Operation):
 
     NAME = "gpu.mbarrier_alloc"
 
-    def __init__(self, arrive_count: int, count: int = 1, name: Optional[str] = None):
+    def __init__(self, arrive_count: int, count: int = 1, name: str | None = None):
         attrs = {"arrive_count": int(arrive_count), "count": int(count)}
         if name:
             attrs["barrier_name"] = name
@@ -192,7 +192,7 @@ class TmaAsyncLoadOp(Operation):
         return self.operands[0]
 
     @property
-    def coords(self) -> List[Value]:
+    def coords(self) -> list[Value]:
         n = self.attributes["num_coords"]
         return self.operands[1:1 + n]
 
@@ -230,7 +230,7 @@ class CpAsyncOp(Operation):
         return self.operands[0]
 
     @property
-    def coords(self) -> List[Value]:
+    def coords(self) -> list[Value]:
         return self.operands[1:-1]
 
     @property
@@ -263,7 +263,7 @@ class SmemReadOp(Operation):
     NAME = "gpu.smem_read"
     PURE = True
 
-    def __init__(self, smem: Value, element_type: Optional[ScalarType] = None):
+    def __init__(self, smem: Value, element_type: ScalarType | None = None):
         ty = smem.type
         if not isinstance(ty, SmemBufferType):
             raise IRError("gpu.smem_read expects a shared-memory buffer")
@@ -411,7 +411,7 @@ class BarrierSyncOp(Operation):
         super().__init__(attributes={"barrier_id": int(barrier_id)})
 
 
-def _tile_shape(v: Value) -> Tuple[int, ...]:
+def _tile_shape(v: Value) -> tuple[int, ...]:
     ty = v.type
     if isinstance(ty, (TensorType, SmemBufferType)):
         return tuple(ty.shape)

@@ -8,7 +8,7 @@ the op's results are the final carried values.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.ir.dialects import register_op
 from repro.ir.operation import Block, IRError, Operation, Region, Value
@@ -37,7 +37,7 @@ class ForOp(Operation):
 
     def __init__(self, lb: Value, ub: Value, step: Value,
                  init_args: Sequence[Value] = (),
-                 attributes: Optional[dict] = None):
+                 attributes: dict | None = None):
         init_args = list(init_args)
         region = Region()
         block = region.add_block(Block())
@@ -66,7 +66,7 @@ class ForOp(Operation):
         return self.operands[2]
 
     @property
-    def init_args(self) -> List[Value]:
+    def init_args(self) -> list[Value]:
         return self.operands[3:]
 
     @property
@@ -78,7 +78,7 @@ class ForOp(Operation):
         return self.body.arguments[0]
 
     @property
-    def iter_args(self) -> List[Value]:
+    def iter_args(self) -> list[Value]:
         return list(self.body.arguments[1:])
 
     @property
@@ -135,7 +135,7 @@ class IfOp(Operation):
         return self.regions[0].block
 
     @property
-    def else_block(self) -> Optional[Block]:
+    def else_block(self) -> Block | None:
         if len(self.regions) > 1 and self.regions[1].blocks:
             return self.regions[1].block
         return None
@@ -152,6 +152,6 @@ class IfOp(Operation):
 
 
 def for_loop(builder, lb: Value, ub: Value, step: Value,
-             init_args: Sequence[Value] = (), attributes: Optional[dict] = None) -> ForOp:
+             init_args: Sequence[Value] = (), attributes: dict | None = None) -> ForOp:
     """Create and insert an ``scf.for``; the caller fills in the body."""
     return builder.create(ForOp, lb, ub, step, init_args, attributes)

@@ -16,7 +16,7 @@ This is the paper's contribution at the IR level (section III-B):
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.ir.dialects import register_op
 from repro.ir.operation import Block, IRError, Operation, Region, Value
@@ -33,7 +33,7 @@ class CreateArefOp(Operation):
 
     NAME = "tawa.create_aref"
 
-    def __init__(self, payload_types: Sequence[Type], depth: int, name: Optional[str] = None):
+    def __init__(self, payload_types: Sequence[Type], depth: int, name: str | None = None):
         if depth < 1:
             raise IRError(f"aref depth must be >= 1, got {depth}")
         payload = TupleType(tuple(payload_types))
@@ -52,8 +52,23 @@ class CreateArefOp(Operation):
         return self.results[0].type
 
     @property
-    def payload_types(self) -> List[Type]:
+    def payload_types(self) -> list[Type]:
         return list(self.aref_type.payload.elements)
+
+    def verify(self) -> None:
+        ty = self.results[0].type
+        if not isinstance(ty, ArefType):
+            raise IRError(f"tawa.create_aref result must be an aref, got {ty}")
+        if not isinstance(ty.payload, TupleType) or not ty.payload.elements:
+            raise IRError("tawa.create_aref payload must be a non-empty tuple")
+        depth = self.attributes.get("depth")
+        if not isinstance(depth, int) or depth < 1:
+            raise IRError(f"tawa.create_aref depth must be an int >= 1, got {depth!r}")
+        if depth != ty.depth:
+            raise IRError(
+                f"tawa.create_aref depth attribute ({depth}) disagrees with "
+                f"its result type ({ty.depth})"
+            )
 
 
 @register_op
@@ -76,6 +91,20 @@ class ArefSlotOp(Operation):
     @property
     def index(self) -> Value:
         return self.operands[1]
+
+    def verify(self) -> None:
+        if self.num_operands != 2:
+            raise IRError(
+                f"tawa.aref_slot expects (aref, index), got {self.num_operands} operands"
+            )
+        ty = self.aref.type
+        if not isinstance(ty, ArefType):
+            raise IRError(f"tawa.aref_slot aref operand has type {ty}, expected an aref")
+        if self.results[0].type != ty.slot_type:
+            raise IRError(
+                f"tawa.aref_slot result type {self.results[0].type} does not "
+                f"match the ring's slot type {ty.slot_type}"
+            )
 
 
 @register_op
@@ -104,8 +133,21 @@ class PutOp(Operation):
         return self.operands[0]
 
     @property
-    def values(self) -> List[Value]:
+    def values(self) -> list[Value]:
         return self.operands[1:]
+
+    def verify(self) -> None:
+        ty = _slot_operand_type(self, "tawa.put")
+        expected = list(ty.payload.elements)
+        values = self.values
+        if len(values) != len(expected):
+            raise IRError(
+                f"tawa.put arity mismatch: {len(values)} values for payload "
+                f"of {len(expected)}"
+            )
+        for v, t in zip(values, expected):
+            if v.type != t:
+                raise IRError(f"tawa.put payload type mismatch: {v.type} vs {t}")
 
 
 @register_op
@@ -124,6 +166,15 @@ class GetOp(Operation):
     def slot(self) -> Value:
         return self.operands[0]
 
+    def verify(self) -> None:
+        ty = _slot_operand_type(self, "tawa.get")
+        expected = list(ty.payload.elements)
+        if [r.type for r in self.results] != expected:
+            raise IRError(
+                f"tawa.get results {[str(r.type) for r in self.results]} do "
+                f"not match the slot payload {[str(t) for t in expected]}"
+            )
+
 
 @register_op
 class ConsumedOp(Operation):
@@ -140,6 +191,38 @@ class ConsumedOp(Operation):
     @property
     def slot(self) -> Value:
         return self.operands[0]
+
+    def verify(self) -> None:
+        if self.num_operands != 1:
+            raise IRError(
+                f"tawa.consumed expects exactly the slot operand, got "
+                f"{self.num_operands}"
+            )
+        _slot_operand_type(self, "tawa.consumed")
+
+
+def _slot_operand_type(op: Operation, name: str) -> ArefSlotType:
+    """The (checked) aref-slot type of a protocol op's first operand.
+
+    Shared by the ``verify`` hooks of ``tawa.put`` / ``tawa.get`` /
+    ``tawa.consumed``: the slot must come from a ``tawa.aref_slot`` whose
+    ring still exists, with a depth of at least 1 at the use site.
+    """
+    if op.num_operands < 1:
+        raise IRError(f"{name} is missing its slot operand")
+    ty = op.operands[0].type
+    if not isinstance(ty, ArefSlotType):
+        raise IRError(f"{name} slot operand has type {ty}, expected an aref slot")
+    slot = op.operands[0]
+    producer = getattr(slot, "op", None)
+    if isinstance(producer, ArefSlotOp):
+        ring_ty = producer.aref.type
+        if isinstance(ring_ty, ArefType) and ring_ty.depth < 1:
+            raise IRError(
+                f"{name} uses a slot of a depth-{ring_ty.depth} ring; depth "
+                f"must be >= 1 at every use site"
+            )
+    return ty
 
 
 @register_op
@@ -198,3 +281,15 @@ class WarpGroupOp(Operation):
     @property
     def is_consumer(self) -> bool:
         return self.role == CONSUMER_ROLE
+
+    def verify(self) -> None:
+        role = self.attributes.get("role")
+        if role not in (PRODUCER_ROLE, CONSUMER_ROLE):
+            raise IRError(f"unknown warp group role {role!r}")
+        if self.replicas < 1:
+            raise IRError(f"warp group replicas must be >= 1, got {self.replicas}")
+        if self.replicas > 1 and role != CONSUMER_ROLE:
+            raise IRError(
+                f"cooperative replicas (replicas={self.replicas}) are only "
+                f"defined for consumer warp groups, found role {role!r}"
+            )

@@ -8,7 +8,7 @@ pieces of it into the ``tawa`` and ``gpu`` dialects.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.ir.dialects import register_op
 from repro.ir.operation import IRError, Operation, Value
@@ -219,11 +219,11 @@ class TmaLoadOp(Operation):
         return self.operands[0]
 
     @property
-    def coords(self) -> List[Value]:
+    def coords(self) -> list[Value]:
         return self.operands[1:]
 
     @property
-    def tile_shape(self) -> Tuple[int, ...]:
+    def tile_shape(self) -> tuple[int, ...]:
         return self.attributes["shape"]
 
 
@@ -246,7 +246,7 @@ class TmaStoreOp(Operation):
         return self.operands[0]
 
     @property
-    def coords(self) -> List[Value]:
+    def coords(self) -> list[Value]:
         return self.operands[1:-1]
 
     @property
@@ -284,7 +284,7 @@ class LoadOp(Operation):
     NAME = "tt.load"
     PURE = True
 
-    def __init__(self, ptr: Value, mask: Optional[Value] = None, other: Optional[Value] = None):
+    def __init__(self, ptr: Value, mask: Value | None = None, other: Value | None = None):
         pty = ptr.type
         if isinstance(pty, TensorType):
             elem = pty.element_type
@@ -310,7 +310,7 @@ class LoadOp(Operation):
         return self.operands[0]
 
     @property
-    def mask(self) -> Optional[Value]:
+    def mask(self) -> Value | None:
         return self.operands[1] if self.attributes["has_mask"] else None
 
 
@@ -320,7 +320,7 @@ class StoreOp(Operation):
 
     NAME = "tt.store"
 
-    def __init__(self, ptr: Value, value: Value, mask: Optional[Value] = None):
+    def __init__(self, ptr: Value, value: Value, mask: Value | None = None):
         operands = [ptr, value]
         has_mask = mask is not None
         if has_mask:
@@ -336,7 +336,7 @@ class StoreOp(Operation):
         return self.operands[1]
 
     @property
-    def mask(self) -> Optional[Value]:
+    def mask(self) -> Value | None:
         return self.operands[2] if self.attributes["has_mask"] else None
 
 
@@ -350,7 +350,7 @@ class DotOp(Operation):
     NAME = "tt.dot"
     PURE = True
 
-    def __init__(self, a: Value, b: Value, acc: Optional[Value] = None):
+    def __init__(self, a: Value, b: Value, acc: Value | None = None):
         aty, bty = a.type, b.type
         if not (isinstance(aty, TensorType) and isinstance(bty, TensorType)):
             raise IRError("tt.dot expects tensor operands")
@@ -377,7 +377,7 @@ class DotOp(Operation):
         return self.operands[1]
 
     @property
-    def acc(self) -> Optional[Value]:
+    def acc(self) -> Value | None:
         return self.operands[2] if self.attributes["has_acc"] else None
 
     @property
@@ -436,7 +436,7 @@ class WhereOp(Operation):
                 elem = elem or v.type
         if isinstance(cond.type, TensorType):
             shapes.append(cond.type.shape)
-        shape: Tuple[int, ...] = ()
+        shape: tuple[int, ...] = ()
         for s in shapes:
             shape = broadcast_shapes(shape, s)
         result: Type = TensorType(shape, elem) if shape else elem

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.ir.operation import Block, IRError, Operation, Region, Value
 from repro.ir.types import FunctionType
@@ -13,7 +13,7 @@ class ModuleOp(Operation):
 
     NAME = "builtin.module"
 
-    def __init__(self, attributes: Optional[Dict[str, object]] = None):
+    def __init__(self, attributes: dict[str, object] | None = None):
         region = Region()
         region.add_block(Block())
         super().__init__(attributes=attributes, regions=[region])
@@ -23,7 +23,7 @@ class ModuleOp(Operation):
         return self.regions[0].block
 
     @property
-    def functions(self) -> List["FuncOp"]:
+    def functions(self) -> list["FuncOp"]:
         return [op for op in self.body.operations if isinstance(op, FuncOp)]
 
     def get_function(self, name: str) -> "FuncOp":
@@ -42,7 +42,7 @@ class FuncOp(Operation):
     NAME = "func.func"
 
     def __init__(self, sym_name: str, function_type: FunctionType,
-                 attributes: Optional[Dict[str, object]] = None):
+                 attributes: dict[str, object] | None = None):
         region = Region()
         block = region.add_block(Block())
         for t in function_type.inputs:
@@ -65,7 +65,7 @@ class FuncOp(Operation):
         return self.regions[0].block
 
     @property
-    def arguments(self) -> List[Value]:
+    def arguments(self) -> list[Value]:
         return list(self.body.arguments)
 
     def argument(self, index: int) -> Value:

@@ -20,7 +20,7 @@ structural behaviour (uses, cloning, erasure, walking).
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 
 from repro.ir.types import Type
 
@@ -42,16 +42,16 @@ class Value:
     def __init__(self, type: Type):
         self.type = type
         self.id = next(_value_ids)
-        self._uses: List[tuple["Operation", int]] = []
+        self._uses: list[tuple["Operation", int]] = []
 
     # -- use tracking -------------------------------------------------------
 
     @property
-    def uses(self) -> List[tuple["Operation", int]]:
+    def uses(self) -> list[tuple["Operation", int]]:
         return list(self._uses)
 
     @property
-    def users(self) -> List["Operation"]:
+    def users(self) -> list["Operation"]:
         """Operations that use this value (deduplicated, in use order)."""
         seen = []
         for op, _ in self._uses:
@@ -146,20 +146,20 @@ class Operation:
 
     def __init__(
         self,
-        name: Optional[str] = None,
+        name: str | None = None,
         operands: Sequence[Value] = (),
         result_types: Sequence[Type] = (),
-        attributes: Optional[Dict[str, object]] = None,
+        attributes: dict[str, object] | None = None,
         regions: Sequence["Region"] = (),
     ):
         self.name = name or type(self).NAME
-        self.attributes: Dict[str, object] = dict(attributes or {})
-        self.parent: Optional[Block] = None
-        self._operands: List[Value] = []
-        self.results: List[OpResult] = [
+        self.attributes: dict[str, object] = dict(attributes or {})
+        self.parent: Block | None = None
+        self._operands: list[Value] = []
+        self.results: list[OpResult] = [
             OpResult(self, i, t) for i, t in enumerate(result_types)
         ]
-        self.regions: List[Region] = []
+        self.regions: list[Region] = []
         for region in regions:
             self.add_region(region)
         for v in operands:
@@ -168,7 +168,7 @@ class Operation:
     # -- operands ------------------------------------------------------------
 
     @property
-    def operands(self) -> List[Value]:
+    def operands(self) -> list[Value]:
         return list(self._operands)
 
     @property
@@ -229,14 +229,14 @@ class Operation:
 
     # -- regions / structure --------------------------------------------------
 
-    def add_region(self, region: Optional["Region"] = None) -> "Region":
+    def add_region(self, region: "Region" | None = None) -> "Region":
         region = region or Region()
         region.parent = self
         self.regions.append(region)
         return region
 
     @property
-    def parent_op(self) -> Optional["Operation"]:
+    def parent_op(self) -> "Operation" | None:
         if self.parent is None:
             return None
         region = self.parent.parent
@@ -290,7 +290,7 @@ class Operation:
 
     # -- traversal -----------------------------------------------------------
 
-    def walk(self, fn: Optional[Callable[["Operation"], None]] = None) -> Iterator["Operation"]:
+    def walk(self, fn: Callable[["Operation"], None] | None = None) -> Iterator["Operation"]:
         """Post-order walk over this op and everything nested inside it.
 
         With ``fn`` given, applies it to every op and returns an empty
@@ -323,7 +323,7 @@ class Operation:
 
     # -- cloning --------------------------------------------------------------
 
-    def clone(self, mapping: Optional["IRMapping"] = None) -> "Operation":
+    def clone(self, mapping: "IRMapping" | None = None) -> "Operation":
         """Deep-copy this operation (and nested regions), remapping operands.
 
         Operands present in ``mapping`` are substituted; unmapped operands are
@@ -369,9 +369,9 @@ class Block:
     """A straight-line sequence of operations with block arguments."""
 
     def __init__(self, arg_types: Sequence[Type] = ()):
-        self.arguments: List[BlockArgument] = []
-        self.operations: List[Operation] = []
-        self.parent: Optional[Region] = None
+        self.arguments: list[BlockArgument] = []
+        self.operations: list[Operation] = []
+        self.parent: Region | None = None
         for t in arg_types:
             self.add_argument(t)
 
@@ -411,11 +411,11 @@ class Block:
         return self.insert(self.operations.index(anchor) + 1, op)
 
     @property
-    def terminator(self) -> Optional[Operation]:
+    def terminator(self) -> Operation | None:
         return self.operations[-1] if self.operations else None
 
     @property
-    def parent_op(self) -> Optional[Operation]:
+    def parent_op(self) -> Operation | None:
         return self.parent.parent if self.parent is not None else None
 
     def __iter__(self) -> Iterator[Operation]:
@@ -429,10 +429,10 @@ class Region:
     """A list of blocks owned by an operation (we only ever need one block)."""
 
     def __init__(self):
-        self.blocks: List[Block] = []
-        self.parent: Optional[Operation] = None
+        self.blocks: list[Block] = []
+        self.parent: Operation | None = None
 
-    def add_block(self, block: Optional[Block] = None) -> Block:
+    def add_block(self, block: Block | None = None) -> Block:
         block = block or Block()
         block.parent = self
         self.blocks.append(block)
@@ -466,8 +466,8 @@ class Region:
 class IRMapping:
     """A value-to-value substitution map used during cloning."""
 
-    def __init__(self, initial: Optional[Dict[Value, Value]] = None):
-        self._map: Dict[Value, Value] = dict(initial or {})
+    def __init__(self, initial: dict[Value, Value] | None = None):
+        self._map: dict[Value, Value] = dict(initial or {})
 
     def map(self, old: Value, new: Value) -> None:
         self._map[old] = new

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from collections.abc import Callable
 
 from repro.ir.module import ModuleOp
 from repro.ir.operation import IRError
@@ -63,11 +63,11 @@ class PassManager:
             observable next to simulation cost.
     """
 
-    passes: List[Pass] = field(default_factory=list)
+    passes: list[Pass] = field(default_factory=list)
     verify_each: bool = True
-    dump_each: Optional[Callable[[str, str], None]] = None
-    timing_sink: Optional[Callable[[str, float], None]] = None
-    timings: List[PassTiming] = field(default_factory=list)
+    dump_each: Callable[[str, str], None] | None = None
+    timing_sink: Callable[[str, float], None] | None = None
+    timings: list[PassTiming] = field(default_factory=list)
 
     def add(self, *passes: Pass) -> "PassManager":
         self.passes.extend(passes)

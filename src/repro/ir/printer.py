@@ -16,7 +16,6 @@ place of FileCheck) and by the examples that dump IR before/after Tawa passes.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from repro.ir.operation import Block, Operation, Value
 
@@ -25,7 +24,7 @@ class _NameManager:
     """Assigns stable, human-readable names (%0, %1, ...) to values."""
 
     def __init__(self):
-        self._names: Dict[Value, str] = {}
+        self._names: dict[Value, str] = {}
         self._next = 0
 
     def name(self, value: Value) -> str:
@@ -47,7 +46,7 @@ def _format_attr(value: object) -> str:
     return str(value)
 
 
-def _format_attrs(attrs: Dict[str, object]) -> str:
+def _format_attrs(attrs: dict[str, object]) -> str:
     if not attrs:
         return ""
     parts = [f"{k} = {_format_attr(v)}" for k, v in sorted(attrs.items())]
@@ -58,7 +57,7 @@ class Printer:
     def __init__(self, show_types: bool = True):
         self.names = _NameManager()
         self.show_types = show_types
-        self.lines: List[str] = []
+        self.lines: list[str] = []
 
     # -- entry points ---------------------------------------------------------
 

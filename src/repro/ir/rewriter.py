@@ -8,7 +8,7 @@ folding), by the aref lowering pass and by a handful of smaller cleanups.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.ir.builder import Builder
 from repro.ir.operation import Operation, Value
@@ -19,7 +19,7 @@ class Rewriter(Builder):
 
     def __init__(self):
         super().__init__()
-        self.erased: List[Operation] = []
+        self.erased: list[Operation] = []
 
     def replace_op(self, op: Operation, new_values: Sequence[Value] | Operation) -> None:
         """Replace all results of ``op`` and erase it."""
@@ -40,7 +40,7 @@ class RewritePattern:
     was changed.
     """
 
-    op_name: Optional[str] = None
+    op_name: str | None = None
     benefit: int = 1
 
     def match_and_rewrite(self, op: Operation, rewriter: Rewriter) -> bool:

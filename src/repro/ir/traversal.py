@@ -7,12 +7,12 @@ these helpers provide those primitives over the IR.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Set
+from collections.abc import Callable, Iterable
 
 from repro.ir.operation import Block, OpResult, Operation, Value
 
 
-def defining_op(value: Value) -> Optional[Operation]:
+def defining_op(value: Value) -> Operation | None:
     """The operation defining ``value``, or ``None`` for block arguments."""
     if isinstance(value, OpResult):
         return value.op
@@ -22,10 +22,10 @@ def defining_op(value: Value) -> Optional[Operation]:
 def backward_slice(
     roots: Iterable[Operation],
     *,
-    within: Optional[Block] = None,
+    within: Block | None = None,
     include_roots: bool = True,
-    filter: Optional[Callable[[Operation], bool]] = None,
-) -> List[Operation]:
+    filter: Callable[[Operation], bool] | None = None,
+) -> list[Operation]:
     """All operations transitively feeding ``roots`` through use-def edges.
 
     Args:
@@ -40,8 +40,8 @@ def backward_slice(
     Returns:
         The slice in the original program order of each block (deterministic).
     """
-    visited: Set[Operation] = set()
-    worklist: List[Operation] = list(roots)
+    visited: set[Operation] = set()
+    worklist: list[Operation] = list(roots)
     roots_set = set(worklist)
     while worklist:
         op = worklist.pop()
@@ -79,12 +79,12 @@ def backward_slice(
 def forward_slice(
     roots: Iterable[Operation],
     *,
-    within: Optional[Block] = None,
+    within: Block | None = None,
     include_roots: bool = True,
-) -> List[Operation]:
+) -> list[Operation]:
     """All operations transitively using results of ``roots``."""
-    visited: Set[Operation] = set()
-    worklist: List[Operation] = list(roots)
+    visited: set[Operation] = set()
+    worklist: list[Operation] = list(roots)
     roots_set = set(worklist)
     while worklist:
         op = worklist.pop()
@@ -102,7 +102,7 @@ def forward_slice(
     return _in_program_order(visited)
 
 
-def _in_program_order(ops: Set[Operation]) -> List[Operation]:
+def _in_program_order(ops: set[Operation]) -> list[Operation]:
     """Sort a set of ops by (nesting-agnostic) program order within their blocks."""
 
     def key(op: Operation):
@@ -118,15 +118,15 @@ def _in_program_order(ops: Set[Operation]) -> List[Operation]:
     return sorted(ops, key=key)
 
 
-def external_operands(ops: Iterable[Operation]) -> List[Value]:
+def external_operands(ops: Iterable[Operation]) -> list[Value]:
     """Values used by ``ops`` but not defined by any of them.
 
     Block arguments of blocks *owned* by ops in the set (e.g. the induction
     variable of an scf.for in the set) do not count as external.
     """
     ops = list(ops)
-    defined: Set[Value] = set()
-    owned_blocks: Set[Block] = set()
+    defined: set[Value] = set()
+    owned_blocks: set[Block] = set()
     for op in ops:
         for inner in op.walk():
             defined.update(inner.results)
@@ -134,8 +134,8 @@ def external_operands(ops: Iterable[Operation]) -> List[Value]:
                 for block in region.blocks:
                     owned_blocks.add(block)
                     defined.update(block.arguments)
-    external: List[Value] = []
-    seen: Set[Value] = set()
+    external: list[Value] = []
+    seen: set[Value] = set()
     for op in ops:
         for inner in op.walk():
             for operand in inner.operands:
@@ -146,7 +146,7 @@ def external_operands(ops: Iterable[Operation]) -> List[Value]:
     return external
 
 
-def users_outside(op: Operation, ops: Iterable[Operation]) -> List[Operation]:
+def users_outside(op: Operation, ops: Iterable[Operation]) -> list[Operation]:
     """Users of ``op``'s results that are not in ``ops``."""
     op_set = set(ops)
     out = []
@@ -157,7 +157,7 @@ def users_outside(op: Operation, ops: Iterable[Operation]) -> List[Operation]:
     return out
 
 
-def ops_of_type(root: Operation, name: str) -> List[Operation]:
+def ops_of_type(root: Operation, name: str) -> list[Operation]:
     """All ops named ``name`` nested under ``root`` (inclusive), program order."""
     found = [op for op in root.walk() if op.name == name]
     return found

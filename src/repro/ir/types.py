@@ -16,7 +16,6 @@ covers what the Tawa pipeline needs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
 
 import numpy as np
 
@@ -126,7 +125,7 @@ def scalar_type(name: str) -> ScalarType:
 class TensorType(Type):
     """A ranked tensor with a static shape, e.g. ``tensor<128x64xf16>``."""
 
-    shape: Tuple[int, ...]
+    shape: tuple[int, ...]
     element_type: ScalarType
 
     def __post_init__(self):
@@ -158,7 +157,7 @@ class TensorType(Type):
     def with_element_type(self, element_type: ScalarType) -> "TensorType":
         return TensorType(self.shape, element_type)
 
-    def with_shape(self, shape: Tuple[int, ...]) -> "TensorType":
+    def with_shape(self, shape: tuple[int, ...]) -> "TensorType":
         return TensorType(tuple(shape), self.element_type)
 
 
@@ -192,7 +191,7 @@ class TensorDescType(Type):
 class TupleType(Type):
     """A tuple of types, used as the payload type of multi-tensor arefs."""
 
-    elements: Tuple[Type, ...]
+    elements: tuple[Type, ...]
 
     def __post_init__(self):
         object.__setattr__(self, "elements", tuple(self.elements))
@@ -260,7 +259,7 @@ class MBarrierType(Type):
 class SmemBufferType(Type):
     """A statically-shaped staging buffer in shared memory."""
 
-    shape: Tuple[int, ...]
+    shape: tuple[int, ...]
     element_type: ScalarType
 
     def __post_init__(self):
@@ -298,8 +297,8 @@ class TokenType(Type):
 class FunctionType(Type):
     """The type of a function: inputs and results."""
 
-    inputs: Tuple[Type, ...]
-    results: Tuple[Type, ...] = field(default_factory=tuple)
+    inputs: tuple[Type, ...]
+    results: tuple[Type, ...] = field(default_factory=tuple)
 
     def __post_init__(self):
         object.__setattr__(self, "inputs", tuple(self.inputs))
@@ -343,7 +342,7 @@ def element_type_of(ty: Type) -> ScalarType:
     raise TypeError(f"type {ty} has no element type")
 
 
-def broadcast_shapes(a: Tuple[int, ...], b: Tuple[int, ...]) -> Tuple[int, ...]:
+def broadcast_shapes(a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
     """NumPy-style broadcasting of two static shapes.
 
     Raises ``ValueError`` when the shapes are incompatible.  Used both by the

@@ -16,7 +16,6 @@ results.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.ir.module import FuncOp, ModuleOp
 from repro.ir.operation import BlockArgument, IRError, OpResult, Operation
@@ -26,7 +25,7 @@ class VerificationError(IRError):
     """Raised when the IR violates a structural invariant."""
 
 
-def verify(root: Operation, context: Optional[str] = None) -> None:
+def verify(root: Operation, context: str | None = None) -> None:
     """Verify ``root`` and everything nested under it."""
     try:
         _verify_op_tree(root)

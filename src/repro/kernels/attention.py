@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -91,7 +90,7 @@ class AttentionProblem:
         return self.batch * self.heads * self.seq_len
 
     @property
-    def grid(self) -> Tuple[int, int]:
+    def grid(self) -> tuple[int, int]:
         return (tl.cdiv(self.seq_len, self.block_m), self.batch * self.heads)
 
     @property
@@ -163,8 +162,8 @@ def attention_reference(q: np.ndarray, k: np.ndarray, v: np.ndarray,
 
 
 def run_attention(device: Device, problem: AttentionProblem,
-                  options: Optional[CompileOptions] = None
-                  ) -> Tuple[LaunchResult, Optional[np.ndarray]]:
+                  options: CompileOptions | None = None
+                  ) -> tuple[LaunchResult, np.ndarray | None]:
     options = options or CompileOptions()
     args, _ = make_attention_inputs(problem, device)
     result = device.run(
@@ -180,7 +179,7 @@ def run_attention(device: Device, problem: AttentionProblem,
 
 
 def check_attention(device: Device, problem: AttentionProblem,
-                    options: Optional[CompileOptions] = None,
+                    options: CompileOptions | None = None,
                     rtol: float = 3e-2, atol: float = 3e-2) -> LaunchResult:
     """Run the kernel functionally and compare against the NumPy reference."""
     options = options or CompileOptions()

@@ -9,7 +9,6 @@ as representative of Mixture-of-Experts workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -61,7 +60,7 @@ class BatchedGemmProblem:
         return 2.0 * self.batch * self.M * self.N * self.K
 
     @property
-    def grid(self) -> Tuple[int, int]:
+    def grid(self) -> tuple[int, int]:
         return (tl.cdiv(self.M, self.block_m) * tl.cdiv(self.N, self.block_n), self.batch)
 
     def constexprs(self) -> dict:
@@ -108,8 +107,8 @@ def batched_reference(a: np.ndarray, b: np.ndarray, problem: BatchedGemmProblem)
 
 
 def run_batched_gemm(device: Device, problem: BatchedGemmProblem,
-                     options: Optional[CompileOptions] = None
-                     ) -> Tuple[LaunchResult, Optional[np.ndarray]]:
+                     options: CompileOptions | None = None
+                     ) -> tuple[LaunchResult, np.ndarray | None]:
     options = options or CompileOptions()
     args, _ = make_batched_inputs(problem, device)
     result = device.run(batched_matmul_kernel, grid=problem.grid, args=args,
@@ -120,7 +119,7 @@ def run_batched_gemm(device: Device, problem: BatchedGemmProblem,
 
 
 def check_batched_gemm(device: Device, problem: BatchedGemmProblem,
-                       options: Optional[CompileOptions] = None,
+                       options: CompileOptions | None = None,
                        rtol: float = 2e-2, atol: float = 2e-2) -> LaunchResult:
     options = options or CompileOptions()
     args, (a, b) = make_batched_inputs(problem, device)

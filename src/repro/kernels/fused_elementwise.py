@@ -13,7 +13,6 @@ Registered as the ``fused_elementwise`` workload (:mod:`repro.workloads`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -126,8 +125,8 @@ def fused_reference(x: np.ndarray, bias: np.ndarray, res: np.ndarray,
 
 
 def run_fused_elementwise(device: Device, problem: FusedElementwiseProblem,
-                          options: Optional[CompileOptions] = None
-                          ) -> Tuple[LaunchResult, Optional[np.ndarray]]:
+                          options: CompileOptions | None = None
+                          ) -> tuple[LaunchResult, np.ndarray | None]:
     options = options or CompileOptions()
     args, _ = make_fused_inputs(problem, device)
     result = device.run(fused_bias_act_kernel, grid=problem.grid, args=args,
@@ -138,7 +137,7 @@ def run_fused_elementwise(device: Device, problem: FusedElementwiseProblem,
 
 
 def check_fused_elementwise(device: Device, problem: FusedElementwiseProblem,
-                            options: Optional[CompileOptions] = None,
+                            options: CompileOptions | None = None,
                             rtol: float = 1e-5, atol: float = 1e-5) -> LaunchResult:
     """Run the kernel functionally and compare against the NumPy reference."""
     options = options or CompileOptions()

@@ -14,7 +14,6 @@ benchmarks: problem construction, grid computation, launching on a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -86,7 +85,7 @@ class GemmProblem:
 
 
 def make_gemm_inputs(problem: GemmProblem,
-                     device: Device) -> Tuple[dict, np.ndarray, np.ndarray]:
+                     device: Device) -> tuple[dict, np.ndarray, np.ndarray]:
     """Build device buffers (and host copies for the reference) for a problem."""
     rng = np.random.default_rng(problem.seed)
     if device.functional:
@@ -122,7 +121,7 @@ def gemm_reference(a: np.ndarray, b: np.ndarray, dtype: str = "f16") -> np.ndarr
 
 
 def run_gemm(device: Device, problem: GemmProblem,
-             options: Optional[CompileOptions] = None) -> Tuple[LaunchResult, Optional[np.ndarray]]:
+             options: CompileOptions | None = None) -> tuple[LaunchResult, np.ndarray | None]:
     """Compile and launch the GEMM kernel; returns the result and the C matrix."""
     options = options or CompileOptions()
     args, _, _ = make_gemm_inputs(problem, device)
@@ -139,7 +138,7 @@ def run_gemm(device: Device, problem: GemmProblem,
 
 
 def check_gemm(device: Device, problem: GemmProblem,
-               options: Optional[CompileOptions] = None,
+               options: CompileOptions | None = None,
                rtol: float = 2e-2, atol: float = 2e-2) -> LaunchResult:
     """Run the kernel functionally and compare against the NumPy reference."""
     options = options or CompileOptions()

@@ -15,7 +15,6 @@ Mixture-of-Experts layers whose experts see different numbers of tokens.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -50,7 +49,7 @@ def grouped_matmul_kernel(a_desc, b_desc, c_ptr, tile_am_ptr, tile_bn_ptr, tile_
 class GroupedGemmProblem:
     """``num_groups`` GEMMs with per-group M (multiples of 512, as in the paper)."""
 
-    group_ms: List[int] = field(default_factory=lambda: [512, 1024])
+    group_ms: list[int] = field(default_factory=lambda: [512, 1024])
     N: int = 4096
     K: int = 4096
     dtype: str = "f16"
@@ -78,7 +77,7 @@ class GroupedGemmProblem:
     def flops(self) -> float:
         return sum(2.0 * m * self.N * self.K for m in self.group_ms)
 
-    def tile_table(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def tile_table(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Per-tile (A/C row offset, B row offset, C column offset)."""
         rows, bns, cns = [], [], []
         row_base = 0
@@ -146,8 +145,8 @@ def grouped_reference(a: np.ndarray, b: np.ndarray, problem: GroupedGemmProblem)
 
 
 def run_grouped_gemm(device: Device, problem: GroupedGemmProblem,
-                     options: Optional[CompileOptions] = None
-                     ) -> Tuple[LaunchResult, Optional[np.ndarray]]:
+                     options: CompileOptions | None = None
+                     ) -> tuple[LaunchResult, np.ndarray | None]:
     options = options or CompileOptions()
     args, _ = make_grouped_inputs(problem, device)
     result = device.run(grouped_matmul_kernel, grid=problem.grid, args=args,
@@ -158,7 +157,7 @@ def run_grouped_gemm(device: Device, problem: GroupedGemmProblem,
 
 
 def check_grouped_gemm(device: Device, problem: GroupedGemmProblem,
-                       options: Optional[CompileOptions] = None,
+                       options: CompileOptions | None = None,
                        rtol: float = 2e-2, atol: float = 2e-2) -> LaunchResult:
     options = options or CompileOptions()
     args, (a, b) = make_grouped_inputs(problem, device)

@@ -12,7 +12,6 @@ Registered as the ``layernorm`` workload (:mod:`repro.workloads`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -109,8 +108,8 @@ def layernorm_reference(x: np.ndarray, w: np.ndarray, b: np.ndarray,
 
 
 def run_layernorm(device: Device, problem: LayerNormProblem,
-                  options: Optional[CompileOptions] = None
-                  ) -> Tuple[LaunchResult, Optional[np.ndarray]]:
+                  options: CompileOptions | None = None
+                  ) -> tuple[LaunchResult, np.ndarray | None]:
     options = options or CompileOptions()
     args, _ = make_layernorm_inputs(problem, device)
     result = device.run(layernorm_kernel, grid=problem.grid, args=args,
@@ -121,7 +120,7 @@ def run_layernorm(device: Device, problem: LayerNormProblem,
 
 
 def check_layernorm(device: Device, problem: LayerNormProblem,
-                    options: Optional[CompileOptions] = None,
+                    options: CompileOptions | None = None,
                     rtol: float = 1e-4, atol: float = 1e-4) -> LaunchResult:
     """Run the kernel functionally and compare against the NumPy reference."""
     options = options or CompileOptions()

@@ -13,7 +13,6 @@ Registered as the ``softmax`` workload (:mod:`repro.workloads`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -71,7 +70,7 @@ class SoftmaxProblem:
 
 
 def make_softmax_inputs(problem: SoftmaxProblem,
-                        device: Device) -> Tuple[dict, Optional[np.ndarray]]:
+                        device: Device) -> tuple[dict, np.ndarray | None]:
     rng = np.random.default_rng(problem.seed)
     shape = (problem.rows, problem.cols)
     x = rng.standard_normal(shape, dtype=np.float32) * 2.0 if device.functional else None
@@ -93,8 +92,8 @@ def softmax_reference(x: np.ndarray) -> np.ndarray:
 
 
 def run_softmax(device: Device, problem: SoftmaxProblem,
-                options: Optional[CompileOptions] = None
-                ) -> Tuple[LaunchResult, Optional[np.ndarray]]:
+                options: CompileOptions | None = None
+                ) -> tuple[LaunchResult, np.ndarray | None]:
     options = options or CompileOptions()
     args, _ = make_softmax_inputs(problem, device)
     result = device.run(softmax_kernel, grid=problem.grid, args=args,
@@ -105,7 +104,7 @@ def run_softmax(device: Device, problem: SoftmaxProblem,
 
 
 def check_softmax(device: Device, problem: SoftmaxProblem,
-                  options: Optional[CompileOptions] = None,
+                  options: CompileOptions | None = None,
                   rtol: float = 1e-5, atol: float = 1e-6) -> LaunchResult:
     """Run the kernel functionally and compare against the NumPy reference."""
     options = options or CompileOptions()

@@ -16,7 +16,6 @@ Registered as the ``splitk_gemm`` workload (:mod:`repro.workloads`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -116,7 +115,7 @@ class SplitKGemmProblem:
                      + self.M * self.N * 2)
 
     @property
-    def partial_grid(self) -> Tuple[int, int]:
+    def partial_grid(self) -> tuple[int, int]:
         return (tl.cdiv(self.M, self.block_m) * tl.cdiv(self.N, self.block_n),
                 self.splits)
 
@@ -173,8 +172,8 @@ def make_splitk_inputs(problem: SplitKGemmProblem, device: Device):
 
 def _splitk_pipeline(
     device: Device, problem: SplitKGemmProblem,
-    options: Optional[CompileOptions],
-) -> Tuple[List[LaunchSpec], Tuple[Optional[np.ndarray], Optional[np.ndarray]]]:
+    options: CompileOptions | None,
+) -> tuple[list[LaunchSpec], tuple[np.ndarray | None, np.ndarray | None]]:
     """Build the two-launch pipeline plus the host copies of A and B."""
     options = options or CompileOptions()
     partial_args, reduce_args, host_inputs = make_splitk_inputs(problem, device)
@@ -190,7 +189,7 @@ def _splitk_pipeline(
 
 
 def splitk_specs(device: Device, problem: SplitKGemmProblem,
-                 options: Optional[CompileOptions] = None) -> List[LaunchSpec]:
+                 options: CompileOptions | None = None) -> list[LaunchSpec]:
     """The workload's launch pipeline: partial GEMM then reduction epilogue.
 
     The reduction launch always compiles with default options: warp
@@ -213,8 +212,8 @@ def splitk_reference(a: np.ndarray, b: np.ndarray,
 
 
 def run_splitk_gemm(device: Device, problem: SplitKGemmProblem,
-                    options: Optional[CompileOptions] = None
-                    ) -> Tuple[List[LaunchResult], Optional[np.ndarray]]:
+                    options: CompileOptions | None = None
+                    ) -> tuple[list[LaunchResult], np.ndarray | None]:
     """Run both launches through :meth:`Device.run_many`; returns (results, C)."""
     specs = splitk_specs(device, problem, options)
     results = device.run_many(specs)
@@ -223,7 +222,7 @@ def run_splitk_gemm(device: Device, problem: SplitKGemmProblem,
 
 
 def check_splitk_gemm(device: Device, problem: SplitKGemmProblem,
-                      options: Optional[CompileOptions] = None,
+                      options: CompileOptions | None = None,
                       rtol: float = 2e-2, atol: float = 2e-2) -> LaunchResult:
     """Run the pipeline functionally and compare against the NumPy reference."""
     specs, (a, b) = _splitk_pipeline(device, problem, options)

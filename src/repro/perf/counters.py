@@ -26,7 +26,7 @@ to turn their copy-on-write block into a pure delta).
 from __future__ import annotations
 
 from dataclasses import MISSING, dataclass, field, fields
-from typing import Dict, Mapping
+from collections.abc import Mapping
 
 
 @dataclass
@@ -52,7 +52,7 @@ class SimCounters:
     #: that satisfies every compile from the caches keeps these at zero.
     compile_passes_run: int = 0
     compile_seconds: float = 0.0
-    compile_pass_seconds: Dict[str, float] = field(default_factory=dict)
+    compile_pass_seconds: dict[str, float] = field(default_factory=dict)
     #: execution-plan cache (repro.gpusim.plan), per (kernel, mode, config)
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
@@ -105,6 +105,16 @@ class SimCounters:
     tune_store_misses: int = 0
     tune_measurements: int = 0
     tune_candidates_pruned: int = 0
+    #: static analysis (repro.analysis): analysis executions actually run,
+    #: results served from the in-process memo / persistent disk tier,
+    #: diagnostics produced across all runs, and launches simulated with the
+    #: aref sanitizer attached (Device(sanitize=True))
+    analysis_runs: int = 0
+    analysis_memory_hits: int = 0
+    analysis_disk_hits: int = 0
+    analysis_disk_writes: int = 0
+    analysis_diagnostics: int = 0
+    analysis_sanitized_launches: int = 0
 
     def record_pass_timing(self, name: str, seconds: float) -> None:
         """Fold one pass execution into the compile-cost counters.

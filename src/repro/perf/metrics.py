@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 from repro.gpusim.config import DEFAULT_CONFIG, H100Config
 
@@ -53,7 +52,7 @@ def hbm_bound_seconds(bytes_moved: float, config: H100Config = DEFAULT_CONFIG) -
     return bytes_moved / (config.hbm_bandwidth_gbs * 1e9)
 
 
-def apply_memory_roofline(seconds: float, bytes_moved: Optional[float],
+def apply_memory_roofline(seconds: float, bytes_moved: float | None,
                           config: H100Config = DEFAULT_CONFIG) -> float:
     """Clamp a simulated runtime to the HBM roofline.
 
@@ -76,9 +75,9 @@ class MeasurementRow:
     x_label: str
     x: float
     tflops: float
-    extra: Dict[str, object] = field(default_factory=dict)
+    extra: dict[str, object] = field(default_factory=dict)
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         out = {
             "figure": self.figure,
             "series": self.series,
@@ -100,8 +99,8 @@ class FigureResult:
     name: str
     title: str
     x_label: str
-    rows: List[MeasurementRow] = field(default_factory=list)
-    notes: List[str] = field(default_factory=list)
+    rows: list[MeasurementRow] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
 
     def add(self, series: str, x: float, value: float, **extra) -> MeasurementRow:
         row = MeasurementRow(self.name, series, self.x_label, x, value, dict(extra))
@@ -109,7 +108,7 @@ class FigureResult:
         return row
 
     @property
-    def series_names(self) -> List[str]:
+    def series_names(self) -> list[str]:
         names = []
         for row in self.rows:
             if row.series not in names:
@@ -117,23 +116,23 @@ class FigureResult:
         return names
 
     @property
-    def x_values(self) -> List[float]:
+    def x_values(self) -> list[float]:
         xs = []
         for row in self.rows:
             if row.x not in xs:
                 xs.append(row.x)
         return xs
 
-    def value(self, series: str, x: float) -> Optional[float]:
+    def value(self, series: str, x: float) -> float | None:
         for row in self.rows:
             if row.series == series and row.x == x:
                 return row.tflops
         return None
 
-    def series(self, name: str) -> List[MeasurementRow]:
+    def series(self, name: str) -> list[MeasurementRow]:
         return [row for row in self.rows if row.series == name]
 
-    def speedup(self, numerator: str, denominator: str) -> List[float]:
+    def speedup(self, numerator: str, denominator: str) -> list[float]:
         """Per-x speedups of one series over another (skipping missing points)."""
         out = []
         for x in self.x_values:
@@ -143,7 +142,7 @@ class FigureResult:
                 out.append(a / b)
         return out
 
-    def geomean_speedup(self, numerator: str, denominator: str) -> Optional[float]:
+    def geomean_speedup(self, numerator: str, denominator: str) -> float | None:
         ratios = self.speedup(numerator, denominator)
         if not ratios:
             return None

@@ -3,7 +3,7 @@ plus the compile-cost report backed by :func:`repro.perf.sim_counters`."""
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional
+from collections.abc import Mapping
 
 from repro.perf.metrics import FigureResult, is_infeasible
 
@@ -11,7 +11,7 @@ from repro.perf.metrics import FigureResult, is_infeasible
 INFEASIBLE_CELL = "n/f"
 
 
-def format_tflops(value: Optional[float], fmt: str = "{:.1f}") -> str:
+def format_tflops(value: float | None, fmt: str = "{:.1f}") -> str:
     """One table cell: a TFLOP/s number, ``-`` (absent) or ``n/f`` (infeasible)."""
     if value is None:
         return "-"
@@ -20,7 +20,7 @@ def format_tflops(value: Optional[float], fmt: str = "{:.1f}") -> str:
     return fmt.format(float(value))
 
 
-def render_table(headers: List[str], rows: List[List[str]]) -> str:
+def render_table(headers: list[str], rows: list[list[str]]) -> str:
     widths = [len(h) for h in headers]
     for row in rows:
         for i, cell in enumerate(row):
@@ -56,7 +56,7 @@ def _format_x(x: float) -> str:
     return f"{x:g}"
 
 
-def render_compile_report(counters: Optional[Mapping] = None) -> str:
+def render_compile_report(counters: Mapping | None = None) -> str:
     """The compile-cost side of the counters: per-pass wall time + cache tiers.
 
     ``counters`` defaults to a fresh :func:`repro.perf.sim_counters` snapshot.
@@ -94,5 +94,13 @@ def render_compile_report(counters: Optional[Mapping] = None) -> str:
         f"launches: {c.get('codegen_launches', 0)} batched "
         f"({c.get('codegen_ctas_batched', 0)} CTAs), "
         f"{c.get('codegen_fallback_launches', 0)} fallbacks"
+    )
+    lines.append(
+        f"analysis artifacts: {c.get('analysis_runs', 0)} runs "
+        f"({c.get('analysis_diagnostics', 0)} diagnostics), "
+        f"{c.get('analysis_memory_hits', 0)} memory hits, "
+        f"{c.get('analysis_disk_hits', 0)} disk hits, "
+        f"{c.get('analysis_disk_writes', 0)} disk writes; "
+        f"{c.get('analysis_sanitized_launches', 0)} sanitized launches"
     )
     return "\n".join(lines)

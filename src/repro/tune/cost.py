@@ -26,7 +26,7 @@ the tuner tests pin.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from repro.core.options import CompileOptions
 from repro.gpusim.config import DEFAULT_CONFIG, H100Config
@@ -37,12 +37,12 @@ def _dtype_of(problem: Any) -> str:
     return getattr(problem, "dtype", "f16")
 
 
-def _block(problem: Any, name: str) -> Optional[int]:
+def _block(problem: Any, name: str) -> int | None:
     value = getattr(problem, name, None)
     return int(value) if isinstance(value, int) else None
 
 
-def _total_tiles(problem: Any) -> Optional[int]:
+def _total_tiles(problem: Any) -> int | None:
     grid = getattr(problem, "grid", None)
     if grid is None:
         return None
@@ -58,52 +58,41 @@ def _total_tiles(problem: Any) -> Optional[int]:
 
 
 def static_infeasibility(problem: Any, options: CompileOptions,
-                         config: H100Config = DEFAULT_CONFIG) -> Optional[str]:
+                         config: H100Config = DEFAULT_CONFIG) -> str | None:
     """A cheap, compile-free reason a candidate cannot work, or ``None``.
 
-    Mirrors the two budgets :mod:`repro.core.resources` validates after
-    lowering -- D staging buffers in shared memory, the accumulator in the
-    consumer register file -- using the problem's block sizes directly, so
-    clearly-doomed points never reach compilation.  Conservative by design:
-    borderline points pass and are caught (as
-    :class:`~repro.perf.metrics.Infeasible`) by the real resource-validation
-    pass at measure time; a *feasible* point must never be pruned here.
-    Problems without block-size fields skip the check entirely.
+    The budget arithmetic itself lives in :mod:`repro.analysis.resources` as
+    shared fact functions -- one implementation serving both this pruner and
+    the static-analysis linter, so the two can never disagree about what is
+    infeasible.  Conservative by design: borderline points pass and are
+    caught (as :class:`~repro.perf.metrics.Infeasible`) by the real
+    resource-validation pass at measure time; a *feasible* point must never
+    be pruned here.  Problems without block-size fields skip the check
+    entirely.
     """
+    from repro.analysis.resources import (
+        accumulator_register_reason,
+        aref_staging_reason,
+        persistent_grid_reason,
+    )
+
     if options.persistent:
-        # The persistent pass rejects kernels that read program ids off axis
-        # != 0 (repro.core.persistent: "persistent kernels currently require
-        # a 1-D grid"); a problem whose launch grid has more than one
-        # non-unit dimension is the static image of that constraint.
-        grid = getattr(problem, "grid", None)
-        if (isinstance(grid, (tuple, list))
-                and sum(1 for g in grid if int(g) > 1) > 1):
-            return (f"persistent kernels require a 1-D launch grid, "
-                    f"problem grid is {tuple(grid)}")
+        reason = persistent_grid_reason(getattr(problem, "grid", None))
+        if reason is not None:
+            return reason
     bm, bn, bk = (_block(problem, n) for n in ("block_m", "block_n", "block_k"))
     elem = 1 if _dtype_of(problem).startswith("f8") else 2
     if options.enable_warp_specialization and bm and bn:
         if bk:
-            # D staged (A-tile + B-tile) operand buffers must fit in shared
-            # memory alongside double-buffered epilogue traffic; exact layout
-            # is the resource pass's job, the factor here just rejects the
-            # hopeless (e.g. D=4 with 256-wide tiles).
-            smem = options.aref_depth * (bm * bk + bn * bk) * elem
-            if smem > config.smem_bytes_per_sm:
-                return (f"~{smem // 1024} KiB of aref staging exceeds the "
-                        f"{config.smem_bytes_per_sm // 1024} KiB SM budget "
-                        f"(D={options.aref_depth}, tile {bm}x{bn}x{bk})")
-        # The f32 accumulator is live in consumer registers for the whole
-        # main loop, split across cooperative replicas.
-        acc_regs = (bm * bn * 4) / (config.threads_per_warp_group * 4)
-        acc_regs /= max(1, options.num_consumer_groups)
-        acc_regs += config.baseline_registers_per_thread
-        budget = config.consumer_register_budget(options.num_consumer_groups)
-        if acc_regs > budget * 1.15:
-            return (f"~{int(acc_regs)} accumulator registers/thread exceed the "
-                    f"{budget}-register consumer budget "
-                    f"({options.num_consumer_groups} consumer group(s), "
-                    f"tile {bm}x{bn})")
+            reason = aref_staging_reason(options.aref_depth, bm, bn, bk, elem,
+                                         config)
+            if reason is not None:
+                return reason
+        reason = accumulator_register_reason(bm, bn,
+                                             options.num_consumer_groups,
+                                             config)
+        if reason is not None:
+            return reason
     return None
 
 

@@ -24,7 +24,8 @@ from __future__ import annotations
 import dataclasses
 import itertools
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Any
 
 from repro.core.options import CompileError, CompileOptions
 
@@ -43,7 +44,7 @@ class Candidate:
     """
 
     options: CompileOptions
-    problem_overrides: Tuple[Tuple[str, Any], ...] = ()
+    problem_overrides: tuple[tuple[str, Any], ...] = ()
 
     def key(self) -> tuple:
         """Content identity (what dedup and the persisted store key on)."""
@@ -72,8 +73,8 @@ class Cell:
     """One grid point of a space: its axis assignment and, if feasible, the
     candidate it denotes."""
 
-    assignment: Tuple[Tuple[str, Any], ...]
-    candidate: Optional[Candidate]
+    assignment: tuple[tuple[str, Any], ...]
+    candidate: Candidate | None
     reason: str = ""
 
     @property
@@ -97,8 +98,8 @@ class ConfigSpace:
     validated at launch time by ``dataclasses.replace``.
     """
 
-    def __init__(self, base: Optional[CompileOptions] = None,
-                 problem_axes: Optional[Mapping[str, Sequence[Any]]] = None,
+    def __init__(self, base: CompileOptions | None = None,
+                 problem_axes: Mapping[str, Sequence[Any]] | None = None,
                  **axes: Sequence[Any]):
         self.base = base if base is not None else CompileOptions()
         unknown = sorted(set(axes) - OPTION_AXES)
@@ -107,8 +108,8 @@ class ConfigSpace:
                 f"unknown CompileOptions axes {unknown}; valid fields: "
                 f"{', '.join(sorted(OPTION_AXES))}"
             )
-        self.axes: Dict[str, List[Any]] = {k: list(v) for k, v in axes.items()}
-        self.problem_axes: Dict[str, List[Any]] = {
+        self.axes: dict[str, list[Any]] = {k: list(v) for k, v in axes.items()}
+        self.problem_axes: dict[str, list[Any]] = {
             k: list(v) for k, v in (problem_axes or {}).items()
         }
         for name, values in itertools.chain(self.axes.items(),
@@ -126,9 +127,9 @@ class ConfigSpace:
             n *= len(values)
         return n
 
-    def cells(self) -> List[Cell]:
+    def cells(self) -> list[Cell]:
         """Every grid point, in deterministic declaration order."""
-        out: List[Cell] = []
+        out: list[Cell] = []
         option_names = list(self.axes)
         problem_names = list(self.problem_axes)
         value_lists = [self.axes[n] for n in option_names]
@@ -146,10 +147,10 @@ class ConfigSpace:
             out.append(Cell(assignment, Candidate(options, overrides)))
         return out
 
-    def candidates(self) -> List[Candidate]:
+    def candidates(self) -> list[Candidate]:
         """The feasible cells, deduplicated by content (first wins)."""
         seen = set()
-        out: List[Candidate] = []
+        out: list[Candidate] = []
         for cell in self.cells():
             if cell.candidate is None:
                 continue

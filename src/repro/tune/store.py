@@ -30,7 +30,8 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Any
 
 from repro import faults
 from repro.core.cache import stable_digest
@@ -70,7 +71,7 @@ class TunedRecord:
     key: str
     workload: str
     options: CompileOptions
-    problem_overrides: Tuple[Tuple[str, Any], ...]
+    problem_overrides: tuple[tuple[str, Any], ...]
     measured_tflops: float
     default_tflops: float
     predicted_tflops: float
@@ -114,7 +115,7 @@ class TuneStore:
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
-    def load(self, key: str) -> Optional[TunedRecord]:
+    def load(self, key: str) -> TunedRecord | None:
         """The record stored for ``key``, or ``None`` (miss).
 
         Corrupted, stale-version, mismatched or unreadable (transient
@@ -124,7 +125,7 @@ class TuneStore:
         path = self.path_for(key)
         try:
             faults.raise_injected_io("cache_read", path)
-            with open(path, "r", encoding="utf-8") as fh:
+            with open(path, encoding="utf-8") as fh:
                 payload = json.load(fh)
         except FileNotFoundError:
             COUNTERS.tune_store_misses += 1
@@ -188,7 +189,7 @@ class TuneStore:
             pass
 
 
-def resolve_tune_store() -> Optional[TuneStore]:
+def resolve_tune_store() -> TuneStore | None:
     """The persistent tier configured by ``REPRO_TUNE_DIR``, if any.
 
     Resolved per call (not cached) so tests and long-lived processes can

@@ -32,7 +32,7 @@ kernel.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any
 from weakref import WeakKeyDictionary
 
 from repro.core.options import CompileOptions
@@ -68,7 +68,7 @@ class TuneResult:
     candidates_considered: int = 0
     candidates_pruned: int = 0
     #: (candidate, measured TFLOP/s) for every finalist, in measured order
-    measured: List[Tuple[Candidate, float]] = field(default_factory=list)
+    measured: list[tuple[Candidate, float]] = field(default_factory=list)
 
     @property
     def speedup_over_default(self) -> float:
@@ -103,8 +103,8 @@ def default_space(options: CompileOptions) -> ConfigSpace:
 class Autotuner:
     """Cost-model-guided search over a configuration space."""
 
-    def __init__(self, device: Optional[Device] = None, top_k: int = DEFAULT_TOP_K,
-                 store: Optional[TuneStore] = None, use_store: bool = True):
+    def __init__(self, device: Device | None = None, top_k: int = DEFAULT_TOP_K,
+                 store: TuneStore | None = None, use_store: bool = True):
         if device is None:
             from repro.experiments.common import perf_device
 
@@ -118,7 +118,7 @@ class Autotuner:
 
     # ------------------------------------------------------------------ keys
 
-    def store_for(self) -> Optional[TuneStore]:
+    def store_for(self) -> TuneStore | None:
         return self._store if self._store is not None else resolve_tune_store()
 
     def pipeline_kernels(self, workload, problem: Any) -> tuple:
@@ -158,7 +158,7 @@ class Autotuner:
     # ------------------------------------------------------------------ tuning
 
     def tune(self, workload_name: str, problem: Any = None,
-             space: Optional[ConfigSpace] = None) -> TuneResult:
+             space: ConfigSpace | None = None) -> TuneResult:
         """Find (or recall) the best configuration for one workload problem."""
         from repro import workloads
 
@@ -195,7 +195,7 @@ class Autotuner:
         considered = len(candidates)
 
         # Static pruning: drop points that obviously blow a hardware budget.
-        survivors: List[Candidate] = []
+        survivors: list[Candidate] = []
         pruned = 0
         for candidate in candidates:
             reason = static_infeasibility(candidate.apply(problem),
@@ -258,7 +258,7 @@ class Autotuner:
 
     # ------------------------------------------------------------------ internals
 
-    def _attached_space(self, workload, problem: Any) -> Optional[ConfigSpace]:
+    def _attached_space(self, workload, problem: Any) -> ConfigSpace | None:
         """The ``@kernel(configs=...)`` space of the pipeline's lead kernel."""
         for kern in self.pipeline_kernels(workload, problem):
             configs = getattr(kern, "configs", None)
@@ -267,7 +267,7 @@ class Autotuner:
         return None
 
     def _measure(self, workload, problem: Any,
-                 finalists: List[Candidate]) -> List[Tuple[Candidate, float]]:
+                 finalists: list[Candidate]) -> list[tuple[Candidate, float]]:
         """Measure every finalist in one batched sweep on the executor layer."""
         from repro.experiments.common import SweepPoint, measure_sweep
 
@@ -279,8 +279,8 @@ class Autotuner:
 
 
 def tune_workload(workload_name: str, problem: Any = None,
-                  space: Optional[ConfigSpace] = None,
-                  device: Optional[Device] = None,
+                  space: ConfigSpace | None = None,
+                  device: Device | None = None,
                   top_k: int = DEFAULT_TOP_K,
                   use_store: bool = True) -> TuneResult:
     """One-call convenience wrapper over :class:`Autotuner`."""
@@ -288,7 +288,7 @@ def tune_workload(workload_name: str, problem: Any = None,
     return tuner.tune(workload_name, problem, space)
 
 
-def lookup_tuned(device: Device, workload, problem: Any) -> Optional[TunedRecord]:
+def lookup_tuned(device: Device, workload, problem: Any) -> TunedRecord | None:
     """The persisted best config for (workload, problem), if any.
 
     This is the *transparent pickup* path: resolvers that were not asked for
@@ -304,7 +304,7 @@ def lookup_tuned(device: Device, workload, problem: Any) -> Optional[TunedRecord
     return store.load(tuner.key_for(workload, problem))
 
 
-def apply_tuned(device: Device, workload, problem: Any) -> Tuple[Any, CompileOptions]:
+def apply_tuned(device: Device, workload, problem: Any) -> tuple[Any, CompileOptions]:
     """The (problem, options) a workload should actually launch with.
 
     The persisted best config when one exists (problem overrides applied),

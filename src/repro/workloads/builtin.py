@@ -16,7 +16,6 @@ functional`` and the smoke tests.
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.baselines import analytic
 from repro.core.options import CompileOptions
@@ -78,49 +77,49 @@ from repro.workloads.registry import Workload, register
 
 
 def _gemm_specs(device: Device, problem: GemmProblem,
-                options: CompileOptions) -> List[LaunchSpec]:
+                options: CompileOptions) -> list[LaunchSpec]:
     args, _, _ = make_gemm_inputs(problem, device)
     return [LaunchSpec(matmul_kernel, problem.grid, args, problem.constexprs(),
                        options, problem.flops)]
 
 
 def _batched_gemm_specs(device: Device, problem: BatchedGemmProblem,
-                        options: CompileOptions) -> List[LaunchSpec]:
+                        options: CompileOptions) -> list[LaunchSpec]:
     args, _ = make_batched_inputs(problem, device)
     return [LaunchSpec(batched_matmul_kernel, problem.grid, args,
                        problem.constexprs(), options, problem.flops)]
 
 
 def _grouped_gemm_specs(device: Device, problem: GroupedGemmProblem,
-                        options: CompileOptions) -> List[LaunchSpec]:
+                        options: CompileOptions) -> list[LaunchSpec]:
     args, _ = make_grouped_inputs(problem, device)
     return [LaunchSpec(grouped_matmul_kernel, problem.grid, args,
                        problem.constexprs(), options, problem.flops)]
 
 
 def _attention_specs(device: Device, problem: AttentionProblem,
-                     options: CompileOptions) -> List[LaunchSpec]:
+                     options: CompileOptions) -> list[LaunchSpec]:
     args, _ = make_attention_inputs(problem, device)
     return [LaunchSpec(attention_kernel, problem.grid, args,
                        problem.constexprs(), options, problem.flops)]
 
 
 def _softmax_specs(device: Device, problem: SoftmaxProblem,
-                   options: CompileOptions) -> List[LaunchSpec]:
+                   options: CompileOptions) -> list[LaunchSpec]:
     args, _ = make_softmax_inputs(problem, device)
     return [LaunchSpec(softmax_kernel, problem.grid, args, problem.constexprs(),
                        options, problem.flops)]
 
 
 def _layernorm_specs(device: Device, problem: LayerNormProblem,
-                     options: CompileOptions) -> List[LaunchSpec]:
+                     options: CompileOptions) -> list[LaunchSpec]:
     args, _ = make_layernorm_inputs(problem, device)
     return [LaunchSpec(layernorm_kernel, problem.grid, args, problem.constexprs(),
                        options, problem.flops)]
 
 
 def _fused_specs(device: Device, problem: FusedElementwiseProblem,
-                 options: CompileOptions) -> List[LaunchSpec]:
+                 options: CompileOptions) -> list[LaunchSpec]:
     args, _ = make_fused_inputs(problem, device)
     return [LaunchSpec(fused_bias_act_kernel, problem.grid, args,
                        problem.constexprs(), options, problem.flops)]

@@ -40,7 +40,6 @@ import json
 import os
 import sys
 import time
-from typing import List, Optional
 
 from repro.experiments.common import SweepPoint, measure_sweep, perf_device
 from repro.gpusim.device import Device
@@ -94,7 +93,7 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _resolve_names(names: List[str]) -> List[str]:
+def _resolve_names(names: list[str]) -> list[str]:
     if not names:
         return registry.list_workloads()
     known = set(registry.list_workloads())
@@ -114,7 +113,7 @@ def _cmd_list() -> int:
     return 0
 
 
-def _run_functional(names: List[str], workers: Optional[int],
+def _run_functional(names: list[str], workers: int | None,
                     report: dict) -> int:
     device = Device(mode="functional", workers=workers)
     failures = 0
@@ -135,10 +134,10 @@ def _run_functional(names: List[str], workers: Optional[int],
     return failures
 
 
-def _run_perf(names: List[str], sweep: str, report: dict) -> int:
+def _run_perf(names: list[str], sweep: str, report: dict) -> int:
     device = perf_device()
-    points: List[SweepPoint] = []
-    labels: List[str] = []
+    points: list[SweepPoint] = []
+    labels: list[str] = []
     for name in names:
         workload = registry.get(name)
         problems = workload.reduced_sweep()
@@ -164,7 +163,7 @@ def _run_perf(names: List[str], sweep: str, report: dict) -> int:
     return 0
 
 
-def _run_tune(args, names: List[str], report: dict) -> int:
+def _run_tune(args, names: list[str], report: dict) -> int:
     from repro.tune import Autotuner
 
     top_k = args.top_k if args.top_k is not None else (4 if args.sweep == "smoke" else 8)
@@ -204,7 +203,7 @@ def _run_tune(args, names: List[str], report: dict) -> int:
     return failures
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()

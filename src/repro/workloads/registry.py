@@ -22,7 +22,8 @@ reference, then call :func:`register` at import time (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.core.options import CompileOptions
 from repro.gpusim.device import Device, LaunchResult, LaunchSpec
@@ -44,16 +45,16 @@ class Workload:
     #: The ``*Problem`` dataclass for this workload.
     problem_cls: type
     #: (device, problem, options) -> the launch pipeline for one problem.
-    make_specs: Callable[[Device, Any, CompileOptions], List[LaunchSpec]]
+    make_specs: Callable[[Device, Any, CompileOptions], list[LaunchSpec]]
     #: (device, problem, options) -> LaunchResult; runs functionally and
     #: asserts against the NumPy reference.
-    check: Callable[[Device, Any, Optional[CompileOptions]], LaunchResult]
+    check: Callable[[Device, Any, CompileOptions | None], LaunchResult]
     #: problem -> unique global-memory traffic in bytes (roofline input).
     bytes_moved: Callable[[Any], float]
     #: () -> the workload's default simulated-measurement CompileOptions.
     default_options: Callable[[], CompileOptions] = CompileOptions
     #: () -> problems for the reduced (CI-sized) sweep.
-    reduced_sweep: Callable[[], List[Any]] = field(default=lambda: [])
+    reduced_sweep: Callable[[], list[Any]] = field(default=lambda: [])
     #: () -> a small problem for functional checking (reduced_sweep may be
     #: perf-mode sized).
     check_problem: Callable[[], Any] = field(default=lambda: None)
@@ -62,7 +63,7 @@ class Workload:
         return float(problem.flops)
 
 
-_REGISTRY: Dict[str, Workload] = {}
+_REGISTRY: dict[str, Workload] = {}
 
 
 def register(workload: Workload) -> Workload:
@@ -88,13 +89,13 @@ def get(name: str) -> Workload:
         ) from None
 
 
-def list_workloads() -> List[str]:
+def list_workloads() -> list[str]:
     """The registered workload names, sorted."""
     return sorted(_REGISTRY)
 
 
 def resolve_options(device: Device, workload: Workload,
-                    problem: Any) -> Tuple[Any, CompileOptions]:
+                    problem: Any) -> tuple[Any, CompileOptions]:
     """The (problem, options) a workload launches when none were requested.
 
     With ``REPRO_TUNE_DIR`` set, a persisted autotuning result for this
@@ -108,7 +109,7 @@ def resolve_options(device: Device, workload: Workload,
 
 
 def build_sweep_specs(device: Device, workload: Workload, problem: Any,
-                      options: Optional[CompileOptions] = None) -> List[LaunchSpec]:
+                      options: CompileOptions | None = None) -> list[LaunchSpec]:
     """The fully-compiled launch pipeline for one (workload, problem) point.
 
     Compilation is front-loaded through :meth:`Device.compile` (the
@@ -126,7 +127,7 @@ def build_sweep_specs(device: Device, workload: Workload, problem: Any,
     return specs
 
 
-def sweep_points(names: Optional[Sequence[str]] = None):
+def sweep_points(names: Sequence[str] | None = None):
     """Yield ``(workload, problem)`` over the reduced sweep of each name."""
     for name in names or list_workloads():
         workload = get(name)

@@ -210,7 +210,7 @@ class TestFingerprint:
     def test_memo_ignores_identity_preserving_rebinds(self):
         # Rebinding a name to the *same* object must not thrash the memo.
         k = _make_elementwise()
-        k.source_fingerprint
+        assert k.source_fingerprint
         recomputes = k.fingerprint_recomputes
         g = k.fn.__globals__
         g["tl"] = g["tl"]

@@ -54,7 +54,6 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 import numpy as np
 import pytest
@@ -91,11 +90,11 @@ class Observation:
 
     output: bytes
     cycles: float
-    per_cta_cycles: Tuple[float, ...]
+    per_cta_cycles: tuple[float, ...]
     utilization: float
     bytes_copied: int
 
-    def diff(self, other: "Observation") -> List[str]:
+    def diff(self, other: "Observation") -> list[str]:
         mismatches = []
         if self.output != other.output:
             mismatches.append("output bytes")
@@ -201,7 +200,7 @@ class ElementwiseCase:
             bytes_copied=result.bytes_copied,
         )
 
-    def shrink_candidates(self) -> List["ElementwiseCase"]:
+    def shrink_candidates(self) -> list["ElementwiseCase"]:
         out = []
         if self.n > 1:
             out.append(dataclasses.replace(self, n=max(1, self.n // 2)))
@@ -296,7 +295,7 @@ class GemmCase:
             bytes_copied=result.bytes_copied,
         )
 
-    def shrink_candidates(self) -> List["GemmCase"]:
+    def shrink_candidates(self) -> list["GemmCase"]:
         out = []
         for attr in ("m_blocks", "n_blocks", "k_steps"):
             if getattr(self, attr) > 1:
@@ -393,7 +392,7 @@ class RowOpCase:
             bytes_copied=result.bytes_copied,
         )
 
-    def shrink_candidates(self) -> List["RowOpCase"]:
+    def shrink_candidates(self) -> list["RowOpCase"]:
         out = []
         if self.rows > 1:
             out.append(dataclasses.replace(self, rows=max(1, self.rows // 2)))
@@ -469,7 +468,7 @@ class SplitKCase:
             bytes_copied=sum(r.bytes_copied for r in results),
         )
 
-    def shrink_candidates(self) -> List["SplitKCase"]:
+    def shrink_candidates(self) -> list["SplitKCase"]:
         out = []
         for attr in ("m_blocks", "n_blocks", "k_steps_per_split"):
             if getattr(self, attr) > 1:
@@ -545,7 +544,7 @@ class ChaosCase:
         with faults.inject_faults(self.fault_spec()):
             return self.gemm.observe(device)
 
-    def shrink_candidates(self) -> List["ChaosCase"]:
+    def shrink_candidates(self) -> list["ChaosCase"]:
         out = [dataclasses.replace(self, gemm=candidate)
                for candidate in self.gemm.shrink_candidates()]
         if self.fault_cta != 0:
@@ -560,7 +559,7 @@ class ChaosCase:
 # ---------------------------------------------------------------------------
 
 
-def _disagreement(case) -> Optional[str]:
+def _disagreement(case) -> str | None:
     """Run a case through every engine; a description of any mismatch."""
     oracle = case.execute(ENGINES[0])
     for engine in ENGINES[1:]:
