@@ -40,7 +40,10 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 from collections import OrderedDict
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any
 
@@ -96,12 +99,69 @@ def artifact_fingerprint(kern, spec, options, config) -> str:
     )
 
 
+class KeyedMutex:
+    """Per-key mutual exclusion with waiter accounting (singleflight).
+
+    :meth:`hold` yields ``True`` when another holder already owned (or was
+    queued for) the same key at registration time -- i.e. this caller
+    *waited* for an identical in-flight operation rather than starting its
+    own.  :class:`~repro.core.service.CompilerService` brackets its compile
+    body with this, keyed by the artifact fingerprint, so K concurrent
+    requests for one (kernel, options, config) run the pass pipeline exactly
+    once: the first registrant compiles, the other K-1 block, then find the
+    finished artifact in the memory tier.  Entries are reference-counted and
+    removed when the last holder releases, so the table only ever contains
+    in-flight keys.
+    """
+
+    def __init__(self):
+        self._guard = threading.Lock()
+        #: key -> [lock, registrants]
+        self._entries: dict[str, list] = {}
+
+    def __len__(self) -> int:
+        with self._guard:
+            return len(self._entries)
+
+    @contextmanager
+    def hold(self, key: str,
+             on_wait: Callable[[], None] | None = None) -> Iterator[bool]:
+        """Hold ``key``'s mutex for the ``with`` body.
+
+        ``on_wait`` runs under the table guard when this caller registers
+        behind an existing holder -- the one race-free place to count a
+        singleflight wait exactly once per waiter.
+        """
+        with self._guard:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = [threading.Lock(), 0]
+                self._entries[key] = entry
+            waited = entry[1] > 0
+            entry[1] += 1
+            if waited and on_wait is not None:
+                on_wait()
+        entry[0].acquire()
+        try:
+            yield waited
+        finally:
+            entry[0].release()
+            with self._guard:
+                entry[1] -= 1
+                if entry[1] == 0:
+                    self._entries.pop(key, None)
+
+
 class MemoryCache:
     """In-process LRU tier over compiled artifacts.
 
     ``capacity=0`` disables the tier (every lookup misses); a malformed or
     negative ``REPRO_CACHE_MEMORY_ENTRIES`` value falls back to the default
     rather than poisoning every compile in the process.
+
+    Thread-safe: the serve layer compiles from worker threads (admission-time
+    warm compiles racing the dispatch thread), so the LRU reorder in ``get``
+    and the eviction loop in ``put`` are guarded by a mutex.
     """
 
     def __init__(self, capacity: int | None = None):
@@ -116,30 +176,36 @@ class MemoryCache:
         elif capacity < 0:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
 
     def get(self, key: str) -> Any | None:
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
 
     def put(self, key: str, value: Any) -> None:
         if self.capacity == 0:
             return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
 
 class DiskCache:

@@ -33,6 +33,7 @@ from collections.abc import Iterable, Mapping, Sequence
 from typing import Any
 
 from repro.core.cache import (
+    KeyedMutex,
     MemoryCache,
     artifact_fingerprint,
     resolve_disk_cache,
@@ -46,10 +47,22 @@ from repro.perf.counters import COUNTERS
 
 
 class CompilerService:
-    """Content-addressed, two-tier cached compilation."""
+    """Content-addressed, two-tier cached compilation.
+
+    Thread-safe with *singleflight* semantics: concurrent ``compile`` calls
+    for the same content fingerprint are collapsed onto one pipeline
+    execution -- the first caller compiles while the rest block on a keyed
+    in-flight mutex, then find the finished artifact in the memory tier
+    (counted as ``compile_singleflight_waits`` + a cache hit).  Because plan
+    and codegen finalization happen inside the same keyed critical section,
+    the dedup covers every artifact kind hanging off the fingerprint
+    (execution plans, vectorized codegen, analysis results produced by
+    in-pipeline passes), not just the lowered module.
+    """
 
     def __init__(self, memory_capacity: int | None = None):
         self._memory = MemoryCache(memory_capacity)
+        self._inflight = KeyedMutex()
 
     # ------------------------------------------------------------------ API
 
@@ -86,6 +99,20 @@ class CompilerService:
         modes = tuple(dict.fromkeys(plan_modes))  # dedupe, keep order
         cg_modes = tuple(dict.fromkeys(codegen_modes))
 
+        def _count_wait() -> None:
+            COUNTERS.compile_singleflight_waits += 1
+
+        # Singleflight: the whole lookup-or-compile body runs under a mutex
+        # keyed by the content fingerprint.  A waiter that blocked here finds
+        # the leader's artifact in the memory tier (an ordinary hit); its own
+        # mode finalization below is a memoized lookup at worst.
+        with self._inflight.hold(key, on_wait=_count_wait):
+            return self._compile_locked(kern, key, spec, constexprs, options,
+                                        config, modes, cg_modes)
+
+    def _compile_locked(self, kern: Kernel, key: str, spec, constexprs,
+                        options: CompileOptions, config: H100Config,
+                        modes: tuple, cg_modes: tuple) -> CompiledKernel:
         compiled = self._memory.get(key)
         if compiled is not None:
             COUNTERS.compile_cache_hits += 1

@@ -290,14 +290,17 @@ class Device:
         """A new, empty launch queue bound to this device."""
         return LaunchBatch(self)
 
-    def run_many(self, specs: Sequence[LaunchSpec]) -> list[LaunchResult]:
+    def run_many(self, specs: Sequence[LaunchSpec],
+                 on_result=None) -> list[LaunchResult]:
         """Execute a whole batch of launches; one result per spec, in order.
 
         Delegates to :func:`repro.gpusim.executors.base.run_pipelined`, which
         overlaps compilation of launch *i+1* with (sharded) execution of
-        launch *i* for any executor strategy.
+        launch *i* for any executor strategy.  ``on_result(index, result)``,
+        if given, fires as each launch of the batch completes (the serve
+        layer's streaming-completion hook).
         """
-        return executors.run_pipelined(self.executor(), specs)
+        return executors.run_pipelined(self.executor(), specs, on_result)
 
     # ------------------------------------------------------------------ internals
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from collections.abc import Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
@@ -396,8 +396,9 @@ class ExecutorBase:
         )
 
 
-def run_pipelined(executor: Executor,
-                  specs: Sequence[LaunchSpec]) -> list[LaunchResult]:
+def run_pipelined(executor: Executor, specs: Sequence[LaunchSpec],
+                  on_result: Callable[[int, LaunchResult], None] | None = None,
+                  ) -> list[LaunchResult]:
     """Execute a batch of launches through one executor, in order.
 
     Compilation (kernel + execution plan, deduplicated by the process-wide
@@ -411,25 +412,39 @@ def run_pipelined(executor: Executor,
     in-flight launch always completes before another launch executes; only
     the *prepare* phase (compilation, plan building, argument binding --
     none of which read buffer payloads) overlaps it.
+
+    ``on_result`` is invoked with ``(index, result)`` the moment each
+    launch's result is collected -- before later launches of the batch run
+    -- which is how the serve layer streams per-request completions out of a
+    micro-batch instead of holding every reply until the batch drains.  By
+    that point the launch's output buffers hold their final payload.  The
+    callback runs on the driving thread; exceptions it raises abort the
+    batch like any launch failure.
     """
     results: list[LaunchResult | None] = [None] * len(specs)
     pending: tuple[int, InflightLaunch] | None = None
+
+    def record(index: int, result: LaunchResult) -> None:
+        results[index] = result
+        if on_result is not None:
+            on_result(index, result)
+
     try:
         for i, spec in enumerate(specs):
             prepared = executor.prepare(spec)
             if pending is not None:
                 j, inflight = pending
                 pending = None
-                results[j] = inflight.collect()
+                record(j, inflight.collect())
             inflight = executor.submit(prepared)
             if inflight.done:
-                results[i] = inflight.collect()
+                record(i, inflight.collect())
             else:
                 pending = (i, inflight)
         if pending is not None:
             j, inflight = pending
             pending = None
-            results[j] = inflight.collect()
+            record(j, inflight.collect())
     except BaseException:
         # Don't leak forked workers (or their launch's shared mappings) when
         # a later spec fails to prepare.

@@ -59,12 +59,27 @@ class PooledExecutor(ShardedExecutor):
                 self.finalize(prepared, SerialExecutor.execute(self, prepared)))
         pool = self.pool
         key = getattr(prepared.compiled, "fingerprint", None)
-        if key is None or pool.closed or pool.busy:
+        if key is None:
+            COUNTERS.pool_fallback_launches += 1
+            return super().submit(prepared)
+        # Claim the pool *atomically* before staging anything into its arena:
+        # a bare busy check is check-then-act, and two threads dispatching
+        # over one process-global pool (the serve layer's dispatch thread
+        # racing a direct caller) would otherwise both pass it and collide.
+        token = object()
+        if not pool.try_claim(token):
+            if not pool.closed:
+                # Queue pressure, not a structural mismatch: the pool itself
+                # was eligible but already owned by an in-flight launch.
+                # Counted separately so the serve layer can report honest
+                # contention next to the catch-all fallback count.
+                COUNTERS.pool_busy_rejections += 1
             COUNTERS.pool_fallback_launches += 1
             return super().submit(prepared)
         placements = pool.arena.place_buffers(
             list(prepared.spec.args.values()))
         if placements is None:  # oversized launch (or data-free buffer)
+            pool.release(token)
             COUNTERS.pool_fallback_launches += 1
             return super().submit(prepared)
         try:
@@ -73,9 +88,10 @@ class PooledExecutor(ShardedExecutor):
                 self.supervisor_config(), key, prepared.compiled,
                 prepared.spec.grid, pool_mod.encode_args(prepared.spec.args,
                                                          placements),
-                self.settings_state())
+                self.settings_state(), claim_token=token)
         except BaseException:
             pool.arena.restore_buffers(placements)
+            pool.release(token)  # no-op once PoolLaunch adopted and aborted
             raise
         return _PooledInflight(self, prepared, launched, placements)
 

@@ -61,6 +61,7 @@ import itertools
 import math
 import multiprocessing as mp
 import os
+import threading
 import time
 import traceback
 from multiprocessing import connection as mp_connection
@@ -332,7 +333,8 @@ class WorkerPool:
         self._workers = [PoolWorker(i) for i in range(size)]
         self._serial = 0
         self._key_serial: dict[str, int] = {}
-        self._active: "PoolLaunch" | None = None
+        self._active: object | None = None
+        self._claim_lock = threading.Lock()
         self.closed = False
 
     # ------------------------------------------------------------------ state
@@ -341,6 +343,37 @@ class WorkerPool:
     def busy(self) -> bool:
         """Whether a launch currently owns the pool (and its arena)."""
         return self._active is not None
+
+    def try_claim(self, owner: object) -> bool:
+        """Atomically make ``owner`` the launch that owns the pool.
+
+        A bare :attr:`busy` check before dispatch is check-then-act: the
+        serve layer's dispatch thread and a direct caller sharing one
+        process-global pool could both observe an idle pool and collide in
+        :class:`PoolLaunch` (one of them crashing instead of falling back).
+        Claiming under a lock makes the race benign -- the loser sees
+        ``False`` and takes the fork-per-launch fallback.  Returns ``False``
+        on a busy or shut-down pool.
+        """
+        with self._claim_lock:
+            if self.closed or self._active is not None:
+                return False
+            self._active = owner
+            return True
+
+    def adopt_claim(self, owner: object, new_owner: object) -> None:
+        """Transfer a held claim (executor token -> its :class:`PoolLaunch`)."""
+        with self._claim_lock:
+            if self._active is not owner:
+                raise SimulationError(
+                    "pool claim lost while preparing a launch")
+            self._active = new_owner
+
+    def release(self, owner: object) -> None:
+        """Release ``owner``'s claim; a no-op if it no longer holds one."""
+        with self._claim_lock:
+            if self._active is owner:
+                self._active = None
 
     def worker(self, index: int) -> PoolWorker:
         return self._workers[index]
@@ -447,12 +480,16 @@ class PoolLaunch:
                  supervisor: SupervisorConfig, key: str, compiled: Any,
                  grid: int | Sequence[int],
                  encoded_args: Mapping[str, tuple],
-                 settings_state: tuple):
-        if pool.busy:
+                 settings_state: tuple, claim_token: object | None = None):
+        if claim_token is not None:
+            # The caller (PooledExecutor.submit) already claimed the pool
+            # atomically before staging buffers into the arena; adopt it.
+            pool.adopt_claim(claim_token, self)
+        elif not pool.try_claim(self):
+            if pool.closed:
+                raise SimulationError("launch on a shut-down worker pool")
             raise SimulationError(
                 "the worker pool already has a launch in flight")
-        if pool.closed:
-            raise SimulationError("launch on a shut-down worker pool")
         self.pool = pool
         self.config = supervisor
         self.launch_id = next(_LAUNCH_IDS)
@@ -463,15 +500,14 @@ class PoolLaunch:
         self._encoded = encoded_args
         self._settings_state = settings_state
         self._registry = faults.active_registry()
-        self._serial_floor = pool.note_key(key)
-        # Pin the artifact so any fork taken for this launch (fresh spawn or
-        # supervision respawn) is guaranteed to inherit it.
-        from repro.core.service import get_compiler_service
-
-        get_compiler_service().ensure_cached(key, compiled)
         self._states: dict[int, ShardState] = {}
-        pool._active = self
         try:
+            self._serial_floor = pool.note_key(key)
+            # Pin the artifact so any fork taken for this launch (fresh spawn
+            # or supervision respawn) is guaranteed to inherit it.
+            from repro.core.service import get_compiler_service
+
+            get_compiler_service().ensure_cached(key, compiled)
             for shard in shard_cta_ids(self._cta_ids, num_workers):
                 state = ShardState(shard)
                 self._states[shard.index] = state
@@ -564,7 +600,7 @@ class PoolLaunch:
             raise
         if self._registry is not None:
             self._registry.sync_fired()
-        self.pool._active = None
+        self.pool.release(self)
         return [rows[linear] for linear in self._cta_ids]
 
     def _drain(self, rows: dict[int, tuple[float, float, int]]) -> None:
@@ -673,8 +709,7 @@ class PoolLaunch:
             worker = self.pool.worker(state.shard.index)
             if worker.busy:
                 self.pool.reap_worker(worker)
-        if self.pool._active is self:
-            self.pool._active = None
+        self.pool.release(self)
 
 
 # ---------------------------------------------------------------------------
@@ -683,28 +718,38 @@ class PoolLaunch:
 
 
 _POOLS: dict[tuple[int, int], WorkerPool] = {}
+#: Guards _POOLS: two threads resolving pool="auto" at the same instant (the
+#: serve layer's warm-compile threads racing its dispatch thread, or two
+#: client threads building devices) must share ONE pool per (size, arena)
+#: shape -- an unguarded check-then-create would fork two worker sets and
+#: map two arenas for the same shape, leaking one of them.
+_POOLS_GUARD = threading.Lock()
 
 
 def get_worker_pool(size: int, arena_bytes: int | None = None) -> WorkerPool:
     """The process-global pool for ``(size, arena size)``; created on demand.
 
     Devices resolving ``pool=N`` share one pool per shape, so two devices
-    with the same knobs reuse the same warm workers.
+    with the same knobs reuse the same warm workers.  Thread-safe: concurrent
+    resolutions of the same shape return the same pool instance.
     """
     size = int(size)
     arena = resolve_arena_bytes(arena_bytes)
-    pool = _POOLS.get((size, arena))
-    if pool is None or pool.closed:
-        pool = WorkerPool(size, arena)
-        _POOLS[(size, arena)] = pool
-    return pool
+    with _POOLS_GUARD:
+        pool = _POOLS.get((size, arena))
+        if pool is None or pool.closed:
+            pool = WorkerPool(size, arena)
+            _POOLS[(size, arena)] = pool
+        return pool
 
 
 def shutdown_pools() -> None:
     """Shut down every process-global pool (tests, benchmark teardown)."""
-    for pool in list(_POOLS.values()):
+    with _POOLS_GUARD:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
         pool.shutdown()
-    _POOLS.clear()
 
 
 def resolve_pool(pool: None | bool | int | str | WorkerPool = None,

@@ -47,6 +47,10 @@ class SimCounters:
     #: launch falls back to a cold compile / re-tune
     compile_disk_quarantined: int = 0
     tune_store_quarantined: int = 0
+    #: singleflight compile dedup (repro.core.service): callers that found
+    #: the same content-addressed artifact already being compiled by another
+    #: thread and waited for it instead of running the pipeline themselves
+    compile_singleflight_waits: int = 0
     #: pass-pipeline executions (repro.ir.passes timing hook): total passes
     #: run, total compile wall-seconds, and per-pass wall-seconds.  A process
     #: that satisfies every compile from the caches keeps these at zero.
@@ -79,6 +83,11 @@ class SimCounters:
     pool_workers_spawned: int = 0
     pool_worker_respawns: int = 0
     pool_fallback_launches: int = 0
+    #: fallbacks caused specifically by the pool already having a launch in
+    #: flight (a subset of pool_fallback_launches) -- the serve layer's
+    #: queue-pressure signal, distinct from structural fallbacks (oversized
+    #: launch, unkeyed artifact, closed pool)
+    pool_busy_rejections: int = 0
     #: faults fired by the active repro.faults registry (tree-wide: fires
     #: inside worker processes are folded in by the registry's owner)
     faults_injected: int = 0
@@ -115,6 +124,19 @@ class SimCounters:
     analysis_disk_writes: int = 0
     analysis_diagnostics: int = 0
     analysis_sanitized_launches: int = 0
+    #: async serve layer (repro.serve): requests admitted, requests refused
+    #: with a typed Busy reply (bounded admission queue), requests that
+    #: coalesced onto an identical queued/in-flight launch instead of
+    #: dispatching their own, requests dropped at batch formation because
+    #: their deadline expired or their client cancelled, micro-batches
+    #: dispatched and the launches those batches carried
+    serve_requests: int = 0
+    serve_shed_requests: int = 0
+    serve_coalesced_requests: int = 0
+    serve_deadline_drops: int = 0
+    serve_cancelled_drops: int = 0
+    serve_batches: int = 0
+    serve_batched_launches: int = 0
 
     def record_pass_timing(self, name: str, seconds: float) -> None:
         """Fold one pass execution into the compile-cost counters.

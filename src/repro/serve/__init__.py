@@ -1,0 +1,33 @@
+"""Async serve layer: many clients, one warm simulator stack.
+
+See :mod:`repro.serve.service` for the architecture (singleflight compile
+dedup, admission + coalescing micro-batches over :meth:`Device.run_many`,
+streaming per-request completion, bounded-queue backpressure) and
+``python -m repro.serve --help`` for the TCP endpoint.
+"""
+
+from repro.serve.service import (
+    Busy,
+    DeadlineExceeded,
+    Job,
+    ServeError,
+    ServePolicy,
+    ServiceClosed,
+    SimService,
+)
+from repro.serve.client import AsyncClient, RemoteError, connect
+from repro.serve.server import SimServer
+
+__all__ = [
+    "AsyncClient",
+    "Busy",
+    "DeadlineExceeded",
+    "Job",
+    "RemoteError",
+    "ServeError",
+    "ServePolicy",
+    "ServiceClosed",
+    "SimServer",
+    "SimService",
+    "connect",
+]

@@ -1,0 +1,165 @@
+"""Clients of the serve layer: in-process and over the wire.
+
+:class:`AsyncClient` speaks the JSON-lines TCP protocol of
+:mod:`repro.serve.server`.  Replies arrive in *completion* order (the
+server streams each request's reply as its batch slot finishes), so the
+client tags every request with a monotonically increasing ``id`` and a
+reader task routes replies back to the matching future -- many requests can
+be in flight on one connection, which is exactly what feeds the server's
+micro-batcher.
+
+In-process callers don't need a client at all: hold a
+:class:`~repro.serve.service.SimService` and ``await service.submit(...)``
+directly.  :func:`connect` retries the TCP connect for script/CI use where
+the server races the client into existence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.serve import protocol
+from repro.serve.service import Busy, DeadlineExceeded, ServeError
+
+
+class RemoteError(ServeError):
+    """The server replied ``ok: false`` with a non-backpressure error."""
+
+    def __init__(self, error: str, detail: str = ""):
+        super().__init__(f"{error}: {detail}" if detail else error)
+        self.error = error
+        self.detail = detail
+
+
+class AsyncClient:
+    """One TCP connection to a :class:`SimServer`, many requests in flight."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._reader_task = asyncio.create_task(self._read_replies(),
+                                                name="repro-serve-client")
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 7893, *,
+                      wait: float = 0.0) -> "AsyncClient":
+        """Open a connection; ``wait`` retries connect for up to that long."""
+        loop = asyncio.get_running_loop()
+        give_up = loop.time() + wait
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                return cls(reader, writer)
+            except OSError:
+                if loop.time() >= give_up:
+                    raise
+                await asyncio.sleep(0.05)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._fail_pending(ConnectionError("client closed"))
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+    async def __aenter__(self) -> "AsyncClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ plumbing
+
+    async def request(self, op: str, **fields: Any) -> dict:
+        """Send one request; resolves with the reply body when it completes.
+
+        Backpressure and deadline replies re-raise as the same typed errors
+        an in-process :class:`SimService` caller would see (:class:`Busy`,
+        :class:`DeadlineExceeded`); other failures raise
+        :class:`RemoteError`.
+        """
+        request_id = self._next_id
+        self._next_id += 1
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            self._writer.write(protocol.encode_line(
+                {"op": op, "id": request_id, **fields}))
+            await self._writer.drain()
+            reply = await future
+        finally:
+            self._pending.pop(request_id, None)
+        if reply.get("ok"):
+            return reply
+        error = reply.get("error", "unknown")
+        if error == "busy":
+            raise Busy(int(reply.get("admitted", 0)),
+                       int(reply.get("limit", 0)))
+        if error == "deadline":
+            raise DeadlineExceeded("request deadline expired before dispatch")
+        raise RemoteError(error, str(reply.get("detail", "")))
+
+    async def _read_replies(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    self._fail_pending(ConnectionError("server closed"))
+                    return
+                if not line.strip():
+                    continue
+                reply = protocol.decode_line(line)
+                future = self._pending.get(reply.get("id"))
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail_pending(exc)
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    # ------------------------------------------------------------------ operations
+
+    async def ping(self) -> bool:
+        return bool((await self.request("ping")).get("pong"))
+
+    async def list_workloads(self) -> list[str]:
+        return list((await self.request("list")).get("workloads", []))
+
+    async def launch(self, workload: str, params: dict | None = None, *,
+                     coalesce: bool = True,
+                     timeout: float | None = None) -> dict:
+        """Run one workload problem; returns summaries + output digest."""
+        fields: dict[str, Any] = {"workload": workload, "coalesce": coalesce}
+        if params is not None:
+            fields["params"] = params
+        if timeout is not None:
+            fields["timeout"] = timeout
+        return await self.request("launch", **fields)
+
+    async def counters(self) -> dict:
+        return dict((await self.request("counters")).get("counters", {}))
+
+    async def stats(self) -> dict:
+        return dict((await self.request("stats")).get("stats", {}))
+
+
+async def connect(host: str = "127.0.0.1", port: int = 7893, *,
+                  wait: float = 0.0) -> AsyncClient:
+    """Module-level alias of :meth:`AsyncClient.connect`."""
+    return await AsyncClient.connect(host, port, wait=wait)

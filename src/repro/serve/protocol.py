@@ -1,0 +1,144 @@
+"""Wire-level request/reply shaping shared by the serve front ends.
+
+Two concerns live here, both deliberately outside the event-loop code:
+
+* **Workload requests.**  A client names a registered workload and a
+  problem (``{"workload": "gemm", "params": {"M": 64, ...}}``); the service
+  materializes input buffers and launch specs itself, in the dispatch
+  thread, through the same :func:`build_sweep_specs` path the sweep
+  harnesses use.  Because the *service* owns the buffers, two requests
+  naming the same (workload, problem, options) are interchangeable by
+  construction and coalesce under a canonical key.
+
+* **Reply payloads.**  Launch results flatten into JSON-able per-launch
+  summaries plus a SHA-256 digest over every argument buffer, so remote
+  clients can assert bit-level determinism (two identical requests -- or a
+  serve request vs a direct ``Device.run_many`` run -- must report the same
+  digest) without shipping the buffers across the wire.
+
+The TCP framing itself is one JSON object per line (``encode_line`` /
+``decode_line``); :mod:`repro.serve.server` owns the socket lifecycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.gpusim.device import Device
+from repro.gpusim.launch import LaunchResult, LaunchSpec
+from repro.serve.service import Job
+
+
+# ---------------------------------------------------------------------- framing
+
+def encode_line(message: dict) -> bytes:
+    """One request or reply as a JSON line (the whole wire format)."""
+    return json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_line(raw: bytes) -> dict:
+    """Parse one wire line; raises ``ValueError`` on non-object payloads."""
+    message = json.loads(raw.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError("request must be a JSON object")
+    return message
+
+
+# ---------------------------------------------------------------------- workload requests
+
+def workload_key(name: str, params: dict | None) -> str:
+    """The canonical coalesce key of a (workload, problem) request."""
+    return f"workload:{name}:{json.dumps(params or {}, sort_keys=True)}"
+
+
+def build_problem(workload: Any, params: dict | None) -> Any:
+    """A workload problem from wire params (default: its check problem)."""
+    if params:
+        return workload.problem_cls(**params)
+    problem = workload.check_problem()
+    if problem is None:
+        raise ValueError(
+            f"workload {workload.name!r} has no default problem; pass params")
+    return problem
+
+
+def workload_job(name: str, params: dict | None, *,
+                 coalesce: bool = True) -> Job:
+    """A serve :class:`Job` for one registered-workload request.
+
+    ``build`` runs in the dispatch thread: it resolves the workload (import
+    of :mod:`repro.workloads` registers the builtins), materializes fresh
+    input buffers and compiles the launch pipeline through the singleflighted
+    compiler service.  ``finish`` shapes the JSON reply, including the output
+    digest computed while still on the dispatch thread.
+    """
+    from repro.workloads import build_sweep_specs, get
+
+    get(name)  # fail unknown names at admission, not mid-batch
+    specs: list[LaunchSpec] = []
+
+    def build(device: Device) -> list[LaunchSpec]:
+        workload = get(name)
+        problem = build_problem(workload, params)
+        specs[:] = build_sweep_specs(device, workload, problem)
+        return list(specs)
+
+    def finish(results: list[LaunchResult]) -> dict:
+        return result_payload(name, specs, results)
+
+    return Job(build=build, finish=finish,
+               key=workload_key(name, params) if coalesce else None)
+
+
+# ---------------------------------------------------------------------- replies
+
+def args_digest(specs: list[LaunchSpec]) -> str:
+    """SHA-256 over every argument buffer of a launch pipeline, in order.
+
+    Computed after execution it fingerprints the outputs (kernels write in
+    place), which is what makes serve-vs-direct bit-identity assertable from
+    the wire.
+    """
+    digest = hashlib.sha256()
+    for spec in specs:
+        for arg_name, value in spec.args.items():
+            digest.update(arg_name.encode("utf-8"))
+            # Pointer/TensorDesc args wrap a GlobalBuffer; hash its *bytes*
+            # (repr would only cover shape/name, making the digest blind to
+            # the data the launch actually produced).
+            buffer = getattr(value, "buffer", value)
+            if hasattr(buffer, "to_numpy"):
+                buffer = buffer.to_numpy()
+            if isinstance(buffer, np.ndarray):
+                digest.update(np.ascontiguousarray(buffer).tobytes())
+            else:
+                digest.update(repr(value).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def launch_summary(result: LaunchResult) -> dict:
+    """The JSON-able slice of one :class:`LaunchResult`."""
+    return {
+        "cycles": result.cycles,
+        "seconds": result.seconds,
+        "total_ctas": result.total_ctas,
+        "simulated_ctas": result.simulated_ctas,
+        "tensor_core_utilization": result.tensor_core_utilization,
+        "tflops": result.tflops,
+        "extrapolated": result.extrapolated,
+    }
+
+
+def result_payload(name: str, specs: list[LaunchSpec],
+                   results: list[LaunchResult]) -> dict:
+    """The reply body of a completed workload request."""
+    return {
+        "workload": name,
+        "launches": [launch_summary(result) for result in results],
+        "seconds": sum(result.seconds for result in results),
+        "digest": args_digest(specs),
+    }

@@ -1,0 +1,169 @@
+"""The TCP front end: one JSON object per line, replies streamed per request.
+
+``python -m repro.serve`` binds a :class:`SimServer` over a
+:class:`~repro.serve.service.SimService`.  The wire protocol is deliberately
+thin -- newline-delimited JSON objects, each request carrying a client
+``id`` echoed on its reply -- because all the interesting behaviour
+(batching, coalescing, singleflight, backpressure) lives in the service:
+
+* requests on one connection are handled **concurrently** (one task per
+  request line), so a connection issuing 8 launches gets them admitted into
+  the same micro-batch, and replies stream back in completion order, not
+  request order;
+* a full admission queue surfaces as a typed ``{"ok": false, "error":
+  "busy"}`` reply rather than a stalled socket, so clients see honest
+  backpressure and can retry;
+* counters/stats ops expose the process-wide perf counter block for remote
+  dedup/coalesce-rate assertions (the load benchmark and the CI smoke
+  client both use them).
+
+Operations: ``ping``, ``list`` (registered workloads), ``launch``
+(workload name + problem params -> per-launch summaries + output digest),
+``counters``, ``stats``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from repro.gpusim.device import Device
+from repro.perf.counters import COUNTERS
+from repro.serve import protocol
+from repro.serve.service import (
+    Busy,
+    DeadlineExceeded,
+    ServeError,
+    ServePolicy,
+    SimService,
+)
+
+
+class SimServer:
+    """Serve one :class:`SimService` over newline-delimited JSON on TCP."""
+
+    def __init__(self, device: Device | None = None,
+                 policy: ServePolicy | None = None,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = SimService(device, policy)
+        self.host = host
+        self.port = port
+        self._server: asyncio.Server | None = None
+
+    # ------------------------------------------------------------------ lifecycle
+
+    async def start(self) -> "SimServer":
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "SimServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ connections
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(
+                    self._serve_request(line, writer, write_lock))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        except (asyncio.CancelledError, ConnectionResetError, BrokenPipeError):
+            # Cancellation here is loop shutdown tearing the connection down;
+            # completing normally keeps the streams protocol callback quiet.
+            pass
+        finally:
+            for task in list(pending):
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _serve_request(self, line: bytes, writer: asyncio.StreamWriter,
+                             write_lock: asyncio.Lock) -> None:
+        try:
+            request = protocol.decode_line(line)
+        except ValueError as exc:
+            await self._reply(writer, write_lock,
+                              {"ok": False, "error": "bad-request",
+                               "detail": str(exc)})
+            return
+        reply = await self._handle(request)
+        reply.setdefault("id", request.get("id"))
+        await self._reply(writer, write_lock, reply)
+
+    async def _reply(self, writer: asyncio.StreamWriter,
+                     write_lock: asyncio.Lock, reply: dict) -> None:
+        async with write_lock:
+            writer.write(protocol.encode_line(reply))
+            with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+                await writer.drain()
+
+    # ------------------------------------------------------------------ operations
+
+    async def _handle(self, request: dict) -> dict:
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "list":
+                from repro.workloads import list_workloads
+
+                return {"ok": True, "workloads": list_workloads()}
+            if op == "launch":
+                name = request.get("workload")
+                if not isinstance(name, str):
+                    return {"ok": False, "error": "bad-request",
+                            "detail": "launch needs a 'workload' name"}
+                payload = await self.service.submit_workload(
+                    name,
+                    request.get("params"),
+                    coalesce=bool(request.get("coalesce", True)),
+                    timeout=request.get("timeout"),
+                )
+                return {"ok": True, **payload}
+            if op == "counters":
+                return {"ok": True, "counters": COUNTERS.snapshot()}
+            if op == "stats":
+                return {"ok": True, "stats": self.service.stats()}
+            return {"ok": False, "error": "unknown-op", "detail": repr(op)}
+        except Busy as exc:
+            return {"ok": False, "error": "busy", "admitted": exc.admitted,
+                    "limit": exc.limit}
+        except DeadlineExceeded:
+            return {"ok": False, "error": "deadline"}
+        except ServeError as exc:
+            return {"ok": False, "error": "serve", "detail": str(exc)}
+        except (KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": "bad-request", "detail": str(exc)}
+        except Exception as exc:  # simulator-side failure: report, keep serving
+            return {"ok": False, "error": "execution",
+                    "detail": f"{type(exc).__name__}: {exc}"}

@@ -90,6 +90,12 @@ def _parser() -> argparse.ArgumentParser:
                            "(miss) served from the persisted tier")
     tune.add_argument("--json", dest="json_path", default=None,
                       help="write machine-readable results to this file")
+
+    serve = sub.add_parser(
+        "serve", help="serve workloads over TCP (see python -m repro.serve)")
+    serve.add_argument("serve_args", nargs=argparse.REMAINDER,
+                       help="arguments forwarded to repro.serve "
+                            "(e.g. 'serve --port 7893' or 'smoke softmax')")
     return parser
 
 
@@ -207,6 +213,10 @@ def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "serve":
+        from repro.serve.__main__ import main as serve_main
+
+        return serve_main(args.serve_args)
     if args.command not in ("run", "tune"):
         _parser().print_help()
         return 2

@@ -15,6 +15,8 @@ import linecache
 import os
 import subprocess
 import sys
+import threading
+import time
 from pathlib import Path
 
 import numpy as np
@@ -533,3 +535,74 @@ class TestColdProcessRoundTrip:
         assert edited["passes_run"] > 0
         assert edited["disk_hits"] == 0
         assert edited["out_sha"] != first["out_sha"]
+
+
+# ---------------------------------------------------------------------------
+# Singleflight: concurrent identical compiles collapse onto one pipeline
+# ---------------------------------------------------------------------------
+
+
+class TestCompileSingleflight:
+    def test_concurrent_identical_compiles_run_one_pipeline(self):
+        """8 threads hammering one fingerprint: the first registrant runs
+        the pass pipeline, every other thread either waits in the keyed
+        in-flight table or arrives late to an ordinary memory-cache hit --
+        never a second compile, and all callers get the *same* artifact."""
+        service = CompilerService(memory_capacity=8)
+        barrier = threading.Barrier(8)
+        artifacts: list = [None] * 8
+        errors: list = []
+
+        def compile_one(i: int) -> None:
+            try:
+                barrier.wait()
+                artifacts[i] = service.compile(
+                    matmul_kernel, GEMM_TYPES, GEMM_CONSTS, NAIVE_OPTIONS)
+            except Exception as exc:  # surfaced below; threads must not die
+                errors.append(exc)
+
+        threads = [threading.Thread(target=compile_one, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert COUNTERS.compile_cache_misses == 1   # exactly one pipeline
+        assert COUNTERS.compile_cache_hits == 7     # everyone else reused it
+        assert COUNTERS.compile_singleflight_waits <= 7
+        assert all(compiled is artifacts[0] for compiled in artifacts)
+        # The in-flight table is transient: nothing leaks once all release.
+        assert len(service._inflight) == 0
+
+    def test_waiters_are_counted_when_forced_to_overlap(self):
+        """Deterministic overlap: the test thread holds the fingerprint's
+        mutex (as if a compile were in flight), a second caller registers
+        underneath it and must be counted as a singleflight wait; once the
+        hold releases, that caller leads the one real compile."""
+        service = CompilerService(memory_capacity=8)
+        spec = _spec(NAIVE_OPTIONS)
+        key = artifact_fingerprint(matmul_kernel, spec, NAIVE_OPTIONS,
+                                   DEFAULT_CONFIG)
+        compiled: list = []
+
+        def blocked_compile() -> None:
+            compiled.append(service.compile(
+                matmul_kernel, GEMM_TYPES, GEMM_CONSTS, NAIVE_OPTIONS))
+
+        with service._inflight.hold(key):
+            thread = threading.Thread(target=blocked_compile)
+            thread.start()
+            # Registration (and the wait count) happens before the caller
+            # blocks on the key's lock; wait for it so the overlap is real.
+            deadline = time.monotonic() + 10
+            while COUNTERS.compile_singleflight_waits < 1:
+                assert time.monotonic() < deadline, "waiter never registered"
+                time.sleep(0.001)
+        thread.join()
+
+        assert COUNTERS.compile_singleflight_waits == 1
+        assert COUNTERS.compile_cache_misses == 1  # the freed waiter led it
+        assert compiled[0] is service.compile(
+            matmul_kernel, GEMM_TYPES, GEMM_CONSTS, NAIVE_OPTIONS)

@@ -13,6 +13,8 @@ only its in-flight shard.
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -495,3 +497,101 @@ class TestPoolSupervision:
         r_p, c_p = run_gemm(device, problem, WS_OPTIONS)
         assert r_p.cycles == r_s.cycles
         assert np.array_equal(c_p, c_s)
+
+
+# ---------------------------------------------------------------------------
+# Thread safety: process-global resolution, atomic claim, concurrent dispatch
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+class TestPoolThreadSafety:
+    def test_get_worker_pool_races_to_one_instance(self, monkeypatch):
+        """8 threads resolving the process-global pool through a slowed
+        constructor still get one shared instance (the double-checked
+        ``_POOLS_GUARD`` path), not 8 racing pools."""
+        real_init = WorkerPool.__init__
+
+        def slow_init(self, *args, **kwargs):
+            time.sleep(0.05)  # widen the check-then-create window
+            real_init(self, *args, **kwargs)
+
+        monkeypatch.setattr(WorkerPool, "__init__", slow_init)
+        barrier = threading.Barrier(8)
+        pools: list = [None] * 8
+
+        def resolve(i: int) -> None:
+            barrier.wait()
+            pools[i] = get_worker_pool(2)
+
+        threads = [threading.Thread(target=resolve, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(pool is pools[0] for pool in pools)
+
+    def test_claim_is_atomic_and_identity_checked(self):
+        pool = get_worker_pool(2)
+        first, second = object(), object()
+        assert pool.try_claim(first)
+        assert not pool.try_claim(second)       # held: atomically refused
+        pool.release(second)                    # non-owner release: no-op
+        assert not pool.try_claim(second)       # first still owns the pool
+        pool.adopt_claim(first, second)         # ownership handoff
+        with pytest.raises(SimulationError, match="claim lost"):
+            pool.adopt_claim(first, object())   # stale owner cannot adopt
+        pool.release(second)
+        assert pool.try_claim(first)            # fully released, reusable
+        pool.release(first)
+
+    def test_busy_pool_counts_rejection_and_falls_back(self):
+        """A claimed pool rejects a second dispatch as queue pressure --
+        ``pool_busy_rejections`` (new, distinct) plus the catch-all
+        ``pool_fallback_launches`` -- and the launch completes via the
+        inherited fork-per-launch path."""
+        device = Device(mode="functional", pool=2)
+        problem = _gemm()
+        r_ref, c_ref = run_gemm(device, problem, WS_OPTIONS)  # warm the pool
+        assert COUNTERS.pool_busy_rejections == 0
+        fallbacks = COUNTERS.pool_fallback_launches
+
+        holder = object()
+        assert device.pool.try_claim(holder)
+        r_busy, c_busy = run_gemm(device, problem, WS_OPTIONS)
+        assert COUNTERS.pool_busy_rejections == 1
+        assert COUNTERS.pool_fallback_launches == fallbacks + 1
+        assert r_busy.cycles == r_ref.cycles
+        assert np.array_equal(c_busy, c_ref)
+
+        device.pool.release(holder)
+        run_gemm(device, problem, WS_OPTIONS)   # pool dispatch again
+        assert COUNTERS.pool_busy_rejections == 1  # no new rejection
+
+    def test_concurrent_dispatch_over_one_pool_is_safe(self):
+        """Two threads dispatching over one process-global pool (the serve
+        dispatch thread racing a direct caller): one claims the pool, the
+        loser falls back to fork-per-launch -- no SimulationError, both
+        results bit-identical.  Regression for the check-then-act race on
+        ``pool.busy``."""
+        device = Device(mode="functional", pool=2)
+        problem = _gemm()
+        r_ref, c_ref = run_gemm(device, problem, WS_OPTIONS)  # warm + compile
+        barrier = threading.Barrier(2)
+        outcomes: list = [None, None]
+
+        def dispatch(i: int) -> None:
+            barrier.wait()
+            outcomes[i] = run_gemm(device, problem, WS_OPTIONS)
+
+        threads = [threading.Thread(target=dispatch, args=(i,))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for result, c_out in outcomes:  # None here means a thread crashed
+            assert result.cycles == r_ref.cycles
+            assert result.per_cta_cycles == r_ref.per_cta_cycles
+            assert np.array_equal(c_out, c_ref)
